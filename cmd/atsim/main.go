@@ -1,0 +1,154 @@
+// Command atsim runs one of the paper's applications under one
+// scheduling policy on a configured simulated machine and prints the
+// counters — the building block of the Figure 8/9 experiments, exposed
+// for ad-hoc investigation.
+//
+// Usage:
+//
+//	atsim -app tasks -policy LFF -cpus 8 -scale 0.5
+//	atsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/rt"
+	"repro/internal/workloads"
+)
+
+func main() {
+	app := flag.String("app", "tasks", "application: tasks, merge, photo or tsp")
+	policy := flag.String("policy", "LFF", "scheduling policy: FCFS, LFF or CRT")
+	cpus := flag.Int("cpus", 1, "processor count (1 = Ultra-1, >1 = E5000)")
+	scale := flag.Float64("scale", 1.0, "workload scale (1.0 = the paper's Table 4 parameters)")
+	seed := flag.Uint64("seed", 11, "random seed")
+	noAnnot := flag.Bool("no-annotations", false, "ignore at_share annotations (ablation)")
+	timeline := flag.Int("timeline", 0, "print the first N context switches (cpu, thread, name)")
+	verbose := flag.Bool("verbose", false, "print per-CPU counters and bus traffic")
+	list := flag.Bool("list", false, "list applications and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range workloads.SchedApps() {
+			fmt.Printf("%-6s %5d threads  %s\n", a.Name, a.Threads, a.Params)
+		}
+		return
+	}
+
+	if *timeline > 0 {
+		if err := runTimeline(*app, *policy, *cpus, *scale, *seed, *timeline); err != nil {
+			fmt.Fprintln(os.Stderr, "atsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *verbose {
+		if err := runVerbose(*app, *policy, *cpus, *scale, *seed, *noAnnot); err != nil {
+			fmt.Fprintln(os.Stderr, "atsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	run, err := experiments.RunSched(*app, *policy, experiments.SchedConfig{
+		CPUs:               *cpus,
+		Scale:              *scale,
+		Seed:               *seed,
+		DisableAnnotations: *noAnnot,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s under %s on %d cpu(s), scale %.2f:\n", run.App, run.Policy, run.CPUs, *scale)
+	fmt.Printf("  E-cache refs       %12d\n", run.ERefs)
+	fmt.Printf("  E-cache misses     %12d (%.2f%% miss ratio)\n", run.EMisses, 100*run.MissRatio())
+	fmt.Printf("  cycles             %12d\n", run.Cycles)
+	fmt.Printf("  instructions       %12d\n", run.Instrs)
+	fmt.Printf("  context switches   %12d\n", run.Dispatch)
+	fmt.Printf("  heap operations    %12d\n", run.HeapOps)
+	fmt.Printf("  steals             %12d\n", run.Steals)
+}
+
+// printMachineDetail renders per-CPU counters and bus traffic after a
+// verbose run.
+func printMachineDetail(m *machine.Machine, e *rt.Engine) {
+	idle := e.IdleCycles()
+	fmt.Println("  per-CPU:")
+	for i := 0; i < m.NCPU(); i++ {
+		cpu := m.CPU(i)
+		util := 100 * (1 - float64(idle[i])/float64(cpu.Cycles))
+		fmt.Printf("    cpu%-2d cycles %11d  instr %11d  E-misses %9d  util %5.1f%%\n",
+			i, cpu.Cycles, cpu.Instrs, cpu.EMisses, util)
+	}
+	tr := m.MemoryTraffic()
+	fmt.Printf("  bus traffic: %d KB fills, %d KB writebacks\n",
+		tr.FillBytes/1024, tr.WritebackBytes/1024)
+	times := e.ThreadTimes()
+	if len(times) > 5 {
+		times = times[:5]
+	}
+	fmt.Println("  top threads by CPU time:")
+	for _, tt := range times {
+		fmt.Printf("    %-6v %-12s %11d cy in %d dispatches\n", tt.ID, tt.Name, tt.Cycles, tt.Dispatches)
+	}
+}
+
+// runVerbose runs the app once with direct machine access and prints
+// the detailed breakdown.
+func runVerbose(appName, policy string, cpus int, scale float64, seed uint64, noAnnot bool) error {
+	app, err := workloads.SchedAppByName(appName)
+	if err != nil {
+		return err
+	}
+	cfg := machine.UltraSPARC1()
+	if cpus > 1 {
+		cfg = machine.Enterprise5000(cpus)
+	}
+	m := machine.New(cfg)
+	e := rt.New(m, rt.Options{Policy: policy, Seed: seed, DisableAnnotations: noAnnot})
+	app.Spawn(e, scale)
+	if err := e.Run(); err != nil {
+		return err
+	}
+	refs, _, misses := m.Totals()
+	fmt.Printf("%s under %s on %d cpu(s), scale %.2f:\n", appName, policy, cpus, scale)
+	fmt.Printf("  E-refs %d, E-misses %d, cycles %d\n", refs, misses, m.MaxCycles())
+	printMachineDetail(m, e)
+	return nil
+}
+
+// runTimeline executes the app printing the first n dispatches — a
+// quick view of what the policy actually does with the threads.
+func runTimeline(appName, policy string, cpus int, scale float64, seed uint64, n int) error {
+	app, err := workloads.SchedAppByName(appName)
+	if err != nil {
+		return err
+	}
+	cfg := machine.UltraSPARC1()
+	if cpus > 1 {
+		cfg = machine.Enterprise5000(cpus)
+	}
+	m := machine.New(cfg)
+	e := rt.New(m, rt.Options{Policy: policy, Seed: seed})
+	count := 0
+	e.OnDispatch = func(cpu int, tid mem.ThreadID, name string) {
+		if count < n {
+			fmt.Printf("%8d cy  cpu%-2d  %-6v  %s\n", m.CPU(cpu).Cycles, cpu, tid, name)
+		}
+		count++
+	}
+	app.Spawn(e, scale)
+	if err := e.Run(); err != nil {
+		return err
+	}
+	fmt.Printf("... %d dispatches total\n", count)
+	return nil
+}

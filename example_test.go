@@ -1,0 +1,79 @@
+package threadlocality_test
+
+// Executable documentation for the public API. These run under
+// `go test` and appear in godoc.
+
+import (
+	"fmt"
+
+	threadlocality "repro"
+)
+
+// Example demonstrates the minimal create/share/join flow and shows
+// that the run is deterministic enough to assert its output.
+func Example() {
+	sys := threadlocality.New(threadlocality.Config{
+		Policy: threadlocality.LFF,
+		Seed:   42,
+	})
+	sys.Spawn("main", func(t *threadlocality.Thread) {
+		state := t.Alloc(64 * 1024)
+		t.Touch(state)
+		child := t.Create("child", func(c *threadlocality.Thread) {
+			c.ReadRange(state.Base, state.Len)
+		})
+		// at_share(child, self, 1.0): the child's state is fully
+		// contained in mine.
+		t.Share(child, t.ID(), 1.0)
+		t.Join(child)
+	})
+	if err := sys.Run(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	st := sys.Stats()
+	fmt.Printf("policy=%s cpus=%d\n", st.Policy, st.CPUs)
+	fmt.Printf("child reads hit warm state: misses < lines touched twice: %v\n",
+		st.EMisses < 2*64*1024/64+200)
+	// Output:
+	// policy=LFF cpus=1
+	// child reads hit warm state: misses < lines touched twice: true
+}
+
+// ExampleNewModel shows direct use of the shared-state cache model: the
+// three closed forms of Section 2.4.
+func ExampleNewModel() {
+	m := threadlocality.NewModel(8192) // 512KB E-cache, 64B lines
+
+	// A blocked thread with no cached state is dispatched and takes
+	// 4000 misses; an independent sleeper had 4000 lines; a dependent
+	// sleeper (q = 0.5) had 1000.
+	self := m.ExpectSelf(0, 4000)
+	indep := m.ExpectIndep(4000, 4000)
+	dep := m.ExpectDep(1000, 0.5, 4000)
+	fmt.Printf("blocking thread:  %4.0f lines\n", self)
+	fmt.Printf("independent:      %4.0f lines\n", indep)
+	fmt.Printf("dependent q=0.5:  %4.0f lines\n", dep)
+	// Output:
+	// blocking thread:  3165 lines
+	// independent:      2455 lines
+	// dependent q=0.5:  2196 lines
+}
+
+// ExampleSystem_Stats shows the counters a run produces.
+func ExampleSystem_Stats() {
+	sys := threadlocality.New(threadlocality.Config{Seed: 7})
+	sys.Spawn("worker", func(t *threadlocality.Thread) {
+		r := t.Alloc(4096)
+		t.WriteRange(r.Base, r.Len)
+		t.Compute(1000)
+	})
+	if err := sys.Run(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	st := sys.Stats()
+	fmt.Printf("%s, misses for a fresh 4KB write: %v\n", st.Policy, st.EMisses > 0)
+	// Output:
+	// FCFS, misses for a fresh 4KB write: true
+}

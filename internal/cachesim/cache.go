@@ -1,0 +1,406 @@
+// Package cachesim implements the cache simulator the reproduction uses
+// in place of the paper's Shade-based simulator. It provides a generic
+// set-associative cache with LRU replacement, a three-cache UltraSPARC-1
+// style hierarchy (L1 instruction, L1 data, unified external L2) with
+// inclusion, and a footprint tracker that observes, per thread, how many
+// of the thread's state lines are resident — the quantity the paper's
+// analytical model predicts.
+//
+// All addresses handled by this package are physical; virtual-to-
+// physical translation happens in the machine layer (see internal/vm and
+// internal/machine).
+package cachesim
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Config describes one cache.
+type Config struct {
+	// Name identifies the cache in stats output ("L1D", "E").
+	Name string
+	// Size is the capacity in bytes (a power of two).
+	Size int64
+	// LineSize is the line size in bytes (a power of two).
+	LineSize int
+	// Assoc is the associativity; 1 means direct-mapped.
+	Assoc int
+	// HitCycles is the access latency charged on a hit in this cache.
+	HitCycles int
+}
+
+// Lines returns the cache capacity in lines.
+func (c Config) Lines() int { return int(c.Size) / c.LineSize }
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.Lines() / c.Assoc }
+
+func (c Config) String() string {
+	return fmt.Sprintf("%s: %dKB, %dB line, %d-way, hit %d cy",
+		c.Name, c.Size/1024, c.LineSize, c.Assoc, c.HitCycles)
+}
+
+func (c Config) validate() {
+	if !mem.IsPow2(uint64(c.Size)) || !mem.IsPow2(uint64(c.LineSize)) {
+		panic(fmt.Sprintf("cachesim: %s size %d / line %d must be powers of two", c.Name, c.Size, c.LineSize))
+	}
+	if c.Assoc < 1 || c.Lines()%c.Assoc != 0 {
+		panic(fmt.Sprintf("cachesim: %s bad associativity %d", c.Name, c.Assoc))
+	}
+}
+
+// Victim describes a line displaced by an insertion.
+type Victim struct {
+	// Valid reports whether a line was actually displaced (false when
+	// the fill landed in an empty way).
+	Valid bool
+	// Line is the line-aligned physical address of the displaced line.
+	Line mem.Addr
+	// Dirty reports whether the displaced line had been written and a
+	// write-back is due.
+	Dirty bool
+	// Owner is the thread that last accessed the displaced line.
+	Owner mem.ThreadID
+}
+
+// Stats accumulates per-cache event counts.
+type Stats struct {
+	Refs          uint64 // lookups
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64 // valid lines displaced by fills
+	Writebacks    uint64 // dirty lines displaced or invalidated
+	Invalidations uint64 // lines removed by coherence or inclusion
+}
+
+// MissRate returns misses/refs, or 0 with no references.
+func (s Stats) MissRate() float64 {
+	if s.Refs == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Refs)
+}
+
+// Listener observes line-level cache events. It is used by the footprint
+// tracker; the machine layer tracks coherence through return values
+// instead, so the hot path pays for a listener only when one is set.
+type Listener interface {
+	// Filled reports that line (line-aligned physical address) became
+	// resident, brought in by thread tid.
+	Filled(line mem.Addr, tid mem.ThreadID)
+	// Evicted reports that line left the cache (displacement or
+	// invalidation).
+	Evicted(line mem.Addr, dirty bool)
+}
+
+// line flag bits.
+const (
+	flagValid  = 1 << 0
+	flagDirty  = 1 << 1
+	flagShared = 1 << 2 // cached by another CPU (coherence state)
+)
+
+// Cache is a single set-associative cache. The zero value is unusable;
+// construct with New. Cache is not safe for concurrent use.
+type Cache struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint64
+	sets      int
+	ways      int
+
+	// Slot i of set s lives at index s*ways+i in the parallel arrays.
+	tags    []mem.Addr // line-aligned physical address
+	flags   []uint8
+	owner   []mem.ThreadID
+	lastUse []uint64
+
+	useClock uint64
+	valid    int // number of valid lines
+	stats    Stats
+
+	listener Listener
+	// classify, when non-nil, labels every miss with Hill's three C's
+	// against a fully-associative LRU shadow (see classify.go). It
+	// assumes fill-on-miss, which holds for the E-cache.
+	classify *classifier
+}
+
+// New constructs a cache from its configuration.
+func New(cfg Config) *Cache {
+	cfg.validate()
+	n := cfg.Lines()
+	c := &Cache{
+		cfg:       cfg,
+		lineShift: mem.Log2(uint64(cfg.LineSize)),
+		setMask:   uint64(cfg.Sets() - 1),
+		sets:      cfg.Sets(),
+		ways:      cfg.Assoc,
+		tags:      make([]mem.Addr, n),
+		flags:     make([]uint8, n),
+		owner:     make([]mem.ThreadID, n),
+		lastUse:   make([]uint64, n),
+	}
+	for i := range c.owner {
+		c.owner[i] = mem.NilThread
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the statistics without disturbing cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// SetListener installs (or clears, with nil) the line event listener.
+func (c *Cache) SetListener(l Listener) { c.listener = l }
+
+// ValidLines returns the number of currently valid lines.
+func (c *Cache) ValidLines() int { return c.valid }
+
+// LineOf returns the line-aligned address containing a.
+func (c *Cache) LineOf(a mem.Addr) mem.Addr { return a >> c.lineShift << c.lineShift }
+
+func (c *Cache) setOf(line mem.Addr) int {
+	return int(uint64(line>>c.lineShift) & c.setMask)
+}
+
+// find returns the slot index holding line, or -1.
+func (c *Cache) find(line mem.Addr) int {
+	base := c.setOf(line) * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.flags[i]&flagValid != 0 && c.tags[i] == line {
+			return i
+		}
+	}
+	return -1
+}
+
+// Lookup probes the cache for the line containing a. On a hit it updates
+// recency, attributes the line to tid, and marks it dirty when write is
+// set. It reports whether the probe hit. Lookup counts one reference.
+func (c *Cache) Lookup(tid mem.ThreadID, a mem.Addr, write bool) bool {
+	c.stats.Refs++
+	line := c.LineOf(a)
+	i := c.find(line)
+	if i < 0 {
+		c.stats.Misses++
+		if c.classify != nil {
+			c.classify.classify(line)
+			c.classify.touch(line)
+		}
+		return false
+	}
+	c.stats.Hits++
+	if c.classify != nil {
+		c.classify.touch(line)
+	}
+	c.useClock++
+	c.lastUse[i] = c.useClock
+	c.owner[i] = tid
+	if write {
+		c.flags[i] |= flagDirty
+	}
+	return true
+}
+
+// Contains reports whether the line containing a is resident, without
+// any side effects (no stats, no recency update). For tests and
+// diagnostics.
+func (c *Cache) Contains(a mem.Addr) bool { return c.find(c.LineOf(a)) >= 0 }
+
+// IsDirty reports whether the line containing a is resident and dirty,
+// without side effects.
+func (c *Cache) IsDirty(a mem.Addr) bool {
+	i := c.find(c.LineOf(a))
+	return i >= 0 && c.flags[i]&flagDirty != 0
+}
+
+// IsShared reports whether the resident line containing a carries the
+// coherence "shared" mark.
+func (c *Cache) IsShared(a mem.Addr) bool {
+	i := c.find(c.LineOf(a))
+	return i >= 0 && c.flags[i]&flagShared != 0
+}
+
+// ClearDirty removes the dirty mark from a resident line — a coherence
+// intervention wrote the data back to memory on the owner's behalf. It
+// is a no-op if the line is absent.
+func (c *Cache) ClearDirty(a mem.Addr) {
+	if i := c.find(c.LineOf(a)); i >= 0 {
+		c.flags[i] &^= flagDirty
+	}
+}
+
+// SetShared sets or clears the coherence "shared" mark on a resident
+// line. It is a no-op if the line is absent.
+func (c *Cache) SetShared(a mem.Addr, shared bool) {
+	i := c.find(c.LineOf(a))
+	if i < 0 {
+		return
+	}
+	if shared {
+		c.flags[i] |= flagShared
+	} else {
+		c.flags[i] &^= flagShared
+	}
+}
+
+// Insert fills the line containing a into the cache on behalf of tid,
+// choosing an invalid way if one exists and the LRU way otherwise. The
+// dirty flag marks the new line as modified (write-allocate of a store);
+// the shared flag carries the coherence state assigned by the machine.
+// It returns the displaced victim, if any. Inserting a line that is
+// already resident just refreshes its state.
+func (c *Cache) Insert(tid mem.ThreadID, a mem.Addr, dirty, shared bool) Victim {
+	line := c.LineOf(a)
+	if i := c.find(line); i >= 0 {
+		// Already resident (e.g. refetched after an upgrade); refresh.
+		c.useClock++
+		c.lastUse[i] = c.useClock
+		c.owner[i] = tid
+		if dirty {
+			c.flags[i] |= flagDirty
+		}
+		return Victim{}
+	}
+	base := c.setOf(line) * c.ways
+	slot := -1
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.flags[i]&flagValid == 0 {
+			slot = i
+			break
+		}
+	}
+	var victim Victim
+	if slot < 0 {
+		// Evict the LRU way.
+		slot = base
+		for w := 1; w < c.ways; w++ {
+			if c.lastUse[base+w] < c.lastUse[slot] {
+				slot = base + w
+			}
+		}
+		victim = Victim{
+			Valid: true,
+			Line:  c.tags[slot],
+			Dirty: c.flags[slot]&flagDirty != 0,
+			Owner: c.owner[slot],
+		}
+		c.stats.Evictions++
+		if victim.Dirty {
+			c.stats.Writebacks++
+		}
+		c.valid--
+		if c.listener != nil {
+			c.listener.Evicted(victim.Line, victim.Dirty)
+		}
+	}
+	c.useClock++
+	c.tags[slot] = line
+	c.flags[slot] = flagValid
+	if dirty {
+		c.flags[slot] |= flagDirty
+	}
+	if shared {
+		c.flags[slot] |= flagShared
+	}
+	c.owner[slot] = tid
+	c.lastUse[slot] = c.useClock
+	c.valid++
+	if c.listener != nil {
+		c.listener.Filled(line, tid)
+	}
+	return victim
+}
+
+// Invalidate removes the line containing a if resident, reporting
+// whether it was present and whether it was dirty (the caller decides
+// what a dirty invalidation means — coherence write-back, inclusion
+// victim, etc.).
+func (c *Cache) Invalidate(a mem.Addr) (present, dirty bool) {
+	i := c.find(c.LineOf(a))
+	if i < 0 {
+		return false, false
+	}
+	dirty = c.flags[i]&flagDirty != 0
+	line := c.tags[i]
+	c.flags[i] = 0
+	c.owner[i] = mem.NilThread
+	c.valid--
+	c.stats.Invalidations++
+	if dirty {
+		c.stats.Writebacks++
+	}
+	if c.listener != nil {
+		c.listener.Evicted(line, dirty)
+	}
+	return true, dirty
+}
+
+// InvalidateSpan invalidates every line of this cache overlapping the
+// byte span [base, base+n). It is used to maintain inclusion when an
+// outer cache with a larger line evicts. It returns the number of lines
+// invalidated.
+func (c *Cache) InvalidateSpan(base mem.Addr, n uint64) int {
+	count := 0
+	for line := c.LineOf(base); line < base+mem.Addr(n); line += mem.Addr(c.cfg.LineSize) {
+		if present, _ := c.Invalidate(line); present {
+			count++
+		}
+	}
+	return count
+}
+
+// Flush invalidates every line. Statistics are preserved; the listener
+// sees an eviction for each valid line.
+func (c *Cache) Flush() {
+	for i := range c.tags {
+		if c.flags[i]&flagValid == 0 {
+			continue
+		}
+		dirty := c.flags[i]&flagDirty != 0
+		if dirty {
+			c.stats.Writebacks++
+		}
+		c.stats.Invalidations++
+		if c.listener != nil {
+			c.listener.Evicted(c.tags[i], dirty)
+		}
+		c.flags[i] = 0
+		c.owner[i] = mem.NilThread
+	}
+	c.valid = 0
+}
+
+// ForEachValidLine calls fn for every resident line with its
+// line-aligned address and last accessor, in slot order.
+func (c *Cache) ForEachValidLine(fn func(line mem.Addr, owner mem.ThreadID)) {
+	for i := range c.tags {
+		if c.flags[i]&flagValid != 0 {
+			fn(c.tags[i], c.owner[i])
+		}
+	}
+}
+
+// OwnerFootprint returns the number of resident lines whose last
+// accessor is tid. This is the cheap attribution used by scheduling
+// experiments; the model-evaluation experiments use the Tracker, which
+// implements the paper's state-projection definition instead.
+func (c *Cache) OwnerFootprint(tid mem.ThreadID) int {
+	n := 0
+	for i := range c.tags {
+		if c.flags[i]&flagValid != 0 && c.owner[i] == tid {
+			n++
+		}
+	}
+	return n
+}

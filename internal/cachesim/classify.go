@@ -1,0 +1,122 @@
+package cachesim
+
+import (
+	"container/list"
+
+	"repro/internal/mem"
+)
+
+// Miss classification (Hill's three C's): a miss is *compulsory* if the
+// line was never resident before, *capacity* if even a fully-associative
+// LRU cache of the same size would have missed, and *conflict*
+// otherwise (the line was evicted only because of set mapping). The
+// paper leans on this taxonomy twice: raytrace's "majority of misses
+// are conflict misses that do not significantly increase the footprint"
+// (Figure 7) and tsp's compulsory initialization misses that no
+// scheduling policy can remove (Section 5).
+//
+// Classification is optional (EnableClassification) because the
+// fully-associative shadow costs a map operation per reference.
+
+// MissKind labels a classified miss.
+type MissKind int
+
+// The three C's.
+const (
+	MissCompulsory MissKind = iota
+	MissCapacity
+	MissConflict
+)
+
+func (k MissKind) String() string {
+	switch k {
+	case MissCompulsory:
+		return "compulsory"
+	case MissCapacity:
+		return "capacity"
+	case MissConflict:
+		return "conflict"
+	default:
+		return "unknown"
+	}
+}
+
+// ClassifyStats holds the per-kind miss counts.
+type ClassifyStats struct {
+	Compulsory uint64
+	Capacity   uint64
+	Conflict   uint64
+}
+
+// Total returns the classified miss count.
+func (c ClassifyStats) Total() uint64 { return c.Compulsory + c.Capacity + c.Conflict }
+
+// classifier is the optional fully-associative LRU shadow plus the
+// ever-seen set.
+type classifier struct {
+	capacity int
+	seen     map[mem.Addr]struct{}
+	order    *list.List // front = most recent; values are line addresses
+	index    map[mem.Addr]*list.Element
+	stats    ClassifyStats
+}
+
+func newClassifier(capacity int) *classifier {
+	return &classifier{
+		capacity: capacity,
+		seen:     make(map[mem.Addr]struct{}),
+		order:    list.New(),
+		index:    make(map[mem.Addr]*list.Element),
+	}
+}
+
+// touch records a reference to line in the shadow (hit-or-fill), with
+// LRU eviction at capacity.
+func (c *classifier) touch(line mem.Addr) {
+	if el, ok := c.index[line]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	c.index[line] = c.order.PushFront(line)
+	if c.order.Len() > c.capacity {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.index, back.Value.(mem.Addr))
+	}
+}
+
+// classify labels a miss on line, updates the stats, and marks the line
+// seen. Call before touch.
+func (c *classifier) classify(line mem.Addr) MissKind {
+	if _, ok := c.seen[line]; !ok {
+		c.seen[line] = struct{}{}
+		c.stats.Compulsory++
+		return MissCompulsory
+	}
+	if _, resident := c.index[line]; resident {
+		// The fully-associative shadow still holds it: only the set
+		// mapping evicted it.
+		c.stats.Conflict++
+		return MissConflict
+	}
+	c.stats.Capacity++
+	return MissCapacity
+}
+
+// EnableClassification turns on miss classification for this cache.
+// Call before issuing traffic; enabling mid-stream classifies only
+// subsequent misses.
+func (c *Cache) EnableClassification() {
+	if c.classify == nil {
+		c.classify = newClassifier(c.cfg.Lines())
+	}
+}
+
+// ClassifyStats returns the per-kind miss counts (zero if
+// classification is off).
+func (c *Cache) ClassifyStats() ClassifyStats {
+	if c.classify == nil {
+		return ClassifyStats{}
+	}
+	return c.classify.stats
+}

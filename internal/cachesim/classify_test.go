@@ -1,0 +1,100 @@
+package cachesim
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// classifying cache: 8 lines, direct-mapped, 64B lines.
+func classifyCache() *Cache {
+	c := New(Config{Name: "C", Size: 512, LineSize: 64, Assoc: 1, HitCycles: 1})
+	c.EnableClassification()
+	return c
+}
+
+// miss drives the fill-on-miss contract the classifier assumes.
+func miss(c *Cache, a mem.Addr) {
+	if !c.Lookup(1, a, false) {
+		c.Insert(1, a, false, false)
+	}
+}
+
+func TestFirstTouchIsCompulsory(t *testing.T) {
+	c := classifyCache()
+	for i := mem.Addr(0); i < 8; i++ {
+		miss(c, i*64)
+	}
+	st := c.ClassifyStats()
+	if st.Compulsory != 8 || st.Capacity != 0 || st.Conflict != 0 {
+		t.Errorf("stats = %+v, want 8 compulsory", st)
+	}
+}
+
+func TestConflictMiss(t *testing.T) {
+	// Two lines mapping to the same set of the 8-line cache, but a
+	// fully-associative cache of 8 lines would hold both: alternating
+	// accesses are conflict misses after the compulsory pair.
+	c := classifyCache()
+	for i := 0; i < 10; i++ {
+		miss(c, 0x000)
+		miss(c, 0x200)
+	}
+	st := c.ClassifyStats()
+	if st.Compulsory != 2 {
+		t.Errorf("compulsory = %d, want 2", st.Compulsory)
+	}
+	if st.Conflict != 18 {
+		t.Errorf("conflict = %d, want 18", st.Conflict)
+	}
+	if st.Capacity != 0 {
+		t.Errorf("capacity = %d, want 0", st.Capacity)
+	}
+}
+
+func TestCapacityMiss(t *testing.T) {
+	// A circular sweep over 16 distinct lines through an 8-line cache:
+	// after the compulsory pass, every miss is a capacity miss (the
+	// fully-associative shadow also evicted the line).
+	c := classifyCache()
+	for round := 0; round < 4; round++ {
+		for i := mem.Addr(0); i < 16; i++ {
+			miss(c, i*64)
+		}
+	}
+	st := c.ClassifyStats()
+	if st.Compulsory != 16 {
+		t.Errorf("compulsory = %d, want 16", st.Compulsory)
+	}
+	if st.Capacity != 48 {
+		t.Errorf("capacity = %d, want 48", st.Capacity)
+	}
+	if st.Conflict != 0 {
+		t.Errorf("conflict = %d, want 0 for a uniform sweep", st.Conflict)
+	}
+}
+
+func TestClassifiedTotalsMatchMisses(t *testing.T) {
+	c := classifyCache()
+	for i := 0; i < 5000; i++ {
+		miss(c, mem.Addr((i*7919)%4096)*64%(1<<14))
+	}
+	if got, want := c.ClassifyStats().Total(), c.Stats().Misses; got != want {
+		t.Errorf("classified %d of %d misses", got, want)
+	}
+}
+
+func TestClassificationOffByDefault(t *testing.T) {
+	c := New(Config{Name: "C", Size: 512, LineSize: 64, Assoc: 1, HitCycles: 1})
+	miss(c, 0)
+	if c.ClassifyStats() != (ClassifyStats{}) {
+		t.Error("stats nonzero without EnableClassification")
+	}
+}
+
+func TestMissKindString(t *testing.T) {
+	if MissCompulsory.String() != "compulsory" || MissCapacity.String() != "capacity" ||
+		MissConflict.String() != "conflict" || MissKind(9).String() != "unknown" {
+		t.Error("names wrong")
+	}
+}

@@ -1,0 +1,157 @@
+package cachesim
+
+import "repro/internal/mem"
+
+// Level identifies where in the hierarchy an access was satisfied.
+type Level int
+
+// Access outcomes, ordered from fastest to slowest.
+const (
+	// LevelL1 means the access hit in the first-level cache.
+	LevelL1 Level = iota
+	// LevelL2 means the access missed in L1 but hit in the external
+	// cache (an E-cache reference and hit, in UltraSPARC terms).
+	LevelL2
+	// LevelMemory means the access missed in both caches (an E-cache
+	// reference and miss).
+	LevelMemory
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	default:
+		return "memory"
+	}
+}
+
+// Result describes one hierarchy access: the level that satisfied it and
+// the L2 victim displaced by the fill, which the machine layer needs for
+// coherence bookkeeping and write-back accounting.
+type Result struct {
+	Level  Level
+	Victim Victim // L2 line displaced by a memory fill, if any
+}
+
+// Hierarchy models the UltraSPARC-1 memory hierarchy of the paper's
+// Table 1: split first-level caches (write-through, non-allocating L1D;
+// L1I for instruction fetch) in front of a unified external cache
+// (write-back, write-allocate) that maintains inclusion of both L1s.
+type Hierarchy struct {
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+}
+
+// NewHierarchy builds a hierarchy from the three cache configurations.
+// The L2 line size must be at least as large as both L1 line sizes for
+// inclusion maintenance to be meaningful.
+func NewHierarchy(l1i, l1d, l2 Config) *Hierarchy {
+	h := &Hierarchy{L1I: New(l1i), L1D: New(l1d), L2: New(l2)}
+	if l2.LineSize < l1i.LineSize || l2.LineSize < l1d.LineSize {
+		panic("cachesim: L2 line must not be smaller than L1 lines")
+	}
+	return h
+}
+
+// Data performs one data reference by thread tid at physical address a.
+//
+// Loads allocate in L1D; stores are write-through and non-allocating in
+// L1D (they update a resident L1D line but always proceed to the L2),
+// matching the UltraSPARC-1. The L2 is write-allocate and write-back.
+// The shared flag is the coherence state the machine wants on a fresh L2
+// fill.
+func (h *Hierarchy) Data(tid mem.ThreadID, a mem.Addr, write, shared bool) Result {
+	// The write-through L1D never holds dirty data, so even a store
+	// hit leaves the L1D line clean (the dirty bit lives in the L2).
+	if h.L1D.Lookup(tid, a, false) && !write {
+		return Result{Level: LevelL1}
+	}
+	// Loads that miss L1D and all stores reach the E-cache.
+	if h.L2.Lookup(tid, a, write) {
+		if !write {
+			h.fillL1(h.L1D, tid, a)
+		}
+		return Result{Level: LevelL2}
+	}
+	victim := h.fillL2(tid, a, write, shared)
+	if !write {
+		h.fillL1(h.L1D, tid, a)
+	}
+	return Result{Level: LevelMemory, Victim: victim}
+}
+
+// Inst performs one instruction fetch by thread tid at physical address
+// a. Instruction fetches allocate in both L1I and the unified L2.
+func (h *Hierarchy) Inst(tid mem.ThreadID, a mem.Addr, shared bool) Result {
+	if h.L1I.Lookup(tid, a, false) {
+		return Result{Level: LevelL1}
+	}
+	if h.L2.Lookup(tid, a, false) {
+		h.fillL1(h.L1I, tid, a)
+		return Result{Level: LevelL2}
+	}
+	victim := h.fillL2(tid, a, false, shared)
+	h.fillL1(h.L1I, tid, a)
+	return Result{Level: LevelMemory, Victim: victim}
+}
+
+// fillL2 inserts the line for a into the L2 and maintains inclusion: the
+// span covered by a displaced L2 line is invalidated from both L1s.
+func (h *Hierarchy) fillL2(tid mem.ThreadID, a mem.Addr, dirty, shared bool) Victim {
+	victim := h.L2.Insert(tid, a, dirty, shared)
+	if victim.Valid {
+		span := uint64(h.L2.Config().LineSize)
+		h.L1I.InvalidateSpan(victim.Line, span)
+		h.L1D.InvalidateSpan(victim.Line, span)
+	}
+	return victim
+}
+
+// fillL1 inserts into an L1. L1 victims need no inclusion work and, for
+// the write-through L1D, no write-back either (a victim can only be
+// dirty through a write hit, which already updated the L2).
+func (h *Hierarchy) fillL1(l1 *Cache, tid mem.ThreadID, a mem.Addr) {
+	l1.Insert(tid, a, false, false)
+}
+
+// InvalidateLine removes the L2 line containing a and its covered spans
+// from both L1s, returning whether the L2 copy was present and dirty.
+// The machine uses it to implement write-invalidate coherence.
+func (h *Hierarchy) InvalidateLine(a mem.Addr) (present, dirty bool) {
+	line := h.L2.LineOf(a)
+	present, dirty = h.L2.Invalidate(line)
+	if present {
+		span := uint64(h.L2.Config().LineSize)
+		h.L1I.InvalidateSpan(line, span)
+		h.L1D.InvalidateSpan(line, span)
+	}
+	return present, dirty
+}
+
+// Flush empties all three caches.
+func (h *Hierarchy) Flush() {
+	h.L1I.Flush()
+	h.L1D.Flush()
+	h.L2.Flush()
+}
+
+// CheckInclusion verifies that every valid L1 line is covered by a valid
+// L2 line, returning the first violating address found (ok=false) or
+// ok=true. It is an O(cache size) diagnostic for tests.
+func (h *Hierarchy) CheckInclusion() (violation mem.Addr, ok bool) {
+	for _, l1 := range []*Cache{h.L1I, h.L1D} {
+		for i, f := range l1.flags {
+			if f&flagValid == 0 {
+				continue
+			}
+			if !h.L2.Contains(l1.tags[i]) {
+				return l1.tags[i], false
+			}
+		}
+	}
+	return 0, true
+}

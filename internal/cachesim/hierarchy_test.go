@@ -1,0 +1,183 @@
+package cachesim
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/xrand"
+)
+
+// smallHierarchy builds a miniature UltraSPARC-shaped hierarchy:
+// 256B L1D (16B lines), 256B 2-way L1I (32B lines), 2KB unified L2
+// (64B lines).
+func smallHierarchy() *Hierarchy {
+	return NewHierarchy(
+		Config{Name: "L1I", Size: 256, LineSize: 32, Assoc: 2, HitCycles: 1},
+		Config{Name: "L1D", Size: 256, LineSize: 16, Assoc: 1, HitCycles: 1},
+		Config{Name: "E", Size: 2048, LineSize: 64, Assoc: 1, HitCycles: 3},
+	)
+}
+
+func TestDataLoadPath(t *testing.T) {
+	h := smallHierarchy()
+	if r := h.Data(1, 0x100, false, false); r.Level != LevelMemory {
+		t.Fatalf("first load satisfied at %v", r.Level)
+	}
+	if r := h.Data(1, 0x100, false, false); r.Level != LevelL1 {
+		t.Fatalf("second load satisfied at %v, want L1", r.Level)
+	}
+	// A different L1D line within the same 64-byte L2 line: L1 miss,
+	// L2 hit.
+	if r := h.Data(1, 0x110, false, false); r.Level != LevelL2 {
+		t.Fatalf("same-L2-line load satisfied at %v, want L2", r.Level)
+	}
+}
+
+func TestStoreIsWriteThroughNonAllocating(t *testing.T) {
+	h := smallHierarchy()
+	// A store miss allocates in L2 but not in L1D.
+	if r := h.Data(1, 0x200, true, false); r.Level != LevelMemory {
+		t.Fatalf("store miss at %v", r.Level)
+	}
+	if h.L1D.Contains(0x200) {
+		t.Error("store allocated in L1D")
+	}
+	if !h.L2.Contains(0x200) {
+		t.Error("store did not allocate in L2")
+	}
+	if !h.L2.IsDirty(0x200) {
+		t.Error("stored L2 line not dirty")
+	}
+	// A store to an L1D-resident line still reaches the L2 (write
+	// through) and reports the L2 level.
+	h.Data(1, 0x300, false, false) // load-allocate L1D
+	if r := h.Data(1, 0x300, true, false); r.Level != LevelL2 {
+		t.Errorf("store hit reported %v, want L2 (write-through)", r.Level)
+	}
+	if h.L1D.IsDirty(0x300) {
+		t.Error("write-through L1D line marked dirty")
+	}
+	if !h.L2.IsDirty(0x300) {
+		t.Error("L2 line clean after write-through store")
+	}
+}
+
+func TestInstFetchPath(t *testing.T) {
+	h := smallHierarchy()
+	if r := h.Inst(1, 0x400, false); r.Level != LevelMemory {
+		t.Fatalf("first fetch at %v", r.Level)
+	}
+	if r := h.Inst(1, 0x400, false); r.Level != LevelL1 {
+		t.Fatalf("second fetch at %v", r.Level)
+	}
+	if !h.L1I.Contains(0x400) || !h.L2.Contains(0x400) {
+		t.Error("fetch did not allocate in L1I and L2")
+	}
+	// Instructions and data share the unified L2.
+	if r := h.Data(1, 0x420, false, false); r.Level != LevelL2 {
+		t.Errorf("data load of fetched line at %v, want L2", r.Level)
+	}
+}
+
+func TestInclusionOnL2Eviction(t *testing.T) {
+	h := smallHierarchy()
+	// L2 has 32 sets... 2048/64 = 32 lines, direct-mapped. Addresses
+	// 2048 apart collide.
+	h.Data(1, 0x000, false, false)
+	if !h.L1D.Contains(0x000) {
+		t.Fatal("load did not allocate L1D")
+	}
+	// Conflict evicts L2 line 0x000; inclusion must purge L1D.
+	h.Data(1, 0x800, false, false)
+	if h.L2.Contains(0x000) {
+		t.Fatal("L2 conflict did not evict")
+	}
+	if h.L1D.Contains(0x000) {
+		t.Error("inclusion violated: L1D kept a line the L2 evicted")
+	}
+	if _, ok := h.CheckInclusion(); !ok {
+		t.Error("CheckInclusion failed")
+	}
+}
+
+func TestInclusionPropertyUnderRandomTraffic(t *testing.T) {
+	h := smallHierarchy()
+	rng := xrand.New(123)
+	for i := 0; i < 20000; i++ {
+		a := mem.Addr(rng.Uint64n(1 << 13))
+		switch rng.Intn(3) {
+		case 0:
+			h.Data(1, a, false, false)
+		case 1:
+			h.Data(1, a, true, false)
+		case 2:
+			h.Inst(1, a, false)
+		}
+	}
+	if addr, ok := h.CheckInclusion(); !ok {
+		t.Errorf("inclusion violated at %#x after random traffic", uint64(addr))
+	}
+}
+
+func TestInvalidateLine(t *testing.T) {
+	h := smallHierarchy()
+	h.Data(1, 0x100, false, false)
+	h.Data(1, 0x100, true, false)
+	present, dirty := h.InvalidateLine(0x100)
+	if !present || !dirty {
+		t.Errorf("InvalidateLine = (%v,%v), want (true,true)", present, dirty)
+	}
+	if h.L1D.Contains(0x100) || h.L2.Contains(0x100) {
+		t.Error("line survived coherence invalidation")
+	}
+	present, _ = h.InvalidateLine(0x100)
+	if present {
+		t.Error("re-invalidation reported present")
+	}
+}
+
+func TestVictimPropagation(t *testing.T) {
+	h := smallHierarchy()
+	h.Data(1, 0x000, true, false) // dirty line in L2
+	r := h.Data(1, 0x800, false, false)
+	if !r.Victim.Valid || r.Victim.Line != 0x000 || !r.Victim.Dirty {
+		t.Errorf("victim = %+v, want dirty line 0x000", r.Victim)
+	}
+}
+
+func TestFlushHierarchy(t *testing.T) {
+	h := smallHierarchy()
+	h.Data(1, 0x000, false, false)
+	h.Inst(1, 0x100, false)
+	h.Flush()
+	if h.L1I.ValidLines()+h.L1D.ValidLines()+h.L2.ValidLines() != 0 {
+		t.Error("flush left lines resident")
+	}
+}
+
+func TestSharedFlagOnFill(t *testing.T) {
+	h := smallHierarchy()
+	h.Data(1, 0x100, false, true)
+	if !h.L2.IsShared(0x100) {
+		t.Error("shared fill lost coherence mark")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if LevelL1.String() != "L1" || LevelL2.String() != "L2" || LevelMemory.String() != "memory" {
+		t.Error("level names wrong")
+	}
+}
+
+func TestMismatchedLinesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for L2 line smaller than L1 line")
+		}
+	}()
+	NewHierarchy(
+		Config{Name: "L1I", Size: 256, LineSize: 32, Assoc: 2, HitCycles: 1},
+		Config{Name: "L1D", Size: 256, LineSize: 16, Assoc: 1, HitCycles: 1},
+		Config{Name: "E", Size: 2048, LineSize: 8, Assoc: 1, HitCycles: 3},
+	)
+}

@@ -1,0 +1,168 @@
+package cachesim
+
+import (
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// Tracker observes per-thread cache footprints the way the paper's
+// simulator does: a thread's footprint is the projection of its declared
+// state onto the cache — the number of resident lines that hold any of
+// the thread's state — regardless of which thread's miss brought the
+// line in. This is what lets a *sleeping* dependent thread's footprint
+// grow while a sharing partner executes (Figure 4c/d).
+//
+// Threads register physical byte spans describing their state. The
+// tracker listens to fill/evict events from the cache it is attached to
+// and maintains a resident-line count per registered thread.
+//
+// Tracker implements Listener; attach it with Cache.SetListener. It is
+// intended for the model-evaluation experiments, where a handful of
+// threads are registered; the scheduling experiments run with no
+// listener at all.
+type Tracker struct {
+	lineSize  uint64
+	pageShift uint
+	pages     map[uint64][]span // physical page -> registered spans
+	counts    map[mem.ThreadID]int64
+	scratch   []mem.ThreadID // reused per event to dedupe tids
+}
+
+// span is a registered state fragment: the physical byte range [lo, hi)
+// belongs to thread tid. Spans never cross a tracking-page boundary.
+type span struct {
+	lo, hi mem.Addr
+	tid    mem.ThreadID
+}
+
+// NewTracker creates a tracker for caches with the given line size. The
+// pageSize (a power of two, at least the line size) only sets the
+// granularity of the internal index, not any architectural behaviour.
+func NewTracker(lineSize, pageSize uint64) *Tracker {
+	if !mem.IsPow2(lineSize) || !mem.IsPow2(pageSize) || pageSize < lineSize {
+		panic("cachesim: bad tracker geometry")
+	}
+	return &Tracker{
+		lineSize:  lineSize,
+		pageShift: mem.Log2(pageSize),
+		pages:     make(map[uint64][]span),
+		counts:    make(map[mem.ThreadID]int64),
+	}
+}
+
+// Register declares that the physical byte ranges in spans belong to
+// thread tid's state. Ranges are split at page boundaries for indexing.
+// Registering overlapping ranges for the same thread double-counts the
+// overlap; callers register disjoint fragments per thread. Distinct
+// threads may freely register overlapping ranges — that is precisely how
+// shared state is expressed.
+func (t *Tracker) Register(tid mem.ThreadID, ranges ...mem.Range) {
+	if _, ok := t.counts[tid]; !ok {
+		t.counts[tid] = 0
+	}
+	pageSize := uint64(1) << t.pageShift
+	for _, r := range ranges {
+		for base := r.Base; base < r.End(); {
+			pageEnd := mem.Addr((uint64(base)/pageSize + 1) * pageSize)
+			hi := r.End()
+			if pageEnd < hi {
+				hi = pageEnd
+			}
+			page := uint64(base) >> t.pageShift
+			t.pages[page] = append(t.pages[page], span{lo: base, hi: hi, tid: tid})
+			base = hi
+		}
+	}
+}
+
+// Unregister removes every span belonging to tid and forgets its count.
+func (t *Tracker) Unregister(tid mem.ThreadID) {
+	delete(t.counts, tid)
+	for page, spans := range t.pages {
+		keep := spans[:0]
+		for _, s := range spans {
+			if s.tid != tid {
+				keep = append(keep, s)
+			}
+		}
+		if len(keep) == 0 {
+			delete(t.pages, page)
+		} else {
+			t.pages[page] = keep
+		}
+	}
+}
+
+// Tracked reports whether tid has been registered.
+func (t *Tracker) Tracked(tid mem.ThreadID) bool {
+	_, ok := t.counts[tid]
+	return ok
+}
+
+// Footprint returns the number of resident lines holding state of tid,
+// in lines of the tracked cache.
+func (t *Tracker) Footprint(tid mem.ThreadID) int64 { return t.counts[tid] }
+
+// Threads returns the registered thread IDs in ascending order.
+func (t *Tracker) Threads() []mem.ThreadID {
+	ids := make([]mem.ThreadID, 0, len(t.counts))
+	for tid := range t.counts {
+		ids = append(ids, tid)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// owners appends to t.scratch the distinct registered threads whose
+// state overlaps the line at the given line-aligned address.
+func (t *Tracker) owners(line mem.Addr) []mem.ThreadID {
+	t.scratch = t.scratch[:0]
+	lineEnd := line + mem.Addr(t.lineSize)
+	// A line can touch at most two tracking pages when the line size
+	// equals the page size; with pageSize >= lineSize it touches the
+	// page of its first byte and possibly the next.
+	for page := uint64(line) >> t.pageShift; page <= uint64(lineEnd-1)>>t.pageShift; page++ {
+		for _, s := range t.pages[page] {
+			if s.lo < lineEnd && line < s.hi && !containsTid(t.scratch, s.tid) {
+				t.scratch = append(t.scratch, s.tid)
+			}
+		}
+	}
+	return t.scratch
+}
+
+func containsTid(ids []mem.ThreadID, tid mem.ThreadID) bool {
+	for _, id := range ids {
+		if id == tid {
+			return true
+		}
+	}
+	return false
+}
+
+// Filled implements Listener.
+func (t *Tracker) Filled(line mem.Addr, _ mem.ThreadID) {
+	for _, tid := range t.owners(line) {
+		t.counts[tid]++
+	}
+}
+
+// Evicted implements Listener.
+func (t *Tracker) Evicted(line mem.Addr, _ bool) {
+	for _, tid := range t.owners(line) {
+		t.counts[tid]--
+	}
+}
+
+// Rebuild recomputes all counts from the current contents of the cache.
+// Call it after registering spans for state that may already be
+// resident.
+func (t *Tracker) Rebuild(c *Cache) {
+	for tid := range t.counts {
+		t.counts[tid] = 0
+	}
+	c.ForEachValidLine(func(line mem.Addr, _ mem.ThreadID) {
+		t.Filled(line, mem.NilThread)
+	})
+}

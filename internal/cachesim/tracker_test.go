@@ -1,0 +1,211 @@
+package cachesim
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/xrand"
+)
+
+// trackedCache returns an 8-line cache with an attached tracker.
+func trackedCache() (*Cache, *Tracker) {
+	c := New(Config{Name: "T", Size: 512, LineSize: 64, Assoc: 1, HitCycles: 1})
+	tr := NewTracker(64, 4096)
+	c.SetListener(tr)
+	return c, tr
+}
+
+func TestTrackerCountsOwnLines(t *testing.T) {
+	c, tr := trackedCache()
+	tr.Register(1, mem.Range{Base: 0x000, Len: 128}) // two lines
+	c.Insert(1, 0x000, false, false)
+	if tr.Footprint(1) != 1 {
+		t.Errorf("footprint after one fill = %d", tr.Footprint(1))
+	}
+	c.Insert(1, 0x040, false, false)
+	if tr.Footprint(1) != 2 {
+		t.Errorf("footprint after two fills = %d", tr.Footprint(1))
+	}
+	// A line outside the registered range does not count.
+	c.Insert(1, 0x080, false, false)
+	if tr.Footprint(1) != 2 {
+		t.Errorf("unregistered line counted: %d", tr.Footprint(1))
+	}
+}
+
+func TestTrackerSharedStateAttributedToBoth(t *testing.T) {
+	// The essence of the paper's Figure 4c/d: a line of shared state
+	// brought in by thread A also grows sleeping thread C's footprint.
+	c, tr := trackedCache()
+	tr.Register(1, mem.Range{Base: 0x000, Len: 256})
+	tr.Register(2, mem.Range{Base: 0x080, Len: 256}) // overlaps lines 2,3 of t1
+	c.Insert(1, 0x080, false, false)                 // filled *by* t1
+	if tr.Footprint(1) != 1 || tr.Footprint(2) != 1 {
+		t.Errorf("shared line footprints = %d/%d, want 1/1", tr.Footprint(1), tr.Footprint(2))
+	}
+	c.Insert(1, 0x000, false, false) // t1-only line
+	if tr.Footprint(1) != 2 || tr.Footprint(2) != 1 {
+		t.Errorf("after private fill = %d/%d, want 2/1", tr.Footprint(1), tr.Footprint(2))
+	}
+}
+
+func TestTrackerEvictionDecrements(t *testing.T) {
+	c, tr := trackedCache()
+	tr.Register(1, mem.Range{Base: 0x000, Len: 64})
+	c.Insert(1, 0x000, false, false)
+	c.Insert(2, 0x200, false, false) // conflicts in an 8-line DM cache
+	if tr.Footprint(1) != 0 {
+		t.Errorf("footprint after eviction = %d", tr.Footprint(1))
+	}
+}
+
+func TestTrackerInvalidationAndFlush(t *testing.T) {
+	c, tr := trackedCache()
+	tr.Register(1, mem.Range{Base: 0x000, Len: 256})
+	for a := mem.Addr(0); a < 0x100; a += 64 {
+		c.Insert(1, a, false, false)
+	}
+	if tr.Footprint(1) != 4 {
+		t.Fatalf("footprint = %d", tr.Footprint(1))
+	}
+	c.Invalidate(0x040)
+	if tr.Footprint(1) != 3 {
+		t.Errorf("after invalidation = %d", tr.Footprint(1))
+	}
+	c.Flush()
+	if tr.Footprint(1) != 0 {
+		t.Errorf("after flush = %d", tr.Footprint(1))
+	}
+}
+
+func TestTrackerPartialLineOverlap(t *testing.T) {
+	c, tr := trackedCache()
+	// Register only 8 bytes in the middle of a line: the whole line
+	// still holds the thread's state.
+	tr.Register(1, mem.Range{Base: 0x020, Len: 8})
+	c.Insert(1, 0x000, false, false)
+	if tr.Footprint(1) != 1 {
+		t.Errorf("partial-overlap line not counted: %d", tr.Footprint(1))
+	}
+}
+
+func TestTrackerPageStraddlingRange(t *testing.T) {
+	c, tr := trackedCache()
+	// Range crossing a 4KB tracking-page boundary must be indexed on
+	// both pages.
+	tr.Register(1, mem.Range{Base: 0xFC0, Len: 128}) // 0xFC0..0x1040
+	c.Insert(1, 0xFC0, false, false)
+	c.Insert(1, 0x1000, false, false)
+	if tr.Footprint(1) != 2 {
+		t.Errorf("straddling range footprint = %d, want 2", tr.Footprint(1))
+	}
+}
+
+func TestTrackerMultipleSpansSameLineCountOnce(t *testing.T) {
+	c, tr := trackedCache()
+	// Two disjoint 8-byte fragments of the same thread inside one line:
+	// the line is one unit of footprint, not two.
+	tr.Register(1, mem.Range{Base: 0x000, Len: 8}, mem.Range{Base: 0x010, Len: 8})
+	c.Insert(1, 0x000, false, false)
+	if tr.Footprint(1) != 1 {
+		t.Errorf("one line counted %d times", tr.Footprint(1))
+	}
+}
+
+func TestTrackerUnregister(t *testing.T) {
+	c, tr := trackedCache()
+	tr.Register(1, mem.Range{Base: 0x000, Len: 64})
+	tr.Register(2, mem.Range{Base: 0x040, Len: 64})
+	c.Insert(1, 0x000, false, false)
+	tr.Unregister(1)
+	if tr.Tracked(1) {
+		t.Error("still tracked after unregister")
+	}
+	if tr.Footprint(1) != 0 {
+		t.Error("footprint survives unregister")
+	}
+	// Later events must not resurrect the thread.
+	c.Insert(1, 0x000, false, false) // refresh: no event
+	c.Invalidate(0x000)
+	if tr.Footprint(1) != 0 {
+		t.Error("unregistered thread counted again")
+	}
+	if got := tr.Threads(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Threads() = %v", got)
+	}
+}
+
+func TestTrackerRebuild(t *testing.T) {
+	c, tr := trackedCache()
+	// Fill before registering, then rebuild.
+	c.Insert(7, 0x000, false, false)
+	c.Insert(7, 0x040, false, false)
+	tr.Register(7, mem.Range{Base: 0x000, Len: 128})
+	if tr.Footprint(7) != 0 {
+		t.Fatal("registration alone should not count resident lines")
+	}
+	tr.Rebuild(c)
+	if tr.Footprint(7) != 2 {
+		t.Errorf("rebuilt footprint = %d, want 2", tr.Footprint(7))
+	}
+}
+
+// TestTrackerMatchesBruteForce drives random traffic and compares the
+// tracker's incremental counts against a from-scratch recount.
+func TestTrackerMatchesBruteForce(t *testing.T) {
+	c := New(Config{Name: "T", Size: 2048, LineSize: 64, Assoc: 2, HitCycles: 1})
+	tr := NewTracker(64, 4096)
+	c.SetListener(tr)
+	ranges := map[mem.ThreadID][]mem.Range{
+		1: {{Base: 0x0000, Len: 0x400}},
+		2: {{Base: 0x0200, Len: 0x400}}, // overlaps t1
+		3: {{Base: 0x0F80, Len: 0x100}}, // crosses a page
+		4: {{Base: 0x0000, Len: 0x40}, {Base: 0x1000, Len: 0x40}},
+	}
+	for tid, rs := range ranges {
+		tr.Register(tid, rs...)
+	}
+	rng := xrand.New(99)
+	for i := 0; i < 5000; i++ {
+		a := mem.Addr(rng.Uint64n(0x1800))
+		if rng.Bool(0.1) {
+			c.Invalidate(a)
+		} else if !c.Lookup(5, a, false) {
+			c.Insert(5, a, false, false)
+		}
+		if i%500 != 0 {
+			continue
+		}
+		for tid, rs := range ranges {
+			want := int64(0)
+			c.ForEachValidLine(func(line mem.Addr, _ mem.ThreadID) {
+				for _, r := range rs {
+					if line < r.End() && r.Base < line+64 {
+						want++
+						return
+					}
+				}
+			})
+			if got := tr.Footprint(tid); got != want {
+				t.Fatalf("step %d: footprint(%v) = %d, brute force %d", i, tid, got, want)
+			}
+		}
+	}
+}
+
+func TestTrackerGeometryValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewTracker(0, 4096) },
+		func() { NewTracker(48, 4096) },
+		func() { NewTracker(64, 32) }, // page smaller than line
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad tracker geometry accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}

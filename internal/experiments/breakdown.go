@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cachesim"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+// BreakdownRow is one application's steady-state E-cache miss
+// composition by Hill's three C's.
+type BreakdownRow struct {
+	App      string
+	Class    string
+	Stats    cachesim.ClassifyStats
+	Conflict float64 // conflict fraction of all misses
+}
+
+// BreakdownResult classifies the study applications' misses. It
+// substantiates the Figure 7 diagnosis quantitatively: for raytrace and
+// typechecker "the majority of misses are conflict misses that do not
+// significantly increase the footprint", while the well-predicted
+// applications are dominated by capacity and compulsory misses that do
+// grow the footprint the way the model expects.
+type BreakdownResult struct {
+	Rows []BreakdownRow
+}
+
+// MissBreakdown runs each study application's stream on a classifying
+// uniprocessor for a fixed reference budget.
+func MissBreakdown(cfg StudyConfig) *BreakdownResult {
+	cfg = cfg.withDefaults(40000)
+	res := &BreakdownResult{}
+	for _, app := range workloads.StudyApps() {
+		mcfg := machine.UltraSPARC1()
+		mcfg.ClassifyMisses = true
+		m := workloads.StreamRun(app, mcfg, cfg.Seed, 1_200_000)
+		st := m.CPU(0).Hier.L2.ClassifyStats()
+		row := BreakdownRow{App: app.Name, Class: app.Class, Stats: st}
+		if t := st.Total(); t > 0 {
+			row.Conflict = float64(st.Conflict) / float64(t)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// ConflictFraction returns the conflict-miss fraction for one app.
+func (r *BreakdownResult) ConflictFraction(app string) float64 {
+	for _, row := range r.Rows {
+		if row.App == app {
+			return row.Conflict
+		}
+	}
+	return 0
+}
+
+// Render produces the breakdown table.
+func (r *BreakdownResult) Render() string {
+	tbl := report.NewTable("E-cache miss breakdown (Hill's three C's), per study application",
+		"app", "class", "compulsory", "capacity", "conflict", "conflict %")
+	for _, row := range r.Rows {
+		tbl.AddRow(row.App, row.Class,
+			fmt.Sprint(row.Stats.Compulsory),
+			fmt.Sprint(row.Stats.Capacity),
+			fmt.Sprint(row.Stats.Conflict),
+			fmt.Sprintf("%.0f%%", 100*row.Conflict))
+	}
+	tbl.Note("the Figure 7 anomalies (raytrace, typechecker) are conflict-dominated — misses that grow the miss count but not the footprint")
+	return tbl.String()
+}

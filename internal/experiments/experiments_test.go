@@ -1,0 +1,510 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// quickSched is a small-scale scheduling config for tests.
+var quickSched = SchedConfig{Scale: 0.08, Seed: 11}
+
+func TestRunSchedBasics(t *testing.T) {
+	run, err := RunSched("tasks", "LFF", quickSched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.EMisses == 0 || run.Cycles == 0 || run.Dispatch == 0 {
+		t.Errorf("empty counters: %+v", run)
+	}
+	if run.App != "tasks" || run.Policy != "LFF" || run.CPUs != 1 {
+		t.Errorf("metadata wrong: %+v", run)
+	}
+	if _, err := RunSched("nope", "LFF", quickSched); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestRunSchedDeterministic(t *testing.T) {
+	a, err := RunSched("merge", "CRT", quickSched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSched("merge", "CRT", quickSched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("nondeterministic runs:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestFig4ModelAccuracy(t *testing.T) {
+	res := Fig4(StudyConfig{MaxMisses: 4000, Seed: 7})
+	// The microbenchmark satisfies the model's assumptions: every
+	// panel must agree within a few percent of the cache size.
+	if worst := res.MaxRelError(); worst > 0.10 {
+		t.Errorf("worst relative error = %.3f, want < 0.10", worst)
+	}
+	// Panel a grows toward N; panel b decays toward 0.
+	for _, c := range res.A {
+		first, last := c.Observed[0], c.Observed[len(c.Observed)-1]
+		if last <= first {
+			t.Errorf("executing thread footprint did not grow: %v -> %v", first, last)
+		}
+	}
+	for _, c := range res.B {
+		first, last := c.Observed[0], c.Observed[len(c.Observed)-1]
+		if last >= first {
+			t.Errorf("independent sleeper footprint did not decay: %v -> %v", first, last)
+		}
+	}
+	// Panel c: curves from below qN grow, curves from above decay.
+	qn := 0.5 * float64(res.N)
+	for _, c := range res.C {
+		first, last := c.Observed[0], c.Observed[len(c.Observed)-1]
+		if first < qn*0.8 && last <= first {
+			t.Errorf("dependent sleeper below qN did not grow: %v -> %v", first, last)
+		}
+		if first > qn*1.2 && last >= first {
+			t.Errorf("dependent sleeper above qN did not decay: %v -> %v", first, last)
+		}
+	}
+	// Panel d: higher q must end with a larger footprint.
+	prev := -1.0
+	for _, c := range res.D {
+		last := c.Observed[len(c.Observed)-1]
+		if last <= prev {
+			t.Errorf("footprints not ordered by q: %v after %v", last, prev)
+		}
+		prev = last
+	}
+	if !strings.Contains(res.Render(), "Figure 4") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig5GoodAgreementAndFig7Overestimation(t *testing.T) {
+	cfg := StudyConfig{MaxMisses: 25000, Seed: 7}
+	for _, r := range Fig5(cfg) {
+		if r.Overestimated() {
+			t.Errorf("%s: substantially overestimated (bias %+.0f) — should be a Figure 7 app", r.App.Name, r.Bias)
+		}
+	}
+	for _, r := range Fig7(cfg) {
+		if !r.Overestimated() {
+			t.Errorf("%s: bias %+.0f, expected substantial overestimation", r.App.Name, r.Bias)
+		}
+		// The observed footprint must saturate well below the cache.
+		last := r.Footprint.Observed[len(r.Footprint.Observed)-1]
+		if last > 0.8*float64(r.N) {
+			t.Errorf("%s: observed footprint %v did not plateau below the cache", r.App.Name, last)
+		}
+	}
+}
+
+func TestFig6ReloadTransient(t *testing.T) {
+	cfg := StudyConfig{MaxMisses: 20000, MPIWindow: 80_000, Seed: 7}
+	// A representative subset keeps the test fast: one clustered C
+	// app, one sequential app, one anomaly.
+	apps := []workloads.StudyApp{}
+	for _, name := range []string{"barnes", "ocean", "typechecker"} {
+		a, err := workloads.StudyAppByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps = append(apps, a)
+	}
+	results := StudyAll(apps, cfg)
+	for _, r := range results {
+		if r.MPI.Len() < 3 {
+			t.Fatalf("%s: only %d MPI windows", r.App.Name, r.MPI.Len())
+		}
+		// The reload transient: the first window's MPI must exceed the
+		// last (burst then stable period).
+		first, last := r.MPI.Y[0], r.MPI.Y[r.MPI.Len()-1]
+		if first <= last {
+			t.Errorf("%s: no reload transient: first MPI %.2f <= last %.2f", r.App.Name, first, last)
+		}
+	}
+	if !strings.Contains(RenderMPI(results), "Figure 6") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig89Shapes(t *testing.T) {
+	// Small-scale smoke: the policies must complete on both platforms
+	// and the render must include every app.
+	uni, err := Fig8(quickSched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp, err := Fig9(quickSched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*Fig89Result{uni, smp} {
+		out := r.Render()
+		for _, app := range r.Apps {
+			if !strings.Contains(out, app) {
+				t.Errorf("%s render missing %s", r.Figure, app)
+			}
+		}
+	}
+	// tasks is the robust headline once its aggregate state exceeds
+	// the cache; that needs a bit more scale than the smoke runs.
+	bigger := quickSched
+	bigger.Scale = 0.25
+	big, err := Fig8(bigger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := big.Eliminated("tasks", "LFF"); e < 60 {
+		t.Errorf("tasks/LFF eliminated only %.1f%% on 1 CPU", e)
+	}
+}
+
+func TestTable5AndRender(t *testing.T) {
+	res, err := Table5(quickSched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Table 5") || !strings.Contains(out, "tasks") {
+		t.Error("Table 5 render incomplete")
+	}
+}
+
+func TestAblation(t *testing.T) {
+	cfg := quickSched
+	cfg.Scale = 0.25 // photo needs some size for annotations to matter
+	cfg.CPUs = 4
+	res, err := AblationPhoto(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "no annotations") {
+		t.Error("ablation render incomplete")
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	if !strings.Contains(Table1(), "E-cache") || !strings.Contains(Table1(), "512KB") {
+		t.Error("Table 1 incomplete")
+	}
+	if !strings.Contains(Table2(), "typechecker") {
+		t.Error("Table 2 incomplete")
+	}
+	if !strings.Contains(Table4(), "1024 tasks") {
+		t.Error("Table 4 incomplete")
+	}
+}
+
+func TestTable3Properties(t *testing.T) {
+	res := Table3()
+	if len(res.Rows) != 6 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Class == "independent thread" && r.FLOPs != 0 {
+			t.Errorf("%s independent update cost %d FLOPs, want 0", r.Policy, r.FLOPs)
+		}
+		if r.Class != "independent thread" && (r.FLOPs == 0 || r.FLOPs > 10) {
+			t.Errorf("%s %s cost %d FLOPs, want small nonzero", r.Policy, r.Class, r.FLOPs)
+		}
+	}
+	// CRT's blocking update is the cheapest nonzero update (the paper:
+	// "just two (or even one) floating point instructions" for the
+	// priority itself; our count includes the footprint bookkeeping).
+	var crtBlock, lffBlock uint64
+	for _, r := range res.Rows {
+		if r.Class == "blocking thread" {
+			if r.Policy == "CRT" {
+				crtBlock = r.FLOPs
+			} else {
+				lffBlock = r.FLOPs
+			}
+		}
+	}
+	if crtBlock >= lffBlock {
+		t.Errorf("CRT blocking (%d) should be cheaper than LFF blocking (%d)", crtBlock, lffBlock)
+	}
+}
+
+func TestInferenceStudy(t *testing.T) {
+	cfg := quickSched
+	cfg.Scale = 0.5 // inference needs page-scale structure to observe
+	res, err := InferenceStudy("photo", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inference must strictly beat "no sharing info" on photo (it
+	// discovers the neighbour-row relations) and never beat the exact
+	// user annotations.
+	if res.Inferred.EMisses >= res.None.EMisses {
+		t.Errorf("inference did not help: inferred %d >= none %d", res.Inferred.EMisses, res.None.EMisses)
+	}
+	if res.Inferred.EMisses < res.Annotated.EMisses {
+		t.Errorf("inference beat exact annotations: %d < %d", res.Inferred.EMisses, res.Annotated.EMisses)
+	}
+	if !strings.Contains(res.Render(), "inferred") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestAssocStudyExtensionBeatsDirectMapped(t *testing.T) {
+	res := AssocStudy(2, StudyConfig{MaxMisses: 6000, Seed: 7})
+	assocErr, dmErr := res.Errors()
+	if assocErr >= dmErr {
+		t.Errorf("associative model RMSE %v >= direct-mapped %v", assocErr, dmErr)
+	}
+	if assocErr > 200 {
+		t.Errorf("associative model RMSE %v too large", assocErr)
+	}
+	if !strings.Contains(res.Render(), "2-way") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestScalingStudy(t *testing.T) {
+	cfg := quickSched
+	cfg.Scale = 0.25 // tasks needs its aggregate state to exceed the cache
+	res, err := ScalingStudy(cfg, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CPUs) != 2 || len(res.Elim["tasks"]) != 2 {
+		t.Fatalf("shape wrong: %+v", res.CPUs)
+	}
+	// tasks dominates at every size.
+	for i, e := range res.Elim["tasks"] {
+		if e < 50 {
+			t.Errorf("tasks elimination at %d cpus = %.1f", res.CPUs[i], e)
+		}
+	}
+	if !strings.Contains(res.Render(), "4 cpu") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestThresholdStudy(t *testing.T) {
+	cfg := quickSched
+	cfg.Scale = 0.2
+	cfg.CPUs = 4
+	res, err := ThresholdStudy(cfg, []float64{16, 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An absurd threshold (half the cache) must hurt tasks: 100-line
+	// footprints never qualify for the heaps.
+	tasks := res.Elim["tasks"]
+	if tasks[0] < 50 {
+		t.Errorf("tasks at threshold 16: %.1f%%", tasks[0])
+	}
+	if tasks[1] > tasks[0]/2 {
+		t.Errorf("tasks at threshold 4096 (%.1f%%) should collapse vs 16 (%.1f%%)", tasks[1], tasks[0])
+	}
+	if !strings.Contains(res.Render(), "th=16") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestMissBreakdownShapes(t *testing.T) {
+	res := MissBreakdown(StudyConfig{Seed: 7})
+	// raytrace must be the most conflict-bound stream, and
+	// substantially so.
+	ray := res.ConflictFraction("raytrace")
+	if ray < 0.5 {
+		t.Errorf("raytrace conflict fraction = %.2f, want majority", ray)
+	}
+	for _, row := range res.Rows {
+		if row.App != "raytrace" && row.Conflict > ray {
+			t.Errorf("%s conflict fraction %.2f exceeds raytrace %.2f", row.App, row.Conflict, ray)
+		}
+	}
+	if !strings.Contains(res.Render(), "conflict") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestPageMappingFavorsCareful(t *testing.T) {
+	res := PageMapping(StudyConfig{Seed: 7})
+	wins := 0
+	for _, row := range res.Rows {
+		if row.Percent > 0 {
+			wins++
+		}
+	}
+	if wins < len(res.Rows)/2 {
+		t.Errorf("careful mapping won only %d of %d streams", wins, len(res.Rows))
+	}
+	if !strings.Contains(res.Render(), "careful") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestSpawnStackStudy(t *testing.T) {
+	cfg := quickSched
+	cfg.Scale = 0.2
+	cfg.CPUs = 4
+	res, err := SpawnStackStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both disciplines must preserve the tasks headline.
+	if res.Global["tasks"] < 50 || res.Stacks["tasks"] < 50 {
+		t.Errorf("tasks eliminations: global %.1f, stacks %.1f", res.Global["tasks"], res.Stacks["tasks"])
+	}
+	if !strings.Contains(res.Render(), "spawn stacks") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestValidateConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance suite is minute-scale")
+	}
+	// Moderate scale: the model/study claims run at their full study
+	// length regardless; the scheduling claims lose some margin, so
+	// the bar is "nearly all" rather than all.
+	res, err := Validate(SchedConfig{Scale: 0.5, Seed: 11}, StudyConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, total := res.Passed()
+	if total != 21 {
+		t.Errorf("claim count = %d, want 21", total)
+	}
+	if ok < total-3 {
+		t.Errorf("only %d of %d claims hold at scale 0.5:\n%s", ok, total, res.Render())
+	}
+	// The scale-independent model claims must all hold.
+	for _, c := range res.Claims {
+		switch c.ID {
+		case "markov", "limits", "fig4", "table3":
+			if !c.Holds {
+				t.Errorf("scale-independent claim %s failed: %s", c.ID, c.Evidence)
+			}
+		}
+	}
+}
+
+func TestSourcesAttribution(t *testing.T) {
+	cfg := quickSched
+	cfg.Scale = 0.5
+	cfg.CPUs = 8
+	res, err := SourcesStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tasks: the counters do everything.
+	if got := res.Row("tasks").CounterShare; got < 0.9 {
+		t.Errorf("tasks counter share = %.2f, want ~1", got)
+	}
+	// merge: the annotations do nearly everything.
+	if got := res.Row("merge").CounterShare; got > 0.5 {
+		t.Errorf("merge counter share = %.2f, want small", got)
+	}
+	// tsp: counters dominate.
+	if got := res.Row("tsp").CounterShare; got < 0.5 {
+		t.Errorf("tsp counter share = %.2f, want large", got)
+	}
+	if !strings.Contains(res.Render(), "counters only") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestTLBStudy(t *testing.T) {
+	res := TLBStudy(StudyConfig{Seed: 7})
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	var photo, tsp TLBRow
+	for _, row := range res.Rows {
+		if row.TLBMisses == 0 {
+			t.Errorf("%s: no TLB misses recorded", row.App)
+		}
+		if row.SlowdownPct < 0 {
+			t.Errorf("%s: TLB made the run faster (%.1f%%)", row.App, row.SlowdownPct)
+		}
+		switch row.App {
+		case "photo":
+			photo = row
+		case "tsp":
+			tsp = row
+		}
+	}
+	// Sequential sweeps barely miss the TLB; pointer-chasing pays.
+	if photo.MissesPerRef >= tsp.MissesPerRef {
+		t.Errorf("photo TLB rate %.4f >= tsp %.4f", photo.MissesPerRef, tsp.MissesPerRef)
+	}
+	if !strings.Contains(res.Render(), "dTLB") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestProfiledStudy(t *testing.T) {
+	cfg := quickSched
+	cfg.Scale = 0.5
+	res, err := ProfiledStudy("photo", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Edges == 0 {
+		t.Fatal("profiling produced no edges")
+	}
+	// The profiled run starts with the full evidence, so it must do at
+	// least as well as cold online inference on misses.
+	if res.Profiled.EMisses > res.Inference.Inferred.EMisses {
+		t.Errorf("profiled run (%d misses) worse than online inference (%d)",
+			res.Profiled.EMisses, res.Inference.Inferred.EMisses)
+	}
+	if !strings.Contains(res.Render(), "profiled trial run") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestCoarseStudyAffinity(t *testing.T) {
+	cfg := quickSched
+	cfg.Scale = 0.3
+	cfg.CPUs = 4
+	res, err := CoarseStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		// The footprint model must at minimum not lose: barrier-wake
+		// affinity is the one decision left in this regime.
+		if row.LFF > row.FCFS {
+			t.Errorf("%s: LFF misses %d > FCFS %d in the coarse regime", row.App, row.LFF, row.FCFS)
+		}
+	}
+	if !strings.Contains(res.Render(), "Coarse-grained control") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestCompareShapes(t *testing.T) {
+	cfg := quickSched
+	cfg.Scale = 0.5
+	res, err := Compare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tasks, photo and tsp hold the paper's shape; merge's uni/SMP
+	// ordering is the documented divergence (EXPERIMENTS.md).
+	for _, app := range []string{"tasks", "photo", "tsp"} {
+		if !res.ShapeHolds(app) {
+			t.Errorf("%s: shape diverges at scale 0.5", app)
+		}
+	}
+	if res.ShapeHolds("merge") {
+		t.Log("note: merge shape holds at this scale (documented as divergent at full scale)")
+	}
+	out := res.Render()
+	if !strings.Contains(out, "HOLDS") || !strings.Contains(out, "Paper vs measured") {
+		t.Error("render incomplete")
+	}
+}

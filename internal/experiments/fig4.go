@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/model"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// StudyConfig parameterizes the model-evaluation experiments.
+type StudyConfig struct {
+	// MaxMisses is how far the x-axis runs (paper Figure 4: ~20k).
+	MaxMisses uint64
+	// Checkpoint is the miss interval between samples.
+	Checkpoint uint64
+	// MPIWindow is the Figure 6 sampling window in instructions
+	// (default 2M, reduced automatically for short studies).
+	MPIWindow uint64
+	// Seed fixes the walk.
+	Seed uint64
+}
+
+func (c StudyConfig) withDefaults(maxMisses uint64) StudyConfig {
+	if c.MaxMisses == 0 {
+		c.MaxMisses = maxMisses
+	}
+	if c.Checkpoint == 0 {
+		c.Checkpoint = c.MaxMisses / 80
+		if c.Checkpoint == 0 {
+			c.Checkpoint = 1
+		}
+	}
+	if c.MPIWindow == 0 {
+		c.MPIWindow = 2_000_000
+		if c.MaxMisses < 30000 {
+			c.MPIWindow = 250_000
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 7
+	}
+	return c
+}
+
+// Curve is one predicted-vs-observed footprint trajectory.
+type Curve struct {
+	Label     string
+	Misses    []float64
+	Observed  []float64
+	Predicted []float64
+}
+
+// RMSE returns the root-mean-square prediction error of the curve.
+func (c *Curve) RMSE() float64 { return stats.RMSE(c.Predicted, c.Observed) }
+
+// Bias returns the mean of (predicted − observed): positive means the
+// model overestimates.
+func (c *Curve) Bias() float64 { return stats.MeanBias(c.Predicted, c.Observed) }
+
+// series converts the curve into plottable series.
+func (c *Curve) series() (obs, pred *stats.Series) {
+	obs = &stats.Series{Label: c.Label + " observed", X: c.Misses, Y: c.Observed}
+	pred = &stats.Series{Label: c.Label + " predicted", X: c.Misses, Y: c.Predicted}
+	return obs, pred
+}
+
+// Fig4Result holds the four microbenchmark panels of Figure 4.
+type Fig4Result struct {
+	N int // E-cache size in lines
+	// A: the executing (random-walk) thread, one curve per initial
+	// footprint.
+	A []*Curve
+	// B: sleeping independent threads decaying, one curve per initial
+	// footprint.
+	B []*Curve
+	// C: a sleeping dependent thread with q = 0.5, one curve per
+	// initial footprint (converging to qN from both sides).
+	C []*Curve
+	// D: sleeping dependent threads with varying sharing coefficients.
+	D []*Curve
+}
+
+// fig4Rig is the shared apparatus: a tracked uniprocessor whose main
+// thread performs a uniformly distributed random walk, plus helpers to
+// preload footprints and to sample observed-vs-predicted trajectories.
+type fig4Rig struct {
+	cfg  StudyConfig
+	mach *machine.Machine
+	mdl  *model.Model
+	rng  *xrand.Source
+	walk mem.Range // the walking thread's state, 2x the cache
+}
+
+const (
+	fig4WalkerTID mem.ThreadID = 0
+	fig4FirstTID  mem.ThreadID = 1
+)
+
+func newFig4Rig(cfg StudyConfig) *fig4Rig {
+	mcfg := machine.UltraSPARC1()
+	mcfg.TrackFootprints = true
+	m := machine.New(mcfg)
+	r := &fig4Rig{
+		cfg:  cfg,
+		mach: m,
+		mdl:  model.New(mcfg.L2.Lines()),
+		rng:  xrand.New(cfg.Seed),
+		// The walk region is much larger than the cache so that the
+		// addresses that MISS are (nearly) uniformly distributed over
+		// the sets — the model's independence assumption. With a small
+		// region, resident lines filter themselves out of the miss
+		// stream and misses preferentially fill empty sets.
+		walk: m.AllocPages(uint64(64 * mcfg.L2.Size)),
+	}
+	m.RegisterState(fig4WalkerTID, r.walk)
+	return r
+}
+
+// lineSize returns the E-cache line size.
+func (r *fig4Rig) lineSize() uint64 { return uint64(r.mach.Config().L2.LineSize) }
+
+// preload touches `lines` distinct random lines of region on behalf of
+// tid, establishing an initial footprint, and returns nothing — callers
+// read the observed footprint from the tracker.
+func (r *fig4Rig) preload(tid mem.ThreadID, region mem.Range, lines int) {
+	total := int(region.Lines(r.lineSize()))
+	if lines > total {
+		lines = total
+	}
+	perm := r.rng.Perm(total)
+	batch := make(mem.Batch, 0, lines)
+	for _, li := range perm[:lines] {
+		batch = append(batch, mem.Access{
+			Base: region.Base + mem.Addr(uint64(li)*r.lineSize()), Count: 1, Size: 8,
+		})
+	}
+	r.mach.Apply(0, tid, batch)
+}
+
+// run performs the random walk, sampling the observed footprint of
+// `watch` every checkpoint until MaxMisses, with predict supplying the
+// model value for a given miss count.
+func (r *fig4Rig) run(watch mem.ThreadID, predict func(n uint64) float64) *Curve {
+	gen := trace.NewGen(trace.Uniform(r.walk), r.rng.Uint64())
+	cpu := r.mach.CPU(0)
+	m0 := cpu.EMisses
+	next := r.cfg.Checkpoint
+	curve := &Curve{}
+	record := func(n uint64) {
+		curve.Misses = append(curve.Misses, float64(n))
+		curve.Observed = append(curve.Observed, float64(r.mach.Footprint(0, watch)))
+		curve.Predicted = append(curve.Predicted, predict(n))
+	}
+	record(0)
+	var batch mem.Batch
+	for {
+		batch = batch[:0]
+		batch, _ = gen.Emit(batch, 128)
+		r.mach.Apply(0, fig4WalkerTID, batch)
+		n := cpu.EMisses - m0
+		if n >= next {
+			// Sample at the actual miss count, not the checkpoint
+			// label: a batch may overshoot the checkpoint and the
+			// footprint must be compared against the prediction for
+			// the same n.
+			record(n)
+			for next <= n {
+				next += r.cfg.Checkpoint
+			}
+		}
+		if n >= r.cfg.MaxMisses {
+			return curve
+		}
+	}
+}
+
+// Fig4 reproduces the four random-memory-walk panels.
+func Fig4(cfg StudyConfig) *Fig4Result {
+	cfg = cfg.withDefaults(20000)
+	r := newFig4Rig(cfg)
+	N := r.mdl.N()
+	res := &Fig4Result{N: N}
+
+	// Panel a: the executing thread itself, from several initial
+	// footprints. E[F] = N − (N−S0)kⁿ.
+	for _, s0 := range []int{0, N / 4, N / 2, N} {
+		r.mach.FlushCaches()
+		r.preload(fig4WalkerTID, r.walk, s0)
+		s0obs := float64(r.mach.Footprint(0, fig4WalkerTID))
+		c := r.run(fig4WalkerTID, func(n uint64) float64 { return r.mdl.ExpectSelf(s0obs, n) })
+		c.Label = fmt.Sprintf("S0=%d", s0)
+		res.A = append(res.A, c)
+	}
+
+	// Panel b: sleeping independent threads with disjoint state decay
+	// as E[F] = S0·kⁿ.
+	indepRegion := r.mach.AllocPages(uint64(r.mach.Config().L2.Size))
+	r.mach.RegisterState(fig4FirstTID, indepRegion)
+	for _, s0 := range []int{N / 4, N / 2, N} {
+		r.mach.FlushCaches()
+		r.preload(fig4FirstTID, indepRegion, s0)
+		s0obs := float64(r.mach.Footprint(0, fig4FirstTID))
+		c := r.run(fig4FirstTID, func(n uint64) float64 { return r.mdl.ExpectIndep(s0obs, n) })
+		c.Label = fmt.Sprintf("S0=%d", s0)
+		res.B = append(res.B, c)
+	}
+
+	// Panel c: a sleeping dependent thread sharing half its state with
+	// the walker (its region is the first half of the walk region), so
+	// each walker miss lands on shared state with probability 0.5.
+	// E[F] = qN − (qN−S0)kⁿ: the footprint grows or decays toward qN.
+	const qc = 0.5
+	halfTID := fig4FirstTID + 1
+	half := mem.Range{Base: r.walk.Base, Len: uint64(float64(r.walk.Len) * qc)}
+	r.mach.RegisterState(halfTID, half)
+	for _, s0 := range []int{0, N / 4, N / 2, N} {
+		r.mach.FlushCaches()
+		r.preload(halfTID, half, s0)
+		s0obs := float64(r.mach.Footprint(0, halfTID))
+		c := r.run(halfTID, func(n uint64) float64 { return r.mdl.ExpectDep(s0obs, qc, n) })
+		c.Label = fmt.Sprintf("S0=%d", s0)
+		res.C = append(res.C, c)
+	}
+
+	// Panel d: sleeping dependent threads with different sharing
+	// coefficients, same initial footprint: each converges to its own
+	// qN.
+	qTID := halfTID + 1
+	for _, q := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		region := mem.Range{Base: r.walk.Base, Len: uint64(float64(r.walk.Len) * q)}
+		r.mach.RegisterState(qTID, region)
+		r.mach.FlushCaches()
+		s0 := N / 8
+		r.preload(qTID, region, s0)
+		s0obs := float64(r.mach.Footprint(0, qTID))
+		q := q
+		c := r.run(qTID, func(n uint64) float64 { return r.mdl.ExpectDep(s0obs, q, n) })
+		c.Label = fmt.Sprintf("q=%.1f", q)
+		res.D = append(res.D, c)
+		qTID++
+	}
+	return res
+}
+
+// MaxRelError returns the worst mean relative error across all panels —
+// the microbenchmark satisfies the model's assumptions, so this should
+// be small (a few percent).
+func (r *Fig4Result) MaxRelError() float64 {
+	worst := 0.0
+	for _, set := range [][]*Curve{r.A, r.B, r.C, r.D} {
+		for _, c := range set {
+			if e := stats.MeanRelError(c.Predicted, c.Observed, float64(r.N)/50); e > worst {
+				worst = e
+			}
+		}
+	}
+	return worst
+}
+
+// Render produces the four panels as plots plus an accuracy table.
+func (r *Fig4Result) Render() string {
+	var b strings.Builder
+	panels := []struct {
+		name   string
+		curves []*Curve
+	}{
+		{"a) Executing thread", r.A},
+		{"b) Sleeping independent threads", r.B},
+		{"c) Sleeping dependent thread (q=0.5)", r.C},
+		{"d) Sleeping vs. different sharing coefficients", r.D},
+	}
+	acc := report.NewTable("Figure 4 — Random memory walk: model accuracy",
+		"panel", "curve", "final observed", "final predicted", "RMSE", "bias")
+	for _, panel := range panels {
+		plot := &report.Plot{
+			Title:  "Figure 4 " + panel.name + " (footprint in lines vs E-cache misses)",
+			XLabel: "E-cache misses",
+			YLabel: "lines",
+		}
+		for _, c := range panel.curves {
+			obs, pred := c.series()
+			plot.Series = append(plot.Series, obs, pred)
+			acc.AddRow(panel.name[:2], c.Label,
+				fmt.Sprintf("%.0f", c.Observed[len(c.Observed)-1]),
+				fmt.Sprintf("%.0f", c.Predicted[len(c.Predicted)-1]),
+				fmt.Sprintf("%.1f", c.RMSE()),
+				fmt.Sprintf("%+.1f", c.Bias()))
+		}
+		plot.WriteTo(&b)
+		b.WriteString("\n")
+	}
+	acc.WriteTo(&b)
+	return b.String()
+}

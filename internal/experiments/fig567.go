@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/model"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// AppStudyResult is one application's footprint study: the observed and
+// predicted footprints of the unblocked "work" thread as a function of
+// its E-cache misses (Figures 5 and 7) and its E-cache misses per 1000
+// instructions over time (Figure 6).
+type AppStudyResult struct {
+	App       workloads.StudyApp
+	N         int
+	Footprint Curve
+	MPI       stats.Series
+	// RelErr is the mean relative prediction error; Bias is mean
+	// (predicted − observed), strongly positive for the Figure 7
+	// anomalies.
+	RelErr float64
+	Bias   float64
+}
+
+// Overestimated reports whether the model substantially overpredicts
+// this application's footprint (the Figure 7 signature): the mean bias
+// exceeds a quarter of the cache.
+func (a *AppStudyResult) Overestimated() bool {
+	return a.Bias > float64(a.N)/4
+}
+
+// StudyFootprint runs one Table 2 application's reference stream on the
+// tracked uniprocessor and samples footprint and MPI, following the
+// paper's protocol: the work thread runs an initialization stage, its
+// state is flushed from the cache (the thread "blocked during the
+// computation stage"), and the reload is monitored after it resumes.
+func StudyFootprint(app workloads.StudyApp, cfg StudyConfig) *AppStudyResult {
+	cfg = cfg.withDefaults(40000)
+	mcfg := machine.UltraSPARC1()
+	mcfg.TrackFootprints = true
+	m := machine.New(mcfg)
+	mdl := model.New(mcfg.L2.Lines())
+
+	state := m.AllocPages(app.StateBytes)
+	hot := mem.Range{Base: state.Base, Len: app.HotBytes}
+	const workTID mem.ThreadID = 0
+	m.RegisterState(workTID, state)
+	gen := trace.NewGen(app.Pattern(state, hot), cfg.Seed)
+
+	// Initialization stage: build up the application state.
+	var batch mem.Batch
+	for refs := 0; refs < 1_500_000; refs += 8192 {
+		batch = batch[:0]
+		batch, compute := gen.Emit(batch, 8192)
+		m.Apply(0, workTID, batch)
+		m.Advance(0, compute)
+	}
+
+	// The work thread blocks and its state is flushed; monitor the
+	// reload transient as it resumes.
+	m.FlushCaches()
+	cpu := m.CPU(0)
+	m0, i0 := cpu.EMisses, cpu.Instrs
+
+	res := &AppStudyResult{App: app, N: mdl.N()}
+	res.Footprint.Label = app.Name
+	res.MPI.Label = app.Name
+
+	next := cfg.Checkpoint
+	record := func(n uint64) {
+		res.Footprint.Misses = append(res.Footprint.Misses, float64(n))
+		res.Footprint.Observed = append(res.Footprint.Observed, float64(m.Footprint(0, workTID)))
+		res.Footprint.Predicted = append(res.Footprint.Predicted, mdl.ExpectSelf(0, n))
+	}
+	record(0)
+	winStartM, winStartI := m0, i0
+	for {
+		batch = batch[:0]
+		batch, compute := gen.Emit(batch, 512)
+		m.Apply(0, workTID, batch)
+		m.Advance(0, compute)
+		n := cpu.EMisses - m0
+		if n >= next {
+			// Sample at the actual miss count (a batch may overshoot
+			// the checkpoint).
+			record(n)
+			for next <= n {
+				next += cfg.Checkpoint
+			}
+		}
+		if di := cpu.Instrs - winStartI; di >= cfg.MPIWindow {
+			dm := cpu.EMisses - winStartM
+			res.MPI.Append(float64(cpu.Instrs-i0)/1e6, float64(dm)/(float64(di)/1000))
+			winStartM, winStartI = cpu.EMisses, cpu.Instrs
+		}
+		if n >= cfg.MaxMisses {
+			break
+		}
+	}
+	res.RelErr = stats.MeanRelError(res.Footprint.Predicted, res.Footprint.Observed, float64(res.N)/50)
+	res.Bias = res.Footprint.Bias()
+	return res
+}
+
+// StudyAll runs the footprint study for the given applications.
+func StudyAll(apps []workloads.StudyApp, cfg StudyConfig) []*AppStudyResult {
+	out := make([]*AppStudyResult, 0, len(apps))
+	for _, app := range apps {
+		out = append(out, StudyFootprint(app, cfg))
+	}
+	return out
+}
+
+// Fig5 reproduces Figure 5: observed vs predicted footprints for the
+// six well-predicted applications.
+func Fig5(cfg StudyConfig) []*AppStudyResult {
+	return StudyAll(workloads.Fig5Apps(), cfg)
+}
+
+// Fig7 reproduces Figure 7: the two applications whose footprints the
+// model substantially overestimates (typechecker and raytrace).
+func Fig7(cfg StudyConfig) []*AppStudyResult {
+	return StudyAll(workloads.Fig7Apps(), cfg)
+}
+
+// Fig6 reproduces Figure 6: average E-cache misses per 1000
+// instructions as the computations unfold, for all eight applications.
+// MPI needs longer runs than the footprint studies, so unset limits
+// default higher here.
+func Fig6(cfg StudyConfig) []*AppStudyResult {
+	if cfg.MaxMisses == 0 {
+		cfg.MaxMisses = 120_000
+	}
+	if cfg.MPIWindow == 0 {
+		cfg.MPIWindow = 250_000
+	}
+	return StudyAll(workloads.StudyApps(), cfg)
+}
+
+// RenderFootprints renders Figure 5/7 results: one plot per application
+// plus the accuracy summary.
+func RenderFootprints(title string, results []*AppStudyResult) string {
+	var b strings.Builder
+	acc := report.NewTable(title+" — model accuracy",
+		"app", "class", "final observed", "final predicted", "rel err", "bias", "verdict")
+	for _, r := range results {
+		obs, pred := r.Footprint.series()
+		plot := &report.Plot{
+			Title:  fmt.Sprintf("%s: thread cache footprint (%s)", r.App.Name, title),
+			XLabel: "E-cache misses",
+			YLabel: "lines",
+			Series: []*stats.Series{obs, pred},
+		}
+		plot.WriteTo(&b)
+		b.WriteString("\n")
+		verdict := "good agreement"
+		if r.Overestimated() {
+			verdict = "OVERESTIMATED (fig 7)"
+		} else if r.Bias > 0 {
+			verdict = "slight overestimate"
+		}
+		acc.AddRow(r.App.Name, r.App.Class,
+			fmt.Sprintf("%.0f", r.Footprint.Observed[len(r.Footprint.Observed)-1]),
+			fmt.Sprintf("%.0f", r.Footprint.Predicted[len(r.Footprint.Predicted)-1]),
+			fmt.Sprintf("%.2f", r.RelErr),
+			fmt.Sprintf("%+.0f", r.Bias),
+			verdict)
+	}
+	acc.WriteTo(&b)
+	return b.String()
+}
+
+// RenderMPI renders Figure 6: the MPI trajectories.
+func RenderMPI(results []*AppStudyResult) string {
+	var b strings.Builder
+	plot := &report.Plot{
+		Title:  "Figure 6 — Average E-cache misses per 1000 instructions",
+		XLabel: "instructions executed (millions)",
+		YLabel: "MPI",
+		Height: 18,
+		Width:  70,
+	}
+	tbl := report.NewTable("Figure 6 — reload transient and steady state",
+		"app", "peak MPI", "final MPI", "windows")
+	for _, r := range results {
+		s := r.MPI
+		plot.Series = append(plot.Series, &s)
+		peak, last := 0.0, 0.0
+		for _, y := range s.Y {
+			if y > peak {
+				peak = y
+			}
+		}
+		if len(s.Y) > 0 {
+			last = s.Y[len(s.Y)-1]
+		}
+		tbl.AddRow(r.App.Name, fmt.Sprintf("%.2f", peak), fmt.Sprintf("%.2f", last),
+			fmt.Sprint(s.Len()))
+	}
+	plot.WriteTo(&b)
+	b.WriteString("\n")
+	tbl.WriteTo(&b)
+	return b.String()
+}

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Fig89Result holds the Figure 8 / Figure 9 measurements: total E-cache
+// misses and overall performance for every application under every
+// policy on one platform.
+type Fig89Result struct {
+	Figure string // "Figure 8" or "Figure 9"
+	CPUs   int
+	// Runs[app][policy]
+	Runs map[string]map[string]PolicyRun
+	Apps []string
+}
+
+// Fig8 reproduces Figure 8: the performance impact of locality
+// scheduling on the single-processor Ultra-1.
+func Fig8(cfg SchedConfig) (*Fig89Result, error) {
+	cfg.CPUs = 1
+	return fig89("Figure 8", cfg)
+}
+
+// Fig9 reproduces Figure 9: the performance impact on the 8-CPU
+// Enterprise 5000.
+func Fig9(cfg SchedConfig) (*Fig89Result, error) {
+	if cfg.CPUs <= 1 {
+		cfg.CPUs = 8
+	}
+	return fig89("Figure 9", cfg)
+}
+
+func fig89(figure string, cfg SchedConfig) (*Fig89Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Fig89Result{
+		Figure: figure,
+		CPUs:   cfg.CPUs,
+		Runs:   make(map[string]map[string]PolicyRun),
+	}
+	for _, app := range workloads.SchedApps() {
+		res.Apps = append(res.Apps, app.Name)
+		res.Runs[app.Name] = make(map[string]PolicyRun)
+		for _, policy := range Policies {
+			run, err := RunSched(app.Name, policy, cfg)
+			if err != nil {
+				return nil, err
+			}
+			res.Runs[app.Name][policy] = run
+		}
+	}
+	return res, nil
+}
+
+// Eliminated returns the percentage of FCFS E-misses the policy
+// eliminated for app.
+func (r *Fig89Result) Eliminated(app, policy string) float64 {
+	base := r.Runs[app]["FCFS"]
+	run := r.Runs[app][policy]
+	return stats.PercentEliminated(float64(base.EMisses), float64(run.EMisses))
+}
+
+// Speedup returns the relative performance of the policy vs FCFS for
+// app (FCFS cycles / policy cycles).
+func (r *Fig89Result) Speedup(app, policy string) float64 {
+	base := r.Runs[app]["FCFS"]
+	run := r.Runs[app][policy]
+	return stats.Ratio(float64(base.Cycles), float64(run.Cycles))
+}
+
+// Render produces the two panels of the figure: total E-cache misses
+// (normalized to FCFS) and relative performance.
+func (r *Fig89Result) Render() string {
+	var b strings.Builder
+	platform := "1-CPU Ultra-1"
+	if r.CPUs > 1 {
+		platform = fmt.Sprintf("%d-CPU E5000", r.CPUs)
+	}
+
+	misses := report.NewTable(
+		fmt.Sprintf("%s — Total E-cache misses, %s (normalized to FCFS; absolute in parentheses)", r.Figure, platform),
+		"app", "FCFS", "LFF", "CRT", "LFF elim%", "CRT elim%")
+	for _, app := range r.Apps {
+		base := r.Runs[app]["FCFS"]
+		norm := func(p string) string {
+			run := r.Runs[app][p]
+			return fmt.Sprintf("%.3f (%d)", stats.Ratio(float64(run.EMisses), float64(base.EMisses)), run.EMisses)
+		}
+		misses.AddRow(app, norm("FCFS"), norm("LFF"), norm("CRT"),
+			fmt.Sprintf("%.1f", r.Eliminated(app, "LFF")),
+			fmt.Sprintf("%.1f", r.Eliminated(app, "CRT")))
+	}
+	misses.WriteTo(&b)
+	b.WriteString("\n")
+
+	perf := report.NewTable(
+		fmt.Sprintf("%s — Performance relative to FCFS, %s (higher is better)", r.Figure, platform),
+		"app", "FCFS", "LFF", "CRT", "FCFS cycles")
+	for _, app := range r.Apps {
+		perf.AddRow(app, "1.00",
+			fmt.Sprintf("%.2f", r.Speedup(app, "LFF")),
+			fmt.Sprintf("%.2f", r.Speedup(app, "CRT")),
+			fmt.Sprintf("%d", r.Runs[app]["FCFS"].Cycles))
+	}
+	perf.WriteTo(&b)
+	return b.String()
+}
+
+// Table5Result summarizes CRT relative to FCFS on both platforms, as the
+// paper's Table 5 does (LFF numbers are quite similar, and are included
+// for completeness).
+type Table5Result struct {
+	Uni *Fig89Result
+	SMP *Fig89Result
+}
+
+// Table5 reproduces Table 5 from fresh Figure 8 and Figure 9 runs.
+func Table5(cfg SchedConfig) (*Table5Result, error) {
+	uni, err := Fig8(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg.CPUs = 8
+	smp, err := Fig9(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Table5Result{Uni: uni, SMP: smp}, nil
+}
+
+// Render produces the Table 5 rows.
+func (t *Table5Result) Render() string {
+	tbl := report.NewTable("Table 5 — CRT relative to FCFS",
+		"app",
+		"E-misses eliminated% (1cpu Ultra-1)", "E-misses eliminated% (8cpu E5000)",
+		"Relative perf (1cpu Ultra-1)", "Relative perf (8cpu E5000)")
+	for _, app := range t.Uni.Apps {
+		tbl.AddRow(app,
+			fmt.Sprintf("%.0f%%", t.Uni.Eliminated(app, "CRT")),
+			fmt.Sprintf("%.0f%%", t.SMP.Eliminated(app, "CRT")),
+			fmt.Sprintf("%.2f", t.Uni.Speedup(app, "CRT")),
+			fmt.Sprintf("%.2f", t.SMP.Speedup(app, "CRT")))
+	}
+	tbl.Note("paper: tasks 92%%/64%%, 2.38/1.45; merge 57%%/77%%, 1.59/1.50; photo -1%%/71%%, 0.97/2.12; tsp 12%%/73%%, 1.04/1.51")
+	lff := report.NewTable("LFF relative to FCFS (the paper notes LFF is quite similar to CRT)",
+		"app", "elim% (1cpu)", "elim% (8cpu)", "perf (1cpu)", "perf (8cpu)")
+	for _, app := range t.Uni.Apps {
+		lff.AddRow(app,
+			fmt.Sprintf("%.0f%%", t.Uni.Eliminated(app, "LFF")),
+			fmt.Sprintf("%.0f%%", t.SMP.Eliminated(app, "LFF")),
+			fmt.Sprintf("%.2f", t.Uni.Speedup(app, "LFF")),
+			fmt.Sprintf("%.2f", t.SMP.Speedup(app, "LFF")))
+	}
+	return tbl.String() + "\n" + lff.String()
+}
+
+// AblationResult is the Section 5 annotation ablation: how much of
+// photo's LFF benefit survives without user annotations (the paper:
+// 41% of the eliminated misses, 53% of the speedup).
+type AblationResult struct {
+	CPUs                 int
+	FCFS, Full, NoAnnot  PolicyRun
+	ElimFull, ElimNoAnno float64
+	SpeedFull, SpeedNo   float64
+}
+
+// AblationPhoto runs photo on the SMP under FCFS, LFF, and LFF with
+// annotations disabled.
+func AblationPhoto(cfg SchedConfig) (*AblationResult, error) {
+	if cfg.CPUs <= 1 {
+		cfg.CPUs = 8
+	}
+	cfg = cfg.withDefaults()
+	fcfs, err := RunSched("photo", "FCFS", cfg)
+	if err != nil {
+		return nil, err
+	}
+	full, err := RunSched("photo", "LFF", cfg)
+	if err != nil {
+		return nil, err
+	}
+	noCfg := cfg
+	noCfg.DisableAnnotations = true
+	noAnnot, err := RunSched("photo", "LFF", noCfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{
+		CPUs: cfg.CPUs, FCFS: fcfs, Full: full, NoAnnot: noAnnot,
+		ElimFull:   stats.PercentEliminated(float64(fcfs.EMisses), float64(full.EMisses)),
+		ElimNoAnno: stats.PercentEliminated(float64(fcfs.EMisses), float64(noAnnot.EMisses)),
+		SpeedFull:  stats.Ratio(float64(fcfs.Cycles), float64(full.Cycles)),
+		SpeedNo:    stats.Ratio(float64(fcfs.Cycles), float64(noAnnot.Cycles)),
+	}
+	return res, nil
+}
+
+// ElimRetained returns the share of the fully-annotated miss
+// elimination that survives without annotations (paper: 41%).
+func (a *AblationResult) ElimRetained() float64 {
+	if a.ElimFull <= 0 {
+		return 0
+	}
+	return 100 * a.ElimNoAnno / a.ElimFull
+}
+
+// SpeedupRetained returns the share of the fully-annotated speedup gain
+// that survives without annotations (paper: 53%).
+func (a *AblationResult) SpeedupRetained() float64 {
+	if a.SpeedFull <= 1 {
+		return 0
+	}
+	return 100 * (a.SpeedNo - 1) / (a.SpeedFull - 1)
+}
+
+// Render produces the ablation summary.
+func (a *AblationResult) Render() string {
+	tbl := report.NewTable(
+		fmt.Sprintf("Annotation ablation — photo, LFF, %d CPUs", a.CPUs),
+		"variant", "E-misses", "eliminated%", "relative perf")
+	tbl.AddRow("FCFS", fmt.Sprint(a.FCFS.EMisses), "-", "1.00")
+	tbl.AddRow("LFF (annotations)", fmt.Sprint(a.Full.EMisses),
+		fmt.Sprintf("%.1f", a.ElimFull), fmt.Sprintf("%.2f", a.SpeedFull))
+	tbl.AddRow("LFF (no annotations)", fmt.Sprint(a.NoAnnot.EMisses),
+		fmt.Sprintf("%.1f", a.ElimNoAnno), fmt.Sprintf("%.2f", a.SpeedNo))
+	tbl.Note("without annotations LFF retains %.0f%% of the miss elimination and %.0f%% of the speedup (paper: 41%% and 53%%)",
+		a.ElimRetained(), a.SpeedupRetained())
+	return tbl.String()
+}

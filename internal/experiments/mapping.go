@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// MappingRow is one application's miss count under each page-placement
+// policy.
+type MappingRow struct {
+	App     string
+	Refs    uint64
+	Misses  map[vm.Policy]uint64
+	Percent float64 // % extra misses of naive over careful
+}
+
+// MappingResult is the page-placement ablation: the paper's simulator
+// uses Kessler and Hill's careful-mapping policy because it "was shown
+// to perform better than a naive (arbitrary) page placement"; this
+// experiment measures that choice on our workloads.
+type MappingResult struct {
+	Rows []MappingRow
+}
+
+// mappingPolicies are compared in this order.
+var mappingPolicies = []vm.Policy{vm.Careful, vm.Naive}
+
+// PageMapping runs a fixed reference budget of each study application's
+// stream through machines that differ only in page placement.
+func PageMapping(cfg StudyConfig) *MappingResult {
+	cfg = cfg.withDefaults(40000)
+	res := &MappingResult{}
+	// Naive placement is randomized, so it is averaged over a few
+	// placement seeds; careful mapping is deterministic.
+	const naiveTrials = 3
+	for _, app := range workloads.StudyApps() {
+		row := MappingRow{App: app.Name, Misses: make(map[vm.Policy]uint64)}
+		for _, policy := range mappingPolicies {
+			trials := 1
+			if policy == vm.Naive {
+				trials = naiveTrials
+			}
+			var total uint64
+			for trial := 0; trial < trials; trial++ {
+				mcfg := machine.UltraSPARC1()
+				mcfg.PagePolicy = policy
+				mcfg.Seed = cfg.Seed + uint64(trial)*7919
+				m := workloads.StreamRun(app, mcfg, cfg.Seed, 1_500_000)
+				row.Refs = m.CPU(0).ERefs
+				total += m.CPU(0).EMisses
+			}
+			row.Misses[policy] = total / uint64(trials)
+		}
+		careful, naive := row.Misses[vm.Careful], row.Misses[vm.Naive]
+		if careful > 0 {
+			row.Percent = 100 * (float64(naive) - float64(careful)) / float64(careful)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render produces the comparison table.
+func (r *MappingResult) Render() string {
+	tbl := report.NewTable(
+		"Page placement — Kessler-Hill careful mapping vs naive (arbitrary) placement, E-cache misses",
+		"app", "careful", "naive", "naive overhead")
+	for _, row := range r.Rows {
+		tbl.AddRow(row.App,
+			fmt.Sprint(row.Misses[vm.Careful]),
+			fmt.Sprint(row.Misses[vm.Naive]),
+			fmt.Sprintf("%+.1f%%", row.Percent))
+	}
+	tbl.Note("the paper's simulator adopts careful mapping citing Kessler & Hill [13]; positive overhead confirms the choice on these streams")
+	return tbl.String()
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+// Table1 renders the simulated UltraSPARC-1 memory hierarchy (and the
+// Enterprise 5000 variant).
+func Table1() string {
+	u := machine.UltraSPARC1()
+	e := machine.Enterprise5000(8)
+	t := report.NewTable("Table 1 — Simulated UltraSPARC-1 memory hierarchy",
+		"cache", "size", "line", "assoc", "policy", "latency")
+	t.AddRow("D-cache (L1)", kb(u.L1D.Size), fmt.Sprintf("%dB", u.L1D.LineSize),
+		way(u.L1D.Assoc), "write-through, no write-allocate",
+		fmt.Sprintf("hit %d cy", u.L1D.HitCycles))
+	t.AddRow("I-cache (L1)", kb(u.L1I.Size), fmt.Sprintf("%dB", u.L1I.LineSize),
+		way(u.L1I.Assoc), "read-allocate",
+		fmt.Sprintf("hit %d cy", u.L1I.HitCycles))
+	t.AddRow("E-cache (L2)", kb(u.L2.Size), fmt.Sprintf("%dB", u.L2.LineSize),
+		way(u.L2.Assoc), "unified, write-back, inclusion of both L1s",
+		fmt.Sprintf("hit %d cy, miss %d cy", u.L2.HitCycles, u.MissCycles))
+	t.Note("Enterprise 5000: E-cache miss %d cycles, or %d if the line is dirty in another processor's cache",
+		e.MissCycles, e.MissCyclesRemote)
+	t.Note("virtual memory: %dKB pages, Kessler-Hill careful page mapping", u.PageSize/1024)
+	return t.String()
+}
+
+// Table2 renders the simulated workloads of the model study.
+func Table2() string {
+	t := report.NewTable("Table 2 — Simulated workloads",
+		"app", "class", "state", "description")
+	for _, a := range workloads.StudyApps() {
+		t.AddRow(a.Name, a.Class, kb(int64(a.StateBytes)), a.Description)
+	}
+	return t.String()
+}
+
+// Table3Result holds the measured priority-update costs.
+type Table3Result struct {
+	// FLOPs[policy][class] in floating-point operations per update.
+	Rows []Table3Row
+}
+
+// Table3Row is one policy/thread-class cost.
+type Table3Row struct {
+	Policy string
+	Class  string
+	FLOPs  uint64
+}
+
+// Table3 measures the cost of priority updates per thread class by
+// running each update once against an instrumented model and counting
+// its floating-point operations, exactly the quantity the paper's
+// Table 3 reports. The headline properties: every class is O(1), and
+// the independent class costs zero.
+func Table3() *Table3Result {
+	mdl := model.New(8192)
+	res := &Table3Result{}
+	count := func(policy, class string, op func()) {
+		mdl.ResetFLOPs()
+		op()
+		res.Rows = append(res.Rows, Table3Row{Policy: policy, Class: class, FLOPs: mdl.FLOPs()})
+	}
+	count("LFF", "blocking thread", func() { (model.LFF{}).Blocking(mdl, 100, 50, 1000) })
+	count("LFF", "dependent thread", func() { (model.LFF{}).Dependent(mdl, 100, 0, 0.5, 50, 1000) })
+	count("LFF", "independent thread", func() {}) // no update at all
+	count("CRT", "blocking thread", func() { (model.CRT{}).Blocking(mdl, 100, 50, 1000) })
+	count("CRT", "dependent thread", func() { (model.CRT{}).Dependent(mdl, 100, 120, 0.5, 50, 1000) })
+	count("CRT", "independent thread", func() {})
+	return res
+}
+
+// Render produces the Table 3 rows.
+func (t *Table3Result) Render() string {
+	tbl := report.NewTable("Table 3 — The costs of priority updates (floating-point instructions per thread)",
+		"policy", "thread class", "FP instructions")
+	for _, r := range t.Rows {
+		tbl.AddRow(r.Policy, r.Class, fmt.Sprint(r.FLOPs))
+	}
+	tbl.Note("kⁿ and log(F) come from pre-computed tables and cost no FP instructions")
+	tbl.Note("independent threads require no update at all — the inflated priorities are time-invariant")
+	return tbl.String()
+}
+
+// Table4 renders the input parameters of the Section 5 application
+// runs.
+func Table4() string {
+	t := report.NewTable("Table 4 — Input parameters for application runs",
+		"app", "threads", "parameters")
+	for _, a := range workloads.SchedApps() {
+		t.AddRow(a.Name, fmt.Sprint(a.Threads), a.Params)
+	}
+	return t.String()
+}
+
+func kb(bytes int64) string {
+	if bytes%1024 == 0 {
+		return fmt.Sprintf("%dKB", bytes/1024)
+	}
+	return fmt.Sprintf("%dB", bytes)
+}
+
+func way(assoc int) string {
+	if assoc == 1 {
+		return "direct"
+	}
+	return fmt.Sprintf("%d-way", assoc)
+}
+
+// AllTables renders tables 1-4 (Table 5 needs runs; see Table5).
+func AllTables() string {
+	var b strings.Builder
+	b.WriteString(Table1())
+	b.WriteString("\n")
+	b.WriteString(Table2())
+	b.WriteString("\n")
+	b.WriteString(Table3().Render())
+	b.WriteString("\n")
+	b.WriteString(Table4())
+	return b.String()
+}

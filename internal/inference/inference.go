@@ -1,0 +1,213 @@
+// Package inference implements the paper's Section 7 future-work
+// proposal: identifying state-sharing patterns entirely at runtime, so
+// unmodified POSIX/Java-style programs get locality scheduling without
+// user annotations.
+//
+// The paper sketches a Cache Miss Lookaside buffer (Bershad et al.): an
+// inexpensive device between cache and memory recording a miss history
+// at page granularity. This package is that device's software twin: the
+// machine reports every E-cache miss to a Monitor, which maintains a
+// small recent-accessor set per page and, from page co-access,
+// incremental per-thread-pair sharing counts. The runtime periodically
+// converts the counts into at_share-style coefficients
+//
+//	q(a, b) = |pages of a also accessed by b| / |pages of a|
+//
+// and feeds them to the same dependency graph the explicit annotations
+// use. Inference is strictly a hint source: wrong inferences cannot
+// affect correctness, only scheduling quality — the same contract as
+// the annotations it replaces.
+package inference
+
+import (
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// accessorsPerPage bounds the per-page recent-accessor set. Pages of
+// genuinely shared state have few distinct accessors at a time; a tiny
+// set keeps the per-miss cost O(1), like the hardware buffer would.
+const accessorsPerPage = 4
+
+// pageSet is one page's recent accessors, most recent last.
+type pageSet struct {
+	tids  [accessorsPerPage]mem.ThreadID
+	count int8
+}
+
+func (p *pageSet) contains(tid mem.ThreadID) bool {
+	for i := 0; i < int(p.count); i++ {
+		if p.tids[i] == tid {
+			return true
+		}
+	}
+	return false
+}
+
+// add appends tid, evicting the oldest accessor when full, and returns
+// the accessors that were already present (the sharing partners).
+func (p *pageSet) add(tid mem.ThreadID) []mem.ThreadID {
+	partners := make([]mem.ThreadID, 0, accessorsPerPage)
+	for i := 0; i < int(p.count); i++ {
+		partners = append(partners, p.tids[i])
+	}
+	if int(p.count) == accessorsPerPage {
+		copy(p.tids[:], p.tids[1:])
+		p.tids[accessorsPerPage-1] = tid
+	} else {
+		p.tids[p.count] = tid
+		p.count++
+	}
+	return partners
+}
+
+// threadInfo accumulates one thread's page statistics.
+type threadInfo struct {
+	pages  int                      // distinct pages this thread missed on
+	shared map[mem.ThreadID]float64 // pages of mine also touched by them
+}
+
+// Monitor is the software Cache Miss Lookaside buffer.
+type Monitor struct {
+	pageShift uint
+	pages     map[uint64]*pageSet
+	threads   map[mem.ThreadID]*threadInfo
+	touches   uint64
+}
+
+// NewMonitor builds a monitor for the given page size (a power of two).
+func NewMonitor(pageSize uint64) *Monitor {
+	if !mem.IsPow2(pageSize) {
+		panic("inference: page size must be a power of two")
+	}
+	return &Monitor{
+		pageShift: mem.Log2(pageSize),
+		pages:     make(map[uint64]*pageSet),
+		threads:   make(map[mem.ThreadID]*threadInfo),
+	}
+}
+
+// Touches returns the number of misses recorded.
+func (m *Monitor) Touches() uint64 { return m.touches }
+
+// Touch records that thread tid took an E-cache miss at virtual address
+// va. Called by the machine on every miss; O(1).
+func (m *Monitor) Touch(tid mem.ThreadID, va mem.Addr) {
+	if !tid.Valid() {
+		return
+	}
+	m.touches++
+	page := uint64(va) >> m.pageShift
+	ps := m.pages[page]
+	if ps == nil {
+		ps = &pageSet{}
+		m.pages[page] = ps
+	}
+	if ps.contains(tid) {
+		return
+	}
+	partners := ps.add(tid)
+	ti := m.thread(tid)
+	ti.pages++
+	// Co-access: this page is now evidence of sharing with every
+	// recent accessor, in both directions.
+	for _, other := range partners {
+		ti.shared[other]++
+		if oi := m.threads[other]; oi != nil {
+			oi.shared[tid]++
+		}
+	}
+}
+
+func (m *Monitor) thread(tid mem.ThreadID) *threadInfo {
+	ti := m.threads[tid]
+	if ti == nil {
+		ti = &threadInfo{shared: make(map[mem.ThreadID]float64)}
+		m.threads[tid] = ti
+	}
+	return ti
+}
+
+// Coefficient returns the inferred q(a, b): the fraction of a's pages
+// also recently accessed by b.
+func (m *Monitor) Coefficient(a, b mem.ThreadID) float64 {
+	ai := m.threads[a]
+	if ai == nil || ai.pages == 0 {
+		return 0
+	}
+	q := ai.shared[b] / float64(ai.pages)
+	if q > 1 {
+		q = 1
+	}
+	return q
+}
+
+// Pages returns the number of distinct pages tid has missed on.
+func (m *Monitor) Pages(tid mem.ThreadID) int {
+	if ti := m.threads[tid]; ti != nil {
+		return ti.pages
+	}
+	return 0
+}
+
+// Edge is one inferred sharing relation.
+type Edge struct {
+	To mem.ThreadID
+	Q  float64
+}
+
+// EdgesFor returns up to limit inferred out-edges of thread a with
+// coefficient at least minQ, strongest first (ties broken by thread ID
+// for determinism).
+func (m *Monitor) EdgesFor(a mem.ThreadID, minQ float64, limit int) []Edge {
+	ai := m.threads[a]
+	if ai == nil || ai.pages == 0 {
+		return nil
+	}
+	edges := make([]Edge, 0, len(ai.shared))
+	for b, n := range ai.shared {
+		q := n / float64(ai.pages)
+		if q > 1 {
+			q = 1
+		}
+		if q >= minQ {
+			edges = append(edges, Edge{To: b, Q: q})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Q != edges[j].Q {
+			return edges[i].Q > edges[j].Q
+		}
+		return edges[i].To < edges[j].To
+	})
+	if limit > 0 && len(edges) > limit {
+		edges = edges[:limit]
+	}
+	return edges
+}
+
+// Forget drops all state about tid (thread exit). Page sets keep stale
+// entries until they age out of the 4-slot window, which is harmless:
+// coefficients involving dead threads are never requested again.
+func (m *Monitor) Forget(tid mem.ThreadID) {
+	delete(m.threads, tid)
+	for _, ti := range m.threads {
+		delete(ti.shared, tid)
+	}
+}
+
+// Decay halves all pair evidence and page counts. Called periodically
+// so that phase changes age out (the paper's "repeated trial runs"
+// alternative made the same trade: old evidence must fade).
+func (m *Monitor) Decay() {
+	for _, ti := range m.threads {
+		ti.pages -= ti.pages / 2
+		for k := range ti.shared {
+			ti.shared[k] /= 2
+			if ti.shared[k] < 0.5 {
+				delete(ti.shared, k)
+			}
+		}
+	}
+}

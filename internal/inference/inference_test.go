@@ -1,0 +1,163 @@
+package inference
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+const page = 8192
+
+func addr(p, off uint64) mem.Addr { return mem.Addr(p*page + off) }
+
+func TestCoefficientFromCoAccess(t *testing.T) {
+	m := NewMonitor(page)
+	// Thread 1 misses on pages 0..9; thread 2 on pages 0..4 (half of
+	// t1's pages) plus its own 100..104.
+	for p := uint64(0); p < 10; p++ {
+		m.Touch(1, addr(p, 64))
+	}
+	for p := uint64(0); p < 5; p++ {
+		m.Touch(2, addr(p, 128))
+	}
+	for p := uint64(100); p < 105; p++ {
+		m.Touch(2, addr(p, 0))
+	}
+	if got := m.Coefficient(1, 2); got != 0.5 {
+		t.Errorf("q(1,2) = %v, want 0.5 (5 of 10 pages shared)", got)
+	}
+	if got := m.Coefficient(2, 1); got != 0.5 {
+		t.Errorf("q(2,1) = %v, want 0.5 (5 of 10 pages shared)", got)
+	}
+	if got := m.Coefficient(1, 3); got != 0 {
+		t.Errorf("q(1,3) = %v for unrelated thread", got)
+	}
+}
+
+func TestRepeatMissesSamePageCountOnce(t *testing.T) {
+	m := NewMonitor(page)
+	for i := 0; i < 100; i++ {
+		m.Touch(1, addr(7, uint64(i*64)))
+	}
+	if got := m.Pages(1); got != 1 {
+		t.Errorf("Pages = %d, want 1", got)
+	}
+	if m.Touches() != 100 {
+		t.Errorf("Touches = %d", m.Touches())
+	}
+}
+
+func TestEdgesForOrderingAndLimit(t *testing.T) {
+	m := NewMonitor(page)
+	// t1 misses on 10 pages; t2 co-accesses 8, t3 co-accesses 4, t4
+	// co-accesses 1.
+	for p := uint64(0); p < 10; p++ {
+		m.Touch(1, addr(p, 0))
+	}
+	for p := uint64(0); p < 8; p++ {
+		m.Touch(2, addr(p, 8))
+	}
+	for p := uint64(0); p < 4; p++ {
+		m.Touch(3, addr(p, 16))
+	}
+	m.Touch(4, addr(0, 24))
+	edges := m.EdgesFor(1, 0.05, 2)
+	if len(edges) != 2 {
+		t.Fatalf("edges = %v", edges)
+	}
+	if edges[0].To != 2 || edges[0].Q != 0.8 {
+		t.Errorf("strongest edge = %+v, want t2 q=0.8", edges[0])
+	}
+	if edges[1].To != 3 || edges[1].Q != 0.4 {
+		t.Errorf("second edge = %+v, want t3 q=0.4", edges[1])
+	}
+	// minQ filters the weak edge even without a limit.
+	all := m.EdgesFor(1, 0.2, 0)
+	for _, e := range all {
+		if e.To == 4 {
+			t.Error("sub-threshold edge returned")
+		}
+	}
+}
+
+func TestAccessorSetEviction(t *testing.T) {
+	m := NewMonitor(page)
+	// Five threads hit one page: the first is evicted from the 4-slot
+	// set, so a sixth accessor no longer pairs with it.
+	for tid := mem.ThreadID(1); tid <= 5; tid++ {
+		m.Touch(tid, addr(0, 0))
+	}
+	m.Touch(6, addr(0, 0))
+	if got := m.Coefficient(6, 1); got != 0 {
+		t.Errorf("evicted accessor still paired: q(6,1)=%v", got)
+	}
+	if got := m.Coefficient(6, 5); got == 0 {
+		t.Error("recent accessor not paired")
+	}
+}
+
+func TestForget(t *testing.T) {
+	m := NewMonitor(page)
+	m.Touch(1, addr(0, 0))
+	m.Touch(2, addr(0, 8))
+	m.Forget(1)
+	if m.Pages(1) != 0 || m.Coefficient(2, 1) != 0 {
+		t.Error("forget incomplete")
+	}
+	if m.EdgesFor(1, 0, 0) != nil {
+		t.Error("edges survive forget")
+	}
+}
+
+func TestDecayFadesOldEvidence(t *testing.T) {
+	m := NewMonitor(page)
+	for p := uint64(0); p < 8; p++ {
+		m.Touch(1, addr(p, 0))
+		m.Touch(2, addr(p, 8))
+	}
+	q0 := m.Coefficient(1, 2)
+	if q0 != 1 {
+		t.Fatalf("q = %v", q0)
+	}
+	// Several decays with no fresh evidence must eventually clear the
+	// pair.
+	for i := 0; i < 8; i++ {
+		m.Decay()
+	}
+	if got := m.Coefficient(1, 2); got != 0 {
+		t.Errorf("pair evidence survived decay: %v", got)
+	}
+}
+
+func TestCoefficientClamped(t *testing.T) {
+	m := NewMonitor(page)
+	// Pathological: pair evidence can exceed the page count when a
+	// thread's slot is evicted and re-added; the coefficient must
+	// clamp at 1.
+	m.Touch(1, addr(0, 0))
+	for tid := mem.ThreadID(2); tid <= 5; tid++ {
+		m.Touch(tid, addr(0, 0))
+	}
+	m.Touch(1, addr(0, 0)) // re-added after eviction, pairs again
+	if got := m.Coefficient(1, 5); got > 1 {
+		t.Errorf("coefficient %v > 1", got)
+	}
+}
+
+func TestInvalidThreadIgnored(t *testing.T) {
+	m := NewMonitor(page)
+	m.Touch(mem.SchedThread, addr(0, 0))
+	m.Touch(mem.NilThread, addr(0, 0))
+	if m.Touches() != 0 {
+		t.Error("scheduler/nil misses recorded")
+	}
+}
+
+func TestBadPageSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewMonitor(1000)
+}

@@ -1,0 +1,696 @@
+// Package machine simulates the hardware platforms of the paper's
+// evaluation: a single-processor UltraSPARC-1 workstation and an
+// Enterprise-5000-class SMP. Each simulated CPU owns an UltraSPARC-style
+// cache hierarchy (internal/cachesim), a performance monitoring unit
+// (internal/perfctr) and a cycle clock; the machine owns the shared
+// virtual address space (internal/vm) and a write-invalidate coherence
+// directory across the per-CPU external caches.
+//
+// The machine is the substrate substitution for the paper's hardware
+// (see DESIGN.md §2): everything the paper's runtime observes —
+// per-interval E-cache miss counts from the PICs, cycle costs of hits,
+// clean misses and dirty-remote misses, and scheduling overhead — is
+// produced here deterministically.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/cachesim"
+	"repro/internal/mem"
+	"repro/internal/perfctr"
+	"repro/internal/vm"
+)
+
+// Config describes a simulated platform.
+type Config struct {
+	// Name labels the platform in reports ("Ultra-1", "E5000").
+	Name string
+	// CPUs is the processor count (1..64).
+	CPUs int
+	// L1I, L1D, L2 are the per-CPU cache geometries.
+	L1I, L1D, L2 cachesim.Config
+	// MissCycles is the memory latency of an E-cache miss whose line is
+	// not dirty in another processor's cache.
+	MissCycles int
+	// MissCyclesRemote is the latency when the line is dirty in another
+	// processor's cache (80 vs 50 cycles on the Enterprise 5000). For a
+	// uniprocessor it is never used.
+	MissCyclesRemote int
+	// CtxSwitchCycles is the basic thread context switch cost (the
+	// paper reports on the order of 100 instructions for Active
+	// Threads).
+	CtxSwitchCycles int
+	// PageSize and PagePolicy configure virtual-to-physical mapping.
+	PageSize   uint64
+	PagePolicy vm.Policy
+	// TrackFootprints attaches a footprint tracker to every CPU's L2
+	// (model-evaluation experiments only; it costs time per fill).
+	TrackFootprints bool
+	// TLBEntries, when nonzero, models a per-CPU direct-mapped data
+	// TLB of that many entries (the UltraSPARC-1 dTLB has 64); each
+	// miss costs TLBMissCycles. Zero models a perfect TLB, the
+	// default, so the paper-calibrated cycle counts are unchanged
+	// unless a study opts in.
+	TLBEntries int
+	// TLBMissCycles is the software-refill cost of a TLB miss
+	// (default 28 when TLBEntries is set).
+	TLBMissCycles int
+	// ClassifyMisses labels every E-cache miss with Hill's three C's
+	// (compulsory/capacity/conflict) against a fully-associative
+	// shadow. Diagnostic runs only; it costs a map operation per
+	// reference.
+	ClassifyMisses bool
+	// Seed fixes all machine-level pseudo-randomness (page placement).
+	Seed uint64
+}
+
+// UltraSPARC1 returns the paper's Table 1 uniprocessor: 16KB 2-way L1I
+// (32B lines), 16KB direct-mapped L1D (16B lines), 512KB direct-mapped
+// unified E-cache (64B lines, 3-cycle hit, 42-cycle miss), 8KB pages
+// with careful mapping.
+func UltraSPARC1() Config {
+	return Config{
+		Name:             "Ultra-1",
+		CPUs:             1,
+		L1I:              cachesim.Config{Name: "L1I", Size: 16 * 1024, LineSize: 32, Assoc: 2, HitCycles: 1},
+		L1D:              cachesim.Config{Name: "L1D", Size: 16 * 1024, LineSize: 16, Assoc: 1, HitCycles: 1},
+		L2:               cachesim.Config{Name: "E", Size: 512 * 1024, LineSize: 64, Assoc: 1, HitCycles: 3},
+		MissCycles:       42,
+		MissCyclesRemote: 42,
+		CtxSwitchCycles:  100,
+		PageSize:         8192,
+		PagePolicy:       vm.Careful,
+		Seed:             1,
+	}
+}
+
+// Enterprise5000 returns the paper's 8-processor (or n-processor) SMP:
+// the same per-CPU hierarchy as the Ultra-1 but with 50-cycle clean
+// misses and 80-cycle misses to lines dirty in another processor's
+// cache, connected by a write-invalidate Gigaplane-style interconnect.
+func Enterprise5000(cpus int) Config {
+	c := UltraSPARC1()
+	c.Name = "E5000"
+	c.CPUs = cpus
+	c.MissCycles = 50
+	c.MissCyclesRemote = 80
+	return c
+}
+
+func (c Config) validate() {
+	if c.CPUs < 1 || c.CPUs > 64 {
+		panic(fmt.Sprintf("machine: %d CPUs outside [1,64] (directory uses a 64-bit sharer mask)", c.CPUs))
+	}
+	if c.MissCycles <= 0 || c.MissCyclesRemote <= 0 {
+		panic("machine: miss penalties must be positive")
+	}
+	if !mem.IsPow2(c.PageSize) || c.PageSize < uint64(c.L2.LineSize) {
+		panic("machine: page size must be a power of two not smaller than the L2 line")
+	}
+	if c.TLBEntries != 0 && !mem.IsPow2(uint64(c.TLBEntries)) {
+		panic("machine: TLB entries must be a power of two")
+	}
+}
+
+// CPU is one simulated processor.
+type CPU struct {
+	// ID is the processor number, 0-based.
+	ID int
+	// Hier is the processor's private cache hierarchy.
+	Hier *cachesim.Hierarchy
+	// PMU is the performance monitoring unit the runtime reads at
+	// context switches.
+	PMU *perfctr.Unit
+
+	// Cycles is the processor's cycle clock.
+	Cycles uint64
+	// Instrs counts instructions executed.
+	Instrs uint64
+	// ERefs, EHits, EMisses are 64-bit shadow totals of the E-cache
+	// events (the runtime uses these for m(t); the 32-bit PICs wrap).
+	ERefs, EHits, EMisses uint64
+	// Tracker observes per-thread footprints in this CPU's E-cache
+	// when Config.TrackFootprints is set; nil otherwise.
+	Tracker *cachesim.Tracker
+	// TLBMisses counts data-TLB misses (with Config.TLBEntries set).
+	TLBMisses uint64
+	// tlb is the per-CPU direct-mapped TLB tag array (vpage+1; 0 is
+	// empty).
+	tlb []uint64
+}
+
+// dirEntry is the coherence directory state of one L2-line-sized block:
+// which CPUs cache it and which, if any, holds it dirty.
+type dirEntry struct {
+	sharers    uint64
+	dirtyOwner int8 // -1 when clean everywhere
+}
+
+// Machine is a configured simulated platform.
+type Machine struct {
+	cfg    Config
+	cpus   []*CPU
+	mapper *vm.Mapper
+	dir    map[mem.Addr]dirEntry
+
+	// Tiny software structure memoizing recent translations so that
+	// the per-reference fast path avoids the page-table map.
+	tlbTag [tlbEntries]uint64 // vpage+1 (0 = empty)
+	tlbVal [tlbEntries]mem.Addr
+
+	// MissHook, when non-nil, observes every data E-cache miss with
+	// the accessing thread and virtual address. The runtime uses it to
+	// feed the sharing-inference monitor (the software Cache Miss
+	// Lookaside buffer); keep the hook O(1).
+	MissHook func(tid mem.ThreadID, va mem.Addr)
+
+	// Bump allocator for the simulated virtual address space.
+	allocNext mem.Addr
+
+	l2LineSize  uint64
+	l1dLineSize uint64
+}
+
+const tlbEntries = 1024
+
+// allocBase leaves the low addresses unused so that address 0 stays a
+// sentinel and tiny constants never alias allocated state.
+const allocBase mem.Addr = 1 << 20
+
+// New constructs a machine.
+func New(cfg Config) *Machine {
+	cfg.validate()
+	m := &Machine{
+		cfg:         cfg,
+		mapper:      vm.New(cfg.PagePolicy, cfg.PageSize, uint64(cfg.L2.Size), cfg.Seed),
+		allocNext:   allocBase,
+		l2LineSize:  uint64(cfg.L2.LineSize),
+		l1dLineSize: uint64(cfg.L1D.LineSize),
+	}
+	if cfg.CPUs > 1 {
+		m.dir = make(map[mem.Addr]dirEntry)
+	}
+	for i := 0; i < cfg.CPUs; i++ {
+		cpu := &CPU{
+			ID:   i,
+			Hier: cachesim.NewHierarchy(cfg.L1I, cfg.L1D, cfg.L2),
+			PMU:  perfctr.NewUnit(perfctr.DefaultPCR()),
+		}
+		if cfg.TrackFootprints {
+			cpu.Tracker = cachesim.NewTracker(m.l2LineSize, cfg.PageSize)
+			cpu.Hier.L2.SetListener(cpu.Tracker)
+		}
+		if cfg.ClassifyMisses {
+			cpu.Hier.L2.EnableClassification()
+		}
+		if cfg.TLBEntries > 0 {
+			cpu.tlb = make([]uint64, cfg.TLBEntries)
+			if m.cfg.TLBMissCycles == 0 {
+				m.cfg.TLBMissCycles = 28
+			}
+		}
+		m.cpus = append(m.cpus, cpu)
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// NCPU returns the processor count.
+func (m *Machine) NCPU() int { return m.cfg.CPUs }
+
+// CPU returns processor i.
+func (m *Machine) CPU(i int) *CPU { return m.cpus[i] }
+
+// Mapper exposes the page mapper (for experiments that need physical
+// addresses, e.g. footprint registration).
+func (m *Machine) Mapper() *vm.Mapper { return m.mapper }
+
+// Alloc reserves size bytes of fresh virtual address space aligned to
+// align (a power of two; 0 means line alignment). Allocations are
+// eternal — the simulation never frees address space, mirroring the
+// paper's measurement windows.
+func (m *Machine) Alloc(size uint64, align uint64) mem.Range {
+	if align == 0 {
+		align = m.l2LineSize
+	}
+	if !mem.IsPow2(align) {
+		panic(fmt.Sprintf("machine: Alloc alignment %d not a power of two", align))
+	}
+	base := (uint64(m.allocNext) + align - 1) &^ (align - 1)
+	m.allocNext = mem.Addr(base + size)
+	return mem.Range{Base: mem.Addr(base), Len: size}
+}
+
+// AllocPages reserves size bytes rounded up to whole pages, page
+// aligned. Used for thread state regions that footprint trackers watch.
+func (m *Machine) AllocPages(size uint64) mem.Range {
+	ps := m.cfg.PageSize
+	r := m.Alloc((size+ps-1)&^(ps-1), ps)
+	return r
+}
+
+// translate maps a virtual address through the TLB fast path.
+func (m *Machine) translate(v mem.Addr) mem.Addr {
+	vpage := uint64(v) / m.cfg.PageSize
+	idx := vpage & (tlbEntries - 1)
+	if m.tlbTag[idx] == vpage+1 {
+		return m.tlbVal[idx] + mem.Addr(uint64(v)&(m.cfg.PageSize-1))
+	}
+	p := m.mapper.Translate(v)
+	m.tlbTag[idx] = vpage + 1
+	m.tlbVal[idx] = p - mem.Addr(uint64(v)&(m.cfg.PageSize-1))
+	return p
+}
+
+// Apply performs a batch of data references by thread tid on the given
+// CPU, advancing its clock, instruction count, counters and caches. It
+// returns the number of E-cache misses the batch took (the same
+// information the PICs accumulate, returned for convenience).
+func (m *Machine) Apply(cpuID int, tid mem.ThreadID, batch mem.Batch) uint64 {
+	cpu := m.cpus[cpuID]
+	startMisses := cpu.EMisses
+	for _, a := range batch {
+		base := a.Base
+		for i := int32(0); i < a.Count; i++ {
+			va := base + mem.Addr(int64(i)*int64(a.Stride))
+			m.dataRef(cpu, tid, va, a.Write)
+			// A reference straddling an L1D line boundary costs a
+			// second probe (rare: unaligned or large references).
+			if uint64(va)&(m.l1dLineSize-1)+uint64(a.Size) > m.l1dLineSize {
+				m.dataRef(cpu, tid, va+mem.Addr(a.Size-1), a.Write)
+			}
+			cpu.Instrs++
+			cpu.PMU.Record(perfctr.EventInstructions, 1)
+		}
+	}
+	return cpu.EMisses - startMisses
+}
+
+// tlbProbe charges a TLB miss when the per-CPU TLB is modelled and the
+// page is not resident in it.
+func (m *Machine) tlbProbe(cpu *CPU, va mem.Addr) {
+	if cpu.tlb == nil {
+		return
+	}
+	vpage := uint64(va) / m.cfg.PageSize
+	idx := vpage & uint64(len(cpu.tlb)-1)
+	if cpu.tlb[idx] != vpage+1 {
+		cpu.tlb[idx] = vpage + 1
+		cpu.TLBMisses++
+		cpu.Cycles += uint64(m.cfg.TLBMissCycles)
+	}
+}
+
+// dataRef performs one data reference at virtual address va.
+func (m *Machine) dataRef(cpu *CPU, tid mem.ThreadID, va mem.Addr, write bool) {
+	m.tlbProbe(cpu, va)
+	pa := m.translate(va)
+	line := mem.LineAddr(pa, m.l2LineSize)
+
+	// Coherence, part 1: a store to a line we cache shared must
+	// invalidate the other copies before proceeding. The shared flag of
+	// a fresh fill is set by fill() below once the directory is known,
+	// so the hierarchy is always entered with shared=false.
+	if m.dir != nil && write && cpu.Hier.L2.IsShared(pa) {
+		m.invalidateOthers(line, cpu.ID)
+		cpu.Hier.L2.SetShared(pa, false)
+		m.setDirty(line, cpu.ID)
+	}
+
+	res := cpu.Hier.Data(tid, pa, write, false)
+	switch res.Level {
+	case cachesim.LevelL1:
+		cpu.Cycles += uint64(m.cfg.L1D.HitCycles)
+	case cachesim.LevelL2:
+		cpu.Cycles += uint64(m.cfg.L2.HitCycles)
+		cpu.ERefs++
+		cpu.EHits++
+		cpu.PMU.Record(perfctr.EventECacheRefs, 1)
+		cpu.PMU.Record(perfctr.EventECacheHits, 1)
+		if m.dir != nil && write {
+			m.setDirty(line, cpu.ID)
+		}
+	case cachesim.LevelMemory:
+		penalty := uint64(m.cfg.MissCycles)
+		if m.dir != nil {
+			if m.fill(line, cpu, write) {
+				penalty = uint64(m.cfg.MissCyclesRemote)
+			}
+			if res.Victim.Valid {
+				m.dropSharer(res.Victim.Line, cpu.ID)
+			}
+		}
+		cpu.Cycles += penalty
+		cpu.ERefs++
+		cpu.EMisses++
+		cpu.PMU.Record(perfctr.EventECacheRefs, 1)
+		if m.MissHook != nil {
+			m.MissHook(tid, va)
+		}
+	}
+}
+
+// TouchCode simulates the instruction-fetch side of dispatching thread
+// tid: the lines of its code region are fetched through L1I and the
+// unified E-cache once. Between scheduling points instruction fetch is
+// assumed to hit (the loop body is resident); this captures the code
+// component of the reload transient and code sharing between threads
+// without per-instruction cost.
+func (m *Machine) TouchCode(cpuID int, tid mem.ThreadID, code mem.Range) {
+	if code.Len == 0 {
+		return
+	}
+	cpu := m.cpus[cpuID]
+	lineI := uint64(m.cfg.L1I.LineSize)
+	for va := code.Base; va < code.End(); va += mem.Addr(lineI) {
+		m.tlbProbe(cpu, va)
+		pa := m.translate(va)
+		res := cpu.Hier.Inst(tid, pa, false)
+		switch res.Level {
+		case cachesim.LevelL1:
+			cpu.Cycles += uint64(m.cfg.L1I.HitCycles)
+		case cachesim.LevelL2:
+			cpu.Cycles += uint64(m.cfg.L2.HitCycles)
+			cpu.ERefs++
+			cpu.EHits++
+			cpu.PMU.Record(perfctr.EventECacheRefs, 1)
+			cpu.PMU.Record(perfctr.EventECacheHits, 1)
+		case cachesim.LevelMemory:
+			line := mem.LineAddr(pa, m.l2LineSize)
+			penalty := uint64(m.cfg.MissCycles)
+			if m.dir != nil {
+				if m.fill(line, cpu, false) {
+					penalty = uint64(m.cfg.MissCyclesRemote)
+				}
+				if res.Victim.Valid {
+					m.dropSharer(res.Victim.Line, cpu.ID)
+				}
+			}
+			cpu.Cycles += penalty
+			cpu.ERefs++
+			cpu.EMisses++
+			cpu.PMU.Record(perfctr.EventECacheRefs, 1)
+		}
+	}
+}
+
+// Advance charges compute work to a CPU: instrs instructions at one
+// cycle each (the UltraSPARC-1 is modelled as a 1-IPC machine for
+// non-memory work).
+func (m *Machine) Advance(cpuID int, instrs uint64) {
+	cpu := m.cpus[cpuID]
+	cpu.Cycles += instrs
+	cpu.Instrs += instrs
+	cpu.PMU.Record(perfctr.EventInstructions, instrs)
+}
+
+// AdvanceCycles charges cycles (no instructions) to a CPU — scheduler
+// bookkeeping, context switch latency, bus stalls.
+func (m *Machine) AdvanceCycles(cpuID int, cycles uint64) {
+	m.cpus[cpuID].Cycles += cycles
+}
+
+// fill updates the directory for a fresh fill of line on cpu, marking
+// the line shared in the local cache when other copies exist. It
+// reports whether the line was dirty in some other CPU's cache (the
+// remote-dirty penalty case).
+func (m *Machine) fill(line mem.Addr, cpu *CPU, write bool) (remoteDirty bool) {
+	e, ok := m.dir[line]
+	if !ok {
+		e = dirEntry{dirtyOwner: -1}
+	}
+	remoteDirty = e.dirtyOwner >= 0 && int(e.dirtyOwner) != cpu.ID
+	if write {
+		// Write miss: invalidate every other copy, own it dirty.
+		m.invalidateOthers(line, cpu.ID)
+		m.dir[line] = dirEntry{sharers: 1 << cpu.ID, dirtyOwner: int8(cpu.ID)}
+		return remoteDirty
+	}
+	// Read miss: join the sharers; a remote dirty copy is downgraded to
+	// clean (the intervention writes the data back to memory on the
+	// owner's behalf).
+	if remoteDirty {
+		m.cpus[e.dirtyOwner].Hier.L2.ClearDirty(line)
+		e.dirtyOwner = -1
+	}
+	e.sharers |= 1 << cpu.ID
+	if e.dirtyOwner == int8(cpu.ID) {
+		// Refetching a line we own dirty cannot happen (it would be a
+		// hit); defensive clear.
+		e.dirtyOwner = -1
+	}
+	m.dir[line] = e
+	if e.sharers&^(1<<cpu.ID) != 0 {
+		// Mark every copy shared, including ours (the hierarchy fill
+		// already inserted; set the flag now).
+		cpu.Hier.L2.SetShared(line, true)
+		for i := 0; i < m.cfg.CPUs; i++ {
+			if i != cpu.ID && e.sharers&(1<<i) != 0 {
+				m.cpus[i].Hier.L2.SetShared(line, true)
+			}
+		}
+	}
+	return remoteDirty
+}
+
+// setDirty records that cpu now holds line dirty (write hit).
+func (m *Machine) setDirty(line mem.Addr, cpuID int) {
+	e, ok := m.dir[line]
+	if !ok {
+		e = dirEntry{dirtyOwner: -1}
+		e.sharers = 1 << cpuID
+	}
+	e.dirtyOwner = int8(cpuID)
+	e.sharers |= 1 << cpuID
+	m.dir[line] = e
+}
+
+// invalidateOthers removes every copy of line except cpuID's.
+func (m *Machine) invalidateOthers(line mem.Addr, cpuID int) {
+	e, ok := m.dir[line]
+	if !ok {
+		return
+	}
+	for i := 0; i < m.cfg.CPUs; i++ {
+		if i == cpuID || e.sharers&(1<<i) == 0 {
+			continue
+		}
+		m.cpus[i].Hier.InvalidateLine(line)
+	}
+	e.sharers &= 1 << cpuID
+	if e.dirtyOwner >= 0 && int(e.dirtyOwner) != cpuID {
+		e.dirtyOwner = -1
+	}
+	if e.sharers == 0 {
+		delete(m.dir, line)
+	} else {
+		m.dir[line] = e
+	}
+}
+
+// dropSharer records that cpuID no longer caches line (local eviction).
+func (m *Machine) dropSharer(line mem.Addr, cpuID int) {
+	e, ok := m.dir[line]
+	if !ok {
+		return
+	}
+	e.sharers &^= 1 << cpuID
+	if e.dirtyOwner == int8(cpuID) {
+		e.dirtyOwner = -1
+	}
+	if e.sharers == 0 {
+		delete(m.dir, line)
+	} else {
+		m.dir[line] = e
+	}
+}
+
+// RegisterState registers virtual byte ranges as thread tid's state with
+// every CPU's footprint tracker (no-op unless TrackFootprints). The
+// ranges are translated page by page, since contiguous virtual ranges
+// scatter across physical pages.
+func (m *Machine) RegisterState(tid mem.ThreadID, ranges ...mem.Range) {
+	if !m.cfg.TrackFootprints {
+		return
+	}
+	var phys []mem.Range
+	ps := m.cfg.PageSize
+	for _, r := range ranges {
+		for base := r.Base; base < r.End(); {
+			pageEnd := mem.Addr((uint64(base)/ps + 1) * ps)
+			hi := r.End()
+			if pageEnd < hi {
+				hi = pageEnd
+			}
+			phys = append(phys, mem.Range{Base: m.translate(base), Len: uint64(hi - base)})
+			base = hi
+		}
+	}
+	for _, cpu := range m.cpus {
+		cpu.Tracker.Register(tid, phys...)
+		cpu.Tracker.Rebuild(cpu.Hier.L2)
+	}
+}
+
+// Footprint returns the observed footprint of tid in cpu's E-cache, in
+// lines. It requires TrackFootprints.
+func (m *Machine) Footprint(cpuID int, tid mem.ThreadID) int64 {
+	cpu := m.cpus[cpuID]
+	if cpu.Tracker == nil {
+		panic("machine: Footprint without TrackFootprints")
+	}
+	return cpu.Tracker.Footprint(tid)
+}
+
+// FlushCaches empties every CPU's hierarchy and the coherence
+// directory — the paper flushes the cache before measuring reload
+// transients.
+func (m *Machine) FlushCaches() {
+	for _, cpu := range m.cpus {
+		cpu.Hier.Flush()
+	}
+	if m.dir != nil {
+		m.dir = make(map[mem.Addr]dirEntry)
+	}
+}
+
+// MaxCycles returns the largest per-CPU clock — the parallel completion
+// time of the run.
+func (m *Machine) MaxCycles() uint64 {
+	var max uint64
+	for _, cpu := range m.cpus {
+		if cpu.Cycles > max {
+			max = cpu.Cycles
+		}
+	}
+	return max
+}
+
+// Traffic summarizes memory-bus traffic in bytes: line fills (reads
+// from memory) and write-backs of dirty lines, aggregated over the
+// per-CPU E-caches.
+type Traffic struct {
+	// FillBytes is data read from memory (E-cache misses × line size).
+	FillBytes uint64
+	// WritebackBytes is dirty data written back to memory.
+	WritebackBytes uint64
+}
+
+// Total returns the total bus traffic in bytes.
+func (t Traffic) Total() uint64 { return t.FillBytes + t.WritebackBytes }
+
+// MemoryTraffic aggregates bus traffic across the machine.
+func (m *Machine) MemoryTraffic() Traffic {
+	line := uint64(m.cfg.L2.LineSize)
+	var t Traffic
+	for _, cpu := range m.cpus {
+		st := cpu.Hier.L2.Stats()
+		t.FillBytes += st.Misses * line
+		t.WritebackBytes += st.Writebacks * line
+	}
+	return t
+}
+
+// Totals sums the E-cache shadow counters across CPUs.
+func (m *Machine) Totals() (refs, hits, misses uint64) {
+	for _, cpu := range m.cpus {
+		refs += cpu.ERefs
+		hits += cpu.EHits
+		misses += cpu.EMisses
+	}
+	return refs, hits, misses
+}
+
+// TotalInstrs sums instructions executed across CPUs.
+func (m *Machine) TotalInstrs() uint64 {
+	var n uint64
+	for _, cpu := range m.cpus {
+		n += cpu.Instrs
+	}
+	return n
+}
+
+// CheckCoherence verifies the write-invalidate invariants across the
+// per-CPU E-caches and the directory (diagnostics and property tests):
+//
+//   - a line is dirty in at most one cache, and nowhere else at all;
+//   - every resident copy is recorded in the directory's sharer set;
+//   - every directory sharer bit corresponds to a resident copy;
+//   - a line resident in two or more caches is marked shared in each.
+//
+// It returns a descriptive error for the first violation found.
+func (m *Machine) CheckCoherence() error {
+	if m.dir == nil {
+		return nil // uniprocessor: nothing to check
+	}
+	// Residency per line from the caches themselves.
+	type residency struct {
+		sharers uint64
+		dirty   []int
+	}
+	lines := make(map[mem.Addr]*residency)
+	for _, cpu := range m.cpus {
+		id := cpu.ID
+		cpu.Hier.L2.ForEachValidLine(func(line mem.Addr, _ mem.ThreadID) {
+			r := lines[line]
+			if r == nil {
+				r = &residency{}
+				lines[line] = r
+			}
+			r.sharers |= 1 << id
+			if cpu.Hier.L2.IsDirty(line) {
+				r.dirty = append(r.dirty, id)
+			}
+		})
+	}
+	for line, r := range lines {
+		if len(r.dirty) > 1 {
+			return fmt.Errorf("machine: line %#x dirty in caches %v", uint64(line), r.dirty)
+		}
+		if len(r.dirty) == 1 && r.sharers != 1<<r.dirty[0] {
+			return fmt.Errorf("machine: line %#x dirty in cache %d but cached by mask %#x",
+				uint64(line), r.dirty[0], r.sharers)
+		}
+		e, ok := m.dir[line]
+		if !ok {
+			return fmt.Errorf("machine: line %#x resident (mask %#x) but absent from directory", uint64(line), r.sharers)
+		}
+		if e.sharers&r.sharers != r.sharers {
+			return fmt.Errorf("machine: line %#x resident mask %#x not covered by directory mask %#x",
+				uint64(line), r.sharers, e.sharers)
+		}
+		if popcount(r.sharers) > 1 {
+			for i := 0; i < m.cfg.CPUs; i++ {
+				if r.sharers&(1<<i) != 0 && !m.cpus[i].Hier.L2.IsShared(line) {
+					return fmt.Errorf("machine: line %#x cached by mask %#x but unmarked shared on cpu %d",
+						uint64(line), r.sharers, i)
+				}
+			}
+		}
+	}
+	// Directory entries must not claim residency that does not exist.
+	for line, e := range m.dir {
+		r := lines[line]
+		var actual uint64
+		if r != nil {
+			actual = r.sharers
+		}
+		if e.sharers&^actual != 0 {
+			return fmt.Errorf("machine: directory claims mask %#x for line %#x, resident mask %#x",
+				e.sharers, uint64(line), actual)
+		}
+	}
+	return nil
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}

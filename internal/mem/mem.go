@@ -1,0 +1,158 @@
+// Package mem provides the primitive memory types shared by the cache
+// simulator, the machine model, and the thread runtime: virtual and
+// physical addresses, line and page geometry, thread identifiers, and
+// batched memory references.
+//
+// All simulated addresses are byte addresses in a flat 64-bit space.
+// Geometry (line size, page size) is always a power of two and is carried
+// by the component that owns it (a cache, a page mapper); this package
+// only supplies the arithmetic.
+package mem
+
+import "fmt"
+
+// Addr is a simulated memory address (virtual or physical, depending on
+// context). The zero address is valid but by convention never allocated,
+// so it can be used as a sentinel.
+type Addr uint64
+
+// ThreadID identifies a simulated thread. IDs are dense small integers
+// assigned by the runtime in creation order, which makes them usable as
+// array indices.
+type ThreadID int32
+
+// Reserved thread identifiers.
+const (
+	// NilThread is the absence of a thread (e.g. the owner of an
+	// invalid cache line).
+	NilThread ThreadID = -1
+	// SchedThread attributes references issued by the scheduler itself
+	// (heap arrays, thread tables) rather than by any user thread.
+	SchedThread ThreadID = -2
+)
+
+// Valid reports whether id names an actual user thread.
+func (id ThreadID) Valid() bool { return id >= 0 }
+
+func (id ThreadID) String() string {
+	switch id {
+	case NilThread:
+		return "t<nil>"
+	case SchedThread:
+		return "t<sched>"
+	default:
+		return fmt.Sprintf("t%d", int32(id))
+	}
+}
+
+// Log2 returns floor(log2(v)) for v > 0. It is used to derive index and
+// offset shifts from power-of-two sizes.
+func Log2(v uint64) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// IsPow2 reports whether v is a positive power of two.
+func IsPow2(v uint64) bool { return v != 0 && v&(v-1) == 0 }
+
+// LineAddr returns the address of the start of the line containing a,
+// for the given line size (a power of two).
+func LineAddr(a Addr, lineSize uint64) Addr { return a &^ Addr(lineSize-1) }
+
+// LinesSpanned returns how many lines of the given size the byte range
+// [a, a+n) touches. A zero-length range touches no lines.
+func LinesSpanned(a Addr, n uint64, lineSize uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	first := uint64(a) / lineSize
+	last := (uint64(a) + n - 1) / lineSize
+	return last - first + 1
+}
+
+// Access describes a strided run of memory references: Count references
+// of Size bytes each, starting at Base, with successive reference
+// addresses Stride bytes apart. Stride may be negative (a backwards
+// walk) or zero (repeated references to one location).
+//
+// A batch of Access values is the unit of work a thread hands to the
+// machine; representing runs rather than single references keeps the
+// simulation cost near one cache probe per reference.
+type Access struct {
+	Base   Addr
+	Count  int32
+	Stride int32
+	Size   uint16
+	Write  bool
+}
+
+// Refs returns the number of references the access performs.
+func (a Access) Refs() int64 { return int64(a.Count) }
+
+// Bytes returns the total number of bytes the access touches, counting
+// overlapping references once per reference (it is Count*Size, not the
+// span).
+func (a Access) Bytes() int64 { return int64(a.Count) * int64(a.Size) }
+
+// Read constructs a read access of Count references of Size bytes with
+// the given stride.
+func Read(base Addr, count, stride int32, size uint16) Access {
+	return Access{Base: base, Count: count, Stride: stride, Size: size}
+}
+
+// Write constructs a write access of Count references of Size bytes with
+// the given stride.
+func Write(base Addr, count, stride int32, size uint16) Access {
+	return Access{Base: base, Count: count, Stride: stride, Size: size, Write: true}
+}
+
+// ReadRange constructs a sequential read sweep over [base, base+n) in
+// word-sized (8-byte) references.
+func ReadRange(base Addr, n int64) Access {
+	return Access{Base: base, Count: int32((n + 7) / 8), Stride: 8, Size: 8}
+}
+
+// WriteRange constructs a sequential write sweep over [base, base+n) in
+// word-sized (8-byte) references.
+func WriteRange(base Addr, n int64) Access {
+	return Access{Base: base, Count: int32((n + 7) / 8), Stride: 8, Size: 8, Write: true}
+}
+
+// Batch is an ordered sequence of accesses applied atomically with
+// respect to other CPUs at batch granularity. Batches are value types;
+// callers may reuse backing arrays between applications.
+type Batch []Access
+
+// Refs returns the total number of references in the batch.
+func (b Batch) Refs() int64 {
+	var n int64
+	for _, a := range b {
+		n += a.Refs()
+	}
+	return n
+}
+
+// Range is a contiguous byte range [Base, Base+Len) of the simulated
+// address space, used to describe thread state regions for footprint
+// tracking and allocation.
+type Range struct {
+	Base Addr
+	Len  uint64
+}
+
+// End returns the first address past the range.
+func (r Range) End() Addr { return r.Base + Addr(r.Len) }
+
+// Contains reports whether a lies inside the range.
+func (r Range) Contains(a Addr) bool { return a >= r.Base && a < r.End() }
+
+// Lines returns the number of lines of the given size the range spans.
+func (r Range) Lines(lineSize uint64) uint64 { return LinesSpanned(r.Base, r.Len, lineSize) }
+
+func (r Range) String() string {
+	return fmt.Sprintf("[%#x,%#x)", uint64(r.Base), uint64(r.End()))
+}

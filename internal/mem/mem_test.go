@@ -1,0 +1,127 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLog2(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want uint
+	}{
+		{1, 0}, {2, 1}, {3, 1}, {4, 2}, {64, 6}, {4096, 12}, {1 << 19, 19},
+	}
+	for _, c := range cases {
+		if got := Log2(c.in); got != c.want {
+			t.Errorf("Log2(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, v := range []uint64{1, 2, 4, 64, 4096, 1 << 32} {
+		if !IsPow2(v) {
+			t.Errorf("IsPow2(%d) = false, want true", v)
+		}
+	}
+	for _, v := range []uint64{0, 3, 6, 65, 4097} {
+		if IsPow2(v) {
+			t.Errorf("IsPow2(%d) = true, want false", v)
+		}
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	if got := LineAddr(0x12345, 64); got != 0x12340 {
+		t.Errorf("LineAddr(0x12345, 64) = %#x, want 0x12340", uint64(got))
+	}
+	if got := LineAddr(0x40, 64); got != 0x40 {
+		t.Errorf("aligned address moved: %#x", uint64(got))
+	}
+}
+
+func TestLinesSpanned(t *testing.T) {
+	cases := []struct {
+		a    Addr
+		n    uint64
+		line uint64
+		want uint64
+	}{
+		{0, 0, 64, 0},
+		{0, 1, 64, 1},
+		{0, 64, 64, 1},
+		{0, 65, 64, 2},
+		{63, 2, 64, 2},  // straddles a boundary
+		{64, 64, 64, 1}, // exactly one aligned line
+		{100, 600, 64, 10},
+	}
+	for _, c := range cases {
+		if got := LinesSpanned(c.a, c.n, c.line); got != c.want {
+			t.Errorf("LinesSpanned(%#x, %d, %d) = %d, want %d", uint64(c.a), c.n, c.line, got, c.want)
+		}
+	}
+}
+
+func TestLinesSpannedProperty(t *testing.T) {
+	// The span count is always within 1 of n/lineSize rounded up, and
+	// never less than 1 for nonzero n.
+	f := func(a uint32, n uint16) bool {
+		const line = 64
+		got := LinesSpanned(Addr(a), uint64(n), line)
+		if n == 0 {
+			return got == 0
+		}
+		min := (uint64(n) + line - 1) / line
+		return got >= min && got <= min+1 && got >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccessConstructors(t *testing.T) {
+	a := ReadRange(0x1000, 100)
+	if a.Write {
+		t.Error("ReadRange produced a write")
+	}
+	if a.Refs() != 13 { // ceil(100/8)
+		t.Errorf("ReadRange(…, 100).Refs() = %d, want 13", a.Refs())
+	}
+	w := WriteRange(0x1000, 64)
+	if !w.Write || w.Refs() != 8 {
+		t.Errorf("WriteRange wrong: %+v", w)
+	}
+	b := Batch{a, w}
+	if b.Refs() != 21 {
+		t.Errorf("Batch.Refs() = %d, want 21", b.Refs())
+	}
+}
+
+func TestRange(t *testing.T) {
+	r := Range{Base: 0x1000, Len: 0x100}
+	if r.End() != 0x1100 {
+		t.Errorf("End() = %#x", uint64(r.End()))
+	}
+	if !r.Contains(0x1000) || !r.Contains(0x10ff) {
+		t.Error("Contains misses endpoints")
+	}
+	if r.Contains(0x1100) || r.Contains(0xfff) {
+		t.Error("Contains includes outside addresses")
+	}
+	if got := r.Lines(64); got != 4 {
+		t.Errorf("Lines(64) = %d, want 4", got)
+	}
+}
+
+func TestThreadIDString(t *testing.T) {
+	if NilThread.String() != "t<nil>" || SchedThread.String() != "t<sched>" {
+		t.Error("sentinel thread names wrong")
+	}
+	if ThreadID(7).String() != "t7" {
+		t.Errorf("ThreadID(7) = %q", ThreadID(7).String())
+	}
+	if NilThread.Valid() || SchedThread.Valid() || !ThreadID(0).Valid() {
+		t.Error("Valid() wrong for sentinels or zero")
+	}
+}

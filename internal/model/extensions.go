@@ -1,0 +1,223 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements two extensions the paper describes but does not
+// build:
+//
+//  1. The set-associative cache case ("The developed model can be
+//     extended to the associative cache case (although the analytical
+//     results are likely to be more complex with a higher runtime
+//     overhead)", Section 2.1). AssocModel computes expected footprints
+//     for an S-set, W-way LRU cache by evolving the per-set occupancy
+//     distribution under uniformly distributed misses. The key
+//     qualitative difference from the direct-mapped closed forms: LRU
+//     protects the running thread's fresh lines, so its footprint grows
+//     faster, and evicts never-referenced sleepers' lines first, so
+//     their footprints decay faster.
+//
+//  2. Invalidation effects ("Our model does not take into account
+//     invalidation effects when data cached by one processor is
+//     modified by another", Section 3.4). ExpectDepInval extends case 3
+//     with a per-miss invalidation pressure v; the closed form follows
+//     from the same linear recurrence as the appendix chain.
+
+// AssocModel models an S-set, W-way LRU cache under the paper's
+// independence assumption (each miss lands in a uniformly random set).
+type AssocModel struct {
+	// Sets and Ways describe the geometry; Sets*Ways is the capacity
+	// in lines.
+	Sets, Ways int
+}
+
+// NewAssocModel validates and builds the model.
+func NewAssocModel(sets, ways int) AssocModel {
+	if sets < 1 || ways < 1 {
+		panic(fmt.Sprintf("model: bad associative geometry %dx%d", sets, ways))
+	}
+	return AssocModel{Sets: sets, Ways: ways}
+}
+
+// N returns the capacity in lines.
+func (a AssocModel) N() int { return a.Sets * a.Ways }
+
+// setDist returns the Poisson(λ = n/Sets) pmf truncated at Ways (the
+// tail mass is folded into the last entry), the per-set distribution of
+// the number of misses that landed in a given set. The Poisson limit of
+// Binomial(n, 1/Sets) is accurate for the cache sizes involved.
+func (a AssocModel) setDist(n uint64) []float64 {
+	lambda := float64(n) / float64(a.Sets)
+	pmf := make([]float64, a.Ways+1)
+	// P(X = j) computed iteratively; pmf[Ways] accumulates P(X >= Ways).
+	p := math.Exp(-lambda)
+	cum := 0.0
+	for j := 0; j < a.Ways; j++ {
+		pmf[j] = p
+		cum += p
+		p *= lambda / float64(j+1)
+	}
+	pmf[a.Ways] = 1 - cum
+	if pmf[a.Ways] < 0 {
+		pmf[a.Ways] = 0
+	}
+	return pmf
+}
+
+// ExpectSelf returns the expected footprint of the running thread after
+// n misses into an initially foreign (or empty) cache. Under LRU the
+// thread's own lines are always younger than the sleeping foreign
+// lines, so the victim is foreign until the set is fully owned: a set
+// that received j misses holds min(j, W) of the thread's lines.
+func (a AssocModel) ExpectSelf(n uint64) float64 {
+	pmf := a.setDist(n)
+	e := 0.0
+	for j, p := range pmf {
+		e += float64(j) * p // j is already capped at Ways
+	}
+	return float64(a.Sets) * e
+}
+
+// ExpectIndepFull returns the expected footprint of a sleeping
+// independent thread that initially owned the whole cache, after the
+// runner takes n misses. The sleeper's lines are never re-referenced,
+// so in each set they are the LRU victims, dying one per miss: a set
+// that received j misses keeps W − min(j, W) of them.
+func (a AssocModel) ExpectIndepFull(n uint64) float64 {
+	pmf := a.setDist(n)
+	e := 0.0
+	for j, p := range pmf {
+		e += float64(a.Ways-j) * p // j capped at Ways, so this is >= 0
+	}
+	return float64(a.Sets) * e
+}
+
+// ExpectSelfFrom generalizes ExpectSelf to an initial own-footprint of
+// s0 *resident* lines. Residency caps each set's own-line count at the
+// associativity, so the initial occupancy is modelled as the
+// mean-preserving floor/ceil mixture of λ = s0/Sets (an unconstrained
+// Poisson would put mass above W and lose it to truncation). A set
+// holding j of the thread's lines before the interval and receiving X
+// fresh misses holds min(W, j+X) afterwards — LRU evicts the foreign
+// lines first, then recycles the thread's own oldest lines — which is
+// pointwise ≥ j, so the expectation never drops below s0.
+func (a AssocModel) ExpectSelfFrom(s0 float64, n uint64) float64 {
+	if s0 <= 0 {
+		return a.ExpectSelf(n)
+	}
+	if s0 > float64(a.N()) {
+		s0 = float64(a.N())
+	}
+	lambda := s0 / float64(a.Sets)
+	j0 := int(lambda)
+	frac := lambda - float64(j0)
+	fills := a.setDist(n)
+	expectAt := func(j int) float64 {
+		e := 0.0
+		for x, px := range fills {
+			own := j + x
+			if own > a.Ways {
+				own = a.Ways
+			}
+			e += float64(own) * px
+		}
+		return e
+	}
+	e := (1-frac)*expectAt(j0) + frac*expectAt(minInt(j0+1, a.Ways))
+	return float64(a.Sets) * e
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// DirectMappedSelf returns the direct-mapped closed form N−N·kⁿ for the
+// same capacity, for comparison: LRU associativity grows the running
+// thread's footprint strictly faster (no self-collision until a set
+// fills).
+func (a AssocModel) DirectMappedSelf(n uint64) float64 {
+	N := float64(a.N())
+	return N - N*math.Pow((N-1)/N, float64(n))
+}
+
+// ExpectDepInval extends the dependent-thread closed form (case 3) with
+// invalidation pressure: per miss taken by the running thread, remote
+// writes additionally invalidate a resident line of the dependent
+// thread with probability v·E[F]/N (proportional to its residency).
+// The per-miss recurrence
+//
+//	E' = E + q·(N−E)/N − (1−q)·E/N − v·E/N
+//
+// is linear, so
+//
+//	E_n = qN/(1+v) − (qN/(1+v) − S)·(1 − (1+v)/N)ⁿ
+//
+// With v = 0 this is exactly ExpectDep; with v > 0 the footprint
+// converges faster and to a lower plateau qN/(1+v) — data that is being
+// written remotely cannot be held.
+func (m *Model) ExpectDepInval(s, q, v float64, n uint64) float64 {
+	if v < 0 {
+		panic("model: negative invalidation pressure")
+	}
+	fn := float64(m.n)
+	plateau := q * fn / (1 + v)
+	decay := math.Pow(1-(1+v)/fn, float64(n))
+	return plateau - (plateau-s)*decay
+}
+
+// InvalMarkov is the appendix Markov chain extended with invalidation
+// pressure, used to cross-check ExpectDepInval.
+type InvalMarkov struct {
+	N int
+	Q float64
+	V float64
+}
+
+// NewInvalMarkov validates and builds the chain. v is bounded so the
+// per-state transition probabilities stay in [0, 1].
+func NewInvalMarkov(n int, q, v float64) InvalMarkov {
+	if n < 1 || q < 0 || q > 1 || v < 0 || (1-q)+v > 1 {
+		panic(fmt.Sprintf("model: bad invalidation chain N=%d q=%v v=%v", n, q, v))
+	}
+	return InvalMarkov{N: n, Q: q, V: v}
+}
+
+// Expected evolves the chain n steps from footprint s and returns the
+// expectation.
+func (mk InvalMarkov) Expected(s, n int) float64 {
+	if s < 0 || s > mk.N {
+		panic("model: initial footprint out of range")
+	}
+	dist := make([]float64, mk.N+1)
+	dist[s] = 1
+	next := make([]float64, mk.N+1)
+	fn := float64(mk.N)
+	for step := 0; step < n; step++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for i, p := range dist {
+			if p == 0 {
+				continue
+			}
+			fi := float64(i)
+			up := mk.Q * (fn - fi) / fn
+			down := (1-mk.Q)*fi/fn + mk.V*fi/fn
+			stay := 1 - up - down
+			if down > 0 {
+				next[i-1] += p * down
+			}
+			next[i] += p * stay
+			if up > 0 {
+				next[i+1] += p * up
+			}
+		}
+		dist, next = next, dist
+	}
+	return Mean(dist)
+}

@@ -1,0 +1,237 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cachesim"
+	"repro/internal/mem"
+	"repro/internal/xrand"
+)
+
+// TestAssocSelfMatchesSimulation validates the associative extension
+// against the actual set-associative cache simulator: a thread missing
+// at uniformly random sets of a 2-way cache must grow its footprint as
+// the per-set Poisson model predicts.
+func TestAssocSelfMatchesSimulation(t *testing.T) {
+	const sets, ways, line = 512, 2, 64
+	am := NewAssocModel(sets, ways)
+	c := cachesim.New(cachesim.Config{Name: "A", Size: sets * ways * line, LineSize: line, Assoc: ways, HitCycles: 1})
+	rng := xrand.New(42)
+	// Fill the cache with a sleeper's lines first so every fill has a
+	// victim (the model's "initially foreign cache").
+	const sleeper mem.ThreadID = 9
+	for s := 0; s < sets; s++ {
+		for w := 0; w < ways; w++ {
+			c.Insert(sleeper, mem.Addr((w*sets+s)*line), false, false)
+		}
+	}
+	const runner mem.ThreadID = 1
+	// The runner misses on fresh lines at random sets (addresses far
+	// from the sleeper's and from each other).
+	base := uint64(1 << 30)
+	for n := uint64(1); n <= 4096; n++ {
+		set := rng.Uint64n(sets)
+		addr := mem.Addr(base + n*uint64(sets*line) + set*line)
+		c.Insert(runner, addr, false, false)
+		if n%512 != 0 {
+			continue
+		}
+		wantSelf := am.ExpectSelf(n)
+		gotSelf := float64(c.OwnerFootprint(runner))
+		if math.Abs(gotSelf-wantSelf) > 0.05*float64(am.N()) {
+			t.Errorf("n=%d: runner footprint %v, model %v", n, gotSelf, wantSelf)
+		}
+		wantIndep := am.ExpectIndepFull(n)
+		gotIndep := float64(c.OwnerFootprint(sleeper))
+		if math.Abs(gotIndep-wantIndep) > 0.05*float64(am.N()) {
+			t.Errorf("n=%d: sleeper footprint %v, model %v", n, gotIndep, wantIndep)
+		}
+	}
+}
+
+// TestAssocLRUProtectsRunner: under LRU associativity the running
+// thread's footprint grows strictly faster than the direct-mapped
+// closed form for the same capacity (no self-collisions until a set is
+// fully owned).
+func TestAssocLRUProtectsRunner(t *testing.T) {
+	am := NewAssocModel(2048, 4)
+	for _, n := range []uint64{100, 1000, 4000, 8000} {
+		if self, dm := am.ExpectSelf(n), am.DirectMappedSelf(n); self <= dm {
+			t.Errorf("n=%d: associative %v <= direct-mapped %v", n, self, dm)
+		}
+	}
+}
+
+// TestAssocConservation: the runner's and full-cache sleeper's expected
+// footprints always sum to the capacity (every fill converts exactly
+// one sleeper line).
+func TestAssocConservation(t *testing.T) {
+	am := NewAssocModel(1024, 2)
+	f := func(n16 uint16) bool {
+		n := uint64(n16)
+		total := am.ExpectSelf(n) + am.ExpectIndepFull(n)
+		return math.Abs(total-float64(am.N())) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssocAsymptotes(t *testing.T) {
+	am := NewAssocModel(256, 4)
+	if got := am.ExpectSelf(0); got != 0 {
+		t.Errorf("ExpectSelf(0) = %v", got)
+	}
+	if got := am.ExpectSelf(1 << 20); math.Abs(got-float64(am.N())) > 1 {
+		t.Errorf("ExpectSelf asymptote = %v, want %d", got, am.N())
+	}
+	if got := am.ExpectIndepFull(1 << 20); got > 1 {
+		t.Errorf("ExpectIndepFull asymptote = %v, want 0", got)
+	}
+}
+
+func TestAssocValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewAssocModel(0, 2)
+}
+
+// TestInvalReducesToDep: with zero invalidation pressure the extension
+// must match the original case 3 closed form.
+func TestInvalReducesToDep(t *testing.T) {
+	m := New(256)
+	f := func(s8, q8 uint8, n16 uint16) bool {
+		s, q, n := float64(s8), float64(q8)/255, uint64(n16)
+		a := m.ExpectDepInval(s, q, 0, n)
+		b := m.ExpectDep(s, q, n)
+		return math.Abs(a-b) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInvalMatchesChain: the closed form must equal the extended Markov
+// chain's expectation (the recurrence is linear, so exactly).
+func TestInvalMatchesChain(t *testing.T) {
+	const n = 96
+	m := New(n)
+	for _, q := range []float64{0.2, 0.5, 0.8} {
+		for _, v := range []float64{0, 0.05, 0.15} {
+			mk := NewInvalMarkov(n, q, v)
+			for _, s0 := range []int{0, 48, 96} {
+				for _, steps := range []int{0, 1, 50, 400} {
+					chain := mk.Expected(s0, steps)
+					closed := m.ExpectDepInval(float64(s0), q, v, uint64(steps))
+					if math.Abs(chain-closed) > 1e-6 {
+						t.Errorf("q=%v v=%v s=%d n=%d: chain %v closed %v", q, v, s0, steps, chain, closed)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestInvalLowersPlateau: invalidation pressure must lower the
+// asymptotic footprint to qN/(1+v) and never raise it.
+func TestInvalLowersPlateau(t *testing.T) {
+	m := New(8192)
+	const q = 0.6
+	base := m.ExpectDep(0, q, 1<<20)
+	for _, v := range []float64{0.1, 0.3, 0.4} {
+		got := m.ExpectDepInval(0, q, v, 1<<20)
+		want := q * 8192 / (1 + v)
+		if math.Abs(got-want) > 1 {
+			t.Errorf("v=%v: plateau %v, want %v", v, got, want)
+		}
+		if got >= base {
+			t.Errorf("v=%v: plateau %v not below v=0 plateau %v", v, got, base)
+		}
+	}
+}
+
+func TestInvalValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewInvalMarkov(16, 0.5, -0.1) },
+		func() { NewInvalMarkov(16, 0.2, 0.9) }, // (1-q)+v > 1
+		func() { m := New(64); m.ExpectDepInval(0, 0.5, -1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAssocSelfFromReducesToSelf(t *testing.T) {
+	am := NewAssocModel(1024, 2)
+	for _, n := range []uint64{0, 100, 5000} {
+		a, b := am.ExpectSelfFrom(0, n), am.ExpectSelf(n)
+		if math.Abs(a-b) > 1e-9 {
+			t.Errorf("n=%d: from-zero %v != base %v", n, a, b)
+		}
+	}
+}
+
+func TestAssocSelfFromMonotoneAndBounded(t *testing.T) {
+	am := NewAssocModel(512, 4)
+	f := func(s016, n16 uint16) bool {
+		s0 := float64(s016) * float64(am.N()) / 65535
+		n := uint64(n16)
+		e := am.ExpectSelfFrom(s0, n)
+		// Bounded by the capacity above, and by both the initial
+		// footprint and the fresh-fill expectation below (the
+		// occupancy update min(W, j+x) is pointwise ≥ j and ≥ min(W,x)).
+		if e > float64(am.N())+1e-6 {
+			return false
+		}
+		return e >= am.ExpectSelf(n)-1e-6 && e >= s0-1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssocSelfFromMatchesSimulation(t *testing.T) {
+	const sets, ways, line = 512, 2, 64
+	am := NewAssocModel(sets, ways)
+	c := cachesim.New(cachesim.Config{Name: "A", Size: sets * ways * line, LineSize: line, Assoc: ways, HitCycles: 1})
+	rng := xrand.New(17)
+	// Foreign fill first.
+	for s := 0; s < sets; s++ {
+		for w := 0; w < ways; w++ {
+			c.Insert(9, mem.Addr((w*sets+s)*line), false, false)
+		}
+	}
+	// The runner pre-establishes s0 = 400 random distinct lines.
+	const s0 = 400
+	base := uint64(1 << 28)
+	for i := uint64(0); i < s0; i++ {
+		set := rng.Uint64n(sets)
+		c.Insert(1, mem.Addr(base+i*uint64(sets*line)+set*line), false, false)
+	}
+	start := float64(c.OwnerFootprint(1))
+	// Now take n fresh misses and compare.
+	base2 := uint64(1 << 30)
+	for n := uint64(1); n <= 2048; n++ {
+		set := rng.Uint64n(sets)
+		c.Insert(1, mem.Addr(base2+n*uint64(sets*line)+set*line), false, false)
+		if n%512 != 0 {
+			continue
+		}
+		want := am.ExpectSelfFrom(start, n)
+		got := float64(c.OwnerFootprint(1))
+		if math.Abs(got-want) > 0.06*float64(am.N()) {
+			t.Errorf("n=%d: footprint %v, model %v", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// exp is math.Exp; indirected so the priority code reads cleanly.
+func exp(x float64) float64 { return math.Exp(x) }
+
+// Markov is the appendix's birth-death chain over the number of resident
+// lines of a dependent thread C while a sharing partner A takes misses.
+// State i ∈ [0, N] is the size of C's footprint; each miss by A moves
+// the chain according to whether the fetched line is shared with C and
+// whether the displaced line belonged to C:
+//
+//	p(i → i+1) = q·(N−i)/N          (shared line lands outside C's lines)
+//	p(i → i−1) = (1−q)·i/N          (unshared line displaces a C line)
+//	p(i → i)   = q·i/N + (1−q)·(N−i)/N
+//
+// The closed form E_n[F_C] = qN − (qN − S)·kⁿ follows; the chain is kept
+// as an executable cross-check (property tests evolve it and compare).
+type Markov struct {
+	// N is the cache size in lines.
+	N int
+	// Q is the sharing coefficient q(A,C) ∈ [0, 1].
+	Q float64
+}
+
+// NewMarkov validates and builds a chain.
+func NewMarkov(n int, q float64) Markov {
+	if n < 1 {
+		panic(fmt.Sprintf("model: Markov chain over %d lines", n))
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("model: sharing coefficient %v outside [0,1]", q))
+	}
+	return Markov{N: n, Q: q}
+}
+
+// Probs returns the one-miss transition probabilities out of state i.
+func (mk Markov) Probs(i int) (down, stay, up float64) {
+	if i < 0 || i > mk.N {
+		panic(fmt.Sprintf("model: Markov state %d outside [0,%d]", i, mk.N))
+	}
+	fi, fn := float64(i), float64(mk.N)
+	up = mk.Q * (fn - fi) / fn
+	down = (1 - mk.Q) * fi / fn
+	stay = 1 - up - down
+	return down, stay, up
+}
+
+// Step advances a probability distribution over states [0, N] by one
+// miss, writing into dst (which must have length N+1 and may not alias
+// dist). It returns dst.
+func (mk Markov) Step(dst, dist []float64) []float64 {
+	if len(dist) != mk.N+1 || len(dst) != mk.N+1 {
+		panic("model: Markov distribution length must be N+1")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, p := range dist {
+		if p == 0 {
+			continue
+		}
+		down, stay, up := mk.Probs(i)
+		if down > 0 {
+			dst[i-1] += p * down
+		}
+		dst[i] += p * stay
+		if up > 0 {
+			dst[i+1] += p * up
+		}
+	}
+	return dst
+}
+
+// Evolve advances the distribution n steps, returning the final
+// distribution (the input is not modified).
+func (mk Markov) Evolve(dist []float64, n int) []float64 {
+	cur := append([]float64(nil), dist...)
+	next := make([]float64, len(dist))
+	for s := 0; s < n; s++ {
+		cur, next = mk.Step(next, cur), cur
+	}
+	return cur
+}
+
+// Expected returns E[F_C] after n misses starting from the point
+// distribution at footprint s, by evolving the chain — the quantity the
+// closed form ExpectDep(s, q, n) predicts analytically.
+func (mk Markov) Expected(s, n int) float64 {
+	if s < 0 || s > mk.N {
+		panic(fmt.Sprintf("model: initial footprint %d outside [0,%d]", s, mk.N))
+	}
+	dist := make([]float64, mk.N+1)
+	dist[s] = 1
+	return Mean(mk.Evolve(dist, n))
+}
+
+// Mean returns the expected state of a distribution over [0, N].
+func Mean(dist []float64) float64 {
+	var m float64
+	for i, p := range dist {
+		m += float64(i) * p
+	}
+	return m
+}

@@ -1,0 +1,125 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarkovRowsSumToOne(t *testing.T) {
+	mk := NewMarkov(64, 0.3)
+	for i := 0; i <= 64; i++ {
+		down, stay, up := mk.Probs(i)
+		if down < 0 || stay < 0 || up < 0 {
+			t.Fatalf("negative probability at state %d", i)
+		}
+		if s := down + stay + up; math.Abs(s-1) > 1e-12 {
+			t.Fatalf("row %d sums to %v", i, s)
+		}
+	}
+}
+
+func TestMarkovBoundaries(t *testing.T) {
+	mk := NewMarkov(64, 0.5)
+	down, _, _ := mk.Probs(0)
+	if down != 0 {
+		t.Error("state 0 can move down")
+	}
+	_, _, up := mk.Probs(64)
+	if up != 0 {
+		t.Error("state N can move up")
+	}
+}
+
+// TestMarkovMatchesClosedForm is the central validation of the appendix
+// derivation: evolving the chain must reproduce the closed form
+// E[F_C] = qN − (qN − S)·kⁿ exactly (the closed form is the chain's
+// expectation, not an approximation).
+func TestMarkovMatchesClosedForm(t *testing.T) {
+	const n = 128
+	m := New(n)
+	for _, q := range []float64{0, 0.2, 0.5, 0.8, 1} {
+		mk := NewMarkov(n, q)
+		for _, s0 := range []int{0, 1, 64, 127, 128} {
+			for _, steps := range []int{0, 1, 2, 10, 100, 500} {
+				chain := mk.Expected(s0, steps)
+				closed := m.ExpectDep(float64(s0), q, uint64(steps))
+				if math.Abs(chain-closed) > 1e-6 {
+					t.Errorf("q=%v S=%d n=%d: chain %v, closed form %v", q, s0, steps, chain, closed)
+				}
+			}
+		}
+	}
+}
+
+func TestMarkovMatchesClosedFormQuick(t *testing.T) {
+	const n = 64
+	m := New(n)
+	f := func(s8, q8 uint8, steps8 uint8) bool {
+		s0 := int(s8) % (n + 1)
+		q := float64(q8) / 255
+		steps := int(steps8)
+		chain := NewMarkov(n, q).Expected(s0, steps)
+		closed := m.ExpectDep(float64(s0), q, uint64(steps))
+		return math.Abs(chain-closed) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarkovDistributionStaysNormalized(t *testing.T) {
+	mk := NewMarkov(32, 0.37)
+	dist := make([]float64, 33)
+	dist[5] = 1
+	out := mk.Evolve(dist, 200)
+	var sum float64
+	for _, p := range out {
+		if p < -1e-15 {
+			t.Fatalf("negative probability %v", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("distribution sums to %v after 200 steps", sum)
+	}
+	// Input must be untouched.
+	if dist[5] != 1 {
+		t.Error("Evolve mutated its input")
+	}
+}
+
+func TestMarkovAbsorbingExtremes(t *testing.T) {
+	// q=1 with a full footprint stays full; q=0 from empty stays empty.
+	if got := NewMarkov(16, 1).Expected(16, 50); math.Abs(got-16) > 1e-9 {
+		t.Errorf("full footprint under q=1 drifted to %v", got)
+	}
+	if got := NewMarkov(16, 0).Expected(0, 50); got != 0 {
+		t.Errorf("empty footprint under q=0 drifted to %v", got)
+	}
+}
+
+func TestMarkovValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewMarkov(0, 0.5) },
+		func() { NewMarkov(16, -0.1) },
+		func() { NewMarkov(16, 1.1) },
+		func() { NewMarkov(16, 0.5).Probs(17) },
+		func() { NewMarkov(16, 0.5).Expected(17, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{0, 0.5, 0.5}); got != 1.5 {
+		t.Errorf("Mean = %v, want 1.5", got)
+	}
+}

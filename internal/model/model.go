@@ -1,0 +1,146 @@
+// Package model implements the paper's shared-state cache model: the
+// closed-form expected footprints of Section 2.4, the inflated priority
+// algebra of Section 4 (for the LFF and CRT policies), and the appendix
+// Markov chain the closed form is derived from.
+//
+// Throughout, N is the cache size in lines, k = (N-1)/N, S is a thread's
+// expected footprint (in lines) at the last time it was updated, n is
+// the number of E-cache misses taken by the blocking thread during its
+// scheduling interval, and m(t) is the processor's cumulative E-cache
+// miss count. The three closed forms are:
+//
+//	blocking thread A:    E[F_A] = N − (N − S_A)·kⁿ
+//	independent thread B: E[F_B] = S_B·kⁿ
+//	dependent thread C:   E[F_C] = q·N − (q·N − S_C)·kⁿ
+//
+// where q is the sharing coefficient on edge (A, C) of the dependency
+// graph. Cases 1 and 2 are the q=1 and q=0 limits of case 3.
+//
+// The model pre-computes kⁿ for a large range of n and log F for all
+// integer footprints 0 < F ≤ N, exactly as the paper's implementation
+// does, so that a priority update costs a handful of floating-point
+// instructions. Every floating-point operation performed by the exported
+// update entry points is counted, which is how Table 3 is regenerated.
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// powTableSize bounds the pre-computed kⁿ table. Scheduling intervals
+// with more misses than this fall back to exp(n·log k); for a 512KB /
+// 64B-line cache k^65536 ≈ 3e-4, so the table covers every interval that
+// leaves any footprint worth scheduling for.
+const powTableSize = 1 << 16
+
+// Model holds the per-cache-geometry constants and lookup tables.
+type Model struct {
+	n     int     // cache size in lines
+	k     float64 // (N-1)/N
+	logK  float64 // log k (negative)
+	powK  []float64
+	logF  []float64 // logF[i] = log(i), logF[0] = log of smallest footprint quantum
+	flops uint64
+}
+
+// New builds a model for a cache of n lines (n >= 2).
+func New(n int) *Model {
+	if n < 2 {
+		panic(fmt.Sprintf("model: cache of %d lines", n))
+	}
+	m := &Model{
+		n:    n,
+		k:    float64(n-1) / float64(n),
+		powK: make([]float64, powTableSize),
+		logF: make([]float64, n+1),
+	}
+	m.logK = math.Log(m.k)
+	p := 1.0
+	for i := range m.powK {
+		m.powK[i] = p
+		p *= m.k
+	}
+	// log(0) is demanded when a thread has no state; treat a footprint
+	// below one line as one line so priorities stay finite and ordered.
+	m.logF[0] = 0
+	for i := 1; i <= n; i++ {
+		m.logF[i] = math.Log(float64(i))
+	}
+	return m
+}
+
+// N returns the cache size in lines.
+func (m *Model) N() int { return m.n }
+
+// K returns (N-1)/N.
+func (m *Model) K() float64 { return m.k }
+
+// LogK returns log((N-1)/N), a negative constant.
+func (m *Model) LogK() float64 { return m.logK }
+
+// FLOPs returns the number of floating-point operations performed by
+// update entry points since the last reset. Table lookups (kⁿ, log F)
+// are not counted, matching the paper's accounting.
+func (m *Model) FLOPs() uint64 { return m.flops }
+
+// ResetFLOPs zeroes the operation counter.
+func (m *Model) ResetFLOPs() { m.flops = 0 }
+
+// PowK returns kⁿ, from the table when possible.
+func (m *Model) PowK(n uint64) float64 {
+	if n < powTableSize {
+		return m.powK[n]
+	}
+	return math.Exp(float64(n) * m.logK)
+}
+
+// Log returns log f, using the pre-computed integer table when f is a
+// small non-negative integer value and the libm call otherwise.
+// Footprints below one line are clamped to one line (log 0 is -inf and
+// would poison priority arithmetic; a sub-line footprint cannot be
+// distinguished from an empty one by the scheduler anyway).
+func (m *Model) Log(f float64) float64 {
+	if f < 1 {
+		return 0
+	}
+	if i := int(f); float64(i) == f && i <= m.n {
+		return m.logF[i]
+	}
+	return math.Log(f)
+}
+
+// ExpectSelf returns the expected footprint of the blocking thread
+// itself after taking n misses, given its footprint s when dispatched
+// (case 1: E = N − (N−s)·kⁿ).
+func (m *Model) ExpectSelf(s float64, n uint64) float64 {
+	fn := float64(m.n)
+	return fn - (fn-s)*m.PowK(n)
+}
+
+// ExpectIndep returns the expected footprint of a thread independent of
+// the blocking thread after the blocker took n misses (case 2:
+// E = s·kⁿ).
+func (m *Model) ExpectIndep(s float64, n uint64) float64 {
+	return s * m.PowK(n)
+}
+
+// ExpectDep returns the expected footprint of a thread that shares state
+// with the blocking thread, where q is the sharing coefficient on the
+// (blocker, thread) edge (case 3: E = qN − (qN−s)·kⁿ).
+func (m *Model) ExpectDep(s, q float64, n uint64) float64 {
+	qn := q * float64(m.n)
+	return qn - (qn-s)*m.PowK(n)
+}
+
+// Decay returns a footprint s observed when the processor's miss counter
+// read m0, decayed to the instant the counter reads mt. Between updates
+// every thread is independent of whatever ran, so the universal decay
+// law E(t) = s·k^(m(t)−m0) applies; this is what makes the inflated
+// priorities of Section 4 time-invariant.
+func (m *Model) Decay(s float64, m0, mt uint64) float64 {
+	if mt <= m0 {
+		return s
+	}
+	return s * m.PowK(mt-m0)
+}

@@ -1,0 +1,151 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const testN = 256 // small cache keeps Markov evolution cheap
+
+func TestClosedFormBasics(t *testing.T) {
+	m := New(testN)
+	// No misses: footprints unchanged.
+	if got := m.ExpectSelf(100, 0); got != 100 {
+		t.Errorf("ExpectSelf(100, 0) = %v", got)
+	}
+	if got := m.ExpectIndep(100, 0); got != 100 {
+		t.Errorf("ExpectIndep(100, 0) = %v", got)
+	}
+	if got := m.ExpectDep(100, 0.5, 0); got != 100 {
+		t.Errorf("ExpectDep(100, 0.5, 0) = %v", got)
+	}
+	// One miss from an empty footprint: the blocker gains exactly one
+	// line, an independent sleeper with S lines keeps S·k.
+	if got := m.ExpectSelf(0, 1); math.Abs(got-1) > 1e-9 {
+		t.Errorf("ExpectSelf(0, 1) = %v, want 1", got)
+	}
+	if got := m.ExpectIndep(testN, 1); math.Abs(got-float64(testN)*m.K()) > 1e-9 {
+		t.Errorf("ExpectIndep(N, 1) = %v", got)
+	}
+}
+
+func TestAsymptotes(t *testing.T) {
+	m := New(testN)
+	const big = 1 << 20
+	if got := m.ExpectSelf(0, big); math.Abs(got-float64(testN)) > 1e-6 {
+		t.Errorf("ExpectSelf asymptote = %v, want %d", got, testN)
+	}
+	if got := m.ExpectIndep(float64(testN), big); got > 1e-6 {
+		t.Errorf("ExpectIndep asymptote = %v, want 0", got)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 1} {
+		if got := m.ExpectDep(100, q, big); math.Abs(got-q*float64(testN)) > 1e-6 {
+			t.Errorf("ExpectDep(q=%v) asymptote = %v, want %v", q, got, q*float64(testN))
+		}
+	}
+}
+
+func TestDepReducesToSelfAndIndep(t *testing.T) {
+	m := New(testN)
+	f := func(s8 uint8, n16 uint16) bool {
+		s := float64(s8)
+		n := uint64(n16)
+		self := m.ExpectSelf(s, n)
+		dep1 := m.ExpectDep(s, 1, n)
+		indep := m.ExpectIndep(s, n)
+		dep0 := m.ExpectDep(s, 0, n)
+		return math.Abs(self-dep1) < 1e-9 && math.Abs(indep-dep0) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFootprintBounds(t *testing.T) {
+	m := New(testN)
+	f := func(s8 uint8, q8 uint8, n16 uint16) bool {
+		s := float64(s8) // <= 255 < N? testN=256, s8 max 255 ok
+		q := float64(q8) / 255
+		n := uint64(n16)
+		e := m.ExpectDep(s, q, n)
+		lo, hi := math.Min(s, q*float64(testN)), math.Max(s, q*float64(testN))
+		return e >= lo-1e-9 && e <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonotoneInMisses(t *testing.T) {
+	m := New(testN)
+	// The blocker's footprint is nondecreasing in n; an independent
+	// sleeper's is nonincreasing.
+	prevSelf, prevIndep := m.ExpectSelf(10, 0), m.ExpectIndep(200, 0)
+	for n := uint64(1); n < 5000; n += 7 {
+		s, i := m.ExpectSelf(10, n), m.ExpectIndep(200, n)
+		if s < prevSelf-1e-12 {
+			t.Fatalf("ExpectSelf decreased at n=%d", n)
+		}
+		if i > prevIndep+1e-12 {
+			t.Fatalf("ExpectIndep increased at n=%d", n)
+		}
+		prevSelf, prevIndep = s, i
+	}
+}
+
+func TestPowKTableMatchesExp(t *testing.T) {
+	m := New(8192)
+	for _, n := range []uint64{0, 1, 17, 1000, powTableSize - 1, powTableSize, powTableSize + 5, 1 << 20} {
+		want := math.Exp(float64(n) * m.LogK())
+		if got := m.PowK(n); math.Abs(got-want) > 1e-9*math.Max(want, 1e-300) && math.Abs(got-want) > 1e-12 {
+			t.Errorf("PowK(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestLogTable(t *testing.T) {
+	m := New(testN)
+	for _, f := range []float64{1, 2, 100, 255, 256} {
+		if got, want := m.Log(f), math.Log(f); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Log(%v) = %v, want %v", f, got, want)
+		}
+	}
+	// Non-integer and beyond-table values fall back to libm.
+	if got, want := m.Log(100.5), math.Log(100.5); got != want {
+		t.Errorf("Log(100.5) = %v, want %v", got, want)
+	}
+	if got, want := m.Log(1e6), math.Log(1e6); got != want {
+		t.Errorf("Log(1e6) = %v, want %v", got, want)
+	}
+	// Sub-line footprints clamp to log(1) = 0 instead of -inf.
+	if got := m.Log(0); got != 0 {
+		t.Errorf("Log(0) = %v, want 0", got)
+	}
+	if got := m.Log(0.5); got != 0 {
+		t.Errorf("Log(0.5) = %v, want 0", got)
+	}
+}
+
+func TestDecay(t *testing.T) {
+	m := New(testN)
+	if got := m.Decay(100, 50, 50); got != 100 {
+		t.Errorf("no-elapsed decay = %v", got)
+	}
+	if got := m.Decay(100, 60, 50); got != 100 {
+		t.Errorf("clock regression should not grow footprint: %v", got)
+	}
+	want := 100 * m.PowK(25)
+	if got := m.Decay(100, 50, 75); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Decay = %v, want %v", got, want)
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(1) did not panic")
+		}
+	}()
+	New(1)
+}

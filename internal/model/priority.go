@@ -1,0 +1,156 @@
+package model
+
+// This file implements the inflated priority algebra of Section 4. Both
+// policies replace the expected footprint with a monotonically related
+// priority that is *time-invariant for threads independent of the
+// blocking thread*, so a context switch updates only the blocking thread
+// and its out-neighbours in the dependency graph:
+//
+//	LFF:  p(t) = log E[F](t) − m(t)·log k
+//	CRT:  p(t) = log E[F](t) − log E[F_last] − m(t)·log k
+//
+// Since every thread not involved in the switch decays as
+// E(t) = S·k^(m(t)−m0), its priority is constant:
+// p(t) = log S + (m(t)−m0)·log k − m(t)·log k = log S − m0·log k.
+//
+// Scheme implementations count their floating-point operations on the
+// shared Model so Table 3 can be regenerated; pre-computed table lookups
+// (kⁿ, log F) and integer arithmetic are free, matching the paper's
+// accounting.
+
+// Scheme is the priority algebra of one locality policy. A Scheme is
+// stateless; per-thread state (S, S_last, m0, priority) lives in the
+// scheduler's footprint entries.
+type Scheme interface {
+	// Name returns the policy name ("LFF" or "CRT").
+	Name() string
+
+	// Blocking computes the new expected footprint and priority of the
+	// thread that just blocked on a processor: s is its footprint when
+	// it was dispatched, n the misses it took, mt the processor's
+	// cumulative miss count at the switch.
+	Blocking(m *Model, s float64, n, mt uint64) (newS, prio float64)
+
+	// Dependent computes the new expected footprint and priority of a
+	// thread that shares state (coefficient q) with the blocking
+	// thread: s is the dependent's footprint at the start of the
+	// blocker's interval, slast its footprint when it last executed on
+	// this processor (used only by CRT; pass newS's prior value or 0).
+	Dependent(m *Model, s, slast, q float64, n, mt uint64) (newS, prio float64)
+
+	// Initial computes the priority of a freshly created footprint
+	// entry with footprint s and last-executed footprint slast at
+	// processor miss count mt.
+	Initial(m *Model, s, slast float64, mt uint64) float64
+
+	// Footprint inverts the priority back to the current expected
+	// footprint at processor miss count mt (for threshold demotion
+	// and diagnostics). For CRT the inversion needs slast.
+	Footprint(m *Model, prio, slast float64, mt uint64) float64
+}
+
+// LFF is the Largest Footprint First priority algebra (Section 4.1).
+type LFF struct{}
+
+// Name implements Scheme.
+func (LFF) Name() string { return "LFF" }
+
+// Blocking implements Scheme: E = N − (N−s)·kⁿ, p = log E − (m₀+n)·log k.
+// Five floating-point operations (two subs and a mul for E, a mul and a
+// sub for p); the log and kⁿ come from tables.
+func (LFF) Blocking(m *Model, s float64, n, mt uint64) (newS, prio float64) {
+	newS = m.ExpectSelf(s, n)
+	prio = m.Log(newS) - float64(mt)*m.logK
+	m.flops += 5
+	return newS, prio
+}
+
+// Dependent implements Scheme: E = qN − (qN−s)·kⁿ, p = log E − m·log k.
+// Six floating-point operations (the qN product is recomputed; a
+// scheduler that caches qN on the graph edge saves one).
+func (LFF) Dependent(m *Model, s, _, q float64, n, mt uint64) (newS, prio float64) {
+	newS = m.ExpectDep(s, q, n)
+	prio = m.Log(newS) - float64(mt)*m.logK
+	m.flops += 6
+	return newS, prio
+}
+
+// Initial implements Scheme.
+func (LFF) Initial(m *Model, s, _ float64, mt uint64) float64 {
+	m.flops += 2
+	return m.Log(s) - float64(mt)*m.logK
+}
+
+// Footprint implements Scheme: E = exp(p + m·log k).
+func (LFF) Footprint(m *Model, prio, _ float64, mt uint64) float64 {
+	return exp(prio + float64(mt)*m.logK)
+}
+
+// CRT is the smallest Cache-Reload raTio priority algebra (Section 4.2).
+// Higher priority means a smaller expected reload ratio
+// R = (E[F_last] − E[F]) / E[F_last].
+type CRT struct{}
+
+// Name implements Scheme.
+func (CRT) Name() string { return "CRT" }
+
+// Blocking implements Scheme. A thread that just blocked has all of its
+// (current expected) state in the cache, so R = 0 and
+// p = −m(t)·log k: one multiplication once −log k is pre-computed. The
+// footprint bookkeeping (E = N − (N−s)·kⁿ, three FLOPs) still happens so
+// that future updates know S and S_last.
+func (CRT) Blocking(m *Model, s float64, n, mt uint64) (newS, prio float64) {
+	newS = m.ExpectSelf(s, n)
+	prio = -(float64(mt) * m.logK)
+	m.flops += 4
+	return newS, prio
+}
+
+// Dependent implements Scheme: p = log E − log E_last − m·log k. If the
+// thread has never executed on this processor (slast <= 0), its reload
+// ratio is taken as zero — everything it has ever had here is here — by
+// using E itself as E_last.
+func (CRT) Dependent(m *Model, s, slast, q float64, n, mt uint64) (newS, prio float64) {
+	newS = m.ExpectDep(s, q, n)
+	if slast <= 0 {
+		slast = newS
+	}
+	prio = m.Log(newS) - m.Log(slast) - float64(mt)*m.logK
+	m.flops += 7
+	return newS, prio
+}
+
+// Initial implements Scheme.
+func (CRT) Initial(m *Model, s, slast float64, mt uint64) float64 {
+	if slast <= 0 {
+		slast = s
+	}
+	m.flops += 3
+	return m.Log(s) - m.Log(slast) - float64(mt)*m.logK
+}
+
+// Footprint implements Scheme: E = E_last·exp(p + m·log k).
+func (CRT) Footprint(m *Model, prio, slast float64, mt uint64) float64 {
+	if slast <= 0 {
+		return 0
+	}
+	return slast * exp(prio+float64(mt)*m.logK)
+}
+
+// ReloadRatio recovers R = (E_last − E)/E_last from a CRT priority.
+func (CRT) ReloadRatio(m *Model, prio float64, mt uint64) float64 {
+	return 1 - exp(prio+float64(mt)*m.logK)
+}
+
+// SchemeByName returns the scheme for a policy name, or nil for "FCFS"
+// and other names that use no priority algebra.
+func SchemeByName(name string) Scheme {
+	switch name {
+	case "LFF", "lff":
+		return LFF{}
+	case "CRT", "crt":
+		return CRT{}
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,132 @@
+// Package perfctr simulates the per-processor hardware performance
+// monitoring unit the paper's runtime reads at every context switch.
+//
+// The model follows the UltraSPARC-1: a Performance Control Register
+// (PCR) selects which event each of two 32-bit Performance
+// Instrumentation Counters (PIC0, PIC1) accumulates, and a PCR bit
+// grants user-level read access so the thread runtime gets cache-use
+// information for free. In the paper's configuration PIC0 counts
+// E-cache references and PIC1 counts E-cache hits; the scheduler derives
+// misses as refs − hits across a scheduling interval using modular
+// 32-bit arithmetic (the counters wrap).
+package perfctr
+
+import "fmt"
+
+// Event enumerates countable hardware events. Only the cache-related
+// events are used by the scheduling runtime, but cycles and instructions
+// are provided for the MPI experiments.
+type Event uint8
+
+// Countable events.
+const (
+	// EventNone makes a counter hold its value.
+	EventNone Event = iota
+	// EventCycles counts processor cycles.
+	EventCycles
+	// EventInstructions counts instructions executed.
+	EventInstructions
+	// EventECacheRefs counts external (L2) cache references.
+	EventECacheRefs
+	// EventECacheHits counts external (L2) cache hits.
+	EventECacheHits
+)
+
+func (e Event) String() string {
+	switch e {
+	case EventNone:
+		return "none"
+	case EventCycles:
+		return "cycles"
+	case EventInstructions:
+		return "instr"
+	case EventECacheRefs:
+		return "EC_ref"
+	case EventECacheHits:
+		return "EC_hit"
+	default:
+		return fmt.Sprintf("Event(%d)", uint8(e))
+	}
+}
+
+// PCR is the Performance Control Register: event selection for the two
+// PICs plus the user-access ("PRIV=0") bit that lets the runtime read
+// the counters without a system call.
+type PCR struct {
+	Pic0, Pic1 Event
+	UserAccess bool
+}
+
+// DefaultPCR is the configuration the paper uses on both platforms:
+// PIC0 = E-cache references, PIC1 = E-cache hits, readable at user
+// level.
+func DefaultPCR() PCR {
+	return PCR{Pic0: EventECacheRefs, Pic1: EventECacheHits, UserAccess: true}
+}
+
+// Unit is one processor's performance monitoring unit.
+type Unit struct {
+	pcr        PCR
+	pic0, pic1 uint32
+}
+
+// NewUnit returns a unit programmed with the given control register.
+func NewUnit(pcr PCR) *Unit { return &Unit{pcr: pcr} }
+
+// PCR returns the current control register value.
+func (u *Unit) PCR() PCR { return u.pcr }
+
+// Program rewrites the control register. Real hardware does not clear
+// the PICs on a PCR write, and neither does the simulation.
+func (u *Unit) Program(pcr PCR) { u.pcr = pcr }
+
+// Record accumulates delta occurrences of event e into whichever PICs
+// are programmed to count it. The 32-bit counters wrap silently, as on
+// hardware.
+func (u *Unit) Record(e Event, delta uint64) {
+	if u.pcr.Pic0 == e {
+		u.pic0 += uint32(delta)
+	}
+	if u.pcr.Pic1 == e {
+		u.pic1 += uint32(delta)
+	}
+}
+
+// Snapshot is a point-in-time reading of both PICs.
+type Snapshot struct {
+	Pic0, Pic1 uint32
+}
+
+// Read returns the current counter values. It fails (as the hardware
+// traps) if user access is not enabled; the runtime always programs
+// UserAccess, so this is a guard against misconfiguration, not a
+// recoverable condition.
+func (u *Unit) Read() Snapshot {
+	if !u.pcr.UserAccess {
+		panic("perfctr: user-level PIC read with PCR.UserAccess clear")
+	}
+	return Snapshot{Pic0: u.pic0, Pic1: u.pic1}
+}
+
+// Reset zeroes both counters (a privileged write on hardware; the
+// runtime instead uses snapshot deltas, but tests and tools may reset).
+func (u *Unit) Reset() { u.pic0, u.pic1 = 0, 0 }
+
+// Delta returns the per-PIC event counts between two snapshots taken
+// from the same unit, correctly handling 32-bit wraparound (intervals
+// shorter than 2^32 events, which every scheduling interval is).
+func Delta(cur, prev Snapshot) (d0, d1 uint64) {
+	return uint64(cur.Pic0 - prev.Pic0), uint64(cur.Pic1 - prev.Pic1)
+}
+
+// MissesSince derives the number of E-cache misses between prev and cur
+// for a unit programmed with DefaultPCR (refs on PIC0, hits on PIC1).
+func MissesSince(cur, prev Snapshot) uint64 {
+	refs, hits := Delta(cur, prev)
+	if hits > refs {
+		// Can only happen if the PCR was reprogrammed mid-interval;
+		// clamp rather than underflow.
+		return 0
+	}
+	return refs - hits
+}

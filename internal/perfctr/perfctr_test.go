@@ -1,0 +1,108 @@
+package perfctr
+
+import "testing"
+
+func TestDefaultConfiguration(t *testing.T) {
+	u := NewUnit(DefaultPCR())
+	u.Record(EventECacheRefs, 10)
+	u.Record(EventECacheHits, 7)
+	u.Record(EventCycles, 100) // not selected: must not count
+	s := u.Read()
+	if s.Pic0 != 10 || s.Pic1 != 7 {
+		t.Errorf("snapshot = %+v, want {10 7}", s)
+	}
+}
+
+func TestMissesSince(t *testing.T) {
+	u := NewUnit(DefaultPCR())
+	base := u.Read()
+	u.Record(EventECacheRefs, 100)
+	u.Record(EventECacheHits, 60)
+	if got := MissesSince(u.Read(), base); got != 40 {
+		t.Errorf("MissesSince = %d, want 40", got)
+	}
+}
+
+func TestWraparound(t *testing.T) {
+	u := NewUnit(DefaultPCR())
+	// Push PIC0 to the brink of wrap, snapshot, cross the wrap, and
+	// verify the interval delta survives it.
+	u.Record(EventECacheRefs, 1<<32-5)
+	base := u.Read()
+	u.Record(EventECacheRefs, 10) // wraps
+	d0, _ := Delta(u.Read(), base)
+	if d0 != 10 {
+		t.Errorf("delta across wrap = %d, want 10", d0)
+	}
+}
+
+func TestHitsExceedingRefsClamps(t *testing.T) {
+	// Only possible if the PCR was reprogrammed mid-interval; the
+	// runtime must see 0, not a huge unsigned underflow.
+	u := NewUnit(DefaultPCR())
+	base := u.Read()
+	u.Record(EventECacheHits, 5)
+	if got := MissesSince(u.Read(), base); got != 0 {
+		t.Errorf("clamped misses = %d, want 0", got)
+	}
+}
+
+func TestPrivilegedReadTraps(t *testing.T) {
+	pcr := DefaultPCR()
+	pcr.UserAccess = false
+	u := NewUnit(pcr)
+	defer func() {
+		if recover() == nil {
+			t.Error("user-level read with UserAccess clear did not trap")
+		}
+	}()
+	u.Read()
+}
+
+func TestProgramPreservesCounts(t *testing.T) {
+	u := NewUnit(DefaultPCR())
+	u.Record(EventECacheRefs, 42)
+	pcr := u.PCR()
+	pcr.Pic0 = EventCycles
+	u.Program(pcr)
+	if got := u.Read().Pic0; got != 42 {
+		t.Errorf("PCR write cleared PIC0: %d", got)
+	}
+	u.Record(EventCycles, 8)
+	if got := u.Read().Pic0; got != 50 {
+		t.Errorf("PIC0 after retarget = %d, want 50", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	u := NewUnit(DefaultPCR())
+	u.Record(EventECacheRefs, 3)
+	u.Record(EventECacheHits, 2)
+	u.Reset()
+	if s := u.Read(); s.Pic0 != 0 || s.Pic1 != 0 {
+		t.Errorf("after reset: %+v", s)
+	}
+}
+
+func TestSameEventBothPICs(t *testing.T) {
+	u := NewUnit(PCR{Pic0: EventECacheRefs, Pic1: EventECacheRefs, UserAccess: true})
+	u.Record(EventECacheRefs, 6)
+	if s := u.Read(); s.Pic0 != 6 || s.Pic1 != 6 {
+		t.Errorf("both PICs should count the shared event: %+v", s)
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	names := map[Event]string{
+		EventNone: "none", EventCycles: "cycles", EventInstructions: "instr",
+		EventECacheRefs: "EC_ref", EventECacheHits: "EC_hit",
+	}
+	for e, want := range names {
+		if e.String() != want {
+			t.Errorf("%d.String() = %q, want %q", e, e.String(), want)
+		}
+	}
+	if Event(200).String() != "Event(200)" {
+		t.Error("unknown event string wrong")
+	}
+}

@@ -1,0 +1,258 @@
+// Package report renders experiment results as aligned ASCII tables,
+// simple text plots and CSV, so every table and figure of the paper can
+// be regenerated on a terminal and diffed across runs.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; cells beyond the column count are dropped,
+// missing cells render empty.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddRowf appends a row built from format/value pairs: values are
+// rendered with %v unless they are float64 (rendered %.4g).
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends a footnote line printed under the table.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// WriteTo renders the table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, w := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", w, cell)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2) + "\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.WriteTo(&b)
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table (used
+// when pasting measured results into EXPERIMENTS.md).
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		cells := make([]string, len(t.Columns))
+		copy(cells, row)
+		b.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n_%s_\n", n)
+	}
+	return b.String()
+}
+
+// Plot renders one or more series as a text chart: rows are sampled Y
+// values over a shared X range, one column block per series.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*stats.Series
+	// Height is the number of chart rows (default 16).
+	Height int
+	// Width is the number of chart columns (default 64).
+	Width int
+}
+
+// marks are the per-series glyphs.
+var marks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// WriteTo renders the plot.
+func (p *Plot) WriteTo(w io.Writer) (int64, error) {
+	height, width := p.Height, p.Width
+	if height == 0 {
+		height = 16
+	}
+	if width == 0 {
+		width = 64
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1)
+	for _, s := range p.Series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	if math.IsInf(minX, 1) || maxY <= minY || maxX <= minX {
+		fmt.Fprintf(&b, "  (no data)\n")
+		n, err := io.WriteString(w, b.String())
+		return int64(n), err
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range p.Series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			c := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			r := height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(height-1))
+			if r >= 0 && r < height && c >= 0 && c < width {
+				grid[r][c] = mark
+			}
+		}
+	}
+	fmt.Fprintf(&b, "  %s\n", p.YLabel)
+	for r, row := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%8.3g", maxY)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%8.3g", minY)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s %8.3g%s%.3g  (%s)\n", strings.Repeat(" ", 9), minX,
+		strings.Repeat(" ", maxInt(1, width-14)), maxX, p.XLabel)
+	for si, s := range p.Series {
+		fmt.Fprintf(&b, "    %c %s\n", marks[si%len(marks)], s.Label)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the plot to a string.
+func (p *Plot) String() string {
+	var b strings.Builder
+	p.WriteTo(&b)
+	return b.String()
+}
+
+// CSV writes series as columns: x, then one y column per series (series
+// must share X values; ragged series are written up to their length).
+func CSV(w io.Writer, series ...*stats.Series) error {
+	if len(series) == 0 {
+		return nil
+	}
+	header := []string{"x"}
+	for _, s := range series {
+		header = append(header, s.Label)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	rows := 0
+	for _, s := range series {
+		if s.Len() > rows {
+			rows = s.Len()
+		}
+	}
+	for i := 0; i < rows; i++ {
+		cells := make([]string, 0, len(series)+1)
+		x := ""
+		for _, s := range series {
+			if i < s.Len() {
+				x = fmt.Sprintf("%g", s.X[i])
+				break
+			}
+		}
+		cells = append(cells, x)
+		for _, s := range series {
+			if i < s.Len() {
+				cells = append(cells, fmt.Sprintf("%g", s.Y[i]))
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

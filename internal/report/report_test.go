@@ -1,0 +1,172 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := NewTable("Title", "col1", "longer column", "c")
+	tbl.AddRow("a", "b", "c")
+	tbl.AddRow("longer cell", "x", "y")
+	tbl.Note("footnote %d", 7)
+	out := tbl.String()
+	if !strings.Contains(out, "Title") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + rule + 2 rows + note
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// Columns must align: "b" and "x" start at the same offset.
+	bi := strings.Index(lines[3], "b")
+	xi := strings.Index(lines[4], "x")
+	if bi != xi {
+		t.Errorf("column misaligned: %d vs %d", bi, xi)
+	}
+	if !strings.Contains(lines[5], "footnote 7") {
+		t.Error("note missing")
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tbl := NewTable("", "a", "b", "c")
+	tbl.AddRowf("s", 3.14159, 42)
+	out := tbl.String()
+	if !strings.Contains(out, "3.142") || !strings.Contains(out, "42") {
+		t.Errorf("formatting wrong: %q", out)
+	}
+}
+
+func TestRowsShorterThanColumns(t *testing.T) {
+	tbl := NewTable("", "a", "b", "c")
+	tbl.AddRow("only")
+	if out := tbl.String(); !strings.Contains(out, "only") {
+		t.Error("short row lost")
+	}
+}
+
+func TestPlotRendersSeries(t *testing.T) {
+	s1 := &stats.Series{Label: "up"}
+	s2 := &stats.Series{Label: "down"}
+	for i := 0; i < 50; i++ {
+		s1.Append(float64(i), float64(i))
+		s2.Append(float64(i), float64(50-i))
+	}
+	p := &Plot{Title: "T", XLabel: "x", YLabel: "y", Series: []*stats.Series{s1, s2}, Height: 10, Width: 40}
+	out := p.String()
+	if !strings.Contains(out, "T") || !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Errorf("plot incomplete: %q", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("marks missing")
+	}
+	// 10 chart rows between pipes.
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "|") {
+			rows++
+		}
+	}
+	if rows != 10 {
+		t.Errorf("chart rows = %d, want 10", rows)
+	}
+}
+
+func TestPlotEmptyData(t *testing.T) {
+	p := &Plot{Title: "E", Series: []*stats.Series{{Label: "none"}}}
+	if out := p.String(); !strings.Contains(out, "no data") {
+		t.Errorf("empty plot: %q", out)
+	}
+	flat := &stats.Series{Label: "flat"}
+	flat.Append(1, 0)
+	p2 := &Plot{Series: []*stats.Series{flat}}
+	if out := p2.String(); !strings.Contains(out, "no data") {
+		t.Errorf("degenerate plot: %q", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	a := &stats.Series{Label: "a"}
+	b := &stats.Series{Label: "b"}
+	a.Append(1, 10)
+	a.Append(2, 20)
+	b.Append(1, 100)
+	var sb strings.Builder
+	if err := CSV(&sb, a, b); err != nil {
+		t.Fatal(err)
+	}
+	want := "x,a,b\n1,10,100\n2,20,\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+	var empty strings.Builder
+	if err := CSV(&empty); err != nil || empty.Len() != 0 {
+		t.Error("empty CSV misbehaved")
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tbl := NewTable("T", "a", "b")
+	tbl.AddRow("1", "2")
+	tbl.AddRow("only") // short row padded
+	tbl.Note("n")
+	md := tbl.Markdown()
+	for _, want := range []string{"**T**", "| a | b |", "|---|---|", "| 1 | 2 |", "| only |  |", "_n_"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestSVGPlot(t *testing.T) {
+	obs := &stats.Series{Label: "observed <1>"}
+	pred := &stats.Series{Label: "predicted"}
+	for i := 0; i < 30; i++ {
+		obs.Append(float64(i*100), float64(i*i))
+		pred.Append(float64(i*100), float64(i*i)+10)
+	}
+	p := &SVGPlot{
+		Title: "T & Co", XLabel: "misses", YLabel: "lines",
+		Series: []*stats.Series{obs, pred},
+		Dashed: map[int]bool{1: true},
+	}
+	out := p.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "stroke-dasharray",
+		"T &amp; Co", "observed &lt;1&gt;", "misses", "lines",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two polylines, one dashed.
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+}
+
+func TestSVGPlotEmpty(t *testing.T) {
+	p := &SVGPlot{Title: "E", Series: []*stats.Series{{Label: "none"}}}
+	if out := p.String(); !strings.Contains(out, "no data") {
+		t.Errorf("empty SVG: %q", out)
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		2_000_000: "2.0M",
+		40000:     "40k",
+		512:       "512",
+		3:         "3",
+		0.125:     "0.12",
+	}
+	for v, want := range cases {
+		if got := fmtTick(v); got != want {
+			t.Errorf("fmtTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// SVG rendering for the figures: multi-series line charts with axes,
+// ticks, and a legend, built with nothing but the standard library. The
+// output is deliberately plain (black axes, a small fixed palette) so
+// diffs between regenerated figures stay readable.
+
+// svgPalette holds the series stroke colors.
+var svgPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+	"#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+// SVGPlot describes one chart.
+type SVGPlot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*stats.Series
+	// Width and Height are the canvas size in pixels (defaults
+	// 720x440).
+	Width, Height int
+	// Dashed marks series indices to draw dashed (e.g. model
+	// predictions vs solid observations).
+	Dashed map[int]bool
+}
+
+// WriteTo renders the chart as a standalone SVG document.
+func (p *SVGPlot) WriteTo(w io.Writer) (int64, error) {
+	width, height := p.Width, p.Height
+	if width == 0 {
+		width = 720
+	}
+	if height == 0 {
+		height = 440
+	}
+	const (
+		marginL = 70
+		marginR = 20
+		marginT = 40
+		marginB = 50
+	)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1)
+	for _, s := range p.Series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if math.IsInf(minX, 1) || maxX <= minX || maxY <= minY {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif">no data</text>`+"\n", width/2-30, height/2)
+		b.WriteString("</svg>\n")
+		n, err := io.WriteString(w, b.String())
+		return int64(n), err
+	}
+
+	sx := func(x float64) float64 { return marginL + (x-minX)/(maxX-minX)*plotW }
+	sy := func(y float64) float64 { return marginT + plotH - (y-minY)/(maxY-minY)*plotH }
+
+	// Title and axis labels.
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n",
+		marginL, xmlEscape(p.Title))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginL+int(plotW/2), height-12, xmlEscape(p.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		marginT+int(plotH/2), marginT+int(plotH/2), xmlEscape(p.YLabel))
+
+	// Axes with 5 ticks each.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%f" x2="%f" y2="%f" stroke="black"/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%f" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, marginT+plotH)
+	for i := 0; i <= 5; i++ {
+		fx := minX + (maxX-minX)*float64(i)/5
+		fy := minY + (maxY-minY)*float64(i)/5
+		fmt.Fprintf(&b, `<line x1="%f" y1="%f" x2="%f" y2="%f" stroke="black"/>`+"\n",
+			sx(fx), marginT+plotH, sx(fx), marginT+plotH+5)
+		fmt.Fprintf(&b, `<text x="%f" y="%f" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			sx(fx), marginT+plotH+18, fmtTick(fx))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%f" x2="%d" y2="%f" stroke="black"/>`+"\n",
+			marginL-5, sy(fy), marginL, sy(fy))
+		fmt.Fprintf(&b, `<text x="%d" y="%f" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`+"\n",
+			marginL-8, sy(fy)+3, fmtTick(fy))
+	}
+
+	// Series polylines.
+	for si, s := range p.Series {
+		if s.Len() == 0 {
+			continue
+		}
+		color := svgPalette[si%len(svgPalette)]
+		dash := ""
+		if p.Dashed[si] {
+			dash = ` stroke-dasharray="6 4"`
+		}
+		var pts strings.Builder
+		for i := range s.X {
+			fmt.Fprintf(&pts, "%.1f,%.1f ", sx(s.X[i]), sy(s.Y[i]))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.6"%s points="%s"/>`+"\n",
+			color, dash, strings.TrimSpace(pts.String()))
+	}
+
+	// Legend.
+	ly := marginT + 8
+	for si, s := range p.Series {
+		color := svgPalette[si%len(svgPalette)]
+		dash := ""
+		if p.Dashed[si] {
+			dash = ` stroke-dasharray="6 4"`
+		}
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="1.6"%s/>`+"\n",
+			width-marginR-150, ly, width-marginR-120, ly, color, dash)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="10">%s</text>`+"\n",
+			width-marginR-114, ly+3, xmlEscape(s.Label))
+		ly += 14
+	}
+	b.WriteString("</svg>\n")
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the SVG to a string.
+func (p *SVGPlot) String() string {
+	var b strings.Builder
+	p.WriteTo(&b)
+	return b.String()
+}
+
+// fmtTick renders an axis tick value compactly.
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case av >= 100 || v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+// xmlEscape escapes text content for SVG.
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

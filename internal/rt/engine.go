@@ -1,0 +1,735 @@
+// Package rt is the reproduction's Active Threads runtime: a
+// deterministic green-thread system running over the simulated SMP of
+// internal/machine, scheduled by the locality framework of
+// internal/sched.
+//
+// Simulated threads are ordinary Go functions executed on goroutines,
+// but the goroutines are used strictly as coroutines: exactly one
+// simulated thread runs at a time, hand-off is a synchronous channel
+// rendezvous, and every scheduling decision is made by this engine —
+// never by the Go scheduler (the reproduction hint warns that the
+// goroutine scheduler is opaque; here it has no influence at all).
+// Running any program twice produces identical cycle counts, miss
+// counts and schedules.
+//
+// The engine is a sequential discrete-event simulation with one cycle
+// clock per CPU: it always advances the CPU with the smallest clock, so
+// cross-CPU event ordering is conservative and total.
+package rt
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/annot"
+	"repro/internal/inference"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/model"
+	"repro/internal/perfctr"
+	"repro/internal/sched"
+	"repro/internal/xrand"
+)
+
+// Options configures an engine.
+type Options struct {
+	// Policy selects the scheduling policy: "FCFS", "LFF" or "CRT".
+	Policy string
+	// ThresholdLines is the footprint below which a heap entry is
+	// demoted (default 16 lines).
+	ThresholdLines float64
+	// DisableAnnotations makes Share a no-op — the paper's ablation of
+	// user annotations (Section 5: photo/LFF without annotations).
+	DisableAnnotations bool
+	// SpawnStacks places freshly created threads on per-CPU LIFO spawn
+	// stacks stolen oldest-first (Blumofe-Leiserson work-first), a
+	// design ablation; the default keeps the paper's global FIFO.
+	SpawnStacks bool
+	// FairnessLimit bounds starvation: a runnable thread waiting in
+	// the global queue longer than this many dispatches bypasses the
+	// locality heaps (the Section 7 escape mechanism). Zero disables
+	// fairness, the paper's default domain.
+	FairnessLimit uint64
+	// KeepInferenceHistory prevents the inference monitor from
+	// forgetting exited threads, so a profiling run's full co-access
+	// evidence can be harvested afterwards (the paper's "repeated
+	// trial runs" alternative). Requires InferSharing.
+	KeepInferenceHistory bool
+	// InferSharing turns on runtime sharing inference (the paper's
+	// Section 7 future work): a software Cache Miss Lookaside buffer
+	// watches page-granularity miss co-access and synthesizes
+	// at_share coefficients with no user annotations. Usually combined
+	// with DisableAnnotations to schedule unannotated programs.
+	InferSharing bool
+	// DefaultCodeBytes is the size of the shared default code region a
+	// thread's dispatch touches (default 2048).
+	DefaultCodeBytes uint64
+	// Overhead configures the cycle and memory cost of the scheduler
+	// itself.
+	Overhead OverheadConfig
+	// Seed fixes the engine's pseudo-randomness (per-thread RNG
+	// streams).
+	Seed uint64
+	// MaxSteps aborts runs that exceed this many engine steps (safety
+	// valve for buggy workloads; 0 means 4e9).
+	MaxSteps uint64
+}
+
+// Engine runs simulated threads on a simulated machine.
+type Engine struct {
+	mach  *machine.Machine
+	mdl   *model.Model
+	graph *annot.Graph
+	sched *sched.Scheduler
+	opts  Options
+
+	threads map[mem.ThreadID]*T
+	nextID  mem.ThreadID
+	live    int
+
+	running []*T
+	parked  []bool
+	// idleCycles accumulates, per CPU, clock advanced while parked —
+	// the utilization accounting behind Stats.
+	idleCycles []uint64
+	picBase    []perfctr.Snapshot
+	// dispatches counts context switches per CPU (diagnostics).
+	dispatches []uint64
+
+	timers   timerQueue
+	timerSeq uint64
+
+	overhead overheadState
+	rng      *xrand.Source
+	monitor  *inference.Monitor
+
+	defaultCode mem.Range
+	steps       uint64
+	// now is the clock of the CPU currently being processed; it is the
+	// engine's notion of global time (nondecreasing because the engine
+	// always processes the minimum-clock CPU).
+	now     uint64
+	failure error
+
+	// OnDispatch, when non-nil, observes every context switch (after
+	// the thread is installed). For tests and diagnostics only; it
+	// must not call back into the engine.
+	OnDispatch func(cpu int, tid mem.ThreadID, name string)
+}
+
+// debugPark is a test/diagnostic hook observing park decisions.
+var debugPark func(cpu, spawn0 int)
+
+// SetDebugPark installs the park hook (diagnostics only).
+func SetDebugPark(fn func(cpu, spawn0 int)) { debugPark = fn }
+
+// ErrDeadlock is returned by Run when live threads remain but none can
+// ever become runnable again.
+var ErrDeadlock = errors.New("rt: deadlock: blocked threads with no wake source")
+
+// New builds an engine over a machine.
+func New(m *machine.Machine, opts Options) *Engine {
+	if opts.Policy == "" {
+		opts.Policy = "FCFS"
+	}
+	if opts.ThresholdLines == 0 {
+		opts.ThresholdLines = 16
+	}
+	if opts.DefaultCodeBytes == 0 {
+		opts.DefaultCodeBytes = 2048
+	}
+	opts.Overhead = opts.Overhead.withDefaults()
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 4e9
+	}
+	scheme := model.SchemeByName(opts.Policy)
+	if scheme == nil && opts.Policy != "FCFS" {
+		panic(fmt.Sprintf("rt: unknown policy %q", opts.Policy))
+	}
+	e := &Engine{
+		mach:       m,
+		graph:      annot.New(),
+		opts:       opts,
+		threads:    make(map[mem.ThreadID]*T),
+		running:    make([]*T, m.NCPU()),
+		parked:     make([]bool, m.NCPU()),
+		idleCycles: make([]uint64, m.NCPU()),
+		picBase:    make([]perfctr.Snapshot, m.NCPU()),
+		dispatches: make([]uint64, m.NCPU()),
+		rng:        xrand.New(opts.Seed ^ 0x7d3),
+	}
+	if scheme != nil {
+		e.mdl = model.New(m.Config().L2.Lines())
+	}
+	e.sched = sched.New(e.mdl, scheme, e.graph, m.NCPU(), opts.ThresholdLines,
+		func(cpu int) uint64 { return m.CPU(cpu).EMisses })
+	e.sched.SetFairnessLimit(opts.FairnessLimit)
+	e.sched.SetSpawnStacks(opts.SpawnStacks)
+	e.overhead.init(m, opts.Overhead)
+	e.defaultCode = m.Alloc(opts.DefaultCodeBytes, 64)
+	if opts.InferSharing {
+		e.monitor = inference.NewMonitor(m.Config().PageSize)
+		m.MissHook = e.monitor.Touch
+	}
+	return e
+}
+
+// Monitor returns the sharing-inference monitor, or nil when inference
+// is off.
+func (e *Engine) Monitor() *inference.Monitor { return e.monitor }
+
+// Machine returns the engine's machine.
+func (e *Engine) Machine() *machine.Machine { return e.mach }
+
+// Scheduler exposes the scheduler (stats, diagnostics).
+func (e *Engine) Scheduler() *sched.Scheduler { return e.sched }
+
+// Graph exposes the shared-state dependency graph.
+func (e *Engine) Graph() *annot.Graph { return e.graph }
+
+// IdleCycles returns the per-CPU cycles spent parked with nothing to
+// run.
+func (e *Engine) IdleCycles() []uint64 { return append([]uint64(nil), e.idleCycles...) }
+
+// Dispatches returns the per-CPU context-switch counts.
+func (e *Engine) Dispatches() []uint64 { return append([]uint64(nil), e.dispatches...) }
+
+// totalDispatches sums the per-CPU dispatch counts.
+func (e *Engine) totalDispatches() uint64 {
+	var n uint64
+	for _, d := range e.dispatches {
+		n += d
+	}
+	return n
+}
+
+// SpawnOpts configures thread creation.
+type SpawnOpts struct {
+	// Name labels the thread in diagnostics.
+	Name string
+	// Code is the thread's code region; the zero Range means the
+	// engine-wide shared default region (threads running the same
+	// function share text).
+	Code mem.Range
+}
+
+// Spawn creates a thread executing body and makes it runnable. It may
+// be called before Run (to seed the program) or from inside thread
+// bodies via T.Create.
+func (e *Engine) Spawn(body func(*T), opts SpawnOpts) mem.ThreadID {
+	t := e.newThread(body, opts)
+	e.sched.Register(t.id)
+	e.sched.MakeRunnable(t.id)
+	e.unparkAll(e.now)
+	return t.id
+}
+
+func (e *Engine) newThread(body func(*T), opts SpawnOpts) *T {
+	id := e.nextID
+	e.nextID++
+	code := opts.Code
+	if code.Len == 0 {
+		code = e.defaultCode
+	}
+	t := &T{
+		id:       id,
+		name:     opts.Name,
+		eng:      e,
+		body:     body,
+		code:     code,
+		toThread: make(chan struct{}),
+		toEngine: make(chan struct{}),
+		rng:      xrand.New(e.opts.Seed ^ (0x9e1 * (uint64(id) + 1))),
+		status:   statusReady,
+	}
+	e.threads[id] = t
+	e.live++
+	go t.run()
+	return t
+}
+
+// Run drives the simulation until every thread has exited. It returns
+// ErrDeadlock if blocked threads remain with nothing to wake them, or
+// the recovered error if a thread body panicked.
+func (e *Engine) Run() error {
+	defer e.killRemaining()
+	for e.live > 0 {
+		if e.failure != nil {
+			return e.failure
+		}
+		e.steps++
+		if e.steps > e.opts.MaxSteps {
+			return fmt.Errorf("rt: exceeded %d engine steps (runaway workload?)", e.opts.MaxSteps)
+		}
+		p := e.nextCPU()
+		if p < 0 {
+			if !e.advanceToTimer() {
+				return e.describeDeadlock()
+			}
+			continue
+		}
+		if c := e.mach.CPU(p).Cycles; c > e.now {
+			e.now = c
+		}
+		e.fireTimers(e.now)
+		if t := e.running[p]; t != nil {
+			e.step(p, t)
+			continue
+		}
+		if tid, ok := e.sched.PickNext(p); ok {
+			e.dispatch(p, tid)
+			continue
+		}
+		if debugPark != nil {
+			debugPark(p, e.sched.SpawnLen(0))
+		}
+		e.parked[p] = true
+	}
+	return e.failure
+}
+
+// nextCPU returns the unparked CPU with the smallest clock (lowest ID on
+// ties), or -1 when all are parked.
+func (e *Engine) nextCPU() int {
+	best := -1
+	var bestClock uint64
+	for p := 0; p < len(e.running); p++ {
+		if e.parked[p] {
+			continue
+		}
+		c := e.mach.CPU(p).Cycles
+		if best < 0 || c < bestClock {
+			best, bestClock = p, c
+		}
+	}
+	return best
+}
+
+// unparkAll wakes idle CPUs because new work appeared; their clocks jump
+// to at least now (they were idling), and the jump is accounted as idle
+// time.
+func (e *Engine) unparkAll(now uint64) {
+	for p := range e.parked {
+		if !e.parked[p] {
+			continue
+		}
+		e.parked[p] = false
+		if cpu := e.mach.CPU(p); cpu.Cycles < now {
+			e.idleCycles[p] += now - cpu.Cycles
+			cpu.Cycles = now
+		}
+	}
+}
+
+// advanceToTimer is called when every CPU is parked: if a timer is
+// pending, idle the machine forward to it and fire; otherwise the
+// system is deadlocked.
+func (e *Engine) advanceToTimer() bool {
+	if e.timers.Len() == 0 {
+		return false
+	}
+	wake := e.timers[0].wakeAt
+	e.unparkAll(wake)
+	e.fireTimers(wake)
+	return true
+}
+
+// fireTimers wakes every sleeper whose deadline has passed.
+func (e *Engine) fireTimers(now uint64) {
+	woke := false
+	for e.timers.Len() > 0 && e.timers[0].wakeAt <= now {
+		tm := heap.Pop(&e.timers).(timerEntry)
+		t := e.threads[tm.tid]
+		if t == nil || t.status != statusBlocked {
+			continue
+		}
+		t.status = statusReady
+		e.sched.MakeRunnable(t.id)
+		woke = true
+	}
+	if woke {
+		e.unparkAll(now)
+	}
+}
+
+// dispatch installs thread tid on CPU p and charges the context-switch
+// cost: the base switch latency, the scheduler's data-structure work
+// since the last charge (cycles and cache traffic), and the thread's
+// code reload.
+func (e *Engine) dispatch(p int, tid mem.ThreadID) {
+	t := e.threads[tid]
+	if t == nil || t.status != statusReady {
+		panic(fmt.Sprintf("rt: dispatch of thread %v in status %v", tid, t.status))
+	}
+	e.sched.NoteDispatch(tid, p)
+	e.dispatches[p]++
+	if e.monitor != nil && e.totalDispatches()%4096 == 0 {
+		// Age out stale co-access evidence so phase changes do not
+		// leave fossil coefficients behind.
+		e.monitor.Decay()
+	}
+	e.mach.AdvanceCycles(p, uint64(e.opts.Overhead.CtxSwitchCycles))
+	e.overhead.charge(e, p)
+	// A thread woken to retry a mutex may find that someone barged in
+	// while it travelled; it then re-blocks at the front of the queue
+	// without running (the dispatch cost was still paid, as on real
+	// hardware).
+	if mu := t.retryLock; mu != nil {
+		if mu.owner != nil {
+			e.sched.OnBlock(tid, p, 0)
+			t.status = statusBlocked
+			t.blockedOn = "mutex " + mu.name + " (barged)"
+			mu.waiters = append([]*T{t}, mu.waiters...)
+			return
+		}
+		mu.owner = t
+		t.retryLock = nil
+	}
+	e.mach.TouchCode(p, tid, t.code)
+	e.picBase[p] = e.mach.CPU(p).PMU.Read()
+	t.cpu = p
+	t.dispatchClock = e.mach.CPU(p).Cycles
+	t.dispatchCount++
+	t.status = statusRunning
+	e.running[p] = t
+	if e.OnDispatch != nil {
+		e.OnDispatch(p, tid, t.name)
+	}
+}
+
+// step resumes the thread running on p for one request and handles it.
+func (e *Engine) step(p int, t *T) {
+	req := t.resume()
+	e.handle(p, t, req)
+}
+
+// ThreadTime is one thread's accumulated execution accounting.
+type ThreadTime struct {
+	ID         mem.ThreadID
+	Name       string
+	Cycles     uint64 // processor cycles while dispatched
+	Dispatches uint64
+}
+
+// ThreadTimes returns per-thread execution accounting for every thread
+// ever created, sorted by descending cycles (ties by ID). The engine
+// charges each thread the cycles its processor's clock advanced between
+// its dispatch and its block — the same interval the PICs cover.
+func (e *Engine) ThreadTimes() []ThreadTime {
+	out := make([]ThreadTime, 0, len(e.threads))
+	for _, t := range e.threads {
+		out = append(out, ThreadTime{ID: t.id, Name: t.name, Cycles: t.cycles, Dispatches: t.dispatchCount})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// blockCurrent performs the scheduling-point bookkeeping when the thread
+// running on p leaves the processor: the PICs are read, inferred
+// sharing edges (if inference is on) are refreshed for the blocking
+// thread, the model updates the blocking thread's and its dependents'
+// footprint entries (O(d)), and the CPU becomes free.
+func (e *Engine) blockCurrent(p int, t *T) {
+	t.cycles += e.mach.CPU(p).Cycles - t.dispatchClock
+	n := perfctr.MissesSince(e.mach.CPU(p).PMU.Read(), e.picBase[p])
+	if e.monitor != nil {
+		// Refresh the blocking thread's out-edges from the inferred
+		// coefficients before the dependent updates read them. The
+		// edge count is capped so the O(d) switch cost bound holds.
+		for _, edge := range e.monitor.EdgesFor(t.id, 0.1, 8) {
+			e.graph.Share(t.id, edge.To, edge.Q)
+		}
+	}
+	e.sched.OnBlock(t.id, p, n)
+	e.overhead.charge(e, p)
+	e.running[p] = nil
+}
+
+// handle processes one request from the running thread on p.
+func (e *Engine) handle(p int, t *T, req *request) {
+	switch req.kind {
+	case reqAccess:
+		e.mach.Apply(p, t.id, req.batch)
+
+	case reqCompute:
+		e.mach.Advance(p, req.n)
+
+	case reqShare:
+		if !e.opts.DisableAnnotations {
+			e.graph.Share(req.from, req.to, req.q)
+		}
+		e.mach.Advance(p, 4)
+
+	case reqAlloc:
+		t.resp.r = e.mach.Alloc(req.size, req.align)
+		e.mach.Advance(p, uint64(e.opts.Overhead.AllocInstrs))
+
+	case reqCreate:
+		child := e.newThread(req.body, SpawnOpts{Name: req.name, Code: req.code})
+		e.sched.Register(child.id)
+		e.sched.NoteSpawn(child.id, p)
+		e.mach.Advance(p, uint64(e.opts.Overhead.CreateInstrs))
+		t.resp.tid = child.id
+		e.unparkAll(e.mach.CPU(p).Cycles)
+
+	case reqYield:
+		e.blockCurrent(p, t)
+		t.status = statusReady
+		e.sched.MakeRunnable(t.id)
+		e.unparkAll(e.mach.CPU(p).Cycles)
+
+	case reqSleep:
+		e.blockCurrent(p, t)
+		t.status = statusBlocked
+		t.blockedOn = "sleep"
+		e.timerSeq++
+		heap.Push(&e.timers, timerEntry{wakeAt: e.mach.CPU(p).Cycles + req.n, seq: e.timerSeq, tid: t.id})
+
+	case reqJoin:
+		target := e.threads[req.tid]
+		if target == nil || target.status == statusDead {
+			e.mach.Advance(p, 4) // join of a finished thread: cheap
+			return
+		}
+		e.blockCurrent(p, t)
+		t.status = statusBlocked
+		t.blockedOn = "join " + target.id.String()
+		target.joiners = append(target.joiners, t)
+
+	case reqExit:
+		e.blockCurrent(p, t)
+		t.status = statusDead
+		e.live--
+		for _, j := range t.joiners {
+			e.wake(j)
+		}
+		t.joiners = nil
+		e.graph.RemoveThread(t.id)
+		if e.monitor != nil && !e.opts.KeepInferenceHistory {
+			e.monitor.Forget(t.id)
+		}
+		e.sched.Unregister(t.id)
+		e.unparkAll(e.mach.CPU(p).Cycles)
+
+	case reqPanic:
+		// The thread goroutine is gone; record and stop the world.
+		e.running[p] = nil
+		t.status = statusDead
+		e.sched.Unregister(t.id)
+		e.live--
+		if e.failure == nil {
+			e.failure = fmt.Errorf("rt: thread %v (%s) panicked: %v", t.id, t.name, req.err)
+		}
+
+	case reqLock:
+		mu := req.mu
+		e.mach.Advance(p, uint64(e.opts.Overhead.SyncInstrs))
+		// Barging semantics, like real mutexes: a running thread takes
+		// a free lock immediately even when woken waiters are still on
+		// their way back to a processor. This prevents lock convoys in
+		// which an undispatched waiter effectively holds the lock.
+		if mu.owner == nil {
+			mu.owner = t
+			return
+		}
+		e.blockCurrent(p, t)
+		t.status = statusBlocked
+		t.blockedOn = "mutex " + mu.name
+		mu.waiters = append(mu.waiters, t)
+
+	case reqUnlock:
+		e.mach.Advance(p, uint64(e.opts.Overhead.SyncInstrs))
+		e.unlock(p, t, req.mu)
+
+	case reqSemWait:
+		s := req.sem
+		e.mach.Advance(p, uint64(e.opts.Overhead.SyncInstrs))
+		if s.value > 0 {
+			s.value--
+			return
+		}
+		e.blockCurrent(p, t)
+		t.status = statusBlocked
+		t.blockedOn = "semaphore " + s.name
+		s.waiters = append(s.waiters, t)
+
+	case reqSemPost:
+		s := req.sem
+		e.mach.Advance(p, uint64(e.opts.Overhead.SyncInstrs))
+		if len(s.waiters) > 0 {
+			w := s.waiters[0]
+			s.waiters = s.waiters[1:]
+			e.wake(w)
+		} else {
+			s.value++
+		}
+
+	case reqBarrier:
+		b := req.bar
+		e.mach.Advance(p, uint64(e.opts.Overhead.SyncInstrs))
+		b.arrived++
+		if b.arrived == b.parties {
+			b.arrived = 0
+			for _, w := range b.waiters {
+				e.wake(w)
+			}
+			b.waiters = b.waiters[:0]
+			return // the last arrival does not block
+		}
+		e.blockCurrent(p, t)
+		t.status = statusBlocked
+		t.blockedOn = fmt.Sprintf("barrier %s (%d/%d arrived)", b.name, b.arrived, b.parties)
+		b.waiters = append(b.waiters, t)
+
+	case reqCondWait:
+		c, mu := req.cond, req.mu
+		if mu.owner != t {
+			e.fail(p, t, "CondWait without holding the mutex")
+			return
+		}
+		e.mach.Advance(p, uint64(e.opts.Overhead.SyncInstrs))
+		e.blockCurrent(p, t)
+		t.status = statusBlocked
+		t.blockedOn = "cond " + c.name
+		c.waiters = append(c.waiters, condWaiter{t: t, mu: mu})
+		e.unlock(p, nil, mu) // owner already validated
+
+	case reqCondSignal:
+		e.mach.Advance(p, uint64(e.opts.Overhead.SyncInstrs))
+		e.signalOne(req.cond)
+
+	case reqCondBroadcast:
+		e.mach.Advance(p, uint64(e.opts.Overhead.SyncInstrs))
+		for len(req.cond.waiters) > 0 {
+			e.signalOne(req.cond)
+		}
+
+	default:
+		panic(fmt.Sprintf("rt: unknown request kind %d", req.kind))
+	}
+}
+
+// unlock releases mu on behalf of t (t may be nil when the owner was
+// already validated, as in CondWait). The lock becomes free and the
+// oldest waiter is woken to retry; ownership is not handed off, so a
+// running thread can barge in while the waiter travels back to a
+// processor (the waiter then re-blocks at the front of the queue).
+func (e *Engine) unlock(p int, t *T, mu *Mutex) {
+	if t != nil && mu.owner != t {
+		e.fail(p, t, "Unlock of a mutex not held")
+		return
+	}
+	mu.owner = nil
+	if len(mu.waiters) > 0 {
+		next := mu.waiters[0]
+		mu.waiters = mu.waiters[1:]
+		next.retryLock = mu
+		e.wake(next)
+	}
+}
+
+// signalOne moves the oldest cond waiter toward running: it either
+// reacquires the mutex immediately or queues on it.
+func (e *Engine) signalOne(c *Cond) {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	if w.mu.owner == nil {
+		// Same barging discipline as unlock: the thread is woken to
+		// retry the acquisition rather than granted a lock it cannot
+		// use until dispatched.
+		w.t.retryLock = w.mu
+		e.wake(w.t)
+	} else {
+		w.mu.waiters = append(w.mu.waiters, w.t)
+	}
+}
+
+// wake marks a blocked thread runnable.
+func (e *Engine) wake(t *T) {
+	if t.status != statusBlocked {
+		panic(fmt.Sprintf("rt: waking thread %v in status %v", t.id, t.status))
+	}
+	t.status = statusReady
+	e.sched.MakeRunnable(t.id)
+	e.unparkAll(e.now)
+}
+
+// fail records a programming error detected inside a request (the
+// simulated program misused a primitive) and stops the run.
+func (e *Engine) fail(p int, t *T, msg string) {
+	name := "?"
+	var id mem.ThreadID = -1
+	if t != nil {
+		name, id = t.name, t.id
+	}
+	if e.failure == nil {
+		e.failure = fmt.Errorf("rt: thread %v (%s): %s", id, name, msg)
+	}
+	_ = p
+}
+
+// describeDeadlock builds the diagnostic for a deadlocked system.
+func (e *Engine) describeDeadlock() error {
+	var blocked []string
+	ids := make([]int, 0, len(e.threads))
+	for id := range e.threads {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		t := e.threads[mem.ThreadID(id)]
+		if t.status == statusBlocked {
+			blocked = append(blocked, fmt.Sprintf("%v(%s) waiting on %s", t.id, t.name, t.blockedOn))
+		}
+	}
+	return fmt.Errorf("%w: %v", ErrDeadlock, blocked)
+}
+
+// killRemaining unwinds every live thread goroutine after Run finishes
+// (normally or on error) so the process leaks nothing.
+func (e *Engine) killRemaining() {
+	for _, t := range e.threads {
+		if t.status == statusDead {
+			continue
+		}
+		t.kill()
+		t.status = statusDead
+	}
+	e.live = 0
+}
+
+// timerEntry is one pending sleep deadline.
+type timerEntry struct {
+	wakeAt uint64
+	seq    uint64 // FIFO among equal deadlines, for determinism
+	tid    mem.ThreadID
+}
+
+type timerQueue []timerEntry
+
+func (q timerQueue) Len() int { return len(q) }
+func (q timerQueue) Less(i, j int) bool {
+	if q[i].wakeAt != q[j].wakeAt {
+		return q[i].wakeAt < q[j].wakeAt
+	}
+	return q[i].seq < q[j].seq
+}
+func (q timerQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *timerQueue) Push(x any)   { *q = append(*q, x.(timerEntry)) }
+func (q *timerQueue) Pop() any {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}

@@ -1,0 +1,135 @@
+package rt
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/xrand"
+)
+
+// stressProgram builds a random but deadlock-free thread program: a
+// tree of threads (bounded fan-out and depth) whose bodies interleave
+// accesses, compute, yields, sleeps, annotations and properly paired
+// lock/unlock sections, with all children joined. Every operation the
+// runtime offers is exercised; the generated program always terminates.
+type stressProgram struct {
+	seed    uint64
+	mutexes []*Mutex
+	sems    []*Semaphore
+	barrier *Barrier
+	created int
+	maxThr  int
+}
+
+func (sp *stressProgram) body(depth int, rng *xrand.Source) func(*T) {
+	return func(t *T) {
+		var kids []mem.ThreadID
+		steps := 3 + rng.Intn(6)
+		region := t.Alloc(uint64(1024 + rng.Intn(64*1024)))
+		for i := 0; i < steps; i++ {
+			switch rng.Intn(8) {
+			case 0:
+				t.ReadRange(region.Base, region.Len)
+			case 1:
+				t.WriteRange(region.Base, region.Len/2+8)
+			case 2:
+				t.Compute(uint64(50 + rng.Intn(2000)))
+			case 3:
+				t.Yield()
+			case 4:
+				t.Sleep(uint64(100 + rng.Intn(5000)))
+			case 5:
+				mu := sp.mutexes[rng.Intn(len(sp.mutexes))]
+				t.Lock(mu)
+				t.Compute(uint64(10 + rng.Intn(200)))
+				t.Unlock(mu)
+			case 6:
+				sem := sp.sems[rng.Intn(len(sp.sems))]
+				t.SemPost(sem) // post-before-wait order keeps it safe
+				t.SemWait(sem)
+			case 7:
+				if depth < 3 && sp.created < sp.maxThr {
+					sp.created++
+					childRNG := xrand.New(rng.Uint64())
+					kid := t.Create(fmt.Sprintf("d%d", depth+1), sp.body(depth+1, childRNG))
+					t.Share(kid, t.ID(), rng.Float64())
+					t.Share(t.ID(), kid, rng.Float64())
+					kids = append(kids, kid)
+				}
+			}
+		}
+		for _, k := range kids {
+			t.Join(k)
+		}
+	}
+}
+
+// runStress executes one random program and returns its fingerprint.
+func runStress(t *testing.T, seed uint64, policy string, cpus int) string {
+	t.Helper()
+	cfg := machine.UltraSPARC1()
+	if cpus > 1 {
+		cfg = machine.Enterprise5000(cpus)
+	}
+	e := New(machine.New(cfg), Options{Policy: policy, Seed: seed})
+	sp := &stressProgram{seed: seed, maxThr: 60, barrier: NewBarrier("b", 1)}
+	for i := 0; i < 3; i++ {
+		sp.mutexes = append(sp.mutexes, NewMutex(fmt.Sprintf("m%d", i)))
+	}
+	for i := 0; i < 2; i++ {
+		sp.sems = append(sp.sems, NewSemaphore(fmt.Sprintf("s%d", i), 1))
+	}
+	e.Spawn(sp.body(0, xrand.New(seed)), SpawnOpts{Name: "root"})
+	if err := e.Run(); err != nil {
+		t.Fatalf("seed %d %s/%d: %v", seed, policy, cpus, err)
+	}
+	refs, hits, misses := e.Machine().Totals()
+	return fmt.Sprintf("r%d h%d m%d c%d", refs, hits, misses, e.Machine().MaxCycles())
+}
+
+// TestStressRandomPrograms runs a battery of random programs under all
+// policies and processor counts: everything must terminate cleanly, and
+// identical seeds must give identical fingerprints.
+func TestStressRandomPrograms(t *testing.T) {
+	for seed := uint64(1); seed <= 12; seed++ {
+		for _, policy := range []string{"FCFS", "LFF", "CRT"} {
+			for _, cpus := range []int{1, 3, 8} {
+				a := runStress(t, seed, policy, cpus)
+				b := runStress(t, seed, policy, cpus)
+				if a != b {
+					t.Errorf("seed %d %s/%dcpu nondeterministic: %s vs %s", seed, policy, cpus, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestStressWithAllFeatures turns every optional knob on at once.
+func TestStressWithAllFeatures(t *testing.T) {
+	for seed := uint64(20); seed <= 24; seed++ {
+		cfg := machine.Enterprise5000(4)
+		cfg.TLBEntries = 64
+		cfg.ClassifyMisses = true
+		e := New(machine.New(cfg), Options{
+			Policy:        "LFF",
+			Seed:          seed,
+			InferSharing:  true,
+			FairnessLimit: 64,
+			SpawnStacks:   true,
+		})
+		sp := &stressProgram{seed: seed, maxThr: 40}
+		for i := 0; i < 2; i++ {
+			sp.mutexes = append(sp.mutexes, NewMutex("m"))
+			sp.sems = append(sp.sems, NewSemaphore("s", 1))
+		}
+		e.Spawn(sp.body(0, xrand.New(seed)), SpawnOpts{Name: "root"})
+		if err := e.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := e.Machine().CheckCoherence(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package rt
+
+// Synchronization objects of the Active Threads API. These are plain
+// data manipulated exclusively by the engine while handling requests, so
+// they need no internal locking: the simulation is sequential by
+// construction. Create them with the constructors below and share the
+// pointers freely between thread bodies.
+
+// Mutex is a blocking mutual-exclusion lock with FIFO waiters.
+type Mutex struct {
+	name    string
+	owner   *T
+	waiters []*T
+}
+
+// NewMutex returns an unlocked mutex. The name appears in diagnostics.
+func NewMutex(name string) *Mutex { return &Mutex{name: name} }
+
+// Locked reports whether some thread holds the mutex (diagnostics).
+func (m *Mutex) Locked() bool { return m.owner != nil }
+
+// Semaphore is a counting semaphore with FIFO waiters.
+type Semaphore struct {
+	name    string
+	value   int
+	waiters []*T
+}
+
+// NewSemaphore returns a semaphore with the given initial count.
+func NewSemaphore(name string, initial int) *Semaphore {
+	if initial < 0 {
+		panic("rt: negative initial semaphore value")
+	}
+	return &Semaphore{name: name, value: initial}
+}
+
+// Value returns the current count (diagnostics).
+func (s *Semaphore) Value() int { return s.value }
+
+// Barrier blocks threads until a fixed number of parties arrive, then
+// releases them all and resets.
+type Barrier struct {
+	name    string
+	parties int
+	arrived int
+	waiters []*T
+}
+
+// NewBarrier returns a barrier for the given number of parties.
+func NewBarrier(name string, parties int) *Barrier {
+	if parties < 1 {
+		panic("rt: barrier needs at least one party")
+	}
+	return &Barrier{name: name, parties: parties}
+}
+
+// condWaiter pairs a waiting thread with the mutex it must reacquire.
+type condWaiter struct {
+	t  *T
+	mu *Mutex
+}
+
+// Cond is a condition variable used with a Mutex.
+type Cond struct {
+	name    string
+	waiters []condWaiter
+}
+
+// NewCond returns a condition variable.
+func NewCond(name string) *Cond { return &Cond{name: name} }

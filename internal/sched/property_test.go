@@ -1,0 +1,293 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/annot"
+	"repro/internal/mem"
+	"repro/internal/model"
+	"repro/internal/xrand"
+)
+
+// schedSim drives a Scheduler with a random but well-formed operation
+// sequence — register, annotate, dispatch, run intervals, block, wake,
+// exit — while checking the structural invariants after every step and
+// accounting that no thread is ever lost or double-dispatched.
+type schedSim struct {
+	t     *testing.T
+	s     *Scheduler
+	g     *annot.Graph
+	rng   *xrand.Source
+	ncpu  int
+	miss  []uint64
+	next  mem.ThreadID
+	state map[mem.ThreadID]string // "runnable" | "running" | "blocked"
+	onCPU map[int]mem.ThreadID
+}
+
+func newSchedSim(t *testing.T, seed uint64, ncpu int, scheme model.Scheme) *schedSim {
+	sim := &schedSim{
+		t:     t,
+		g:     annot.New(),
+		rng:   xrand.New(seed),
+		ncpu:  ncpu,
+		miss:  make([]uint64, ncpu),
+		state: make(map[mem.ThreadID]string),
+		onCPU: make(map[int]mem.ThreadID),
+	}
+	var mdl *model.Model
+	if scheme != nil {
+		mdl = model.New(4096)
+	}
+	sim.s = New(mdl, scheme, sim.g, ncpu, 16, func(cpu int) uint64 { return sim.miss[cpu] })
+	return sim
+}
+
+func (sim *schedSim) check() {
+	sim.t.Helper()
+	if err := sim.s.Check(); err != nil {
+		sim.t.Fatal(err)
+	}
+	if err := sim.g.Check(); err != nil {
+		sim.t.Fatal(err)
+	}
+}
+
+func (sim *schedSim) step() {
+	switch sim.rng.Intn(10) {
+	case 0, 1: // create a thread
+		tid := sim.next
+		sim.next++
+		sim.s.Register(tid)
+		if sim.rng.Bool(0.5) {
+			sim.s.NoteSpawn(tid, sim.rng.Intn(sim.ncpu))
+		} else {
+			sim.s.MakeRunnable(tid)
+		}
+		sim.state[tid] = "runnable"
+	case 2, 3, 4: // dispatch on a free cpu
+		cpu := sim.rng.Intn(sim.ncpu)
+		if sim.onCPU[cpu] != 0 && sim.state[sim.onCPU[cpu]] == "running" {
+			return
+		}
+		tid, ok := sim.s.PickNext(cpu)
+		if !ok {
+			return
+		}
+		if sim.state[tid] != "runnable" {
+			sim.t.Fatalf("dispatched %v in state %q", tid, sim.state[tid])
+		}
+		sim.s.NoteDispatch(tid, cpu)
+		sim.state[tid] = "running"
+		sim.onCPU[cpu] = tid
+	case 5, 6, 7: // the running thread on a cpu blocks or yields
+		cpu := sim.rng.Intn(sim.ncpu)
+		tid := sim.onCPU[cpu]
+		if tid == 0 || sim.state[tid] != "running" {
+			return
+		}
+		n := uint64(sim.rng.Intn(2000))
+		sim.miss[cpu] += n
+		sim.s.OnBlock(tid, cpu, n)
+		sim.onCPU[cpu] = 0
+		if sim.rng.Bool(0.3) { // yield: stays runnable
+			sim.s.MakeRunnable(tid)
+			sim.state[tid] = "runnable"
+		} else {
+			sim.state[tid] = "blocked"
+		}
+	case 8: // wake a blocked thread, annotate, or exit one
+		for tid, st := range sim.state {
+			if st == "blocked" {
+				sim.s.MakeRunnable(tid)
+				sim.state[tid] = "runnable"
+				break
+			}
+		}
+	case 9: // random annotation between live threads
+		if sim.next < 2 {
+			return
+		}
+		a := mem.ThreadID(sim.rng.Intn(int(sim.next)))
+		b := mem.ThreadID(sim.rng.Intn(int(sim.next)))
+		sim.g.Share(a, b, sim.rng.Float64())
+	}
+}
+
+// drain dispatches and retires everything left, proving no thread was
+// lost.
+func (sim *schedSim) drain() {
+	sim.t.Helper()
+	// Unblock everyone.
+	for tid, st := range sim.state {
+		if st == "blocked" {
+			sim.s.MakeRunnable(tid)
+			sim.state[tid] = "runnable"
+		}
+	}
+	// Finish running threads.
+	for cpu, tid := range sim.onCPU {
+		if tid != 0 && sim.state[tid] == "running" {
+			sim.s.OnBlock(tid, cpu, 10)
+			sim.g.RemoveThread(tid)
+			sim.s.Unregister(tid)
+			sim.state[tid] = "done"
+		}
+	}
+	// Dispatch-and-retire the rest round-robin.
+	for guard := 0; guard < int(sim.next)*4+100; guard++ {
+		cpu := guard % sim.ncpu
+		tid, ok := sim.s.PickNext(cpu)
+		if !ok {
+			continue
+		}
+		if sim.state[tid] != "runnable" {
+			sim.t.Fatalf("drain dispatched %v in state %q", tid, sim.state[tid])
+		}
+		sim.s.NoteDispatch(tid, cpu)
+		sim.miss[cpu] += 100
+		sim.s.OnBlock(tid, cpu, 100)
+		sim.g.RemoveThread(tid)
+		sim.s.Unregister(tid)
+		sim.state[tid] = "done"
+	}
+	for tid, st := range sim.state {
+		if st != "done" {
+			sim.t.Errorf("thread %v left in state %q", tid, st)
+		}
+	}
+	if n := sim.s.RunnableCount(); n != 0 {
+		sim.t.Errorf("%d runnable threads after drain", n)
+	}
+}
+
+// TestSchedulerRandomOps drives random schedules under both schemes
+// (with thread 0 reserved as a never-used sentinel because the sim uses
+// 0 as "no thread on cpu").
+func TestSchedulerRandomOps(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		for _, scheme := range []model.Scheme{model.LFF{}, model.CRT{}} {
+			sim := newSchedSim(t, seed, 3, scheme)
+			// Reserve tid 0 (sentinel): register and immediately retire.
+			sim.s.Register(0)
+			sim.s.MakeRunnable(0)
+			tid, _ := sim.s.PickNext(0)
+			sim.s.NoteDispatch(tid, 0)
+			sim.s.OnBlock(tid, 0, 1)
+			sim.s.Unregister(0)
+			sim.next = 1
+			sim.state[0] = "done"
+			if sim.rng.Bool(0.5) {
+				sim.s.SetSpawnStacks(true)
+			}
+			if sim.rng.Bool(0.3) {
+				sim.s.SetFairnessLimit(uint64(5 + sim.rng.Intn(50)))
+			}
+			for i := 0; i < 600; i++ {
+				sim.step()
+				if i%50 == 0 {
+					sim.check()
+				}
+			}
+			sim.check()
+			sim.drain()
+			sim.check()
+		}
+	}
+}
+
+// TestLFFPickEqualsArgmaxFootprint checks the paper's central
+// equivalence at the scheduler level: the heap's pick via inflated
+// priorities must be exactly the runnable thread with the largest
+// model-computed expected footprint on that processor.
+func TestLFFPickEqualsArgmaxFootprint(t *testing.T) {
+	rng := xrand.New(31)
+	for trial := 0; trial < 40; trial++ {
+		sim := newSchedSim(t, rng.Uint64(), 2, model.LFF{})
+		// Build a population with varied footprints on cpu 0.
+		const n = 12
+		for tid := mem.ThreadID(0); tid < n; tid++ {
+			sim.s.Register(tid)
+			sim.s.MakeRunnable(tid)
+		}
+		for tid := mem.ThreadID(0); tid < n; tid++ {
+			got, ok := sim.s.PickNext(0)
+			if !ok {
+				t.Fatal("no work")
+			}
+			sim.s.NoteDispatch(got, 0)
+			sim.miss[0] += uint64(100 + rng.Intn(3000))
+			sim.s.OnBlock(got, 0, uint64(100+rng.Intn(3000)))
+			sim.s.MakeRunnable(got)
+		}
+		// Brute force: the runnable thread with the largest current
+		// expected footprint on cpu 0 (threshold-eligible).
+		best, bestF := mem.ThreadID(-1), -1.0
+		for tid := mem.ThreadID(0); tid < n; tid++ {
+			f := sim.s.CurrentFootprint(tid, 0)
+			if f >= 16 && f > bestF {
+				best, bestF = tid, f
+			}
+		}
+		got, ok := sim.s.PickNext(0)
+		if !ok {
+			t.Fatal("no work at verification")
+		}
+		if got != best {
+			t.Errorf("trial %d: picked %v (%.1f lines), argmax is %v (%.1f lines)",
+				trial, got, sim.s.CurrentFootprint(got, 0), best, bestF)
+		}
+		sim.s.NoteDispatch(got, 0)
+	}
+}
+
+// TestCRTPickEqualsArgminReloadRatio checks the CRT equivalence: the
+// pick is the runnable thread with the smallest expected cache-reload
+// ratio (E_last − E)/E_last on that processor.
+func TestCRTPickEqualsArgminReloadRatio(t *testing.T) {
+	rng := xrand.New(77)
+	for trial := 0; trial < 40; trial++ {
+		sim := newSchedSim(t, rng.Uint64(), 2, model.CRT{})
+		const n = 10
+		for tid := mem.ThreadID(0); tid < n; tid++ {
+			sim.s.Register(tid)
+			sim.s.MakeRunnable(tid)
+		}
+		for tid := mem.ThreadID(0); tid < n; tid++ {
+			got, ok := sim.s.PickNext(0)
+			if !ok {
+				t.Fatal("no work")
+			}
+			sim.s.NoteDispatch(got, 0)
+			nmiss := uint64(100 + rng.Intn(3000))
+			sim.miss[0] += nmiss
+			sim.s.OnBlock(got, 0, nmiss)
+			sim.s.MakeRunnable(got)
+		}
+		// Brute force argmin of R = 1 − E/E_last over eligible threads.
+		best, bestR := mem.ThreadID(-1), 2.0
+		for tid := mem.ThreadID(0); tid < n; tid++ {
+			e := sim.s.EntryOf(tid, 0)
+			if e == nil || e.SLast <= 0 {
+				continue
+			}
+			cur := sim.s.CurrentFootprint(tid, 0)
+			if cur < 16 {
+				continue
+			}
+			r := 1 - cur/e.SLast
+			if r < bestR {
+				best, bestR = tid, r
+			}
+		}
+		got, ok := sim.s.PickNext(0)
+		if !ok {
+			t.Fatal("no work at verification")
+		}
+		if got != best {
+			t.Errorf("trial %d: picked %v, argmin reload ratio is %v (R=%.4f)",
+				trial, got, best, bestR)
+		}
+		sim.s.NoteDispatch(got, 0)
+	}
+}

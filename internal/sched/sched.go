@@ -1,0 +1,662 @@
+// Package sched implements the paper's Section 4 scheduling frameworks:
+// priority-based locality scheduling with per-processor binary heaps, a
+// footprint threshold that demotes cold threads to a single global FIFO
+// queue, and work stealing of the lowest-priority thread from a
+// neighbour. The priority algebra itself (LFF, CRT) lives in
+// internal/model; this package owns the data structures and the O(d)
+// update discipline: a context switch touches only the blocking thread's
+// entry and the entries of its out-neighbours in the dependency graph —
+// independent threads are never visited.
+//
+// The scheduler is policy-neutral: with a nil priority scheme it
+// degenerates to the FCFS baseline (global queue only).
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/annot"
+	"repro/internal/mem"
+	"repro/internal/model"
+)
+
+// Entry is the footprint record of one (thread, processor) pair: the
+// expected footprint S at the processor miss count M0 of its last
+// update, the footprint SLast the thread had when it last *executed*
+// there (CRT's E[F_last]), and the time-invariant inflated priority.
+type Entry struct {
+	Thread mem.ThreadID
+	CPU    int
+	S      float64
+	SLast  float64
+	M0     uint64
+	Prio   float64
+
+	// dispatchS/dispatchM capture the footprint at the moment the
+	// thread was dispatched on this CPU, which is the S the blocking
+	// update needs.
+	dispatchS float64
+	dispatchM uint64
+
+	heapIdx int // index in the CPU's heap, -1 when absent
+}
+
+// tstate is the scheduler's view of one thread.
+type tstate struct {
+	entries  []*Entry // indexed by CPU, nil when no footprint recorded
+	runnable bool
+	running  bool
+	inGlobal bool // logically present in the global queue
+	inSpawn  bool // logically present in a spawn stack
+}
+
+// Ops counts scheduler data-structure work since the last Reset, used by
+// the runtime to charge overhead cycles (Table 5's "moderate price").
+type Ops struct {
+	HeapPushes  uint64
+	HeapPops    uint64
+	HeapFixes   uint64
+	HeapRemoves uint64
+	QueueOps    uint64
+	Steals      uint64
+	PrioUpdates uint64
+	Demotions   uint64
+}
+
+// Total returns the number of heap operations (pushes, pops, fixes,
+// removals) — the dominant scheduling cost per the paper.
+func (o Ops) Total() uint64 {
+	return o.HeapPushes + o.HeapPops + o.HeapFixes + o.HeapRemoves
+}
+
+// Scheduler is the locality scheduling framework.
+type Scheduler struct {
+	mdl    *model.Model
+	scheme model.Scheme // nil = FCFS
+	graph  *annot.Graph
+	ncpu   int
+
+	// missCount reports a processor's cumulative E-cache miss count
+	// m(t); the runtime wires it to the machine's shadow counters.
+	missCount func(cpu int) uint64
+
+	// threshold is the footprint (in lines) below which an entry is
+	// demoted from a heap; threads demoted from every heap go to the
+	// global queue.
+	threshold float64
+
+	heaps   []prioHeap
+	global  []globalEntry // FIFO with lazy deletion via inGlobal
+	ghead   int
+	threads map[mem.ThreadID]*tstate
+
+	// spawn holds per-CPU stacks of freshly created threads, in the
+	// work-first discipline of Blumofe-Leiserson work stealing (the
+	// paper's citation [6] for its load balancing): the creating
+	// processor pops its own spawns newest-first — keeping a child on
+	// the cache that just built its inputs — while idle processors
+	// steal oldest-first, taking the largest unexplored subtrees.
+	// Entries are lazily invalidated via inSpawn. Only the locality
+	// policies use spawn stacks; FCFS keeps the plain global FIFO.
+	spawn [][]mem.ThreadID
+
+	// spawnStacks enables the Blumofe-Leiserson work-first discipline
+	// for fresh threads (see the spawn field); disabled by default so
+	// creations join the global FIFO like the paper's description.
+	spawnStacks bool
+
+	// fairnessLimit, when nonzero, bounds starvation: if the oldest
+	// live global-queue thread has waited more than this many
+	// dispatches, it bypasses the priority heaps — the escape
+	// mechanism the paper's Section 7 calls for. Zero disables it
+	// (the paper's domain needs no fairness: all threads run to
+	// completion).
+	fairnessLimit uint64
+	dispatchCount uint64
+	escapes       uint64
+
+	ops Ops
+}
+
+// globalEntry is one global-queue position, stamped with the dispatch
+// count at enqueue time for fairness aging.
+type globalEntry struct {
+	tid   mem.ThreadID
+	stamp uint64
+}
+
+// New constructs a scheduler. scheme may be nil for the FCFS baseline
+// (mdl may then also be nil). missCount must return processor cpu's
+// cumulative E-cache miss count and must be monotonic per CPU.
+func New(mdl *model.Model, scheme model.Scheme, graph *annot.Graph, ncpu int, threshold float64, missCount func(cpu int) uint64) *Scheduler {
+	if ncpu < 1 {
+		panic("sched: need at least one CPU")
+	}
+	if scheme != nil && mdl == nil {
+		panic("sched: a priority scheme requires a model")
+	}
+	if missCount == nil {
+		missCount = func(int) uint64 { return 0 }
+	}
+	return &Scheduler{
+		mdl:       mdl,
+		scheme:    scheme,
+		graph:     graph,
+		ncpu:      ncpu,
+		missCount: missCount,
+		threshold: threshold,
+		heaps:     make([]prioHeap, ncpu),
+		spawn:     make([][]mem.ThreadID, ncpu),
+		threads:   make(map[mem.ThreadID]*tstate),
+	}
+}
+
+// SetSpawnStacks enables per-CPU work-first spawn stacks for freshly
+// created threads (a design ablation; the default is the paper's
+// global FIFO).
+func (s *Scheduler) SetSpawnStacks(on bool) { s.spawnStacks = on }
+
+// SetFairnessLimit installs the starvation bound: a global-queue thread
+// older than limit dispatches is dispatched ahead of any heap pick.
+// Zero disables the escape.
+func (s *Scheduler) SetFairnessLimit(limit uint64) { s.fairnessLimit = limit }
+
+// Escapes returns how many dispatches the fairness escape forced.
+func (s *Scheduler) Escapes() uint64 { return s.escapes }
+
+// PolicyName returns "FCFS" or the scheme name.
+func (s *Scheduler) PolicyName() string {
+	if s.scheme == nil {
+		return "FCFS"
+	}
+	return s.scheme.Name()
+}
+
+// Ops returns the operation counters accumulated since the last
+// ResetOps.
+func (s *Scheduler) Ops() Ops { return s.ops }
+
+// ResetOps zeroes the operation counters.
+func (s *Scheduler) ResetOps() { s.ops = Ops{} }
+
+// Register adds a thread to the scheduler in the not-runnable state.
+func (s *Scheduler) Register(tid mem.ThreadID) {
+	if _, dup := s.threads[tid]; dup {
+		panic(fmt.Sprintf("sched: duplicate thread %v", tid))
+	}
+	s.threads[tid] = &tstate{entries: make([]*Entry, s.ncpu)}
+}
+
+// Unregister removes an exited thread and all its entries.
+func (s *Scheduler) Unregister(tid mem.ThreadID) {
+	ts, ok := s.threads[tid]
+	if !ok {
+		return
+	}
+	for cpu, e := range ts.entries {
+		if e != nil && e.heapIdx >= 0 {
+			heap.Remove(&s.heaps[cpu], e.heapIdx)
+			s.ops.HeapRemoves++
+		}
+	}
+	delete(s.threads, tid)
+}
+
+// Registered reports whether tid is known to the scheduler.
+func (s *Scheduler) Registered(tid mem.ThreadID) bool {
+	_, ok := s.threads[tid]
+	return ok
+}
+
+// EntryOf returns the footprint entry of (tid, cpu), or nil. The
+// returned pointer is live scheduler state; callers outside tests must
+// not mutate it.
+func (s *Scheduler) EntryOf(tid mem.ThreadID, cpu int) *Entry {
+	ts, ok := s.threads[tid]
+	if !ok {
+		return nil
+	}
+	return ts.entries[cpu]
+}
+
+// CurrentFootprint returns the scheduler's expected footprint of tid in
+// cpu's cache right now (decayed to the current miss count), or 0.
+func (s *Scheduler) CurrentFootprint(tid mem.ThreadID, cpu int) float64 {
+	e := s.EntryOf(tid, cpu)
+	if e == nil || s.mdl == nil {
+		return 0
+	}
+	return s.mdl.Decay(e.S, e.M0, s.missCount(cpu))
+}
+
+// MakeRunnable marks tid ready for dispatch: its hot footprint entries
+// (at or above threshold) enter their CPUs' heaps; a thread with no hot
+// entry joins the global queue. Idempotent for already-runnable threads.
+func (s *Scheduler) MakeRunnable(tid mem.ThreadID) {
+	ts := s.threads[tid]
+	if ts == nil {
+		panic(fmt.Sprintf("sched: MakeRunnable(%v): unknown thread", tid))
+	}
+	if ts.runnable || ts.running {
+		return
+	}
+	ts.runnable = true
+	hot := false
+	if s.scheme != nil {
+		for cpu, e := range ts.entries {
+			if e == nil {
+				continue
+			}
+			if s.mdl.Decay(e.S, e.M0, s.missCount(cpu)) >= s.threshold {
+				s.pushHeap(cpu, e)
+				hot = true
+			}
+		}
+	}
+	if !hot {
+		s.enqueueGlobal(ts, tid)
+	}
+}
+
+// NoteSpawn marks a freshly created thread runnable. Under a locality
+// policy it goes on the creating processor's spawn stack; under FCFS
+// (or when the creator is unknown, cpu < 0) it joins the global queue.
+func (s *Scheduler) NoteSpawn(tid mem.ThreadID, cpu int) {
+	ts := s.threads[tid]
+	if ts == nil {
+		panic(fmt.Sprintf("sched: NoteSpawn(%v): unknown thread", tid))
+	}
+	if ts.runnable || ts.running {
+		return
+	}
+	ts.runnable = true
+	if s.scheme == nil || cpu < 0 || !s.spawnStacks {
+		s.enqueueGlobal(ts, tid)
+		return
+	}
+	ts.inSpawn = true
+	s.spawn[cpu] = append(s.spawn[cpu], tid)
+	s.ops.QueueOps++
+}
+
+// NoteDispatch records that tid starts executing on cpu: it leaves every
+// run queue and its footprint at dispatch is captured for the eventual
+// blocking update.
+func (s *Scheduler) NoteDispatch(tid mem.ThreadID, cpu int) {
+	ts := s.threads[tid]
+	if ts == nil || !ts.runnable {
+		panic(fmt.Sprintf("sched: NoteDispatch(%v) of non-runnable thread", tid))
+	}
+	ts.runnable = false
+	ts.running = true
+	ts.inGlobal = false
+	ts.inSpawn = false
+	s.dispatchCount++
+	for c, e := range ts.entries {
+		if e != nil && e.heapIdx >= 0 {
+			heap.Remove(&s.heaps[c], e.heapIdx)
+			s.ops.HeapRemoves++
+		}
+	}
+	if s.scheme == nil {
+		return
+	}
+	mt := s.missCount(cpu)
+	e := s.entry(ts, tid, cpu, mt)
+	e.dispatchS = s.mdl.Decay(e.S, e.M0, mt)
+	e.dispatchM = mt
+}
+
+// OnBlock performs the context-switch update for thread tid blocking (or
+// yielding, or exiting) on cpu after taking n E-cache misses: case 1 for
+// tid itself, case 3 for each of its out-neighbours in the dependency
+// graph. Threads independent of tid are untouched — the O(d) guarantee.
+func (s *Scheduler) OnBlock(tid mem.ThreadID, cpu int, n uint64) {
+	ts := s.threads[tid]
+	if ts == nil || !ts.running {
+		panic(fmt.Sprintf("sched: OnBlock(%v) of non-running thread", tid))
+	}
+	ts.running = false
+	if s.scheme == nil {
+		return
+	}
+	mt := s.missCount(cpu)
+	e := ts.entries[cpu] // created at dispatch
+	newS, prio := s.scheme.Blocking(s.mdl, e.dispatchS, n, mt)
+	e.S, e.SLast, e.M0, e.Prio = newS, newS, mt, prio
+	s.ops.PrioUpdates++
+
+	if s.graph == nil {
+		return
+	}
+	for _, edge := range s.graph.OutEdges(tid) {
+		dts, ok := s.threads[edge.To]
+		if !ok {
+			continue // annotation names an exited or foreign thread: ignore
+		}
+		de := s.entry(dts, edge.To, cpu, mt-n)
+		sStart := s.mdl.Decay(de.S, de.M0, mt-n)
+		newS, prio := s.scheme.Dependent(s.mdl, sStart, de.SLast, edge.Q, n, mt)
+		de.S, de.M0, de.Prio = newS, mt, prio
+		s.ops.PrioUpdates++
+		s.reposition(dts, de)
+	}
+}
+
+// reposition fixes a runnable dependent's heap membership after its
+// entry changed: push if newly hot, fix if present, remove if cold.
+func (s *Scheduler) reposition(ts *tstate, e *Entry) {
+	if !ts.runnable {
+		return
+	}
+	hot := e.S >= s.threshold // S was just set at M0 = now, no decay yet
+	switch {
+	case e.heapIdx >= 0 && hot:
+		heap.Fix(&s.heaps[e.CPU], e.heapIdx)
+		s.ops.HeapFixes++
+	case e.heapIdx >= 0 && !hot:
+		heap.Remove(&s.heaps[e.CPU], e.heapIdx)
+		s.ops.HeapRemoves++
+		s.ops.Demotions++
+		if !s.hasHeapEntry(ts) && !ts.inGlobal {
+			s.enqueueGlobal(ts, e.Thread)
+		}
+	case e.heapIdx < 0 && hot:
+		s.pushHeap(e.CPU, e)
+		// The heaps now take precedence over any stale global-queue
+		// position (lazy removal at pop time).
+		ts.inGlobal = false
+	}
+}
+
+// PickNext selects the next thread for cpu: the hottest heap entry above
+// threshold, else the global queue front, else a steal of the
+// lowest-priority thread from another CPU's heap. It returns false when
+// no work exists anywhere.
+func (s *Scheduler) PickNext(cpu int) (mem.ThreadID, bool) {
+	// Fairness escape: an over-aged global-queue thread preempts the
+	// locality heaps.
+	if s.fairnessLimit > 0 {
+		if tid, ok := s.peekAgedGlobal(); ok {
+			s.escapes++
+			return tid, true
+		}
+	}
+	h := &s.heaps[cpu]
+	for h.Len() > 0 {
+		e := (*h)[0]
+		if s.mdl.Decay(e.S, e.M0, s.missCount(cpu)) < s.threshold {
+			heap.Pop(h)
+			s.ops.HeapPops++
+			s.ops.Demotions++
+			ts := s.threads[e.Thread]
+			if !s.hasHeapEntry(ts) && !ts.inGlobal {
+				s.enqueueGlobal(ts, e.Thread)
+			}
+			continue
+		}
+		return e.Thread, true
+	}
+	if tid, ok := s.popSpawn(cpu); ok {
+		return tid, true
+	}
+	if tid, ok := s.popGlobal(); ok {
+		return tid, true
+	}
+	return s.steal(cpu)
+}
+
+// popSpawn pops the newest live thread from cpu's own spawn stack.
+func (s *Scheduler) popSpawn(cpu int) (mem.ThreadID, bool) {
+	stack := s.spawn[cpu]
+	for len(stack) > 0 {
+		tid := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		s.ops.QueueOps++
+		if ts := s.threads[tid]; ts != nil && ts.inSpawn && ts.runnable {
+			s.spawn[cpu] = stack
+			return tid, true
+		}
+	}
+	s.spawn[cpu] = stack
+	return 0, false
+}
+
+// stealSpawn takes the OLDEST live spawn from another processor's stack
+// — the largest unexplored subtree, per Blumofe-Leiserson.
+func (s *Scheduler) stealSpawn(cpu int) (mem.ThreadID, bool) {
+	for d := 1; d < s.ncpu; d++ {
+		victim := (cpu + d) % s.ncpu
+		stack := s.spawn[victim]
+		for i := 0; i < len(stack); i++ {
+			tid := stack[i]
+			if ts := s.threads[tid]; ts != nil && ts.inSpawn && ts.runnable {
+				s.ops.Steals++
+				return tid, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// HasLocalWork reports whether cpu could dispatch without stealing.
+func (s *Scheduler) HasLocalWork(cpu int) bool {
+	if s.heaps[cpu].Len() > 0 {
+		return true
+	}
+	for _, tid := range s.spawn[cpu] {
+		if ts := s.threads[tid]; ts != nil && ts.inSpawn && ts.runnable {
+			return true
+		}
+	}
+	for i := s.ghead; i < len(s.global); i++ {
+		if ts := s.threads[s.global[i].tid]; ts != nil && ts.inGlobal && ts.runnable {
+			return true
+		}
+	}
+	return false
+}
+
+// RunnableCount returns the number of runnable (dispatchable) threads.
+func (s *Scheduler) RunnableCount() int {
+	n := 0
+	for _, ts := range s.threads {
+		if ts.runnable {
+			n++
+		}
+	}
+	return n
+}
+
+// steal scans the other CPUs in ring order and takes the *lowest*
+// priority thread it can find — the thread with the least cache state
+// there, hence the cheapest to migrate. Stealing is for load balance,
+// so heaps with a surplus (two or more waiting threads) are preferred:
+// a heap holding a single hot thread is robbed only when nobody has a
+// surplus, because its own processor will dispatch it within one
+// scheduling interval and migrating it trades a whole footprint for a
+// moment of idleness. The fallback keeps the scheduler work-conserving.
+func (s *Scheduler) steal(cpu int) (mem.ThreadID, bool) {
+	// Fresh spawns first: taking the oldest unexplored subtree costs no
+	// cached state at all.
+	if tid, ok := s.stealSpawn(cpu); ok {
+		return tid, true
+	}
+	for _, minLen := range []int{2, 1} {
+		for d := 1; d < s.ncpu; d++ {
+			victim := (cpu + d) % s.ncpu
+			h := s.heaps[victim]
+			if h.Len() < minLen {
+				continue
+			}
+			low := 0
+			for i := 1; i < h.Len(); i++ {
+				if h[i].Prio < h[low].Prio {
+					low = i
+				}
+			}
+			s.ops.Steals++
+			return h[low].Thread, true
+		}
+	}
+	return 0, false
+}
+
+// entry returns (creating if needed) the entry of tid on cpu. A fresh
+// entry starts with no footprint at miss count m0.
+func (s *Scheduler) entry(ts *tstate, tid mem.ThreadID, cpu int, m0 uint64) *Entry {
+	if e := ts.entries[cpu]; e != nil {
+		return e
+	}
+	e := &Entry{Thread: tid, CPU: cpu, M0: m0, heapIdx: -1}
+	e.Prio = s.scheme.Initial(s.mdl, 0, 0, m0)
+	ts.entries[cpu] = e
+	return e
+}
+
+func (s *Scheduler) hasHeapEntry(ts *tstate) bool {
+	for _, e := range ts.entries {
+		if e != nil && e.heapIdx >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Scheduler) pushHeap(cpu int, e *Entry) {
+	if e.heapIdx >= 0 {
+		return
+	}
+	heap.Push(&s.heaps[cpu], e)
+	s.ops.HeapPushes++
+}
+
+func (s *Scheduler) enqueueGlobal(ts *tstate, tid mem.ThreadID) {
+	ts.inGlobal = true
+	s.global = append(s.global, globalEntry{tid: tid, stamp: s.dispatchCount})
+	s.ops.QueueOps++
+}
+
+// peekAgedGlobal returns the oldest live global-queue thread if it has
+// waited beyond the fairness limit (without consuming queue positions:
+// dispatch clears inGlobal and the stale slot is skipped later).
+func (s *Scheduler) peekAgedGlobal() (mem.ThreadID, bool) {
+	for i := s.ghead; i < len(s.global); i++ {
+		e := s.global[i]
+		ts := s.threads[e.tid]
+		if ts == nil || !ts.inGlobal || !ts.runnable {
+			continue
+		}
+		if s.dispatchCount-e.stamp > s.fairnessLimit {
+			return e.tid, true
+		}
+		return 0, false // the oldest live entry is young enough
+	}
+	return 0, false
+}
+
+// popGlobal removes and returns the first live global-queue thread.
+func (s *Scheduler) popGlobal() (mem.ThreadID, bool) {
+	for s.ghead < len(s.global) {
+		tid := s.global[s.ghead].tid
+		s.ghead++
+		s.ops.QueueOps++
+		ts := s.threads[tid]
+		if ts != nil && ts.inGlobal && ts.runnable {
+			return tid, true
+		}
+	}
+	// Compact the drained queue.
+	s.global = s.global[:0]
+	s.ghead = 0
+	return 0, false
+}
+
+// SpawnLen returns the number of live entries in cpu's spawn stack
+// (diagnostics and tests).
+func (s *Scheduler) SpawnLen(cpu int) int {
+	n := 0
+	for _, tid := range s.spawn[cpu] {
+		if ts := s.threads[tid]; ts != nil && ts.inSpawn && ts.runnable {
+			n++
+		}
+	}
+	return n
+}
+
+// HeapLen returns the size of cpu's heap (diagnostics and tests).
+func (s *Scheduler) HeapLen(cpu int) int { return s.heaps[cpu].Len() }
+
+// GlobalLen returns the number of live entries in the global queue.
+func (s *Scheduler) GlobalLen() int {
+	n := 0
+	for i := s.ghead; i < len(s.global); i++ {
+		if ts := s.threads[s.global[i].tid]; ts != nil && ts.inGlobal {
+			n++
+		}
+	}
+	return n
+}
+
+// Check verifies structural invariants (heap indices consistent, no
+// entry in a heap for a non-runnable thread, heap ordering valid). Used
+// by tests.
+func (s *Scheduler) Check() error {
+	for cpu := range s.heaps {
+		h := s.heaps[cpu]
+		for i, e := range h {
+			if e.heapIdx != i {
+				return fmt.Errorf("sched: cpu %d heap[%d] has heapIdx %d", cpu, i, e.heapIdx)
+			}
+			if e.CPU != cpu {
+				return fmt.Errorf("sched: cpu %d heap holds entry for cpu %d", cpu, e.CPU)
+			}
+			ts := s.threads[e.Thread]
+			if ts == nil {
+				return fmt.Errorf("sched: heap entry for unregistered %v", e.Thread)
+			}
+			if !ts.runnable {
+				return fmt.Errorf("sched: heap entry for non-runnable %v", e.Thread)
+			}
+			if left := 2*i + 1; left < len(h) && h[left].Prio > e.Prio {
+				return fmt.Errorf("sched: cpu %d heap order violated at %d", cpu, i)
+			}
+			if right := 2*i + 2; right < len(h) && h[right].Prio > e.Prio {
+				return fmt.Errorf("sched: cpu %d heap order violated at %d", cpu, i)
+			}
+		}
+	}
+	return nil
+}
+
+// prioHeap is a max-heap of entries by priority, with deterministic
+// thread-ID tie-breaking.
+type prioHeap []*Entry
+
+func (h prioHeap) Len() int { return len(h) }
+func (h prioHeap) Less(i, j int) bool {
+	if h[i].Prio != h[j].Prio {
+		return h[i].Prio > h[j].Prio
+	}
+	return h[i].Thread < h[j].Thread
+}
+func (h prioHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *prioHeap) Push(x any) {
+	e := x.(*Entry)
+	e.heapIdx = len(*h)
+	*h = append(*h, e)
+}
+func (h *prioHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	e.heapIdx = -1
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,529 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/annot"
+	"repro/internal/mem"
+	"repro/internal/model"
+)
+
+// fixture builds a scheduler over a fake miss clock the test controls.
+type fixture struct {
+	s      *Scheduler
+	misses []uint64
+	g      *annot.Graph
+	m      *model.Model
+}
+
+func newFixture(scheme model.Scheme, ncpu int, threshold float64) *fixture {
+	f := &fixture{misses: make([]uint64, ncpu), g: annot.New()}
+	var mdl *model.Model
+	if scheme != nil {
+		mdl = model.New(8192)
+	}
+	f.m = mdl
+	f.s = New(mdl, scheme, f.g, ncpu, threshold, func(cpu int) uint64 { return f.misses[cpu] })
+	return f
+}
+
+// runInterval simulates "thread tid ran on cpu and took n misses".
+func (f *fixture) runInterval(t *testing.T, tid mem.ThreadID, cpu int, n uint64) {
+	t.Helper()
+	f.s.NoteDispatch(tid, cpu)
+	f.misses[cpu] += n
+	f.s.OnBlock(tid, cpu, n)
+	if err := f.s.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFCFSIsFIFO(t *testing.T) {
+	f := newFixture(nil, 2, 16)
+	for tid := mem.ThreadID(1); tid <= 3; tid++ {
+		f.s.Register(tid)
+		f.s.MakeRunnable(tid)
+	}
+	for want := mem.ThreadID(1); want <= 3; want++ {
+		got, ok := f.s.PickNext(0)
+		if !ok || got != want {
+			t.Fatalf("PickNext = (%v,%v), want %v", got, ok, want)
+		}
+		f.s.NoteDispatch(got, 0)
+	}
+	if _, ok := f.s.PickNext(0); ok {
+		t.Error("work appeared from nowhere")
+	}
+}
+
+func TestLFFPrefersLargestFootprint(t *testing.T) {
+	f := newFixture(model.LFF{}, 1, 16)
+	for tid := mem.ThreadID(1); tid <= 2; tid++ {
+		f.s.Register(tid)
+		f.s.MakeRunnable(tid)
+	}
+	// Thread 1 runs and takes 100 misses; thread 2 then runs and takes
+	// 2000 misses. Thread 2 ends with the larger footprint.
+	tid, _ := f.s.PickNext(0)
+	if tid != 1 {
+		t.Fatalf("first dispatch = %v", tid)
+	}
+	f.runInterval(t, 1, 0, 100)
+	f.s.MakeRunnable(1)
+	f.runInterval(t, 2, 0, 2000)
+	f.s.MakeRunnable(2)
+	got, ok := f.s.PickNext(0)
+	if !ok || got != 2 {
+		t.Errorf("LFF picked %v, want 2 (largest footprint)", got)
+	}
+	// Sanity: the footprints the scheduler believes in.
+	f1 := f.s.CurrentFootprint(1, 0)
+	f2 := f.s.CurrentFootprint(2, 0)
+	if f2 <= f1 {
+		t.Errorf("footprints: t1 %v, t2 %v — t2 should be larger", f1, f2)
+	}
+}
+
+func TestCRTPrefersFreshestBlocker(t *testing.T) {
+	f := newFixture(model.CRT{}, 1, 1)
+	for tid := mem.ThreadID(1); tid <= 2; tid++ {
+		f.s.Register(tid)
+	}
+	f.s.MakeRunnable(1)
+	f.s.MakeRunnable(2)
+	// t1 runs big, then t2 runs small: t2 blocked most recently, so t2
+	// has reload ratio 0 while t1's state decayed during t2's run.
+	tid, _ := f.s.PickNext(0)
+	f.s.NoteDispatch(tid, 0)
+	f.misses[0] += 3000
+	f.s.OnBlock(tid, 0, 3000)
+	f.s.MakeRunnable(tid)
+	f.runInterval(t, 2, 0, 500)
+	f.s.MakeRunnable(2)
+	got, _ := f.s.PickNext(0)
+	if got != 2 {
+		t.Errorf("CRT picked %v, want the most recent blocker 2", got)
+	}
+}
+
+func TestIndependentEntriesUntouchedOnBlock(t *testing.T) {
+	f := newFixture(model.LFF{}, 1, 16)
+	for tid := mem.ThreadID(1); tid <= 3; tid++ {
+		f.s.Register(tid)
+		f.s.MakeRunnable(tid)
+	}
+	f.g.Share(1, 2, 0.5)        // 2 depends on 1; 3 is independent
+	f.runInterval(t, 3, 0, 400) // give t3 some footprint
+	f.s.MakeRunnable(3)
+	e3 := *f.s.EntryOf(3, 0)
+	e2before := f.s.EntryOf(2, 0)
+	f.runInterval(t, 1, 0, 800)
+	// t3 independent: S, SLast, M0 and priority must be untouched (the
+	// heap index may shuffle as other entries come and go).
+	got := *f.s.EntryOf(3, 0)
+	if got.S != e3.S || got.SLast != e3.SLast || got.M0 != e3.M0 || got.Prio != e3.Prio {
+		t.Errorf("independent entry changed: %+v -> %+v", e3, got)
+	}
+	// t2 dependent: entry created/updated by the switch.
+	e2 := f.s.EntryOf(2, 0)
+	if e2 == nil || (e2before != nil && e2.M0 == e2before.M0) {
+		t.Error("dependent entry not updated")
+	}
+	if e2.S <= 0 {
+		t.Errorf("dependent footprint = %v, want > 0", e2.S)
+	}
+}
+
+func TestDependentUpdateCreatesHeapEntry(t *testing.T) {
+	// The photo mechanism: a runnable thread with no cache state sits
+	// in the global queue; once a sharing partner blocks, the dependent
+	// gains a hot entry and is dispatched from the heap.
+	f := newFixture(model.LFF{}, 1, 16)
+	for tid := mem.ThreadID(1); tid <= 2; tid++ {
+		f.s.Register(tid)
+	}
+	f.g.Share(1, 2, 0.8)
+	f.s.MakeRunnable(1)
+	f.s.MakeRunnable(2)
+	tid, _ := f.s.PickNext(0)
+	if tid != 1 {
+		t.Fatalf("first pick = %v", tid)
+	}
+	f.runInterval(t, 1, 0, 1000)
+	if f.s.HeapLen(0) != 1 {
+		t.Fatalf("dependent not promoted to heap: len = %d", f.s.HeapLen(0))
+	}
+	got, _ := f.s.PickNext(0)
+	if got != 2 {
+		t.Errorf("picked %v, want promoted dependent 2", got)
+	}
+}
+
+func TestThresholdDemotion(t *testing.T) {
+	f := newFixture(model.LFF{}, 1, 64)
+	f.s.Register(1)
+	f.s.Register(2)
+	f.s.MakeRunnable(1)
+	f.runInterval(t, 1, 0, 100) // footprint ~100 lines
+	f.s.MakeRunnable(1)
+	if f.s.HeapLen(0) != 1 {
+		t.Fatalf("hot thread not in heap")
+	}
+	// Unrelated traffic decays t1's footprint below 64 lines:
+	// 100·k^n < 64 → n > ln(100/64)/(-ln k) ≈ 3657.
+	f.s.MakeRunnable(2)
+	f.runInterval(t, 2, 0, 10000)
+	f.s.MakeRunnable(2)
+	got, ok := f.s.PickNext(0)
+	if !ok {
+		t.Fatal("no work")
+	}
+	if got != 2 {
+		t.Errorf("picked %v, want 2 (t1 demoted)", got)
+	}
+	f.s.NoteDispatch(2, 0)
+	// t1 must now be reachable via the global queue, not lost.
+	got, ok = f.s.PickNext(0)
+	if !ok || got != 1 {
+		t.Errorf("demoted thread not in global queue: (%v, %v)", got, ok)
+	}
+	if f.s.Ops().Demotions == 0 {
+		t.Error("no demotion counted")
+	}
+}
+
+func TestStealTakesLowestPriority(t *testing.T) {
+	f := newFixture(model.LFF{}, 2, 16)
+	for tid := mem.ThreadID(1); tid <= 2; tid++ {
+		f.s.Register(tid)
+		f.s.MakeRunnable(tid)
+	}
+	// Both threads build footprints on CPU 0 (t1 large, t2 small).
+	f.runInterval(t, 1, 0, 2000)
+	f.s.MakeRunnable(1)
+	f.runInterval(t, 2, 0, 300)
+	f.s.MakeRunnable(2)
+	if f.s.HeapLen(0) != 2 {
+		t.Fatalf("heap len = %d", f.s.HeapLen(0))
+	}
+	// CPU 1 has nothing: it must steal the *smaller* footprint (t2).
+	got, ok := f.s.PickNext(1)
+	if !ok || got != 2 {
+		t.Errorf("steal = (%v,%v), want thread 2", got, ok)
+	}
+	if f.s.Ops().Steals != 1 {
+		t.Errorf("steals = %d", f.s.Ops().Steals)
+	}
+	f.s.NoteDispatch(got, 1)
+	// The hot thread remains for CPU 0.
+	got, _ = f.s.PickNext(0)
+	if got != 1 {
+		t.Errorf("CPU 0 lost its hot thread: picked %v", got)
+	}
+}
+
+func TestAnnotationOfUnknownThreadIgnored(t *testing.T) {
+	f := newFixture(model.LFF{}, 1, 16)
+	f.s.Register(1)
+	f.s.MakeRunnable(1)
+	f.g.Share(1, 99, 0.5) // 99 was never registered (exited or bogus)
+	f.runInterval(t, 1, 0, 100)
+	// No panic, no entry for 99.
+	if f.s.EntryOf(99, 0) != nil {
+		t.Error("entry created for unknown thread")
+	}
+}
+
+func TestUnregisterRemovesEverywhere(t *testing.T) {
+	f := newFixture(model.LFF{}, 2, 16)
+	f.s.Register(1)
+	f.s.MakeRunnable(1)
+	f.runInterval(t, 1, 0, 500)
+	f.s.MakeRunnable(1)
+	if f.s.HeapLen(0) != 1 {
+		t.Fatal("setup failed")
+	}
+	f.s.Unregister(1)
+	if f.s.HeapLen(0) != 0 || f.s.Registered(1) {
+		t.Error("unregister left state behind")
+	}
+	if _, ok := f.s.PickNext(0); ok {
+		t.Error("exited thread still dispatchable")
+	}
+	f.s.Unregister(1) // idempotent
+}
+
+func TestGlobalQueueLazyDeletion(t *testing.T) {
+	f := newFixture(model.LFF{}, 1, 16)
+	f.s.Register(1)
+	f.s.Register(2)
+	f.s.MakeRunnable(1) // both go to global queue (no footprints)
+	f.s.MakeRunnable(2)
+	if f.s.GlobalLen() != 2 {
+		t.Fatalf("GlobalLen = %d", f.s.GlobalLen())
+	}
+	// t1 gains a hot entry via a dependent update: its global-queue
+	// position becomes stale and must be skipped.
+	f.s.Register(3)
+	f.s.MakeRunnable(3)
+	f.g.Share(3, 1, 1.0)
+	tid, _ := f.s.PickNext(0)
+	if tid != 1 { // FIFO order
+		t.Fatalf("pick = %v", tid)
+	}
+	f.s.NoteDispatch(1, 0)
+	f.misses[0] += 100
+	f.s.OnBlock(1, 0, 100)
+	f.s.MakeRunnable(1)
+	// Now t1 is hot (heap). Dispatch everything and count each exactly
+	// once.
+	seen := map[mem.ThreadID]int{}
+	for {
+		tid, ok := f.s.PickNext(0)
+		if !ok {
+			break
+		}
+		seen[tid]++
+		f.s.NoteDispatch(tid, 0)
+	}
+	if seen[1] != 1 || seen[2] != 1 || seen[3] != 1 {
+		t.Errorf("dispatch counts = %v, want each exactly once", seen)
+	}
+}
+
+func TestMakeRunnableIdempotent(t *testing.T) {
+	f := newFixture(model.LFF{}, 1, 16)
+	f.s.Register(1)
+	f.s.MakeRunnable(1)
+	f.s.MakeRunnable(1)
+	if f.s.GlobalLen() != 1 {
+		t.Errorf("double MakeRunnable queued twice: %d", f.s.GlobalLen())
+	}
+	got, _ := f.s.PickNext(0)
+	f.s.NoteDispatch(got, 0)
+	if _, ok := f.s.PickNext(0); ok {
+		t.Error("phantom runnable thread")
+	}
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	f := newFixture(nil, 1, 16)
+	f.s.Register(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	f.s.Register(1)
+}
+
+func TestOpsAccounting(t *testing.T) {
+	f := newFixture(model.LFF{}, 1, 16)
+	f.s.Register(1)
+	f.s.MakeRunnable(1)
+	f.runInterval(t, 1, 0, 100)
+	ops := f.s.Ops()
+	if ops.PrioUpdates == 0 || ops.QueueOps == 0 {
+		t.Errorf("ops not counted: %+v", ops)
+	}
+	f.s.ResetOps()
+	if f.s.Ops().Total() != 0 || f.s.Ops().PrioUpdates != 0 {
+		t.Error("ResetOps incomplete")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if newFixture(nil, 1, 0).s.PolicyName() != "FCFS" {
+		t.Error("FCFS name")
+	}
+	if newFixture(model.LFF{}, 1, 0).s.PolicyName() != "LFF" {
+		t.Error("LFF name")
+	}
+}
+
+func TestFairnessEscapeBoundsStarvation(t *testing.T) {
+	f := newFixture(model.LFF{}, 1, 16)
+	f.s.SetFairnessLimit(5)
+	f.s.Register(1) // the hot monopolist
+	f.s.Register(2) // the cold thread at risk of starvation
+	f.s.MakeRunnable(1)
+	f.s.MakeRunnable(2)
+	// t1 runs first (FIFO) and builds a huge footprint; t2 sits in the
+	// global queue while t1 keeps getting redispatched from the heap.
+	dispatched2At := -1
+	for i := 0; i < 12; i++ {
+		tid, ok := f.s.PickNext(0)
+		if !ok {
+			t.Fatal("no work")
+		}
+		if tid == 2 {
+			dispatched2At = i
+			break
+		}
+		f.runInterval(t, tid, 0, 500)
+		f.s.MakeRunnable(tid)
+	}
+	if dispatched2At < 0 {
+		t.Fatal("cold thread starved beyond the fairness limit")
+	}
+	if dispatched2At > 7 {
+		t.Errorf("cold thread waited %d dispatches, limit 5", dispatched2At)
+	}
+	if f.s.Escapes() == 0 {
+		t.Error("no escape counted")
+	}
+}
+
+func TestNoFairnessMeansStarvationPossible(t *testing.T) {
+	// Without the escape, the hot thread keeps winning — documenting
+	// the paper's observation that locality techniques can starve.
+	f := newFixture(model.LFF{}, 1, 16)
+	f.s.Register(1)
+	f.s.Register(2)
+	f.s.MakeRunnable(1)
+	f.s.MakeRunnable(2)
+	for i := 0; i < 20; i++ {
+		tid, ok := f.s.PickNext(0)
+		if !ok {
+			t.Fatal("no work")
+		}
+		if tid == 2 && i > 0 {
+			return // dispatched eventually is fine too (FIFO start)
+		}
+		f.runInterval(t, tid, 0, 500)
+		f.s.MakeRunnable(tid)
+	}
+	// t2 never ran after 20 dispatches: starvation demonstrated.
+	if got := f.s.Escapes(); got != 0 {
+		t.Errorf("escapes = %d without a limit", got)
+	}
+}
+
+func TestSpawnStacksDisabledByDefault(t *testing.T) {
+	f := newFixture(model.LFF{}, 2, 16)
+	f.s.Register(1)
+	f.s.NoteSpawn(1, 0)
+	if f.s.SpawnLen(0) != 0 {
+		t.Error("spawn stack used without opt-in")
+	}
+	if f.s.GlobalLen() != 1 {
+		t.Error("spawned thread not in global queue")
+	}
+}
+
+func TestSpawnStackLIFOAndStealOldest(t *testing.T) {
+	f := newFixture(model.LFF{}, 2, 16)
+	f.s.SetSpawnStacks(true)
+	for tid := mem.ThreadID(1); tid <= 3; tid++ {
+		f.s.Register(tid)
+		f.s.NoteSpawn(tid, 0)
+	}
+	if f.s.SpawnLen(0) != 3 || f.s.GlobalLen() != 0 {
+		t.Fatalf("spawn=%d global=%d", f.s.SpawnLen(0), f.s.GlobalLen())
+	}
+	// The owner pops newest first.
+	got, ok := f.s.PickNext(0)
+	if !ok || got != 3 {
+		t.Errorf("owner pop = %v, want newest (3)", got)
+	}
+	f.s.NoteDispatch(got, 0)
+	// A thief takes the oldest.
+	got, ok = f.s.PickNext(1)
+	if !ok || got != 1 {
+		t.Errorf("steal = %v, want oldest (1)", got)
+	}
+	f.s.NoteDispatch(got, 1)
+	if f.s.Ops().Steals != 1 {
+		t.Errorf("steals = %d", f.s.Ops().Steals)
+	}
+	// The remaining spawn is found by either side; nothing is lost or
+	// dispatched twice.
+	got, ok = f.s.PickNext(0)
+	if !ok || got != 2 {
+		t.Errorf("final pop = %v, want 2", got)
+	}
+	f.s.NoteDispatch(got, 0)
+	if _, ok := f.s.PickNext(0); ok {
+		t.Error("phantom spawn")
+	}
+	if _, ok := f.s.PickNext(1); ok {
+		t.Error("phantom spawn on thief")
+	}
+}
+
+func TestSpawnFromUnknownCPUFallsBackToGlobal(t *testing.T) {
+	f := newFixture(model.LFF{}, 2, 16)
+	f.s.SetSpawnStacks(true)
+	f.s.Register(1)
+	f.s.NoteSpawn(1, -1)
+	if f.s.GlobalLen() != 1 {
+		t.Error("cpu-less spawn not in global queue")
+	}
+}
+
+func TestStealPrefersSpawnOverHotHeapSingleton(t *testing.T) {
+	// A fresh spawn costs nothing to migrate; a hot heap singleton
+	// costs its footprint. The thief must take the spawn.
+	f := newFixture(model.LFF{}, 2, 16)
+	f.s.SetSpawnStacks(true)
+	f.s.Register(1)
+	f.s.MakeRunnable(1)
+	f.runInterval(t, 1, 0, 1000)
+	f.s.MakeRunnable(1) // hot on cpu 0's heap
+	f.s.Register(2)
+	f.s.NoteSpawn(2, 0) // fresh on cpu 0's spawn stack
+	got, ok := f.s.PickNext(1)
+	if !ok || got != 2 {
+		t.Errorf("thief took %v, want the fresh spawn 2", got)
+	}
+}
+
+func TestThresholdBoundsHeapSize(t *testing.T) {
+	// The paper: demotion exists "to bound heap sizes and keep the cost
+	// of elementary heap operations low". Churn many threads through
+	// one CPU: the heap must stay far below the thread count because
+	// old entries decay past the threshold and are demoted at pop time.
+	f := newFixture(model.LFF{}, 1, 64)
+	const n = 200
+	for tid := mem.ThreadID(0); tid < n; tid++ {
+		f.s.Register(tid)
+		f.s.MakeRunnable(tid)
+	}
+	maxHeap := 0
+	for round := 0; round < 3*n; round++ {
+		tid, ok := f.s.PickNext(0)
+		if !ok {
+			break
+		}
+		f.s.NoteDispatch(tid, 0)
+		f.misses[0] += 2000 // big interval: old footprints decay fast
+		f.s.OnBlock(tid, 0, 2000)
+		f.s.MakeRunnable(tid)
+		if h := f.s.HeapLen(0); h > maxHeap {
+			maxHeap = h
+		}
+	}
+	// With 2000 misses per interval only a handful of recent threads
+	// stay hot, so the heap stays far below the population.
+	if maxHeap > n/4 {
+		t.Errorf("heap grew to %d of %d threads; demotion is not bounding it", maxHeap, n)
+	}
+	// Force a pop-time demotion: with a hot runnable entry sitting in
+	// the heap, advance the miss clock far past its decay horizon (as
+	// other processors' traffic would) and ask for work. The entry
+	// must be demoted to the global queue — and the thread still
+	// dispatched from there, not lost.
+	if f.s.HeapLen(0) == 0 {
+		t.Fatal("setup: expected a hot entry in the heap")
+	}
+	before := f.s.Ops().Demotions
+	f.misses[0] += 500_000
+	got, ok := f.s.PickNext(0)
+	if !ok {
+		t.Fatal("work lost after decay")
+	}
+	if f.s.Ops().Demotions == before {
+		t.Error("no demotions despite fully decayed heap entries")
+	}
+	f.s.NoteDispatch(got, 0)
+}

@@ -1,0 +1,171 @@
+// Package stats provides the small statistical toolkit used by the
+// model-accuracy experiments: online moments, error metrics between a
+// predicted and an observed series, and sampled series containers.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Online accumulates count, mean and variance incrementally using
+// Welford's algorithm. The zero value is an empty accumulator.
+type Online struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (o *Online) Add(x float64) {
+	if o.n == 0 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	o.n++
+	d := x - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (x - o.mean)
+}
+
+// N returns the number of observations.
+func (o *Online) N() int64 { return o.n }
+
+// Mean returns the running mean, or 0 for an empty accumulator.
+func (o *Online) Mean() float64 { return o.mean }
+
+// Var returns the population variance, or 0 with fewer than two
+// observations.
+func (o *Online) Var() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n)
+}
+
+// Std returns the population standard deviation.
+func (o *Online) Std() float64 { return math.Sqrt(o.Var()) }
+
+// Min returns the smallest observation, or 0 for an empty accumulator.
+func (o *Online) Min() float64 { return o.min }
+
+// Max returns the largest observation, or 0 for an empty accumulator.
+func (o *Online) Max() float64 { return o.max }
+
+// Series is a sampled curve: parallel X and Y slices of equal length.
+// Experiments append checkpoints as the computation unfolds and reports
+// render the result.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Append adds one sample point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.X) }
+
+// YAt returns the Y value for the largest X not exceeding x, using
+// linear search from the end (series are appended in X order). It
+// returns 0 for an empty series or when x precedes the first sample.
+func (s *Series) YAt(x float64) float64 {
+	for i := len(s.X) - 1; i >= 0; i-- {
+		if s.X[i] <= x {
+			return s.Y[i]
+		}
+	}
+	return 0
+}
+
+// Last returns the final (x, y) sample. It panics on an empty series.
+func (s *Series) Last() (float64, float64) {
+	i := len(s.X) - 1
+	return s.X[i], s.Y[i]
+}
+
+// RMSE returns the root-mean-square error between predicted and observed
+// values. The slices must have equal nonzero length.
+func RMSE(pred, obs []float64) float64 {
+	if len(pred) != len(obs) {
+		panic(fmt.Sprintf("stats: RMSE length mismatch %d != %d", len(pred), len(obs)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range pred {
+		d := pred[i] - obs[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(pred)))
+}
+
+// MeanRelError returns the mean of |pred-obs| / max(|obs|, floor): the
+// average relative prediction error with a floor that keeps early
+// near-zero observations from dominating.
+func MeanRelError(pred, obs []float64, floor float64) float64 {
+	if len(pred) != len(obs) {
+		panic(fmt.Sprintf("stats: MeanRelError length mismatch %d != %d", len(pred), len(obs)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range pred {
+		den := math.Abs(obs[i])
+		if den < floor {
+			den = floor
+		}
+		sum += math.Abs(pred[i]-obs[i]) / den
+	}
+	return sum / float64(len(pred))
+}
+
+// MeanBias returns the mean of (pred - obs): positive values mean the
+// model overestimates, which is the signature the paper reports for the
+// typechecker and raytrace workloads.
+func MeanBias(pred, obs []float64) float64 {
+	if len(pred) != len(obs) {
+		panic(fmt.Sprintf("stats: MeanBias length mismatch %d != %d", len(pred), len(obs)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range pred {
+		sum += pred[i] - obs[i]
+	}
+	return sum / float64(len(pred))
+}
+
+// Ratio returns a/b, or 0 when b is 0. It is used for relative
+// performance numbers where a zero denominator means "not measured".
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// PercentEliminated returns the percentage of base eliminated by v:
+// 100*(base-v)/base. Negative results mean v exceeded the baseline
+// (the paper reports -1% for photo on one CPU).
+func PercentEliminated(base, v float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - v) / base
+}

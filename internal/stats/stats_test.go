@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOnlineMoments(t *testing.T) {
+	var o Online
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		o.Add(x)
+	}
+	if o.N() != 8 {
+		t.Errorf("N = %d", o.N())
+	}
+	if math.Abs(o.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", o.Mean())
+	}
+	if math.Abs(o.Std()-2) > 1e-12 {
+		t.Errorf("Std = %v, want 2", o.Std())
+	}
+	if o.Min() != 2 || o.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", o.Min(), o.Max())
+	}
+}
+
+func TestOnlineEmptyAndSingle(t *testing.T) {
+	var o Online
+	if o.Mean() != 0 || o.Var() != 0 || o.Std() != 0 {
+		t.Error("empty accumulator not all-zero")
+	}
+	o.Add(3)
+	if o.Mean() != 3 || o.Var() != 0 {
+		t.Errorf("single observation: mean %v var %v", o.Mean(), o.Var())
+	}
+}
+
+func TestOnlineMatchesDirect(t *testing.T) {
+	f := func(xs []float64) bool {
+		var o Online
+		clean := xs[:0]
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				continue
+			}
+			clean = append(clean, x)
+			o.Add(x)
+		}
+		if len(clean) == 0 {
+			return o.N() == 0
+		}
+		var sum float64
+		for _, x := range clean {
+			sum += x
+		}
+		mean := sum / float64(len(clean))
+		var m2 float64
+		for _, x := range clean {
+			m2 += (x - mean) * (x - mean)
+		}
+		wantVar := m2 / float64(len(clean))
+		scale := math.Max(1, math.Abs(mean))
+		return math.Abs(o.Mean()-mean) < 1e-6*scale &&
+			math.Abs(o.Var()-wantVar) < 1e-4*math.Max(1, wantVar)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Append(0, 10)
+	s.Append(5, 20)
+	s.Append(9, 30)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.YAt(5); got != 20 {
+		t.Errorf("YAt(5) = %v", got)
+	}
+	if got := s.YAt(8.9); got != 20 {
+		t.Errorf("YAt(8.9) = %v", got)
+	}
+	if got := s.YAt(100); got != 30 {
+		t.Errorf("YAt(100) = %v", got)
+	}
+	if got := s.YAt(-1); got != 0 {
+		t.Errorf("YAt(-1) = %v", got)
+	}
+	if x, y := s.Last(); x != 9 || y != 30 {
+		t.Errorf("Last = (%v,%v)", x, y)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	if got := RMSE([]float64{1, 2, 3}, []float64{1, 2, 3}); got != 0 {
+		t.Errorf("identical series RMSE = %v", got)
+	}
+	if got := RMSE([]float64{0, 0}, []float64{3, 4}); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Errorf("RMSE = %v", got)
+	}
+	if got := RMSE(nil, nil); got != 0 {
+		t.Errorf("empty RMSE = %v", got)
+	}
+}
+
+func TestRMSEPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on length mismatch")
+		}
+	}()
+	RMSE([]float64{1}, []float64{1, 2})
+}
+
+func TestMeanRelError(t *testing.T) {
+	got := MeanRelError([]float64{110, 90}, []float64{100, 100}, 1)
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("MeanRelError = %v, want 0.1", got)
+	}
+	// The floor keeps zero observations from blowing up.
+	got = MeanRelError([]float64{5}, []float64{0}, 10)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("floored MeanRelError = %v, want 0.5", got)
+	}
+}
+
+func TestMeanBias(t *testing.T) {
+	got := MeanBias([]float64{12, 14}, []float64{10, 10})
+	if math.Abs(got-3) > 1e-12 {
+		t.Errorf("MeanBias = %v, want 3", got)
+	}
+	if got := MeanBias([]float64{8}, []float64{10}); got != -2 {
+		t.Errorf("negative bias = %v", got)
+	}
+}
+
+func TestRatioAndPercent(t *testing.T) {
+	if Ratio(10, 4) != 2.5 || Ratio(1, 0) != 0 {
+		t.Error("Ratio wrong")
+	}
+	if got := PercentEliminated(200, 50); got != 75 {
+		t.Errorf("PercentEliminated = %v", got)
+	}
+	if got := PercentEliminated(100, 101); got != -1 {
+		t.Errorf("negative elimination = %v", got)
+	}
+	if got := PercentEliminated(0, 5); got != 0 {
+		t.Errorf("zero-base elimination = %v", got)
+	}
+}

@@ -1,0 +1,227 @@
+// Package trace generates memory reference streams with controlled
+// statistical structure. The model-evaluation experiments (paper
+// Figures 4-7) drive the cache simulator with these streams in place of
+// the paper's Shade-captured application traces.
+//
+// The generator vocabulary matches the behaviour classes the paper
+// itself identifies:
+//
+//   - uniform random walks — the microbenchmark of Figure 4 and the
+//     model's own independence assumption;
+//   - clustered runs — "run lengths generally range from one to ten
+//     words" (C applications: slight footprint overestimation);
+//   - long sequential sweeps — the typechecker's creation-order tree
+//     walk ("nonstationary" behaviour);
+//   - page-stride conflict walks — misses concentrated on few cache
+//     sets, which grow the miss count without growing the footprint
+//     (raytrace's "conflict misses that do not significantly increase
+//     the footprint", and the extreme of reference clustering);
+//   - hot-set reuse — the post-transient plateau of Figure 6.
+//
+// A Pattern mixes these ingredients with fixed probabilities; a Gen
+// emits access batches from a pattern deterministically.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/xrand"
+)
+
+// Pattern describes the statistical shape of a reference stream. All
+// probabilities are per emitted run, not per reference.
+type Pattern struct {
+	// Fresh is the region from which new data is referenced (the
+	// thread's main state). Required.
+	Fresh mem.Range
+	// Sequential selects a circular sequential sweep through Fresh for
+	// fresh runs; otherwise fresh runs start at uniformly random lines.
+	Sequential bool
+	// MeanRunWords is the geometric mean length, in 8-byte words, of a
+	// sequential run (1 = independent references).
+	MeanRunWords int
+	// Hot, when non-empty, is a small reuse region; PHot of the runs
+	// re-reference it (mostly cache hits after warmup).
+	Hot  mem.Range
+	PHot float64
+	// ConflictStride and ConflictSpan enable page-stride conflict
+	// traffic: PConflict of the runs touch one line at successive
+	// ConflictStride intervals within a ConflictSpan-sized window of
+	// Fresh, concentrating misses on few cache sets.
+	ConflictStride uint64
+	ConflictSpan   uint64
+	PConflict      float64
+	// UsablePerPage, when nonzero, confines fresh traffic to the first
+	// UsablePerPage bytes of every PageBytes-sized page of Fresh —
+	// the footprint signature of structured allocation (rows shorter
+	// than a page, pool arenas with headers, power-of-two padding).
+	// Misses then cover only a fraction of the cache sets, which is
+	// how real programs' footprints saturate below the model's
+	// prediction.
+	UsablePerPage uint64
+	// PageBytes is the page size for UsablePerPage (default 8192).
+	PageBytes uint64
+	// WriteFrac is the probability that a run writes instead of reads.
+	WriteFrac float64
+	// ComputePerRef is the number of pure-compute instructions the
+	// workload executes per memory reference (shapes MPI in Figure 6).
+	ComputePerRef float64
+}
+
+func (p Pattern) validate() {
+	if p.Fresh.Len == 0 {
+		panic("trace: pattern needs a Fresh region")
+	}
+	if p.MeanRunWords < 1 {
+		panic("trace: MeanRunWords must be >= 1")
+	}
+	if p.PHot < 0 || p.PConflict < 0 || p.PHot+p.PConflict > 1 {
+		panic(fmt.Sprintf("trace: bad mix PHot=%v PConflict=%v", p.PHot, p.PConflict))
+	}
+	if p.PHot > 0 && p.Hot.Len == 0 {
+		panic("trace: PHot > 0 without a Hot region")
+	}
+	if p.PConflict > 0 && (p.ConflictStride == 0 || p.ConflictSpan < p.ConflictStride) {
+		panic("trace: conflict traffic needs stride and span")
+	}
+	if p.UsablePerPage != 0 && p.UsablePerPage > p.pageBytes() {
+		panic("trace: UsablePerPage exceeds the page size")
+	}
+}
+
+// pageBytes returns the structured-page size.
+func (p Pattern) pageBytes() uint64 {
+	if p.PageBytes == 0 {
+		return 8192
+	}
+	return p.PageBytes
+}
+
+// usableLen returns the length of the fresh index space: the whole
+// region, or the usable fraction when page structure is configured.
+func (p Pattern) usableLen() uint64 {
+	if p.UsablePerPage == 0 {
+		return p.Fresh.Len
+	}
+	pages := p.Fresh.Len / p.pageBytes()
+	if pages == 0 {
+		return p.Fresh.Len
+	}
+	return pages * p.UsablePerPage
+}
+
+// Gen emits reference batches from a Pattern. It is deterministic for a
+// given seed and not safe for concurrent use.
+type Gen struct {
+	pat Pattern
+	rng *xrand.Source
+
+	sweepPos    uint64 // byte offset into Fresh for sequential mode
+	conflictPos uint64 // byte offset of the next conflict line
+}
+
+// NewGen builds a generator.
+func NewGen(pat Pattern, seed uint64) *Gen {
+	pat.validate()
+	return &Gen{pat: pat, rng: xrand.New(seed)}
+}
+
+// Pattern returns the generator's pattern.
+func (g *Gen) Pattern() Pattern { return g.pat }
+
+// Emit appends runs totalling at least budget references to b and
+// returns the extended batch together with the pure-compute instruction
+// count the workload interleaves with them.
+func (g *Gen) Emit(b mem.Batch, budget int) (mem.Batch, uint64) {
+	refs := 0
+	for refs < budget {
+		run := g.rng.Geometric(float64(g.pat.MeanRunWords))
+		write := g.rng.Bool(g.pat.WriteFrac)
+		var a mem.Access
+		switch x := g.rng.Float64(); {
+		case x < g.pat.PConflict:
+			a = g.conflictRun(write)
+		case x < g.pat.PConflict+g.pat.PHot:
+			a = g.hotRun(run, write)
+		default:
+			a = g.freshRun(run, write)
+		}
+		b = append(b, a)
+		refs += int(a.Count)
+	}
+	return b, uint64(float64(refs) * g.pat.ComputePerRef)
+}
+
+// freshRun references new territory: a sequential word run starting at
+// the sweep position (Sequential) or at a random word (otherwise),
+// clamped so it never crosses a usable-span boundary. With page
+// structure, positions index the usable prefix of each page and are
+// mapped to the sparse physical layout.
+func (g *Gen) freshRun(words int, write bool) mem.Access {
+	span := g.pat.usableLen()
+	var start uint64
+	if g.pat.Sequential {
+		start = g.sweepPos
+		g.sweepPos = (g.sweepPos + uint64(words)*8) % span
+	} else {
+		start = g.rng.Uint64n(span) &^ 7
+	}
+	base := g.pat.Fresh.Base
+	if u := g.pat.UsablePerPage; u != 0 {
+		// Map the abstract position to the sparse layout and clamp the
+		// run inside the usable prefix of its page.
+		page := start / u
+		off := start % u
+		base += mem.Addr(page*g.pat.pageBytes() + off)
+		if max := (u - off) / 8; uint64(words) > max {
+			words = int(max)
+		}
+	} else {
+		base += mem.Addr(start)
+		if max := (span - start) / 8; uint64(words) > max {
+			words = int(max)
+		}
+	}
+	if words == 0 {
+		words = 1
+	}
+	return access(base, words, write)
+}
+
+// hotRun re-references the hot region at a random offset.
+func (g *Gen) hotRun(words int, write bool) mem.Access {
+	hot := g.pat.Hot
+	start := g.rng.Uint64n(hot.Len) &^ 7
+	if max := (hot.Len - start) / 8; uint64(words) > max {
+		words = int(max)
+		if words == 0 {
+			words = 1
+			start = 0
+		}
+	}
+	return access(hot.Base+mem.Addr(start), words, write)
+}
+
+// conflictRun touches exactly one word at the next page-stride position:
+// successive conflict runs walk addresses ConflictStride apart, which
+// map to the same few cache sets and evict one another without growing
+// the footprint.
+func (g *Gen) conflictRun(write bool) mem.Access {
+	a := access(g.pat.Fresh.Base+mem.Addr(g.conflictPos), 1, write)
+	g.conflictPos += g.pat.ConflictStride
+	if g.conflictPos+8 > g.pat.ConflictSpan || g.conflictPos+8 > g.pat.Fresh.Len {
+		g.conflictPos = 0
+	}
+	return a
+}
+
+func access(base mem.Addr, words int, write bool) mem.Access {
+	return mem.Access{Base: base, Count: int32(words), Stride: 8, Size: 8, Write: write}
+}
+
+// Uniform returns the Figure 4 microbenchmark pattern: independent
+// uniformly distributed single-word references over region.
+func Uniform(region mem.Range) Pattern {
+	return Pattern{Fresh: region, MeanRunWords: 1, ComputePerRef: 1}
+}

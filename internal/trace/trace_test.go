@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+var region = mem.Range{Base: 0x10000, Len: 1 << 20}
+
+func emitAll(g *Gen, budget int) mem.Batch {
+	b, _ := g.Emit(nil, budget)
+	return b
+}
+
+func TestBudgetHonoured(t *testing.T) {
+	g := NewGen(Uniform(region), 1)
+	b, compute := g.Emit(nil, 10000)
+	if refs := b.Refs(); refs < 10000 || refs > 11000 {
+		t.Errorf("refs = %d, want ~10000", refs)
+	}
+	if compute == 0 {
+		t.Error("no compute interleave despite ComputePerRef=1")
+	}
+}
+
+func TestAccessesStayInRegion(t *testing.T) {
+	pats := []Pattern{
+		Uniform(region),
+		{Fresh: region, MeanRunWords: 6, ComputePerRef: 2},
+		{Fresh: region, Sequential: true, MeanRunWords: 40},
+		{Fresh: region, MeanRunWords: 4, Hot: mem.Range{Base: region.Base, Len: 4096}, PHot: 0.5},
+		{Fresh: region, MeanRunWords: 1, PConflict: 0.5, ConflictStride: 8192, ConflictSpan: 1 << 19},
+	}
+	for i, p := range pats {
+		g := NewGen(p, uint64(i+1))
+		for _, a := range emitAll(g, 20000) {
+			lo := a.Base
+			hi := a.Base + mem.Addr(int64(a.Count-1)*int64(a.Stride)) + mem.Addr(a.Size)
+			if lo < region.Base || hi > region.End() {
+				t.Fatalf("pattern %d escapes region: %+v", i, a)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := Pattern{Fresh: region, MeanRunWords: 5, WriteFrac: 0.3, ComputePerRef: 1.5}
+	a, ca := NewGen(p, 9).Emit(nil, 5000)
+	b, cb := NewGen(p, 9).Emit(nil, 5000)
+	if ca != cb || len(a) != len(b) {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d", len(a), ca, len(b), cb)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("batch diverged at %d", i)
+		}
+	}
+}
+
+func TestMeanRunLength(t *testing.T) {
+	p := Pattern{Fresh: region, MeanRunWords: 6}
+	g := NewGen(p, 3)
+	b := emitAll(g, 200000)
+	var total int64
+	for _, a := range b {
+		total += int64(a.Count)
+	}
+	got := float64(total) / float64(len(b))
+	if got < 5 || got > 7 {
+		t.Errorf("mean run length = %v, want ~6", got)
+	}
+}
+
+func TestSequentialSweepAdvances(t *testing.T) {
+	p := Pattern{Fresh: region, Sequential: true, MeanRunWords: 8}
+	g := NewGen(p, 1)
+	b := emitAll(g, 1000)
+	// Runs must be in ascending address order until wraparound.
+	prev := b[0].Base
+	for _, a := range b[1:] {
+		if a.Base < prev { // wrapped
+			if a.Base != region.Base {
+				t.Fatalf("wrap did not return to region base: %#x", uint64(a.Base))
+			}
+		}
+		prev = a.Base
+	}
+}
+
+func TestConflictWalkConcentratesSets(t *testing.T) {
+	// With page-stride conflicts, the distinct line addresses visited
+	// must be few (one line per stride step within the span).
+	p := Pattern{
+		Fresh: region, MeanRunWords: 1,
+		PConflict: 1, ConflictStride: 8192, ConflictSpan: 1 << 19,
+	}
+	g := NewGen(p, 5)
+	lines := map[mem.Addr]bool{}
+	for _, a := range emitAll(g, 10000) {
+		lines[mem.LineAddr(a.Base, 64)] = true
+	}
+	want := int(uint64(1<<19) / 8192)
+	if len(lines) != want {
+		t.Errorf("distinct conflict lines = %d, want %d", len(lines), want)
+	}
+}
+
+func TestWriteFraction(t *testing.T) {
+	p := Pattern{Fresh: region, MeanRunWords: 1, WriteFrac: 0.25}
+	g := NewGen(p, 7)
+	writes, total := 0, 0
+	for _, a := range emitAll(g, 100000) {
+		total++
+		if a.Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / float64(total)
+	if frac < 0.22 || frac > 0.28 {
+		t.Errorf("write fraction = %v, want ~0.25", frac)
+	}
+}
+
+func TestHotRunsLandInHot(t *testing.T) {
+	hot := mem.Range{Base: region.Base + 4096, Len: 8192}
+	p := Pattern{Fresh: region, MeanRunWords: 2, Hot: hot, PHot: 1}
+	g := NewGen(p, 2)
+	for _, a := range emitAll(g, 5000) {
+		if a.Base < hot.Base || a.Base >= hot.End() {
+			t.Fatalf("hot run outside hot region: %+v", a)
+		}
+	}
+}
+
+func TestPatternValidation(t *testing.T) {
+	bads := []Pattern{
+		{},
+		{Fresh: region, MeanRunWords: 0},
+		{Fresh: region, MeanRunWords: 1, PHot: 0.5},                 // no hot region
+		{Fresh: region, MeanRunWords: 1, PHot: 0.7, PConflict: 0.5}, // mix > 1
+		{Fresh: region, MeanRunWords: 1, PConflict: 0.5},            // no stride
+	}
+	for i, p := range bads {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad pattern %d accepted", i)
+				}
+			}()
+			NewGen(p, 1)
+		}()
+	}
+}
+
+func TestUsablePerPageConfinement(t *testing.T) {
+	p := Pattern{
+		Fresh: region, Sequential: true, MeanRunWords: 16,
+		UsablePerPage: 2048, PageBytes: 8192,
+	}
+	g := NewGen(p, 3)
+	for _, a := range emitAll(g, 50000) {
+		start := uint64(a.Base - region.Base)
+		end := start + uint64(a.Count-1)*uint64(a.Stride) + uint64(a.Size)
+		if start%8192 >= 2048 || (end-1)%8192 >= 2048 {
+			t.Fatalf("access escapes the usable prefix: %+v (offsets %d..%d)", a, start%8192, (end-1)%8192)
+		}
+	}
+}
+
+func TestUsablePerPageCoversAllPages(t *testing.T) {
+	p := Pattern{
+		Fresh: region, Sequential: true, MeanRunWords: 8,
+		UsablePerPage: 1024,
+	}
+	g := NewGen(p, 9)
+	pages := map[uint64]bool{}
+	for _, a := range emitAll(g, 400000) {
+		pages[uint64(a.Base-region.Base)/8192] = true
+	}
+	total := int(region.Len / 8192)
+	if len(pages) < total*9/10 {
+		t.Errorf("sweep covered only %d of %d pages", len(pages), total)
+	}
+}
+
+func TestUsablePerPageValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("UsablePerPage > PageBytes accepted")
+		}
+	}()
+	NewGen(Pattern{Fresh: region, MeanRunWords: 1, UsablePerPage: 9000, PageBytes: 8192}, 1)
+}

@@ -1,0 +1,176 @@
+// Package vm implements the virtual-to-physical address translation used
+// by the cache simulator. The paper's simulator feeds virtual addresses
+// (from Shade) through a page mapper into physically indexed caches and
+// uses a variant of Kessler and Hill's "careful mapping" page-placement
+// policy, which picks a physical frame at page-fault time whose cache
+// color is likely to reduce conflict misses.
+//
+// A Mapper allocates frames on first touch (a simulated page fault) and
+// then translates deterministically. Three policies are provided:
+//
+//   - Identity: physical == virtual (useful in unit tests).
+//   - Naive: arbitrary (pseudo-random) frame color, the baseline Kessler
+//     and Hill compare against.
+//   - Careful: page coloring with bin hopping — prefer the frame color
+//     equal to the virtual page color, but fall back to the least-used
+//     color when the preferred one is already crowded, balancing pages
+//     across cache bins.
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/xrand"
+)
+
+// Policy selects the frame-allocation strategy.
+type Policy int
+
+// Supported page-placement policies.
+const (
+	// Identity maps every virtual page to the equal-numbered frame.
+	Identity Policy = iota
+	// Naive assigns an arbitrary (pseudo-random) color to each frame,
+	// modelling a VM system that ignores cache geometry.
+	Naive
+	// Careful implements the Kessler-Hill careful-mapping heuristic:
+	// color frames like their virtual pages unless that bin is
+	// overloaded, then hop to the least-used bin.
+	Careful
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Identity:
+		return "identity"
+	case Naive:
+		return "naive"
+	case Careful:
+		return "careful"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Mapper translates virtual addresses to physical addresses, allocating
+// physical frames on first touch. It is not safe for concurrent use; the
+// simulator is sequential by design.
+type Mapper struct {
+	policy    Policy
+	pageSize  uint64
+	pageShift uint
+
+	// colors is the number of page-sized bins in the physically
+	// indexed cache the mapping tries to optimize for (cache bytes /
+	// page size). With one color the policy degenerates gracefully.
+	colors uint64
+
+	table      map[uint64]uint64 // virtual page -> physical frame
+	colorUse   []uint64          // frames allocated per color
+	colorNext  []uint64          // next frame ordinal within each color
+	nextFrame  uint64            // for Identity fallback bookkeeping
+	rng        *xrand.Source
+	faultCount uint64
+}
+
+// New returns a Mapper for the given page size (a power of two) and the
+// cache capacity in bytes that coloring should target. The seed fixes
+// the Naive policy's arbitrary placements.
+func New(policy Policy, pageSize, cacheBytes uint64, seed uint64) *Mapper {
+	if !mem.IsPow2(pageSize) {
+		panic(fmt.Sprintf("vm: page size %d is not a power of two", pageSize))
+	}
+	colors := cacheBytes / pageSize
+	if colors == 0 {
+		colors = 1
+	}
+	return &Mapper{
+		policy:    policy,
+		pageSize:  pageSize,
+		pageShift: mem.Log2(pageSize),
+		colors:    colors,
+		table:     make(map[uint64]uint64),
+		colorUse:  make([]uint64, colors),
+		colorNext: make([]uint64, colors),
+		rng:       xrand.New(seed),
+	}
+}
+
+// PageSize returns the mapper's page size in bytes.
+func (m *Mapper) PageSize() uint64 { return m.pageSize }
+
+// Colors returns the number of cache colors the mapper balances across.
+func (m *Mapper) Colors() int { return int(m.colors) }
+
+// Faults returns the number of page faults taken so far (pages
+// allocated on first touch).
+func (m *Mapper) Faults() uint64 { return m.faultCount }
+
+// MappedPages returns the number of resident pages.
+func (m *Mapper) MappedPages() int { return len(m.table) }
+
+// Translate maps a virtual address to its physical address, faulting the
+// page in if this is its first touch.
+func (m *Mapper) Translate(v mem.Addr) mem.Addr {
+	vpage := uint64(v) >> m.pageShift
+	frame, ok := m.table[vpage]
+	if !ok {
+		frame = m.allocate(vpage)
+		m.table[vpage] = frame
+		m.faultCount++
+	}
+	offset := uint64(v) & (m.pageSize - 1)
+	return mem.Addr(frame<<m.pageShift | offset)
+}
+
+// TranslateRange translates the start of a range; callers that need
+// per-page precision must translate page by page (the cache simulator
+// does so when a run crosses a page boundary).
+func (m *Mapper) TranslateRange(r mem.Range) mem.Range {
+	return mem.Range{Base: m.Translate(r.Base), Len: r.Len}
+}
+
+func (m *Mapper) allocate(vpage uint64) uint64 {
+	switch m.policy {
+	case Identity:
+		m.nextFrame++
+		return vpage
+	case Naive:
+		color := m.rng.Uint64n(m.colors)
+		return m.frameInColor(color)
+	case Careful:
+		return m.frameInColor(m.chooseColor(vpage))
+	default:
+		panic(fmt.Sprintf("vm: unknown policy %d", int(m.policy)))
+	}
+}
+
+// chooseColor implements the careful-mapping heuristic: use the virtual
+// page's color when it is no fuller than the emptiest bin; otherwise hop
+// to the least-used bin (lowest index on ties, for determinism).
+func (m *Mapper) chooseColor(vpage uint64) uint64 {
+	want := vpage % m.colors
+	minUse := m.colorUse[0]
+	minColor := uint64(0)
+	for c, use := range m.colorUse {
+		if use < minUse {
+			minUse = use
+			minColor = uint64(c)
+		}
+	}
+	if m.colorUse[want] == minUse {
+		return want
+	}
+	return minColor
+}
+
+// frameInColor returns a fresh frame number whose low bits (mod colors)
+// equal the requested color. Physical memory is unbounded in the
+// simulation, so frames are synthesized as color + colors*ordinal.
+func (m *Mapper) frameInColor(color uint64) uint64 {
+	ordinal := m.colorNext[color]
+	m.colorNext[color]++
+	m.colorUse[color]++
+	return color + m.colors*ordinal
+}

@@ -1,0 +1,144 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+const (
+	testPage  = 8192
+	testCache = 512 * 1024
+)
+
+func TestIdentity(t *testing.T) {
+	m := New(Identity, testPage, testCache, 1)
+	for _, a := range []mem.Addr{0, 1, 8191, 8192, 1 << 30} {
+		if got := m.Translate(a); got != a {
+			t.Errorf("Identity Translate(%#x) = %#x", uint64(a), uint64(got))
+		}
+	}
+}
+
+func TestTranslationStable(t *testing.T) {
+	for _, policy := range []Policy{Identity, Naive, Careful} {
+		m := New(policy, testPage, testCache, 7)
+		addrs := []mem.Addr{0x1000, 0x2000, 0x123456, 0x9000000}
+		first := make([]mem.Addr, len(addrs))
+		for i, a := range addrs {
+			first[i] = m.Translate(a)
+		}
+		for i, a := range addrs {
+			if got := m.Translate(a); got != first[i] {
+				t.Errorf("%v: Translate(%#x) changed %#x -> %#x", policy, uint64(a), uint64(first[i]), uint64(got))
+			}
+		}
+	}
+}
+
+func TestOffsetPreserved(t *testing.T) {
+	f := func(page uint16, offset uint16) bool {
+		m := New(Careful, testPage, testCache, 3)
+		v := mem.Addr(uint64(page)*testPage + uint64(offset)%testPage)
+		p := m.Translate(v)
+		return uint64(p)%testPage == uint64(v)%testPage
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistinctPagesGetDistinctFrames(t *testing.T) {
+	for _, policy := range []Policy{Naive, Careful} {
+		m := New(policy, testPage, testCache, 11)
+		seen := make(map[mem.Addr]uint64)
+		for vp := uint64(0); vp < 10000; vp++ {
+			p := m.Translate(mem.Addr(vp * testPage))
+			frame := p / testPage * testPage
+			if prev, dup := seen[frame]; dup {
+				t.Fatalf("%v: vpages %d and %d share frame %#x", policy, prev, vp, uint64(frame))
+			}
+			seen[frame] = vp
+		}
+	}
+}
+
+func TestCarefulBalancesColors(t *testing.T) {
+	m := New(Careful, testPage, testCache, 5)
+	colors := uint64(m.Colors())
+	// Touch many pages with a pathological virtual stride that keeps
+	// the virtual color constant; careful mapping must still spread the
+	// frames across bins.
+	use := make(map[uint64]int)
+	const pages = 4096
+	for i := uint64(0); i < pages; i++ {
+		v := mem.Addr(i * testPage * colors) // all same virtual color
+		p := m.Translate(v)
+		use[uint64(p)/testPage%colors]++
+	}
+	min, max := pages, 0
+	for c := uint64(0); c < colors; c++ {
+		if use[c] < min {
+			min = use[c]
+		}
+		if use[c] > max {
+			max = use[c]
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("careful mapping imbalance: min %d max %d across %d colors", min, max, colors)
+	}
+}
+
+func TestCarefulPrefersVirtualColor(t *testing.T) {
+	m := New(Careful, testPage, testCache, 5)
+	colors := uint64(m.Colors())
+	// With one page per virtual color, each should land on its own
+	// color (pure page coloring).
+	for i := uint64(0); i < colors; i++ {
+		p := m.Translate(mem.Addr(i * testPage))
+		if got := uint64(p) / testPage % colors; got != i {
+			t.Errorf("vpage %d placed on color %d", i, got)
+		}
+	}
+}
+
+func TestFaultAccounting(t *testing.T) {
+	m := New(Careful, testPage, testCache, 9)
+	m.Translate(0x0)
+	m.Translate(0x10)   // same page
+	m.Translate(0x2000) // new page
+	if m.Faults() != 2 || m.MappedPages() != 2 {
+		t.Errorf("faults %d mapped %d, want 2/2", m.Faults(), m.MappedPages())
+	}
+}
+
+func TestNaiveDeterministicBySeed(t *testing.T) {
+	a := New(Naive, testPage, testCache, 42)
+	b := New(Naive, testPage, testCache, 42)
+	for vp := uint64(0); vp < 1000; vp++ {
+		va := mem.Addr(vp * testPage)
+		if a.Translate(va) != b.Translate(va) {
+			t.Fatalf("same-seed naive mappers diverged at page %d", vp)
+		}
+	}
+}
+
+func TestBadPageSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for non-power-of-two page size")
+		}
+	}()
+	New(Careful, 1000, testCache, 1)
+}
+
+func TestPolicyString(t *testing.T) {
+	if Identity.String() != "identity" || Naive.String() != "naive" || Careful.String() != "careful" {
+		t.Error("policy names wrong")
+	}
+	if Policy(99).String() != "Policy(99)" {
+		t.Error("unknown policy name wrong")
+	}
+}

@@ -1,0 +1,103 @@
+package workloads
+
+import (
+	"repro/internal/mem"
+	"repro/internal/rt"
+)
+
+// MergeConfig parameterizes the parallel mergesort of Sections 2.3 and
+// 5: the input is split recursively into halves sorted by child threads
+// and merged by the parent. The paper's annotations express that each
+// child's state is fully contained in its parent's state
+// (at_share(child, parent, 1.0)); the speedup comes almost entirely
+// from these annotations, because each thread is extremely light-weight
+// but any root-to-leaf path shares substantial state.
+type MergeConfig struct {
+	// Elements is the input size (paper: 100,000 uniformly distributed
+	// elements).
+	Elements int
+	// Leaf is the cutoff below which a thread switches to insertion
+	// sort instead of splitting (paper: 100).
+	Leaf int
+	// ElemBytes is the size of one element (8-byte keys).
+	ElemBytes int
+}
+
+func (c MergeConfig) withDefaults() MergeConfig {
+	if c.Elements == 0 {
+		c.Elements = 100_000
+	}
+	if c.Leaf == 0 {
+		c.Leaf = 100
+	}
+	if c.ElemBytes == 0 {
+		c.ElemBytes = 8
+	}
+	return c
+}
+
+func (c MergeConfig) scaled(s float64) MergeConfig {
+	c = c.withDefaults()
+	c.Elements = scaleInt(c.Elements, s, 16*c.Leaf)
+	return c
+}
+
+// SpawnMerge seeds e with the parallel mergesort.
+func SpawnMerge(e *rt.Engine, cfg MergeConfig) {
+	cfg = cfg.withDefaults()
+	e.Spawn(func(t *rt.T) {
+		n := uint64(cfg.Elements * cfg.ElemBytes)
+		arr := t.Alloc(n)
+		tmp := t.Alloc(n)
+		// Populate the input (the generation pass also warms nothing
+		// useful: it far exceeds the cache).
+		t.WriteRange(arr.Base, n)
+		mergeSort(t, cfg, arr, tmp, 0, cfg.Elements)
+	}, rt.SpawnOpts{Name: "merge-main"})
+}
+
+// mergeSort is the body shared by the root and every internal thread:
+// sort [lo, hi) of arr, using tmp as merge scratch.
+func mergeSort(t *rt.T, cfg MergeConfig, arr, tmp mem.Range, lo, hi int) {
+	count := hi - lo
+	if count <= cfg.Leaf {
+		insertionSort(t, cfg, arr, lo, hi)
+		return
+	}
+	mid := lo + count/2
+	left := t.Create("merge-thread", func(c *rt.T) { mergeSort(c, cfg, arr, tmp, lo, mid) })
+	right := t.Create("merge-thread", func(c *rt.T) { mergeSort(c, cfg, arr, tmp, mid, hi) })
+	// The paper's annotations, verbatim: the children's state is fully
+	// contained in this thread's state. The parent prefetches nothing
+	// for the children, so the reverse edges are omitted.
+	t.Share(left, t.ID(), 1.0)
+	t.Share(right, t.ID(), 1.0)
+	t.Join(left)
+	t.Join(right)
+	merge(t, cfg, arr, tmp, lo, mid, hi)
+}
+
+// insertionSort models the leaf work: the range is read and rewritten
+// repeatedly with quadratic compare work.
+func insertionSort(t *rt.T, cfg MergeConfig, arr mem.Range, lo, hi int) {
+	base := arr.Base + mem.Addr(lo*cfg.ElemBytes)
+	bytes := uint64((hi - lo) * cfg.ElemBytes)
+	// Two passes over the data approximate insertion sort's locality
+	// (the quadratic term is compares, which hit in cache).
+	t.ReadRange(base, bytes)
+	t.WriteRange(base, bytes)
+	n := uint64(hi - lo)
+	t.Compute(n * n / 4)
+}
+
+// merge models the parent's merge: read both sorted halves, write the
+// merged run to tmp, and copy it back.
+func merge(t *rt.T, cfg MergeConfig, arr, tmp mem.Range, lo, mid, hi int) {
+	eb := cfg.ElemBytes
+	t.ReadRange(arr.Base+mem.Addr(lo*eb), uint64((mid-lo)*eb))
+	t.ReadRange(arr.Base+mem.Addr(mid*eb), uint64((hi-mid)*eb))
+	t.WriteRange(tmp.Base+mem.Addr(lo*eb), uint64((hi-lo)*eb))
+	t.ReadRange(tmp.Base+mem.Addr(lo*eb), uint64((hi-lo)*eb))
+	t.WriteRange(arr.Base+mem.Addr(lo*eb), uint64((hi-lo)*eb))
+	t.Compute(uint64(3 * (hi - lo)))
+}

@@ -1,0 +1,107 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// emitStats summarizes an app's reference stream: mean run length,
+// write fraction, distinct-page coverage and conflict-line reuse.
+type emitStats struct {
+	refs      int64
+	runs      int64
+	writes    int64
+	pages     map[uint64]bool
+	lineFreq  map[mem.Addr]int64
+	stateBase mem.Addr
+}
+
+func collect(t *testing.T, app StudyApp, budget int) *emitStats {
+	t.Helper()
+	m := machine.New(machine.UltraSPARC1())
+	state := m.AllocPages(app.StateBytes)
+	hot := mem.Range{Base: state.Base, Len: app.HotBytes}
+	g := trace.NewGen(app.Pattern(state, hot), 7)
+	st := &emitStats{
+		pages:     make(map[uint64]bool),
+		lineFreq:  make(map[mem.Addr]int64),
+		stateBase: state.Base,
+	}
+	var batch mem.Batch
+	for st.refs < int64(budget) {
+		batch = batch[:0]
+		batch, _ = g.Emit(batch, 8192)
+		for _, a := range batch {
+			st.runs++
+			st.refs += a.Refs()
+			if a.Write {
+				st.writes++
+			}
+			st.pages[uint64(a.Base-state.Base)/8192] = true
+			st.lineFreq[mem.LineAddr(a.Base, 64)]++
+		}
+	}
+	return st
+}
+
+// TestPatternStatistics verifies each study application's stream has
+// the statistical signature its Table 2 characterization promises.
+func TestPatternStatistics(t *testing.T) {
+	stats := make(map[string]*emitStats)
+	for _, app := range StudyApps() {
+		stats[app.Name] = collect(t, app, 300_000)
+	}
+	meanRun := func(name string) float64 {
+		s := stats[name]
+		return float64(s.refs) / float64(s.runs)
+	}
+	// Long-run-length apps vs linked-structure apps: typechecker and
+	// ocean must have much longer runs than tsp (the paper: OO
+	// programs show less clustering).
+	if meanRun("typechecker") < 3*meanRun("tsp") {
+		t.Errorf("typechecker runs (%.1f) not much longer than tsp (%.1f)",
+			meanRun("typechecker"), meanRun("tsp"))
+	}
+	if meanRun("ocean") < 2*meanRun("tsp") {
+		t.Errorf("ocean runs (%.1f) not much longer than tsp (%.1f)",
+			meanRun("ocean"), meanRun("tsp"))
+	}
+	// Write fractions are in sane bounds everywhere.
+	for name, s := range stats {
+		w := float64(s.writes) / float64(s.runs)
+		if w < 0.02 || w > 0.7 {
+			t.Errorf("%s write fraction %.2f out of bounds", name, w)
+		}
+	}
+	// The conflict-heavy anomalies re-reference their most popular
+	// lines far more often than the well-behaved apps (page-stride
+	// conflict traffic concentrates on few lines).
+	maxFreq := func(name string) int64 {
+		var max int64
+		for _, f := range stats[name].lineFreq {
+			if f > max {
+				max = f
+			}
+		}
+		return max
+	}
+	if maxFreq("raytrace") < 4*maxFreq("merge") {
+		t.Errorf("raytrace hottest line (%d) not much hotter than merge's (%d)",
+			maxFreq("raytrace"), maxFreq("merge"))
+	}
+}
+
+// TestPatternsCoverTheirState: every app's stream must roam most of its
+// declared state (the footprint studies depend on it).
+func TestPatternsCoverTheirState(t *testing.T) {
+	for _, app := range StudyApps() {
+		s := collect(t, app, 600_000)
+		totalPages := int(app.StateBytes / 8192)
+		if len(s.pages) < totalPages/2 {
+			t.Errorf("%s: stream touched %d of %d pages", app.Name, len(s.pages), totalPages)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package workloads
+
+import (
+	"repro/internal/mem"
+	"repro/internal/rt"
+)
+
+// PhotoConfig parameterizes photo, the Sather image retouching program:
+// a "softening" (blur) filter applied to an RGB pixmap, one thread per
+// row of pixels. Each row thread reads its own row and its neighbours,
+// so threads working on nearby rows share most of their state. The
+// annotations say exactly that: the closer two row numbers, the more
+// prefetched state is reused (q = 0.5 at distance 1, 0.25 at distance
+// 2).
+//
+// On one processor plain FCFS already visits the rows in creation
+// order, which is the optimal order — the paper measures the locality
+// policies slightly *losing* there (0.97x) from their own overhead. On
+// the 8-processor machine FCFS scatters neighbouring rows across
+// processors and the locality policies win by over 2x.
+type PhotoConfig struct {
+	// Width and Height are the pixmap dimensions in pixels (paper:
+	// 2048x2048).
+	Width, Height int
+	// BytesPerPixel is 3 for rgb.
+	BytesPerPixel int
+	// FilterInstrs is the per-pixel compute cost of the softening
+	// kernel.
+	FilterInstrs int
+	// Radius is the kernel radius in rows: the filter reads rows
+	// r-Radius..r+Radius to compute output row r (a 5x5 softening
+	// kernel has radius 2).
+	Radius int
+	// ShareWindow is how far, in rows, the sharing annotations reach;
+	// the coefficient decays with distance, as the paper describes
+	// ("the closer the corresponding row numbers, the more prefetched
+	// state is reused").
+	ShareWindow int
+	// Iterations is the number of filter passes; the softening filter
+	// is applied repeatedly, with a barrier between passes. Repeated
+	// passes are what give affinity scheduling its leverage: a row
+	// thread that wakes for the next pass wants the processor that
+	// still caches its rows, and the annotations pull neighbouring
+	// rows to the same place.
+	Iterations int
+	// Strips is how many pieces one row's filter step is split into;
+	// after each strip the thread posts shared progress, a blocking
+	// point mid-row (fine-grained Sather threads synchronize often).
+	Strips int
+	// BandRows groups rows into bands of this many rows; each band's
+	// descriptor (histogram, clamp statistics) is guarded by a mutex
+	// that a row thread holds while filtering. Rows of a band
+	// therefore execute one at a time in lock-queue order — the row
+	// threads are *blocking* threads, the programming model the paper
+	// targets — while different bands run in parallel.
+	BandRows int
+}
+
+func (c PhotoConfig) withDefaults() PhotoConfig {
+	if c.Width == 0 {
+		c.Width = 2048
+	}
+	if c.Height == 0 {
+		c.Height = 2048
+	}
+	if c.BytesPerPixel == 0 {
+		c.BytesPerPixel = 3
+	}
+	if c.FilterInstrs == 0 {
+		c.FilterInstrs = 4
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 4
+	}
+	if c.Radius == 0 {
+		c.Radius = 2
+	}
+	if c.ShareWindow == 0 {
+		c.ShareWindow = 8
+	}
+	if c.BandRows == 0 {
+		c.BandRows = 64
+	}
+	if c.Strips == 0 {
+		c.Strips = 4
+	}
+	return c
+}
+
+func (c PhotoConfig) scaled(s float64) PhotoConfig {
+	c = c.withDefaults()
+	c.Width = scaleInt(c.Width, s, 128)
+	c.Height = scaleInt(c.Height, s, 32)
+	return c
+}
+
+// SpawnPhoto seeds e with the photo program.
+func SpawnPhoto(e *rt.Engine, cfg PhotoConfig) {
+	cfg = cfg.withDefaults()
+	e.Spawn(func(t *rt.T) {
+		rowBytes := uint64(cfg.Width * cfg.BytesPerPixel)
+		in := t.Alloc(rowBytes * uint64(cfg.Height))
+		out := t.Alloc(rowBytes * uint64(cfg.Height))
+		row := func(r int) mem.Addr { return in.Base + mem.Addr(uint64(r)*rowBytes) }
+
+		pass := rt.NewBarrier("photo-pass", cfg.Height)
+		progressMu := rt.NewMutex("photo-progress")
+		progress := t.Alloc(64)
+		nbands := (cfg.Height + cfg.BandRows - 1) / cfg.BandRows
+		bands := make([]*rt.Mutex, nbands)
+		bandStats := make([]mem.Range, nbands)
+		for b := range bands {
+			bands[b] = rt.NewMutex("photo-band")
+			bandStats[b] = t.Alloc(256)
+		}
+		kids := make([]mem.ThreadID, cfg.Height)
+		for r := 0; r < cfg.Height; r++ {
+			r := r
+			band := r / cfg.BandRows
+			kids[r] = t.Create("photo-row", func(c *rt.T) {
+				stripBytes := rowBytes / uint64(cfg.Strips)
+				for it := 0; it < cfg.Iterations; it++ {
+					// The band descriptor (shared clamp/histogram
+					// statistics) is held across the filter step, so
+					// rows of a band run one at a time in lock-queue
+					// order while the 32 bands proceed in parallel.
+					c.Lock(bands[band])
+					for st := 0; st < cfg.Strips; st++ {
+						off := mem.Addr(uint64(st) * stripBytes)
+						for dr := -cfg.Radius; dr <= cfg.Radius; dr++ {
+							src := r + dr
+							if src < 0 || src >= cfg.Height {
+								continue
+							}
+							c.ReadRange(row(src)+off, stripBytes)
+						}
+						// The per-strip filter cost varies with the
+						// image content (softening short-circuits on
+						// flat regions), so rows take unequal time.
+						work := uint64(cfg.Width * cfg.FilterInstrs / cfg.Strips)
+						c.Compute(work/2 + c.Rand().Uint64n(work))
+						c.WriteRange(out.Base+mem.Addr(uint64(r)*rowBytes)+off, stripBytes)
+						// Post per-strip progress — a blocking point
+						// in the middle of the row's working set, so
+						// the counters alone (no annotations) can see
+						// and preserve the thread's state.
+						c.Lock(progressMu)
+						c.Write(progress.Base, 1, 0)
+						c.Unlock(progressMu)
+					}
+					c.ReadRange(bandStats[band].Base, 256)
+					c.WriteRange(bandStats[band].Base, 256)
+					c.Unlock(bands[band])
+					c.BarrierWait(pass)
+				}
+			})
+			// Distance-weighted sharing annotations between nearby row
+			// threads, recorded as soon as both threads exist: the
+			// kernel rows overlap by 2·Radius+1−d rows at distance d,
+			// and the annotation coefficient decays accordingly out to
+			// ShareWindow (generous hints are harmless).
+			span := 2*cfg.Radius + 2 // input rows + output row
+			for d := 1; d <= cfg.ShareWindow && d <= r; d++ {
+				overlap := 2*cfg.Radius + 1 - d
+				q := float64(overlap) / float64(span)
+				if q <= 0 {
+					q = 0.5 / float64(span) / float64(d-2*cfg.Radius)
+				}
+				t.Share(kids[r], kids[r-d], q)
+				t.Share(kids[r-d], kids[r], q)
+			}
+		}
+		for _, k := range kids {
+			t.Join(k)
+		}
+	}, rt.SpawnOpts{Name: "photo-main"})
+}

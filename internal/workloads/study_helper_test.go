@@ -1,0 +1,18 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// traceGen builds a generator, failing the test on invalid patterns.
+func traceGen(t *testing.T, pat trace.Pattern) *trace.Gen {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("pattern rejected: %v", r)
+		}
+	}()
+	return trace.NewGen(pat, 1)
+}

@@ -1,0 +1,196 @@
+package workloads
+
+import (
+	"repro/internal/mem"
+	"repro/internal/rt"
+)
+
+// TSPConfig parameterizes tsp, the branch-and-bound travelling-salesman
+// solver: the solution space is repeatedly divided into subspaces that
+// fix or exclude chosen edges. Each subspace carries its own adjacency
+// matrix, allocated from a mutex-protected allocator (the paper uses
+// the stock Solaris malloc under a lock) and initialized by copying the
+// parent's matrix — so parents prefetch data for their children, and
+// the writes that initialize fresh matrices are compulsory misses
+// beyond any scheduling policy's reach. That is why the paper measures
+// only ~12% of misses eliminated on one processor.
+//
+// tsp threads are persistent blockers: each bounding round traverses
+// the partial path and part of the matrix, extends new linked
+// structures, and consults the global incumbent under its lock. On one
+// processor the locks are never contended, so a thread runs to
+// completion with its state warm under any policy; on the SMP, FCFS
+// resumes a blocked thread on whatever processor frees next, reloading
+// its matrix and path on every round, while the locality policies keep
+// it where its footprint is — "speedup mostly due to preserving the
+// locality within a thread" (Section 5), 73% of misses eliminated on
+// the E5000.
+//
+// tsp is non-deterministic in the paper, so equal "work" was recorded
+// and replayed across policies; here the split tree is a fixed-shape
+// deterministic tree of equal work, which is exactly that protocol.
+type TSPConfig struct {
+	// Cities is the problem size (paper: 100); the adjacency matrix is
+	// Cities*Cities 4-byte distances (40KB for 100 cities).
+	Cities int
+	// Branch is how many subspaces one split produces.
+	Branch int
+	// Depth is the split-tree depth: (Branch^(Depth+1)-1)/(Branch-1)
+	// threads in total (branch 3, depth 6 => 1093 threads, the paper's
+	// ~1000).
+	Depth int
+	// Rounds is the number of bounding rounds per thread; each round
+	// traverses the partial path and a slice of the matrix, extends
+	// the path, and consults the incumbent (a blocking point).
+	Rounds int
+	// SliceRows is how many matrix rows one bounding round reads.
+	SliceRows int
+}
+
+func (c TSPConfig) withDefaults() TSPConfig {
+	if c.Cities == 0 {
+		c.Cities = 100
+	}
+	if c.Branch == 0 {
+		c.Branch = 3
+	}
+	if c.Depth == 0 {
+		c.Depth = 6
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 8
+	}
+	if c.SliceRows == 0 {
+		c.SliceRows = 100
+	}
+	return c
+}
+
+// Threads returns the total thread count of the configured tree.
+func (c TSPConfig) Threads() int {
+	c = c.withDefaults()
+	n, level := 0, 1
+	for d := 0; d <= c.Depth; d++ {
+		n += level
+		level *= c.Branch
+	}
+	return n
+}
+
+func (c TSPConfig) scaled(s float64) TSPConfig {
+	c = c.withDefaults()
+	if s < 1 {
+		want := scaleInt(c.Threads(), s, 13)
+		d := 1
+		for {
+			c.Depth = d
+			if c.Threads() >= want || d > 12 {
+				break
+			}
+			d++
+		}
+	}
+	return c
+}
+
+// tspShared is the state common to every tsp thread.
+type tspShared struct {
+	cfg     TSPConfig
+	allocMu *rt.Mutex // the malloc lock
+	bestMu  *rt.Mutex // guards the incumbent tour
+	best    mem.Range
+	root    mem.Range // the original distance matrix, read-shared by all
+}
+
+// SpawnTSP seeds e with the tsp program.
+func SpawnTSP(e *rt.Engine, cfg TSPConfig) {
+	cfg = cfg.withDefaults()
+	sh := &tspShared{
+		cfg:     cfg,
+		allocMu: rt.NewMutex("malloc"),
+		bestMu:  rt.NewMutex("best"),
+	}
+	e.Spawn(func(t *rt.T) {
+		sh.best = t.Alloc(2048)
+		t.WriteRange(sh.best.Base, 2048)
+		matrixBytes := uint64(cfg.Cities*cfg.Cities) * 4
+		sh.root = t.Alloc(matrixBytes)
+		t.WriteRange(sh.root.Base, matrixBytes)
+		rootDelta := t.Alloc(4096)
+		t.WriteRange(rootDelta.Base, 4096)
+		solve(t, sh, rootDelta, 0)
+	}, rt.SpawnOpts{Name: "tsp-main"})
+}
+
+// solve is the per-thread body: materialize this subspace's distance
+// matrix from the read-shared root matrix and the parent's edge delta,
+// divide eagerly (children are created before this node's bounding
+// rounds, so the solver tree coexists and the machine always has far
+// more runnable threads than processors — the paper's fine-grained
+// regime), then bound the subspace across many blocking rounds.
+func solve(t *rt.T, sh *tspShared, delta mem.Range, depth int) {
+	cfg := sh.cfg
+	matrixBytes := uint64(cfg.Cities*cfg.Cities) * 4
+	sliceBytes := uint64(cfg.SliceRows*cfg.Cities) * 4
+
+	// Materialize the subspace matrix: the root matrix is read by every
+	// thread and stays resident in every processor's cache (clean
+	// sharing); the fresh matrix writes are compulsory misses no
+	// scheduling policy can remove. The parent's delta is the small
+	// prefetched part.
+	t.Lock(sh.allocMu)
+	matrix := t.Alloc(matrixBytes)
+	path := t.Alloc(4096)
+	t.Unlock(sh.allocMu)
+	t.ReadRange(delta.Base, delta.Len)
+	t.ReadRange(sh.root.Base, matrixBytes)
+	t.WriteRange(matrix.Base, matrixBytes)
+	t.WriteRange(path.Base, 512)
+
+	var kids []mem.ThreadID
+	if depth < cfg.Depth {
+		// Divide: each child subspace is described by a small edge
+		// delta written by this thread — the only state a child
+		// actually inherits.
+		for i := 0; i < cfg.Branch; i++ {
+			t.Lock(sh.allocMu)
+			childDelta := t.Alloc(4096)
+			t.Unlock(sh.allocMu)
+			t.ReadRange(delta.Base, delta.Len)
+			t.WriteRange(childDelta.Base, 4096)
+			kid := t.Create("tsp-node", func(c *rt.T) { solve(c, sh, childDelta, depth+1) })
+			// The annotation reflects the prefetch honestly: the child
+			// inherits only the small delta, a tiny fraction of the
+			// parent's state. The paper notes tsp's speedup comes from
+			// within-thread locality and "adding annotations does not
+			// improve performance much further".
+			t.Share(t.ID(), kid, 0.05)
+			kids = append(kids, kid)
+		}
+	}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		// Traverse the partial path built so far and re-scan the
+		// bound's matrix rows (the row minima are recomputed against
+		// the same rows every round as the path grows).
+		t.ReadRange(path.Base, 512+uint64(round)*256)
+		t.ReadRange(matrix.Base, sliceBytes)
+		t.Compute(uint64(cfg.Cities * cfg.SliceRows))
+		// Extend the path with fresh nodes (compulsory writes).
+		t.WriteRange(path.Base+mem.Addr(512+uint64(round)*256), 256)
+		// Consult the incumbent tour structure and fold this round's
+		// bound into it — the blocking point every bounding round
+		// passes through. On the SMP the lock is contended and the
+		// incumbent lines ping between caches; on one processor it is
+		// always free.
+		t.Lock(sh.bestMu)
+		t.ReadRange(sh.best.Base, sh.best.Len)
+		t.Compute(128)
+		t.WriteRange(sh.best.Base, 256)
+		t.Unlock(sh.bestMu)
+	}
+
+	for _, k := range kids {
+		t.Join(k)
+	}
+}

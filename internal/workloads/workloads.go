@@ -1,0 +1,84 @@
+// Package workloads implements the paper's application suite twice
+// over:
+//
+//   - The *model-study* applications of Table 2 (four SPLASH-2-class C
+//     programs and four Sather programs) as reference-stream patterns
+//     whose statistical structure matches the paper's per-application
+//     characterization. These drive the model-accuracy experiments
+//     (Figures 5-7).
+//
+//   - The *scheduling* applications of Table 4 (tasks, merge, photo,
+//     tsp) as real multi-threaded programs over the Active Threads
+//     runtime, complete with the paper's state-sharing annotations.
+//     These drive the performance experiments (Figures 8-9, Table 5).
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/rt"
+)
+
+// SchedApp is one Section 5 application: a constructor that seeds an
+// engine with the program's threads. Run the engine to completion to
+// "execute" the application.
+type SchedApp struct {
+	// Name is the paper's application name.
+	Name string
+	// Params is the Table 4 input-parameter line.
+	Params string
+	// Threads is the approximate number of threads the run creates.
+	Threads int
+	// Spawn seeds the engine. scale in (0, 1] shrinks the run for
+	// tests; 1 reproduces the paper's parameters.
+	Spawn func(e *rt.Engine, scale float64)
+}
+
+// SchedApps returns the Section 5 suite in the paper's order.
+func SchedApps() []SchedApp {
+	return []SchedApp{
+		{
+			Name:    "tasks",
+			Params:  "1024 tasks, footprints 100 lines each, 100 scheduling periods per task",
+			Threads: 1024,
+			Spawn:   func(e *rt.Engine, s float64) { SpawnTasks(e, TasksConfig{}.scaled(s)) },
+		},
+		{
+			Name:    "merge",
+			Params:  "100,000 uniformly distributed elements; insertion sort below 100 elements; ~1000 leaf threads",
+			Threads: 1999,
+			Spawn:   func(e *rt.Engine, s float64) { SpawnMerge(e, MergeConfig{}.scaled(s)) },
+		},
+		{
+			Name:    "photo",
+			Params:  "5x5 softening filter over a 2048x2048 rgb pixmap, 4 passes; one thread per row (2048 threads)",
+			Threads: 2048,
+			Spawn:   func(e *rt.Engine, s float64) { SpawnPhoto(e, PhotoConfig{}.scaled(s)) },
+		},
+		{
+			Name:    "tsp",
+			Params:  "branch-and-bound TSP, 100 cities, 3-way splits to depth 6; 1093 threads of equal work",
+			Threads: 1093,
+			Spawn:   func(e *rt.Engine, s float64) { SpawnTSP(e, TSPConfig{}.scaled(s)) },
+		},
+	}
+}
+
+// SchedAppByName returns the named application.
+func SchedAppByName(name string) (SchedApp, error) {
+	for _, a := range SchedApps() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return SchedApp{}, fmt.Errorf("workloads: unknown application %q", name)
+}
+
+// scaleInt shrinks a paper-scale parameter, keeping at least min.
+func scaleInt(v int, scale float64, min int) int {
+	n := int(float64(v) * scale)
+	if n < min {
+		n = min
+	}
+	return n
+}

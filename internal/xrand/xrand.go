@@ -1,0 +1,102 @@
+// Package xrand provides a small, fast, deterministic random number
+// generator for the simulator. Everything in the reproduction that needs
+// randomness draws from an explicitly seeded xrand.Source so that every
+// experiment is exactly repeatable; nothing uses math/rand global state
+// or other ambient nondeterminism.
+//
+// The generator is SplitMix64 (Steele, Lea & Flood), which has excellent
+// statistical quality for simulation workloads and a trivially seedable
+// 64-bit state.
+package xrand
+
+import "math/bits"
+
+// Source is a deterministic 64-bit PRNG. The zero value is a valid
+// generator seeded with 0; use New to seed explicitly.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with the given value. Equal seeds produce
+// equal streams.
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+func (s *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with n == 0")
+	}
+	// Multiply-shift bound (Lemire). The bias for simulation-sized n
+	// (far below 2^64) is negligible, and determinism matters more
+	// than perfect uniformity here.
+	hi, _ := bits.Mul64(s.Uint64(), n)
+	return hi
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with n <= 0")
+	}
+	return int(s.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool { return s.Float64() < p }
+
+// Geometric returns a sample from a geometric distribution with mean m
+// (number of trials until first success, minimum 1). It is used to draw
+// run lengths for clustered reference streams.
+func (s *Source) Geometric(m float64) int {
+	if m <= 1 {
+		return 1
+	}
+	p := 1 / m
+	n := 1
+	for !s.Bool(p) && n < 1<<20 {
+		n++
+	}
+	return n
+}
+
+// Perm returns a pseudo-random permutation of [0, n) using Fisher-Yates.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using the provided swap
+// function, as math/rand.Shuffle does.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Split returns a new Source whose stream is independent of the
+// receiver's future output. It is used to give each simulated thread or
+// generator its own stream so that adding one consumer does not perturb
+// the draws seen by another.
+func (s *Source) Split() *Source { return New(s.Uint64() ^ 0xa5a5a5a5deadbeef) }

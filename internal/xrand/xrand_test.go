@@ -1,0 +1,142 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds matched on %d of 1000 draws", same)
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	s := New(1)
+	for _, n := range []uint64{1, 2, 7, 100, 1 << 40} {
+		for i := 0; i < 1000; i++ {
+			if v := s.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(7)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestUniformity(t *testing.T) {
+	// Chi-squared-ish sanity: 16 buckets over 160k draws should each
+	// hold close to 10k.
+	s := New(99)
+	var buckets [16]int
+	const n = 160000
+	for i := 0; i < n; i++ {
+		buckets[s.Intn(16)]++
+	}
+	for b, c := range buckets {
+		if c < 9500 || c > 10500 {
+			t.Errorf("bucket %d has %d draws, want ~10000", b, c)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(5)
+	const n = 200000
+	for _, mean := range []float64{1, 2, 6, 20} {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(s.Geometric(mean))
+		}
+		got := sum / n
+		if math.Abs(got-mean) > mean*0.05 {
+			t.Errorf("Geometric(%v) mean = %v", mean, got)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(11)
+	p := s.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid/duplicate element %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	s := New(3)
+	child := s.Split()
+	// The child stream must not replicate the parent's next draws.
+	match := 0
+	for i := 0; i < 100; i++ {
+		if s.Uint64() == child.Uint64() {
+			match++
+		}
+	}
+	if match > 0 {
+		t.Errorf("split stream matched parent on %d draws", match)
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	s := New(17)
+	v := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	s.Shuffle(len(v), func(i, j int) { v[i], v[j] = v[j], v[i] })
+	seen := make([]bool, 10)
+	moved := false
+	for i, x := range v {
+		seen[x] = true
+		if x != i {
+			moved = true
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("element %d lost in shuffle", i)
+		}
+	}
+	if !moved {
+		t.Error("shuffle left slice identical (astronomically unlikely)")
+	}
+}

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Regenerate every artifact of the reproduction:
+#   - results/full_run.txt      every table/figure at full scale
+#   - results/validate.txt      the paper-claim conformance suite
+#   - results/csv/              plottable series for the figures
+#   - test and benchmark logs
+set -e
+cd "$(dirname "$0")/.."
+mkdir -p results results/csv results/svg
+go build ./...
+go test ./... | tee results/test_run.txt
+go run ./cmd/repro -csv results/csv -svg results/svg all | tee results/full_run.txt
+go run ./cmd/repro validate | tee results/validate.txt
+go run ./cmd/repro sources | tee results/sources.txt
+go run ./cmd/repro tlb | tee results/tlb.txt
+go run ./cmd/repro coarse | tee results/coarse.txt
+go run ./cmd/repro compare | tee results/compare.txt
+go run ./cmd/repro -scale 0.5 scaling | tee results/scaling.txt
+go test -bench=. -benchmem . | tee results/bench_run.txt

@@ -1,0 +1,240 @@
+// Package threadlocality (import "repro") is the public face of the
+// reproduction of "Performance Counters and State Sharing Annotations:
+// a Unified Approach to Thread Locality" (Boris Weissman, ASPLOS 1998).
+//
+// It packages the paper's system as a library: a deterministic
+// simulated SMP with UltraSPARC-style caches and performance counters,
+// an Active-Threads-style blocking thread runtime, the shared-state
+// cache model, state-sharing annotations, and the LFF/CRT locality
+// scheduling policies with the FCFS baseline.
+//
+// A minimal program:
+//
+//	sys := threadlocality.New(threadlocality.Config{
+//		Machine: threadlocality.Enterprise5000(8),
+//		Policy:  threadlocality.LFF,
+//	})
+//	sys.Spawn("main", func(t *threadlocality.Thread) {
+//		state := t.Alloc(64 * 1024)
+//		child := t.Create("child", func(c *threadlocality.Thread) {
+//			c.ReadRange(state.Base, state.Len)
+//		})
+//		t.Share(child, t.ID(), 1.0) // at_share: child's state ⊆ mine
+//		t.Join(child)
+//	})
+//	if err := sys.Run(); err != nil { ... }
+//	fmt.Println(sys.Stats())
+//
+// The experiment drivers that regenerate every table and figure of the
+// paper live in internal/experiments and are exposed through cmd/repro;
+// this package is the substrate they run on.
+package threadlocality
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/model"
+	"repro/internal/rt"
+)
+
+// Policy names a scheduling policy.
+type Policy string
+
+// The three policies of the paper's evaluation.
+const (
+	// FCFS is the first-come first-served baseline.
+	FCFS Policy = "FCFS"
+	// LFF is Largest Footprint First (Section 4.1).
+	LFF Policy = "LFF"
+	// CRT is smallest Cache-Reload raTio (Section 4.2).
+	CRT Policy = "CRT"
+)
+
+// Re-exported core types. Aliases keep the single definition in the
+// internal packages while making the full method sets public.
+type (
+	// Thread is the handle passed to every thread body — the Active
+	// Threads API (Access/Compute/Create/Join/Lock/.../Share).
+	Thread = rt.T
+	// ThreadID identifies a simulated thread.
+	ThreadID = mem.ThreadID
+	// Addr is a simulated memory address.
+	Addr = mem.Addr
+	// Range is a byte range of the simulated address space.
+	Range = mem.Range
+	// Access is one strided memory reference descriptor.
+	Access = mem.Access
+	// Mutex, Semaphore, Barrier and Cond are the blocking
+	// synchronization objects.
+	Mutex     = rt.Mutex
+	Semaphore = rt.Semaphore
+	Barrier   = rt.Barrier
+	Cond      = rt.Cond
+	// MachineConfig describes a simulated platform (caches, penalties,
+	// paging).
+	MachineConfig = machine.Config
+	// Model is the shared-state cache model (closed forms, priority
+	// algebra, Markov chain cross-check).
+	Model = model.Model
+)
+
+// Synchronization constructors, re-exported.
+var (
+	NewMutex     = rt.NewMutex
+	NewSemaphore = rt.NewSemaphore
+	NewBarrier   = rt.NewBarrier
+	NewCond      = rt.NewCond
+)
+
+// UltraSPARC1 returns the paper's uniprocessor platform (Table 1).
+func UltraSPARC1() MachineConfig { return machine.UltraSPARC1() }
+
+// Enterprise5000 returns the paper's SMP platform with the given
+// processor count.
+func Enterprise5000(cpus int) MachineConfig { return machine.Enterprise5000(cpus) }
+
+// NewModel builds a shared-state cache model for a cache of n lines.
+func NewModel(lines int) *Model { return model.New(lines) }
+
+// Config configures a System.
+type Config struct {
+	// Machine selects the platform; the zero value means UltraSPARC1.
+	Machine MachineConfig
+	// Policy selects the scheduler; the zero value means FCFS.
+	Policy Policy
+	// ThresholdLines is the heap demotion threshold (default 16).
+	ThresholdLines float64
+	// DisableAnnotations ignores Share calls (the ablation switch).
+	DisableAnnotations bool
+	// InferSharing derives sharing coefficients at runtime from miss
+	// co-access (a software Cache Miss Lookaside buffer) instead of —
+	// or in addition to — explicit Share annotations. This is the
+	// paper's Section 7 proposal for unmodified POSIX/Java programs.
+	InferSharing bool
+	// FairnessLimit bounds starvation: a runnable thread waiting
+	// longer than this many dispatches bypasses the locality heaps
+	// (the Section 7 escape mechanism). Zero disables it.
+	FairnessLimit uint64
+	// Seed fixes all randomness; equal seeds give bit-identical runs.
+	Seed uint64
+}
+
+// System is a simulated machine plus thread runtime, ready to run a
+// program.
+type System struct {
+	mach *machine.Machine
+	eng  *rt.Engine
+}
+
+// New builds a System.
+func New(cfg Config) *System {
+	mcfg := cfg.Machine
+	if mcfg.CPUs == 0 {
+		mcfg = machine.UltraSPARC1()
+	}
+	policy := cfg.Policy
+	if policy == "" {
+		policy = FCFS
+	}
+	m := machine.New(mcfg)
+	e := rt.New(m, rt.Options{
+		Policy:             string(policy),
+		ThresholdLines:     cfg.ThresholdLines,
+		DisableAnnotations: cfg.DisableAnnotations,
+		InferSharing:       cfg.InferSharing,
+		FairnessLimit:      cfg.FairnessLimit,
+		Seed:               cfg.Seed,
+	})
+	return &System{mach: m, eng: e}
+}
+
+// Spawn creates a root thread running body. Call before Run; threads
+// created inside bodies use Thread.Create instead.
+func (s *System) Spawn(name string, body func(*Thread)) ThreadID {
+	return s.eng.Spawn(body, rt.SpawnOpts{Name: name})
+}
+
+// Run executes the program to completion (all threads exited). It
+// returns an error on deadlock or if a thread body panicked.
+func (s *System) Run() error { return s.eng.Run() }
+
+// Engine exposes the underlying runtime for advanced use (dispatch
+// hooks, scheduler inspection).
+func (s *System) Engine() *rt.Engine { return s.eng }
+
+// Machine exposes the underlying simulated hardware.
+func (s *System) Machine() *machine.Machine { return s.mach }
+
+// Stats summarizes a finished run.
+type Stats struct {
+	Policy     string
+	CPUs       int
+	ERefs      uint64 // E-cache references
+	EMisses    uint64 // E-cache misses
+	Cycles     uint64 // parallel completion time in cycles
+	Instrs     uint64 // instructions executed
+	Dispatches uint64 // context switches
+	Steals     uint64 // work-steal migrations
+}
+
+// Stats returns the run's counters.
+func (s *System) Stats() Stats {
+	refs, _, misses := s.mach.Totals()
+	var disp uint64
+	for _, d := range s.eng.Dispatches() {
+		disp += d
+	}
+	return Stats{
+		Policy:     s.eng.Scheduler().PolicyName(),
+		CPUs:       s.mach.NCPU(),
+		ERefs:      refs,
+		EMisses:    misses,
+		Cycles:     s.mach.MaxCycles(),
+		Instrs:     s.mach.TotalInstrs(),
+		Dispatches: disp,
+		Steals:     s.eng.Scheduler().Ops().Steals,
+	}
+}
+
+// CPUStats is one processor's share of a run.
+type CPUStats struct {
+	CPU        int
+	Cycles     uint64
+	Instrs     uint64
+	ERefs      uint64
+	EMisses    uint64
+	Dispatches uint64
+}
+
+// PerCPU returns per-processor counters, index = processor number.
+func (s *System) PerCPU() []CPUStats {
+	disp := s.eng.Dispatches()
+	out := make([]CPUStats, s.mach.NCPU())
+	for i := range out {
+		cpu := s.mach.CPU(i)
+		out[i] = CPUStats{
+			CPU:        i,
+			Cycles:     cpu.Cycles,
+			Instrs:     cpu.Instrs,
+			ERefs:      cpu.ERefs,
+			EMisses:    cpu.EMisses,
+			Dispatches: disp[i],
+		}
+	}
+	return out
+}
+
+func (st Stats) String() string {
+	return fmt.Sprintf("%s on %d cpu(s): %d E-refs, %d E-misses (%.1f%% miss), %d cycles, %d instrs, %d dispatches, %d steals",
+		st.Policy, st.CPUs, st.ERefs, st.EMisses,
+		100*float64(st.EMisses)/max1(float64(st.ERefs)), st.Cycles, st.Instrs, st.Dispatches, st.Steals)
+}
+
+func max1(v float64) float64 {
+	if v < 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,151 @@
+package threadlocality
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	sys := New(Config{Policy: LFF, Seed: 3})
+	var childRan bool
+	sys.Spawn("main", func(th *Thread) {
+		state := th.Alloc(64 * 1024)
+		th.ReadRange(state.Base, state.Len)
+		child := th.Create("child", func(c *Thread) {
+			c.ReadRange(state.Base, state.Len)
+			childRan = true
+		})
+		th.Share(child, th.ID(), 1.0)
+		th.Join(child)
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !childRan {
+		t.Fatal("child did not run")
+	}
+	st := sys.Stats()
+	if st.EMisses == 0 || st.Cycles == 0 || st.Dispatches == 0 {
+		t.Errorf("stats empty: %+v", st)
+	}
+	if st.Policy != "LFF" || st.CPUs != 1 {
+		t.Errorf("metadata: %+v", st)
+	}
+	if !strings.Contains(st.String(), "LFF on 1 cpu(s)") {
+		t.Errorf("String: %s", st)
+	}
+}
+
+func TestDefaultsAreUltra1FCFS(t *testing.T) {
+	sys := New(Config{})
+	sys.Spawn("noop", func(th *Thread) { th.Compute(10) })
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Stats()
+	if st.Policy != "FCFS" || st.CPUs != 1 {
+		t.Errorf("defaults: %+v", st)
+	}
+	if sys.Machine().Config().MissCycles != 42 {
+		t.Error("default machine is not the Ultra-1")
+	}
+}
+
+func TestPoliciesDifferOnSMP(t *testing.T) {
+	run := func(p Policy) Stats {
+		sys := New(Config{Machine: Enterprise5000(4), Policy: p, Seed: 9})
+		sys.Spawn("main", func(th *Thread) {
+			var kids []ThreadID
+			for i := 0; i < 60; i++ {
+				state := th.Alloc(150 * 64)
+				kids = append(kids, th.Create("task", func(c *Thread) {
+					for p := 0; p < 10; p++ {
+						c.Touch(state)
+						c.Sleep(2000)
+					}
+				}))
+			}
+			for _, k := range kids {
+				th.Join(k)
+			}
+		})
+		if err := sys.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sys.Stats()
+	}
+	fcfs, lff := run(FCFS), run(LFF)
+	if lff.EMisses >= fcfs.EMisses {
+		t.Errorf("LFF misses %d >= FCFS %d", lff.EMisses, fcfs.EMisses)
+	}
+}
+
+func TestModelFacade(t *testing.T) {
+	m := NewModel(8192)
+	if got := m.ExpectSelf(0, 0); got != 0 {
+		t.Errorf("ExpectSelf(0,0) = %v", got)
+	}
+	if m.N() != 8192 {
+		t.Errorf("N = %d", m.N())
+	}
+}
+
+func TestSyncConstructors(t *testing.T) {
+	if NewMutex("m") == nil || NewSemaphore("s", 1) == nil ||
+		NewBarrier("b", 2) == nil || NewCond("c") == nil {
+		t.Fatal("constructors returned nil")
+	}
+}
+
+func TestPerCPUStats(t *testing.T) {
+	sys := New(Config{Machine: Enterprise5000(2), Policy: LFF, Seed: 1})
+	sys.Spawn("main", func(th *Thread) {
+		a := th.Create("a", func(c *Thread) { c.Compute(100000) })
+		b := th.Create("b", func(c *Thread) { c.Compute(100000) })
+		th.Join(a)
+		th.Join(b)
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	per := sys.PerCPU()
+	if len(per) != 2 {
+		t.Fatalf("PerCPU len = %d", len(per))
+	}
+	var sumI, sumD uint64
+	for i, c := range per {
+		if c.CPU != i {
+			t.Errorf("index mismatch: %+v", c)
+		}
+		sumI += c.Instrs
+		sumD += c.Dispatches
+	}
+	st := sys.Stats()
+	if sumI != st.Instrs || sumD != st.Dispatches {
+		t.Errorf("per-CPU sums (%d,%d) != totals (%d,%d)", sumI, sumD, st.Instrs, st.Dispatches)
+	}
+	// Both compute threads must have landed on different CPUs.
+	if per[0].Instrs < 90000 || per[1].Instrs < 90000 {
+		t.Errorf("work not parallelized: %+v", per)
+	}
+}
+
+func TestConfigKnobsPassThrough(t *testing.T) {
+	sys := New(Config{
+		Policy:         CRT,
+		ThresholdLines: 32,
+		FairnessLimit:  100,
+		InferSharing:   true,
+		Seed:           3,
+	})
+	sys.Spawn("noop", func(th *Thread) { th.Compute(1) })
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Engine().Monitor() == nil {
+		t.Error("InferSharing not wired")
+	}
+	if sys.Stats().Policy != "CRT" {
+		t.Error("policy not wired")
+	}
+}
