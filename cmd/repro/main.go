@@ -15,6 +15,9 @@
 //	-seed n     random seed (default 11)
 //	-cpus n     SMP size for fig9/ablation (default 8)
 //	-quick      shorthand for -scale 0.1 and shorter footprint studies
+//	-j n        worker threads for independent experiment cells
+//	            (default 1; 0 = all processors; results are identical
+//	            for any value)
 package main
 
 import (
@@ -36,6 +39,7 @@ func main() {
 	seed := flag.Uint64("seed", 11, "random seed")
 	cpus := flag.Int("cpus", 8, "SMP size for fig9/ablation")
 	quick := flag.Bool("quick", false, "fast reduced-size runs")
+	jobs := flag.Int("j", 1, "worker threads for independent experiment cells (0 = all processors)")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -44,8 +48,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	sched := experiments.SchedConfig{Scale: *scale, Seed: *seed, CPUs: *cpus}
-	study := experiments.StudyConfig{Seed: *seed}
+	sched := experiments.SchedConfig{Scale: *scale, Seed: *seed, CPUs: *cpus, Jobs: *jobs}
+	study := experiments.StudyConfig{Seed: *seed, Jobs: *jobs}
 	if *quick {
 		if *scale == 1.0 {
 			sched.Scale = 0.1

@@ -102,6 +102,18 @@ const (
 	flagShared = 1 << 2 // cached by another CPU (coherence state)
 )
 
+// slot is one cache line's bookkeeping. Tag, flags and owner share one
+// 16-byte struct (and therefore one hardware cache line per probe) —
+// the simulator's hottest loads — rather than living in parallel
+// arrays. LRU recency lives in a separate side array because the
+// direct-mapped fast lanes never read it; keeping it out of slot makes
+// the hot array a third smaller.
+type slot struct {
+	tag   mem.Addr // line-aligned physical address
+	owner mem.ThreadID
+	flags uint8
+}
+
 // Cache is a single set-associative cache. The zero value is unusable;
 // construct with New. Cache is not safe for concurrent use.
 type Cache struct {
@@ -110,11 +122,20 @@ type Cache struct {
 	setMask   uint64
 	sets      int
 	ways      int
+	// direct marks the Assoc==1 fast lane: set index == slot index, no
+	// way scan and no LRU bookkeeping (recency is meaningless with one
+	// way). The E-cache every experiment hammers is direct-mapped, so
+	// this is the simulator's single hottest specialization.
+	direct bool
+	// forceGeneric disables the fast lane so the differential tests can
+	// drive the generic way-scan path on an Assoc==1 geometry and
+	// compare. Test-only; never set outside this package.
+	forceGeneric bool
 
-	// Slot i of set s lives at index s*ways+i in the parallel arrays.
-	tags    []mem.Addr // line-aligned physical address
-	flags   []uint8
-	owner   []mem.ThreadID
+	// Slot i of set s lives at index s*ways+i.
+	slots []slot
+	// lastUse[i] is slot i's LRU timestamp; only the generic
+	// (associative) paths read or write it.
 	lastUse []uint64
 
 	useClock uint64
@@ -131,20 +152,18 @@ type Cache struct {
 // New constructs a cache from its configuration.
 func New(cfg Config) *Cache {
 	cfg.validate()
-	n := cfg.Lines()
 	c := &Cache{
 		cfg:       cfg,
 		lineShift: mem.Log2(uint64(cfg.LineSize)),
 		setMask:   uint64(cfg.Sets() - 1),
 		sets:      cfg.Sets(),
 		ways:      cfg.Assoc,
-		tags:      make([]mem.Addr, n),
-		flags:     make([]uint8, n),
-		owner:     make([]mem.ThreadID, n),
-		lastUse:   make([]uint64, n),
+		direct:    cfg.Assoc == 1,
+		slots:     make([]slot, cfg.Lines()),
+		lastUse:   make([]uint64, cfg.Lines()),
 	}
-	for i := range c.owner {
-		c.owner[i] = mem.NilThread
+	for i := range c.slots {
+		c.slots[i].owner = mem.NilThread
 	}
 	return c
 }
@@ -173,10 +192,17 @@ func (c *Cache) setOf(line mem.Addr) int {
 
 // find returns the slot index holding line, or -1.
 func (c *Cache) find(line mem.Addr) int {
+	if c.direct && !c.forceGeneric {
+		i := c.setOf(line)
+		if s := &c.slots[i]; s.flags&flagValid != 0 && s.tag == line {
+			return i
+		}
+		return -1
+	}
 	base := c.setOf(line) * c.ways
 	for w := 0; w < c.ways; w++ {
 		i := base + w
-		if c.flags[i]&flagValid != 0 && c.tags[i] == line {
+		if s := &c.slots[i]; s.flags&flagValid != 0 && s.tag == line {
 			return i
 		}
 	}
@@ -187,6 +213,9 @@ func (c *Cache) find(line mem.Addr) int {
 // recency, attributes the line to tid, and marks it dirty when write is
 // set. It reports whether the probe hit. Lookup counts one reference.
 func (c *Cache) Lookup(tid mem.ThreadID, a mem.Addr, write bool) bool {
+	if c.direct && !c.forceGeneric {
+		return c.lookupDM(tid, a, write)
+	}
 	c.stats.Refs++
 	line := c.LineOf(a)
 	i := c.find(line)
@@ -204,11 +233,117 @@ func (c *Cache) Lookup(tid mem.ThreadID, a mem.Addr, write bool) bool {
 	}
 	c.useClock++
 	c.lastUse[i] = c.useClock
-	c.owner[i] = tid
+	s := &c.slots[i]
+	s.owner = tid
 	if write {
-		c.flags[i] |= flagDirty
+		s.flags |= flagDirty
 	}
 	return true
+}
+
+// lookupDM is the direct-mapped Lookup fast lane: the set index IS the
+// slot index, so the probe is one tag compare, and the LRU clock is
+// never advanced (recency cannot influence victim choice in a one-way
+// set). Statistics, classification and ownership attribution are
+// identical to the generic path — the differential tests in
+// cache_fastpath_test.go pin that equivalence.
+func (c *Cache) lookupDM(tid mem.ThreadID, a mem.Addr, write bool) bool {
+	c.stats.Refs++
+	line := a >> c.lineShift << c.lineShift
+	s := &c.slots[uint64(line>>c.lineShift)&c.setMask]
+	if s.flags&flagValid == 0 || s.tag != line {
+		c.stats.Misses++
+		if c.classify != nil {
+			c.classify.classify(line)
+			c.classify.touch(line)
+		}
+		return false
+	}
+	c.stats.Hits++
+	if c.classify != nil {
+		c.classify.touch(line)
+	}
+	s.owner = tid
+	if write {
+		s.flags |= flagDirty
+	}
+	return true
+}
+
+// Repeat replays the bookkeeping of k further Lookup calls for the
+// line containing a, under the caller's guarantee that the outcome is
+// frozen: no fill or eviction can happen between the replayed
+// references, so they all hit if the line is resident now and all miss
+// otherwise (the machine's same-line run batching — repeat loads hit
+// the line the first reference left resident; repeat stores see the
+// non-allocating write-through L1D unchanged). Event-for-event
+// identical to k Lookups: statistics; the classifier shadow (k touches
+// of one line leave the LRU stack exactly as one; k misses classify
+// each time, as Lookup would); ownership and dirty marking on hits;
+// and — on the generic path — the recency clock, which advances once
+// per hit.
+func (c *Cache) Repeat(tid mem.ThreadID, a mem.Addr, write bool, k int) {
+	if k <= 0 {
+		return
+	}
+	line := c.LineOf(a)
+	var i int
+	if c.direct && !c.forceGeneric {
+		i = int(uint64(line>>c.lineShift) & c.setMask)
+		if s := &c.slots[i]; s.flags&flagValid == 0 || s.tag != line {
+			i = -1
+		}
+	} else {
+		i = c.find(line)
+	}
+	c.stats.Refs += uint64(k)
+	if i < 0 {
+		c.stats.Misses += uint64(k)
+		if c.classify != nil {
+			for ; k > 0; k-- {
+				c.classify.classify(line)
+				c.classify.touch(line)
+			}
+		}
+		return
+	}
+	c.stats.Hits += uint64(k)
+	if c.classify != nil {
+		c.classify.touch(line)
+	}
+	if !c.direct || c.forceGeneric {
+		c.useClock += uint64(k)
+		c.lastUse[i] = c.useClock
+	}
+	s := &c.slots[i]
+	s.owner = tid
+	if write {
+		s.flags |= flagDirty
+	}
+}
+
+// RepeatHit is Repeat under the caller's stronger guarantee that the
+// line is resident: the same reference was issued immediately before
+// and nothing can have evicted the line since, so its slot already
+// carries tid's ownership (and dirtiness, for writes). The
+// direct-mapped lane then skips the probe and the slot write entirely —
+// pure statistics — which matters because the slot load is the one
+// memory access Repeat would otherwise take. The generic lane falls
+// back to Repeat: its LRU clock must still advance per replayed
+// reference.
+func (c *Cache) RepeatHit(tid mem.ThreadID, a mem.Addr, write bool, k int) {
+	if c.direct && !c.forceGeneric {
+		if k <= 0 {
+			return
+		}
+		c.stats.Refs += uint64(k)
+		c.stats.Hits += uint64(k)
+		if c.classify != nil {
+			c.classify.touch(c.LineOf(a))
+		}
+		return
+	}
+	c.Repeat(tid, a, write, k)
 }
 
 // Contains reports whether the line containing a is resident, without
@@ -220,14 +355,14 @@ func (c *Cache) Contains(a mem.Addr) bool { return c.find(c.LineOf(a)) >= 0 }
 // without side effects.
 func (c *Cache) IsDirty(a mem.Addr) bool {
 	i := c.find(c.LineOf(a))
-	return i >= 0 && c.flags[i]&flagDirty != 0
+	return i >= 0 && c.slots[i].flags&flagDirty != 0
 }
 
 // IsShared reports whether the resident line containing a carries the
 // coherence "shared" mark.
 func (c *Cache) IsShared(a mem.Addr) bool {
 	i := c.find(c.LineOf(a))
-	return i >= 0 && c.flags[i]&flagShared != 0
+	return i >= 0 && c.slots[i].flags&flagShared != 0
 }
 
 // ClearDirty removes the dirty mark from a resident line — a coherence
@@ -235,7 +370,7 @@ func (c *Cache) IsShared(a mem.Addr) bool {
 // is a no-op if the line is absent.
 func (c *Cache) ClearDirty(a mem.Addr) {
 	if i := c.find(c.LineOf(a)); i >= 0 {
-		c.flags[i] &^= flagDirty
+		c.slots[i].flags &^= flagDirty
 	}
 }
 
@@ -247,9 +382,9 @@ func (c *Cache) SetShared(a mem.Addr, shared bool) {
 		return
 	}
 	if shared {
-		c.flags[i] |= flagShared
+		c.slots[i].flags |= flagShared
 	} else {
-		c.flags[i] &^= flagShared
+		c.slots[i].flags &^= flagShared
 	}
 }
 
@@ -260,40 +395,45 @@ func (c *Cache) SetShared(a mem.Addr, shared bool) {
 // It returns the displaced victim, if any. Inserting a line that is
 // already resident just refreshes its state.
 func (c *Cache) Insert(tid mem.ThreadID, a mem.Addr, dirty, shared bool) Victim {
+	if c.direct && !c.forceGeneric {
+		return c.insertDM(tid, a, dirty, shared)
+	}
 	line := c.LineOf(a)
 	if i := c.find(line); i >= 0 {
 		// Already resident (e.g. refetched after an upgrade); refresh.
 		c.useClock++
 		c.lastUse[i] = c.useClock
-		c.owner[i] = tid
+		s := &c.slots[i]
+		s.owner = tid
 		if dirty {
-			c.flags[i] |= flagDirty
+			s.flags |= flagDirty
 		}
 		return Victim{}
 	}
 	base := c.setOf(line) * c.ways
-	slot := -1
+	idx := -1
 	for w := 0; w < c.ways; w++ {
 		i := base + w
-		if c.flags[i]&flagValid == 0 {
-			slot = i
+		if c.slots[i].flags&flagValid == 0 {
+			idx = i
 			break
 		}
 	}
 	var victim Victim
-	if slot < 0 {
+	if idx < 0 {
 		// Evict the LRU way.
-		slot = base
+		idx = base
 		for w := 1; w < c.ways; w++ {
-			if c.lastUse[base+w] < c.lastUse[slot] {
-				slot = base + w
+			if c.lastUse[base+w] < c.lastUse[idx] {
+				idx = base + w
 			}
 		}
+		v := &c.slots[idx]
 		victim = Victim{
 			Valid: true,
-			Line:  c.tags[slot],
-			Dirty: c.flags[slot]&flagDirty != 0,
-			Owner: c.owner[slot],
+			Line:  v.tag,
+			Dirty: v.flags&flagDirty != 0,
+			Owner: v.owner,
 		}
 		c.stats.Evictions++
 		if victim.Dirty {
@@ -305,21 +445,80 @@ func (c *Cache) Insert(tid mem.ThreadID, a mem.Addr, dirty, shared bool) Victim 
 		}
 	}
 	c.useClock++
-	c.tags[slot] = line
-	c.flags[slot] = flagValid
+	c.lastUse[idx] = c.useClock
+	s := &c.slots[idx]
+	s.tag = line
+	s.flags = flagValid
 	if dirty {
-		c.flags[slot] |= flagDirty
+		s.flags |= flagDirty
 	}
 	if shared {
-		c.flags[slot] |= flagShared
+		s.flags |= flagShared
 	}
-	c.owner[slot] = tid
-	c.lastUse[slot] = c.useClock
+	s.owner = tid
 	c.valid++
 	if c.listener != nil {
 		c.listener.Filled(line, tid)
 	}
 	return victim
+}
+
+// insertDM is the direct-mapped Insert fast lane: the target slot is
+// known from the address alone, so there is no invalid-way scan and no
+// LRU victim search — the sole resident line of the set, if any and not
+// the refill itself, is the victim. Event order (eviction listener
+// before fill listener), statistics and the returned Victim match the
+// generic path exactly.
+func (c *Cache) insertDM(tid mem.ThreadID, a mem.Addr, dirty, shared bool) Victim {
+	line := a >> c.lineShift << c.lineShift
+	s := &c.slots[uint64(line>>c.lineShift)&c.setMask]
+	if s.flags&flagValid != 0 {
+		if s.tag == line {
+			// Already resident (e.g. refetched after an upgrade);
+			// refresh.
+			s.owner = tid
+			if dirty {
+				s.flags |= flagDirty
+			}
+			return Victim{}
+		}
+		victim := Victim{
+			Valid: true,
+			Line:  s.tag,
+			Dirty: s.flags&flagDirty != 0,
+			Owner: s.owner,
+		}
+		c.stats.Evictions++
+		if victim.Dirty {
+			c.stats.Writebacks++
+		}
+		c.valid--
+		if c.listener != nil {
+			c.listener.Evicted(victim.Line, victim.Dirty)
+		}
+		c.fillSlot(s, line, tid, dirty, shared)
+		return victim
+	}
+	c.fillSlot(s, line, tid, dirty, shared)
+	return Victim{}
+}
+
+// fillSlot writes a fresh line into slot s (shared tail of the
+// direct-mapped insert paths).
+func (c *Cache) fillSlot(s *slot, line mem.Addr, tid mem.ThreadID, dirty, shared bool) {
+	s.tag = line
+	s.flags = flagValid
+	if dirty {
+		s.flags |= flagDirty
+	}
+	if shared {
+		s.flags |= flagShared
+	}
+	s.owner = tid
+	c.valid++
+	if c.listener != nil {
+		c.listener.Filled(line, tid)
+	}
 }
 
 // Invalidate removes the line containing a if resident, reporting
@@ -331,10 +530,11 @@ func (c *Cache) Invalidate(a mem.Addr) (present, dirty bool) {
 	if i < 0 {
 		return false, false
 	}
-	dirty = c.flags[i]&flagDirty != 0
-	line := c.tags[i]
-	c.flags[i] = 0
-	c.owner[i] = mem.NilThread
+	s := &c.slots[i]
+	dirty = s.flags&flagDirty != 0
+	line := s.tag
+	s.flags = 0
+	s.owner = mem.NilThread
 	c.valid--
 	c.stats.Invalidations++
 	if dirty {
@@ -363,20 +563,21 @@ func (c *Cache) InvalidateSpan(base mem.Addr, n uint64) int {
 // Flush invalidates every line. Statistics are preserved; the listener
 // sees an eviction for each valid line.
 func (c *Cache) Flush() {
-	for i := range c.tags {
-		if c.flags[i]&flagValid == 0 {
+	for i := range c.slots {
+		s := &c.slots[i]
+		if s.flags&flagValid == 0 {
 			continue
 		}
-		dirty := c.flags[i]&flagDirty != 0
+		dirty := s.flags&flagDirty != 0
 		if dirty {
 			c.stats.Writebacks++
 		}
 		c.stats.Invalidations++
 		if c.listener != nil {
-			c.listener.Evicted(c.tags[i], dirty)
+			c.listener.Evicted(s.tag, dirty)
 		}
-		c.flags[i] = 0
-		c.owner[i] = mem.NilThread
+		s.flags = 0
+		s.owner = mem.NilThread
 	}
 	c.valid = 0
 }
@@ -384,9 +585,9 @@ func (c *Cache) Flush() {
 // ForEachValidLine calls fn for every resident line with its
 // line-aligned address and last accessor, in slot order.
 func (c *Cache) ForEachValidLine(fn func(line mem.Addr, owner mem.ThreadID)) {
-	for i := range c.tags {
-		if c.flags[i]&flagValid != 0 {
-			fn(c.tags[i], c.owner[i])
+	for i := range c.slots {
+		if c.slots[i].flags&flagValid != 0 {
+			fn(c.slots[i].tag, c.slots[i].owner)
 		}
 	}
 }
@@ -397,8 +598,8 @@ func (c *Cache) ForEachValidLine(fn func(line mem.Addr, owner mem.ThreadID)) {
 // implements the paper's state-projection definition instead.
 func (c *Cache) OwnerFootprint(tid mem.ThreadID) int {
 	n := 0
-	for i := range c.tags {
-		if c.flags[i]&flagValid != 0 && c.owner[i] == tid {
+	for i := range c.slots {
+		if c.slots[i].flags&flagValid != 0 && c.slots[i].owner == tid {
 			n++
 		}
 	}

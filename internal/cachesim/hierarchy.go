@@ -44,6 +44,11 @@ type Hierarchy struct {
 	L1I *Cache
 	L1D *Cache
 	L2  *Cache
+	// dmData marks the data-path fast lane: both the L1D and the L2 are
+	// direct-mapped (the UltraSPARC-1 geometry of every experiment), so
+	// Data can call the one-way probes directly without the per-cache
+	// dispatch branch.
+	dmData bool
 }
 
 // NewHierarchy builds a hierarchy from the three cache configurations.
@@ -54,6 +59,7 @@ func NewHierarchy(l1i, l1d, l2 Config) *Hierarchy {
 	if l2.LineSize < l1i.LineSize || l2.LineSize < l1d.LineSize {
 		panic("cachesim: L2 line must not be smaller than L1 lines")
 	}
+	h.dmData = h.L1D.direct && h.L2.direct
 	return h
 }
 
@@ -65,6 +71,9 @@ func NewHierarchy(l1i, l1d, l2 Config) *Hierarchy {
 // The shared flag is the coherence state the machine wants on a fresh L2
 // fill.
 func (h *Hierarchy) Data(tid mem.ThreadID, a mem.Addr, write, shared bool) Result {
+	if h.dmData && !h.L1D.forceGeneric && !h.L2.forceGeneric {
+		return h.dataDM(tid, a, write, shared)
+	}
 	// The write-through L1D never holds dirty data, so even a store
 	// hit leaves the L1D line clean (the dirty bit lives in the L2).
 	if h.L1D.Lookup(tid, a, false) && !write {
@@ -80,6 +89,26 @@ func (h *Hierarchy) Data(tid mem.ThreadID, a mem.Addr, write, shared bool) Resul
 	victim := h.fillL2(tid, a, write, shared)
 	if !write {
 		h.fillL1(h.L1D, tid, a)
+	}
+	return Result{Level: LevelMemory, Victim: victim}
+}
+
+// dataDM is Data for the direct-mapped geometry: identical decision
+// tree, but the probes go straight to the one-way fast lanes, skipping
+// each cache's per-call dispatch branch.
+func (h *Hierarchy) dataDM(tid mem.ThreadID, a mem.Addr, write, shared bool) Result {
+	if h.L1D.lookupDM(tid, a, false) && !write {
+		return Result{Level: LevelL1}
+	}
+	if h.L2.lookupDM(tid, a, write) {
+		if !write {
+			h.L1D.insertDM(tid, a, false, false)
+		}
+		return Result{Level: LevelL2}
+	}
+	victim := h.fillL2(tid, a, write, shared)
+	if !write {
+		h.L1D.insertDM(tid, a, false, false)
 	}
 	return Result{Level: LevelMemory, Victim: victim}
 }
@@ -144,12 +173,13 @@ func (h *Hierarchy) Flush() {
 // ok=true. It is an O(cache size) diagnostic for tests.
 func (h *Hierarchy) CheckInclusion() (violation mem.Addr, ok bool) {
 	for _, l1 := range []*Cache{h.L1I, h.L1D} {
-		for i, f := range l1.flags {
-			if f&flagValid == 0 {
+		for i := range l1.slots {
+			s := &l1.slots[i]
+			if s.flags&flagValid == 0 {
 				continue
 			}
-			if !h.L2.Contains(l1.tags[i]) {
-				return l1.tags[i], false
+			if !h.L2.Contains(s.tag) {
+				return s.tag, false
 			}
 		}
 	}

@@ -76,6 +76,12 @@ type SchedConfig struct {
 	Threshold float64
 	// SpawnStacks enables the work-first spawn-stack ablation.
 	SpawnStacks bool
+	// Jobs is the number of worker threads used to fan independent
+	// cells (app × policy runs) of a multi-cell experiment across CPUs:
+	// 0 uses every processor, 1 runs sequentially. Results are
+	// bit-identical for any value — every cell owns its machine and
+	// RNG stream and is collected by index (see internal/parallel).
+	Jobs int
 }
 
 func (c SchedConfig) withDefaults() SchedConfig {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/model"
+	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/rt"
 	"repro/internal/stats"
@@ -130,24 +131,32 @@ func ScalingStudy(cfg SchedConfig, cpus []int) (*ScalingResult, error) {
 		Util:    make(map[string][]float64),
 		Apps:    []string{"tasks", "merge", "photo", "tsp"},
 	}
-	for _, app := range res.Apps {
-		for _, n := range cpus {
-			c := cfg
-			c.CPUs = n
-			fcfs, err := RunSched(app, "FCFS", c)
-			if err != nil {
-				return nil, err
-			}
-			lff, err := RunSched(app, "LFF", c)
-			if err != nil {
-				return nil, err
-			}
-			res.Elim[app] = append(res.Elim[app],
-				stats.PercentEliminated(float64(fcfs.EMisses), float64(lff.EMisses)))
-			res.Speedup[app] = append(res.Speedup[app],
-				stats.Ratio(float64(fcfs.Cycles), float64(lff.Cycles)))
-			res.Util[app] = append(res.Util[app], lff.Utilization())
+	// One cell per (app, CPU count); each cell runs its FCFS/LFF pair.
+	type pair struct{ fcfs, lff PolicyRun }
+	cells, err := parallel.Map(cfg.Jobs, len(res.Apps)*len(cpus), func(i int) (pair, error) {
+		c := cfg
+		c.CPUs = cpus[i%len(cpus)]
+		app := res.Apps[i/len(cpus)]
+		fcfs, err := RunSched(app, "FCFS", c)
+		if err != nil {
+			return pair{}, err
 		}
+		lff, err := RunSched(app, "LFF", c)
+		if err != nil {
+			return pair{}, err
+		}
+		return pair{fcfs, lff}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, cell := range cells {
+		app := res.Apps[i/len(cpus)]
+		res.Elim[app] = append(res.Elim[app],
+			stats.PercentEliminated(float64(cell.fcfs.EMisses), float64(cell.lff.EMisses)))
+		res.Speedup[app] = append(res.Speedup[app],
+			stats.Ratio(float64(cell.fcfs.Cycles), float64(cell.lff.Cycles)))
+		res.Util[app] = append(res.Util[app], cell.lff.Utilization())
 	}
 	return res, nil
 }
@@ -200,21 +209,27 @@ func ThresholdStudy(cfg SchedConfig, thresholds []float64) (*ThresholdResult, er
 	if cfg.CPUs <= 1 {
 		cfg.CPUs = 8
 	}
-	for _, app := range res.Apps {
-		fcfs, err := RunSched(app, "FCFS", cfg)
-		if err != nil {
-			return nil, err
-		}
-		for _, th := range thresholds {
-			c := cfg
-			c.Threshold = th
-			lff, err := RunSched(app, "LFF", c)
-			if err != nil {
-				return nil, err
-			}
-			res.Elim[app] = append(res.Elim[app],
-				stats.PercentEliminated(float64(fcfs.EMisses), float64(lff.EMisses)))
-		}
+	// One cell per (app, threshold) LFF run plus one FCFS baseline per
+	// app, all independent.
+	baselines, err := parallel.Map(cfg.Jobs, len(res.Apps), func(i int) (PolicyRun, error) {
+		return RunSched(res.Apps[i], "FCFS", cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	runs, err := parallel.Map(cfg.Jobs, len(res.Apps)*len(thresholds), func(i int) (PolicyRun, error) {
+		c := cfg
+		c.Threshold = thresholds[i%len(thresholds)]
+		return RunSched(res.Apps[i/len(thresholds)], "LFF", c)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, lff := range runs {
+		app := res.Apps[i/len(thresholds)]
+		fcfs := baselines[i/len(thresholds)]
+		res.Elim[app] = append(res.Elim[app],
+			stats.PercentEliminated(float64(fcfs.EMisses), float64(lff.EMisses)))
 	}
 	return res, nil
 }
@@ -261,21 +276,23 @@ func SpawnStackStudy(cfg SchedConfig) (*SpawnStackResult, error) {
 		Stacks: make(map[string]float64),
 		Apps:   []string{"tasks", "merge", "photo", "tsp"},
 	}
-	for _, app := range res.Apps {
-		fcfs, err := RunSched(app, "FCFS", cfg)
-		if err != nil {
-			return nil, err
-		}
-		lff, err := RunSched(app, "LFF", cfg)
-		if err != nil {
-			return nil, err
-		}
-		stacked := cfg
-		stacked.SpawnStacks = true
-		lffS, err := RunSched(app, "LFF", stacked)
-		if err != nil {
-			return nil, err
-		}
+	// Three independent runs per app, flattened into one cell matrix.
+	stacked := cfg
+	stacked.SpawnStacks = true
+	variants := []struct {
+		policy string
+		cfg    SchedConfig
+	}{{"FCFS", cfg}, {"LFF", cfg}, {"LFF", stacked}}
+	runs, err := parallel.Map(cfg.Jobs, len(res.Apps)*len(variants), func(i int) (PolicyRun, error) {
+		v := variants[i%len(variants)]
+		return RunSched(res.Apps[i/len(variants)], v.policy, v.cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < len(res.Apps); i++ {
+		app := res.Apps[i]
+		fcfs, lff, lffS := runs[3*i], runs[3*i+1], runs[3*i+2]
 		res.Global[app] = stats.PercentEliminated(float64(fcfs.EMisses), float64(lff.EMisses))
 		res.Stacks[app] = stats.PercentEliminated(float64(fcfs.EMisses), float64(lffS.EMisses))
 	}
@@ -316,8 +333,9 @@ type TLBResult struct {
 // TLBStudy runs each study stream with and without the TLB model.
 func TLBStudy(cfg StudyConfig) *TLBResult {
 	cfg = cfg.withDefaults(40000)
-	res := &TLBResult{}
-	for _, app := range workloads.StudyApps() {
+	apps := workloads.StudyApps()
+	rows, _ := parallel.Map(cfg.Jobs, len(apps), func(i int) (TLBRow, error) {
+		app := apps[i]
 		row := TLBRow{App: app.Name}
 		const budget = 800_000
 		for _, entries := range []int{0, 64} {
@@ -334,9 +352,9 @@ func TLBStudy(cfg StudyConfig) *TLBResult {
 			}
 		}
 		row.SlowdownPct = 100 * (float64(row.CyclesTLB) - float64(row.CyclesPerf)) / float64(row.CyclesPerf)
-		res.Rows = append(res.Rows, row)
-	}
-	return res
+		return row, nil
+	})
+	return &TLBResult{Rows: rows}
 }
 
 // Render produces the TLB sensitivity table.
@@ -384,29 +402,35 @@ func CoarseStudy(cfg SchedConfig) (*CoarseResult, error) {
 	}
 	cfg = cfg.withDefaults()
 	res := &CoarseResult{CPUs: cfg.CPUs}
-	for _, name := range []string{"barnes", "ocean"} {
+	names := []string{"barnes", "ocean"}
+	rows, err := parallel.Map(cfg.Jobs, len(names), func(i int) (CoarseRow, error) {
+		name := names[i]
 		app, err := workloads.StudyAppByName(name)
 		if err != nil {
-			return nil, err
+			return CoarseRow{}, err
 		}
 		var misses [2]uint64
 		var cycles [2]uint64
-		for i, policy := range []string{"FCFS", "LFF"} {
+		for j, policy := range []string{"FCFS", "LFF"} {
 			m := machine.New(platform(cfg.CPUs))
 			e := rt.New(m, rt.Options{Policy: policy, Seed: cfg.Seed})
 			workloads.SpawnCoarse(e, app, cfg.CPUs, 6, int(100_000*cfg.Scale)+10_000)
 			if err := e.Run(); err != nil {
-				return nil, err
+				return CoarseRow{}, err
 			}
-			_, _, misses[i] = m.Totals()
-			cycles[i] = m.MaxCycles()
+			_, _, misses[j] = m.Totals()
+			cycles[j] = m.MaxCycles()
 		}
-		res.Rows = append(res.Rows, CoarseRow{
+		return CoarseRow{
 			App: name, FCFS: misses[0], LFF: misses[1],
 			ElimPct:  stats.PercentEliminated(float64(misses[0]), float64(misses[1])),
 			SpeedPct: 100 * (float64(cycles[0])/float64(cycles[1]) - 1),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

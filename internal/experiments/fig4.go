@@ -24,6 +24,10 @@ type StudyConfig struct {
 	MPIWindow uint64
 	// Seed fixes the walk.
 	Seed uint64
+	// Jobs is the number of worker threads used to fan independent
+	// per-application studies across CPUs: 0 uses every processor, 1
+	// runs sequentially. Results are bit-identical for any value.
+	Jobs int
 }
 
 func (c StudyConfig) withDefaults(maxMisses uint64) StudyConfig {

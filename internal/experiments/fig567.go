@@ -7,6 +7,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/model"
+	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -109,12 +110,14 @@ func StudyFootprint(app workloads.StudyApp, cfg StudyConfig) *AppStudyResult {
 	return res
 }
 
-// StudyAll runs the footprint study for the given applications.
+// StudyAll runs the footprint study for the given applications, fanning
+// the per-application cells across cfg.Jobs workers (each study owns
+// its machine and generator, so results are order-independent and
+// collected by index).
 func StudyAll(apps []workloads.StudyApp, cfg StudyConfig) []*AppStudyResult {
-	out := make([]*AppStudyResult, 0, len(apps))
-	for _, app := range apps {
-		out = append(out, StudyFootprint(app, cfg))
-	}
+	out, _ := parallel.Map(cfg.Jobs, len(apps), func(i int) (*AppStudyResult, error) {
+		return StudyFootprint(apps[i], cfg), nil
+	})
 	return out
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -43,16 +44,27 @@ func fig89(figure string, cfg SchedConfig) (*Fig89Result, error) {
 		CPUs:   cfg.CPUs,
 		Runs:   make(map[string]map[string]PolicyRun),
 	}
+	// The (app × policy) cells are independent — each owns its machine
+	// and RNG stream — so fan them across workers and collect by index.
+	type cell struct{ app, policy string }
+	var cells []cell
 	for _, app := range workloads.SchedApps() {
 		res.Apps = append(res.Apps, app.Name)
-		res.Runs[app.Name] = make(map[string]PolicyRun)
 		for _, policy := range Policies {
-			run, err := RunSched(app.Name, policy, cfg)
-			if err != nil {
-				return nil, err
-			}
-			res.Runs[app.Name][policy] = run
+			cells = append(cells, cell{app.Name, policy})
 		}
+	}
+	runs, err := parallel.Map(cfg.Jobs, len(cells), func(i int) (PolicyRun, error) {
+		return RunSched(cells[i].app, cells[i].policy, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		if res.Runs[c.app] == nil {
+			res.Runs[c.app] = make(map[string]PolicyRun)
+		}
+		res.Runs[c.app][c.policy] = runs[i]
 	}
 	return res, nil
 }
@@ -176,20 +188,19 @@ func AblationPhoto(cfg SchedConfig) (*AblationResult, error) {
 		cfg.CPUs = 8
 	}
 	cfg = cfg.withDefaults()
-	fcfs, err := RunSched("photo", "FCFS", cfg)
-	if err != nil {
-		return nil, err
-	}
-	full, err := RunSched("photo", "LFF", cfg)
-	if err != nil {
-		return nil, err
-	}
 	noCfg := cfg
 	noCfg.DisableAnnotations = true
-	noAnnot, err := RunSched("photo", "LFF", noCfg)
+	variants := []struct {
+		policy string
+		cfg    SchedConfig
+	}{{"FCFS", cfg}, {"LFF", cfg}, {"LFF", noCfg}}
+	runs, err := parallel.Map(cfg.Jobs, len(variants), func(i int) (PolicyRun, error) {
+		return RunSched("photo", variants[i].policy, variants[i].cfg)
+	})
 	if err != nil {
 		return nil, err
 	}
+	fcfs, full, noAnnot := runs[0], runs[1], runs[2]
 	res := &AblationResult{
 		CPUs: cfg.CPUs, FCFS: fcfs, Full: full, NoAnnot: noAnnot,
 		ElimFull:   stats.PercentEliminated(float64(fcfs.EMisses), float64(full.EMisses)),

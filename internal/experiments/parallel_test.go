@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// The parallel experiment driver must be invisible in the results:
+// every cell runs on its own machine with its own generator, cells are
+// enumerated in a fixed order, and collection is index-addressed, so
+// the rendered output is byte-identical for any worker count. These
+// tests pin that contract (and, under -race, exercise the fan-out for
+// data races).
+
+func TestFig8ParallelDeterminism(t *testing.T) {
+	seq := quickSched
+	seq.Jobs = 1
+	par := quickSched
+	par.Jobs = 8
+
+	a, err := Fig8(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig8(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := b.Render(), a.Render(); got != want {
+		t.Fatalf("-j8 output differs from -j1:\n-j8:\n%s\n-j1:\n%s", got, want)
+	}
+}
+
+func TestAblationParallelDeterminism(t *testing.T) {
+	seq := quickSched
+	seq.Scale = 0.1
+	seq.CPUs = 4
+	seq.Jobs = 1
+	par := seq
+	par.Jobs = 8
+
+	a, err := AblationPhoto(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AblationPhoto(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := b.Render(), a.Render(); got != want {
+		t.Fatalf("-j8 output differs from -j1:\n-j8:\n%s\n-j1:\n%s", got, want)
+	}
+}
+
+func TestStudyAllParallelDeterminism(t *testing.T) {
+	seq := StudyConfig{Seed: 7, MaxMisses: 4000, Jobs: 1}
+	par := seq
+	par.Jobs = 8
+
+	a := StudyAll(workloads.Fig5Apps(), seq)
+	b := StudyAll(workloads.Fig5Apps(), par)
+	if got, want := RenderFootprints("study", b), RenderFootprints("study", a); got != want {
+		t.Fatalf("-j8 output differs from -j1:\n-j8:\n%s\n-j1:\n%s", got, want)
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -40,21 +41,22 @@ func SourcesStudy(cfg SchedConfig) (*SourcesResult, error) {
 	}
 	cfg = cfg.withDefaults()
 	res := &SourcesResult{CPUs: cfg.CPUs}
-	for _, app := range workloads.SchedApps() {
-		fcfs, err := RunSched(app.Name, "FCFS", cfg)
-		if err != nil {
-			return nil, err
-		}
-		full, err := RunSched(app.Name, "LFF", cfg)
-		if err != nil {
-			return nil, err
-		}
-		noAnn := cfg
-		noAnn.DisableAnnotations = true
-		counters, err := RunSched(app.Name, "LFF", noAnn)
-		if err != nil {
-			return nil, err
-		}
+	noAnn := cfg
+	noAnn.DisableAnnotations = true
+	variants := []struct {
+		policy string
+		cfg    SchedConfig
+	}{{"FCFS", cfg}, {"LFF", cfg}, {"LFF", noAnn}}
+	apps := workloads.SchedApps()
+	runs, err := parallel.Map(cfg.Jobs, len(apps)*len(variants), func(i int) (PolicyRun, error) {
+		v := variants[i%len(variants)]
+		return RunSched(apps[i/len(variants)].Name, v.policy, v.cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, app := range apps {
+		fcfs, full, counters := runs[3*i], runs[3*i+1], runs[3*i+2]
 		row := SourceRow{
 			App:          app.Name,
 			ElimFull:     stats.PercentEliminated(float64(fcfs.EMisses), float64(full.EMisses)),

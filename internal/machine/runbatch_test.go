@@ -1,0 +1,86 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// The same-line run batching in Apply (applyRuns/repeatRefs) must be
+// counter-for-counter identical to the per-reference loop. Count==1
+// accesses always take the per-reference path, so issuing an access as
+// Count separate single-reference accesses is the reference behaviour
+// to differ against.
+
+// refLCG mirrors the deterministic stream generator used by the
+// cachesim differential tests.
+type refLCG uint64
+
+func (l *refLCG) next() uint64 {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return uint64(*l) >> 11
+}
+
+func cpuFingerprint(m *Machine, cpus int) string {
+	var s string
+	for i := 0; i < cpus; i++ {
+		c := m.CPU(i)
+		s += fmt.Sprintf("cpu%d: cycles=%d instrs=%d erefs=%d ehits=%d emisses=%d tlb=%d pics=%v\n",
+			i, c.Cycles, c.Instrs, c.ERefs, c.EHits, c.EMisses, c.TLBMisses, c.PMU.Read())
+		l1d, l2 := c.Hier.L1D.Stats(), c.Hier.L2.Stats()
+		s += fmt.Sprintf("  l1d=%+v\n  l2=%+v\n", l1d, l2)
+		s += fmt.Sprintf("  l1dvalid=%d l2valid=%d\n", c.Hier.L1D.ValidLines(), c.Hier.L2.ValidLines())
+	}
+	return s
+}
+
+func TestApplyRunBatchingMatchesPerReference(t *testing.T) {
+	for _, cpus := range []int{1, 2} {
+		cfg := smallConfig(cpus)
+		cfg.TLBEntries = 8
+		batched := New(cfg)
+		single := New(cfg)
+		span := batched.Alloc(32*1024, 0)
+		if s2 := single.Alloc(32*1024, 0); s2 != span {
+			t.Fatal("allocators diverged")
+		}
+
+		rng := refLCG(424242)
+		for step := 0; step < 4000; step++ {
+			cpu := int(rng.next()) % cpus
+			tid := mem.ThreadID(rng.next() % 4)
+			a := mem.Access{
+				Base:   span.Base + mem.Addr(rng.next()%span.Len),
+				Count:  int32(rng.next()%40) + 1,
+				Stride: int32(rng.next() % 24), // includes 0 and sub-line strides
+				Size:   uint16(1 << (rng.next() % 4)),
+				Write:  rng.next()%3 == 0,
+			}
+			if uint64(a.Base)+uint64(a.Count)*uint64(a.Stride)+uint64(a.Size) >= uint64(span.Base)+span.Len {
+				continue // stay inside the allocation
+			}
+			got := batched.Apply(cpu, tid, mem.Batch{a})
+			// Decompose into Count single-reference accesses, which
+			// never take the batching path.
+			var want uint64
+			for i := int32(0); i < a.Count; i++ {
+				one := mem.Access{
+					Base:   a.Base + mem.Addr(int64(i)*int64(a.Stride)),
+					Count:  1,
+					Stride: 0,
+					Size:   a.Size,
+					Write:  a.Write,
+				}
+				want += single.Apply(cpu, tid, mem.Batch{one})
+			}
+			if got != want {
+				t.Fatalf("step %d: Apply(%+v) returned %d misses, per-ref loop %d", step, a, got, want)
+			}
+		}
+		got, want := cpuFingerprint(batched, cpus), cpuFingerprint(single, cpus)
+		if got != want {
+			t.Fatalf("cpus=%d: counters diverged:\nbatched:\n%s\nper-ref:\n%s", cpus, got, want)
+		}
+	}
+}

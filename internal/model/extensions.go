@@ -31,6 +31,11 @@ type AssocModel struct {
 	// Sets and Ways describe the geometry; Sets*Ways is the capacity
 	// in lines.
 	Sets, Ways int
+	// dm is the direct-mapped model of the same capacity, carried for
+	// DirectMappedSelf so its kⁿ comes from the memoized table instead
+	// of a libm pow per sample (nil only for a 1-line geometry, which
+	// the direct-mapped closed form handles inline).
+	dm *Model
 }
 
 // NewAssocModel validates and builds the model.
@@ -38,7 +43,11 @@ func NewAssocModel(sets, ways int) AssocModel {
 	if sets < 1 || ways < 1 {
 		panic(fmt.Sprintf("model: bad associative geometry %dx%d", sets, ways))
 	}
-	return AssocModel{Sets: sets, Ways: ways}
+	a := AssocModel{Sets: sets, Ways: ways}
+	if n := sets * ways; n >= 2 {
+		a.dm = New(n)
+	}
+	return a
 }
 
 // N returns the capacity in lines.
@@ -142,7 +151,15 @@ func minInt(a, b int) int {
 // fills).
 func (a AssocModel) DirectMappedSelf(n uint64) float64 {
 	N := float64(a.N())
-	return N - N*math.Pow((N-1)/N, float64(n))
+	if a.dm == nil {
+		// 1-line cache (constructed literally, bypassing NewAssocModel):
+		// k = 0, so the footprint is N after any miss.
+		if n == 0 {
+			return 0
+		}
+		return N
+	}
+	return N - N*a.dm.PowK(n)
 }
 
 // ExpectDepInval extends the dependent-thread closed form (case 3) with
@@ -166,7 +183,15 @@ func (m *Model) ExpectDepInval(s, q, v float64, n uint64) float64 {
 	}
 	fn := float64(m.n)
 	plateau := q * fn / (1 + v)
-	decay := math.Pow(1-(1+v)/fn, float64(n))
+	// With v = 0 the decay base is exactly k = (N−1)/N, so the memoized
+	// table applies; only a genuine invalidation pressure needs the
+	// libm pow.
+	var decay float64
+	if v == 0 {
+		decay = m.PowK(n)
+	} else {
+		decay = math.Pow(1-(1+v)/fn, float64(n))
+	}
 	return plateau - (plateau-s)*decay
 }
 

@@ -1,0 +1,106 @@
+// Package parallel is the experiment fan-out engine: a small worker
+// pool that runs independent simulation cells across OS threads while
+// preserving the bit-for-bit determinism of the sequential driver.
+//
+// Every experiment in this repository is a matrix of independent cells
+// — (application × policy × platform) scheduling runs, or per-app
+// footprint studies — and each cell builds its own machine.New and
+// seeds its own xrand stream. Nothing is shared between cells, so the
+// only way parallelism could change a result is through collection
+// order. ForEach therefore never appends from workers: callers write
+// cell i's result into slot i of a pre-sized slice, and errors are
+// reported for the lowest failing index, exactly as a sequential loop
+// would surface them.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultJobs returns the worker count used when a caller passes
+// workers <= 0: the process's GOMAXPROCS, i.e. "use the machine".
+func DefaultJobs() int { return runtime.GOMAXPROCS(0) }
+
+// ForEach runs fn(i) for every i in [0, n) using the given number of
+// workers and returns the error of the lowest failing index (matching
+// what a sequential loop that stops at the first error would have
+// returned). workers <= 0 selects DefaultJobs(); workers == 1 runs the
+// plain sequential loop on the calling goroutine, with an early exit at
+// the first error.
+//
+// fn must be safe to call concurrently for distinct indices. The
+// deterministic-collection contract is the caller's side: write results
+// only to index i's own slot.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = DefaultJobs()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstIdx = n // lowest index that failed
+		firstErr error
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					record(i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Map runs fn over [0, n) with the given worker count and collects the
+// results into an index-addressed slice: out[i] = fn(i). It is the
+// common collect-into-slots pattern of ForEach packaged for callers
+// whose cells return a single value.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 137
+		counts := make([]atomic.Int32, n)
+		if err := ForEach(workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndNegative(t *testing.T) {
+	called := false
+	if err := ForEach(4, 0, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(4, -3, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestForEachReportsLowestFailingIndex(t *testing.T) {
+	// Several indices fail; the reported error must be the lowest
+	// index's, matching a sequential loop's first error.
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEach(workers, 100, func(i int) error {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return fmt.Errorf("cell %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "cell 3 failed" {
+			t.Fatalf("workers=%d: got %v, want cell 3 failed", workers, err)
+		}
+	}
+}
+
+func TestForEachSequentialStopsEarly(t *testing.T) {
+	// workers == 1 must stop at the first error like a plain loop.
+	var calls int
+	boom := errors.New("boom")
+	err := ForEach(1, 50, func(i int) error {
+		calls++
+		if i == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v", err)
+	}
+	if calls != 6 {
+		t.Fatalf("sequential loop made %d calls, want 6", calls)
+	}
+}
+
+func TestMapCollectsIndexAddressed(t *testing.T) {
+	out, err := Map(8, 64, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	if _, err := Map(4, 10, func(i int) (int, error) {
+		if i >= 2 {
+			return 0, fmt.Errorf("bad %d", i)
+		}
+		return i, nil
+	}); err == nil || err.Error() != "bad 2" {
+		t.Fatalf("got %v, want bad 2", err)
+	}
+}
+
+func TestDefaultJobsPositive(t *testing.T) {
+	if DefaultJobs() < 1 {
+		t.Fatalf("DefaultJobs() = %d", DefaultJobs())
+	}
+}

@@ -1,0 +1,44 @@
+#!/bin/sh
+# Run the table/figure benchmarks and record ns/op as JSON.
+#
+# Usage: scripts/bench.sh [extra go-test args...]
+#
+# Writes BENCH_<yyyy-mm-dd>.json at the repo root: a flat object mapping
+# benchmark name (trailing -N GOMAXPROCS suffix stripped) to ns/op. Runs
+# each benchmark -count=3 and keeps the median so a single noisy run on
+# a shared host cannot skew the committed numbers.
+set -e
+cd "$(dirname "$0")/.."
+
+out="BENCH_$(date +%F).json"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkTable|BenchmarkFig|BenchmarkAblation' \
+	-count=3 "$@" . | tee "$raw"
+
+awk '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	if (!(name in idx)) { idx[name] = ++n; names[n] = name }
+	vals[name] = vals[name] " " $3
+}
+END {
+	printf "{\n"
+	for (i = 1; i <= n; i++) {
+		name = names[i]
+		cnt = split(vals[name], v, " ")
+		# insertion-sort the handful of samples, take the median
+		for (a = 2; a <= cnt; a++) {
+			x = v[a]
+			for (b = a - 1; b >= 1 && v[b] + 0 > x + 0; b--) v[b+1] = v[b]
+			v[b+1] = x
+		}
+		med = v[int((cnt + 1) / 2)]
+		printf "  \"%s\": %d%s\n", name, med, (i < n ? "," : "")
+	}
+	printf "}\n"
+}' "$raw" > "$out"
+
+echo "wrote $out"

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Static checks plus the race-detector pass over the code with real
+# concurrency: the parallel experiment driver, the scheduler it fans
+# out, and the experiment cells that ride on it. The experiments
+# package is filtered to the parallel-determinism tests — the full
+# golden suite under the race detector (~10×) would exceed go test's
+# timeout while adding no concurrency coverage, since everything else
+# in it is sequential. Run before committing; regen.sh runs it as its
+# first step.
+set -e
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go test -race ./internal/parallel ./internal/sched
+go test -race ./internal/experiments -run 'ParallelDeterminism'

@@ -8,6 +8,7 @@ set -e
 cd "$(dirname "$0")/.."
 mkdir -p results results/csv results/svg
 go build ./...
+scripts/ci.sh
 go test ./... | tee results/test_run.txt
 go run ./cmd/repro -csv results/csv -svg results/svg all | tee results/full_run.txt
 go run ./cmd/repro validate | tee results/validate.txt
