@@ -220,7 +220,10 @@ func BenchmarkAppTSPLFF(b *testing.B)    { benchApp(b, "tsp", "LFF", 8) }
 // BenchmarkContextSwitch measures the full engine context-switch path
 // (block, model updates, pick, dispatch) via a yield ping-pong.
 func BenchmarkContextSwitch(b *testing.B) {
-	sys := New(Config{Policy: LFF, Seed: 1})
+	sys, err := New(Config{Policy: LFF, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
 	n := b.N
 	sys.Spawn("a", func(t *Thread) {
 		for i := 0; i < n; i++ {

@@ -6,36 +6,77 @@
 // Usage:
 //
 //	atsim -app tasks -policy LFF -cpus 8 -scale 0.5
+//	atsim -app tasks -policy LFF -cpus 4 -record run.json
+//	atsim -replay run.json
 //	atsim -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/model"
+	"repro/internal/platform/replay"
+	"repro/internal/platform/sim"
 	"repro/internal/rt"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
 func main() {
 	app := flag.String("app", "tasks", "application: tasks, merge, photo or tsp")
-	policy := flag.String("policy", "LFF", "scheduling policy: FCFS, LFF or CRT")
+	policy := flag.String("policy", "LFF", "scheduling policy: "+strings.Join(model.Schemes(), ", "))
 	cpus := flag.Int("cpus", 1, "processor count (1 = Ultra-1, >1 = E5000)")
 	scale := flag.Float64("scale", 1.0, "workload scale (1.0 = the paper's Table 4 parameters)")
 	seed := flag.Uint64("seed", 11, "random seed")
 	noAnnot := flag.Bool("no-annotations", false, "ignore at_share annotations (ablation)")
 	timeline := flag.Int("timeline", 0, "print the first N context switches (cpu, thread, name)")
 	verbose := flag.Bool("verbose", false, "print per-CPU counters and bus traffic")
+	record := flag.String("record", "", "capture the run's scheduling trace to this file (JSON)")
+	replayFile := flag.String("replay", "", "replay a recorded trace through the scheduler instead of simulating")
 	list := flag.Bool("list", false, "list applications and exit")
 	flag.Parse()
 
 	if *list {
 		for _, a := range workloads.SchedApps() {
 			fmt.Printf("%-6s %5d threads  %s\n", a.Name, a.Threads, a.Params)
+		}
+		return
+	}
+
+	if *replayFile != "" {
+		if err := runReplay(*replayFile); err != nil {
+			fmt.Fprintln(os.Stderr, "atsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// Validate every input before doing any work, so a typo fails fast
+	// with usage instead of surfacing deep inside a run.
+	if _, err := workloads.SchedAppByName(*app); err != nil {
+		usageError(err)
+	}
+	if _, err := model.SchemeFor(*policy); err != nil {
+		usageError(err)
+	}
+	if err := machineConfig(*cpus).Validate(); err != nil {
+		usageError(err)
+	}
+	if *scale <= 0 {
+		usageError(fmt.Errorf("scale %v must be positive", *scale))
+	}
+
+	if *record != "" {
+		if err := runRecord(*record, *app, *policy, *cpus, *scale, *seed, *noAnnot); err != nil {
+			fmt.Fprintln(os.Stderr, "atsim:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -77,6 +118,33 @@ func main() {
 	fmt.Printf("  steals             %12d\n", run.Steals)
 }
 
+// usageError reports a bad flag value and exits with the conventional
+// usage status.
+func usageError(err error) {
+	fmt.Fprintln(os.Stderr, "atsim:", err)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// machineConfig maps the -cpus flag to the paper's platforms.
+func machineConfig(cpus int) machine.Config {
+	if cpus == 1 {
+		return machine.UltraSPARC1()
+	}
+	return machine.Enterprise5000(cpus)
+}
+
+// buildEngine constructs the machine + engine pair for the direct-run
+// modes (verbose, timeline, record).
+func buildEngine(policy string, cpus int, seed uint64, noAnnot bool) (*machine.Machine, *rt.Engine, error) {
+	m := machine.New(machineConfig(cpus))
+	e, err := rt.New(sim.New(m), rt.Options{Policy: policy, Seed: seed, DisableAnnotations: noAnnot})
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, e, nil
+}
+
 // printMachineDetail renders per-CPU counters and bus traffic after a
 // verbose run.
 func printMachineDetail(m *machine.Machine, e *rt.Engine) {
@@ -108,14 +176,12 @@ func runVerbose(appName, policy string, cpus int, scale float64, seed uint64, no
 	if err != nil {
 		return err
 	}
-	cfg := machine.UltraSPARC1()
-	if cpus > 1 {
-		cfg = machine.Enterprise5000(cpus)
+	m, e, err := buildEngine(policy, cpus, seed, noAnnot)
+	if err != nil {
+		return err
 	}
-	m := machine.New(cfg)
-	e := rt.New(m, rt.Options{Policy: policy, Seed: seed, DisableAnnotations: noAnnot})
 	app.Spawn(e, scale)
-	if err := e.Run(); err != nil {
+	if err := e.Run(context.Background()); err != nil {
 		return err
 	}
 	refs, _, misses := m.Totals()
@@ -132,12 +198,10 @@ func runTimeline(appName, policy string, cpus int, scale float64, seed uint64, n
 	if err != nil {
 		return err
 	}
-	cfg := machine.UltraSPARC1()
-	if cpus > 1 {
-		cfg = machine.Enterprise5000(cpus)
+	m, e, err := buildEngine(policy, cpus, seed, false)
+	if err != nil {
+		return err
 	}
-	m := machine.New(cfg)
-	e := rt.New(m, rt.Options{Policy: policy, Seed: seed})
 	count := 0
 	e.OnDispatch = func(cpu int, tid mem.ThreadID, name string) {
 		if count < n {
@@ -146,9 +210,79 @@ func runTimeline(appName, policy string, cpus int, scale float64, seed uint64, n
 		count++
 	}
 	app.Spawn(e, scale)
-	if err := e.Run(); err != nil {
+	if err := e.Run(context.Background()); err != nil {
 		return err
 	}
 	fmt.Printf("... %d dispatches total\n", count)
+	return nil
+}
+
+// runRecord executes the app on the simulator while capturing the
+// scheduling trace, then saves the recording for later -replay.
+func runRecord(path, appName, policy string, cpus int, scale float64, seed uint64, noAnnot bool) error {
+	app, err := workloads.SchedAppByName(appName)
+	if err != nil {
+		return err
+	}
+	m, e, err := buildEngine(policy, cpus, seed, noAnnot)
+	if err != nil {
+		return err
+	}
+	plat := e.Platform()
+	rec := trace.NewRecorder(policy, plat.NCPU(), plat.CacheLines(),
+		plat.LineBytes(), plat.PageBytes(), 16)
+	e.OnEvent = rec.Observe
+	app.Spawn(e, scale)
+	if err := e.Run(context.Background()); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rec.Recording().Save(f); err != nil {
+		return err
+	}
+	refs, _, misses := m.Totals()
+	fmt.Printf("recorded %d events (%d intervals) from %s/%s on %d cpu(s) to %s\n",
+		len(rec.Recording().Events), len(rec.Recording().Intervals()), appName, policy, cpus, path)
+	fmt.Printf("  E-refs %d, E-misses %d, cycles %d\n", refs, misses, m.MaxCycles())
+	return nil
+}
+
+// runReplay loads a recording and replays it through the real
+// scheduler/model stack — no simulator in the loop.
+func runReplay(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rec, err := trace.Load(f)
+	if err != nil {
+		return err
+	}
+	res, err := replay.Evaluate(rec)
+	if err != nil {
+		return err
+	}
+	var misses uint64
+	for _, iv := range res.Intervals {
+		misses += iv.Misses
+	}
+	fmt.Printf("replayed %d intervals under %s on %d cpu(s): %d interval misses, %d model FLOPs\n",
+		len(res.Intervals), res.Policy, rec.NCPU, misses, res.Flops)
+	show := res.Intervals
+	if len(show) > 10 {
+		show = show[:10]
+	}
+	for _, iv := range show {
+		fmt.Printf("  #%-4d cpu%-2d %-6v n=%-8d S=%-10.2f prio=%.4f\n",
+			iv.Index, iv.CPU, iv.Thread, iv.Misses, iv.S, iv.Prio)
+	}
+	if len(res.Intervals) > len(show) {
+		fmt.Printf("  ... %d more\n", len(res.Intervals)-len(show))
+	}
 	return nil
 }

@@ -12,10 +12,14 @@ import (
 // Example demonstrates the minimal create/share/join flow and shows
 // that the run is deterministic enough to assert its output.
 func Example() {
-	sys := threadlocality.New(threadlocality.Config{
+	sys, err := threadlocality.New(threadlocality.Config{
 		Policy: threadlocality.LFF,
 		Seed:   42,
 	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
 	sys.Spawn("main", func(t *threadlocality.Thread) {
 		state := t.Alloc(64 * 1024)
 		t.Touch(state)
@@ -62,7 +66,11 @@ func ExampleNewModel() {
 
 // ExampleSystem_Stats shows the counters a run produces.
 func ExampleSystem_Stats() {
-	sys := threadlocality.New(threadlocality.Config{Seed: 7})
+	sys, err := threadlocality.New(threadlocality.Config{Seed: 7})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
 	sys.Spawn("worker", func(t *threadlocality.Thread) {
 		r := t.Alloc(4096)
 		t.WriteRange(r.Base, r.Len)

@@ -51,7 +51,10 @@ func run(policy threadlocality.Policy) threadlocality.Stats {
 	mc.L2.Assoc = 2
 	mc.TLBEntries = 64
 
-	sys := threadlocality.New(threadlocality.Config{Machine: mc, Policy: policy, Seed: 8})
+	sys, err := threadlocality.New(threadlocality.Config{Machine: mc, Policy: policy, Seed: 8})
+	if err != nil {
+		panic(err)
+	}
 	sys.Spawn("pipeline", func(t *threadlocality.Thread) {
 		// Bounded queues between stages: a slots semaphore (producer
 		// waits) and an items semaphore (consumer waits).

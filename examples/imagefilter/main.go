@@ -50,7 +50,10 @@ func filter(policy threadlocality.Policy, cpus int) threadlocality.Stats {
 	if cpus > 1 {
 		machine = threadlocality.Enterprise5000(cpus)
 	}
-	sys := threadlocality.New(threadlocality.Config{Machine: machine, Policy: policy, Seed: 2})
+	sys, err := threadlocality.New(threadlocality.Config{Machine: machine, Policy: policy, Seed: 2})
+	if err != nil {
+		panic(err)
+	}
 
 	sys.Spawn("filter-main", func(t *threadlocality.Thread) {
 		rowBytes := uint64(width * bpp)

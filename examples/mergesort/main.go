@@ -40,7 +40,10 @@ func main() {
 }
 
 func sortOnce(policy threadlocality.Policy) threadlocality.Stats {
-	sys := threadlocality.New(threadlocality.Config{Policy: policy, Seed: 5})
+	sys, err := threadlocality.New(threadlocality.Config{Policy: policy, Seed: 5})
+	if err != nil {
+		panic(err)
+	}
 	sys.Spawn("sort-main", func(t *threadlocality.Thread) {
 		n := uint64(elements * elemBytes)
 		arr := t.Alloc(n)

@@ -55,7 +55,10 @@ func run(policy threadlocality.Policy, cpus int) threadlocality.Stats {
 	if cpus > 1 {
 		machine = threadlocality.Enterprise5000(cpus)
 	}
-	sys := threadlocality.New(threadlocality.Config{Machine: machine, Policy: policy, Seed: 4})
+	sys, err := threadlocality.New(threadlocality.Config{Machine: machine, Policy: policy, Seed: 4})
+	if err != nil {
+		panic(err)
+	}
 	sys.Spawn("tasks-main", func(t *threadlocality.Thread) {
 		kids := make([]threadlocality.ThreadID, 0, tasks)
 		for i := 0; i < tasks; i++ {

@@ -34,11 +34,14 @@ func main() {
 // their own state and block, and each worker's state is partially
 // shared with its sibling (expressed with at_share-style annotations).
 func run(policy threadlocality.Policy) threadlocality.Stats {
-	sys := threadlocality.New(threadlocality.Config{
+	sys, err := threadlocality.New(threadlocality.Config{
 		Machine: threadlocality.Enterprise5000(4),
 		Policy:  policy,
 		Seed:    1,
 	})
+	if err != nil {
+		panic(err)
+	}
 
 	sys.Spawn("main", func(t *threadlocality.Thread) {
 		const workers = 64

@@ -52,12 +52,15 @@ func elim(base, v threadlocality.Stats) float64 {
 }
 
 func run(policy threadlocality.Policy, infer bool) threadlocality.Stats {
-	sys := threadlocality.New(threadlocality.Config{
+	sys, err := threadlocality.New(threadlocality.Config{
 		Machine:      threadlocality.Enterprise5000(8),
 		Policy:       policy,
 		InferSharing: infer,
 		Seed:         6,
 	})
+	if err != nil {
+		panic(err)
+	}
 	sys.Spawn("main", func(t *threadlocality.Thread) {
 		rowBytes := uint64(width * bpp)
 		in := t.Alloc(rowBytes * height)

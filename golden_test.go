@@ -8,8 +8,15 @@ package threadlocality
 // whose measured values move with them).
 
 import (
+	"context"
 	"fmt"
+	"strings"
 	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/platform/sim"
+	"repro/internal/rt"
+	"repro/internal/workloads"
 )
 
 // goldenScenario runs a fixed fork/join/sharing program whose aggregate
@@ -20,7 +27,10 @@ func goldenScenario(policy Policy, cpus int) (Stats, string) {
 	if cpus > 1 {
 		machine = Enterprise5000(cpus)
 	}
-	sys := New(Config{Machine: machine, Policy: policy, Seed: 1234})
+	sys, err := New(Config{Machine: machine, Policy: policy, Seed: 1234})
+	if err != nil {
+		return Stats{}, "error: " + err.Error()
+	}
 	sys.Spawn("main", func(t *Thread) {
 		shared := t.Alloc(128 * 1024)
 		t.Touch(shared)
@@ -91,5 +101,64 @@ func TestGoldenValues(t *testing.T) {
 		"FCFS/1": fcfsFP, "LFF/1": lffFP, "LFF/4": lff4FP, "CRT/4": crt4FP,
 	} {
 		t.Logf("golden %s: %s", k, v)
+	}
+}
+
+// --- Differential test: facade vs direct platform path ----------------
+//
+// The System facade and a hand-assembled machine/sim/rt stack must be
+// the same computation: identical counters and an identical dispatch
+// timeline. This pins the platform refactor as a pure seam — the sim
+// backend adds no behaviour over what New(Config{...}) always did.
+
+// dispatchTimeline fingerprints a run: every context switch as
+// (cycle, cpu, thread, name), plus the stats fingerprint.
+func diffFingerprint(t *testing.T, build func(t *testing.T) (*rt.Engine, *machine.Machine), spawn func(e *rt.Engine)) string {
+	t.Helper()
+	e, m := build(t)
+	var sb strings.Builder
+	e.OnDispatch = func(cpu int, tid ThreadID, name string) {
+		fmt.Fprintf(&sb, "%d/%d/%v/%s\n", m.CPU(cpu).Cycles, cpu, tid, name)
+	}
+	spawn(e)
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	refs, _, misses := m.Totals()
+	fmt.Fprintf(&sb, "refs=%d misses=%d cycles=%d instrs=%d\n",
+		refs, misses, m.MaxCycles(), m.TotalInstrs())
+	return sb.String()
+}
+
+func TestFacadeAndDirectPlatformPathsAreIdentical(t *testing.T) {
+	apps := map[string]func(e *rt.Engine){
+		"tasks": func(e *rt.Engine) {
+			workloads.SpawnTasks(e, workloads.TasksConfig{Tasks: 12, FootprintLines: 40, Periods: 4})
+		},
+		"merge": func(e *rt.Engine) { workloads.SpawnMerge(e, workloads.MergeConfig{Elements: 2000, Leaf: 125}) },
+	}
+	for name, spawn := range apps {
+		viaFacade := diffFingerprint(t, func(t *testing.T) (*rt.Engine, *machine.Machine) {
+			sys, err := New(Config{Machine: Enterprise5000(4), Policy: LFF, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sys.Engine(), sys.Machine()
+		}, spawn)
+		viaPlatform := diffFingerprint(t, func(t *testing.T) (*rt.Engine, *machine.Machine) {
+			m := machine.New(machine.Enterprise5000(4))
+			e, err := rt.New(sim.New(m), rt.Options{Policy: "LFF", Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e, m
+		}, spawn)
+		if viaFacade != viaPlatform {
+			t.Errorf("%s: facade and direct platform runs diverge\nfacade:\n%s\ndirect:\n%s",
+				name, viaFacade, viaPlatform)
+		}
+		if !strings.Contains(viaFacade, "refs=") || strings.Count(viaFacade, "\n") < 10 {
+			t.Errorf("%s: fingerprint suspiciously small:\n%s", name, viaFacade)
+		}
 	}
 }

@@ -44,9 +44,11 @@ func (c Config) String() string {
 
 func (c Config) validate() {
 	if !mem.IsPow2(uint64(c.Size)) || !mem.IsPow2(uint64(c.LineSize)) {
+		// Invariant: geometry comes from machine.Config presets/Validate.
 		panic(fmt.Sprintf("cachesim: %s size %d / line %d must be powers of two", c.Name, c.Size, c.LineSize))
 	}
 	if c.Assoc < 1 || c.Lines()%c.Assoc != 0 {
+		// Invariant: associativity comes from the same validated config.
 		panic(fmt.Sprintf("cachesim: %s bad associativity %d", c.Name, c.Assoc))
 	}
 }

@@ -57,6 +57,7 @@ type Hierarchy struct {
 func NewHierarchy(l1i, l1d, l2 Config) *Hierarchy {
 	h := &Hierarchy{L1I: New(l1i), L1D: New(l1d), L2: New(l2)}
 	if l2.LineSize < l1i.LineSize || l2.LineSize < l1d.LineSize {
+		// Invariant: geometry comes from machine.Config presets/Validate.
 		panic("cachesim: L2 line must not be smaller than L1 lines")
 	}
 	h.dmData = h.L1D.direct && h.L2.direct

@@ -41,6 +41,7 @@ type span struct {
 // granularity of the internal index, not any architectural behaviour.
 func NewTracker(lineSize, pageSize uint64) *Tracker {
 	if !mem.IsPow2(lineSize) || !mem.IsPow2(pageSize) || pageSize < lineSize {
+		// Invariant: geometry comes from a validated machine config.
 		panic("cachesim: bad tracker geometry")
 	}
 	return &Tracker{

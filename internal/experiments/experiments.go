@@ -8,9 +8,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/platform/sim"
 	"repro/internal/rt"
 	"repro/internal/workloads"
 )
@@ -115,7 +117,7 @@ func RunSched(appName, policy string, cfg SchedConfig) (PolicyRun, error) {
 		return PolicyRun{}, err
 	}
 	m := machine.New(platform(cfg.CPUs))
-	e := rt.New(m, rt.Options{
+	e, err := rt.New(sim.New(m), rt.Options{
 		Policy:             policy,
 		Seed:               cfg.Seed,
 		DisableAnnotations: cfg.DisableAnnotations,
@@ -123,8 +125,11 @@ func RunSched(appName, policy string, cfg SchedConfig) (PolicyRun, error) {
 		ThresholdLines:     cfg.Threshold,
 		SpawnStacks:        cfg.SpawnStacks,
 	})
+	if err != nil {
+		return PolicyRun{}, fmt.Errorf("experiments: %s/%s/%dcpu: %w", appName, policy, cfg.CPUs, err)
+	}
 	app.Spawn(e, cfg.Scale)
-	if err := e.Run(); err != nil {
+	if err := e.Run(context.Background()); err != nil {
 		return PolicyRun{}, fmt.Errorf("experiments: %s/%s/%dcpu: %w", appName, policy, cfg.CPUs, err)
 	}
 	refs, _, misses := m.Totals()

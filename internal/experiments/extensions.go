@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/model"
 	"repro/internal/parallel"
+	"repro/internal/platform/sim"
 	"repro/internal/report"
 	"repro/internal/rt"
 	"repro/internal/stats"
@@ -413,9 +415,12 @@ func CoarseStudy(cfg SchedConfig) (*CoarseResult, error) {
 		var cycles [2]uint64
 		for j, policy := range []string{"FCFS", "LFF"} {
 			m := machine.New(platform(cfg.CPUs))
-			e := rt.New(m, rt.Options{Policy: policy, Seed: cfg.Seed})
+			e, err := rt.New(sim.New(m), rt.Options{Policy: policy, Seed: cfg.Seed})
+			if err != nil {
+				return CoarseRow{}, err
+			}
 			workloads.SpawnCoarse(e, app, cfg.CPUs, 6, int(100_000*cfg.Scale)+10_000)
-			if err := e.Run(); err != nil {
+			if err := e.Run(context.Background()); err != nil {
 				return CoarseRow{}, err
 			}
 			_, _, misses[j] = m.Totals()

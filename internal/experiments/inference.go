@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/platform/sim"
 	"repro/internal/report"
 	"repro/internal/rt"
 	"repro/internal/stats"
@@ -127,21 +129,27 @@ func ProfiledStudy(appName string, cfg SchedConfig) (*ProfiledResult, error) {
 	}
 	// Trial run: profile with the monitor, keeping history.
 	profMach := machine.New(platform(cfg.CPUs))
-	prof := rt.New(profMach, rt.Options{
+	prof, err := rt.New(sim.New(profMach), rt.Options{
 		Policy: "LFF", Seed: cfg.Seed,
 		DisableAnnotations: true, InferSharing: true, KeepInferenceHistory: true,
 	})
+	if err != nil {
+		return nil, err
+	}
 	app.Spawn(prof, cfg.Scale)
-	if err := prof.Run(); err != nil {
+	if err := prof.Run(context.Background()); err != nil {
 		return nil, err
 	}
 
 	// Production run: the harvested edges become static annotations
 	// (thread IDs are stable across runs by determinism).
 	runMach := machine.New(platform(cfg.CPUs))
-	run := rt.New(runMach, rt.Options{
+	run, err := rt.New(sim.New(runMach), rt.Options{
 		Policy: "LFF", Seed: cfg.Seed, DisableAnnotations: true,
 	})
+	if err != nil {
+		return nil, err
+	}
 	edges := 0
 	monitor := prof.Monitor()
 	for tid := mem.ThreadID(0); tid < 1<<16; tid++ {
@@ -154,7 +162,7 @@ func ProfiledStudy(appName string, cfg SchedConfig) (*ProfiledResult, error) {
 		}
 	}
 	app.Spawn(run, cfg.Scale)
-	if err := run.Run(); err != nil {
+	if err := run.Run(context.Background()); err != nil {
 		return nil, err
 	}
 	refs, _, misses := runMach.Totals()

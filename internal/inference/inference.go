@@ -79,6 +79,7 @@ type Monitor struct {
 // NewMonitor builds a monitor for the given page size (a power of two).
 func NewMonitor(pageSize uint64) *Monitor {
 	if !mem.IsPow2(pageSize) {
+		// Invariant: geometry comes from a validated machine config.
 		panic("inference: page size must be a power of two")
 	}
 	return &Monitor{

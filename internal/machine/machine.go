@@ -99,18 +99,31 @@ func Enterprise5000(cpus int) Config {
 	return c
 }
 
-func (c Config) validate() {
+// Validate reports whether the configuration describes a buildable
+// machine. User-facing layers (the public Config, cmd/atsim) call this
+// before New so a bad geometry surfaces as an error, not a panic.
+func (c Config) Validate() error {
 	if c.CPUs < 1 || c.CPUs > 64 {
-		panic(fmt.Sprintf("machine: %d CPUs outside [1,64] (directory uses a 64-bit sharer mask)", c.CPUs))
+		return fmt.Errorf("machine: %d CPUs outside [1,64] (directory uses a 64-bit sharer mask)", c.CPUs)
 	}
 	if c.MissCycles <= 0 || c.MissCyclesRemote <= 0 {
-		panic("machine: miss penalties must be positive")
+		return fmt.Errorf("machine: miss penalties must be positive")
 	}
 	if !mem.IsPow2(c.PageSize) || c.PageSize < uint64(c.L2.LineSize) {
-		panic("machine: page size must be a power of two not smaller than the L2 line")
+		return fmt.Errorf("machine: page size must be a power of two not smaller than the L2 line")
 	}
 	if c.TLBEntries != 0 && !mem.IsPow2(uint64(c.TLBEntries)) {
-		panic("machine: TLB entries must be a power of two")
+		return fmt.Errorf("machine: TLB entries must be a power of two")
+	}
+	return nil
+}
+
+func (c Config) validate() {
+	if err := c.Validate(); err != nil {
+		// Invariant at this layer: callers that accept user input
+		// (threadlocality.New, cmd/atsim) run Validate first; internal
+		// experiment code constructs configs from vetted presets.
+		panic(err)
 	}
 }
 
@@ -325,6 +338,8 @@ func (m *Machine) Alloc(size uint64, align uint64) mem.Range {
 		align = m.l2LineSize
 	}
 	if !mem.IsPow2(align) {
+		// Invariant: the engine validates Alloc alignment (user-reachable)
+		// before forwarding; direct callers are internal code.
 		panic(fmt.Sprintf("machine: Alloc alignment %d not a power of two", align))
 	}
 	base := (uint64(m.allocNext) + align - 1) &^ (align - 1)
@@ -749,6 +764,7 @@ func (m *Machine) RegisterState(tid mem.ThreadID, ranges ...mem.Range) {
 func (m *Machine) Footprint(cpuID int, tid mem.ThreadID) int64 {
 	cpu := m.cpus[cpuID]
 	if cpu.Tracker == nil {
+		// Invariant: experiment code enables TrackFootprints before asking.
 		panic("machine: Footprint without TrackFootprints")
 	}
 	return cpu.Tracker.Footprint(tid)

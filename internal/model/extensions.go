@@ -41,6 +41,8 @@ type AssocModel struct {
 // NewAssocModel validates and builds the model.
 func NewAssocModel(sets, ways int) AssocModel {
 	if sets < 1 || ways < 1 {
+		// Invariant panics in the extensions: driven by experiment code
+		// with fixed parameters, not user input.
 		panic(fmt.Sprintf("model: bad associative geometry %dx%d", sets, ways))
 	}
 	a := AssocModel{Sets: sets, Ways: ways}

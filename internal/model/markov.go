@@ -30,6 +30,8 @@ type Markov struct {
 // NewMarkov validates and builds a chain.
 func NewMarkov(n int, q float64) Markov {
 	if n < 1 {
+		// Invariant panics throughout the chain: the Markov cross-check
+		// is driven by experiment code with fixed parameters.
 		panic(fmt.Sprintf("model: Markov chain over %d lines", n))
 	}
 	if q < 0 || q > 1 {

@@ -47,6 +47,8 @@ type Model struct {
 // New builds a model for a cache of n lines (n >= 2).
 func New(n int) *Model {
 	if n < 2 {
+		// Invariant: rt.New and replay validate cache geometry before
+		// building a model.
 		panic(fmt.Sprintf("model: cache of %d lines", n))
 	}
 	m := &Model{

@@ -143,14 +143,13 @@ func (CRT) ReloadRatio(m *Model, prio float64, mt uint64) float64 {
 }
 
 // SchemeByName returns the scheme for a policy name, or nil for "FCFS"
-// and other names that use no priority algebra.
+// and unknown names. Prefer SchemeFor, which distinguishes the FCFS
+// baseline from a typo; this survives for callers that have already
+// validated the name.
 func SchemeByName(name string) Scheme {
-	switch name {
-	case "LFF", "lff":
-		return LFF{}
-	case "CRT", "crt":
-		return CRT{}
-	default:
+	s, err := SchemeFor(name)
+	if err != nil {
 		return nil
 	}
+	return s
 }

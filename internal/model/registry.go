@@ -1,0 +1,81 @@
+package model
+
+// The policy registry. Policies used to be bare strings dispatched in a
+// switch; the registry makes the set extensible (a new Scheme plugs in
+// with RegisterScheme and is immediately usable from rt.Options.Policy,
+// the public Config, and cmd/atsim) and gives user-facing code one
+// place to validate policy names and enumerate what exists.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// fcfsName is the reserved baseline policy: no priority algebra, the
+// scheduler degenerates to its global FIFO queue.
+const fcfsName = "FCFS"
+
+// schemes maps canonical (upper-case) policy names to their priority
+// algebra. Lookup is case-insensitive. The registry is written only
+// from init functions and RegisterScheme; runs only read it.
+var schemes = map[string]Scheme{}
+
+func init() {
+	// The paper's two locality policies are always present.
+	if err := RegisterScheme(LFF{}); err != nil {
+		panic(err) // invariant: the built-in registrations cannot collide
+	}
+	if err := RegisterScheme(CRT{}); err != nil {
+		panic(err) // invariant: the built-in registrations cannot collide
+	}
+}
+
+// RegisterScheme adds a named priority scheme. The name comes from
+// s.Name(); it must be non-empty, must not be the reserved FCFS
+// baseline, and must not already be registered (case-insensitively).
+// Register from init functions or before building engines — the
+// registry is not synchronized against concurrent runs.
+func RegisterScheme(s Scheme) error {
+	if s == nil {
+		return fmt.Errorf("model: RegisterScheme(nil)")
+	}
+	name := strings.ToUpper(strings.TrimSpace(s.Name()))
+	if name == "" {
+		return fmt.Errorf("model: scheme has an empty name")
+	}
+	if name == fcfsName {
+		return fmt.Errorf("model: %q is the reserved baseline policy", fcfsName)
+	}
+	if _, dup := schemes[name]; dup {
+		return fmt.Errorf("model: scheme %q already registered", name)
+	}
+	schemes[name] = s
+	return nil
+}
+
+// SchemeFor resolves a policy name. The FCFS baseline (any case)
+// resolves to a nil Scheme with no error — the scheduler treats nil as
+// "no priority algebra". Unknown names return an error naming the
+// registered policies.
+func SchemeFor(name string) (Scheme, error) {
+	canon := strings.ToUpper(strings.TrimSpace(name))
+	if canon == fcfsName {
+		return nil, nil
+	}
+	if s, ok := schemes[canon]; ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("model: unknown policy %q (have %s)", name, strings.Join(Schemes(), ", "))
+}
+
+// Schemes returns every registered policy name, FCFS first, the rest
+// sorted.
+func Schemes() []string {
+	names := make([]string, 0, len(schemes)+1)
+	for n := range schemes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return append([]string{fcfsName}, names...)
+}

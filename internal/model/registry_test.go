@@ -1,0 +1,94 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeScheme is a registrable no-op priority algebra for registry tests.
+type fakeScheme struct{ name string }
+
+func (f fakeScheme) Name() string { return f.name }
+func (f fakeScheme) Blocking(m *Model, s float64, n, mt uint64) (float64, float64) {
+	return 0, 0
+}
+func (f fakeScheme) Dependent(m *Model, s, slast, q float64, n, mt uint64) (float64, float64) {
+	return 0, 0
+}
+func (f fakeScheme) Initial(m *Model, s, slast float64, mt uint64) float64 { return 0 }
+func (f fakeScheme) Footprint(m *Model, prio, slast float64, mt uint64) float64 {
+	return 0
+}
+
+func TestSchemeForBuiltins(t *testing.T) {
+	for _, name := range []string{"LFF", "lff", " CRT ", "crt"} {
+		s, err := SchemeFor(name)
+		if err != nil || s == nil {
+			t.Errorf("SchemeFor(%q) = %v, %v", name, s, err)
+		}
+	}
+	// FCFS resolves to no scheme, no error — the baseline.
+	for _, name := range []string{"FCFS", "fcfs"} {
+		s, err := SchemeFor(name)
+		if err != nil || s != nil {
+			t.Errorf("SchemeFor(%q) = %v, %v; want nil, nil", name, s, err)
+		}
+	}
+}
+
+func TestSchemeForUnknownListsPolicies(t *testing.T) {
+	_, err := SchemeFor("BOGUS")
+	if err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	for _, want := range []string{"BOGUS", "FCFS", "LFF", "CRT"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %s", err, want)
+		}
+	}
+}
+
+func TestRegisterSchemeRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Scheme
+		want string
+	}{
+		{"nil", nil, "nil"},
+		{"empty name", fakeScheme{name: "  "}, "empty"},
+		{"reserved baseline", fakeScheme{name: "fcfs"}, "reserved"},
+		{"duplicate builtin", fakeScheme{name: "lff"}, "already registered"},
+	}
+	for _, c := range cases {
+		if err := RegisterScheme(c.s); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestRegisterSchemeExtends(t *testing.T) {
+	s := fakeScheme{name: "regtest-xyz"}
+	if err := RegisterScheme(s); err != nil {
+		t.Fatalf("RegisterScheme: %v", err)
+	}
+	defer delete(schemes, "REGTEST-XYZ")
+	got, err := SchemeFor("Regtest-Xyz")
+	if err != nil || got == nil {
+		t.Fatalf("SchemeFor after register = %v, %v", got, err)
+	}
+	if err := RegisterScheme(fakeScheme{name: "REGTEST-XYZ"}); err == nil {
+		t.Error("case-insensitive duplicate accepted")
+	}
+	found := false
+	for _, n := range Schemes() {
+		if n == "REGTEST-XYZ" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Schemes() = %v missing the registered name", Schemes())
+	}
+	if Schemes()[0] != "FCFS" {
+		t.Errorf("Schemes()[0] = %q, want FCFS first", Schemes()[0])
+	}
+}

@@ -103,6 +103,7 @@ type Snapshot struct {
 // recoverable condition.
 func (u *Unit) Read() Snapshot {
 	if !u.pcr.UserAccess {
+		// Invariant: models a hardware trap, not a recoverable error.
 		panic("perfctr: user-level PIC read with PCR.UserAccess clear")
 	}
 	return Snapshot{Pic0: u.pic0, Pic1: u.pic1}

@@ -106,3 +106,39 @@ func TestEventStrings(t *testing.T) {
 		t.Error("unknown event string wrong")
 	}
 }
+
+func TestMissesSinceExactWrapBoundary(t *testing.T) {
+	// The interval straddles exactly 2^32-1 -> 0: one ref is counted at
+	// the all-ones value, the next increment wraps PIC0 to zero.
+	prev := Snapshot{Pic0: 1<<32 - 1, Pic1: 0}
+	cur := Snapshot{Pic0: 0, Pic1: 0} // exactly one ref, a miss
+	if got := MissesSince(cur, prev); got != 1 {
+		t.Errorf("misses across the exact wrap = %d, want 1", got)
+	}
+	// Zero-length interval at the boundary value itself.
+	if got := MissesSince(prev, prev); got != 0 {
+		t.Errorf("empty interval at 2^32-1 = %d, want 0", got)
+	}
+}
+
+func TestMissesSinceBothPICsWrap(t *testing.T) {
+	// Refs and hits both wrap within one interval: 100 refs of which 60
+	// hit, with both counters starting near the top of their range.
+	prev := Snapshot{Pic0: 1<<32 - 40, Pic1: 1<<32 - 20}
+	cur := Snapshot{Pic0: prev.Pic0 + 100, Pic1: prev.Pic1 + 60} // wraps
+	if got := MissesSince(cur, prev); got != 40 {
+		t.Errorf("misses with both PICs wrapping = %d, want 40", got)
+	}
+}
+
+func TestMissesSinceMultiWrapAliases(t *testing.T) {
+	// Modular arithmetic cannot distinguish k from k + 2^32: an interval
+	// of 2^32+7 refs reads as 7. This documents the contract — intervals
+	// must stay under 2^32 events, which every scheduling interval does.
+	u := NewUnit(DefaultPCR())
+	base := u.Read()
+	u.Record(EventECacheRefs, 1<<32+7)
+	if got := MissesSince(u.Read(), base); got != 7 {
+		t.Errorf("aliased delta = %d, want 7 (mod 2^32)", got)
+	}
+}

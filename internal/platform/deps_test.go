@@ -1,0 +1,62 @@
+package platform
+
+// The point of the platform seam is that the locality runtime does not
+// know what substrate it runs on. This test pins that property in the
+// import graph itself: the non-test sources of internal/rt and
+// internal/sched must not import the simulator (internal/machine) or
+// the counter model (internal/perfctr) — only platform.*. Test files
+// are exempt: they may construct a sim backend to drive the engine.
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var forbidden = []string{
+	"repro/internal/machine",
+	"repro/internal/perfctr",
+}
+
+func TestRuntimeIsSubstrateIndependent(t *testing.T) {
+	for _, pkg := range []string{"rt", "sched"} {
+		dir := filepath.Join("..", pkg)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("read %s: %v", dir, err)
+		}
+		checked := 0
+		for _, ent := range entries {
+			name := ent.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				t.Fatalf("parse %s: %v", path, err)
+			}
+			checked++
+			for _, imp := range f.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					t.Fatalf("%s: bad import literal %s", path, imp.Path.Value)
+				}
+				for _, bad := range forbidden {
+					if p == bad {
+						t.Errorf("%s imports %s: internal/%s must consume only platform.*",
+							path, p, pkg)
+					}
+				}
+			}
+		}
+		if checked == 0 {
+			t.Fatalf("no non-test sources found in %s — wrong directory?", dir)
+		}
+	}
+}

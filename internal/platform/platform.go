@@ -1,0 +1,144 @@
+// Package platform is the seam between the locality runtime and
+// whatever substrate it runs on. The paper's central observation is
+// that the footprint model and the LFF/CRT schedulers need only two
+// inputs — per-CPU external-cache miss counts across a scheduling
+// interval and the state-sharing graph — so the runtime (internal/rt),
+// the scheduling framework (internal/sched) and the model
+// (internal/model) are written against the small interfaces here and
+// never against a concrete machine.
+//
+// Two backends implement Platform today:
+//
+//   - platform/sim adapts the deterministic simulated SMP of
+//     internal/machine + internal/perfctr (the paper's evaluation
+//     substrate);
+//   - platform/replay replays a recorded dispatch/miss trace
+//     (internal/trace.Recording), so the model and policies can be
+//     evaluated against captured runs with no simulator in the loop.
+//
+// A future hardware backend (perf_event counters on a real SMP) slots
+// in the same way: implement CPU's clock and counter reads and the
+// memory hooks, and the whole scheduling stack comes along.
+package platform
+
+import "repro/internal/mem"
+
+// CounterSnapshot is a point-in-time reading of the two 32-bit
+// performance instrumentation counters the runtime samples at every
+// context switch: external-cache references and external-cache hits.
+// The counters wrap silently at 2^32, exactly as the UltraSPARC PICs
+// do; interval arithmetic must therefore be modular (see MissesSince).
+type CounterSnapshot struct {
+	// Refs is the wrapped E-cache reference count (PIC0).
+	Refs uint32
+	// Hits is the wrapped E-cache hit count (PIC1).
+	Hits uint32
+}
+
+// MissesSince derives the number of E-cache misses between prev and cur
+// readings of the same CPU's counters. The subtraction is modular
+// 32-bit arithmetic, so it is correct across counter wraparound for any
+// interval shorter than 2^32 events — which every scheduling interval
+// is. Intervals of 2^32 events or more alias (the counters cannot
+// distinguish n from n + 2^32); backends with wider counters should
+// expose them through CounterSource.Misses instead.
+func MissesSince(cur, prev CounterSnapshot) uint64 {
+	refs := uint64(cur.Refs - prev.Refs)
+	hits := uint64(cur.Hits - prev.Hits)
+	if hits > refs {
+		// Possible only if the counters were reprogrammed or reset
+		// mid-interval; clamp rather than underflow.
+		return 0
+	}
+	return refs - hits
+}
+
+// Clock is one processor's cycle clock.
+type Clock interface {
+	// Cycles returns the processor's current cycle count.
+	Cycles() uint64
+	// SetCycles moves the clock forward to at least v. The runtime uses
+	// it to jump idle processors to the present when work appears; a
+	// backend may ignore attempts to move the clock backward.
+	SetCycles(v uint64)
+}
+
+// CounterSource is one processor's miss-count instrumentation.
+type CounterSource interface {
+	// ReadCounters samples the wrapped 32-bit counter pair (the
+	// user-level PIC read the paper gets "for free").
+	ReadCounters() CounterSnapshot
+	// Misses returns the processor's cumulative E-cache miss count
+	// m(t) on a non-wrapping 64-bit scale. It must be monotonic; the
+	// scheduler's footprint decay is driven from it.
+	Misses() uint64
+}
+
+// CPU is one processor as the runtime sees it: a clock and a counter
+// source.
+type CPU interface {
+	Clock
+	CounterSource
+}
+
+// Alloc reserves simulated (or recorded) address space.
+type Alloc interface {
+	// Alloc reserves size bytes aligned to align (a power of two;
+	// 0 means cache-line alignment) and returns the range. Allocations
+	// are eternal, mirroring the paper's measurement windows.
+	Alloc(size, align uint64) mem.Range
+}
+
+// MissCounter reports a processor's cumulative 64-bit E-cache miss
+// count. It is the single closure internal/sched consumes; wire it with
+// MissCounterOf.
+type MissCounter func(cpu int) uint64
+
+// Platform is everything the locality runtime needs from a substrate:
+// processors (clocks + counters), the cache geometry the model is built
+// for, an allocator, and the memory-activity entry points threads drive.
+type Platform interface {
+	Alloc
+
+	// NCPU returns the processor count.
+	NCPU() int
+	// CPU returns processor i. Implementations must return the same
+	// handle for the same i every call (the runtime caches them).
+	CPU(i int) CPU
+
+	// CacheLines is the per-CPU external cache size in lines — the N of
+	// the footprint model.
+	CacheLines() int
+	// LineBytes is the external cache line size in bytes.
+	LineBytes() uint64
+	// PageBytes is the virtual-memory page size (the granularity of the
+	// sharing-inference monitor).
+	PageBytes() uint64
+
+	// Apply performs a batch of data references by thread tid on the
+	// given CPU and returns the number of E-cache misses it took.
+	Apply(cpu int, tid mem.ThreadID, batch mem.Batch) uint64
+	// Advance charges instrs instructions of pure compute to a CPU.
+	Advance(cpu int, instrs uint64)
+	// AdvanceCycles charges cycles (no instructions) to a CPU —
+	// scheduler bookkeeping, context-switch latency.
+	AdvanceCycles(cpu int, cycles uint64)
+	// TouchCode simulates the instruction-fetch side of dispatching
+	// thread tid: its code region is reloaded through the cache.
+	TouchCode(cpu int, tid mem.ThreadID, code mem.Range)
+	// SetMissHook installs an observer of every data-cache miss with
+	// the accessing thread and virtual address (the sharing-inference
+	// feed). fn must be O(1); nil clears the hook. Backends without
+	// per-miss visibility may ignore it.
+	SetMissHook(fn func(tid mem.ThreadID, va mem.Addr))
+}
+
+// MissCounterOf adapts a Platform's per-CPU 64-bit miss counters to the
+// MissCounter closure internal/sched consumes.
+func MissCounterOf(p Platform) MissCounter {
+	cpus := make([]CPU, p.NCPU())
+	for i := range cpus {
+		cpus[i] = p.CPU(i)
+	}
+	return func(cpu int) uint64 { return cpus[cpu].Misses() }
+}

@@ -1,0 +1,42 @@
+package platform
+
+import "testing"
+
+func TestMissesSinceBasic(t *testing.T) {
+	prev := CounterSnapshot{Refs: 1000, Hits: 900}
+	cur := CounterSnapshot{Refs: 1500, Hits: 1300}
+	if got := MissesSince(cur, prev); got != 100 {
+		t.Errorf("MissesSince = %d, want 100", got)
+	}
+}
+
+func TestMissesSinceExactWrapBoundary(t *testing.T) {
+	// The refs counter sits at 2^32-1 and the next event wraps it to 0:
+	// the interval still counts exactly one miss.
+	prev := CounterSnapshot{Refs: 1<<32 - 1, Hits: 0}
+	cur := CounterSnapshot{Refs: 0, Hits: 0}
+	if got := MissesSince(cur, prev); got != 1 {
+		t.Errorf("misses across exact wrap = %d, want 1", got)
+	}
+	if got := MissesSince(prev, prev); got != 0 {
+		t.Errorf("empty interval at boundary = %d, want 0", got)
+	}
+}
+
+func TestMissesSinceBothWrap(t *testing.T) {
+	prev := CounterSnapshot{Refs: 1<<32 - 10, Hits: 1<<32 - 3}
+	cur := CounterSnapshot{Refs: prev.Refs + 50, Hits: prev.Hits + 20}
+	if got := MissesSince(cur, prev); got != 30 {
+		t.Errorf("misses with both counters wrapping = %d, want 30", got)
+	}
+}
+
+func TestMissesSinceClampsHitsOverRefs(t *testing.T) {
+	// A mid-interval PCR reprogram can make hits exceed refs; the delta
+	// must clamp to zero, never underflow.
+	prev := CounterSnapshot{}
+	cur := CounterSnapshot{Refs: 5, Hits: 9}
+	if got := MissesSince(cur, prev); got != 0 {
+		t.Errorf("clamped misses = %d, want 0", got)
+	}
+}

@@ -1,0 +1,210 @@
+// Package replay is the second platform backend: instead of simulating
+// memory, it replays a recorded run (internal/trace) — the dispatch
+// order, per-interval miss counts and sharing-graph edits captured from
+// a live run — through the real scheduling stack. Clocks and counters
+// advance exactly as the recording says they did; memory operations are
+// no-ops (the misses already happened when the trace was captured).
+//
+// Replay serves two purposes. It demonstrates that the locality runtime
+// is substrate-independent — internal/rt and internal/sched consume
+// only platform.* and reproduce their footprint arithmetic bit-for-bit
+// from a trace with no simulator in the loop. And it is the shape a
+// hardware backend takes: a real machine records the same event stream
+// from its PICs, and the same Evaluate recovers the model's per-interval
+// footprint predictions offline.
+package replay
+
+import (
+	"fmt"
+
+	"repro/internal/annot"
+	"repro/internal/mem"
+	"repro/internal/model"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Platform is a platform.Platform whose per-CPU clocks and counters are
+// driven by a recording's interval stream rather than by simulation.
+// Memory operations (Apply, Advance, TouchCode) are no-ops: their
+// effects are already baked into the recorded counter values.
+type Platform struct {
+	rec  *trace.Recording
+	cpus []*cpu
+	brk  mem.Addr // bump allocator for Alloc
+}
+
+// New builds a replay platform over a validated recording.
+func New(rec *trace.Recording) (*Platform, error) {
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Platform{rec: rec, brk: 0x1000}
+	for i := 0; i < rec.NCPU; i++ {
+		p.cpus = append(p.cpus, &cpu{})
+	}
+	return p, nil
+}
+
+// Recording returns the recording the platform replays.
+func (p *Platform) Recording() *trace.Recording { return p.rec }
+
+// NCPU implements platform.Platform.
+func (p *Platform) NCPU() int { return p.rec.NCPU }
+
+// CPU implements platform.Platform.
+func (p *Platform) CPU(i int) platform.CPU { return p.cpus[i] }
+
+// CacheLines implements platform.Platform.
+func (p *Platform) CacheLines() int { return p.rec.CacheLines }
+
+// LineBytes implements platform.Platform.
+func (p *Platform) LineBytes() uint64 { return p.rec.LineBytes }
+
+// PageBytes implements platform.Platform.
+func (p *Platform) PageBytes() uint64 { return p.rec.PageBytes }
+
+// Alloc implements platform.Alloc with a bump allocator: replayed runs
+// have no memory system, but callers still get distinct ranges.
+func (p *Platform) Alloc(size, align uint64) mem.Range {
+	if align == 0 {
+		align = 64
+	}
+	base := (uint64(p.brk) + align - 1) &^ (align - 1)
+	p.brk = mem.Addr(base + size)
+	return mem.Range{Base: mem.Addr(base), Len: size}
+}
+
+// Apply implements platform.Platform as a no-op: the recorded counters
+// already include every access of the original run.
+func (p *Platform) Apply(int, mem.ThreadID, mem.Batch) uint64 { return 0 }
+
+// Advance implements platform.Platform as a no-op.
+func (p *Platform) Advance(int, uint64) {}
+
+// AdvanceCycles implements platform.Platform as a no-op: replay time
+// comes from the recorded cycle windows, not from charged work.
+func (p *Platform) AdvanceCycles(int, uint64) {}
+
+// TouchCode implements platform.Platform as a no-op.
+func (p *Platform) TouchCode(int, mem.ThreadID, mem.Range) {}
+
+// SetMissHook implements platform.Platform. Replay never generates
+// misses, so the hook is accepted and never called.
+func (p *Platform) SetMissHook(func(tid mem.ThreadID, va mem.Addr)) {}
+
+// seek moves cpu i's clock and counters to one end of an interval.
+func (p *Platform) seek(i int, cycles, misses uint64, snap platform.CounterSnapshot) {
+	c := p.cpus[i]
+	c.cycles, c.misses, c.snap = cycles, misses, snap
+}
+
+// cpu is one replayed processor: a cursor into the recording.
+type cpu struct {
+	cycles uint64
+	misses uint64
+	snap   platform.CounterSnapshot
+}
+
+// Cycles implements platform.Clock.
+func (c *cpu) Cycles() uint64 { return c.cycles }
+
+// SetCycles implements platform.Clock (forward only, like hardware).
+func (c *cpu) SetCycles(v uint64) {
+	if v > c.cycles {
+		c.cycles = v
+	}
+}
+
+// ReadCounters implements platform.CounterSource.
+func (c *cpu) ReadCounters() platform.CounterSnapshot { return c.snap }
+
+// Misses implements platform.CounterSource.
+func (c *cpu) Misses() uint64 { return c.misses }
+
+// IntervalPrediction is the model's state for the blocking thread after
+// one replayed context switch: the expected footprint S and inflated
+// priority the scheduler computed from the recorded miss counts.
+type IntervalPrediction struct {
+	Index  int // position among the recording's intervals
+	CPU    int
+	Thread mem.ThreadID
+	Misses uint64 // the interval's E-cache miss count n
+	// S and Prio are zero under FCFS (no footprint model runs).
+	S    float64
+	Prio float64
+}
+
+// Result is a replayed run: the per-interval model predictions and the
+// floating-point operation count the priority maintenance cost (the
+// paper's Table 3 accounting), recovered without a simulator.
+type Result struct {
+	Policy    string
+	Intervals []IntervalPrediction
+	Flops     uint64
+}
+
+// Evaluate replays a recording through the real scheduler and model:
+// every spawn, sharing-graph edit and context switch is re-issued with
+// the recorded miss counts, so the footprint entries evolve exactly as
+// they did in the original run. The returned predictions are therefore
+// bit-identical to the live run's — the round-trip test pins this.
+func Evaluate(rec *trace.Recording) (*Result, error) {
+	p, err := New(rec)
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := model.SchemeFor(rec.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	var mdl *model.Model
+	if scheme != nil {
+		mdl = model.New(rec.CacheLines)
+	}
+	graph := annot.New()
+	s := sched.New(mdl, scheme, graph, rec.NCPU, rec.ThresholdLines, platform.MissCounterOf(p))
+
+	res := &Result{Policy: rec.Policy}
+	for i, ev := range rec.Events {
+		switch ev.Kind {
+		case trace.EvSpawn:
+			s.Register(ev.Thread)
+			s.MakeRunnable(ev.Thread)
+		case trace.EvShare:
+			graph.Share(ev.From, ev.To, ev.Q)
+		case trace.EvExit:
+			graph.RemoveThread(ev.Thread)
+			s.Unregister(ev.Thread)
+		case trace.EvInterval:
+			iv := ev.Interval
+			if !s.Registered(iv.Thread) {
+				return nil, fmt.Errorf("replay: event %d: interval for unknown thread %v", i, iv.Thread)
+			}
+			// Dispatch end: the scheduler reads the decay reference m(t)
+			// the live run saw at NoteDispatch.
+			p.seek(iv.CPU, iv.StartCycles, iv.DispatchMisses,
+				platform.CounterSnapshot{Refs: iv.StartRefs, Hits: iv.StartHits})
+			s.MakeRunnable(iv.Thread) // wake events are not recorded; idempotent
+			s.NoteDispatch(iv.Thread, iv.CPU)
+			// Block end: m(t) moves to the recorded block-time count and
+			// the blocking update runs with the interval's miss count n.
+			p.seek(iv.CPU, iv.EndCycles, iv.BlockMisses,
+				platform.CounterSnapshot{Refs: iv.EndRefs, Hits: iv.EndHits})
+			n := iv.Misses()
+			s.OnBlock(iv.Thread, iv.CPU, n)
+			pred := IntervalPrediction{
+				Index: len(res.Intervals), CPU: iv.CPU, Thread: iv.Thread, Misses: n,
+			}
+			if e := s.EntryOf(iv.Thread, iv.CPU); e != nil {
+				pred.S, pred.Prio = e.S, e.Prio
+			}
+			res.Intervals = append(res.Intervals, pred)
+		}
+	}
+	if mdl != nil {
+		res.Flops = mdl.FLOPs()
+	}
+	return res, nil
+}

@@ -1,0 +1,149 @@
+package replay
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/platform/sim"
+	"repro/internal/rt"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// liveCapture is one interval's model state observed during the live
+// simulated run, at the same point replay captures it (right after the
+// blocking update).
+type liveCapture struct {
+	s, prio float64
+	misses  uint64
+}
+
+// recordLive runs an app on the simulator with a Recorder attached and
+// captures the scheduler's per-interval S/Prio as the run happens.
+func recordLive(t *testing.T, app workloads.SchedApp, policy string, cpus int, scale float64) (*trace.Recording, []liveCapture) {
+	t.Helper()
+	cfg := machine.UltraSPARC1()
+	if cpus > 1 {
+		cfg = machine.Enterprise5000(cpus)
+	}
+	p := sim.New(machine.New(cfg))
+	e, err := rt.New(p, rt.Options{Policy: policy, Seed: 11})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rec := trace.NewRecorder(policy, p.NCPU(), p.CacheLines(), p.LineBytes(), p.PageBytes(), 16)
+	var live []liveCapture
+	e.OnEvent = func(ev trace.Event) {
+		rec.Observe(ev)
+		if ev.Kind != trace.EvInterval {
+			return
+		}
+		// The event fires after the scheduler's blocking update, so the
+		// entry holds exactly what replay will recompute.
+		c := liveCapture{misses: ev.Interval.Misses()}
+		if en := e.Scheduler().EntryOf(ev.Interval.Thread, ev.Interval.CPU); en != nil {
+			c.s, c.prio = en.S, en.Prio
+		}
+		live = append(live, c)
+	}
+	app.Spawn(e, scale)
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return rec.Recording(), live
+}
+
+// TestReplayRoundTrip is the acceptance test for the replay backend:
+// record tasks and merge under LFF and CRT, push the recording through
+// Save/Load, replay it with no simulator in the loop, and require the
+// model's per-interval footprint S and priority to match the live run
+// bit for bit.
+func TestReplayRoundTrip(t *testing.T) {
+	apps := map[string]workloads.SchedApp{}
+	for _, a := range workloads.SchedApps() {
+		apps[a.Name] = a
+	}
+	cases := []struct {
+		app    string
+		policy string
+		cpus   int
+	}{
+		{"tasks", "LFF", 2},
+		{"tasks", "CRT", 4},
+		{"merge", "LFF", 2},
+	}
+	for _, c := range cases {
+		rec, live := recordLive(t, apps[c.app], c.policy, c.cpus, 0.05)
+		if len(live) == 0 {
+			t.Fatalf("%s/%s: no intervals recorded", c.app, c.policy)
+		}
+
+		// Serialization round trip, as -record / -replay would do it.
+		var buf bytes.Buffer
+		if err := rec.Save(&buf); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+		loaded, err := trace.Load(&buf)
+		if err != nil {
+			t.Fatalf("Load: %v", err)
+		}
+
+		res, err := Evaluate(loaded)
+		if err != nil {
+			t.Fatalf("%s/%s: Evaluate: %v", c.app, c.policy, err)
+		}
+		if len(res.Intervals) != len(live) {
+			t.Fatalf("%s/%s: replay produced %d intervals, live run %d",
+				c.app, c.policy, len(res.Intervals), len(live))
+		}
+		for i, pred := range res.Intervals {
+			want := live[i]
+			if pred.Misses != want.misses {
+				t.Fatalf("%s/%s interval %d: misses %d != live %d",
+					c.app, c.policy, i, pred.Misses, want.misses)
+			}
+			// Bit-identical, not approximately equal: the replay drives
+			// the same scheduler code with the same inputs.
+			if math.Float64bits(pred.S) != math.Float64bits(want.s) ||
+				math.Float64bits(pred.Prio) != math.Float64bits(want.prio) {
+				t.Fatalf("%s/%s interval %d: replay (S=%v prio=%v) != live (S=%v prio=%v)",
+					c.app, c.policy, i, pred.S, pred.Prio, want.s, want.prio)
+			}
+		}
+		if res.Flops == 0 {
+			t.Errorf("%s/%s: replay counted no model FLOPs", c.app, c.policy)
+		}
+	}
+}
+
+// TestReplayFCFSHasNoModel: under FCFS the replay still walks the
+// stream but computes no footprints.
+func TestReplayFCFSHasNoModel(t *testing.T) {
+	apps := map[string]workloads.SchedApp{}
+	for _, a := range workloads.SchedApps() {
+		apps[a.Name] = a
+	}
+	rec, live := recordLive(t, apps["tasks"], "FCFS", 2, 0.05)
+	res, err := Evaluate(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Intervals) != len(live) {
+		t.Fatalf("intervals %d != %d", len(res.Intervals), len(live))
+	}
+	if res.Flops != 0 {
+		t.Errorf("FCFS replay counted %d FLOPs", res.Flops)
+	}
+}
+
+// TestEvaluateRejectsUnknownPolicy: a recording naming an unregistered
+// scheme errors instead of silently running FCFS.
+func TestEvaluateRejectsUnknownPolicy(t *testing.T) {
+	rec := &trace.Recording{Policy: "NOPE", NCPU: 1, CacheLines: 8192, LineBytes: 64, PageBytes: 8192}
+	if _, err := Evaluate(rec); err == nil {
+		t.Error("Evaluate accepted an unknown policy")
+	}
+}

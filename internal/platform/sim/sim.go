@@ -1,0 +1,104 @@
+// Package sim adapts the deterministic simulated SMP of
+// internal/machine (with its internal/perfctr monitoring units) to the
+// platform seam. It is the first Platform backend — the substrate the
+// paper's evaluation runs on — and the reference for what a backend
+// must provide: per-CPU cycle clocks, wrapped 32-bit counter reads,
+// monotonic 64-bit shadow miss counts, and the memory entry points.
+//
+// The adapter is a thin, allocation-free veneer: CPU handles are built
+// once at construction, counter reads forward to the simulated PMU, and
+// every memory operation forwards to the machine unchanged, so a run
+// through the seam is event-for-event identical to one driven against
+// the machine directly (the golden fingerprints pin this).
+package sim
+
+import (
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/platform"
+)
+
+// Platform wraps a *machine.Machine as a platform.Platform.
+type Platform struct {
+	m    *machine.Machine
+	cpus []platform.CPU
+}
+
+// New wraps m. The machine stays accessible through Machine for
+// sim-only diagnostics (coherence checks, bus traffic, footprints).
+func New(m *machine.Machine) *Platform {
+	p := &Platform{m: m}
+	for i := 0; i < m.NCPU(); i++ {
+		p.cpus = append(p.cpus, &cpu{c: m.CPU(i)})
+	}
+	return p
+}
+
+// Machine returns the wrapped simulated machine.
+func (p *Platform) Machine() *machine.Machine { return p.m }
+
+// NCPU implements platform.Platform.
+func (p *Platform) NCPU() int { return p.m.NCPU() }
+
+// CPU implements platform.Platform.
+func (p *Platform) CPU(i int) platform.CPU { return p.cpus[i] }
+
+// CacheLines implements platform.Platform: the per-CPU E-cache size in
+// lines.
+func (p *Platform) CacheLines() int { return p.m.Config().L2.Lines() }
+
+// LineBytes implements platform.Platform.
+func (p *Platform) LineBytes() uint64 { return uint64(p.m.Config().L2.LineSize) }
+
+// PageBytes implements platform.Platform.
+func (p *Platform) PageBytes() uint64 { return p.m.Config().PageSize }
+
+// Alloc implements platform.Alloc.
+func (p *Platform) Alloc(size, align uint64) mem.Range { return p.m.Alloc(size, align) }
+
+// Apply implements platform.Platform.
+func (p *Platform) Apply(cpu int, tid mem.ThreadID, batch mem.Batch) uint64 {
+	return p.m.Apply(cpu, tid, batch)
+}
+
+// Advance implements platform.Platform.
+func (p *Platform) Advance(cpu int, instrs uint64) { p.m.Advance(cpu, instrs) }
+
+// AdvanceCycles implements platform.Platform.
+func (p *Platform) AdvanceCycles(cpu int, cycles uint64) { p.m.AdvanceCycles(cpu, cycles) }
+
+// TouchCode implements platform.Platform.
+func (p *Platform) TouchCode(cpu int, tid mem.ThreadID, code mem.Range) {
+	p.m.TouchCode(cpu, tid, code)
+}
+
+// SetMissHook implements platform.Platform.
+func (p *Platform) SetMissHook(fn func(tid mem.ThreadID, va mem.Addr)) {
+	p.m.MissHook = fn
+}
+
+// cpu adapts one simulated processor.
+type cpu struct {
+	c *machine.CPU
+}
+
+// Cycles implements platform.Clock.
+func (c *cpu) Cycles() uint64 { return c.c.Cycles }
+
+// SetCycles implements platform.Clock.
+func (c *cpu) SetCycles(v uint64) {
+	if v > c.c.Cycles {
+		c.c.Cycles = v
+	}
+}
+
+// ReadCounters implements platform.CounterSource: a user-level read of
+// the PIC pair (refs on PIC0, hits on PIC1 under the default PCR).
+func (c *cpu) ReadCounters() platform.CounterSnapshot {
+	s := c.c.PMU.Read()
+	return platform.CounterSnapshot{Refs: s.Pic0, Hits: s.Pic1}
+}
+
+// Misses implements platform.CounterSource: the 64-bit shadow total of
+// E-cache misses (the PICs wrap; the shadow does not).
+func (c *cpu) Misses() uint64 { return c.c.EMisses }

@@ -1,6 +1,8 @@
 // Package rt is the reproduction's Active Threads runtime: a
-// deterministic green-thread system running over the simulated SMP of
-// internal/machine, scheduled by the locality framework of
+// deterministic green-thread system running over a platform backend
+// (internal/platform — the simulated SMP of internal/machine via
+// platform/sim, or any other substrate exposing per-CPU clocks and
+// miss counters), scheduled by the locality framework of
 // internal/sched.
 //
 // Simulated threads are ordinary Go functions executed on goroutines,
@@ -19,23 +21,25 @@ package rt
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/annot"
 	"repro/internal/inference"
-	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/model"
-	"repro/internal/perfctr"
+	"repro/internal/platform"
 	"repro/internal/sched"
+	"repro/internal/trace"
 	"repro/internal/xrand"
 )
 
 // Options configures an engine.
 type Options struct {
-	// Policy selects the scheduling policy: "FCFS", "LFF" or "CRT".
+	// Policy selects the scheduling policy: "FCFS", "LFF", "CRT", or
+	// any scheme added with model.RegisterScheme. Empty means FCFS.
 	Policy string
 	// ThresholdLines is the footprint below which a heap entry is
 	// demoted (default 16 lines).
@@ -77,9 +81,13 @@ type Options struct {
 	MaxSteps uint64
 }
 
-// Engine runs simulated threads on a simulated machine.
+// Engine runs threads on a platform backend.
 type Engine struct {
-	mach  *machine.Machine
+	plat platform.Platform
+	// cpus caches the per-CPU handles (Platform.CPU returns stable
+	// handles; caching keeps clock reads off the hot path's map/bounds
+	// checks).
+	cpus  []platform.CPU
 	mdl   *model.Model
 	graph *annot.Graph
 	sched *sched.Scheduler
@@ -94,7 +102,7 @@ type Engine struct {
 	// idleCycles accumulates, per CPU, clock advanced while parked —
 	// the utilization accounting behind Stats.
 	idleCycles []uint64
-	picBase    []perfctr.Snapshot
+	picBase    []platform.CounterSnapshot
 	// dispatches counts context switches per CPU (diagnostics).
 	dispatches []uint64
 
@@ -117,6 +125,12 @@ type Engine struct {
 	// the thread is installed). For tests and diagnostics only; it
 	// must not call back into the engine.
 	OnDispatch func(cpu int, tid mem.ThreadID, name string)
+	// OnEvent, when non-nil, observes the scheduling-relevant event
+	// stream — thread spawns and exits, sharing-graph writes, and one
+	// interval record per context switch. trace.Recorder consumes it to
+	// capture runs for the replay backend. It must not call back into
+	// the engine.
+	OnEvent func(ev trace.Event)
 }
 
 // debugPark is a test/diagnostic hook observing park decisions.
@@ -129,13 +143,19 @@ func SetDebugPark(fn func(cpu, spawn0 int)) { debugPark = fn }
 // ever become runnable again.
 var ErrDeadlock = errors.New("rt: deadlock: blocked threads with no wake source")
 
-// New builds an engine over a machine.
-func New(m *machine.Machine, opts Options) *Engine {
+// New builds an engine over a platform backend. It returns an error —
+// not a panic — for user-reachable configuration mistakes: an unknown
+// policy name, a negative threshold, or a platform whose geometry the
+// model cannot host.
+func New(p platform.Platform, opts Options) (*Engine, error) {
 	if opts.Policy == "" {
 		opts.Policy = "FCFS"
 	}
 	if opts.ThresholdLines == 0 {
 		opts.ThresholdLines = 16
+	}
+	if opts.ThresholdLines < 0 {
+		return nil, fmt.Errorf("rt: negative demotion threshold %v", opts.ThresholdLines)
 	}
 	if opts.DefaultCodeBytes == 0 {
 		opts.DefaultCodeBytes = 2048
@@ -144,44 +164,57 @@ func New(m *machine.Machine, opts Options) *Engine {
 	if opts.MaxSteps == 0 {
 		opts.MaxSteps = 4e9
 	}
-	scheme := model.SchemeByName(opts.Policy)
-	if scheme == nil && opts.Policy != "FCFS" {
-		panic(fmt.Sprintf("rt: unknown policy %q", opts.Policy))
+	if opts.KeepInferenceHistory && !opts.InferSharing {
+		return nil, fmt.Errorf("rt: KeepInferenceHistory requires InferSharing")
+	}
+	scheme, err := model.SchemeFor(opts.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("rt: %w", err)
+	}
+	ncpu := p.NCPU()
+	if ncpu < 1 {
+		return nil, fmt.Errorf("rt: platform reports %d CPUs", ncpu)
+	}
+	if scheme != nil && p.CacheLines() < 2 {
+		return nil, fmt.Errorf("rt: platform cache of %d lines cannot host the footprint model", p.CacheLines())
 	}
 	e := &Engine{
-		mach:       m,
+		plat:       p,
 		graph:      annot.New(),
 		opts:       opts,
 		threads:    make(map[mem.ThreadID]*T),
-		running:    make([]*T, m.NCPU()),
-		parked:     make([]bool, m.NCPU()),
-		idleCycles: make([]uint64, m.NCPU()),
-		picBase:    make([]perfctr.Snapshot, m.NCPU()),
-		dispatches: make([]uint64, m.NCPU()),
+		running:    make([]*T, ncpu),
+		parked:     make([]bool, ncpu),
+		idleCycles: make([]uint64, ncpu),
+		picBase:    make([]platform.CounterSnapshot, ncpu),
+		dispatches: make([]uint64, ncpu),
 		rng:        xrand.New(opts.Seed ^ 0x7d3),
 	}
-	if scheme != nil {
-		e.mdl = model.New(m.Config().L2.Lines())
+	for i := 0; i < ncpu; i++ {
+		e.cpus = append(e.cpus, p.CPU(i))
 	}
-	e.sched = sched.New(e.mdl, scheme, e.graph, m.NCPU(), opts.ThresholdLines,
-		func(cpu int) uint64 { return m.CPU(cpu).EMisses })
+	if scheme != nil {
+		e.mdl = model.New(p.CacheLines())
+	}
+	e.sched = sched.New(e.mdl, scheme, e.graph, ncpu, opts.ThresholdLines,
+		platform.MissCounterOf(p))
 	e.sched.SetFairnessLimit(opts.FairnessLimit)
 	e.sched.SetSpawnStacks(opts.SpawnStacks)
-	e.overhead.init(m, opts.Overhead)
-	e.defaultCode = m.Alloc(opts.DefaultCodeBytes, 64)
+	e.overhead.init(p, opts.Overhead)
+	e.defaultCode = p.Alloc(opts.DefaultCodeBytes, 64)
 	if opts.InferSharing {
-		e.monitor = inference.NewMonitor(m.Config().PageSize)
-		m.MissHook = e.monitor.Touch
+		e.monitor = inference.NewMonitor(p.PageBytes())
+		p.SetMissHook(e.monitor.Touch)
 	}
-	return e
+	return e, nil
 }
 
 // Monitor returns the sharing-inference monitor, or nil when inference
 // is off.
 func (e *Engine) Monitor() *inference.Monitor { return e.monitor }
 
-// Machine returns the engine's machine.
-func (e *Engine) Machine() *machine.Machine { return e.mach }
+// Platform returns the engine's platform backend.
+func (e *Engine) Platform() platform.Platform { return e.plat }
 
 // Scheduler exposes the scheduler (stats, diagnostics).
 func (e *Engine) Scheduler() *sched.Scheduler { return e.sched }
@@ -221,6 +254,9 @@ type SpawnOpts struct {
 func (e *Engine) Spawn(body func(*T), opts SpawnOpts) mem.ThreadID {
 	t := e.newThread(body, opts)
 	e.sched.Register(t.id)
+	if e.OnEvent != nil {
+		e.OnEvent(trace.Event{Kind: trace.EvSpawn, Thread: t.id})
+	}
 	e.sched.MakeRunnable(t.id)
 	e.unparkAll(e.now)
 	return t.id
@@ -251,9 +287,11 @@ func (e *Engine) newThread(body func(*T), opts SpawnOpts) *T {
 }
 
 // Run drives the simulation until every thread has exited. It returns
-// ErrDeadlock if blocked threads remain with nothing to wake them, or
-// the recovered error if a thread body panicked.
-func (e *Engine) Run() error {
+// ErrDeadlock if blocked threads remain with nothing to wake them, the
+// recovered error if a thread body panicked, or the context's error if
+// ctx is cancelled mid-run (checked every few thousand steps so the
+// hot loop stays branch-cheap).
+func (e *Engine) Run(ctx context.Context) error {
 	defer e.killRemaining()
 	for e.live > 0 {
 		if e.failure != nil {
@@ -263,6 +301,11 @@ func (e *Engine) Run() error {
 		if e.steps > e.opts.MaxSteps {
 			return fmt.Errorf("rt: exceeded %d engine steps (runaway workload?)", e.opts.MaxSteps)
 		}
+		if e.steps&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("rt: run cancelled after %d steps: %w", e.steps, err)
+			}
+		}
 		p := e.nextCPU()
 		if p < 0 {
 			if !e.advanceToTimer() {
@@ -270,7 +313,7 @@ func (e *Engine) Run() error {
 			}
 			continue
 		}
-		if c := e.mach.CPU(p).Cycles; c > e.now {
+		if c := e.cpus[p].Cycles(); c > e.now {
 			e.now = c
 		}
 		e.fireTimers(e.now)
@@ -299,7 +342,7 @@ func (e *Engine) nextCPU() int {
 		if e.parked[p] {
 			continue
 		}
-		c := e.mach.CPU(p).Cycles
+		c := e.cpus[p].Cycles()
 		if best < 0 || c < bestClock {
 			best, bestClock = p, c
 		}
@@ -316,9 +359,9 @@ func (e *Engine) unparkAll(now uint64) {
 			continue
 		}
 		e.parked[p] = false
-		if cpu := e.mach.CPU(p); cpu.Cycles < now {
-			e.idleCycles[p] += now - cpu.Cycles
-			cpu.Cycles = now
+		if c := e.cpus[p].Cycles(); c < now {
+			e.idleCycles[p] += now - c
+			e.cpus[p].SetCycles(now)
 		}
 	}
 }
@@ -361,16 +404,21 @@ func (e *Engine) fireTimers(now uint64) {
 func (e *Engine) dispatch(p int, tid mem.ThreadID) {
 	t := e.threads[tid]
 	if t == nil || t.status != statusReady {
+		// Invariant: the scheduler only hands out registered, runnable
+		// threads — a violation is engine corruption, not user error.
 		panic(fmt.Sprintf("rt: dispatch of thread %v in status %v", tid, t.status))
 	}
 	e.sched.NoteDispatch(tid, p)
+	// The 64-bit miss count the scheduler's decay reference just read;
+	// the interval record replays must carry the same value.
+	t.dispatchMisses = e.cpus[p].Misses()
 	e.dispatches[p]++
 	if e.monitor != nil && e.totalDispatches()%4096 == 0 {
 		// Age out stale co-access evidence so phase changes do not
 		// leave fossil coefficients behind.
 		e.monitor.Decay()
 	}
-	e.mach.AdvanceCycles(p, uint64(e.opts.Overhead.CtxSwitchCycles))
+	e.plat.AdvanceCycles(p, uint64(e.opts.Overhead.CtxSwitchCycles))
 	e.overhead.charge(e, p)
 	// A thread woken to retry a mutex may find that someone barged in
 	// while it travelled; it then re-blocks at the front of the queue
@@ -378,7 +426,21 @@ func (e *Engine) dispatch(p int, tid mem.ThreadID) {
 	// hardware).
 	if mu := t.retryLock; mu != nil {
 		if mu.owner != nil {
+			blockMisses := e.cpus[p].Misses()
 			e.sched.OnBlock(tid, p, 0)
+			if e.OnEvent != nil {
+				// A zero-length interval: the thread occupied the CPU
+				// but never ran, so both snapshots are the current read.
+				snap := e.cpus[p].ReadCounters()
+				clock := e.cpus[p].Cycles()
+				e.OnEvent(trace.Event{Kind: trace.EvInterval, Interval: trace.Interval{
+					CPU: p, Thread: tid,
+					DispatchMisses: t.dispatchMisses, BlockMisses: blockMisses,
+					StartRefs: snap.Refs, StartHits: snap.Hits,
+					EndRefs: snap.Refs, EndHits: snap.Hits,
+					StartCycles: clock, EndCycles: clock,
+				}})
+			}
 			t.status = statusBlocked
 			t.blockedOn = "mutex " + mu.name + " (barged)"
 			mu.waiters = append([]*T{t}, mu.waiters...)
@@ -387,10 +449,10 @@ func (e *Engine) dispatch(p int, tid mem.ThreadID) {
 		mu.owner = t
 		t.retryLock = nil
 	}
-	e.mach.TouchCode(p, tid, t.code)
-	e.picBase[p] = e.mach.CPU(p).PMU.Read()
+	e.plat.TouchCode(p, tid, t.code)
+	e.picBase[p] = e.cpus[p].ReadCounters()
 	t.cpu = p
-	t.dispatchClock = e.mach.CPU(p).Cycles
+	t.dispatchClock = e.cpus[p].Cycles()
 	t.dispatchCount++
 	t.status = statusRunning
 	e.running[p] = t
@@ -437,65 +499,97 @@ func (e *Engine) ThreadTimes() []ThreadTime {
 // thread, the model updates the blocking thread's and its dependents'
 // footprint entries (O(d)), and the CPU becomes free.
 func (e *Engine) blockCurrent(p int, t *T) {
-	t.cycles += e.mach.CPU(p).Cycles - t.dispatchClock
-	n := perfctr.MissesSince(e.mach.CPU(p).PMU.Read(), e.picBase[p])
+	endClock := e.cpus[p].Cycles()
+	t.cycles += endClock - t.dispatchClock
+	cur := e.cpus[p].ReadCounters()
+	n := platform.MissesSince(cur, e.picBase[p])
 	if e.monitor != nil {
 		// Refresh the blocking thread's out-edges from the inferred
 		// coefficients before the dependent updates read them. The
 		// edge count is capped so the O(d) switch cost bound holds.
 		for _, edge := range e.monitor.EdgesFor(t.id, 0.1, 8) {
-			e.graph.Share(t.id, edge.To, edge.Q)
+			e.noteShare(t.id, edge.To, edge.Q)
 		}
 	}
+	blockMisses := e.cpus[p].Misses()
 	e.sched.OnBlock(t.id, p, n)
+	if e.OnEvent != nil {
+		e.OnEvent(trace.Event{Kind: trace.EvInterval, Interval: trace.Interval{
+			CPU: p, Thread: t.id,
+			DispatchMisses: t.dispatchMisses, BlockMisses: blockMisses,
+			StartRefs: e.picBase[p].Refs, StartHits: e.picBase[p].Hits,
+			EndRefs: cur.Refs, EndHits: cur.Hits,
+			StartCycles: t.dispatchClock, EndCycles: endClock,
+		}})
+	}
 	e.overhead.charge(e, p)
 	e.running[p] = nil
+}
+
+// noteShare writes one sharing edge and mirrors it onto the event
+// stream so a recording can rebuild the graph during replay.
+func (e *Engine) noteShare(from, to mem.ThreadID, q float64) {
+	e.graph.Share(from, to, q)
+	if e.OnEvent != nil {
+		e.OnEvent(trace.Event{Kind: trace.EvShare, From: from, To: to, Q: q})
+	}
 }
 
 // handle processes one request from the running thread on p.
 func (e *Engine) handle(p int, t *T, req *request) {
 	switch req.kind {
 	case reqAccess:
-		e.mach.Apply(p, t.id, req.batch)
+		e.plat.Apply(p, t.id, req.batch)
 
 	case reqCompute:
-		e.mach.Advance(p, req.n)
+		e.plat.Advance(p, req.n)
 
 	case reqShare:
 		if !e.opts.DisableAnnotations {
-			e.graph.Share(req.from, req.to, req.q)
+			e.noteShare(req.from, req.to, req.q)
 		}
-		e.mach.Advance(p, 4)
+		e.plat.Advance(p, 4)
 
 	case reqAlloc:
-		t.resp.r = e.mach.Alloc(req.size, req.align)
-		e.mach.Advance(p, uint64(e.opts.Overhead.AllocInstrs))
+		if req.align != 0 && req.align&(req.align-1) != 0 {
+			e.fail(p, t, fmt.Sprintf("Alloc with non-power-of-two alignment %d", req.align))
+			return
+		}
+		t.resp.r = e.plat.Alloc(req.size, req.align)
+		e.plat.Advance(p, uint64(e.opts.Overhead.AllocInstrs))
 
 	case reqCreate:
 		child := e.newThread(req.body, SpawnOpts{Name: req.name, Code: req.code})
 		e.sched.Register(child.id)
+		if e.OnEvent != nil {
+			e.OnEvent(trace.Event{Kind: trace.EvSpawn, Thread: child.id})
+		}
 		e.sched.NoteSpawn(child.id, p)
-		e.mach.Advance(p, uint64(e.opts.Overhead.CreateInstrs))
+		e.plat.Advance(p, uint64(e.opts.Overhead.CreateInstrs))
 		t.resp.tid = child.id
-		e.unparkAll(e.mach.CPU(p).Cycles)
+		e.unparkAll(e.cpus[p].Cycles())
 
 	case reqYield:
 		e.blockCurrent(p, t)
 		t.status = statusReady
 		e.sched.MakeRunnable(t.id)
-		e.unparkAll(e.mach.CPU(p).Cycles)
+		e.unparkAll(e.cpus[p].Cycles())
 
 	case reqSleep:
 		e.blockCurrent(p, t)
 		t.status = statusBlocked
 		t.blockedOn = "sleep"
 		e.timerSeq++
-		heap.Push(&e.timers, timerEntry{wakeAt: e.mach.CPU(p).Cycles + req.n, seq: e.timerSeq, tid: t.id})
+		heap.Push(&e.timers, timerEntry{wakeAt: e.cpus[p].Cycles() + req.n, seq: e.timerSeq, tid: t.id})
 
 	case reqJoin:
+		if req.tid == t.id {
+			e.fail(p, t, "Join of self would deadlock")
+			return
+		}
 		target := e.threads[req.tid]
 		if target == nil || target.status == statusDead {
-			e.mach.Advance(p, 4) // join of a finished thread: cheap
+			e.plat.Advance(p, 4) // join of a finished thread: cheap
 			return
 		}
 		e.blockCurrent(p, t)
@@ -516,7 +610,10 @@ func (e *Engine) handle(p int, t *T, req *request) {
 			e.monitor.Forget(t.id)
 		}
 		e.sched.Unregister(t.id)
-		e.unparkAll(e.mach.CPU(p).Cycles)
+		if e.OnEvent != nil {
+			e.OnEvent(trace.Event{Kind: trace.EvExit, Thread: t.id})
+		}
+		e.unparkAll(e.cpus[p].Cycles())
 
 	case reqPanic:
 		// The thread goroutine is gone; record and stop the world.
@@ -530,7 +627,7 @@ func (e *Engine) handle(p int, t *T, req *request) {
 
 	case reqLock:
 		mu := req.mu
-		e.mach.Advance(p, uint64(e.opts.Overhead.SyncInstrs))
+		e.plat.Advance(p, uint64(e.opts.Overhead.SyncInstrs))
 		// Barging semantics, like real mutexes: a running thread takes
 		// a free lock immediately even when woken waiters are still on
 		// their way back to a processor. This prevents lock convoys in
@@ -545,12 +642,12 @@ func (e *Engine) handle(p int, t *T, req *request) {
 		mu.waiters = append(mu.waiters, t)
 
 	case reqUnlock:
-		e.mach.Advance(p, uint64(e.opts.Overhead.SyncInstrs))
+		e.plat.Advance(p, uint64(e.opts.Overhead.SyncInstrs))
 		e.unlock(p, t, req.mu)
 
 	case reqSemWait:
 		s := req.sem
-		e.mach.Advance(p, uint64(e.opts.Overhead.SyncInstrs))
+		e.plat.Advance(p, uint64(e.opts.Overhead.SyncInstrs))
 		if s.value > 0 {
 			s.value--
 			return
@@ -562,7 +659,7 @@ func (e *Engine) handle(p int, t *T, req *request) {
 
 	case reqSemPost:
 		s := req.sem
-		e.mach.Advance(p, uint64(e.opts.Overhead.SyncInstrs))
+		e.plat.Advance(p, uint64(e.opts.Overhead.SyncInstrs))
 		if len(s.waiters) > 0 {
 			w := s.waiters[0]
 			s.waiters = s.waiters[1:]
@@ -573,7 +670,7 @@ func (e *Engine) handle(p int, t *T, req *request) {
 
 	case reqBarrier:
 		b := req.bar
-		e.mach.Advance(p, uint64(e.opts.Overhead.SyncInstrs))
+		e.plat.Advance(p, uint64(e.opts.Overhead.SyncInstrs))
 		b.arrived++
 		if b.arrived == b.parties {
 			b.arrived = 0
@@ -594,7 +691,7 @@ func (e *Engine) handle(p int, t *T, req *request) {
 			e.fail(p, t, "CondWait without holding the mutex")
 			return
 		}
-		e.mach.Advance(p, uint64(e.opts.Overhead.SyncInstrs))
+		e.plat.Advance(p, uint64(e.opts.Overhead.SyncInstrs))
 		e.blockCurrent(p, t)
 		t.status = statusBlocked
 		t.blockedOn = "cond " + c.name
@@ -602,16 +699,18 @@ func (e *Engine) handle(p int, t *T, req *request) {
 		e.unlock(p, nil, mu) // owner already validated
 
 	case reqCondSignal:
-		e.mach.Advance(p, uint64(e.opts.Overhead.SyncInstrs))
+		e.plat.Advance(p, uint64(e.opts.Overhead.SyncInstrs))
 		e.signalOne(req.cond)
 
 	case reqCondBroadcast:
-		e.mach.Advance(p, uint64(e.opts.Overhead.SyncInstrs))
+		e.plat.Advance(p, uint64(e.opts.Overhead.SyncInstrs))
 		for len(req.cond.waiters) > 0 {
 			e.signalOne(req.cond)
 		}
 
 	default:
+		// Invariant: the request enum is closed; the thread API builds
+		// every request.
 		panic(fmt.Sprintf("rt: unknown request kind %d", req.kind))
 	}
 }
@@ -657,6 +756,7 @@ func (e *Engine) signalOne(c *Cond) {
 // wake marks a blocked thread runnable.
 func (e *Engine) wake(t *T) {
 	if t.status != statusBlocked {
+		// Invariant: sync objects only enqueue blocked threads.
 		panic(fmt.Sprintf("rt: waking thread %v in status %v", t.id, t.status))
 	}
 	t.status = statusReady

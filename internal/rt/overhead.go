@@ -98,18 +98,18 @@ type overheadState struct {
 	rot        []uint64    // per-CPU rotation through the heap region
 }
 
-func (s *overheadState) init(m machineAPI, cfg OverheadConfig) {
+func (s *overheadState) init(p platformAPI, cfg OverheadConfig) {
 	s.cfg = cfg
-	s.table = m.Alloc(16*1024, 64)
-	for i := 0; i < m.NCPU(); i++ {
-		s.heapRegion = append(s.heapRegion, m.Alloc(8*1024, 64))
+	s.table = p.Alloc(16*1024, 64)
+	for i := 0; i < p.NCPU(); i++ {
+		s.heapRegion = append(s.heapRegion, p.Alloc(8*1024, 64))
 	}
-	s.rot = make([]uint64, m.NCPU())
+	s.rot = make([]uint64, p.NCPU())
 }
 
-// machineAPI is the slice of machine.Machine the overhead model needs
-// (an interface keeps overhead testable in isolation).
-type machineAPI interface {
+// platformAPI is the slice of platform.Platform the overhead model
+// needs (an interface keeps overhead testable in isolation).
+type platformAPI interface {
 	Alloc(size, align uint64) mem.Range
 	NCPU() int
 }
@@ -135,7 +135,7 @@ func (s *overheadState) charge(e *Engine, p int) {
 		d.Steals*uint64(s.cfg.StealCycles) +
 		d.PrioUpdates*uint64(s.cfg.PrioUpdateCycles)
 	if cycles > 0 {
-		e.mach.AdvanceCycles(p, cycles)
+		e.plat.AdvanceCycles(p, cycles)
 	}
 	if s.cfg.noTouchMemory {
 		return
@@ -163,5 +163,5 @@ func (s *overheadState) charge(e *Engine, p int) {
 	if d.QueueOps > 0 {
 		batch = append(batch, mem.Access{Base: s.table.Base, Count: 1, Size: 8, Write: true})
 	}
-	e.mach.Apply(p, mem.SchedThread, batch)
+	e.plat.Apply(p, mem.SchedThread, batch)
 }

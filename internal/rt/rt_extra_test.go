@@ -1,11 +1,13 @@
 package rt
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/platform/sim"
 )
 
 // TestMutexBarging: a running thread grabs a freed lock ahead of a
@@ -74,7 +76,10 @@ func TestRetryLockReblock(t *testing.T) {
 // busy.
 func TestFairnessLimitViaOptions(t *testing.T) {
 	m := machine.New(machine.UltraSPARC1())
-	e := New(m, Options{Policy: "LFF", Seed: 1, FairnessLimit: 10})
+	e, err := New(sim.New(m), Options{Policy: "LFF", Seed: 1, FairnessLimit: 10})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	coldRan := false
 	e.Spawn(func(th *T) {
 		state := th.Alloc(4096 * 64)
@@ -103,7 +108,10 @@ func TestInferSharingBuildsGraph(t *testing.T) {
 	// FCFS so the yielding readers alternate (LFF would rightly run
 	// the hot reader to completion); the subject here is the monitor.
 	m := machine.New(machine.UltraSPARC1())
-	e := New(m, Options{Policy: "FCFS", Seed: 1, DisableAnnotations: true, InferSharing: true})
+	e, err := New(sim.New(m), Options{Policy: "FCFS", Seed: 1, DisableAnnotations: true, InferSharing: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	sawEdge := false
 	e.Spawn(func(th *T) {
 		// Larger than the E-cache, so both readers keep missing on the
@@ -260,13 +268,16 @@ func TestThreadTimes(t *testing.T) {
 
 func TestMaxStepsWatchdog(t *testing.T) {
 	m := machine.New(machine.UltraSPARC1())
-	e := New(m, Options{Policy: "FCFS", Seed: 1, MaxSteps: 500})
+	e, err := New(sim.New(m), Options{Policy: "FCFS", Seed: 1, MaxSteps: 500})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	e.Spawn(func(th *T) {
 		for { // spins forever: the watchdog must abort the run
 			th.Yield()
 		}
 	}, SpawnOpts{Name: "spinner"})
-	err := e.Run()
+	err = e.Run(context.Background())
 	if err == nil || !strings.Contains(err.Error(), "exceeded") {
 		t.Errorf("watchdog err = %v", err)
 	}
@@ -308,7 +319,7 @@ func TestDeadlockNamesTheResource(t *testing.T) {
 		th.Lock(mu)
 		th.Lock(mu)
 	}, SpawnOpts{Name: "victim"})
-	err := e.Run()
+	err := e.Run(context.Background())
 	if err == nil || !strings.Contains(err.Error(), "mutex hotlock") {
 		t.Errorf("deadlock report lacks the resource: %v", err)
 	}
@@ -321,7 +332,7 @@ func TestDeadlockNamesBarrierProgress(t *testing.T) {
 		a := th.Create("a", func(c *T) { c.BarrierWait(b) })
 		th.Join(a) // only 1 of 3 parties ever arrives
 	}, SpawnOpts{Name: "main"})
-	err := e.Run()
+	err := e.Run(context.Background())
 	if err == nil || !strings.Contains(err.Error(), "barrier phase (1/3 arrived)") {
 		t.Errorf("deadlock report lacks barrier progress: %v", err)
 	}

@@ -1,13 +1,18 @@
 package rt
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
 
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/platform/sim"
 )
+
+// machineOf digs the simulated machine out of a test engine's platform.
+func machineOf(e *Engine) *machine.Machine { return e.plat.(*sim.Platform).Machine() }
 
 // newEngine builds an engine on a default Ultra-1 with the given policy.
 func newEngine(t *testing.T, cpus int, policy string) *Engine {
@@ -18,12 +23,16 @@ func newEngine(t *testing.T, cpus int, policy string) *Engine {
 	} else {
 		cfg = machine.Enterprise5000(cpus)
 	}
-	return New(machine.New(cfg), Options{Policy: policy, Seed: 42})
+	e, err := New(sim.New(machine.New(cfg)), Options{Policy: policy, Seed: 42})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return e
 }
 
 func mustRun(t *testing.T, e *Engine) {
 	t.Helper()
-	if err := e.Run(); err != nil {
+	if err := e.Run(context.Background()); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 }
@@ -42,7 +51,7 @@ func TestSingleThreadRuns(t *testing.T) {
 	if !ran {
 		t.Fatal("body did not run")
 	}
-	cpu := e.Machine().CPU(0)
+	cpu := machineOf(e).CPU(0)
 	// 64 data misses plus the code-region reload (2048/64 = 32 lines)
 	// plus a few scheduler-structure misses.
 	if cpu.EMisses < 4096/64 || cpu.EMisses > 4096/64+40 {
@@ -140,7 +149,7 @@ func TestUnlockNotHeldFails(t *testing.T) {
 	e := newEngine(t, 1, "FCFS")
 	mu := NewMutex("m")
 	e.Spawn(func(th *T) { th.Unlock(mu) }, SpawnOpts{Name: "bad"})
-	err := e.Run()
+	err := e.Run(context.Background())
 	if err == nil || !strings.Contains(err.Error(), "not held") {
 		t.Errorf("err = %v", err)
 	}
@@ -287,7 +296,7 @@ func TestCondWaitWithoutMutexFails(t *testing.T) {
 	mu := NewMutex("m")
 	cond := NewCond("c")
 	e.Spawn(func(th *T) { th.CondWait(cond, mu) }, SpawnOpts{})
-	if err := e.Run(); err == nil {
+	if err := e.Run(context.Background()); err == nil {
 		t.Error("CondWait without mutex did not fail")
 	}
 }
@@ -298,7 +307,7 @@ func TestSleepAdvancesTime(t *testing.T) {
 		th.Sleep(1_000_000)
 	}, SpawnOpts{})
 	mustRun(t, e)
-	if got := e.Machine().CPU(0).Cycles; got < 1_000_000 {
+	if got := machineOf(e).CPU(0).Cycles; got < 1_000_000 {
 		t.Errorf("clock after sleep = %d", got)
 	}
 }
@@ -310,7 +319,7 @@ func TestDeadlockDetected(t *testing.T) {
 		th.Lock(mu)
 		th.Lock(mu) // self-deadlock
 	}, SpawnOpts{Name: "victim"})
-	err := e.Run()
+	err := e.Run(context.Background())
 	if !errors.Is(err, ErrDeadlock) {
 		t.Errorf("err = %v, want deadlock", err)
 	}
@@ -322,7 +331,7 @@ func TestDeadlockDetected(t *testing.T) {
 func TestThreadPanicPropagates(t *testing.T) {
 	e := newEngine(t, 1, "FCFS")
 	e.Spawn(func(th *T) { panic("boom") }, SpawnOpts{Name: "bomb"})
-	err := e.Run()
+	err := e.Run(context.Background())
 	if err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Errorf("err = %v", err)
 	}
@@ -375,7 +384,10 @@ func TestShareBuildsGraph(t *testing.T) {
 
 func TestDisableAnnotations(t *testing.T) {
 	m := machine.New(machine.UltraSPARC1())
-	e := New(m, Options{Policy: "LFF", DisableAnnotations: true, Seed: 1})
+	e, err := New(sim.New(m), Options{Policy: "LFF", DisableAnnotations: true, Seed: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	e.Spawn(func(th *T) {
 		c := th.Create("c", func(*T) {})
 		th.Share(c, th.ID(), 1.0)
@@ -406,8 +418,8 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 			}
 		}, SpawnOpts{})
 		mustRun(t, e)
-		_, _, misses := e.Machine().Totals()
-		return misses, e.Machine().MaxCycles(), e.Machine().TotalInstrs()
+		_, _, misses := machineOf(e).Totals()
+		return misses, machineOf(e).MaxCycles(), machineOf(e).TotalInstrs()
 	}
 	for _, policy := range []string{"FCFS", "LFF", "CRT"} {
 		m1, c1, i1 := run(policy)
@@ -430,7 +442,7 @@ func TestMultiCPUParallelism(t *testing.T) {
 			th.Join(b)
 		}, SpawnOpts{})
 		mustRun(t, e)
-		return e.Machine().MaxCycles()
+		return machineOf(e).MaxCycles()
 	}
 	t1, t2 := serial(1), serial(2)
 	if t2 >= t1 {
@@ -450,7 +462,10 @@ func TestLocalityPolicyReducesMisses(t *testing.T) {
 		cfg := machine.UltraSPARC1()
 		cfg.L2.Size = 64 * 1024 // 1024 lines: holds ~5 of 40 footprints
 		m := machine.New(cfg)
-		e := New(m, Options{Policy: policy, Seed: 7})
+		e, err := New(sim.New(m), Options{Policy: policy, Seed: 7})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
 		e.Spawn(func(th *T) {
 			var kids []mem.ThreadID
 			for i := 0; i < 40; i++ {
@@ -491,7 +506,7 @@ func TestNoGoroutineLeakAfterFailure(t *testing.T) {
 		th.Lock(mu)
 		// Exit while holding: the waiters deadlock.
 	}, SpawnOpts{})
-	err := e.Run()
+	err := e.Run(context.Background())
 	if !errors.Is(err, ErrDeadlock) {
 		t.Fatalf("err = %v", err)
 	}
@@ -503,13 +518,14 @@ func TestNoGoroutineLeakAfterFailure(t *testing.T) {
 	}
 }
 
-func TestUnknownPolicyPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("unknown policy accepted")
-		}
-	}()
-	New(machine.New(machine.UltraSPARC1()), Options{Policy: "WEIRD"})
+func TestUnknownPolicyErrors(t *testing.T) {
+	_, err := New(sim.New(machine.New(machine.UltraSPARC1())), Options{Policy: "WEIRD"})
+	if err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if !strings.Contains(err.Error(), "WEIRD") {
+		t.Errorf("err = %v, want it to name the bad policy", err)
+	}
 }
 
 func TestDispatchCounts(t *testing.T) {

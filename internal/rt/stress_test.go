@@ -1,11 +1,13 @@
 package rt
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/platform/sim"
 	"repro/internal/xrand"
 )
 
@@ -73,7 +75,10 @@ func runStress(t *testing.T, seed uint64, policy string, cpus int) string {
 	if cpus > 1 {
 		cfg = machine.Enterprise5000(cpus)
 	}
-	e := New(machine.New(cfg), Options{Policy: policy, Seed: seed})
+	e, err := New(sim.New(machine.New(cfg)), Options{Policy: policy, Seed: seed})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	sp := &stressProgram{seed: seed, maxThr: 60, barrier: NewBarrier("b", 1)}
 	for i := 0; i < 3; i++ {
 		sp.mutexes = append(sp.mutexes, NewMutex(fmt.Sprintf("m%d", i)))
@@ -82,11 +87,11 @@ func runStress(t *testing.T, seed uint64, policy string, cpus int) string {
 		sp.sems = append(sp.sems, NewSemaphore(fmt.Sprintf("s%d", i), 1))
 	}
 	e.Spawn(sp.body(0, xrand.New(seed)), SpawnOpts{Name: "root"})
-	if err := e.Run(); err != nil {
+	if err := e.Run(context.Background()); err != nil {
 		t.Fatalf("seed %d %s/%d: %v", seed, policy, cpus, err)
 	}
-	refs, hits, misses := e.Machine().Totals()
-	return fmt.Sprintf("r%d h%d m%d c%d", refs, hits, misses, e.Machine().MaxCycles())
+	refs, hits, misses := machineOf(e).Totals()
+	return fmt.Sprintf("r%d h%d m%d c%d", refs, hits, misses, machineOf(e).MaxCycles())
 }
 
 // TestStressRandomPrograms runs a battery of random programs under all
@@ -112,23 +117,26 @@ func TestStressWithAllFeatures(t *testing.T) {
 		cfg := machine.Enterprise5000(4)
 		cfg.TLBEntries = 64
 		cfg.ClassifyMisses = true
-		e := New(machine.New(cfg), Options{
+		e, err := New(sim.New(machine.New(cfg)), Options{
 			Policy:        "LFF",
 			Seed:          seed,
 			InferSharing:  true,
 			FairnessLimit: 64,
 			SpawnStacks:   true,
 		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
 		sp := &stressProgram{seed: seed, maxThr: 40}
 		for i := 0; i < 2; i++ {
 			sp.mutexes = append(sp.mutexes, NewMutex("m"))
 			sp.sems = append(sp.sems, NewSemaphore("s", 1))
 		}
 		e.Spawn(sp.body(0, xrand.New(seed)), SpawnOpts{Name: "root"})
-		if err := e.Run(); err != nil {
+		if err := e.Run(context.Background()); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		if err := e.Machine().CheckCoherence(); err != nil {
+		if err := machineOf(e).CheckCoherence(); err != nil {
 			t.Errorf("seed %d: %v", seed, err)
 		}
 	}

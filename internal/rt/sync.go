@@ -29,6 +29,8 @@ type Semaphore struct {
 // NewSemaphore returns a semaphore with the given initial count.
 func NewSemaphore(name string, initial int) *Semaphore {
 	if initial < 0 {
+		// Invariant: constructor misuse outside any run — fail loudly at
+		// build time rather than mid-simulation.
 		panic("rt: negative initial semaphore value")
 	}
 	return &Semaphore{name: name, value: initial}
@@ -49,6 +51,7 @@ type Barrier struct {
 // NewBarrier returns a barrier for the given number of parties.
 func NewBarrier(name string, parties int) *Barrier {
 	if parties < 1 {
+		// Invariant: constructor misuse outside any run.
 		panic("rt: barrier needs at least one party")
 	}
 	return &Barrier{name: name, parties: parties}

@@ -1,8 +1,6 @@
 package rt
 
 import (
-	"fmt"
-
 	"repro/internal/mem"
 	"repro/internal/xrand"
 )
@@ -123,6 +121,9 @@ type T struct {
 	cycles        uint64
 	dispatchClock uint64
 	dispatchCount uint64
+	// dispatchMisses is the processor's 64-bit miss count at the last
+	// NoteDispatch — the decay reference the interval record carries.
+	dispatchMisses uint64
 
 	pending mem.Batch // buffered accesses, flushed lazily
 }
@@ -148,7 +149,7 @@ func (t *T) run() {
 		defer func() {
 			if r := recover(); r != nil {
 				if _, killed := r.(killedSentinel); !killed {
-					panic(r)
+					panic(r) // user panic: re-raise for the engine to report
 				}
 			}
 		}()
@@ -165,6 +166,7 @@ func (t *T) call() {
 	t.toEngine <- struct{}{}
 	<-t.toThread
 	if t.die {
+		// Teardown: unwind this coroutine; recovered by the body wrapper.
 		panic(killedSentinel{})
 	}
 }
@@ -198,7 +200,7 @@ func (t *T) Rand() *xrand.Source { return t.rng }
 // the clock is free (the real runtime reads the TICK register).
 func (t *T) Now() uint64 {
 	t.flush()
-	return t.eng.mach.CPU(t.cpu).Cycles
+	return t.eng.cpus[t.cpu].Cycles()
 }
 
 // flush sends any buffered accesses to the machine.
@@ -240,7 +242,7 @@ func (t *T) Write(base mem.Addr, count, stride int32) { t.Access(mem.Write(base,
 // Touch reads one word from each cache line of r — the cheapest way for
 // a thread to establish a region in its working set.
 func (t *T) Touch(r mem.Range) {
-	lineSize := int32(t.eng.mach.Config().L2.LineSize)
+	lineSize := int32(t.eng.plat.LineBytes())
 	lines := int32(r.Lines(uint64(lineSize)))
 	t.Access(mem.Access{Base: r.Base, Count: lines, Stride: lineSize, Size: 8})
 }
@@ -314,11 +316,9 @@ func (t *T) Sleep(cycles uint64) {
 }
 
 // Join blocks until the target thread exits. Joining an already-exited
-// (or never-existing) thread returns immediately.
+// (or never-existing) thread returns immediately; joining yourself is a
+// programming error that aborts the run.
 func (t *T) Join(tid mem.ThreadID) {
-	if tid == t.id {
-		panic(fmt.Sprintf("rt: thread %v joining itself", tid))
-	}
 	t.flush()
 	t.req = request{kind: reqJoin, tid: tid}
 	t.call()

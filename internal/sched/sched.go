@@ -19,6 +19,7 @@ import (
 	"repro/internal/annot"
 	"repro/internal/mem"
 	"repro/internal/model"
+	"repro/internal/platform"
 )
 
 // Entry is the footprint record of one (thread, processor) pair: the
@@ -78,8 +79,8 @@ type Scheduler struct {
 	ncpu   int
 
 	// missCount reports a processor's cumulative E-cache miss count
-	// m(t); the runtime wires it to the machine's shadow counters.
-	missCount func(cpu int) uint64
+	// m(t); the runtime wires it to the platform's shadow counters.
+	missCount platform.MissCounter
 
 	// threshold is the footprint (in lines) below which an entry is
 	// demoted from a heap; threads demoted from every heap go to the
@@ -129,11 +130,14 @@ type globalEntry struct {
 // New constructs a scheduler. scheme may be nil for the FCFS baseline
 // (mdl may then also be nil). missCount must return processor cpu's
 // cumulative E-cache miss count and must be monotonic per CPU.
-func New(mdl *model.Model, scheme model.Scheme, graph *annot.Graph, ncpu int, threshold float64, missCount func(cpu int) uint64) *Scheduler {
+func New(mdl *model.Model, scheme model.Scheme, graph *annot.Graph, ncpu int, threshold float64, missCount platform.MissCounter) *Scheduler {
 	if ncpu < 1 {
+		// Invariant: rt.New validates the CPU count before building a
+		// scheduler; reaching here is a runtime bug, not user error.
 		panic("sched: need at least one CPU")
 	}
 	if scheme != nil && mdl == nil {
+		// Invariant: rt.New always constructs a model alongside a scheme.
 		panic("sched: a priority scheme requires a model")
 	}
 	if missCount == nil {
@@ -183,6 +187,8 @@ func (s *Scheduler) ResetOps() { s.ops = Ops{} }
 // Register adds a thread to the scheduler in the not-runnable state.
 func (s *Scheduler) Register(tid mem.ThreadID) {
 	if _, dup := s.threads[tid]; dup {
+		// Invariant: the runtime assigns fresh IDs; a duplicate means
+		// engine corruption, not a user mistake.
 		panic(fmt.Sprintf("sched: duplicate thread %v", tid))
 	}
 	s.threads[tid] = &tstate{entries: make([]*Entry, s.ncpu)}
@@ -236,6 +242,7 @@ func (s *Scheduler) CurrentFootprint(tid mem.ThreadID, cpu int) float64 {
 func (s *Scheduler) MakeRunnable(tid mem.ThreadID) {
 	ts := s.threads[tid]
 	if ts == nil {
+		// Invariant: callers register threads before scheduling them.
 		panic(fmt.Sprintf("sched: MakeRunnable(%v): unknown thread", tid))
 	}
 	if ts.runnable || ts.running {
@@ -265,6 +272,7 @@ func (s *Scheduler) MakeRunnable(tid mem.ThreadID) {
 func (s *Scheduler) NoteSpawn(tid mem.ThreadID, cpu int) {
 	ts := s.threads[tid]
 	if ts == nil {
+		// Invariant: callers register threads before scheduling them.
 		panic(fmt.Sprintf("sched: NoteSpawn(%v): unknown thread", tid))
 	}
 	if ts.runnable || ts.running {
@@ -286,6 +294,7 @@ func (s *Scheduler) NoteSpawn(tid mem.ThreadID, cpu int) {
 func (s *Scheduler) NoteDispatch(tid mem.ThreadID, cpu int) {
 	ts := s.threads[tid]
 	if ts == nil || !ts.runnable {
+		// Invariant: the engine dispatches only threads PickNext returned.
 		panic(fmt.Sprintf("sched: NoteDispatch(%v) of non-runnable thread", tid))
 	}
 	ts.runnable = false
@@ -315,6 +324,7 @@ func (s *Scheduler) NoteDispatch(tid mem.ThreadID, cpu int) {
 func (s *Scheduler) OnBlock(tid mem.ThreadID, cpu int, n uint64) {
 	ts := s.threads[tid]
 	if ts == nil || !ts.running {
+		// Invariant: blocks are reported only for the installed thread.
 		panic(fmt.Sprintf("sched: OnBlock(%v) of non-running thread", tid))
 	}
 	ts.running = false

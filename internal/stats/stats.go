@@ -100,6 +100,7 @@ func (s *Series) Last() (float64, float64) {
 // values. The slices must have equal nonzero length.
 func RMSE(pred, obs []float64) float64 {
 	if len(pred) != len(obs) {
+		// Invariant: mismatched series are a programming error.
 		panic(fmt.Sprintf("stats: RMSE length mismatch %d != %d", len(pred), len(obs)))
 	}
 	if len(pred) == 0 {
@@ -118,6 +119,7 @@ func RMSE(pred, obs []float64) float64 {
 // near-zero observations from dominating.
 func MeanRelError(pred, obs []float64, floor float64) float64 {
 	if len(pred) != len(obs) {
+		// Invariant: mismatched series are a programming error.
 		panic(fmt.Sprintf("stats: MeanRelError length mismatch %d != %d", len(pred), len(obs)))
 	}
 	if len(pred) == 0 {
@@ -139,6 +141,7 @@ func MeanRelError(pred, obs []float64, floor float64) float64 {
 // typechecker and raytrace workloads.
 func MeanBias(pred, obs []float64) float64 {
 	if len(pred) != len(obs) {
+		// Invariant: mismatched series are a programming error.
 		panic(fmt.Sprintf("stats: MeanBias length mismatch %d != %d", len(pred), len(obs)))
 	}
 	if len(pred) == 0 {

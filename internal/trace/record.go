@@ -1,0 +1,215 @@
+package trace
+
+// This file defines the recorded-run format the replay backend
+// (internal/platform/replay) consumes: the scheduling-relevant event
+// stream of a run — thread lifetimes, sharing-graph edits, and one
+// interval record per context switch carrying exactly the inputs the
+// scheduler's footprint updates read (dispatch-time and block-time
+// 64-bit miss counts, the wrapped 32-bit counter snapshots, and the
+// cycle window). A recording captured from a simulator run can be
+// saved, reloaded, and replayed through the real scheduler/model stack
+// with no simulator in the loop; a future hardware backend records the
+// same stream from real counters.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/mem"
+)
+
+// EventKind enumerates recorded event types.
+type EventKind uint8
+
+// Recorded event kinds, in the order the runtime emits them.
+const (
+	// EvSpawn: a thread was created and registered with the scheduler.
+	EvSpawn EventKind = iota + 1
+	// EvExit: a thread exited and was unregistered (its sharing edges
+	// are removed at the same point).
+	EvExit
+	// EvShare: an edge (From, To, Q) was written into the sharing
+	// graph — by an at_share annotation or by runtime inference.
+	EvShare
+	// EvInterval: one scheduling interval completed (dispatch → block).
+	EvInterval
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvSpawn:
+		return "spawn"
+	case EvExit:
+		return "exit"
+	case EvShare:
+		return "share"
+	case EvInterval:
+		return "interval"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Interval is one scheduling interval of a recorded run: thread Thread
+// ran on processor CPU from StartCycles to EndCycles. The miss fields
+// carry exactly what the scheduler's update discipline consumed:
+// DispatchMisses is the processor's 64-bit cumulative miss count when
+// the thread was dispatched (the decay reference point), BlockMisses
+// the count when it blocked (the m(t) of the priority update), and
+// Start/End the wrapped 32-bit counter snapshots whose modular
+// difference is the interval's miss count n.
+type Interval struct {
+	CPU    int          `json:"cpu"`
+	Thread mem.ThreadID `json:"thread"`
+
+	DispatchMisses uint64 `json:"dispatchMisses"`
+	BlockMisses    uint64 `json:"blockMisses"`
+	// StartRefs/StartHits and EndRefs/EndHits are the wrapped counter
+	// snapshots at the interval's ends.
+	StartRefs uint32 `json:"startRefs"`
+	StartHits uint32 `json:"startHits"`
+	EndRefs   uint32 `json:"endRefs"`
+	EndHits   uint32 `json:"endHits"`
+
+	StartCycles uint64 `json:"startCycles"`
+	EndCycles   uint64 `json:"endCycles"`
+}
+
+// Misses returns the interval's E-cache miss count n, derived from the
+// wrapped snapshots with modular 32-bit arithmetic (correct across
+// counter wraparound for intervals shorter than 2^32 events).
+func (iv Interval) Misses() uint64 {
+	refs := uint64(iv.EndRefs - iv.StartRefs)
+	hits := uint64(iv.EndHits - iv.StartHits)
+	if hits > refs {
+		return 0
+	}
+	return refs - hits
+}
+
+// Event is one element of the recorded stream. Only the fields of its
+// Kind are meaningful.
+type Event struct {
+	Kind EventKind `json:"kind"`
+	// Thread is the subject of EvSpawn/EvExit.
+	Thread mem.ThreadID `json:"thread,omitempty"`
+	// From/To/Q describe an EvShare edge.
+	From mem.ThreadID `json:"from,omitempty"`
+	To   mem.ThreadID `json:"to,omitempty"`
+	Q    float64      `json:"q,omitempty"`
+	// Interval carries an EvInterval record.
+	Interval Interval `json:"interval,omitempty"`
+}
+
+// Recording is a complete captured run: the substrate geometry the
+// scheduler needs (processor count, cache size, page/line geometry),
+// the policy it ran under, and the event stream.
+type Recording struct {
+	// Policy is the scheduling policy of the recorded run ("FCFS",
+	// "LFF", "CRT", or any registered scheme name).
+	Policy string `json:"policy"`
+	// NCPU is the processor count.
+	NCPU int `json:"ncpu"`
+	// CacheLines is the per-CPU E-cache size in lines (the model's N).
+	CacheLines int `json:"cacheLines"`
+	// LineBytes and PageBytes complete the geometry.
+	LineBytes uint64 `json:"lineBytes"`
+	PageBytes uint64 `json:"pageBytes"`
+	// ThresholdLines is the heap demotion threshold of the recorded
+	// run.
+	ThresholdLines float64 `json:"thresholdLines"`
+	// Events is the stream, in emission order.
+	Events []Event `json:"events"`
+}
+
+// Validate checks that the recording is structurally sound: sane
+// geometry, events of known kinds, interval CPU indices in range, and
+// monotonic per-CPU miss counts. Replay refuses invalid recordings.
+func (r *Recording) Validate() error {
+	if r.NCPU < 1 {
+		return fmt.Errorf("trace: recording has %d CPUs", r.NCPU)
+	}
+	if r.CacheLines < 2 {
+		return fmt.Errorf("trace: recording cache of %d lines (model needs >= 2)", r.CacheLines)
+	}
+	lastMiss := make([]uint64, r.NCPU)
+	for i, ev := range r.Events {
+		switch ev.Kind {
+		case EvSpawn, EvExit, EvShare:
+			// No per-event structure to check.
+		case EvInterval:
+			iv := ev.Interval
+			if iv.CPU < 0 || iv.CPU >= r.NCPU {
+				return fmt.Errorf("trace: event %d: interval on cpu %d of %d", i, iv.CPU, r.NCPU)
+			}
+			if iv.BlockMisses < iv.DispatchMisses {
+				return fmt.Errorf("trace: event %d: miss count runs backward (%d -> %d)",
+					i, iv.DispatchMisses, iv.BlockMisses)
+			}
+			if iv.DispatchMisses < lastMiss[iv.CPU] {
+				return fmt.Errorf("trace: event %d: cpu %d miss count not monotonic (%d after %d)",
+					i, iv.CPU, iv.DispatchMisses, lastMiss[iv.CPU])
+			}
+			lastMiss[iv.CPU] = iv.BlockMisses
+		default:
+			return fmt.Errorf("trace: event %d: unknown kind %d", i, uint8(ev.Kind))
+		}
+	}
+	return nil
+}
+
+// Intervals returns just the interval records, in order.
+func (r *Recording) Intervals() []Interval {
+	var out []Interval
+	for _, ev := range r.Events {
+		if ev.Kind == EvInterval {
+			out = append(out, ev.Interval)
+		}
+	}
+	return out
+}
+
+// Save writes the recording as JSON.
+func (r *Recording) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(r)
+}
+
+// Load reads a recording written by Save and validates it.
+func Load(rd io.Reader) (*Recording, error) {
+	var r Recording
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("trace: decoding recording: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Recorder accumulates a run's event stream. Wire its Observe method
+// to the runtime's OnEvent hook; the geometry header comes from the
+// platform the run executes on.
+type Recorder struct {
+	rec Recording
+}
+
+// NewRecorder starts a recording with the given header.
+func NewRecorder(policy string, ncpu, cacheLines int, lineBytes, pageBytes uint64, threshold float64) *Recorder {
+	return &Recorder{rec: Recording{
+		Policy:         policy,
+		NCPU:           ncpu,
+		CacheLines:     cacheLines,
+		LineBytes:      lineBytes,
+		PageBytes:      pageBytes,
+		ThresholdLines: threshold,
+	}}
+}
+
+// Observe appends one event. It is the OnEvent hook target.
+func (r *Recorder) Observe(ev Event) { r.rec.Events = append(r.rec.Events, ev) }
+
+// Recording returns the accumulated recording. The recorder keeps
+// ownership; callers should be done observing.
+func (r *Recorder) Recording() *Recording { return &r.rec }

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// smallRecording builds a structurally valid two-CPU recording with a
+// spawn, a share edge, two intervals and an exit.
+func smallRecording() *Recording {
+	return &Recording{
+		Policy: "LFF", NCPU: 2, CacheLines: 8192,
+		LineBytes: 64, PageBytes: 8192, ThresholdLines: 16,
+		Events: []Event{
+			{Kind: EvSpawn, Thread: 1},
+			{Kind: EvShare, From: 1, To: 2, Q: 0.5},
+			{Kind: EvInterval, Interval: Interval{
+				CPU: 0, Thread: 1,
+				DispatchMisses: 10, BlockMisses: 25,
+				StartRefs: 100, StartHits: 90, EndRefs: 160, EndHits: 135,
+				StartCycles: 1000, EndCycles: 5000,
+			}},
+			{Kind: EvInterval, Interval: Interval{
+				CPU: 1, Thread: 1,
+				DispatchMisses: 0, BlockMisses: 7,
+				StartRefs: 0, StartHits: 0, EndRefs: 9, EndHits: 2,
+				StartCycles: 0, EndCycles: 900,
+			}},
+			{Kind: EvExit, Thread: 1},
+		},
+	}
+}
+
+func TestRecordingRoundTrip(t *testing.T) {
+	rec := smallRecording()
+	var buf bytes.Buffer
+	if err := rec.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Policy != rec.Policy || got.NCPU != rec.NCPU ||
+		got.CacheLines != rec.CacheLines || got.ThresholdLines != rec.ThresholdLines {
+		t.Errorf("header changed: %+v", got)
+	}
+	if len(got.Events) != len(rec.Events) {
+		t.Fatalf("events = %d, want %d", len(got.Events), len(rec.Events))
+	}
+	for i := range rec.Events {
+		if got.Events[i] != rec.Events[i] {
+			t.Errorf("event %d: %+v != %+v", i, got.Events[i], rec.Events[i])
+		}
+	}
+}
+
+func TestIntervalMissesModular(t *testing.T) {
+	iv := Interval{StartRefs: 1<<32 - 3, StartHits: 1<<32 - 1, EndRefs: 7, EndHits: 3}
+	// refs delta = 10, hits delta = 4, both across the wrap.
+	if got := iv.Misses(); got != 6 {
+		t.Errorf("Misses across wrap = %d, want 6", got)
+	}
+	if got := (Interval{EndHits: 5}).Misses(); got != 0 {
+		t.Errorf("hits>refs not clamped: %d", got)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		edit func(*Recording)
+		want string
+	}{
+		{"no cpus", func(r *Recording) { r.NCPU = 0 }, "CPUs"},
+		{"tiny cache", func(r *Recording) { r.CacheLines = 1 }, "lines"},
+		{"cpu out of range", func(r *Recording) { r.Events[2].Interval.CPU = 5 }, "cpu 5"},
+		{"unknown kind", func(r *Recording) { r.Events[0].Kind = 99 }, "unknown kind"},
+		{"interval runs backward", func(r *Recording) {
+			r.Events[2].Interval.BlockMisses = 3 // < DispatchMisses 10
+		}, "backward"},
+		{"per-cpu not monotonic", func(r *Recording) {
+			// Second interval on cpu 0 starting below the first's end.
+			r.Events[3].Interval.CPU = 0
+			r.Events[3].Interval.DispatchMisses = 4
+			r.Events[3].Interval.BlockMisses = 6
+		}, "monotonic"},
+	}
+	for _, c := range cases {
+		rec := smallRecording()
+		c.edit(rec)
+		err := rec.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestLoadRejectsInvalid(t *testing.T) {
+	rec := smallRecording()
+	rec.NCPU = 0
+	var buf bytes.Buffer
+	if err := rec.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Error("Load accepted a recording Validate rejects")
+	}
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Error("Load accepted garbage")
+	}
+}
+
+func TestRecorderAccumulates(t *testing.T) {
+	r := NewRecorder("CRT", 4, 8192, 64, 8192, 16)
+	r.Observe(Event{Kind: EvSpawn, Thread: mem.ThreadID(3)})
+	r.Observe(Event{Kind: EvExit, Thread: mem.ThreadID(3)})
+	rec := r.Recording()
+	if rec.Policy != "CRT" || rec.NCPU != 4 || len(rec.Events) != 2 {
+		t.Errorf("recorder state: %+v", rec)
+	}
+	if got := len(rec.Intervals()); got != 0 {
+		t.Errorf("Intervals = %d, want 0", got)
+	}
+}

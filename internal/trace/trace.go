@@ -70,6 +70,8 @@ type Pattern struct {
 }
 
 func (p Pattern) validate() {
+	// Invariant panics: patterns are compiled into the experiment
+	// drivers, not user input — a bad one is a programming error.
 	if p.Fresh.Len == 0 {
 		panic("trace: pattern needs a Fresh region")
 	}

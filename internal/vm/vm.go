@@ -79,6 +79,7 @@ type Mapper struct {
 // the Naive policy's arbitrary placements.
 func New(policy Policy, pageSize, cacheBytes uint64, seed uint64) *Mapper {
 	if !mem.IsPow2(pageSize) {
+		// Invariant: callers pass machine.Config geometry, validated upstream.
 		panic(fmt.Sprintf("vm: page size %d is not a power of two", pageSize))
 	}
 	colors := cacheBytes / pageSize
@@ -142,6 +143,7 @@ func (m *Mapper) allocate(vpage uint64) uint64 {
 	case Careful:
 		return m.frameInColor(m.chooseColor(vpage))
 	default:
+		// Invariant: the Policy enum is closed.
 		panic(fmt.Sprintf("vm: unknown policy %d", int(m.policy)))
 	}
 }

@@ -1,10 +1,12 @@
 package workloads
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/platform/sim"
 	"repro/internal/rt"
 )
 
@@ -16,7 +18,10 @@ func countDispatchesByName(t *testing.T, spawn func(e *rt.Engine), policy string
 	if cpus > 1 {
 		cfg = machine.Enterprise5000(cpus)
 	}
-	e := rt.New(machine.New(cfg), rt.Options{Policy: policy, Seed: 5})
+	e, err := rt.New(sim.New(machine.New(cfg)), rt.Options{Policy: policy, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
 	counts := make(map[string]int)
 	seen := make(map[mem.ThreadID]bool)
 	e.OnDispatch = func(cpu int, tid mem.ThreadID, name string) {
@@ -27,7 +32,7 @@ func countDispatchesByName(t *testing.T, spawn func(e *rt.Engine), policy string
 		}
 	}
 	spawn(e)
-	if err := e.Run(); err != nil {
+	if err := e.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	counts["threads"] = len(seen)
@@ -125,9 +130,12 @@ func TestWorkloadsDisjointAllocations(t *testing.T) {
 	// with disjoint state, no annotation edges and no accessor overlap
 	// are possible — cheapest proxy: the graph stays empty.
 	cfg := machine.UltraSPARC1()
-	e := rt.New(machine.New(cfg), rt.Options{Policy: "LFF", Seed: 9})
+	e, err := rt.New(sim.New(machine.New(cfg)), rt.Options{Policy: "LFF", Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
 	SpawnTasks(e, TasksConfig{Tasks: 8, FootprintLines: 10, Periods: 2})
-	if err := e.Run(); err != nil {
+	if err := e.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if e.Graph().Edges() != 0 {

@@ -1,11 +1,16 @@
 package workloads
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/machine"
+	"repro/internal/platform/sim"
 	"repro/internal/rt"
 )
+
+// machineOf digs the simulated machine out of a test engine.
+func machineOf(e *rt.Engine) *machine.Machine { return e.Platform().(*sim.Platform).Machine() }
 
 // runScaled executes one scheduling app at small scale and returns the
 // engine for inspection.
@@ -17,9 +22,12 @@ func runScaled(t *testing.T, app SchedApp, cpus int, policy string, scale float6
 	} else {
 		cfg = machine.Enterprise5000(cpus)
 	}
-	e := rt.New(machine.New(cfg), rt.Options{Policy: policy, Seed: 11})
+	e, err := rt.New(sim.New(machine.New(cfg)), rt.Options{Policy: policy, Seed: 11})
+	if err != nil {
+		t.Fatalf("%s/%s: %v", app.Name, policy, err)
+	}
 	app.Spawn(e, scale)
-	if err := e.Run(); err != nil {
+	if err := e.Run(context.Background()); err != nil {
 		t.Fatalf("%s/%s: %v", app.Name, policy, err)
 	}
 	return e
@@ -30,7 +38,7 @@ func TestAllSchedAppsCompleteUnderAllPolicies(t *testing.T) {
 		for _, policy := range []string{"FCFS", "LFF", "CRT"} {
 			for _, cpus := range []int{1, 4} {
 				e := runScaled(t, app, cpus, policy, 0.05)
-				if _, _, misses := e.Machine().Totals(); misses == 0 {
+				if _, _, misses := machineOf(e).Totals(); misses == 0 {
 					t.Errorf("%s/%s/%dcpu: no misses at all?", app.Name, policy, cpus)
 				}
 			}
@@ -72,13 +80,16 @@ func TestTasksDisjointFootprints(t *testing.T) {
 
 func TestMergeBuildsParentChildAnnotations(t *testing.T) {
 	cfg := machine.UltraSPARC1()
-	e := rt.New(machine.New(cfg), rt.Options{Policy: "LFF", Seed: 3})
+	e, err := rt.New(sim.New(machine.New(cfg)), rt.Options{Policy: "LFF", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	edgesSeen := 0
 	SpawnMerge(e, MergeConfig{Elements: 3200, Leaf: 100})
 	// Snapshot the graph mid-run is hard from outside; instead verify
 	// post-conditions: all threads exited, graph empty, and the run
 	// created the expected thread tree (2*leaves-1 threads).
-	if err := e.Run(); err != nil {
+	if err := e.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if e.Graph().Edges() != 0 {
@@ -102,8 +113,8 @@ func TestPhotoNeighbourSharingHelpsOnSMP(t *testing.T) {
 	app, _ := SchedAppByName("photo")
 	fcfs := runScaled(t, app, 4, "FCFS", 0.1)
 	lff := runScaled(t, app, 4, "LFF", 0.1)
-	_, _, mFCFS := fcfs.Machine().Totals()
-	_, _, mLFF := lff.Machine().Totals()
+	_, _, mFCFS := machineOf(fcfs).Totals()
+	_, _, mLFF := machineOf(lff).Totals()
 	if mLFF >= mFCFS {
 		t.Errorf("photo/4cpu: LFF misses %d >= FCFS %d", mLFF, mFCFS)
 	}
@@ -115,8 +126,8 @@ func TestTSPParentPrefetchesForChildren(t *testing.T) {
 	app, _ := SchedAppByName("tsp")
 	fcfs := runScaled(t, app, 4, "FCFS", 0.06)
 	lff := runScaled(t, app, 4, "LFF", 0.06)
-	_, _, mFCFS := fcfs.Machine().Totals()
-	_, _, mLFF := lff.Machine().Totals()
+	_, _, mFCFS := machineOf(fcfs).Totals()
+	_, _, mLFF := machineOf(lff).Totals()
 	if mLFF >= mFCFS {
 		t.Errorf("tsp/4cpu: LFF misses %d >= FCFS %d", mLFF, mFCFS)
 	}

@@ -33,6 +33,7 @@ func (s *Source) Uint64() uint64 {
 // Uint64n returns a uniform value in [0, n). It panics if n == 0.
 func (s *Source) Uint64n(n uint64) uint64 {
 	if n == 0 {
+		// Invariant: a zero bound is a programming error at the call site.
 		panic("xrand: Uint64n with n == 0")
 	}
 	// Multiply-shift bound (Lemire). The bias for simulation-sized n
@@ -45,6 +46,7 @@ func (s *Source) Uint64n(n uint64) uint64 {
 // Intn returns a uniform value in [0, n). It panics if n <= 0.
 func (s *Source) Intn(n int) int {
 	if n <= 0 {
+		// Invariant: a non-positive bound is a programming error.
 		panic("xrand: Intn with n <= 0")
 	}
 	return int(s.Uint64n(uint64(n)))

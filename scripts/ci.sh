@@ -10,6 +10,13 @@
 set -e
 cd "$(dirname "$0")/.."
 
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 go vet ./...
 go test -race ./internal/parallel ./internal/sched
 go test -race ./internal/experiments -run 'ParallelDeterminism'

@@ -10,10 +10,11 @@
 //
 // A minimal program:
 //
-//	sys := threadlocality.New(threadlocality.Config{
+//	sys, err := threadlocality.New(threadlocality.Config{
 //		Machine: threadlocality.Enterprise5000(8),
 //		Policy:  threadlocality.LFF,
 //	})
+//	if err != nil { ... }
 //	sys.Spawn("main", func(t *threadlocality.Thread) {
 //		state := t.Alloc(64 * 1024)
 //		child := t.Create("child", func(c *threadlocality.Thread) {
@@ -31,11 +32,13 @@
 package threadlocality
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/model"
+	"repro/internal/platform/sim"
 	"repro/internal/rt"
 )
 
@@ -128,18 +131,22 @@ type System struct {
 	eng  *rt.Engine
 }
 
-// New builds a System.
-func New(cfg Config) *System {
+// New builds a System. It returns an error for an invalid machine
+// configuration or an unknown policy name rather than panicking.
+func New(cfg Config) (*System, error) {
 	mcfg := cfg.Machine
 	if mcfg.CPUs == 0 {
 		mcfg = machine.UltraSPARC1()
+	}
+	if err := mcfg.Validate(); err != nil {
+		return nil, err
 	}
 	policy := cfg.Policy
 	if policy == "" {
 		policy = FCFS
 	}
 	m := machine.New(mcfg)
-	e := rt.New(m, rt.Options{
+	e, err := rt.New(sim.New(m), rt.Options{
 		Policy:             string(policy),
 		ThresholdLines:     cfg.ThresholdLines,
 		DisableAnnotations: cfg.DisableAnnotations,
@@ -147,7 +154,10 @@ func New(cfg Config) *System {
 		FairnessLimit:      cfg.FairnessLimit,
 		Seed:               cfg.Seed,
 	})
-	return &System{mach: m, eng: e}
+	if err != nil {
+		return nil, err
+	}
+	return &System{mach: m, eng: e}, nil
 }
 
 // Spawn creates a root thread running body. Call before Run; threads
@@ -158,7 +168,11 @@ func (s *System) Spawn(name string, body func(*Thread)) ThreadID {
 
 // Run executes the program to completion (all threads exited). It
 // returns an error on deadlock or if a thread body panicked.
-func (s *System) Run() error { return s.eng.Run() }
+func (s *System) Run() error { return s.eng.Run(context.Background()) }
+
+// RunContext is Run with cancellation: the simulation aborts (and the
+// context's error is returned) if ctx is cancelled mid-run.
+func (s *System) RunContext(ctx context.Context) error { return s.eng.Run(ctx) }
 
 // Engine exposes the underlying runtime for advanced use (dispatch
 // hooks, scheduler inspection).

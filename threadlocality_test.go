@@ -1,12 +1,16 @@
 package threadlocality
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestQuickstartFlow(t *testing.T) {
-	sys := New(Config{Policy: LFF, Seed: 3})
+	sys, err := New(Config{Policy: LFF, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var childRan bool
 	sys.Spawn("main", func(th *Thread) {
 		state := th.Alloc(64 * 1024)
@@ -37,7 +41,10 @@ func TestQuickstartFlow(t *testing.T) {
 }
 
 func TestDefaultsAreUltra1FCFS(t *testing.T) {
-	sys := New(Config{})
+	sys, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	sys.Spawn("noop", func(th *Thread) { th.Compute(10) })
 	if err := sys.Run(); err != nil {
 		t.Fatal(err)
@@ -53,7 +60,10 @@ func TestDefaultsAreUltra1FCFS(t *testing.T) {
 
 func TestPoliciesDifferOnSMP(t *testing.T) {
 	run := func(p Policy) Stats {
-		sys := New(Config{Machine: Enterprise5000(4), Policy: p, Seed: 9})
+		sys, err := New(Config{Machine: Enterprise5000(4), Policy: p, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
 		sys.Spawn("main", func(th *Thread) {
 			var kids []ThreadID
 			for i := 0; i < 60; i++ {
@@ -98,7 +108,10 @@ func TestSyncConstructors(t *testing.T) {
 }
 
 func TestPerCPUStats(t *testing.T) {
-	sys := New(Config{Machine: Enterprise5000(2), Policy: LFF, Seed: 1})
+	sys, err := New(Config{Machine: Enterprise5000(2), Policy: LFF, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	sys.Spawn("main", func(th *Thread) {
 		a := th.Create("a", func(c *Thread) { c.Compute(100000) })
 		b := th.Create("b", func(c *Thread) { c.Compute(100000) })
@@ -131,13 +144,16 @@ func TestPerCPUStats(t *testing.T) {
 }
 
 func TestConfigKnobsPassThrough(t *testing.T) {
-	sys := New(Config{
+	sys, err := New(Config{
 		Policy:         CRT,
 		ThresholdLines: 32,
 		FairnessLimit:  100,
 		InferSharing:   true,
 		Seed:           3,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	sys.Spawn("noop", func(th *Thread) { th.Compute(1) })
 	if err := sys.Run(); err != nil {
 		t.Fatal(err)
@@ -147,5 +163,46 @@ func TestConfigKnobsPassThrough(t *testing.T) {
 	}
 	if sys.Stats().Policy != "CRT" {
 		t.Error("policy not wired")
+	}
+}
+
+func TestNewRejectsBadInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"unknown policy", Config{Policy: "NOSUCH"}, "unknown policy"},
+		{"too many cpus", Config{Machine: Enterprise5000(200)}, "cpu"},
+	}
+	for _, c := range cases {
+		sys, err := New(c.cfg)
+		if err == nil {
+			t.Errorf("%s: New accepted %+v", c.name, c.cfg)
+			continue
+		}
+		if sys != nil {
+			t.Errorf("%s: non-nil System alongside error", c.name)
+		}
+		if !strings.Contains(strings.ToLower(err.Error()), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	sys, err := New(Config{Policy: LFF, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Spawn("spinner", func(th *Thread) {
+		for i := 0; i < 1_000_000; i++ {
+			th.Yield()
+		}
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the run must abort, not complete
+	if err := sys.RunContext(ctx); err == nil {
+		t.Error("cancelled run reported success")
 	}
 }
