@@ -8,6 +8,7 @@
 //	atsim -app tasks -policy LFF -cpus 8 -scale 0.5
 //	atsim -app tasks -policy LFF -cpus 4 -record run.json
 //	atsim -replay run.json
+//	atsim -app tasks -cpus 4 -faults all -health
 //	atsim -list
 package main
 
@@ -22,6 +23,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/model"
+	"repro/internal/platform/faulty"
 	"repro/internal/platform/replay"
 	"repro/internal/platform/sim"
 	"repro/internal/rt"
@@ -40,6 +42,8 @@ func main() {
 	verbose := flag.Bool("verbose", false, "print per-CPU counters and bus traffic")
 	record := flag.String("record", "", "capture the run's scheduling trace to this file (JSON)")
 	replayFile := flag.String("replay", "", "replay a recorded trace through the scheduler instead of simulating")
+	faults := flag.String("faults", "", "inject counter faults: wrap=BITS,stuck=LEN@EVERY,drop=LEN@EVERY,spike=DELTA@EVERY,skew=CYCLES,seed=N, or 'all'")
+	health := flag.Bool("health", false, "print per-CPU counter health after the run")
 	list := flag.Bool("list", false, "list applications and exit")
 	flag.Parse()
 
@@ -71,6 +75,18 @@ func main() {
 	}
 	if *scale <= 0 {
 		usageError(fmt.Errorf("scale %v must be positive", *scale))
+	}
+	faultCfg, err := faulty.ParseSpec(*faults)
+	if err != nil {
+		usageError(err)
+	}
+
+	if faultCfg.Enabled() || *health {
+		if err := runFaults(*app, *policy, *cpus, *scale, *seed, *noAnnot, faultCfg); err != nil {
+			fmt.Fprintln(os.Stderr, "atsim:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *record != "" {
@@ -188,6 +204,38 @@ func runVerbose(appName, policy string, cpus int, scale float64, seed uint64, no
 	fmt.Printf("%s under %s on %d cpu(s), scale %.2f:\n", appName, policy, cpus, scale)
 	fmt.Printf("  E-refs %d, E-misses %d, cycles %d\n", refs, misses, m.MaxCycles())
 	printMachineDetail(m, e)
+	return nil
+}
+
+// runFaults runs the app with the fault-injecting platform wrapped
+// around the simulator and reports the per-CPU counter-health
+// accounting — the runtime's sanitizer and quarantine machinery at
+// work against lying instrumentation.
+func runFaults(appName, policy string, cpus int, scale float64, seed uint64, noAnnot bool, cfg faulty.Config) error {
+	app, err := workloads.SchedAppByName(appName)
+	if err != nil {
+		return err
+	}
+	m := machine.New(machineConfig(cpus))
+	plat, err := faulty.New(sim.New(m), cfg)
+	if err != nil {
+		return err
+	}
+	e, err := rt.New(plat, rt.Options{Policy: policy, Seed: seed, DisableAnnotations: noAnnot})
+	if err != nil {
+		return err
+	}
+	app.Spawn(e, scale)
+	if err := e.Run(context.Background()); err != nil {
+		return err
+	}
+	refs, _, misses := m.Totals()
+	fmt.Printf("%s under %s on %d cpu(s), scale %.2f, faults %s:\n", appName, policy, cpus, scale, cfg)
+	fmt.Printf("  E-refs %d, E-misses %d, cycles %d\n", refs, misses, m.MaxCycles())
+	fmt.Println("  counter health:")
+	for _, h := range e.CounterHealth() {
+		fmt.Printf("    %s\n", h)
+	}
 	return nil
 }
 

@@ -1,0 +1,97 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCheckFootprint(t *testing.T) {
+	const n = 8192
+	for _, s := range []float64{0, 1, 4096, 8192} {
+		if err := CheckFootprint(s, n); err != nil {
+			t.Errorf("CheckFootprint(%v) = %v, want nil", s, err)
+		}
+	}
+	for _, s := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -0.001, 8192.001, 1e18} {
+		if err := CheckFootprint(s, n); err == nil {
+			t.Errorf("CheckFootprint(%v) = nil, want error", s)
+		}
+	}
+}
+
+func TestCheckSharing(t *testing.T) {
+	for _, q := range []float64{0, 0.25, 1} {
+		if err := CheckSharing(q); err != nil {
+			t.Errorf("CheckSharing(%v) = %v, want nil", q, err)
+		}
+	}
+	for _, q := range []float64{math.NaN(), math.Inf(1), -0.1, 1.1} {
+		if err := CheckSharing(q); err == nil {
+			t.Errorf("CheckSharing(%v) = nil, want error", q)
+		}
+	}
+}
+
+func TestClampFootprintAndSharing(t *testing.T) {
+	const n = 100
+	cases := []struct{ in, want float64 }{
+		{math.NaN(), 0}, {math.Inf(-1), 0}, {-5, 0},
+		{0, 0}, {42.5, 42.5}, {100, 100},
+		{100.5, 100}, {math.Inf(1), 100},
+	}
+	for _, c := range cases {
+		if got := ClampFootprint(c.in, n); got != c.want {
+			t.Errorf("ClampFootprint(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	qcases := []struct{ in, want float64 }{
+		{math.NaN(), 0}, {-1, 0}, {0, 0}, {0.5, 0.5}, {1, 1}, {2, 1},
+	}
+	for _, c := range qcases {
+		if got := ClampSharing(c.in); got != c.want {
+			t.Errorf("ClampSharing(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestClosedFormsClampGarbageInputs pins the API-boundary hardening:
+// whatever garbage a corrupted counter pipeline produces for s or q,
+// the closed forms return a finite footprint in [0, N].
+func TestClosedFormsClampGarbageInputs(t *testing.T) {
+	m := New(1024)
+	garbageS := []float64{math.NaN(), math.Inf(1), math.Inf(-1), -50, 1e12}
+	garbageQ := []float64{math.NaN(), math.Inf(1), -3, 7}
+	check := func(name string, got float64) {
+		t.Helper()
+		if math.IsNaN(got) || got < 0 || got > 1024 {
+			t.Errorf("%s = %v, want finite in [0, 1024]", name, got)
+		}
+	}
+	for _, s := range garbageS {
+		for _, n := range []uint64{0, 100, 1 << 40} {
+			check("ExpectSelf", m.ExpectSelf(s, n))
+			check("ExpectIndep", m.ExpectIndep(s, n))
+			check("Decay", m.Decay(s, 0, n))
+			for _, q := range garbageQ {
+				check("ExpectDep", m.ExpectDep(s, q, n))
+			}
+		}
+	}
+}
+
+// TestClampIsIdentityInRange pins golden-safety: for in-range inputs
+// the clamps are exact no-ops, so the hardened closed forms compute
+// bit-identical results to the unclamped originals.
+func TestClampIsIdentityInRange(t *testing.T) {
+	m := New(8192)
+	for _, s := range []float64{0, 0.125, 17.3, 4095.99, 8192} {
+		if got := ClampFootprint(s, 8192); got != s {
+			t.Errorf("ClampFootprint(%v) = %v, not identity", s, got)
+		}
+		a := m.ExpectSelf(s, 977)
+		b := m.ExpectSelf(ClampFootprint(s, 8192), 977)
+		if a != b {
+			t.Errorf("clamp changed ExpectSelf(%v): %v != %v", s, a, b)
+		}
+	}
+}

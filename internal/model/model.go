@@ -112,26 +112,90 @@ func (m *Model) Log(f float64) float64 {
 	return math.Log(f)
 }
 
+// CheckFootprint returns a descriptive error when s is not a valid
+// footprint for a cache of n lines: NaN, negative, or larger than the
+// cache. It is the error-returning validation used where untrusted
+// footprints enter the model (trace validation, replay, tests); the
+// update entry points themselves clamp instead, because a scheduling
+// hint must never fault the program.
+func CheckFootprint(s float64, n int) error {
+	if math.IsNaN(s) {
+		return fmt.Errorf("model: footprint is NaN")
+	}
+	if s < 0 || s > float64(n) {
+		return fmt.Errorf("model: footprint %v outside [0, %d]", s, n)
+	}
+	return nil
+}
+
+// CheckSharing returns a descriptive error when q is not a valid sharing
+// coefficient: NaN or outside [0, 1].
+func CheckSharing(q float64) error {
+	if math.IsNaN(q) {
+		return fmt.Errorf("model: sharing coefficient is NaN")
+	}
+	if q < 0 || q > 1 {
+		return fmt.Errorf("model: sharing coefficient %v outside [0, 1]", q)
+	}
+	return nil
+}
+
+// ClampFootprint forces s into the valid footprint range [0, n].
+// NaN clamps to 0 (an unknown footprint is treated as no footprint).
+// In-range values are returned unchanged.
+func ClampFootprint(s float64, n int) float64 {
+	if !(s > 0) { // catches negatives and NaN
+		return 0
+	}
+	if fn := float64(n); s > fn {
+		return fn
+	}
+	return s
+}
+
+// ClampSharing forces q into [0, 1]; NaN clamps to 0 (an unknown
+// coefficient shares nothing). In-range values are returned unchanged.
+func ClampSharing(q float64) float64 {
+	if !(q > 0) {
+		return 0
+	}
+	if q > 1 {
+		return 1
+	}
+	return q
+}
+
+// clampS bounds an incoming footprint to [0, N] for this model's cache.
+// A no-op for every value the scheduler itself produces; it exists so
+// corrupted counter readings or hostile recordings cannot push the
+// closed forms outside their domain (where log would return -Inf and
+// poison every later priority).
+func (m *Model) clampS(s float64) float64 { return ClampFootprint(s, m.n) }
+
 // ExpectSelf returns the expected footprint of the blocking thread
 // itself after taking n misses, given its footprint s when dispatched
-// (case 1: E = N − (N−s)·kⁿ).
+// (case 1: E = N − (N−s)·kⁿ). s is clamped to [0, N], so the result is
+// always in [0, N] as well.
 func (m *Model) ExpectSelf(s float64, n uint64) float64 {
+	s = m.clampS(s)
 	fn := float64(m.n)
 	return fn - (fn-s)*m.PowK(n)
 }
 
 // ExpectIndep returns the expected footprint of a thread independent of
 // the blocking thread after the blocker took n misses (case 2:
-// E = s·kⁿ).
+// E = s·kⁿ). s is clamped to [0, N].
 func (m *Model) ExpectIndep(s float64, n uint64) float64 {
-	return s * m.PowK(n)
+	return m.clampS(s) * m.PowK(n)
 }
 
 // ExpectDep returns the expected footprint of a thread that shares state
 // with the blocking thread, where q is the sharing coefficient on the
-// (blocker, thread) edge (case 3: E = qN − (qN−s)·kⁿ).
+// (blocker, thread) edge (case 3: E = qN − (qN−s)·kⁿ). s is clamped to
+// [0, N] and q to [0, 1], so the result is always in [0, N].
 func (m *Model) ExpectDep(s, q float64, n uint64) float64 {
-	qn := q * float64(m.n)
+	s = m.clampS(s)
+	qn := ClampSharing(q) * float64(m.n)
 	return qn - (qn-s)*m.PowK(n)
 }
 
@@ -139,8 +203,12 @@ func (m *Model) ExpectDep(s, q float64, n uint64) float64 {
 // read m0, decayed to the instant the counter reads mt. Between updates
 // every thread is independent of whatever ran, so the universal decay
 // law E(t) = s·k^(m(t)−m0) applies; this is what makes the inflated
-// priorities of Section 4 time-invariant.
+// priorities of Section 4 time-invariant. s is clamped to [0, N]; a
+// non-monotonic counter (mt < m0, impossible on healthy hardware but
+// routine under fault injection) leaves s undecayed rather than
+// amplifying it.
 func (m *Model) Decay(s float64, m0, mt uint64) float64 {
+	s = m.clampS(s)
 	if mt <= m0 {
 		return s
 	}

@@ -1,0 +1,274 @@
+// Package faulty is the third platform backend: a deterministic,
+// seedable fault-injection wrapper over any platform.Platform. The
+// substrate underneath stays healthy — memory operations, allocation
+// and the miss hook pass through untouched — but the *instrumentation*
+// lies, the way real hardware instrumentation lies: counters wrap at
+// arbitrary widths, stall frozen, get multiplexed away for whole
+// intervals, jump by huge deltas, and per-CPU clocks skew. The runtime
+// must survive all of it; the sanitizer and quarantine machinery in
+// internal/rt exist because of exactly these failure modes, and this
+// backend is how they are tested reproducibly.
+//
+// Every fault is a pure function of the wrapped counter's own value and
+// the configured schedule (per-CPU phases derived from the seed), never
+// of wall time or call count. Two runs with the same workload, seed and
+// configuration therefore inject byte-identical fault sequences, no
+// matter how often the runtime happens to read the counters — the
+// fault-matrix tests rely on this, and it is what makes failures
+// reproducible enough to debug.
+//
+// With the zero Config no transform is active and the wrapper is
+// bit-transparent: a run through faulty.New(inner, Config{}) is
+// event-for-event identical to a run on inner directly (pinned by the
+// zero-fault differential test).
+package faulty
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/platform"
+	"repro/internal/xrand"
+)
+
+// Config is the injection schedule. Each fault class is independent and
+// disabled at its zero value; any combination may be active at once.
+// All windows are expressed on the corrupted counter's own scale (reads
+// per reads, cycles per cycles), so the schedule is reproducible
+// regardless of how often the counters are sampled.
+type Config struct {
+	// Seed derives the per-CPU phase offsets that keep processors'
+	// fault windows out of lockstep. The same seed always produces the
+	// same schedule.
+	Seed uint64
+
+	// WrapBits, when nonzero, narrows every counter to WrapBits bits:
+	// the PIC pair and the 64-bit miss shadow wrap at 2^WrapBits
+	// instead of their native widths (4 <= WrapBits <= 31). Interval
+	// arithmetic that assumed 32-bit modular behaviour sees huge
+	// bogus deltas whenever a wrap lands inside an interval.
+	WrapBits uint
+
+	// StuckEvery/StuckLen freeze counters: whenever a counter's value
+	// (plus the CPU's phase) falls in [k·StuckEvery, k·StuckEvery +
+	// StuckLen), reads return the window's start value — the counter
+	// appears stalled while the machine runs on.
+	StuckEvery uint64
+	StuckLen   uint64
+
+	// DropEvery/DropLen simulate counter multiplexing: in each window
+	// of DropLen counts out of every DropEvery, reads return 0 — the
+	// counter was reprogrammed away and there is no data.
+	DropEvery uint64
+	DropLen   uint64
+
+	// SpikeEvery/SpikeDelta corrupt reads with jumps: every SpikeEvery
+	// counts, the reported reference count permanently gains
+	// SpikeDelta — a burst of phantom events, as a corrupted read or a
+	// shared counter bleeding in from another context would produce.
+	SpikeEvery uint64
+	SpikeDelta uint64
+
+	// SkewCycles skews the per-CPU clocks: processor i reports its
+	// cycle count offset by i × SkewCycles, so cross-CPU timestamps
+	// disagree the way unsynchronized TSCs do.
+	SkewCycles uint64
+}
+
+// Enabled reports whether any fault class is configured.
+func (c Config) Enabled() bool {
+	return c.WrapBits != 0 || c.StuckEvery != 0 || c.DropEvery != 0 ||
+		c.SpikeEvery != 0 || c.SkewCycles != 0
+}
+
+// Validate rejects schedules that cannot be injected.
+func (c Config) Validate() error {
+	if c.WrapBits != 0 && (c.WrapBits < 4 || c.WrapBits > 31) {
+		return fmt.Errorf("faulty: wrap width %d bits (want 4..31)", c.WrapBits)
+	}
+	if c.StuckEvery != 0 && c.StuckLen >= c.StuckEvery {
+		return fmt.Errorf("faulty: stuck window %d >= period %d", c.StuckLen, c.StuckEvery)
+	}
+	if c.StuckEvery == 0 && c.StuckLen != 0 {
+		return fmt.Errorf("faulty: stuck window %d without a period", c.StuckLen)
+	}
+	if c.DropEvery != 0 && c.DropLen >= c.DropEvery {
+		return fmt.Errorf("faulty: dropout window %d >= period %d", c.DropLen, c.DropEvery)
+	}
+	if c.DropEvery == 0 && c.DropLen != 0 {
+		return fmt.Errorf("faulty: dropout window %d without a period", c.DropLen)
+	}
+	if c.SpikeEvery == 0 && c.SpikeDelta != 0 {
+		return fmt.Errorf("faulty: spike delta %d without a period", c.SpikeDelta)
+	}
+	return nil
+}
+
+// Platform wraps an inner platform.Platform, corrupting its counter and
+// clock reads per the Config. Everything else forwards unchanged.
+type Platform struct {
+	inner platform.Platform
+	cfg   Config
+	cpus  []platform.CPU
+}
+
+// New wraps inner with the given injection schedule.
+func New(inner platform.Platform, cfg Config) (*Platform, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Platform{inner: inner, cfg: cfg}
+	for i := 0; i < inner.NCPU(); i++ {
+		p.cpus = append(p.cpus, newCPU(inner.CPU(i), cfg, i))
+	}
+	return p, nil
+}
+
+// Inner returns the wrapped platform.
+func (p *Platform) Inner() platform.Platform { return p.inner }
+
+// Config returns the injection schedule.
+func (p *Platform) Config() Config { return p.cfg }
+
+// NCPU implements platform.Platform.
+func (p *Platform) NCPU() int { return p.inner.NCPU() }
+
+// CPU implements platform.Platform.
+func (p *Platform) CPU(i int) platform.CPU { return p.cpus[i] }
+
+// CacheLines implements platform.Platform.
+func (p *Platform) CacheLines() int { return p.inner.CacheLines() }
+
+// LineBytes implements platform.Platform.
+func (p *Platform) LineBytes() uint64 { return p.inner.LineBytes() }
+
+// PageBytes implements platform.Platform.
+func (p *Platform) PageBytes() uint64 { return p.inner.PageBytes() }
+
+// Alloc implements platform.Alloc (pass-through: the memory system is
+// healthy, only the instrumentation lies).
+func (p *Platform) Alloc(size, align uint64) mem.Range { return p.inner.Alloc(size, align) }
+
+// Apply implements platform.Platform (pass-through).
+func (p *Platform) Apply(cpu int, tid mem.ThreadID, batch mem.Batch) uint64 {
+	return p.inner.Apply(cpu, tid, batch)
+}
+
+// Advance implements platform.Platform (pass-through).
+func (p *Platform) Advance(cpu int, instrs uint64) { p.inner.Advance(cpu, instrs) }
+
+// AdvanceCycles implements platform.Platform (pass-through).
+func (p *Platform) AdvanceCycles(cpu int, cycles uint64) { p.inner.AdvanceCycles(cpu, cycles) }
+
+// TouchCode implements platform.Platform (pass-through).
+func (p *Platform) TouchCode(cpu int, tid mem.ThreadID, code mem.Range) {
+	p.inner.TouchCode(cpu, tid, code)
+}
+
+// SetMissHook implements platform.Platform (pass-through).
+func (p *Platform) SetMissHook(fn func(tid mem.ThreadID, va mem.Addr)) {
+	p.inner.SetMissHook(fn)
+}
+
+// cpu is one processor with lying instrumentation.
+type cpu struct {
+	inner platform.CPU
+	cfg   Config
+
+	// wrapMask narrows counters when WrapBits is set (0 = off).
+	wrapMask uint64
+	// skew is this CPU's constant clock offset.
+	skew uint64
+	// stuckPhase/dropPhase/spikePhase shift each class's windows so
+	// CPUs fault at different points of their counters' ranges.
+	stuckPhase uint64
+	dropPhase  uint64
+	spikePhase uint64
+}
+
+// newCPU derives the per-CPU schedule from the seed.
+func newCPU(inner platform.CPU, cfg Config, idx int) *cpu {
+	c := &cpu{inner: inner, cfg: cfg}
+	if cfg.WrapBits != 0 {
+		c.wrapMask = 1<<cfg.WrapBits - 1
+	}
+	c.skew = uint64(idx) * cfg.SkewCycles
+	rng := xrand.New(cfg.Seed ^ (0xfa171e * (uint64(idx) + 1)))
+	if cfg.StuckEvery != 0 {
+		c.stuckPhase = rng.Uint64n(cfg.StuckEvery)
+	}
+	if cfg.DropEvery != 0 {
+		c.dropPhase = rng.Uint64n(cfg.DropEvery)
+	}
+	if cfg.SpikeEvery != 0 {
+		c.spikePhase = rng.Uint64n(cfg.SpikeEvery)
+	}
+	return c
+}
+
+// corrupt applies the value-domain fault classes to one cumulative
+// counter reading v. Window positions are decided on the true value, so
+// the transform is a pure function of v.
+func (c *cpu) corrupt(v uint64, spike bool) uint64 {
+	out := v
+	if spike && c.cfg.SpikeEvery != 0 {
+		out += ((v + c.spikePhase) / c.cfg.SpikeEvery) * c.cfg.SpikeDelta
+	}
+	if c.cfg.StuckEvery != 0 {
+		if ph := (v + c.stuckPhase) % c.cfg.StuckEvery; ph < c.cfg.StuckLen {
+			// Freeze at the window's entry value.
+			if ph > out {
+				out = 0
+			} else {
+				out -= ph
+			}
+		}
+	}
+	if c.cfg.DropEvery != 0 {
+		if (v+c.dropPhase)%c.cfg.DropEvery < c.cfg.DropLen {
+			return 0 // multiplexed away: no data
+		}
+	}
+	return out
+}
+
+// Cycles implements platform.Clock: the inner clock plus this CPU's
+// constant skew.
+func (c *cpu) Cycles() uint64 { return c.inner.Cycles() + c.skew }
+
+// SetCycles implements platform.Clock, mapping the skewed target back
+// to the inner clock's domain (forward-only, like the inner clock).
+func (c *cpu) SetCycles(v uint64) {
+	if v <= c.skew {
+		return
+	}
+	c.inner.SetCycles(v - c.skew)
+}
+
+// ReadCounters implements platform.CounterSource: the inner PIC pair
+// run through the fault transforms. Spikes land on the reference
+// counter only (phantom references read as misses); stuck and dropout
+// windows are evaluated per counter on its own value, and wrap
+// narrowing applies last.
+func (c *cpu) ReadCounters() platform.CounterSnapshot {
+	s := c.inner.ReadCounters()
+	refs := c.corrupt(uint64(s.Refs), true)
+	hits := c.corrupt(uint64(s.Hits), false)
+	if c.wrapMask != 0 {
+		refs &= c.wrapMask
+		hits &= c.wrapMask
+	}
+	return platform.CounterSnapshot{Refs: uint32(refs), Hits: uint32(hits)}
+}
+
+// Misses implements platform.CounterSource: the 64-bit shadow count
+// run through the same transforms (so even the "trusted" wide counter
+// misbehaves — wraps narrow it, stalls freeze it, dropouts zero it,
+// spikes jump it). The scheduler's decay discipline must cope.
+func (c *cpu) Misses() uint64 {
+	v := c.corrupt(c.inner.Misses(), true)
+	if c.wrapMask != 0 {
+		v &= c.wrapMask
+	}
+	return v
+}

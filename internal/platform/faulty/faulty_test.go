@@ -1,0 +1,312 @@
+package faulty
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/platform"
+)
+
+var _ platform.Platform = (*Platform)(nil)
+
+// fakePlatform is a settable substrate: tests dial counter and clock
+// values directly and observe what the wrapper reports.
+type fakePlatform struct {
+	ncpu int
+	cpus []*fakeCPU
+}
+
+type fakeCPU struct {
+	refs, hits uint64
+	misses     uint64
+	cycles     uint64
+}
+
+func newFake(ncpu int) *fakePlatform {
+	f := &fakePlatform{ncpu: ncpu}
+	for i := 0; i < ncpu; i++ {
+		f.cpus = append(f.cpus, &fakeCPU{})
+	}
+	return f
+}
+
+func (f *fakePlatform) NCPU() int              { return f.ncpu }
+func (f *fakePlatform) CPU(i int) platform.CPU { return f.cpus[i] }
+func (f *fakePlatform) CacheLines() int        { return 1024 }
+func (f *fakePlatform) LineBytes() uint64      { return 64 }
+func (f *fakePlatform) PageBytes() uint64      { return 8192 }
+func (f *fakePlatform) Alloc(size, align uint64) mem.Range {
+	return mem.Range{Base: 0, Len: size}
+}
+func (f *fakePlatform) Apply(cpu int, tid mem.ThreadID, batch mem.Batch) uint64 { return 0 }
+func (f *fakePlatform) Advance(cpu int, instrs uint64)                          {}
+func (f *fakePlatform) AdvanceCycles(cpu int, cycles uint64)                    {}
+func (f *fakePlatform) TouchCode(cpu int, tid mem.ThreadID, code mem.Range)     {}
+func (f *fakePlatform) SetMissHook(fn func(tid mem.ThreadID, va mem.Addr))      {}
+
+func (c *fakeCPU) Cycles() uint64 { return c.cycles }
+func (c *fakeCPU) SetCycles(v uint64) {
+	if v > c.cycles {
+		c.cycles = v
+	}
+}
+func (c *fakeCPU) ReadCounters() platform.CounterSnapshot {
+	return platform.CounterSnapshot{Refs: uint32(c.refs), Hits: uint32(c.hits)}
+}
+func (c *fakeCPU) Misses() uint64 { return c.misses }
+
+func TestZeroConfigIsPassthrough(t *testing.T) {
+	inner := newFake(2)
+	p, err := New(inner, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Config().Enabled() {
+		t.Error("zero config reports Enabled")
+	}
+	inner.cpus[1].refs = 123456
+	inner.cpus[1].hits = 7890
+	inner.cpus[1].misses = 115566
+	inner.cpus[1].cycles = 999999
+	c := p.CPU(1)
+	if got := c.ReadCounters(); got != inner.cpus[1].ReadCounters() {
+		t.Errorf("counters corrupted with no faults: %+v", got)
+	}
+	if got := c.Misses(); got != 115566 {
+		t.Errorf("Misses = %d, want 115566", got)
+	}
+	if got := c.Cycles(); got != 999999 {
+		t.Errorf("Cycles = %d, want 999999", got)
+	}
+	c.SetCycles(1000001)
+	if inner.cpus[1].cycles != 1000001 {
+		t.Errorf("SetCycles did not forward: inner at %d", inner.cpus[1].cycles)
+	}
+}
+
+func TestWrapNarrowsCounters(t *testing.T) {
+	inner := newFake(1)
+	p, err := New(inner, Config{WrapBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner.cpus[0].refs = 0x1234 // 0x34 after 8-bit wrap
+	inner.cpus[0].misses = 0x5678
+	s := p.CPU(0).ReadCounters()
+	if s.Refs != 0x34 {
+		t.Errorf("Refs = %#x, want 0x34", s.Refs)
+	}
+	if got := p.CPU(0).Misses(); got != 0x78 {
+		t.Errorf("Misses = %#x, want 0x78", got)
+	}
+}
+
+func TestStuckFreezesWindow(t *testing.T) {
+	// No seed randomness beyond the phase; scan a range and require at
+	// least one maximal run of identical readings of length StuckLen.
+	inner := newFake(1)
+	p, err := New(inner, Config{StuckEvery: 100, StuckLen: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.CPU(0)
+	frozen, prev := 0, uint64(0)
+	maxRun := 0
+	for v := uint64(1); v <= 400; v++ {
+		inner.cpus[0].refs = v
+		got := uint64(c.ReadCounters().Refs)
+		if got == prev {
+			frozen++
+		} else {
+			frozen = 0
+		}
+		if frozen > maxRun {
+			maxRun = frozen
+		}
+		prev = got
+	}
+	// 400 values cover four windows; each freezes readings for
+	// StuckLen consecutive counts.
+	if maxRun < 29 {
+		t.Errorf("longest frozen run %d, want >= 29", maxRun)
+	}
+}
+
+func TestDropoutReadsZero(t *testing.T) {
+	inner := newFake(1)
+	p, err := New(inner, Config{DropEvery: 100, DropLen: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.CPU(0)
+	zeros := 0
+	for v := uint64(1); v <= 1000; v++ {
+		inner.cpus[0].refs = v
+		if c.ReadCounters().Refs == 0 {
+			zeros++
+		}
+	}
+	// 40% of the counter range is inside a dropout window.
+	if zeros < 300 || zeros > 500 {
+		t.Errorf("%d/1000 reads dropped, want ~400", zeros)
+	}
+}
+
+func TestSpikeJumpsRefsOnly(t *testing.T) {
+	inner := newFake(1)
+	p, err := New(inner, Config{SpikeEvery: 1000, SpikeDelta: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner.cpus[0].refs = 5000
+	inner.cpus[0].hits = 5000
+	s := p.CPU(0).ReadCounters()
+	if s.Refs <= 5000 {
+		t.Errorf("Refs = %d, want spiked above 5000", s.Refs)
+	}
+	if s.Hits != 5000 {
+		t.Errorf("Hits = %d, want unspiked 5000", s.Hits)
+	}
+	// Spikes are cumulative and monotone in the true value.
+	inner.cpus[0].refs = 50000
+	if s2 := p.CPU(0).ReadCounters(); s2.Refs <= s.Refs {
+		t.Errorf("spiked Refs not monotone: %d then %d", s.Refs, s2.Refs)
+	}
+}
+
+func TestSkewOffsetsClocksPerCPU(t *testing.T) {
+	inner := newFake(3)
+	p, err := New(inner, Config{SkewCycles: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		inner.cpus[i].cycles = 5000
+		if got, want := p.CPU(i).Cycles(), uint64(5000+1000*i); got != want {
+			t.Errorf("cpu%d Cycles = %d, want %d", i, got, want)
+		}
+	}
+	// SetCycles inverts the skew so the inner clock lands where a
+	// skew-free caller intended.
+	p.CPU(2).SetCycles(9000)
+	if inner.cpus[2].cycles != 7000 {
+		t.Errorf("inner clock at %d after SetCycles(9000) with skew 2000, want 7000", inner.cpus[2].cycles)
+	}
+	// Targets at or below the skew cannot be represented; the clock
+	// must not move backward or underflow.
+	p.CPU(2).SetCycles(1500)
+	if inner.cpus[2].cycles != 7000 {
+		t.Errorf("inner clock moved to %d on an un-representable target", inner.cpus[2].cycles)
+	}
+}
+
+func TestTransformsArePureFunctionsOfValue(t *testing.T) {
+	cfg := Config{Seed: 9, WrapBits: 16, StuckEvery: 300, StuckLen: 50,
+		DropEvery: 700, DropLen: 100, SpikeEvery: 500, SpikeDelta: 1 << 20}
+	inner := newFake(2)
+	a, err := New(inner, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(inner, cfg) // independent wrapper, same schedule
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v < 2000; v += 13 {
+		inner.cpus[0].refs = v
+		inner.cpus[0].misses = v
+		// Reading twice through one wrapper and once through another
+		// must agree: no hidden per-read state.
+		r1 := a.CPU(0).ReadCounters()
+		r2 := a.CPU(0).ReadCounters()
+		r3 := b.CPU(0).ReadCounters()
+		if r1 != r2 || r1 != r3 {
+			t.Fatalf("v=%d: reads diverge: %+v %+v %+v", v, r1, r2, r3)
+		}
+		if m1, m3 := a.CPU(0).Misses(), b.CPU(0).Misses(); m1 != m3 {
+			t.Fatalf("v=%d: Misses diverge: %d %d", v, m1, m3)
+		}
+	}
+}
+
+func TestPerCPUPhasesDiffer(t *testing.T) {
+	cfg := Config{Seed: 1, DropEvery: 1 << 40, DropLen: 1 << 39}
+	inner := newFake(4)
+	p, err := New(inner, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := map[uint64]bool{}
+	for _, c := range p.cpus {
+		phases[c.(*cpu).dropPhase] = true
+	}
+	if len(phases) < 3 {
+		t.Errorf("only %d distinct phases across 4 CPUs", len(phases))
+	}
+}
+
+func TestValidateRejectsBadSchedules(t *testing.T) {
+	bad := []Config{
+		{WrapBits: 3},
+		{WrapBits: 32},
+		{StuckEvery: 10, StuckLen: 10},
+		{StuckLen: 5},
+		{DropEvery: 10, DropLen: 12},
+		{DropLen: 5},
+		{SpikeDelta: 5},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", cfg)
+		}
+		if _, err := New(newFake(1), cfg); err == nil {
+			t.Errorf("New(%+v) accepted an invalid schedule", cfg)
+		}
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("wrap=16,stuck=100@1000,drop=50@500,spike=4096@2000,skew=777,seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{Seed: 5, WrapBits: 16, StuckEvery: 1000, StuckLen: 100,
+		DropEvery: 500, DropLen: 50, SpikeEvery: 2000, SpikeDelta: 4096, SkewCycles: 777}
+	if cfg != want {
+		t.Errorf("ParseSpec = %+v, want %+v", cfg, want)
+	}
+	// String renders back in spec syntax and re-parses to the same
+	// schedule.
+	back, err := ParseSpec(cfg.String())
+	if err != nil {
+		t.Fatalf("round-trip parse: %v", err)
+	}
+	if back != cfg {
+		t.Errorf("round trip %q = %+v, want %+v", cfg.String(), back, cfg)
+	}
+
+	if cfg, err := ParseSpec(""); err != nil || cfg.Enabled() {
+		t.Errorf("empty spec = %+v, %v; want zero config", cfg, err)
+	}
+	if cfg, err := ParseSpec("all"); err != nil || !cfg.Enabled() {
+		t.Errorf("'all' preset = %+v, %v; want every class enabled", cfg, err)
+	} else if cfg.WrapBits == 0 || cfg.StuckEvery == 0 || cfg.DropEvery == 0 ||
+		cfg.SpikeEvery == 0 || cfg.SkewCycles == 0 {
+		t.Errorf("'all' preset leaves a class disabled: %+v", cfg)
+	}
+
+	for _, spec := range []string{
+		"bogus=1", "wrap", "wrap=abc", "stuck=100", "stuck=x@y",
+		"drop=5@0", "wrap=2", "stuck=10@5",
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) = nil error, want failure", spec)
+		} else if !strings.Contains(err.Error(), "faulty:") {
+			t.Errorf("ParseSpec(%q) error %q lacks package prefix", spec, err)
+		}
+	}
+}

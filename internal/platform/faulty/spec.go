@@ -1,0 +1,150 @@
+package faulty
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses the command-line fault specification used by
+// `atsim -faults`. The spec is a comma-separated list of fault classes:
+//
+//	wrap=BITS          counters wrap at 2^BITS (4..31)
+//	stuck=LEN@EVERY    counters freeze for LEN counts out of every EVERY
+//	drop=LEN@EVERY     counters read 0 for LEN counts out of every EVERY
+//	spike=DELTA@EVERY  reference counts jump by DELTA every EVERY counts
+//	skew=CYCLES        CPU i's clock reads i×CYCLES cycles ahead
+//	seed=N             schedule seed (per-CPU phase derivation)
+//
+// The single word "all" selects a preset exercising every class at
+// once. An empty spec yields the zero (pass-through) Config.
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return cfg, nil
+	}
+	if spec == "all" {
+		return Config{
+			Seed:       1,
+			WrapBits:   20,
+			StuckEvery: 50000,
+			StuckLen:   9000,
+			DropEvery:  70000,
+			DropLen:    8000,
+			SpikeEvery: 60000,
+			SpikeDelta: 1 << 22,
+			SkewCycles: 100000,
+		}, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return cfg, fmt.Errorf("faulty: bad fault %q (want key=value)", part)
+		}
+		switch key {
+		case "wrap":
+			bits, err := parseCount(key, val)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.WrapBits = uint(bits)
+		case "stuck":
+			ln, every, err := parseWindow(key, val)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.StuckLen, cfg.StuckEvery = ln, every
+		case "drop":
+			ln, every, err := parseWindow(key, val)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.DropLen, cfg.DropEvery = ln, every
+		case "spike":
+			delta, every, err := parseWindow(key, val)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.SpikeDelta, cfg.SpikeEvery = delta, every
+		case "skew":
+			cycles, err := parseCount(key, val)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.SkewCycles = cycles
+		case "seed":
+			seed, err := parseCount(key, val)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.Seed = seed
+		default:
+			return cfg, fmt.Errorf("faulty: unknown fault class %q (want wrap, stuck, drop, spike, skew or seed)", key)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// String renders the Config back in ParseSpec syntax.
+func (c Config) String() string {
+	var parts []string
+	if c.WrapBits != 0 {
+		parts = append(parts, fmt.Sprintf("wrap=%d", c.WrapBits))
+	}
+	if c.StuckEvery != 0 {
+		parts = append(parts, fmt.Sprintf("stuck=%d@%d", c.StuckLen, c.StuckEvery))
+	}
+	if c.DropEvery != 0 {
+		parts = append(parts, fmt.Sprintf("drop=%d@%d", c.DropLen, c.DropEvery))
+	}
+	if c.SpikeEvery != 0 {
+		parts = append(parts, fmt.Sprintf("spike=%d@%d", c.SpikeDelta, c.SpikeEvery))
+	}
+	if c.SkewCycles != 0 {
+		parts = append(parts, fmt.Sprintf("skew=%d", c.SkewCycles))
+	}
+	if c.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", c.Seed))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// parseCount parses a single unsigned value.
+func parseCount(key, val string) (uint64, error) {
+	n, err := strconv.ParseUint(val, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("faulty: bad %s value %q: %v", key, val, err)
+	}
+	return n, nil
+}
+
+// parseWindow parses the LEN@EVERY form.
+func parseWindow(key, val string) (uint64, uint64, error) {
+	lenStr, everyStr, ok := strings.Cut(val, "@")
+	if !ok {
+		return 0, 0, fmt.Errorf("faulty: bad %s value %q (want LEN@EVERY)", key, val)
+	}
+	ln, err := strconv.ParseUint(lenStr, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("faulty: bad %s length %q: %v", key, lenStr, err)
+	}
+	every, err := strconv.ParseUint(everyStr, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("faulty: bad %s period %q: %v", key, everyStr, err)
+	}
+	if every == 0 {
+		return 0, 0, fmt.Errorf("faulty: %s period must be nonzero", key)
+	}
+	return ln, every, nil
+}

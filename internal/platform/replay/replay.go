@@ -35,10 +35,12 @@ type Platform struct {
 	brk  mem.Addr // bump allocator for Alloc
 }
 
-// New builds a replay platform over a validated recording.
+// New builds a replay platform over a validated recording. A recording
+// that fails the trace.Validate pre-pass is refused with a descriptive
+// error; replay never drives the scheduler from corrupt input.
 func New(rec *trace.Recording) (*Platform, error) {
 	if err := rec.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("replay: refusing invalid recording: %w", err)
 	}
 	p := &Platform{rec: rec, brk: 0x1000}
 	for i := 0; i < rec.NCPU; i++ {

@@ -32,6 +32,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/platform"
 	"repro/internal/sched"
+	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/xrand"
 )
@@ -73,6 +74,11 @@ type Options struct {
 	// Overhead configures the cycle and memory cost of the scheduler
 	// itself.
 	Overhead OverheadConfig
+	// Health tunes the counter-reading sanitizer and the quarantine
+	// state machine (see HealthConfig). The zero value selects the
+	// documented defaults; the sanitizer is always on, and is
+	// bit-transparent on healthy counters.
+	Health HealthConfig
 	// Seed fixes the engine's pseudo-randomness (per-thread RNG
 	// streams).
 	Seed uint64
@@ -112,6 +118,9 @@ type Engine struct {
 	overhead overheadState
 	rng      *xrand.Source
 	monitor  *inference.Monitor
+	// health sanitizes every interval's counter reading and tracks
+	// per-CPU quarantine state (see health.go).
+	health *healthTracker
 
 	defaultCode mem.Range
 	steps       uint64
@@ -167,6 +176,9 @@ func New(p platform.Platform, opts Options) (*Engine, error) {
 	if opts.KeepInferenceHistory && !opts.InferSharing {
 		return nil, fmt.Errorf("rt: KeepInferenceHistory requires InferSharing")
 	}
+	if err := opts.Health.validate(); err != nil {
+		return nil, err
+	}
 	scheme, err := model.SchemeFor(opts.Policy)
 	if err != nil {
 		return nil, fmt.Errorf("rt: %w", err)
@@ -189,6 +201,7 @@ func New(p platform.Platform, opts Options) (*Engine, error) {
 		picBase:    make([]platform.CounterSnapshot, ncpu),
 		dispatches: make([]uint64, ncpu),
 		rng:        xrand.New(opts.Seed ^ 0x7d3),
+		health:     newHealthTracker(opts.Health, ncpu),
 	}
 	for i := 0; i < ncpu; i++ {
 		e.cpus = append(e.cpus, p.CPU(i))
@@ -228,6 +241,12 @@ func (e *Engine) IdleCycles() []uint64 { return append([]uint64(nil), e.idleCycl
 
 // Dispatches returns the per-CPU context-switch counts.
 func (e *Engine) Dispatches() []uint64 { return append([]uint64(nil), e.dispatches...) }
+
+// CounterHealth returns the per-CPU counter-health accounting: how
+// every interval reading was classified and every quarantine/recovery
+// transition. On a healthy substrate every reading is OK and no CPU is
+// ever quarantined.
+func (e *Engine) CounterHealth() []stats.CounterHealth { return e.health.snapshot() }
 
 // totalDispatches sums the per-CPU dispatch counts.
 func (e *Engine) totalDispatches() uint64 {
@@ -494,7 +513,9 @@ func (e *Engine) ThreadTimes() []ThreadTime {
 }
 
 // blockCurrent performs the scheduling-point bookkeeping when the thread
-// running on p leaves the processor: the PICs are read, inferred
+// running on p leaves the processor: the PICs are read, the reading is
+// sanitized (clamped and classified; a rejected reading feeds the
+// scheduler nothing and advances the CPU toward quarantine), inferred
 // sharing edges (if inference is on) are refreshed for the blocking
 // thread, the model updates the blocking thread's and its dependents'
 // footprint entries (O(d)), and the CPU becomes free.
@@ -502,7 +523,11 @@ func (e *Engine) blockCurrent(p int, t *T) {
 	endClock := e.cpus[p].Cycles()
 	t.cycles += endClock - t.dispatchClock
 	cur := e.cpus[p].ReadCounters()
-	n := platform.MissesSince(cur, e.picBase[p])
+	n, _ := e.health.sanitize(p, e.picBase[p], cur, endClock-t.dispatchClock)
+	// Propagate any quarantine transition before the scheduler update,
+	// so a freshly distrusted CPU skips this interval's model update
+	// too (SetQuarantine is idempotent on no change).
+	e.sched.SetQuarantine(p, e.health.quarantined(p))
 	if e.monitor != nil {
 		// Refresh the blocking thread's out-edges from the inferred
 		// coefficients before the dependent updates read them. The

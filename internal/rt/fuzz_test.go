@@ -1,0 +1,83 @@
+package rt
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+// FuzzSanitizeStream feeds arbitrary byte streams to the counter
+// sanitizer as a sequence of (refs, hits, cycles) interval readings on
+// one CPU. Whatever garbage the instrumentation produces, the sanitizer
+// must never panic, must zero every rejected reading, must agree with
+// the modular delta on every accepted one, and must keep its accounting
+// consistent with the number of readings fed.
+func FuzzSanitizeStream(f *testing.F) {
+	// Seeds: a clean stream, a counter wrap, a negative delta, an
+	// impossible rate, and a frozen counter.
+	clean := make([]byte, 0, 36)
+	for _, w := range []uint32{1000, 600, 5000, 2000, 1100, 5000, 3000, 1500, 5000} {
+		clean = binary.LittleEndian.AppendUint32(clean, w)
+	}
+	f.Add(clean)
+	f.Add(binary.LittleEndian.AppendUint32(
+		binary.LittleEndian.AppendUint32(
+			binary.LittleEndian.AppendUint32(nil, 0xffffff00), 50), 4096))
+	f.Add(binary.LittleEndian.AppendUint32(
+		binary.LittleEndian.AppendUint32(
+			binary.LittleEndian.AppendUint32(nil, 10), 20000), 100))
+	f.Add(binary.LittleEndian.AppendUint32(
+		binary.LittleEndian.AppendUint32(
+			binary.LittleEndian.AppendUint32(nil, 0xf0000000), 0), 3))
+	frozen := make([]byte, 0, 120)
+	for i := 0; i < 10; i++ {
+		for _, w := range []uint32{500, 100, 9000} {
+			frozen = binary.LittleEndian.AppendUint32(frozen, w)
+		}
+	}
+	f.Add(frozen)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := newHealthTracker(HealthConfig{}, 1)
+		prev := platform.CounterSnapshot{}
+		readings := uint64(0)
+		for len(data) >= 12 {
+			cur := platform.CounterSnapshot{
+				Refs: binary.LittleEndian.Uint32(data[0:4]),
+				Hits: binary.LittleEndian.Uint32(data[4:8]),
+			}
+			cycles := uint64(binary.LittleEndian.Uint32(data[8:12]))
+			data = data[12:]
+
+			n, class := h.sanitize(0, prev, cur, cycles)
+			switch class {
+			case ReadingOK, ReadingSuspect:
+				if want := platform.MissesSince(cur, prev); n != want {
+					t.Fatalf("accepted reading altered: n=%d, modular delta %d", n, want)
+				}
+				if float64(n) > float64(cycles) {
+					t.Fatalf("accepted n=%d beyond the rate bound for %d cycles", n, cycles)
+				}
+			case ReadingRejected:
+				if n != 0 {
+					t.Fatalf("rejected reading leaked n=%d", n)
+				}
+			default:
+				t.Fatalf("impossible classification %v", class)
+			}
+			prev = cur
+			readings++
+		}
+		hs := h.snapshot()[0]
+		if hs.Total() != readings {
+			t.Fatalf("accounting lost readings: %d classified, %d fed", hs.Total(), readings)
+		}
+		if hs.Quarantined != h.quarantined(0) {
+			t.Fatal("snapshot and quarantined() disagree")
+		}
+		if hs.Quarantined && hs.Quarantines == 0 {
+			t.Fatal("quarantined with no recorded transition")
+		}
+	})
+}

@@ -1,0 +1,233 @@
+package rt
+
+// This file is the runtime's defence against untrusted performance
+// counters. On real hardware the user-level PIC reads the paper relies
+// on are fragile: counters wrap at whatever width the chip provides,
+// multiplexing can steal them for whole intervals, reads can stall and
+// return frozen values, and cross-CPU skew corrupts the cycle windows.
+// One garbage interval fed raw into the footprint model poisons S and
+// the inflated priorities forever, so every interval's reading passes
+// through a sanitizer that (1) clamps impossible values, (2) classifies
+// the reading OK / Suspect / Rejected, and (3) drives a per-CPU health
+// state machine with hysteresis: after QuarantineAfter consecutive
+// rejected readings the counter is quarantined — the scheduler degrades
+// to the paper's annotation-free baseline on that CPU — and after
+// RecoverAfter consecutive clean readings it is trusted again.
+//
+// On a healthy substrate (the sim backend, or a faulty backend with no
+// faults configured) every reading classifies OK with its value
+// unchanged, so the sanitizer is bit-transparent: golden fingerprints
+// are identical with it in the loop. The differential test pins this.
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/stats"
+)
+
+// ReadingClass classifies one scheduling interval's counter reading.
+type ReadingClass uint8
+
+// Reading classifications, from trusted to untrusted.
+const (
+	// ReadingOK: the reading is plausible and used as-is.
+	ReadingOK ReadingClass = iota
+	// ReadingSuspect: the reading is odd (e.g. a frozen snapshot over
+	// a long interval) but not provably wrong; it is used as-is and
+	// counted, and it interrupts both the rejected and the clean
+	// streaks of the health state machine.
+	ReadingSuspect
+	// ReadingRejected: the reading is impossible (negative miss count,
+	// a miss rate beyond the per-cycle bound, a counter frozen past
+	// the stuck window); the sanitized miss count is 0 — a rejected
+	// reading carries no information — and the rejection streak grows.
+	ReadingRejected
+)
+
+func (c ReadingClass) String() string {
+	switch c {
+	case ReadingOK:
+		return "ok"
+	case ReadingSuspect:
+		return "suspect"
+	case ReadingRejected:
+		return "rejected"
+	default:
+		return fmt.Sprintf("ReadingClass(%d)", uint8(c))
+	}
+}
+
+// HealthConfig tunes the counter sanitizer and the quarantine state
+// machine. The zero value selects the defaults documented on each
+// field.
+type HealthConfig struct {
+	// MaxMissesPerCycle is the plausibility bound on an interval's
+	// miss rate: a cache miss costs at least one cycle, so a reading
+	// claiming more than MaxMissesPerCycle × window misses is
+	// physically impossible and is rejected. Default 1.0 (the loosest
+	// physical bound; the simulated machines run well below it).
+	MaxMissesPerCycle float64
+	// StuckIntervals is the number of consecutive frozen counter
+	// snapshots (no movement at all across an interval of at least
+	// StuckMinCycles) before a stuck counter is declared and readings
+	// become Rejected; shorter frozen runs are merely Suspect.
+	// Default 8.
+	StuckIntervals int
+	// StuckMinCycles is the minimum interval length (in cycles) for a
+	// frozen snapshot to count toward StuckIntervals — short compute
+	// bursts legitimately touch no memory. Default 4096.
+	StuckMinCycles uint64
+	// QuarantineAfter is M: consecutive Rejected readings before the
+	// CPU's counter enters quarantine. Default 4.
+	QuarantineAfter int
+	// RecoverAfter is K: consecutive OK readings, while quarantined,
+	// before the counter is trusted again (hysteresis — one clean
+	// probe proves nothing). Default 16.
+	RecoverAfter int
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.MaxMissesPerCycle == 0 {
+		c.MaxMissesPerCycle = 1.0
+	}
+	if c.StuckIntervals == 0 {
+		c.StuckIntervals = 8
+	}
+	if c.StuckMinCycles == 0 {
+		c.StuckMinCycles = 4096
+	}
+	if c.QuarantineAfter == 0 {
+		c.QuarantineAfter = 4
+	}
+	if c.RecoverAfter == 0 {
+		c.RecoverAfter = 16
+	}
+	return c
+}
+
+// validate rejects nonsensical configurations.
+func (c HealthConfig) validate() error {
+	if c.MaxMissesPerCycle < 0 {
+		return fmt.Errorf("rt: negative MaxMissesPerCycle %v", c.MaxMissesPerCycle)
+	}
+	if c.StuckIntervals < 0 || c.QuarantineAfter < 0 || c.RecoverAfter < 0 {
+		return fmt.Errorf("rt: negative health thresholds (stuck %d, quarantine %d, recover %d)",
+			c.StuckIntervals, c.QuarantineAfter, c.RecoverAfter)
+	}
+	return nil
+}
+
+// healthTracker is the per-engine sanitizer state: one record per CPU.
+type healthTracker struct {
+	cfg  HealthConfig
+	cpus []cpuHealth
+}
+
+// cpuHealth is one CPU's sanitizer state: the public accounting plus
+// the frozen-snapshot window.
+type cpuHealth struct {
+	stats.CounterHealth
+	frozen int // consecutive frozen snapshots (stuck-counter window)
+}
+
+// newHealthTracker builds a tracker for ncpu processors.
+func newHealthTracker(cfg HealthConfig, ncpu int) *healthTracker {
+	h := &healthTracker{cfg: cfg.withDefaults(), cpus: make([]cpuHealth, ncpu)}
+	for i := range h.cpus {
+		h.cpus[i].CPU = i
+	}
+	return h
+}
+
+// sanitize validates one interval's counter reading on cpu: start and
+// end are the wrapped PIC snapshots at the interval's ends and cycles
+// is the interval's cycle window. It returns the miss count the
+// scheduler should consume — the raw modular delta when the reading is
+// trustworthy, a clamped value otherwise — and the classification, and
+// it advances the CPU's health state machine.
+func (h *healthTracker) sanitize(cpu int, start, end platform.CounterSnapshot, cycles uint64) (uint64, ReadingClass) {
+	c := &h.cpus[cpu]
+	refs := uint64(end.Refs - start.Refs)
+	hits := uint64(end.Hits - start.Hits)
+
+	n := uint64(0)
+	class := ReadingOK
+	if hits > refs {
+		// Negative miss count: impossible unless the counters were
+		// reprogrammed or corrupted mid-interval. Clamp to zero.
+		class = ReadingRejected
+	} else {
+		n = refs - hits
+		// Physical rate bound: a miss occupies the processor for at
+		// least a cycle, so n beyond the bound means the counter
+		// wrapped at an unexpected width or the read was corrupted.
+		if float64(n) > h.cfg.MaxMissesPerCycle*float64(cycles) {
+			class = ReadingRejected
+		}
+	}
+
+	// Stuck-counter window: a snapshot that does not move at all over
+	// a long interval is suspicious; one that stays frozen for
+	// StuckIntervals such intervals in a row is a dead counter.
+	if end == start && cycles >= h.cfg.StuckMinCycles {
+		c.frozen++
+		if c.frozen >= h.cfg.StuckIntervals {
+			class = ReadingRejected
+		} else if class == ReadingOK {
+			class = ReadingSuspect
+		}
+	} else if end != start {
+		c.frozen = 0
+	}
+
+	if class == ReadingRejected {
+		// A rejected reading carries no information: the scheduler
+		// sees zero interval misses (footprints neither grow nor take
+		// a poisoned hit; processor-count decay still applies).
+		n = 0
+	}
+	h.transition(c, class)
+	return n, class
+}
+
+// transition advances one CPU's state machine for a classified reading.
+func (h *healthTracker) transition(c *cpuHealth, class ReadingClass) {
+	switch class {
+	case ReadingOK:
+		c.OK++
+		c.StreakRejected = 0
+		c.StreakClean++
+		if c.Quarantined && c.StreakClean >= h.cfg.RecoverAfter {
+			c.Quarantined = false
+			c.Recoveries++
+			c.StreakClean = 0
+		}
+	case ReadingSuspect:
+		c.Suspect++
+		c.StreakRejected = 0
+		c.StreakClean = 0
+	case ReadingRejected:
+		c.Rejected++
+		c.StreakClean = 0
+		c.StreakRejected++
+		if !c.Quarantined && c.StreakRejected >= h.cfg.QuarantineAfter {
+			c.Quarantined = true
+			c.Quarantines++
+			c.StreakRejected = 0
+		}
+	}
+}
+
+// quarantined reports cpu's current quarantine state.
+func (h *healthTracker) quarantined(cpu int) bool { return h.cpus[cpu].Quarantined }
+
+// snapshot copies the public per-CPU health records.
+func (h *healthTracker) snapshot() []stats.CounterHealth {
+	out := make([]stats.CounterHealth, len(h.cpus))
+	for i := range h.cpus {
+		out[i] = h.cpus[i].CounterHealth
+	}
+	return out
+}

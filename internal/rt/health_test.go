@@ -1,0 +1,180 @@
+package rt
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func snap(refs, hits uint32) platform.CounterSnapshot {
+	return platform.CounterSnapshot{Refs: refs, Hits: hits}
+}
+
+func TestSanitizeCleanReadingIsTransparent(t *testing.T) {
+	h := newHealthTracker(HealthConfig{}, 1)
+	n, class := h.sanitize(0, snap(100, 40), snap(1100, 640), 5000)
+	if class != ReadingOK {
+		t.Errorf("class = %v, want ok", class)
+	}
+	if n != 400 { // 1000 refs - 600 hits
+		t.Errorf("n = %d, want 400", n)
+	}
+	if got := h.cpus[0].OK; got != 1 {
+		t.Errorf("OK count = %d, want 1", got)
+	}
+}
+
+func TestSanitizeHandles32BitWrap(t *testing.T) {
+	// A legitimate 2^32 wrap mid-interval: modular arithmetic must see
+	// the true delta, not garbage.
+	h := newHealthTracker(HealthConfig{}, 1)
+	n, class := h.sanitize(0, snap(1<<32-50, 1<<32-100), snap(150, 50), 5000)
+	if class != ReadingOK {
+		t.Errorf("class = %v, want ok", class)
+	}
+	if n != 50 { // 200 refs - 150 hits across the wrap
+		t.Errorf("n = %d, want 50", n)
+	}
+}
+
+func TestSanitizeRejectsNegativeMissCount(t *testing.T) {
+	h := newHealthTracker(HealthConfig{}, 1)
+	n, class := h.sanitize(0, snap(100, 100), snap(150, 400), 5000)
+	if class != ReadingRejected {
+		t.Errorf("class = %v, want rejected", class)
+	}
+	if n != 0 {
+		t.Errorf("n = %d, want 0 (rejected readings carry no information)", n)
+	}
+}
+
+func TestSanitizeRejectsImpossibleRate(t *testing.T) {
+	h := newHealthTracker(HealthConfig{}, 1)
+	// 1M misses in a 1000-cycle window breaks the >= 1 cycle/miss bound.
+	n, class := h.sanitize(0, snap(0, 0), snap(1_000_000, 0), 1000)
+	if class != ReadingRejected || n != 0 {
+		t.Errorf("(n, class) = (%d, %v), want (0, rejected)", n, class)
+	}
+	// The same delta over a wide window is fine.
+	n, class = h.sanitize(0, snap(0, 0), snap(1_000_000, 0), 2_000_000)
+	if class != ReadingOK || n != 1_000_000 {
+		t.Errorf("(n, class) = (%d, %v), want (1000000, ok)", n, class)
+	}
+}
+
+func TestSanitizeStuckCounterEscalates(t *testing.T) {
+	cfg := HealthConfig{StuckIntervals: 3, StuckMinCycles: 1000}
+	h := newHealthTracker(cfg, 1)
+	s := snap(500, 100)
+	// Short frozen intervals are not even suspicious: compute bursts
+	// legitimately touch no memory.
+	if _, class := h.sanitize(0, s, s, 500); class != ReadingOK {
+		t.Fatalf("short frozen interval classified %v, want ok", class)
+	}
+	// Long frozen intervals turn Suspect, then Rejected once the
+	// counter has been flat for StuckIntervals of them.
+	if _, class := h.sanitize(0, s, s, 5000); class != ReadingSuspect {
+		t.Fatalf("1st long frozen interval classified %v, want suspect", class)
+	}
+	if _, class := h.sanitize(0, s, s, 5000); class != ReadingSuspect {
+		t.Fatalf("2nd long frozen interval classified %v, want suspect", class)
+	}
+	if _, class := h.sanitize(0, s, s, 5000); class != ReadingRejected {
+		t.Fatalf("3rd long frozen interval classified %v, want rejected", class)
+	}
+	// Any movement resets the stuck window.
+	if _, class := h.sanitize(0, s, snap(600, 120), 5000); class != ReadingOK {
+		t.Fatalf("moving counter classified %v, want ok", class)
+	}
+	if _, class := h.sanitize(0, s, s, 5000); class != ReadingSuspect {
+		t.Fatalf("frozen window did not reset after movement")
+	}
+}
+
+func TestQuarantineAndRecoveryHysteresis(t *testing.T) {
+	cfg := HealthConfig{QuarantineAfter: 3, RecoverAfter: 4}
+	h := newHealthTracker(cfg, 2)
+	bad := func() (uint64, ReadingClass) { return h.sanitize(0, snap(0, 0), snap(10, 20), 100) }
+	good := func() (uint64, ReadingClass) { return h.sanitize(0, snap(0, 0), snap(20, 10), 100) }
+
+	bad()
+	bad()
+	if h.quarantined(0) {
+		t.Fatal("quarantined before QuarantineAfter rejections")
+	}
+	bad()
+	if !h.quarantined(0) {
+		t.Fatal("not quarantined after 3 consecutive rejections")
+	}
+	if h.quarantined(1) {
+		t.Fatal("quarantine leaked to another CPU")
+	}
+	// Recovery needs RecoverAfter consecutive clean readings; a single
+	// rejection restarts the count.
+	good()
+	good()
+	good()
+	bad()
+	good()
+	good()
+	good()
+	if h.quarantined(0) != true {
+		t.Fatal("recovered early: rejection must reset the clean streak")
+	}
+	good()
+	if h.quarantined(0) {
+		t.Fatal("still quarantined after RecoverAfter clean readings")
+	}
+	hs := h.snapshot()[0]
+	if hs.Quarantines != 1 || hs.Recoveries != 1 {
+		t.Errorf("transitions = %d/%d, want 1/1", hs.Quarantines, hs.Recoveries)
+	}
+}
+
+func TestSuspectInterruptsBothStreaks(t *testing.T) {
+	cfg := HealthConfig{QuarantineAfter: 2, StuckIntervals: 10, StuckMinCycles: 100}
+	h := newHealthTracker(cfg, 1)
+	frozen := snap(500, 100)
+	h.sanitize(0, snap(0, 0), snap(10, 20), 100) // rejected
+	h.sanitize(0, frozen, frozen, 5000)          // suspect
+	h.sanitize(0, snap(0, 0), snap(10, 20), 100) // rejected
+	if h.quarantined(0) {
+		t.Error("suspect reading did not break the rejection streak")
+	}
+	hs := h.snapshot()[0]
+	if hs.OK != 0 || hs.Suspect != 1 || hs.Rejected != 2 {
+		t.Errorf("counts = %d/%d/%d, want 0/1/2", hs.OK, hs.Suspect, hs.Rejected)
+	}
+}
+
+func TestHealthConfigValidate(t *testing.T) {
+	for _, bad := range []HealthConfig{
+		{MaxMissesPerCycle: -1},
+		{StuckIntervals: -1},
+		{QuarantineAfter: -2},
+		{RecoverAfter: -3},
+	} {
+		if err := bad.validate(); err == nil {
+			t.Errorf("validate(%+v) = nil, want error", bad)
+		}
+	}
+	if err := (HealthConfig{}).validate(); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+	d := HealthConfig{}.withDefaults()
+	if d.MaxMissesPerCycle != 1.0 || d.StuckIntervals != 8 || d.StuckMinCycles != 4096 ||
+		d.QuarantineAfter != 4 || d.RecoverAfter != 16 {
+		t.Errorf("defaults = %+v", d)
+	}
+}
+
+func TestReadingClassString(t *testing.T) {
+	for class, want := range map[ReadingClass]string{
+		ReadingOK: "ok", ReadingSuspect: "suspect", ReadingRejected: "rejected",
+		ReadingClass(9): "ReadingClass(9)",
+	} {
+		if got := class.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", uint8(class), got, want)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/model"
+)
+
+// hotThread registers tid, gives it a large footprint entry on cpu 0,
+// and leaves it blocked (not runnable).
+func hotThread(t *testing.T, f *fixture, tid int) {
+	t.Helper()
+	f.s.Register(th(tid))
+	f.s.MakeRunnable(th(tid))
+	got, ok := f.s.PickNext(0)
+	if !ok || got != th(tid) {
+		t.Fatalf("PickNext = (%v, %v), want %v", got, ok, tid)
+	}
+	f.runInterval(t, th(tid), 0, 5000)
+}
+
+func TestSetQuarantineFlushesHeapToGlobal(t *testing.T) {
+	f := newFixture(model.LFF{}, 1, 16)
+	hotThread(t, f, 1)
+	f.s.MakeRunnable(th(1))
+	if f.s.HeapLen(0) != 1 {
+		t.Fatalf("HeapLen = %d, want 1 (footprint should be hot)", f.s.HeapLen(0))
+	}
+
+	f.s.SetQuarantine(0, true)
+	if !f.s.Quarantined(0) {
+		t.Fatal("Quarantined(0) = false after SetQuarantine")
+	}
+	if f.s.HeapLen(0) != 0 {
+		t.Errorf("quarantined heap still holds %d entries", f.s.HeapLen(0))
+	}
+	if err := f.s.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// The flushed thread is not stranded: it is dispatchable from the
+	// global queue.
+	got, ok := f.s.PickNext(0)
+	if !ok || got != th(1) {
+		t.Fatalf("PickNext = (%v, %v) on quarantined CPU, want thread 1 via global", got, ok)
+	}
+	// Idempotent re-entry.
+	f.s.SetQuarantine(0, true)
+	if err := f.s.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuarantinedCPUSkipsModelUpdates(t *testing.T) {
+	f := newFixture(model.LFF{}, 1, 16)
+	f.s.SetQuarantine(0, true)
+	f.s.Register(th(1))
+	f.s.MakeRunnable(th(1))
+	got, ok := f.s.PickNext(0)
+	if !ok || got != th(1) {
+		t.Fatalf("PickNext = (%v, %v), want thread 1", got, ok)
+	}
+	// A full interval on a quarantined CPU: dispatch and block with a
+	// (by definition untrusted) miss count. No footprint entry may be
+	// created or consulted — the annotation-free baseline.
+	f.runInterval(t, th(1), 0, 123456)
+	if e := f.s.EntryOf(th(1), 0); e != nil {
+		t.Errorf("quarantined interval created a footprint entry: %+v", e)
+	}
+
+	// After recovery the same thread schedules with the model again.
+	f.s.SetQuarantine(0, false)
+	f.s.MakeRunnable(th(1))
+	got, ok = f.s.PickNext(0)
+	if !ok || got != th(1) {
+		t.Fatalf("PickNext after recovery = (%v, %v)", got, ok)
+	}
+	f.runInterval(t, th(1), 0, 3000)
+	e := f.s.EntryOf(th(1), 0)
+	if e == nil {
+		t.Fatal("no footprint entry after recovery")
+	}
+	if e.S <= 0 || math.IsInf(e.Prio, 0) || math.IsNaN(e.Prio) {
+		t.Errorf("post-recovery entry not sane: S=%v prio=%v", e.S, e.Prio)
+	}
+}
+
+func TestMakeRunnableSkipsQuarantinedHeap(t *testing.T) {
+	f := newFixture(model.LFF{}, 2, 16)
+	hotThread(t, f, 1)
+	f.s.SetQuarantine(0, true)
+	f.s.MakeRunnable(th(1))
+	if f.s.HeapLen(0) != 0 {
+		t.Errorf("MakeRunnable pushed onto a quarantined heap (%d entries)", f.s.HeapLen(0))
+	}
+	if f.s.GlobalLen() == 0 {
+		t.Error("thread with only a quarantined hot entry must join the global queue")
+	}
+	if err := f.s.Check(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery restores locality scheduling: the surviving entry is hot
+	// again and MakeRunnable uses it.
+	got, ok := f.s.PickNext(1)
+	if !ok || got != th(1) {
+		t.Fatalf("PickNext = (%v, %v)", got, ok)
+	}
+	f.s.NoteDispatch(th(1), 1)
+	f.s.OnBlock(th(1), 1, 0)
+	f.s.SetQuarantine(0, false)
+	f.s.MakeRunnable(th(1))
+	if f.s.HeapLen(0) != 1 {
+		t.Errorf("HeapLen(0) = %d after recovery, want 1", f.s.HeapLen(0))
+	}
+}
+
+func TestOnBlockClampsImpossibleMissCounts(t *testing.T) {
+	// A faulty counter can report an interval miss count that exceeds
+	// the CPU's cumulative miss clock; the dependent update's dispatch
+	// reference m(t)-n must not underflow into a garbage epoch.
+	f := newFixture(model.LFF{}, 1, 16)
+	f.s.Register(th(1))
+	f.s.Register(th(2))
+	f.g.Share(th(1), th(2), 0.5)
+	f.s.MakeRunnable(th(1))
+	f.s.MakeRunnable(th(2))
+	got, ok := f.s.PickNext(0)
+	if !ok {
+		t.Fatal("no thread to dispatch")
+	}
+	f.s.NoteDispatch(got, 0)
+	f.misses[0] = 100
+	f.s.OnBlock(got, 0, 1<<40) // interval count far beyond the clock
+	if err := f.s.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tid := range []int{1, 2} {
+		if e := f.s.EntryOf(th(tid), 0); e != nil {
+			if math.IsNaN(e.S) || e.S < 0 || math.IsInf(e.Prio, 0) || math.IsNaN(e.Prio) {
+				t.Errorf("thread %d entry corrupted by clamped reading: S=%v prio=%v", tid, e.S, e.Prio)
+			}
+		}
+	}
+}
+
+// th converts a test-local integer ID to a thread ID.
+func th(i int) mem.ThreadID { return mem.ThreadID(i) }

@@ -15,6 +15,7 @@ package sched
 import (
 	"container/heap"
 	"fmt"
+	"math"
 
 	"repro/internal/annot"
 	"repro/internal/mem"
@@ -117,6 +118,14 @@ type Scheduler struct {
 	dispatchCount uint64
 	escapes       uint64
 
+	// quarantine marks CPUs whose miss counters the runtime's
+	// sanitizer no longer trusts. On a quarantined CPU the framework
+	// degrades to the paper's annotation-free baseline: no footprint
+	// entries are created or updated, its heap is flushed to the
+	// global FIFO, and dispatch comes from the spawn/global/steal path
+	// only. Other CPUs keep full locality scheduling.
+	quarantine []bool
+
 	ops Ops
 }
 
@@ -144,17 +153,47 @@ func New(mdl *model.Model, scheme model.Scheme, graph *annot.Graph, ncpu int, th
 		missCount = func(int) uint64 { return 0 }
 	}
 	return &Scheduler{
-		mdl:       mdl,
-		scheme:    scheme,
-		graph:     graph,
-		ncpu:      ncpu,
-		missCount: missCount,
-		threshold: threshold,
-		heaps:     make([]prioHeap, ncpu),
-		spawn:     make([][]mem.ThreadID, ncpu),
-		threads:   make(map[mem.ThreadID]*tstate),
+		mdl:        mdl,
+		scheme:     scheme,
+		graph:      graph,
+		ncpu:       ncpu,
+		missCount:  missCount,
+		threshold:  threshold,
+		heaps:      make([]prioHeap, ncpu),
+		spawn:      make([][]mem.ThreadID, ncpu),
+		threads:    make(map[mem.ThreadID]*tstate),
+		quarantine: make([]bool, ncpu),
 	}
 }
+
+// SetQuarantine moves cpu into or out of quarantine. Entering
+// quarantine flushes the CPU's priority heap into the global FIFO (in
+// heap order, deterministically) so no thread is stranded behind a
+// counter the runtime cannot trust; while quarantined, no footprint
+// entry on that CPU is created, updated, or used for dispatch.
+// Idempotent for repeated calls with the same state.
+func (s *Scheduler) SetQuarantine(cpu int, on bool) {
+	if s.quarantine[cpu] == on {
+		return
+	}
+	s.quarantine[cpu] = on
+	if !on {
+		return
+	}
+	h := &s.heaps[cpu]
+	for h.Len() > 0 {
+		e := heap.Pop(h).(*Entry)
+		s.ops.HeapPops++
+		s.ops.Demotions++
+		ts := s.threads[e.Thread]
+		if ts != nil && ts.runnable && !s.hasHeapEntry(ts) && !ts.inGlobal {
+			s.enqueueGlobal(ts, e.Thread)
+		}
+	}
+}
+
+// Quarantined reports whether cpu is currently quarantined.
+func (s *Scheduler) Quarantined(cpu int) bool { return s.quarantine[cpu] }
 
 // SetSpawnStacks enables per-CPU work-first spawn stacks for freshly
 // created threads (a design ablation; the default is the paper's
@@ -252,7 +291,7 @@ func (s *Scheduler) MakeRunnable(tid mem.ThreadID) {
 	hot := false
 	if s.scheme != nil {
 		for cpu, e := range ts.entries {
-			if e == nil {
+			if e == nil || s.quarantine[cpu] {
 				continue
 			}
 			if s.mdl.Decay(e.S, e.M0, s.missCount(cpu)) >= s.threshold {
@@ -308,7 +347,9 @@ func (s *Scheduler) NoteDispatch(tid mem.ThreadID, cpu int) {
 			s.ops.HeapRemoves++
 		}
 	}
-	if s.scheme == nil {
+	if s.scheme == nil || s.quarantine[cpu] {
+		// Quarantined CPU: annotation-free baseline, no footprint
+		// bookkeeping (the counters feeding it are untrusted).
 		return
 	}
 	mt := s.missCount(cpu)
@@ -328,11 +369,25 @@ func (s *Scheduler) OnBlock(tid mem.ThreadID, cpu int, n uint64) {
 		panic(fmt.Sprintf("sched: OnBlock(%v) of non-running thread", tid))
 	}
 	ts.running = false
-	if s.scheme == nil {
+	if s.scheme == nil || s.quarantine[cpu] {
+		// Quarantined CPU: the reading that produced n is untrusted;
+		// skip the model update entirely (annotation-free baseline).
 		return
 	}
 	mt := s.missCount(cpu)
+	if n > mt {
+		// A counter fault can report more interval misses than the
+		// processor's cumulative count; clamp so the dependent
+		// updates' dispatch-time reference mt-n cannot underflow.
+		n = mt
+	}
 	e := ts.entries[cpu] // created at dispatch
+	if e == nil {
+		// Dispatched while the CPU was quarantined and recovered
+		// mid-interval: there is no dispatch snapshot to update from,
+		// so this interval contributes nothing to the model.
+		return
+	}
 	newS, prio := s.scheme.Blocking(s.mdl, e.dispatchS, n, mt)
 	e.S, e.SLast, e.M0, e.Prio = newS, newS, mt, prio
 	s.ops.PrioUpdates++
@@ -610,11 +665,36 @@ func (s *Scheduler) GlobalLen() int {
 }
 
 // Check verifies structural invariants (heap indices consistent, no
-// entry in a heap for a non-runnable thread, heap ordering valid). Used
-// by tests.
+// entry in a heap for a non-runnable thread, heap ordering valid, every
+// footprint and priority finite and in range, quarantined heaps empty).
+// Used by tests, including the fault-matrix suite: whatever garbage the
+// counters feed in, the scheduler's state must stay within these
+// bounds.
 func (s *Scheduler) Check() error {
+	if s.mdl != nil {
+		n := float64(s.mdl.N())
+		for tid, ts := range s.threads {
+			for cpu, e := range ts.entries {
+				if e == nil {
+					continue
+				}
+				if math.IsNaN(e.S) || e.S < 0 || e.S > n {
+					return fmt.Errorf("sched: %v on cpu %d has footprint %v outside [0, %v]", tid, cpu, e.S, n)
+				}
+				if math.IsNaN(e.SLast) || math.IsInf(e.SLast, 0) {
+					return fmt.Errorf("sched: %v on cpu %d has non-finite SLast %v", tid, cpu, e.SLast)
+				}
+				if math.IsNaN(e.Prio) || math.IsInf(e.Prio, 0) {
+					return fmt.Errorf("sched: %v on cpu %d has non-finite priority %v", tid, cpu, e.Prio)
+				}
+			}
+		}
+	}
 	for cpu := range s.heaps {
 		h := s.heaps[cpu]
+		if s.quarantine[cpu] && h.Len() > 0 {
+			return fmt.Errorf("sched: quarantined cpu %d holds %d heap entries", cpu, h.Len())
+		}
 		for i, e := range h {
 			if e.heapIdx != i {
 				return fmt.Errorf("sched: cpu %d heap[%d] has heapIdx %d", cpu, i, e.heapIdx)

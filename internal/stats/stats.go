@@ -172,3 +172,44 @@ func PercentEliminated(base, v float64) float64 {
 	}
 	return 100 * (base - v) / base
 }
+
+// CounterHealth is one processor's miss-counter health accounting, as
+// maintained by the runtime's reading sanitizer. Every scheduling
+// interval's counter reading is classified OK, Suspect, or Rejected;
+// persistent rejection quarantines the counter (the scheduler then
+// falls back to the annotation-free baseline on that CPU) and sustained
+// clean readings recover it. The struct records every classification
+// and every state transition, so experiments can show exactly when and
+// how often degradation kicked in.
+type CounterHealth struct {
+	// CPU is the processor index.
+	CPU int
+	// OK, Suspect and Rejected count interval readings by class.
+	OK       uint64
+	Suspect  uint64
+	Rejected uint64
+	// Quarantines and Recoveries count state transitions into and out
+	// of quarantine.
+	Quarantines uint64
+	Recoveries  uint64
+	// Quarantined is the current state: true while the scheduler is
+	// degraded to the annotation-free baseline on this CPU.
+	Quarantined bool
+	// StreakRejected and StreakClean are the current consecutive
+	// rejected / clean reading counts driving the hysteresis.
+	StreakRejected int
+	StreakClean    int
+}
+
+// Total returns the number of classified readings.
+func (h CounterHealth) Total() uint64 { return h.OK + h.Suspect + h.Rejected }
+
+// String renders a one-line health summary.
+func (h CounterHealth) String() string {
+	state := "healthy"
+	if h.Quarantined {
+		state = "QUARANTINED"
+	}
+	return fmt.Sprintf("cpu%d %s: %d ok, %d suspect, %d rejected, %d quarantines, %d recoveries",
+		h.CPU, state, h.OK, h.Suspect, h.Rejected, h.Quarantines, h.Recoveries)
+}

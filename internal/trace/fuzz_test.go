@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCorruptCorpusIsRejectedDescriptively drives every corrupted
+// recording in testdata/corrupt through Load: truncations, bit flips,
+// version skew, and field-out-of-range damage must all come back as
+// descriptive errors — never a panic, never a silently accepted
+// garbage recording.
+func TestCorruptCorpusIsRejectedDescriptively(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "corrupt", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 10 {
+		t.Fatalf("corpus has only %d files — testdata/corrupt missing?", len(files))
+	}
+	// Damage classes with a specific expected diagnosis.
+	wantSubstring := map[string]string{
+		"truncated.json":         "truncated at byte offset",
+		"version-skew.json":      "version",
+		"ncpu-out-of-range.json": "CPUs",
+		"interval-backward.json": "backward",
+		"type-skew.json":         "byte offset",
+	}
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Load(bytes.NewReader(data))
+		if err == nil {
+			t.Errorf("%s: corrupted recording accepted: %+v", filepath.Base(path), rec)
+			continue
+		}
+		if !strings.HasPrefix(err.Error(), "trace:") {
+			t.Errorf("%s: error %q lacks the trace: prefix", filepath.Base(path), err)
+		}
+		if want, ok := wantSubstring[filepath.Base(path)]; ok && !strings.Contains(err.Error(), want) {
+			t.Errorf("%s: error %q does not mention %q", filepath.Base(path), err, want)
+		}
+	}
+}
+
+func TestValidCorpusLoads(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "valid.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Load(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("valid corpus recording rejected: %v", err)
+	}
+	if rec.Version != CurrentVersion || rec.NCPU != 2 || len(rec.Events) != 4 {
+		t.Errorf("loaded recording: version=%d ncpu=%d events=%d", rec.Version, rec.NCPU, len(rec.Events))
+	}
+}
+
+// FuzzLoadRecording hammers the decoder with arbitrary bytes, seeded
+// with the valid recording and every corrupted variant. Properties: no
+// panic on any input, and any accepted recording round-trips — it can
+// be saved and reloaded, and the reload is accepted too (so replay can
+// trust what Load hands it).
+func FuzzLoadRecording(f *testing.F) {
+	seeds, err := filepath.Glob(filepath.Join("testdata", "corrupt", "*"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeds = append(seeds, filepath.Join("testdata", "valid.json"))
+	for _, path := range seeds {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := Load(bytes.NewReader(data))
+		if err != nil {
+			if rec != nil {
+				t.Fatal("Load returned both a recording and an error")
+			}
+			return
+		}
+		if err := rec.Validate(); err != nil {
+			t.Fatalf("Load accepted a recording Validate rejects: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := rec.Save(&buf); err != nil {
+			t.Fatalf("accepted recording does not save: %v", err)
+		}
+		if _, err := Load(&buf); err != nil {
+			t.Fatalf("accepted recording does not reload: %v", err)
+		}
+	})
+}

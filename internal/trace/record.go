@@ -13,10 +13,32 @@ package trace
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/mem"
+	"repro/internal/model"
+)
+
+// CurrentVersion is the recording format version this build writes.
+// Load accepts versions up to CurrentVersion (0 is the legacy
+// pre-versioning format, read as version 1) and refuses anything newer
+// with a descriptive error instead of misinterpreting skewed fields.
+const CurrentVersion = 1
+
+// Validation bounds. Recordings are untrusted input (they arrive from
+// files), so structural limits are enforced before any allocation or
+// arithmetic keys off the header fields.
+const (
+	// maxNCPU bounds the processor count a recording may claim; real
+	// recordings come from machines with a handful of CPUs, and the
+	// validator allocates per-CPU state.
+	maxNCPU = 1 << 16
+	// maxCacheLines bounds the claimed cache size; the model allocates
+	// O(CacheLines) lookup tables.
+	maxCacheLines = 1 << 28
 )
 
 // EventKind enumerates recorded event types.
@@ -106,6 +128,10 @@ type Event struct {
 // scheduler needs (processor count, cache size, page/line geometry),
 // the policy it ran under, and the event stream.
 type Recording struct {
+	// Version is the format version the recording was written with
+	// (see CurrentVersion). Zero means the legacy pre-versioning
+	// format, which is read as version 1.
+	Version int `json:"version,omitempty"`
 	// Policy is the scheduling policy of the recorded run ("FCFS",
 	// "LFF", "CRT", or any registered scheme name).
 	Policy string `json:"policy"`
@@ -123,25 +149,57 @@ type Recording struct {
 	Events []Event `json:"events"`
 }
 
-// Validate checks that the recording is structurally sound: sane
-// geometry, events of known kinds, interval CPU indices in range, and
-// monotonic per-CPU miss counts. Replay refuses invalid recordings.
+// Validate checks that the recording is structurally sound: a readable
+// format version, sane geometry, events of known kinds with fields in
+// range (thread IDs valid, sharing coefficients in [0,1], interval CPU
+// indices in range), and monotonic per-CPU miss counts and cycle
+// windows. It is the pre-pass replay and `atsim -replay` run before
+// feeding a recording to the scheduler: a truncated, bit-flipped, or
+// version-skewed recording yields a descriptive error here, never a
+// panic or a silent mis-replay.
 func (r *Recording) Validate() error {
-	if r.NCPU < 1 {
-		return fmt.Errorf("trace: recording has %d CPUs", r.NCPU)
+	if r.Version < 0 || r.Version > CurrentVersion {
+		return fmt.Errorf("trace: recording format version %d (this build reads versions <= %d)",
+			r.Version, CurrentVersion)
 	}
-	if r.CacheLines < 2 {
-		return fmt.Errorf("trace: recording cache of %d lines (model needs >= 2)", r.CacheLines)
+	if r.NCPU < 1 || r.NCPU > maxNCPU {
+		return fmt.Errorf("trace: recording has %d CPUs (want 1..%d)", r.NCPU, maxNCPU)
+	}
+	if r.CacheLines < 2 || r.CacheLines > maxCacheLines {
+		return fmt.Errorf("trace: recording cache of %d lines (want 2..%d)", r.CacheLines, maxCacheLines)
+	}
+	if err := checkPow2("line size", r.LineBytes); err != nil {
+		return err
+	}
+	if err := checkPow2("page size", r.PageBytes); err != nil {
+		return err
+	}
+	if math.IsNaN(r.ThresholdLines) || r.ThresholdLines < 0 || r.ThresholdLines > float64(maxCacheLines) {
+		return fmt.Errorf("trace: demotion threshold %v out of range", r.ThresholdLines)
 	}
 	lastMiss := make([]uint64, r.NCPU)
+	lastCycle := make([]uint64, r.NCPU)
 	for i, ev := range r.Events {
 		switch ev.Kind {
-		case EvSpawn, EvExit, EvShare:
-			// No per-event structure to check.
+		case EvSpawn, EvExit:
+			if !ev.Thread.Valid() {
+				return fmt.Errorf("trace: event %d: %v of invalid thread %v", i, ev.Kind, ev.Thread)
+			}
+		case EvShare:
+			if !ev.From.Valid() || !ev.To.Valid() {
+				return fmt.Errorf("trace: event %d: share edge with invalid endpoint %v -> %v",
+					i, ev.From, ev.To)
+			}
+			if err := model.CheckSharing(ev.Q); err != nil {
+				return fmt.Errorf("trace: event %d: %w", i, err)
+			}
 		case EvInterval:
 			iv := ev.Interval
 			if iv.CPU < 0 || iv.CPU >= r.NCPU {
 				return fmt.Errorf("trace: event %d: interval on cpu %d of %d", i, iv.CPU, r.NCPU)
+			}
+			if !iv.Thread.Valid() {
+				return fmt.Errorf("trace: event %d: interval for invalid thread %v", i, iv.Thread)
 			}
 			if iv.BlockMisses < iv.DispatchMisses {
 				return fmt.Errorf("trace: event %d: miss count runs backward (%d -> %d)",
@@ -151,10 +209,28 @@ func (r *Recording) Validate() error {
 				return fmt.Errorf("trace: event %d: cpu %d miss count not monotonic (%d after %d)",
 					i, iv.CPU, iv.DispatchMisses, lastMiss[iv.CPU])
 			}
+			if iv.EndCycles < iv.StartCycles {
+				return fmt.Errorf("trace: event %d: cycle window runs backward (%d -> %d)",
+					i, iv.StartCycles, iv.EndCycles)
+			}
+			if iv.StartCycles < lastCycle[iv.CPU] {
+				return fmt.Errorf("trace: event %d: cpu %d clock not monotonic (%d after %d)",
+					i, iv.CPU, iv.StartCycles, lastCycle[iv.CPU])
+			}
 			lastMiss[iv.CPU] = iv.BlockMisses
+			lastCycle[iv.CPU] = iv.EndCycles
 		default:
 			return fmt.Errorf("trace: event %d: unknown kind %d", i, uint8(ev.Kind))
 		}
+	}
+	return nil
+}
+
+// checkPow2 validates a geometry field: zero (absent) is allowed, any
+// other value must be a power of two.
+func checkPow2(what string, v uint64) error {
+	if v != 0 && v&(v-1) != 0 {
+		return fmt.Errorf("trace: recording %s %d is not a power of two", what, v)
 	}
 	return nil
 }
@@ -170,17 +246,29 @@ func (r *Recording) Intervals() []Interval {
 	return out
 }
 
-// Save writes the recording as JSON.
+// Save writes the recording as JSON, stamped with the current format
+// version.
 func (r *Recording) Save(w io.Writer) error {
+	if r.Version == 0 {
+		r.Version = CurrentVersion
+	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(r)
 }
 
-// Load reads a recording written by Save and validates it.
+// Load reads a recording written by Save and validates it. Decode
+// failures — truncated files (short reads), bit flips that corrupt the
+// JSON, type mismatches — are reported with the byte offset the decoder
+// had reached, so a damaged recording can be located; an unexpected EOF
+// is called out as a truncation explicitly.
 func Load(rd io.Reader) (*Recording, error) {
+	dec := json.NewDecoder(rd)
 	var r Recording
-	if err := json.NewDecoder(rd).Decode(&r); err != nil {
-		return nil, fmt.Errorf("trace: decoding recording: %w", err)
+	if err := dec.Decode(&r); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("trace: recording truncated at byte offset %d: %w", dec.InputOffset(), err)
+		}
+		return nil, fmt.Errorf("trace: decoding recording at byte offset %d: %w", dec.InputOffset(), err)
 	}
 	if err := r.Validate(); err != nil {
 		return nil, err
@@ -198,6 +286,7 @@ type Recorder struct {
 // NewRecorder starts a recording with the given header.
 func NewRecorder(policy string, ncpu, cacheLines int, lineBytes, pageBytes uint64, threshold float64) *Recorder {
 	return &Recorder{rec: Recording{
+		Version:        CurrentVersion,
 		Policy:         policy,
 		NCPU:           ncpu,
 		CacheLines:     cacheLines,

@@ -1,12 +1,12 @@
 #!/bin/sh
-# Static checks plus the race-detector pass over the code with real
-# concurrency: the parallel experiment driver, the scheduler it fans
-# out, and the experiment cells that ride on it. The experiments
-# package is filtered to the parallel-determinism tests — the full
-# golden suite under the race detector (~10×) would exceed go test's
-# timeout while adding no concurrency coverage, since everything else
-# in it is sequential. Run before committing; regen.sh runs it as its
-# first step.
+# Static checks, the race-detector pass over the whole module, and a
+# fuzz smoke of the untrusted-input surfaces. -short trims the
+# experiments package to its fast tests (the full golden suite under
+# the race detector, ~10x, would exceed go test's timeout while adding
+# no concurrency coverage); everything else runs complete. The fuzz
+# targets get a few seconds each on top of their checked-in corpora:
+# enough to catch a decoder or sanitizer regression, bounded enough
+# for CI. Run before committing; regen.sh runs it as its first step.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -18,5 +18,6 @@ if [ -n "$unformatted" ]; then
 fi
 
 go vet ./...
-go test -race ./internal/parallel ./internal/sched
-go test -race ./internal/experiments -run 'ParallelDeterminism'
+go test -race -short -timeout 30m ./...
+go test -fuzz FuzzLoadRecording -fuzztime 10s -run '^$' ./internal/trace
+go test -fuzz FuzzSanitizeStream -fuzztime 10s -run '^$' ./internal/rt
