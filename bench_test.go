@@ -11,6 +11,7 @@ package threadlocality
 // full-scale numbers.
 
 import (
+	"io"
 	"testing"
 
 	"repro/internal/experiments"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -268,6 +270,55 @@ func BenchmarkTraceGen(b *testing.B) {
 		batch, _ = g.Emit(batch, 4096)
 	}
 	b.ReportMetric(4096, "refs/op")
+}
+
+// --- Observability benchmarks -------------------------------------------
+//
+// BenchmarkObsOff vs BenchmarkObsTrace is the telemetry overhead
+// record: Off measures the disabled path (the nil-observer guards on
+// every emission site — the number that must stay within 2% of the
+// pre-telemetry baseline in BENCH_*.json), Metrics and Trace measure
+// what enabling each level costs. bench.sh captures all three, so the
+// committed JSON carries the on/off delta run over run.
+
+func benchObs(b *testing.B, level obs.Level) {
+	b.Helper()
+	cfg := benchSched
+	cfg.CPUs = 4
+	for i := 0; i < b.N; i++ {
+		cfg.Obs = obs.NewSession(level, 0)
+		if _, err := experiments.RunSched("tasks", "LFF", cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObsOff(b *testing.B)     { benchObs(b, obs.Off) }
+func BenchmarkObsMetrics(b *testing.B) { benchObs(b, obs.Metrics) }
+func BenchmarkObsTrace(b *testing.B)   { benchObs(b, obs.Trace) }
+
+// BenchmarkObsExport measures turning a traced run into all three
+// export formats (the offline cost, paid once per run).
+func BenchmarkObsExport(b *testing.B) {
+	cfg := benchSched
+	cfg.CPUs = 4
+	session := obs.NewSession(obs.Trace, 0)
+	cfg.Obs = session
+	if _, err := experiments.RunSched("tasks", "LFF", cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := obs.WriteChromeTrace(io.Discard, session.Cells()); err != nil {
+			b.Fatal(err)
+		}
+		if err := obs.WritePrometheus(io.Discard, session.MergedSnapshot()); err != nil {
+			b.Fatal(err)
+		}
+		if err := obs.WriteCSVTimeline(io.Discard, session.Cells()); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- Extension benchmarks ----------------------------------------------

@@ -9,6 +9,7 @@
 //	atsim -app tasks -policy LFF -cpus 4 -record run.json
 //	atsim -replay run.json
 //	atsim -app tasks -cpus 4 -faults all -health
+//	atsim -app tasks -cpus 4 -trace-out trace.json -metrics-out metrics.prom
 //	atsim -list
 package main
 
@@ -23,6 +24,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/platform/faulty"
 	"repro/internal/platform/replay"
 	"repro/internal/platform/sim"
@@ -44,6 +46,10 @@ func main() {
 	replayFile := flag.String("replay", "", "replay a recorded trace through the scheduler instead of simulating")
 	faults := flag.String("faults", "", "inject counter faults: wrap=BITS,stuck=LEN@EVERY,drop=LEN@EVERY,spike=DELTA@EVERY,skew=CYCLES,seed=N, or 'all'")
 	health := flag.Bool("health", false, "print per-CPU counter health after the run")
+	obsLevel := flag.String("obs", "off", "observability level: off, metrics or trace")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace of the run to this file (implies -obs trace)")
+	metricsOut := flag.String("metrics-out", "", "write Prometheus metrics of the run to this file (implies -obs metrics)")
+	debugAddr := flag.String("debug-addr", "", "serve pprof/expvar/metrics debug endpoints on this address")
 	list := flag.Bool("list", false, "list applications and exit")
 	flag.Parse()
 
@@ -80,51 +86,90 @@ func main() {
 	if err != nil {
 		usageError(err)
 	}
-
-	if faultCfg.Enabled() || *health {
-		if err := runFaults(*app, *policy, *cpus, *scale, *seed, *noAnnot, faultCfg); err != nil {
+	level, err := obs.ParseLevel(*obsLevel)
+	if err != nil {
+		usageError(err)
+	}
+	if *traceOut != "" && level < obs.Trace {
+		level = obs.Trace
+	}
+	if *metricsOut != "" && level < obs.Metrics {
+		level = obs.Metrics
+	}
+	session := obs.NewSession(level, 0)
+	if *debugAddr != "" {
+		bound, err := session.StartDebugServer(*debugAddr)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "atsim:", err)
 			os.Exit(1)
 		}
-		return
+		fmt.Fprintf(os.Stderr, "atsim: debug endpoints on http://%s/debug/pprof (metrics at /metrics)\n", bound)
 	}
 
-	if *record != "" {
-		if err := runRecord(*record, *app, *policy, *cpus, *scale, *seed, *noAnnot); err != nil {
-			fmt.Fprintln(os.Stderr, "atsim:", err)
-			os.Exit(1)
-		}
-		return
+	switch {
+	case faultCfg.Enabled() || *health:
+		err = runFaults(*app, *policy, *cpus, *scale, *seed, *noAnnot, faultCfg, session)
+	case *record != "":
+		err = runRecord(*record, *app, *policy, *cpus, *scale, *seed, *noAnnot, session)
+	case *timeline > 0:
+		err = runTimeline(*app, *policy, *cpus, *scale, *seed, *timeline, session)
+	case *verbose:
+		err = runVerbose(*app, *policy, *cpus, *scale, *seed, *noAnnot, session)
+	default:
+		err = runDefault(*app, *policy, *cpus, *scale, *seed, *noAnnot, session)
 	}
-
-	if *timeline > 0 {
-		if err := runTimeline(*app, *policy, *cpus, *scale, *seed, *timeline); err != nil {
-			fmt.Fprintln(os.Stderr, "atsim:", err)
-			os.Exit(1)
-		}
-		return
+	if err == nil {
+		err = exportObs(session, *traceOut, *metricsOut)
 	}
-
-	if *verbose {
-		if err := runVerbose(*app, *policy, *cpus, *scale, *seed, *noAnnot); err != nil {
-			fmt.Fprintln(os.Stderr, "atsim:", err)
-			os.Exit(1)
-		}
-		return
-	}
-
-	run, err := experiments.RunSched(*app, *policy, experiments.SchedConfig{
-		CPUs:               *cpus,
-		Scale:              *scale,
-		Seed:               *seed,
-		DisableAnnotations: *noAnnot,
-	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "atsim:", err)
 		os.Exit(1)
 	}
+}
 
-	fmt.Printf("%s under %s on %d cpu(s), scale %.2f:\n", run.App, run.Policy, run.CPUs, *scale)
+// cellKey names the single observer cell of a direct atsim run; faults
+// runs get a suffix so a fault-injected trace is never confused with a
+// clean one.
+func cellKey(app, policy string, cpus int, faulted bool) string {
+	key := fmt.Sprintf("%s/%s/%dcpu", app, policy, cpus)
+	if faulted {
+		key += "/faults"
+	}
+	return key
+}
+
+// exportObs writes the requested trace and metrics files after any run
+// mode completes.
+func exportObs(session *obs.Session, traceOut, metricsOut string) error {
+	if traceOut != "" {
+		if err := session.WriteTraceFile(traceOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "atsim: wrote Chrome trace to %s\n", traceOut)
+	}
+	if metricsOut != "" {
+		if err := session.WriteMetricsFile(metricsOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "atsim: wrote Prometheus metrics to %s\n", metricsOut)
+	}
+	return nil
+}
+
+// runDefault is the plain counters-only run behind the flagless
+// invocation.
+func runDefault(appName, policy string, cpus int, scale float64, seed uint64, noAnnot bool, session *obs.Session) error {
+	run, err := experiments.RunSched(appName, policy, experiments.SchedConfig{
+		CPUs:               cpus,
+		Scale:              scale,
+		Seed:               seed,
+		DisableAnnotations: noAnnot,
+		Obs:                session,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s under %s on %d cpu(s), scale %.2f:\n", run.App, run.Policy, run.CPUs, scale)
 	fmt.Printf("  E-cache refs       %12d\n", run.ERefs)
 	fmt.Printf("  E-cache misses     %12d (%.2f%% miss ratio)\n", run.EMisses, 100*run.MissRatio())
 	fmt.Printf("  cycles             %12d\n", run.Cycles)
@@ -132,6 +177,7 @@ func main() {
 	fmt.Printf("  context switches   %12d\n", run.Dispatch)
 	fmt.Printf("  heap operations    %12d\n", run.HeapOps)
 	fmt.Printf("  steals             %12d\n", run.Steals)
+	return nil
 }
 
 // usageError reports a bad flag value and exits with the conventional
@@ -151,10 +197,10 @@ func machineConfig(cpus int) machine.Config {
 }
 
 // buildEngine constructs the machine + engine pair for the direct-run
-// modes (verbose, timeline, record).
-func buildEngine(policy string, cpus int, seed uint64, noAnnot bool) (*machine.Machine, *rt.Engine, error) {
+// modes (verbose, timeline, record), attaching the run's observer.
+func buildEngine(policy string, cpus int, seed uint64, noAnnot bool, o *obs.Observer) (*machine.Machine, *rt.Engine, error) {
 	m := machine.New(machineConfig(cpus))
-	e, err := rt.New(sim.New(m), rt.Options{Policy: policy, Seed: seed, DisableAnnotations: noAnnot})
+	e, err := rt.New(sim.New(m), rt.Options{Policy: policy, Seed: seed, DisableAnnotations: noAnnot, Obs: o})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -187,12 +233,12 @@ func printMachineDetail(m *machine.Machine, e *rt.Engine) {
 
 // runVerbose runs the app once with direct machine access and prints
 // the detailed breakdown.
-func runVerbose(appName, policy string, cpus int, scale float64, seed uint64, noAnnot bool) error {
+func runVerbose(appName, policy string, cpus int, scale float64, seed uint64, noAnnot bool, session *obs.Session) error {
 	app, err := workloads.SchedAppByName(appName)
 	if err != nil {
 		return err
 	}
-	m, e, err := buildEngine(policy, cpus, seed, noAnnot)
+	m, e, err := buildEngine(policy, cpus, seed, noAnnot, session.Observer(cellKey(appName, policy, cpus, false), cpus))
 	if err != nil {
 		return err
 	}
@@ -211,7 +257,7 @@ func runVerbose(appName, policy string, cpus int, scale float64, seed uint64, no
 // around the simulator and reports the per-CPU counter-health
 // accounting — the runtime's sanitizer and quarantine machinery at
 // work against lying instrumentation.
-func runFaults(appName, policy string, cpus int, scale float64, seed uint64, noAnnot bool, cfg faulty.Config) error {
+func runFaults(appName, policy string, cpus int, scale float64, seed uint64, noAnnot bool, cfg faulty.Config, session *obs.Session) error {
 	app, err := workloads.SchedAppByName(appName)
 	if err != nil {
 		return err
@@ -221,7 +267,8 @@ func runFaults(appName, policy string, cpus int, scale float64, seed uint64, noA
 	if err != nil {
 		return err
 	}
-	e, err := rt.New(plat, rt.Options{Policy: policy, Seed: seed, DisableAnnotations: noAnnot})
+	e, err := rt.New(plat, rt.Options{Policy: policy, Seed: seed, DisableAnnotations: noAnnot,
+		Obs: session.Observer(cellKey(appName, policy, cpus, cfg.Enabled()), cpus)})
 	if err != nil {
 		return err
 	}
@@ -241,12 +288,12 @@ func runFaults(appName, policy string, cpus int, scale float64, seed uint64, noA
 
 // runTimeline executes the app printing the first n dispatches — a
 // quick view of what the policy actually does with the threads.
-func runTimeline(appName, policy string, cpus int, scale float64, seed uint64, n int) error {
+func runTimeline(appName, policy string, cpus int, scale float64, seed uint64, n int, session *obs.Session) error {
 	app, err := workloads.SchedAppByName(appName)
 	if err != nil {
 		return err
 	}
-	m, e, err := buildEngine(policy, cpus, seed, false)
+	m, e, err := buildEngine(policy, cpus, seed, false, session.Observer(cellKey(appName, policy, cpus, false), cpus))
 	if err != nil {
 		return err
 	}
@@ -267,12 +314,12 @@ func runTimeline(appName, policy string, cpus int, scale float64, seed uint64, n
 
 // runRecord executes the app on the simulator while capturing the
 // scheduling trace, then saves the recording for later -replay.
-func runRecord(path, appName, policy string, cpus int, scale float64, seed uint64, noAnnot bool) error {
+func runRecord(path, appName, policy string, cpus int, scale float64, seed uint64, noAnnot bool, session *obs.Session) error {
 	app, err := workloads.SchedAppByName(appName)
 	if err != nil {
 		return err
 	}
-	m, e, err := buildEngine(policy, cpus, seed, noAnnot)
+	m, e, err := buildEngine(policy, cpus, seed, noAnnot, session.Observer(cellKey(appName, policy, cpus, false), cpus))
 	if err != nil {
 		return err
 	}

@@ -18,6 +18,13 @@
 //	-j n        worker threads for independent experiment cells
 //	            (default 1; 0 = all processors; results are identical
 //	            for any value)
+//	-obs l          observability level: off, metrics or trace
+//	-trace-out f    write a Chrome trace of the scheduling runs (Perfetto)
+//	-metrics-out f  write Prometheus metrics of the scheduling runs
+//	-debug-addr a   serve pprof/expvar/metrics debug endpoints
+//
+// Traces and metrics are byte-identical for any -j value: observer
+// cells are keyed by run configuration and exported in sorted order.
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/stats"
 )
@@ -40,7 +48,24 @@ func main() {
 	cpus := flag.Int("cpus", 8, "SMP size for fig9/ablation")
 	quick := flag.Bool("quick", false, "fast reduced-size runs")
 	jobs := flag.Int("j", 1, "worker threads for independent experiment cells (0 = all processors)")
+	obsLevel := flag.String("obs", "off", "observability level: off, metrics or trace")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace of the scheduling runs to this file (implies -obs trace)")
+	metricsOut := flag.String("metrics-out", "", "write Prometheus metrics of the scheduling runs to this file (implies -obs metrics)")
+	debugAddr := flag.String("debug-addr", "", "serve pprof/expvar/metrics debug endpoints on this address")
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*obsLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(2)
+	}
+	if *traceOut != "" && level < obs.Trace {
+		level = obs.Trace
+	}
+	if *metricsOut != "" && level < obs.Metrics {
+		level = obs.Metrics
+	}
+	session := obs.NewSession(level, 0)
 
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: repro [flags] table1|table2|table3|table4|table5|fig4|fig5|fig6|fig7|fig8|fig9|ablation|inference|mapping|breakdown|assoc|scaling|threshold|spawnstacks|sources|coarse|tlb|compare|validate|all")
@@ -48,7 +73,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	sched := experiments.SchedConfig{Scale: *scale, Seed: *seed, CPUs: *cpus, Jobs: *jobs}
+	if *debugAddr != "" {
+		bound, err := session.StartDebugServer(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "repro: debug endpoints on http://%s/debug/pprof (metrics at /metrics)\n", bound)
+	}
+
+	sched := experiments.SchedConfig{Scale: *scale, Seed: *seed, CPUs: *cpus, Jobs: *jobs, Obs: session}
 	study := experiments.StudyConfig{Seed: *seed, Jobs: *jobs}
 	if *quick {
 		if *scale == 1.0 {
@@ -84,6 +118,21 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+
+	if *traceOut != "" {
+		if err := session.WriteTraceFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "repro: wrote Chrome trace (%d cells) to %s\n", len(session.Cells()), *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := session.WriteMetricsFile(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "repro: wrote Prometheus metrics to %s\n", *metricsOut)
 	}
 }
 

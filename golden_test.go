@@ -23,13 +23,20 @@ import (
 // working set (24 x 48KB = 1.1MB) exceeds the 512KB E-cache, so policy
 // differences show, and returns the run's counters plus a fingerprint.
 func goldenScenario(policy Policy, cpus int) (Stats, string) {
+	_, st, fp := goldenScenarioObs(policy, cpus, ObsOptions{})
+	return st, fp
+}
+
+// goldenScenarioObs is goldenScenario with an observability level, for
+// pinning that observation never changes the observed run.
+func goldenScenarioObs(policy Policy, cpus int, o ObsOptions) (*System, Stats, string) {
 	machine := UltraSPARC1()
 	if cpus > 1 {
 		machine = Enterprise5000(cpus)
 	}
-	sys, err := New(Config{Machine: machine, Policy: policy, Seed: 1234})
+	sys, err := New(Config{Machine: machine, Policy: policy, Seed: 1234, Observability: o})
 	if err != nil {
-		return Stats{}, "error: " + err.Error()
+		return nil, Stats{}, "error: " + err.Error()
 	}
 	sys.Spawn("main", func(t *Thread) {
 		shared := t.Alloc(128 * 1024)
@@ -57,11 +64,40 @@ func goldenScenario(policy Policy, cpus int) (Stats, string) {
 		}
 	})
 	if err := sys.Run(); err != nil {
-		return Stats{}, "error: " + err.Error()
+		return nil, Stats{}, "error: " + err.Error()
 	}
 	st := sys.Stats()
-	return st, fmt.Sprintf("refs=%d misses=%d cycles=%d instrs=%d dispatches=%d",
+	return sys, st, fmt.Sprintf("refs=%d misses=%d cycles=%d instrs=%d dispatches=%d",
 		st.ERefs, st.EMisses, st.Cycles, st.Instrs, st.Dispatches)
+}
+
+// TestGoldenUnchangedByObservation pins the telemetry layer's core
+// contract: attaching full tracing to a golden scenario must not move a
+// single counter. If this fails, an emission site is perturbing the
+// simulation (reading state it should only copy, or ordering work
+// differently when an observer is present).
+func TestGoldenUnchangedByObservation(t *testing.T) {
+	for _, policy := range []Policy{FCFS, LFF, CRT} {
+		for _, cpus := range []int{1, 4} {
+			_, bare := goldenScenario(policy, cpus)
+			sys, _, traced := goldenScenarioObs(policy, cpus, ObsOptions{Level: ObsTrace})
+			if bare != traced {
+				t.Errorf("%s/%dcpu: tracing changed the run:\n  bare:   %s\n  traced: %s",
+					policy, cpus, bare, traced)
+			}
+			o := sys.Observer()
+			if o == nil {
+				t.Fatalf("%s/%dcpu: traced system has no observer", policy, cpus)
+			}
+			var events uint64
+			for cpu := 0; cpu < cpus; cpu++ {
+				events += o.Ring(cpu).Total()
+			}
+			if events == 0 {
+				t.Errorf("%s/%dcpu: observer recorded nothing", policy, cpus)
+			}
+		}
+	}
 }
 
 // TestGoldenRunsAreStable re-runs each scenario and requires bit-equal

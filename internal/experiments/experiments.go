@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/platform/sim"
 	"repro/internal/rt"
 	"repro/internal/workloads"
@@ -84,6 +85,27 @@ type SchedConfig struct {
 	// bit-identical for any value — every cell owns its machine and
 	// RNG stream and is collected by index (see internal/parallel).
 	Jobs int
+	// Obs, when non-nil, attaches an observability session: every cell
+	// run registers an observer under a key derived purely from the
+	// cell's configuration, so session exports are byte-identical for
+	// any Jobs value.
+	Obs *obs.Session
+}
+
+// cellKey names one run's observer cell. It must be a pure function of
+// the run configuration (obs.Cell.Key documents why).
+func (c SchedConfig) cellKey(app, policy string) string {
+	key := fmt.Sprintf("%s/%s/%dcpu", app, policy, c.CPUs)
+	if c.DisableAnnotations {
+		key += "/noannot"
+	}
+	if c.InferSharing {
+		key += "/infer"
+	}
+	if c.SpawnStacks {
+		key += "/spawnstacks"
+	}
+	return key
 }
 
 func (c SchedConfig) withDefaults() SchedConfig {
@@ -124,6 +146,7 @@ func RunSched(appName, policy string, cfg SchedConfig) (PolicyRun, error) {
 		InferSharing:       cfg.InferSharing,
 		ThresholdLines:     cfg.Threshold,
 		SpawnStacks:        cfg.SpawnStacks,
+		Obs:                cfg.Obs.Observer(cfg.cellKey(appName, policy), cfg.CPUs),
 	})
 	if err != nil {
 		return PolicyRun{}, fmt.Errorf("experiments: %s/%s/%dcpu: %w", appName, policy, cfg.CPUs, err)
@@ -133,12 +156,9 @@ func RunSched(appName, policy string, cfg SchedConfig) (PolicyRun, error) {
 		return PolicyRun{}, fmt.Errorf("experiments: %s/%s/%dcpu: %w", appName, policy, cfg.CPUs, err)
 	}
 	refs, _, misses := m.Totals()
-	ops := e.Scheduler().Ops()
-	var disp, idle uint64
-	for _, d := range e.Dispatches() {
-		disp += d
-	}
-	for _, ic := range e.IdleCycles() {
+	snap := e.Snapshot()
+	var idle uint64
+	for _, ic := range snap.IdleCycles {
 		idle += ic
 	}
 	return PolicyRun{
@@ -149,9 +169,9 @@ func RunSched(appName, policy string, cfg SchedConfig) (PolicyRun, error) {
 		ERefs:      refs,
 		Cycles:     m.MaxCycles(),
 		Instrs:     m.TotalInstrs(),
-		Steals:     ops.Steals,
-		HeapOps:    ops.Total(),
-		Dispatch:   disp,
+		Steals:     snap.SchedOps.Steals,
+		HeapOps:    snap.SchedOps.Total(),
+		Dispatch:   snap.TotalDispatches(),
 		IdleCycles: idle,
 	}, nil
 }

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/parallel"
+)
+
+// runObsCells fans a small app×policy grid across the given worker
+// count with a tracing session attached and returns every export
+// format's bytes.
+func runObsCells(t *testing.T, jobs int) (trace, metrics, csv []byte) {
+	t.Helper()
+	session := obs.NewSession(obs.Trace, 0)
+	cfg := SchedConfig{CPUs: 2, Scale: 0.02, Seed: 7, Jobs: jobs, Obs: session}
+	type cell struct{ app, policy string }
+	cells := []cell{
+		{"tasks", "FCFS"}, {"tasks", "LFF"},
+		{"merge", "LFF"}, {"merge", "CRT"},
+	}
+	if _, err := parallel.Map(jobs, len(cells), func(i int) (PolicyRun, error) {
+		return RunSched(cells[i].app, cells[i].policy, cfg)
+	}); err != nil {
+		t.Fatalf("RunSched grid (jobs=%d): %v", jobs, err)
+	}
+	if got := len(session.Cells()); got != len(cells) {
+		t.Fatalf("session has %d cells, want %d", got, len(cells))
+	}
+	var tb, mb, cb bytes.Buffer
+	if err := obs.WriteChromeTrace(&tb, session.Cells()); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	if err := obs.WritePrometheus(&mb, session.MergedSnapshot()); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if err := obs.WriteCSVTimeline(&cb, session.Cells()); err != nil {
+		t.Fatalf("WriteCSVTimeline: %v", err)
+	}
+	return tb.Bytes(), mb.Bytes(), cb.Bytes()
+}
+
+// TestExportsDeterministicAcrossWorkers is the telemetry determinism
+// gate: every exporter must produce byte-identical output whether the
+// experiment cells ran sequentially or fanned across four workers.
+// Cells are keyed by run configuration and exported in sorted key
+// order, so worker scheduling can never reorder them.
+func TestExportsDeterministicAcrossWorkers(t *testing.T) {
+	t1, m1, c1 := runObsCells(t, 1)
+	t4, m4, c4 := runObsCells(t, 4)
+	if len(t1) == 0 || len(m1) == 0 || len(c1) == 0 {
+		t.Fatal("sequential run exported no bytes")
+	}
+	if !bytes.Equal(t1, t4) {
+		t.Errorf("Chrome trace differs between -j1 (%d bytes) and -j4 (%d bytes)", len(t1), len(t4))
+	}
+	if !bytes.Equal(m1, m4) {
+		t.Errorf("Prometheus dump differs between -j1 (%d bytes) and -j4 (%d bytes)", len(m1), len(m4))
+	}
+	if !bytes.Equal(c1, c4) {
+		t.Errorf("CSV timeline differs between -j1 (%d bytes) and -j4 (%d bytes)", len(c1), len(c4))
+	}
+}

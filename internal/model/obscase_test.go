@@ -1,0 +1,29 @@
+package model
+
+import "testing"
+
+// TestUpdateCaseMirrorsObsSchema pins the numeric values and names the
+// observability layer depends on: internal/obs stamps KModelUpdate
+// events with UpdateCase values but stays dependency-light (it does
+// not import the model), so its exporters hard-code the 1/2/3 →
+// blocking/independent/dependent mapping. Renumbering or renaming the
+// cases must fail here before it silently skews exported traces.
+func TestUpdateCaseMirrorsObsSchema(t *testing.T) {
+	want := map[UpdateCase]string{
+		CaseBlocking:    "blocking",
+		CaseIndependent: "independent",
+		CaseDependent:   "dependent",
+	}
+	if CaseBlocking != 1 || CaseIndependent != 2 || CaseDependent != 3 {
+		t.Fatalf("case values changed: blocking=%d independent=%d dependent=%d (obs hard-codes 1/2/3)",
+			CaseBlocking, CaseIndependent, CaseDependent)
+	}
+	for c, name := range want {
+		if c.String() != name {
+			t.Errorf("UpdateCase(%d).String() = %q, want %q", c, c.String(), name)
+		}
+	}
+	if UpdateCase(0).String() != "unknown" || UpdateCase(9).String() != "unknown" {
+		t.Error("out-of-range cases must name as unknown")
+	}
+}

@@ -18,6 +18,39 @@ package model
 // (kⁿ, log F) and integer arithmetic are free, matching the paper's
 // accounting.
 
+// UpdateCase names which of the model's three closed forms produced a
+// footprint update — the paper's case taxonomy of Section 2.4. The
+// scheduler stamps every model-update telemetry event with one of these
+// so a trace shows not just that S changed but which law changed it.
+type UpdateCase uint8
+
+const (
+	// CaseBlocking is case 1: the thread that just blocked,
+	// E = N − (N−S)·kⁿ.
+	CaseBlocking UpdateCase = 1
+	// CaseIndependent is case 2: a thread independent of the blocker,
+	// whose footprint only decays, E = S·kⁿ. The decay is applied
+	// lazily, so a case-2 event is emitted when the decayed value is
+	// materialized (heap demotion, runnable re-evaluation).
+	CaseIndependent UpdateCase = 2
+	// CaseDependent is case 3: an out-neighbour of the blocker in the
+	// sharing graph, E = qN − (qN−S)·kⁿ.
+	CaseDependent UpdateCase = 3
+)
+
+func (c UpdateCase) String() string {
+	switch c {
+	case CaseBlocking:
+		return "blocking"
+	case CaseIndependent:
+		return "independent"
+	case CaseDependent:
+		return "dependent"
+	default:
+		return "unknown"
+	}
+}
+
 // Scheme is the priority algebra of one locality policy. A Scheme is
 // stateless; per-thread state (S, S_last, m0, priority) lives in the
 // scheduler's footprint entries.

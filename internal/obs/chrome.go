@@ -1,0 +1,194 @@
+package obs
+
+// Chrome trace-event exporter. The output is the Trace Event Format's
+// "JSON Object Format" ({"traceEvents": [...]}) understood by Perfetto
+// and chrome://tracing: one process per cell, one track (tid) per CPU
+// carrying complete ("X") slices for execution intervals, instant
+// events for the scheduling edges (wake, spawn, exit, quarantine), and
+// counter ("C") tracks for each thread's expected footprint E[F] and
+// each CPU's per-interval miss counts.
+//
+// Timestamps are the simulator's virtual cycle counts written directly
+// into the "ts" microsecond field (1 cycle renders as 1 µs — the unit
+// label is cosmetic; the shapes and orderings are exact). Everything is
+// emitted in a fixed order — cells in the given order, CPUs ascending,
+// ring events oldest-first — and floats are formatted with strconv
+// shortest-round-trip, so the bytes are a pure function of the recorded
+// events: runs of the same seed export identical files regardless of
+// `-j` worker count or host timing.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WriteChromeTrace writes the cells as one Chrome trace-event JSON
+// document. Cells become processes in slice order (Session.Cells
+// returns them sorted by key, which is what keeps multi-cell exports
+// deterministic); pass a single-element slice for one run.
+func WriteChromeTrace(w io.Writer, cells []*Cell) error {
+	bw := bufio.NewWriter(w)
+	cw := &chromeWriter{w: bw}
+	cw.raw(`{"displayTimeUnit":"ns","traceEvents":[`)
+	for i, c := range cells {
+		cw.cell(i+1, c)
+	}
+	cw.raw("\n]}\n")
+	if cw.err != nil {
+		return cw.err
+	}
+	return bw.Flush()
+}
+
+// chromeWriter accumulates trace events with explicit comma handling
+// and sticky error reporting.
+type chromeWriter struct {
+	w     *bufio.Writer
+	first bool
+	err   error
+}
+
+func (c *chromeWriter) raw(s string) {
+	if c.err == nil {
+		_, c.err = c.w.WriteString(s)
+	}
+}
+
+// event emits one pre-rendered JSON object body (without braces).
+func (c *chromeWriter) event(body string) {
+	if c.first {
+		c.raw(",")
+	}
+	c.first = true
+	c.raw("\n{")
+	c.raw(body)
+	c.raw("}")
+}
+
+// jstr renders s as a JSON string (with quotes).
+func jstr(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Invariant: marshalling a Go string cannot fail.
+		panic(err)
+	}
+	return string(b)
+}
+
+// jfloat renders a float deterministically; NaN/Inf (impossible for
+// sanitized model state, but the encoder must never emit invalid JSON)
+// degrade to 0.
+func jfloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "0"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// cell emits one observer as one trace process.
+func (c *chromeWriter) cell(pid int, cell *Cell) {
+	o := cell.Obs
+	name := cell.Key
+	if name == "" {
+		name = fmt.Sprintf("cell %d", pid)
+	}
+	c.event(fmt.Sprintf(`"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}`,
+		pid, jstr(name)))
+	if o == nil {
+		return
+	}
+	for cpu := 0; cpu < o.NCPU(); cpu++ {
+		c.event(fmt.Sprintf(`"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"cpu%d"}`,
+			pid, cpu, cpu))
+		c.event(fmt.Sprintf(`"name":"thread_sort_index","ph":"M","pid":%d,"tid":%d,"args":{"sort_index":%d}`,
+			pid, cpu, cpu))
+		r := o.Ring(cpu)
+		if r == nil {
+			continue
+		}
+		if d := r.Dropped(); d > 0 {
+			c.event(fmt.Sprintf(`"name":"ring_overflow","ph":"i","s":"t","ts":0,"pid":%d,"tid":%d,"args":{"dropped":%d,"total":%d}`,
+				pid, cpu, d, r.Total()))
+		}
+		c.cpuEvents(pid, cpu, o, r.Events())
+	}
+}
+
+// cpuEvents renders one CPU's ring, pairing dispatch/block into slices.
+func (c *chromeWriter) cpuEvents(pid, cpu int, o *Observer, evs []Event) {
+	var open *Event // pending dispatch awaiting its block
+	for i := range evs {
+		ev := &evs[i]
+		switch ev.Kind {
+		case KDispatch:
+			open = ev
+		case KBlock:
+			// A ring that overwrote the dispatch still renders the
+			// block-terminated tail as a zero-length slice at ts.
+			start := ev.Time
+			tname := o.ThreadName(ev.Thread)
+			if open != nil && open.Thread == ev.Thread && open.Time <= ev.Time {
+				start = open.Time
+			}
+			c.event(fmt.Sprintf(`"name":%s,"cat":"exec","ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d,"args":{"thread":%d,"reason":%s,"interval_cycles":%d}`,
+				jstr(tname), start, ev.Time-start, pid, cpu, int32(ev.Thread),
+				jstr(BlockReason(ev.Arg).String()), ev.A))
+			open = nil
+		case KWake, KSpawn, KExit:
+			c.event(fmt.Sprintf(`"name":%s,"cat":"sched","ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":{"thread":%d}`,
+				jstr(ev.Kind.String()+" "+o.ThreadName(ev.Thread)), ev.Time, pid, cpu, int32(ev.Thread)))
+		case KInterval:
+			c.event(fmt.Sprintf(`"name":"misses cpu%d","ph":"C","ts":%d,"pid":%d,"args":{"raw":%d,"sanitized":%d}`,
+				cpu, ev.Time, pid, ev.A, ev.B))
+			if ev.Arg != VerdictOK {
+				c.event(fmt.Sprintf(`"name":%s,"cat":"health","ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":{"thread":%d,"raw":%d,"sanitized":%d}`,
+					jstr("reading "+VerdictString(ev.Arg)), ev.Time, pid, cpu, int32(ev.Thread), ev.A, ev.B))
+			}
+		case KModelUpdate:
+			c.event(fmt.Sprintf(`"name":%s,"ph":"C","ts":%d,"pid":%d,"args":{"lines":%s}`,
+				jstr("E[F] "+o.ThreadName(ev.Thread)), ev.Time, pid, jfloat(ev.Y)))
+			c.event(fmt.Sprintf(`"name":%s,"cat":"model","ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":{"thread":%d,"case":%s,"prior":%s,"expected":%s,"prio":%s}`,
+				jstr("model "+o.ThreadName(ev.Thread)), ev.Time, pid, cpu, int32(ev.Thread),
+				jstr(updateCaseName(ev.Arg)), jfloat(ev.X), jfloat(ev.Y),
+				jfloat(math.Float64frombits(ev.B))))
+		case KSchedDecision:
+			c.event(fmt.Sprintf(`"name":%s,"cat":"sched","ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":{"thread":%d,"dependents":%d,"heap":%d}`,
+				jstr("pick "+o.ThreadName(ev.Thread)), ev.Time, pid, cpu, int32(ev.Thread), ev.A, ev.B))
+		case KQuarantine, KRecover:
+			c.event(fmt.Sprintf(`"name":%s,"cat":"health","ph":"i","s":"p","ts":%d,"pid":%d,"tid":%d,"args":{}`,
+				jstr(ev.Kind.String()), ev.Time, pid, cpu))
+		default:
+			// Unknown kinds (a newer schema read by an older exporter)
+			// still render, so nothing recorded is silently dropped.
+			c.event(fmt.Sprintf(`"name":"event kind %d","cat":"unknown","ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":{"a":%d,"b":%d}`,
+				ev.Kind, ev.Time, pid, cpu, ev.A, ev.B))
+		}
+	}
+	if open != nil {
+		// A thread still running when the trace was cut: render the
+		// open interval as a zero-duration slice so it stays visible.
+		c.event(fmt.Sprintf(`"name":%s,"cat":"exec","ph":"X","ts":%d,"dur":0,"pid":%d,"tid":%d,"args":{"thread":%d,"reason":"running"}`,
+			jstr(o.ThreadName(open.Thread)), open.Time, pid, cpu, int32(open.Thread)))
+	}
+}
+
+// updateCaseName names a KModelUpdate Arg. The values mirror
+// model.UpdateCase (obs stays dependency-light and does not import the
+// model); the correspondence is pinned by TestUpdateCaseMirrorsModel in
+// internal/model.
+func updateCaseName(arg uint8) string {
+	switch arg {
+	case 1:
+		return "blocking"
+	case 2:
+		return "independent"
+	case 3:
+		return "dependent"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,136 @@
+package obs
+
+// CSV exporters: a flat event timeline (one row per ring event, for
+// spreadsheets and ad-hoc scripts) and per-thread footprint series in
+// the stats.Series shape internal/report renders as CSV columns or SVG
+// curves. Row order is fixed — cells in slice order, CPUs ascending,
+// ring order within a CPU — so the bytes are deterministic.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// WriteCSVTimeline writes every recorded event of every cell as CSV
+// with the header
+//
+//	cell,time,cpu,kind,thread,a,b,x,y,arg
+//
+// where a/b/x/y/arg are the kind-specific payloads of the event schema
+// (docs/OBSERVABILITY.md).
+func WriteCSVTimeline(w io.Writer, cells []*Cell) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "cell,time,cpu,kind,thread,a,b,x,y,arg")
+	for _, c := range cells {
+		if c.Obs == nil {
+			continue
+		}
+		for cpu := 0; cpu < c.Obs.NCPU(); cpu++ {
+			r := c.Obs.Ring(cpu)
+			if r == nil {
+				continue
+			}
+			for _, ev := range r.Events() {
+				fmt.Fprintf(bw, "%s,%d,%d,%s,%d,%d,%d,%s,%s,%s\n",
+					csvField(c.Key), ev.Time, cpu, ev.Kind, int32(ev.Thread),
+					ev.A, ev.B, csvFloat(ev.X), csvFloat(ev.Y), argString(ev))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// argString renders an event's Arg in its kind's vocabulary.
+func argString(ev Event) string {
+	switch ev.Kind {
+	case KBlock:
+		return BlockReason(ev.Arg).String()
+	case KInterval:
+		return VerdictString(ev.Arg)
+	case KModelUpdate:
+		return updateCaseName(ev.Arg)
+	default:
+		return strconv.Itoa(int(ev.Arg))
+	}
+}
+
+// csvField quotes a field only when it needs it.
+func csvField(s string) string {
+	for _, r := range s {
+		if r == ',' || r == '"' || r == '\n' || r == '\r' {
+			return strconv.Quote(s)
+		}
+	}
+	return s
+}
+
+// csvFloat renders a float compactly ("0" for zero payloads).
+func csvFloat(v float64) string {
+	if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return "0"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// FootprintSeries extracts one stats.Series per thread from the
+// observer's KModelUpdate events: X = virtual time of the update, Y =
+// the model's new expected footprint E[F] in lines. Series are sorted
+// by thread ID and labelled with the thread's name, ready for
+// report.CSV or report.SVGPlot.
+func FootprintSeries(o *Observer) []*stats.Series {
+	if o == nil {
+		return nil
+	}
+	byThread := make(map[mem.ThreadID]*stats.Series)
+	var ids []mem.ThreadID
+	for cpu := 0; cpu < o.NCPU(); cpu++ {
+		r := o.Ring(cpu)
+		if r == nil {
+			continue
+		}
+		for _, ev := range r.Events() {
+			if ev.Kind != KModelUpdate {
+				continue
+			}
+			s := byThread[ev.Thread]
+			if s == nil {
+				s = &stats.Series{Label: o.ThreadName(ev.Thread)}
+				byThread[ev.Thread] = s
+				ids = append(ids, ev.Thread)
+			}
+			s.Append(float64(ev.Time), ev.Y)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]*stats.Series, 0, len(ids))
+	for _, id := range ids {
+		s := byThread[id]
+		// Rings interleave CPUs; updates for one thread must be in time
+		// order for plotting.
+		sortSeriesByX(s)
+		out = append(out, s)
+	}
+	return out
+}
+
+// sortSeriesByX stably sorts a series' parallel slices by X.
+func sortSeriesByX(s *stats.Series) {
+	idx := make([]int, len(s.X))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return s.X[idx[a]] < s.X[idx[b]] })
+	x := make([]float64, len(idx))
+	y := make([]float64, len(idx))
+	for i, j := range idx {
+		x[i], y[i] = s.X[j], s.Y[j]
+	}
+	s.X, s.Y = x, y
+}

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"sync"
+)
+
+var publishOnce sync.Once
+
+// StartDebugServer binds addr (e.g. "localhost:6060") and serves the
+// standard net/http/pprof and expvar debug endpoints in the background,
+// plus /metrics rendering the session's merged snapshot in Prometheus
+// format on demand. It returns the bound address (useful with ":0") and
+// never blocks; the listener lives until the process exits. The debug
+// endpoints are process-global, so only the first session that calls
+// this is exported through them.
+func (s *Session) StartDebugServer(addr string) (string, error) {
+	publishOnce.Do(func() {
+		expvar.Publish("obs_metrics", expvar.Func(func() any {
+			return s.MergedSnapshot()
+		}))
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			WritePrometheus(w, s.MergedSnapshot())
+		})
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, nil)
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,164 @@
+package obs
+
+import "repro/internal/mem"
+
+// Kind discriminates trace events. The numeric values are part of the
+// exported trace schema (docs/OBSERVABILITY.md) — append new kinds, do
+// not renumber.
+type Kind uint8
+
+const (
+	// KDispatch: a thread starts running on a CPU.
+	// A = cycles the thread waited runnable before dispatch (0 when it
+	// was never enqueued, e.g. the bootstrap dispatch).
+	KDispatch Kind = iota + 1
+	// KBlock: the running thread leaves the CPU. Arg = BlockReason.
+	// A = cycles of the just-ended execution interval.
+	KBlock
+	// KWake: a thread becomes runnable (unblock, timer fire, spawn
+	// enqueue). CPU is the processor whose engine-step performed the
+	// wake, not where the thread will run.
+	KWake
+	// KSpawn: a thread is created. A = entry count of its annotation
+	// working set (0 when annotations are disabled).
+	KSpawn
+	// KExit: a thread terminates.
+	KExit
+	// KInterval: the sanitized per-interval counter reading taken at a
+	// context switch. A = raw miss delta as read from the counter,
+	// B = sanitized miss count actually fed to the model,
+	// Arg = sanitizer verdict (VerdictOK/Suspect/Rejected).
+	KInterval
+	// KModelUpdate: the model recomputed a thread's expected footprint.
+	// Arg = model.UpdateCase (1 blocking, 2 independent decay,
+	// 3 dependent), X = prior S, Y = new expected footprint E[F],
+	// B = math.Float64bits of the resulting priority.
+	KModelUpdate
+	// KSchedDecision: the scheduler picked the next thread for a CPU.
+	// Thread = the chosen thread (InvalidThread when the CPU idles),
+	// A = size of the dependent set touched by the preceding O(d)
+	// update, B = local heap length after the pick.
+	KSchedDecision
+	// KQuarantine: a CPU's miss counter entered quarantine; the
+	// scheduler degrades to the annotation-free baseline there.
+	KQuarantine
+	// KRecover: a quarantined counter passed the clean-streak
+	// hysteresis and the CPU resumed locality scheduling.
+	KRecover
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KDispatch:
+		return "dispatch"
+	case KBlock:
+		return "block"
+	case KWake:
+		return "wake"
+	case KSpawn:
+		return "spawn"
+	case KExit:
+		return "exit"
+	case KInterval:
+		return "interval"
+	case KModelUpdate:
+		return "model_update"
+	case KSchedDecision:
+		return "sched_decision"
+	case KQuarantine:
+		return "quarantine"
+	case KRecover:
+		return "recover"
+	default:
+		return "unknown"
+	}
+}
+
+// BlockReason says why a thread left its CPU (KBlock's Arg).
+type BlockReason uint8
+
+const (
+	ReasonPreempt BlockReason = iota + 1
+	ReasonYield
+	ReasonSleep
+	ReasonJoin
+	ReasonLock
+	ReasonSem
+	ReasonBarrier
+	ReasonCond
+	ReasonExit
+)
+
+func (r BlockReason) String() string {
+	switch r {
+	case ReasonPreempt:
+		return "preempt"
+	case ReasonYield:
+		return "yield"
+	case ReasonSleep:
+		return "sleep"
+	case ReasonJoin:
+		return "join"
+	case ReasonLock:
+		return "lock"
+	case ReasonSem:
+		return "sem"
+	case ReasonBarrier:
+		return "barrier"
+	case ReasonCond:
+		return "cond"
+	case ReasonExit:
+		return "exit"
+	default:
+		return "unknown"
+	}
+}
+
+// Sanitizer verdicts (KInterval's Arg). The values mirror
+// rt.ReadingClass (OK=0, Suspect=1, Rejected=2); obs cannot import rt
+// without a cycle, and rt's health test asserts the correspondence.
+const (
+	VerdictOK       uint8 = 0
+	VerdictSuspect  uint8 = 1
+	VerdictRejected uint8 = 2
+)
+
+// VerdictString names a KInterval verdict.
+func VerdictString(v uint8) string {
+	switch v {
+	case VerdictOK:
+		return "ok"
+	case VerdictSuspect:
+		return "suspect"
+	case VerdictRejected:
+		return "rejected"
+	default:
+		return "unknown"
+	}
+}
+
+// InvalidThread marks events with no thread subject (idle
+// KSchedDecision, KQuarantine/KRecover).
+const InvalidThread mem.ThreadID = -1
+
+// Event is one fixed-size trace record. Time is always the emitting
+// CPU's virtual cycle clock — never wall time — which is what makes
+// traces bit-deterministic. The meaning of A, B, X, Y and Arg depends
+// on Kind (see the Kind constants).
+type Event struct {
+	// Time is the virtual clock of the emitting CPU, in cycles.
+	Time uint64
+	// A and B are kind-specific integer payloads.
+	A, B uint64
+	// X and Y are kind-specific float payloads (model S values).
+	X, Y float64
+	// Thread is the subject thread, or InvalidThread.
+	Thread mem.ThreadID
+	// CPU is the processor the event was emitted on.
+	CPU int16
+	// Kind discriminates the payload.
+	Kind Kind
+	// Arg is a small kind-specific enum (BlockReason, verdict,
+	// model.UpdateCase).
+	Arg uint8
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestChromeTraceIsValidJSONAndDeterministic(t *testing.T) {
+	cells := []*Cell{{Key: "tasks/LFF", Obs: fillObserver()}}
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, cells); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, cells); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two exports of the same cells differ")
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, a.String())
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	phases := map[string]int{}
+	names := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		phases[ev["ph"].(string)]++
+		if n, ok := ev["name"].(string); ok {
+			names[n]++
+		}
+	}
+	// The fill has an exec slice, instants, counters and metadata.
+	for _, ph := range []string{"M", "X", "i", "C"} {
+		if phases[ph] == 0 {
+			t.Errorf("no %q events in trace (phases: %v)", ph, phases)
+		}
+	}
+	if names["process_name"] != 1 || names["E[F] main"] == 0 {
+		t.Errorf("missing expected tracks: %v", names)
+	}
+	// The dispatch/block pair must render as one slice with the right
+	// duration.
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "X" && ev["name"] == "main" {
+			if ev["ts"].(float64) != 12 || ev["dur"].(float64) != 28 {
+				t.Errorf("exec slice ts/dur = %v/%v, want 12/28", ev["ts"], ev["dur"])
+			}
+		}
+	}
+}
+
+func TestChromeTraceMultiCellOrder(t *testing.T) {
+	s := NewSession(Trace, 16)
+	for _, key := range []string{"b", "a"} {
+		o := s.Observer(key, 1)
+		o.Emit(Event{Time: 1, Kind: KWake, CPU: 0, Thread: 0})
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, s.Cells()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	ia, ib := strings.Index(out, `"a"`), strings.Index(out, `"b"`)
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Errorf("cells not exported in sorted key order (a@%d, b@%d)", ia, ib)
+	}
+}
+
+func TestChromeTraceOpenIntervalAndOverflow(t *testing.T) {
+	o := New(1, Options{Level: Trace, RingSize: 4})
+	for i := 0; i < 9; i++ {
+		o.Emit(Event{Time: uint64(i), Kind: KWake, CPU: 0, Thread: 1})
+	}
+	o.Emit(Event{Time: 20, Kind: KDispatch, CPU: 0, Thread: 1})
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, []*Cell{{Key: "k", Obs: o}}); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("invalid JSON: %s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "ring_overflow") {
+		t.Error("overflow not reported")
+	}
+	if !strings.Contains(buf.String(), `"reason":"running"`) {
+		t.Error("open interval not rendered")
+	}
+}
+
+func TestPrometheusFormat(t *testing.T) {
+	o := fillObserver()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, o.Registry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE rt_dispatches_total counter",
+		`rt_dispatches_total{cpu="0"} 3`,
+		`rt_dispatches_total{cpu="1"} 2`,
+		"# TYPE sched_global_queue_len gauge",
+		"sched_global_queue_len 1",
+		"# TYPE rt_interval_cycles histogram",
+		`rt_interval_cycles_bucket{le="100"} 1`,
+		`rt_interval_cycles_bucket{le="1000"} 1`,
+		`rt_interval_cycles_bucket{le="+Inf"} 2`,
+		"rt_interval_cycles_sum 5050",
+		"rt_interval_cycles_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	var a bytes.Buffer
+	if err := WritePrometheus(&a, o.Registry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != out {
+		t.Error("prometheus export is nondeterministic")
+	}
+}
+
+func TestPromNameSanitizes(t *testing.T) {
+	for in, want := range map[string]string{
+		"ok_name":  "ok_name",
+		"has-dash": "has_dash",
+		"9lead":    "_lead",
+		"":         "_",
+		"a.b/c":    "a_b_c",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCSVTimeline(t *testing.T) {
+	o := fillObserver()
+	var buf bytes.Buffer
+	if err := WriteCSVTimeline(&buf, []*Cell{{Key: "tasks,LFF", Obs: o}}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "cell,time,cpu,kind,thread,a,b,x,y,arg" {
+		t.Fatalf("header: %s", lines[0])
+	}
+	// 9 events were emitted across both rings.
+	if len(lines) != 10 {
+		t.Fatalf("got %d rows, want 9 (+header):\n%s", len(lines)-1, buf.String())
+	}
+	if !strings.HasPrefix(lines[1], `"tasks,LFF",`) {
+		t.Errorf("cell key with comma not quoted: %s", lines[1])
+	}
+	joined := buf.String()
+	for _, want := range []string{",block,", ",lock", ",interval,", ",ok", ",model_update,", ",blocking"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q in timeline:\n%s", want, joined)
+		}
+	}
+}
+
+func TestFootprintSeries(t *testing.T) {
+	o := fillObserver()
+	series := FootprintSeries(o)
+	if len(series) != 1 {
+		t.Fatalf("got %d series, want 1", len(series))
+	}
+	s := series[0]
+	if s.Label != "main" || s.Len() != 1 || s.Y[0] != 12.5 {
+		t.Errorf("series: %+v", s)
+	}
+	if FootprintSeries(nil) != nil {
+		t.Error("nil observer produced series")
+	}
+}

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+)
+
+// WriteTraceFile exports every cell of the session as one Chrome
+// trace-event file at path (load it at ui.perfetto.dev or
+// chrome://tracing). It is a no-op returning nil when the session never
+// recorded events (level below Trace).
+func (s *Session) WriteTraceFile(path string) error {
+	if s.Level() < Trace {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteChromeTrace(f, s.Cells()); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: trace %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// WriteMetricsFile exports the session's merged metrics in Prometheus
+// text exposition format at path. It is a no-op returning nil when the
+// session kept no metrics (level Off).
+func (s *Session) WriteMetricsFile(path string) error {
+	if s.Level() < Metrics {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WritePrometheus(f, s.MergedSnapshot()); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: metrics %s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,314 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// The registry is handle-based: instrumentation sites call
+// Registry.Counter/Gauge/Histogram once at setup and keep the returned
+// handle, so the hot path is an atomic add on a per-CPU shard — no map
+// lookups, no locks on counters. Histograms take one uncontended mutex
+// per observation because stats.Online is not atomically updatable;
+// the mutex exists only so a -debug-addr scrape mid-run is race-free,
+// and the engine goroutine is its only regular customer.
+//
+// Snapshots merge the per-CPU shards in fixed CPU order (and sessions
+// merge cells in sorted-key order), so snapshot bytes are deterministic
+// even though floating-point merging is order-sensitive.
+
+// Registry holds one engine's metrics. Register metrics before the run
+// starts; registration is not synchronized with updates.
+type Registry struct {
+	ncpu   int
+	counts []*Counter
+	gauges []*Gauge
+	hists  []*Histogram
+}
+
+// NewRegistry builds an empty registry sharded ncpu ways.
+func NewRegistry(ncpu int) *Registry {
+	return &Registry{ncpu: ncpu}
+}
+
+// Counter registers (or returns the existing) monotonically increasing
+// counter with per-CPU shards.
+func (r *Registry) Counter(name string) *Counter {
+	for _, c := range r.counts {
+		if c.name == name {
+			return c
+		}
+	}
+	c := &Counter{name: name, shards: make([]atomic.Uint64, r.ncpu)}
+	r.counts = append(r.counts, c)
+	return c
+}
+
+// Gauge registers (or returns the existing) scalar gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	for _, g := range r.gauges {
+		if g.name == name {
+			return g
+		}
+	}
+	g := &Gauge{name: name}
+	r.gauges = append(r.gauges, g)
+	return g
+}
+
+// Histogram registers (or returns the existing) fixed-bucket histogram.
+// bounds are the inclusive upper bucket bounds in ascending order; an
+// implicit +Inf bucket is always present. Re-registering with different
+// bounds keeps the original ones.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	for _, h := range r.hists {
+		if h.name == name {
+			return h
+		}
+	}
+	h := &Histogram{
+		name:   name,
+		bounds: append([]float64(nil), bounds...),
+		shards: make([]histShard, r.ncpu),
+	}
+	for i := range h.shards {
+		h.shards[i].buckets = make([]uint64, len(bounds)+1)
+	}
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// Counter is a monotonically increasing counter with one shard per
+// CPU. Adds are atomic so a debug scrape mid-run is race-free.
+type Counter struct {
+	name   string
+	shards []atomic.Uint64
+}
+
+// Add increments cpu's shard by n.
+func (c *Counter) Add(cpu int, n uint64) { c.shards[cpu].Add(n) }
+
+// Inc increments cpu's shard by one.
+func (c *Counter) Inc(cpu int) { c.shards[cpu].Add(1) }
+
+// Value returns the sum over all shards.
+func (c *Counter) Value() uint64 {
+	var v uint64
+	for i := range c.shards {
+		v += c.shards[i].Load()
+	}
+	return v
+}
+
+// Gauge is a scalar last-value-wins metric (queue depths, model
+// parameters). Stored as float bits so Set/Load are atomic.
+type Gauge struct {
+	name string
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+type histShard struct {
+	mu      sync.Mutex
+	online  stats.Online
+	buckets []uint64 // len(bounds)+1; last is +Inf
+}
+
+// Histogram is a fixed-bucket histogram with a stats.Online moment
+// accumulator per CPU shard.
+type Histogram struct {
+	name   string
+	bounds []float64
+	shards []histShard
+}
+
+// Observe folds one observation into cpu's shard.
+func (h *Histogram) Observe(cpu int, v float64) {
+	s := &h.shards[cpu]
+	s.mu.Lock()
+	s.online.Add(v)
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (bounds are inclusive)
+	s.buckets[i]++
+	s.mu.Unlock()
+}
+
+// CounterSnap is one counter's merged value plus its per-CPU shards.
+type CounterSnap struct {
+	Name   string
+	Value  uint64
+	PerCPU []uint64
+}
+
+// GaugeSnap is one gauge's value.
+type GaugeSnap struct {
+	Name  string
+	Value float64
+}
+
+// HistSnap is one histogram's shards merged in CPU order.
+type HistSnap struct {
+	Name    string
+	Bounds  []float64
+	Buckets []uint64 // cumulative by bucket index is NOT applied; raw counts, +Inf last
+	Summary stats.Summary
+}
+
+// Snapshot is a point-in-time copy of a registry (or a merge of
+// several), each section sorted by metric name.
+type Snapshot struct {
+	Counters   []CounterSnap
+	Gauges     []GaugeSnap
+	Histograms []HistSnap
+}
+
+// Snapshot copies the registry. Safe to call while the engine is
+// running (counters and gauges are atomic, histogram shards lock), in
+// which case the result is a consistent-enough live view; for
+// deterministic export call it after the run.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	var s Snapshot
+	for _, c := range r.counts {
+		cs := CounterSnap{Name: c.name, PerCPU: make([]uint64, len(c.shards))}
+		for i := range c.shards {
+			cs.PerCPU[i] = c.shards[i].Load()
+			cs.Value += cs.PerCPU[i]
+		}
+		s.Counters = append(s.Counters, cs)
+	}
+	for _, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: g.name, Value: g.Value()})
+	}
+	for _, h := range r.hists {
+		hs := HistSnap{Name: h.name, Bounds: append([]float64(nil), h.bounds...)}
+		var merged stats.Online
+		for i := range h.shards {
+			sh := &h.shards[i]
+			sh.mu.Lock()
+			if hs.Buckets == nil {
+				hs.Buckets = make([]uint64, len(sh.buckets))
+			}
+			for j, b := range sh.buckets {
+				hs.Buckets[j] += b
+			}
+			o := sh.online
+			sh.mu.Unlock()
+			merged.Merge(&o)
+		}
+		hs.Summary = merged.Summary()
+		s.Histograms = append(s.Histograms, hs)
+	}
+	sortSnapshot(&s)
+	return s
+}
+
+func sortSnapshot(s *Snapshot) {
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+}
+
+// MergeSnapshots combines two snapshots name-wise: counters and
+// histogram buckets add (per-CPU shards add index-wise up to the
+// shorter length), gauges keep b's value (last write wins), histogram
+// summaries re-merge via stats.Online semantics on the moments we
+// have. Merge order must be fixed by the caller for deterministic
+// floats — Session.MergedSnapshot merges cells in sorted-key order.
+func MergeSnapshots(a, b Snapshot) Snapshot {
+	out := Snapshot{}
+	// Counters.
+	cm := map[string]*CounterSnap{}
+	for _, src := range [][]CounterSnap{a.Counters, b.Counters} {
+		for _, c := range src {
+			if dst, ok := cm[c.Name]; ok {
+				dst.Value += c.Value
+				for i := 0; i < len(dst.PerCPU) && i < len(c.PerCPU); i++ {
+					dst.PerCPU[i] += c.PerCPU[i]
+				}
+			} else {
+				cc := CounterSnap{Name: c.Name, Value: c.Value, PerCPU: append([]uint64(nil), c.PerCPU...)}
+				cm[c.Name] = &cc
+			}
+		}
+	}
+	for _, c := range cm {
+		out.Counters = append(out.Counters, *c)
+	}
+	// Gauges: last write wins.
+	gm := map[string]float64{}
+	for _, src := range [][]GaugeSnap{a.Gauges, b.Gauges} {
+		for _, g := range src {
+			gm[g.Name] = g.Value
+		}
+	}
+	for name, v := range gm {
+		out.Gauges = append(out.Gauges, GaugeSnap{Name: name, Value: v})
+	}
+	// Histograms: buckets add; summaries combine with the Chan et al.
+	// formulas reconstructed from the summary moments.
+	hm := map[string]*HistSnap{}
+	for _, src := range [][]HistSnap{a.Histograms, b.Histograms} {
+		for _, h := range src {
+			if dst, ok := hm[h.Name]; ok {
+				for i := 0; i < len(dst.Buckets) && i < len(h.Buckets); i++ {
+					dst.Buckets[i] += h.Buckets[i]
+				}
+				dst.Summary = mergeSummaries(dst.Summary, h.Summary)
+			} else {
+				hh := HistSnap{
+					Name:    h.Name,
+					Bounds:  append([]float64(nil), h.Bounds...),
+					Buckets: append([]uint64(nil), h.Buckets...),
+					Summary: h.Summary,
+				}
+				hm[h.Name] = &hh
+			}
+		}
+	}
+	for _, h := range hm {
+		out.Histograms = append(out.Histograms, *h)
+	}
+	sortSnapshot(&out)
+	return out
+}
+
+func mergeSummaries(a, b stats.Summary) stats.Summary {
+	if b.N == 0 {
+		return a
+	}
+	if a.N == 0 {
+		return b
+	}
+	out := stats.Summary{N: a.N + b.N, Min: a.Min, Max: a.Max}
+	if b.Min < out.Min {
+		out.Min = b.Min
+	}
+	if b.Max > out.Max {
+		out.Max = b.Max
+	}
+	d := b.Mean - a.Mean
+	n := float64(out.N)
+	m2 := a.Var*float64(a.N) + b.Var*float64(b.N) + d*d*float64(a.N)*float64(b.N)/n
+	out.Mean = a.Mean + d*float64(b.N)/n
+	out.Var = m2 / n
+	out.Std = math.Sqrt(out.Var)
+	return out
+}
+
+// String renders a snapshot compactly for debugging.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("snapshot{%d counters, %d gauges, %d histograms}",
+		len(s.Counters), len(s.Gauges), len(s.Histograms))
+}

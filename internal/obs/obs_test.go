@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]Level{
+		"": Off, "off": Off, "OFF": Off, " metrics ": Metrics, "trace": Trace, "Trace": Trace,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("bogus"); err == nil {
+		t.Error("ParseLevel(bogus) succeeded")
+	}
+	for _, l := range []Level{Off, Metrics, Trace} {
+		if l.String() == "" {
+			t.Errorf("Level %d has empty String", l)
+		}
+	}
+}
+
+func TestNilObserverIsOff(t *testing.T) {
+	var o *Observer
+	if o.Tracing() || o.MetricsOn() || o.Level() != Off {
+		t.Error("nil observer is not fully off")
+	}
+	if o.Registry() != nil || o.Ring(0) != nil {
+		t.Error("nil observer exposes state")
+	}
+	o.NameThread(3, "x") // must not panic
+	if got := o.ThreadName(3); got != "t3" {
+		t.Errorf("nil ThreadName = %q", got)
+	}
+}
+
+func TestRingWrapAndDropped(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Append(Event{Time: uint64(i)})
+	}
+	if r.Len() != 4 || r.Total() != 10 || r.Dropped() != 6 {
+		t.Fatalf("len/total/dropped = %d/%d/%d", r.Len(), r.Total(), r.Dropped())
+	}
+	evs := r.Events()
+	for i, ev := range evs {
+		if want := uint64(6 + i); ev.Time != want {
+			t.Errorf("event %d has time %d, want %d", i, ev.Time, want)
+		}
+	}
+}
+
+func TestRingSizeRounding(t *testing.T) {
+	for size, want := range map[int]int{0: 1, 1: 1, 3: 4, 4: 4, 5: 8} {
+		if got := len(NewRing(size).buf); got != want {
+			t.Errorf("NewRing(%d) capacity %d, want %d", size, got, want)
+		}
+	}
+}
+
+func TestRegistryCountersShardAndSum(t *testing.T) {
+	r := NewRegistry(3)
+	c := r.Counter("x_total")
+	c.Inc(0)
+	c.Add(2, 5)
+	if c.Value() != 6 {
+		t.Fatalf("Value = %d", c.Value())
+	}
+	if again := r.Counter("x_total"); again != c {
+		t.Error("re-registering returned a different counter")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 1 || snap.Counters[0].Value != 6 {
+		t.Fatalf("snapshot: %+v", snap.Counters)
+	}
+	if got := snap.Counters[0].PerCPU; got[0] != 1 || got[1] != 0 || got[2] != 5 {
+		t.Errorf("per-cpu shards: %v", got)
+	}
+}
+
+func TestRegistryHistogram(t *testing.T) {
+	r := NewRegistry(2)
+	h := r.Histogram("lat", []float64{1, 10})
+	for cpu, vals := range [][]float64{{0.5, 2}, {100}} {
+		for _, v := range vals {
+			h.Observe(cpu, v)
+		}
+	}
+	snap := r.Snapshot()
+	hs := snap.Histograms[0]
+	if hs.Buckets[0] != 1 || hs.Buckets[1] != 1 || hs.Buckets[2] != 1 {
+		t.Errorf("buckets: %v", hs.Buckets)
+	}
+	if hs.Summary.N != 3 || hs.Summary.Min != 0.5 || hs.Summary.Max != 100 {
+		t.Errorf("summary: %+v", hs.Summary)
+	}
+	wantMean := (0.5 + 2 + 100) / 3
+	if math.Abs(hs.Summary.Mean-wantMean) > 1e-9 {
+		t.Errorf("merged mean %v, want %v", hs.Summary.Mean, wantMean)
+	}
+}
+
+func TestSnapshotSortedAndMerge(t *testing.T) {
+	build := func() Snapshot {
+		r := NewRegistry(1)
+		r.Counter("b_total").Add(0, 2)
+		r.Counter("a_total").Add(0, 1)
+		r.Gauge("g").Set(4)
+		r.Histogram("h", []float64{1}).Observe(0, 0.5)
+		return r.Snapshot()
+	}
+	s := build()
+	if s.Counters[0].Name != "a_total" || s.Counters[1].Name != "b_total" {
+		t.Fatalf("counters not sorted: %+v", s.Counters)
+	}
+	m := MergeSnapshots(s, build())
+	if m.Counters[0].Value != 2 || m.Counters[1].Value != 4 {
+		t.Errorf("merged counters: %+v", m.Counters)
+	}
+	if m.Gauges[0].Value != 4 {
+		t.Errorf("merged gauge: %+v", m.Gauges)
+	}
+	h := m.Histograms[0]
+	if h.Summary.N != 2 || h.Buckets[0] != 2 {
+		t.Errorf("merged histogram: %+v", h)
+	}
+}
+
+func TestObserverLevels(t *testing.T) {
+	m := New(2, Options{Level: Metrics})
+	if m.Tracing() || !m.MetricsOn() {
+		t.Error("metrics level wrong")
+	}
+	if m.Ring(0) != nil {
+		t.Error("metrics level allocated rings")
+	}
+	tr := New(2, Options{Level: Trace, RingSize: 8})
+	if !tr.Tracing() || !tr.MetricsOn() {
+		t.Error("trace level wrong")
+	}
+	tr.Emit(Event{Kind: KWake, CPU: 1, Thread: 5})
+	if tr.Ring(1).Len() != 1 || tr.Ring(0).Len() != 0 {
+		t.Error("Emit landed on the wrong ring")
+	}
+	tr.NameThread(5, "worker")
+	if tr.ThreadName(5) != "worker" || tr.ThreadName(6) != "t6" {
+		t.Error("thread naming wrong")
+	}
+}
+
+func TestSessionSortsCellsAndMerges(t *testing.T) {
+	s := NewSession(Metrics, 0)
+	for _, key := range []string{"zz", "aa", "mm"} {
+		o := s.Observer(key, 1)
+		o.Registry().Counter("n_total").Inc(0)
+	}
+	cells := s.Cells()
+	if len(cells) != 3 || cells[0].Key != "aa" || cells[2].Key != "zz" {
+		t.Fatalf("cells: %+v", cells)
+	}
+	if v := s.MergedSnapshot().Counters[0].Value; v != 3 {
+		t.Errorf("merged counter = %d", v)
+	}
+	var nilSession *Session
+	if nilSession.Observer("x", 1) != nil || nilSession.Level() != Off {
+		t.Error("nil session not off")
+	}
+	off := NewSession(Off, 0)
+	if off.Observer("x", 1) != nil {
+		t.Error("off session returned an observer")
+	}
+}
+
+func TestVerdictAndKindStrings(t *testing.T) {
+	for k := KDispatch; k <= KRecover; k++ {
+		if k.String() == "unknown" {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Error("unknown kind misnamed")
+	}
+	for v, want := range map[uint8]string{VerdictOK: "ok", VerdictSuspect: "suspect", VerdictRejected: "rejected", 9: "unknown"} {
+		if got := VerdictString(v); got != want {
+			t.Errorf("VerdictString(%d) = %q", v, got)
+		}
+	}
+}
+
+// fillObserver records a small deterministic event mix for the export
+// tests.
+func fillObserver() *Observer {
+	o := New(2, Options{Level: Trace, RingSize: 64})
+	o.NameThread(0, "main")
+	o.NameThread(1, "worker")
+	o.Registry().Counter("rt_dispatches_total").Add(0, 3)
+	o.Registry().Counter("rt_dispatches_total").Add(1, 2)
+	o.Registry().Gauge("sched_global_queue_len").Set(1)
+	h := o.Registry().Histogram("rt_interval_cycles", []float64{100, 1000})
+	h.Observe(0, 50)
+	h.Observe(1, 5000)
+	o.Emit(Event{Time: 10, Kind: KSpawn, CPU: 0, Thread: 0})
+	o.Emit(Event{Time: 12, Kind: KDispatch, CPU: 0, Thread: 0, A: 2})
+	o.Emit(Event{Time: 40, Kind: KModelUpdate, CPU: 0, Thread: 0, Arg: 1, X: 0, Y: 12.5, B: math.Float64bits(3.25)})
+	o.Emit(Event{Time: 40, Kind: KInterval, CPU: 0, Thread: 0, A: 7, B: 7, Arg: VerdictOK})
+	o.Emit(Event{Time: 40, Kind: KBlock, CPU: 0, Thread: 0, A: 28, Arg: uint8(ReasonLock)})
+	o.Emit(Event{Time: 41, Kind: KSchedDecision, CPU: 0, Thread: 1, A: 1, B: 0})
+	o.Emit(Event{Time: 15, Kind: KWake, CPU: 1, Thread: 1})
+	o.Emit(Event{Time: 60, Kind: KQuarantine, CPU: 1, Thread: InvalidThread})
+	o.Emit(Event{Time: 90, Kind: KRecover, CPU: 1, Thread: InvalidThread})
+	return o
+}

@@ -1,0 +1,86 @@
+package obs
+
+// Prometheus text-format exporter (exposition format version 0.0.4).
+// Counters export one sample per CPU shard with a cpu label, gauges one
+// unlabeled sample, histograms the conventional _bucket/_sum/_count
+// family with cumulative le buckets. Snapshots are sorted by name and
+// shards are in CPU order, so the output bytes are deterministic.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range s.Counters {
+		name := promName(c.Name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n", name)
+		for cpu, v := range c.PerCPU {
+			fmt.Fprintf(bw, "%s{cpu=\"%d\"} %d\n", name, cpu, v)
+		}
+		if len(c.PerCPU) == 0 {
+			fmt.Fprintf(bw, "%s %d\n", name, c.Value)
+		}
+	}
+	for _, g := range s.Gauges {
+		name := promName(g.Name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", name)
+		fmt.Fprintf(bw, "%s %s\n", name, promFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		name := promName(h.Name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+		var cum uint64
+		for i, b := range h.Buckets {
+			cum += b
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = promFloat(h.Bounds[i])
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"%s\"} %d\n", name, le, cum)
+		}
+		fmt.Fprintf(bw, "%s_sum %s\n", name, promFloat(h.Summary.Mean*float64(h.Summary.N)))
+		fmt.Fprintf(bw, "%s_count %d\n", name, h.Summary.N)
+	}
+	return bw.Flush()
+}
+
+// promName sanitizes a metric name to the Prometheus charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat formats a float deterministically for the text format.
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

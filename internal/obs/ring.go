@@ -1,0 +1,59 @@
+package obs
+
+// Ring is a fixed-capacity event buffer that overwrites its oldest
+// entries. It is single-writer: exactly one goroutine (the engine that
+// owns the CPU) appends, and readers only run after the engine stops.
+// That discipline is what makes it lock-free — there is nothing to
+// contend on — while the power-of-two capacity turns the index
+// computation into a mask.
+//
+// The head counter is total events ever appended, so Dropped is simply
+// head − len: exporters can say exactly how much of a long run the
+// ring no longer holds.
+type Ring struct {
+	buf  []Event
+	mask uint64
+	head uint64 // total appends ever; next write goes to buf[head&mask]
+}
+
+// NewRing builds a ring holding at least size events (rounded up to a
+// power of two, minimum 1).
+func NewRing(size int) *Ring {
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &Ring{buf: make([]Event, n), mask: uint64(n) - 1}
+}
+
+// Append records one event, overwriting the oldest when full.
+func (r *Ring) Append(ev Event) {
+	r.buf[r.head&r.mask] = ev
+	r.head++
+}
+
+// Len returns the number of events currently held.
+func (r *Ring) Len() int {
+	if r.head < uint64(len(r.buf)) {
+		return int(r.head)
+	}
+	return len(r.buf)
+}
+
+// Total returns the number of events ever appended.
+func (r *Ring) Total() uint64 { return r.head }
+
+// Dropped returns how many events were overwritten.
+func (r *Ring) Dropped() uint64 { return r.head - uint64(r.Len()) }
+
+// Events returns the held events oldest-first. The slice is freshly
+// allocated; the ring can keep appending afterwards.
+func (r *Ring) Events() []Event {
+	n := r.Len()
+	out := make([]Event, n)
+	start := r.head - uint64(n)
+	for i := 0; i < n; i++ {
+		out[i] = r.buf[(start+uint64(i))&r.mask]
+	}
+	return out
+}

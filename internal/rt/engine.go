@@ -30,6 +30,7 @@ import (
 	"repro/internal/inference"
 	"repro/internal/mem"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -79,6 +80,14 @@ type Options struct {
 	// documented defaults; the sanitizer is always on, and is
 	// bit-transparent on healthy counters.
 	Health HealthConfig
+	// Obs attaches an observability observer (internal/obs): event
+	// tracing and metrics for this engine. Nil means off; the engine
+	// then pays one nil-check per emission site and nothing else, and
+	// — because every recorded value derives from virtual clocks and
+	// counters the engine already computes — an attached observer
+	// never perturbs the simulation itself (the golden tests pin
+	// this).
+	Obs *obs.Observer
 	// Seed fixes the engine's pseudo-randomness (per-thread RNG
 	// streams).
 	Seed uint64
@@ -118,6 +127,11 @@ type Engine struct {
 	overhead overheadState
 	rng      *xrand.Source
 	monitor  *inference.Monitor
+	// obs is the attached observer (nil = off); om caches its metric
+	// handles so instrumented paths cost one nil-check when disabled
+	// and one atomic add when enabled — never a registry lookup.
+	obs *obs.Observer
+	om  obsHandles
 	// health sanitizes every interval's counter reading and tracks
 	// per-CPU quarantine state (see health.go).
 	health *healthTracker
@@ -213,6 +227,9 @@ func New(p platform.Platform, opts Options) (*Engine, error) {
 		platform.MissCounterOf(p))
 	e.sched.SetFairnessLimit(opts.FairnessLimit)
 	e.sched.SetSpawnStacks(opts.SpawnStacks)
+	e.obs = opts.Obs
+	e.om.init(e.obs)
+	e.sched.SetObserver(e.obs, func(cpu int) uint64 { return e.cpus[cpu].Cycles() })
 	e.overhead.init(p, opts.Overhead)
 	e.defaultCode = p.Alloc(opts.DefaultCodeBytes, 64)
 	if opts.InferSharing {
@@ -235,17 +252,27 @@ func (e *Engine) Scheduler() *sched.Scheduler { return e.sched }
 // Graph exposes the shared-state dependency graph.
 func (e *Engine) Graph() *annot.Graph { return e.graph }
 
+// Observer returns the attached observability observer, or nil.
+func (e *Engine) Observer() *obs.Observer { return e.obs }
+
 // IdleCycles returns the per-CPU cycles spent parked with nothing to
 // run.
+//
+// Deprecated: use Snapshot, which returns every accounting view in one
+// consistent copy. Kept for compatibility.
 func (e *Engine) IdleCycles() []uint64 { return append([]uint64(nil), e.idleCycles...) }
 
 // Dispatches returns the per-CPU context-switch counts.
+//
+// Deprecated: use Snapshot. Kept for compatibility.
 func (e *Engine) Dispatches() []uint64 { return append([]uint64(nil), e.dispatches...) }
 
 // CounterHealth returns the per-CPU counter-health accounting: how
 // every interval reading was classified and every quarantine/recovery
 // transition. On a healthy substrate every reading is OK and no CPU is
 // ever quarantined.
+//
+// Deprecated: use Snapshot. Kept for compatibility.
 func (e *Engine) CounterHealth() []stats.CounterHealth { return e.health.snapshot() }
 
 // totalDispatches sums the per-CPU dispatch counts.
@@ -276,9 +303,22 @@ func (e *Engine) Spawn(body func(*T), opts SpawnOpts) mem.ThreadID {
 	if e.OnEvent != nil {
 		e.OnEvent(trace.Event{Kind: trace.EvSpawn, Thread: t.id})
 	}
+	e.noteSpawned(t, e.now, 0)
 	e.sched.MakeRunnable(t.id)
 	e.unparkAll(e.now)
 	return t.id
+}
+
+// noteSpawned stamps a fresh thread's ready clock and records its spawn
+// on the trace (cpu is the ring the event lands in: the creator for
+// T.Create, CPU 0 for pre-run Spawn).
+func (e *Engine) noteSpawned(t *T, now uint64, cpu int) {
+	t.readyClock = now
+	if e.obs.Tracing() {
+		e.obs.NameThread(t.id, t.name)
+		e.obs.Emit(obs.Event{Time: now, Kind: obs.KSpawn, CPU: int16(cpu), Thread: t.id,
+			A: uint64(len(e.graph.OutEdges(t.id)))})
+	}
 }
 
 func (e *Engine) newThread(body func(*T), opts SpawnOpts) *T {
@@ -335,7 +375,7 @@ func (e *Engine) Run(ctx context.Context) error {
 		if c := e.cpus[p].Cycles(); c > e.now {
 			e.now = c
 		}
-		e.fireTimers(e.now)
+		e.fireTimers(e.now, p)
 		if t := e.running[p]; t != nil {
 			e.step(p, t)
 			continue
@@ -380,6 +420,9 @@ func (e *Engine) unparkAll(now uint64) {
 		e.parked[p] = false
 		if c := e.cpus[p].Cycles(); c < now {
 			e.idleCycles[p] += now - c
+			if e.om.idleCycles != nil {
+				e.om.idleCycles.Add(p, now-c)
+			}
 			e.cpus[p].SetCycles(now)
 		}
 	}
@@ -394,12 +437,14 @@ func (e *Engine) advanceToTimer() bool {
 	}
 	wake := e.timers[0].wakeAt
 	e.unparkAll(wake)
-	e.fireTimers(wake)
+	e.fireTimers(wake, 0)
 	return true
 }
 
-// fireTimers wakes every sleeper whose deadline has passed.
-func (e *Engine) fireTimers(now uint64) {
+// fireTimers wakes every sleeper whose deadline has passed. cpu is the
+// processor whose engine-step fired the timers (CPU 0 when the whole
+// machine was parked); it only places trace events.
+func (e *Engine) fireTimers(now uint64, cpu int) {
 	woke := false
 	for e.timers.Len() > 0 && e.timers[0].wakeAt <= now {
 		tm := heap.Pop(&e.timers).(timerEntry)
@@ -408,6 +453,7 @@ func (e *Engine) fireTimers(now uint64) {
 			continue
 		}
 		t.status = statusReady
+		e.markReady(t, now, cpu)
 		e.sched.MakeRunnable(t.id)
 		woke = true
 	}
@@ -432,6 +478,9 @@ func (e *Engine) dispatch(p int, tid mem.ThreadID) {
 	// the interval record replays must carry the same value.
 	t.dispatchMisses = e.cpus[p].Misses()
 	e.dispatches[p]++
+	if e.om.dispatches != nil {
+		e.om.dispatches.Inc(p)
+	}
 	if e.monitor != nil && e.totalDispatches()%4096 == 0 {
 		// Age out stale co-access evidence so phase changes do not
 		// leave fossil coefficients behind.
@@ -447,6 +496,15 @@ func (e *Engine) dispatch(p int, tid mem.ThreadID) {
 		if mu.owner != nil {
 			blockMisses := e.cpus[p].Misses()
 			e.sched.OnBlock(tid, p, 0)
+			if e.obs.Tracing() {
+				// The zero-length occupancy still renders: a dispatch
+				// immediately re-blocked on the barged lock.
+				clock := e.cpus[p].Cycles()
+				e.obs.Emit(obs.Event{Time: clock, Kind: obs.KDispatch, CPU: int16(p), Thread: tid,
+					A: waitedCycles(clock, t.readyClock)})
+				e.obs.Emit(obs.Event{Time: clock, Kind: obs.KBlock, CPU: int16(p), Thread: tid,
+					Arg: uint8(obs.ReasonLock)})
+			}
 			if e.OnEvent != nil {
 				// A zero-length interval: the thread occupied the CPU
 				// but never ran, so both snapshots are the current read.
@@ -475,9 +533,27 @@ func (e *Engine) dispatch(p int, tid mem.ThreadID) {
 	t.dispatchCount++
 	t.status = statusRunning
 	e.running[p] = t
+	if e.obs.Tracing() {
+		e.obs.Emit(obs.Event{Time: t.dispatchClock, Kind: obs.KDispatch, CPU: int16(p), Thread: tid,
+			A: waitedCycles(t.dispatchClock, t.readyClock)})
+	}
+	if e.om.waitCycles != nil {
+		e.om.waitCycles.Observe(p, float64(waitedCycles(t.dispatchClock, t.readyClock)))
+	}
 	if e.OnDispatch != nil {
 		e.OnDispatch(p, tid, t.name)
 	}
+}
+
+// waitedCycles is the dispatch latency: cycles between a thread
+// becoming runnable and being installed. The clamp covers the
+// bootstrap dispatch, whose ready stamp can postdate the dispatching
+// CPU's clock.
+func waitedCycles(dispatchClock, readyClock uint64) uint64 {
+	if dispatchClock <= readyClock {
+		return 0
+	}
+	return dispatchClock - readyClock
 }
 
 // step resumes the thread running on p for one request and handles it.
@@ -498,6 +574,8 @@ type ThreadTime struct {
 // ever created, sorted by descending cycles (ties by ID). The engine
 // charges each thread the cycles its processor's clock advanced between
 // its dispatch and its block — the same interval the PICs cover.
+//
+// Deprecated: use Snapshot. Kept for compatibility.
 func (e *Engine) ThreadTimes() []ThreadTime {
 	out := make([]ThreadTime, 0, len(e.threads))
 	for _, t := range e.threads {
@@ -519,15 +597,28 @@ func (e *Engine) ThreadTimes() []ThreadTime {
 // sharing edges (if inference is on) are refreshed for the blocking
 // thread, the model updates the blocking thread's and its dependents'
 // footprint entries (O(d)), and the CPU becomes free.
-func (e *Engine) blockCurrent(p int, t *T) {
+func (e *Engine) blockCurrent(p int, t *T, reason obs.BlockReason) {
 	endClock := e.cpus[p].Cycles()
-	t.cycles += endClock - t.dispatchClock
+	interval := endClock - t.dispatchClock
+	t.cycles += interval
 	cur := e.cpus[p].ReadCounters()
-	n, _ := e.health.sanitize(p, e.picBase[p], cur, endClock-t.dispatchClock)
+	wasQuarantined := e.health.quarantined(p)
+	n, class := e.health.sanitize(p, e.picBase[p], cur, interval)
 	// Propagate any quarantine transition before the scheduler update,
 	// so a freshly distrusted CPU skips this interval's model update
 	// too (SetQuarantine is idempotent on no change).
 	e.sched.SetQuarantine(p, e.health.quarantined(p))
+	refsDelta := uint64(cur.Refs - e.picBase[p].Refs)
+	hitsDelta := uint64(cur.Hits - e.picBase[p].Hits)
+	if e.obs.Tracing() {
+		// The interval record goes on the ring before the scheduler
+		// update so the trace reads causally: counter reading → model
+		// updates → block. The raw delta keeps the modular arithmetic
+		// (a reading with hits > refs renders as the huge wrapped value
+		// the sanitizer rejected — that is the evidence).
+		e.obs.Emit(obs.Event{Time: endClock, Kind: obs.KInterval, CPU: int16(p), Thread: t.id,
+			A: refsDelta - hitsDelta, B: n, Arg: uint8(class)})
+	}
 	if e.monitor != nil {
 		// Refresh the blocking thread's out-edges from the inferred
 		// coefficients before the dependent updates read them. The
@@ -546,6 +637,36 @@ func (e *Engine) blockCurrent(p int, t *T) {
 			EndRefs: cur.Refs, EndHits: cur.Hits,
 			StartCycles: t.dispatchClock, EndCycles: endClock,
 		}})
+	}
+	if e.obs.Tracing() {
+		e.obs.Emit(obs.Event{Time: endClock, Kind: obs.KBlock, CPU: int16(p), Thread: t.id,
+			A: interval, Arg: uint8(reason)})
+	}
+	if nowQuarantined := e.health.quarantined(p); nowQuarantined != wasQuarantined {
+		kind, counter := obs.KRecover, e.om.recoveries
+		if nowQuarantined {
+			kind, counter = obs.KQuarantine, e.om.quarantines
+		}
+		if counter != nil {
+			counter.Inc(p)
+		}
+		if e.obs.Tracing() {
+			e.obs.Emit(obs.Event{Time: endClock, Kind: kind, CPU: int16(p), Thread: obs.InvalidThread})
+		}
+	}
+	if e.om.runCycles != nil {
+		e.om.runCycles.Observe(p, float64(interval))
+		e.om.runMisses.Observe(p, float64(n))
+		e.om.cacheRefs.Add(p, refsDelta)
+		e.om.cacheHits.Add(p, hitsDelta)
+		switch class {
+		case ReadingOK:
+			e.om.intervalsOK.Inc(p)
+		case ReadingSuspect:
+			e.om.intervalsSuspect.Inc(p)
+		default:
+			e.om.intervalsRejected.Inc(p)
+		}
 	}
 	e.overhead.charge(e, p)
 	e.running[p] = nil
@@ -589,19 +710,21 @@ func (e *Engine) handle(p int, t *T, req *request) {
 		if e.OnEvent != nil {
 			e.OnEvent(trace.Event{Kind: trace.EvSpawn, Thread: child.id})
 		}
+		e.noteSpawned(child, e.cpus[p].Cycles(), p)
 		e.sched.NoteSpawn(child.id, p)
 		e.plat.Advance(p, uint64(e.opts.Overhead.CreateInstrs))
 		t.resp.tid = child.id
 		e.unparkAll(e.cpus[p].Cycles())
 
 	case reqYield:
-		e.blockCurrent(p, t)
+		e.blockCurrent(p, t, obs.ReasonYield)
 		t.status = statusReady
+		e.markReady(t, e.cpus[p].Cycles(), p)
 		e.sched.MakeRunnable(t.id)
 		e.unparkAll(e.cpus[p].Cycles())
 
 	case reqSleep:
-		e.blockCurrent(p, t)
+		e.blockCurrent(p, t, obs.ReasonSleep)
 		t.status = statusBlocked
 		t.blockedOn = "sleep"
 		e.timerSeq++
@@ -617,17 +740,17 @@ func (e *Engine) handle(p int, t *T, req *request) {
 			e.plat.Advance(p, 4) // join of a finished thread: cheap
 			return
 		}
-		e.blockCurrent(p, t)
+		e.blockCurrent(p, t, obs.ReasonJoin)
 		t.status = statusBlocked
 		t.blockedOn = "join " + target.id.String()
 		target.joiners = append(target.joiners, t)
 
 	case reqExit:
-		e.blockCurrent(p, t)
+		e.blockCurrent(p, t, obs.ReasonExit)
 		t.status = statusDead
 		e.live--
 		for _, j := range t.joiners {
-			e.wake(j)
+			e.wake(p, j)
 		}
 		t.joiners = nil
 		e.graph.RemoveThread(t.id)
@@ -637,6 +760,9 @@ func (e *Engine) handle(p int, t *T, req *request) {
 		e.sched.Unregister(t.id)
 		if e.OnEvent != nil {
 			e.OnEvent(trace.Event{Kind: trace.EvExit, Thread: t.id})
+		}
+		if e.obs.Tracing() {
+			e.obs.Emit(obs.Event{Time: e.cpus[p].Cycles(), Kind: obs.KExit, CPU: int16(p), Thread: t.id})
 		}
 		e.unparkAll(e.cpus[p].Cycles())
 
@@ -661,7 +787,7 @@ func (e *Engine) handle(p int, t *T, req *request) {
 			mu.owner = t
 			return
 		}
-		e.blockCurrent(p, t)
+		e.blockCurrent(p, t, obs.ReasonLock)
 		t.status = statusBlocked
 		t.blockedOn = "mutex " + mu.name
 		mu.waiters = append(mu.waiters, t)
@@ -677,7 +803,7 @@ func (e *Engine) handle(p int, t *T, req *request) {
 			s.value--
 			return
 		}
-		e.blockCurrent(p, t)
+		e.blockCurrent(p, t, obs.ReasonSem)
 		t.status = statusBlocked
 		t.blockedOn = "semaphore " + s.name
 		s.waiters = append(s.waiters, t)
@@ -688,7 +814,7 @@ func (e *Engine) handle(p int, t *T, req *request) {
 		if len(s.waiters) > 0 {
 			w := s.waiters[0]
 			s.waiters = s.waiters[1:]
-			e.wake(w)
+			e.wake(p, w)
 		} else {
 			s.value++
 		}
@@ -700,12 +826,12 @@ func (e *Engine) handle(p int, t *T, req *request) {
 		if b.arrived == b.parties {
 			b.arrived = 0
 			for _, w := range b.waiters {
-				e.wake(w)
+				e.wake(p, w)
 			}
 			b.waiters = b.waiters[:0]
 			return // the last arrival does not block
 		}
-		e.blockCurrent(p, t)
+		e.blockCurrent(p, t, obs.ReasonBarrier)
 		t.status = statusBlocked
 		t.blockedOn = fmt.Sprintf("barrier %s (%d/%d arrived)", b.name, b.arrived, b.parties)
 		b.waiters = append(b.waiters, t)
@@ -717,7 +843,7 @@ func (e *Engine) handle(p int, t *T, req *request) {
 			return
 		}
 		e.plat.Advance(p, uint64(e.opts.Overhead.SyncInstrs))
-		e.blockCurrent(p, t)
+		e.blockCurrent(p, t, obs.ReasonCond)
 		t.status = statusBlocked
 		t.blockedOn = "cond " + c.name
 		c.waiters = append(c.waiters, condWaiter{t: t, mu: mu})
@@ -725,12 +851,12 @@ func (e *Engine) handle(p int, t *T, req *request) {
 
 	case reqCondSignal:
 		e.plat.Advance(p, uint64(e.opts.Overhead.SyncInstrs))
-		e.signalOne(req.cond)
+		e.signalOne(p, req.cond)
 
 	case reqCondBroadcast:
 		e.plat.Advance(p, uint64(e.opts.Overhead.SyncInstrs))
 		for len(req.cond.waiters) > 0 {
-			e.signalOne(req.cond)
+			e.signalOne(p, req.cond)
 		}
 
 	default:
@@ -755,13 +881,13 @@ func (e *Engine) unlock(p int, t *T, mu *Mutex) {
 		next := mu.waiters[0]
 		mu.waiters = mu.waiters[1:]
 		next.retryLock = mu
-		e.wake(next)
+		e.wake(p, next)
 	}
 }
 
 // signalOne moves the oldest cond waiter toward running: it either
 // reacquires the mutex immediately or queues on it.
-func (e *Engine) signalOne(c *Cond) {
+func (e *Engine) signalOne(p int, c *Cond) {
 	if len(c.waiters) == 0 {
 		return
 	}
@@ -772,21 +898,33 @@ func (e *Engine) signalOne(c *Cond) {
 		// retry the acquisition rather than granted a lock it cannot
 		// use until dispatched.
 		w.t.retryLock = w.mu
-		e.wake(w.t)
+		e.wake(p, w.t)
 	} else {
 		w.mu.waiters = append(w.mu.waiters, w.t)
 	}
 }
 
-// wake marks a blocked thread runnable.
-func (e *Engine) wake(t *T) {
+// wake marks a blocked thread runnable. p is the CPU whose engine-step
+// performed the wake (trace ring placement only — the thread may run
+// anywhere).
+func (e *Engine) wake(p int, t *T) {
 	if t.status != statusBlocked {
 		// Invariant: sync objects only enqueue blocked threads.
 		panic(fmt.Sprintf("rt: waking thread %v in status %v", t.id, t.status))
 	}
 	t.status = statusReady
+	e.markReady(t, e.now, p)
 	e.sched.MakeRunnable(t.id)
 	e.unparkAll(e.now)
+}
+
+// markReady stamps the moment a thread became runnable (the dispatch
+// latency reference) and mirrors it onto the trace.
+func (e *Engine) markReady(t *T, now uint64, cpu int) {
+	t.readyClock = now
+	if e.obs.Tracing() {
+		e.obs.Emit(obs.Event{Time: now, Kind: obs.KWake, CPU: int16(cpu), Thread: t.id})
+	}
 }
 
 // fail records a programming error detected inside a request (the

@@ -124,6 +124,10 @@ type T struct {
 	// dispatchMisses is the processor's 64-bit miss count at the last
 	// NoteDispatch — the decay reference the interval record carries.
 	dispatchMisses uint64
+	// readyClock is the virtual clock at which the thread last became
+	// runnable — the reference for the observability layer's dispatch
+	// latency.
+	readyClock uint64
 
 	pending mem.Batch // buffered accesses, flushed lazily
 }

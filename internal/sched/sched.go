@@ -20,6 +20,7 @@ import (
 	"repro/internal/annot"
 	"repro/internal/mem"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
 
@@ -126,6 +127,18 @@ type Scheduler struct {
 	// only. Other CPUs keep full locality scheduling.
 	quarantine []bool
 
+	// obs/obsClock attach the observability layer (SetObserver). The
+	// scheduler has no clock of its own, so the runtime lends it the
+	// per-CPU cycle reader for event timestamps. lastDep is the size
+	// of the dependent set the most recent OnBlock on each CPU
+	// touched — the O(d) cost the next KSchedDecision reports.
+	obs      *obs.Observer
+	obsClock func(cpu int) uint64
+	lastDep  []uint64
+	footHist *obs.Histogram
+	depHist  *obs.Histogram
+	qGlobal  *obs.Gauge
+
 	ops Ops
 }
 
@@ -163,7 +176,32 @@ func New(mdl *model.Model, scheme model.Scheme, graph *annot.Graph, ncpu int, th
 		spawn:      make([][]mem.ThreadID, ncpu),
 		threads:    make(map[mem.ThreadID]*tstate),
 		quarantine: make([]bool, ncpu),
+		lastDep:    make([]uint64, ncpu),
 	}
+}
+
+// SetObserver attaches the observability layer: model updates and
+// scheduling decisions are mirrored onto o's trace, and the
+// scheduler's queue/footprint metrics register on its registry. clock
+// must report a CPU's virtual cycle clock (the runtime lends the
+// engine's). A nil or Off observer is a no-op and leaves every
+// instrumented path at its one-nil-check disabled cost.
+func (s *Scheduler) SetObserver(o *obs.Observer, clock func(cpu int) uint64) {
+	if !o.MetricsOn() {
+		return
+	}
+	if clock == nil {
+		// Invariant: the runtime always lends its clock alongside a
+		// live observer.
+		panic("sched: SetObserver with nil clock")
+	}
+	s.obs, s.obsClock = o, clock
+	r := o.Registry()
+	s.footHist = r.Histogram("model_footprint_lines",
+		[]float64{1, 4, 16, 64, 256, 1024, 4096})
+	s.depHist = r.Histogram("sched_dependent_set",
+		[]float64{0, 1, 2, 4, 8, 16})
+	s.qGlobal = r.Gauge("sched_global_queue_len")
 }
 
 // SetQuarantine moves cpu into or out of quarantine. Entering
@@ -369,6 +407,7 @@ func (s *Scheduler) OnBlock(tid mem.ThreadID, cpu int, n uint64) {
 		panic(fmt.Sprintf("sched: OnBlock(%v) of non-running thread", tid))
 	}
 	ts.running = false
+	s.lastDep[cpu] = 0
 	if s.scheme == nil || s.quarantine[cpu] {
 		// Quarantined CPU: the reading that produced n is untrusted;
 		// skip the model update entirely (annotation-free baseline).
@@ -389,12 +428,21 @@ func (s *Scheduler) OnBlock(tid mem.ThreadID, cpu int, n uint64) {
 		return
 	}
 	newS, prio := s.scheme.Blocking(s.mdl, e.dispatchS, n, mt)
+	if s.obs.Tracing() {
+		s.obs.Emit(obs.Event{Time: s.obsClock(cpu), Kind: obs.KModelUpdate, CPU: int16(cpu),
+			Thread: tid, Arg: uint8(model.CaseBlocking),
+			X: e.dispatchS, Y: newS, B: math.Float64bits(prio)})
+	}
 	e.S, e.SLast, e.M0, e.Prio = newS, newS, mt, prio
 	s.ops.PrioUpdates++
+	if s.footHist != nil {
+		s.footHist.Observe(cpu, newS)
+	}
 
 	if s.graph == nil {
 		return
 	}
+	var deps uint64
 	for _, edge := range s.graph.OutEdges(tid) {
 		dts, ok := s.threads[edge.To]
 		if !ok {
@@ -403,9 +451,20 @@ func (s *Scheduler) OnBlock(tid mem.ThreadID, cpu int, n uint64) {
 		de := s.entry(dts, edge.To, cpu, mt-n)
 		sStart := s.mdl.Decay(de.S, de.M0, mt-n)
 		newS, prio := s.scheme.Dependent(s.mdl, sStart, de.SLast, edge.Q, n, mt)
+		if s.obs.Tracing() {
+			s.obs.Emit(obs.Event{Time: s.obsClock(cpu), Kind: obs.KModelUpdate, CPU: int16(cpu),
+				Thread: edge.To, Arg: uint8(model.CaseDependent),
+				X: sStart, Y: newS, B: math.Float64bits(prio)})
+		}
 		de.S, de.M0, de.Prio = newS, mt, prio
 		s.ops.PrioUpdates++
+		deps++
 		s.reposition(dts, de)
+	}
+	s.lastDep[cpu] = deps
+	if s.depHist != nil {
+		s.depHist.Observe(cpu, float64(deps))
+		s.qGlobal.Set(float64(s.GlobalLen()))
 	}
 }
 
@@ -440,6 +499,15 @@ func (s *Scheduler) reposition(ts *tstate, e *Entry) {
 // lowest-priority thread from another CPU's heap. It returns false when
 // no work exists anywhere.
 func (s *Scheduler) PickNext(cpu int) (mem.ThreadID, bool) {
+	tid, ok := s.pickNext(cpu)
+	if ok && s.obs.Tracing() {
+		s.obs.Emit(obs.Event{Time: s.obsClock(cpu), Kind: obs.KSchedDecision, CPU: int16(cpu),
+			Thread: tid, A: s.lastDep[cpu], B: uint64(s.heaps[cpu].Len())})
+	}
+	return tid, ok
+}
+
+func (s *Scheduler) pickNext(cpu int) (mem.ThreadID, bool) {
 	// Fairness escape: an over-aged global-queue thread preempts the
 	// locality heaps.
 	if s.fairnessLimit > 0 {
@@ -451,7 +519,17 @@ func (s *Scheduler) PickNext(cpu int) (mem.ThreadID, bool) {
 	h := &s.heaps[cpu]
 	for h.Len() > 0 {
 		e := (*h)[0]
-		if s.mdl.Decay(e.S, e.M0, s.missCount(cpu)) < s.threshold {
+		decayed := s.mdl.Decay(e.S, e.M0, s.missCount(cpu))
+		if decayed < s.threshold {
+			if s.obs.Tracing() {
+				// Case 2 (independent decay) materializes lazily: the
+				// footprint is only computed when the entry is
+				// inspected, and a demotion is where the decayed value
+				// becomes a scheduling fact worth tracing.
+				s.obs.Emit(obs.Event{Time: s.obsClock(cpu), Kind: obs.KModelUpdate, CPU: int16(cpu),
+					Thread: e.Thread, Arg: uint8(model.CaseIndependent),
+					X: e.S, Y: decayed, B: math.Float64bits(e.Prio)})
+			}
 			heap.Pop(h)
 			s.ops.HeapPops++
 			s.ops.Demotions++

@@ -54,11 +54,59 @@ func (o *Online) Var() float64 {
 // Std returns the population standard deviation.
 func (o *Online) Std() float64 { return math.Sqrt(o.Var()) }
 
-// Min returns the smallest observation, or 0 for an empty accumulator.
+// Min returns the smallest observation. Like Mean, it returns 0 for an
+// empty accumulator — 0 is a sentinel, not an observation; check N to
+// distinguish "no data" from a genuine 0. (Before the Summary API this
+// convention was only documented on Mean.)
 func (o *Online) Min() float64 { return o.min }
 
-// Max returns the largest observation, or 0 for an empty accumulator.
+// Max returns the largest observation, or 0 for an empty accumulator
+// (same convention as Min and Mean: check N for "no data").
 func (o *Online) Max() float64 { return o.max }
+
+// Summary is a point-in-time copy of an accumulator's statistics, the
+// form consumed by the observability metrics exporters. For N == 0
+// every field is 0 — the empty-accumulator convention of Mean/Min/Max
+// made explicit in one place.
+type Summary struct {
+	N    int64
+	Mean float64
+	Var  float64
+	Std  float64
+	Min  float64
+	Max  float64
+}
+
+// Summary returns the accumulator's current statistics.
+func (o *Online) Summary() Summary {
+	return Summary{N: o.n, Mean: o.Mean(), Var: o.Var(), Std: o.Std(), Min: o.min, Max: o.max}
+}
+
+// Merge folds accumulator b into o, as if every observation added to b
+// had been added to o (Chan et al.'s parallel Welford combination).
+// Per-CPU metric shards are merged with it; merging in a different
+// order can differ in the last floating-point bit, so deterministic
+// consumers must merge in a fixed order.
+func (o *Online) Merge(b *Online) {
+	if b.n == 0 {
+		return
+	}
+	if o.n == 0 {
+		*o = *b
+		return
+	}
+	if b.min < o.min {
+		o.min = b.min
+	}
+	if b.max > o.max {
+		o.max = b.max
+	}
+	n := o.n + b.n
+	d := b.mean - o.mean
+	o.m2 += b.m2 + d*d*float64(o.n)*float64(b.n)/float64(n)
+	o.mean += d * float64(b.n) / float64(n)
+	o.n = n
+}
 
 // Series is a sampled curve: parallel X and Y slices of equal length.
 // Experiments append checkpoints as the computation unfolds and reports

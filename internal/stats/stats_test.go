@@ -151,3 +151,56 @@ func TestRatioAndPercent(t *testing.T) {
 		t.Errorf("zero-base elimination = %v", got)
 	}
 }
+
+func TestOnlineSummary(t *testing.T) {
+	var o Online
+	if s := o.Summary(); s != (Summary{}) {
+		t.Errorf("empty Summary = %+v, want zero value", s)
+	}
+	for _, x := range []float64{4, -2, 10, 6} {
+		o.Add(x)
+	}
+	s := o.Summary()
+	if s.N != 4 || s.Min != -2 || s.Max != 10 {
+		t.Errorf("Summary N/Min/Max = %d/%v/%v", s.N, s.Min, s.Max)
+	}
+	if math.Abs(s.Mean-4.5) > 1e-12 || math.Abs(s.Std-math.Sqrt(s.Var)) > 1e-12 {
+		t.Errorf("Summary moments = %+v", s)
+	}
+	if s.Mean != o.Mean() || s.Var != o.Var() || s.Min != o.Min() || s.Max != o.Max() {
+		t.Error("Summary disagrees with the accessors")
+	}
+}
+
+func TestOnlineMerge(t *testing.T) {
+	rng := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7}
+	var whole, a, b Online
+	for i, x := range rng {
+		whole.Add(x)
+		if i < 5 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != whole.N() || a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Errorf("Merge N/Min/Max = %d/%v/%v, want %d/%v/%v",
+			a.N(), a.Min(), a.Max(), whole.N(), whole.Min(), whole.Max())
+	}
+	if math.Abs(a.Mean()-whole.Mean()) > 1e-12 || math.Abs(a.Var()-whole.Var()) > 1e-9 {
+		t.Errorf("Merge moments %v/%v, want %v/%v", a.Mean(), a.Var(), whole.Mean(), whole.Var())
+	}
+
+	// Merging an empty accumulator is a no-op in both directions.
+	var empty Online
+	before := a.Summary()
+	a.Merge(&empty)
+	if a.Summary() != before {
+		t.Error("merging an empty accumulator changed the state")
+	}
+	empty.Merge(&a)
+	if empty.Summary() != before {
+		t.Error("merging into an empty accumulator did not copy")
+	}
+}

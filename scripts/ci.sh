@@ -21,3 +21,26 @@ go vet ./...
 go test -race -short -timeout 30m ./...
 go test -fuzz FuzzLoadRecording -fuzztime 10s -run '^$' ./internal/trace
 go test -fuzz FuzzSanitizeStream -fuzztime 10s -run '^$' ./internal/rt
+go test -fuzz FuzzChromeTrace -fuzztime 10s -run '^$' ./internal/obs
+
+# Telemetry gates: exported traces must be byte-identical regardless of
+# worker count, and full tracing must not move a single golden counter.
+# Both already ran under -race above; re-running them plainly makes the
+# gate explicit and keeps it alive if the suites above are trimmed.
+go test -run 'TestExportsDeterministicAcrossWorkers' ./internal/experiments
+go test -run 'TestGoldenUnchangedByObservation' .
+
+# Overhead gate (opt-in: BENCH_GATE=1): re-run the benchmark sweep and
+# hard-fail if anything — most importantly BenchmarkObsOff, the
+# telemetry disabled path — regressed more than 2% against the newest
+# committed baseline. Opt-in because the sweep takes minutes and the
+# committed numbers are host-specific; run it on the baseline host
+# before cutting a release.
+if [ "${BENCH_GATE:-}" = 1 ]; then
+    baseline=$(git ls-files 'BENCH_*.json' | sort | tail -1)
+    [ -n "$baseline" ] || { echo "BENCH_GATE=1 but no committed BENCH_*.json" >&2; exit 1; }
+    git show "HEAD:$baseline" > /tmp/bench_baseline.$$.json
+    scripts/bench.sh
+    scripts/benchdiff.sh /tmp/bench_baseline.$$.json "BENCH_$(date +%F).json" 2
+    rm -f /tmp/bench_baseline.$$.json
+fi

@@ -38,6 +38,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/platform/sim"
 	"repro/internal/rt"
 )
@@ -81,6 +82,23 @@ type (
 	// Model is the shared-state cache model (closed forms, priority
 	// algebra, Markov chain cross-check).
 	Model = model.Model
+	// Observer is a run's observability state (event rings + metrics);
+	// see internal/obs for the exporters.
+	Observer = obs.Observer
+	// ObsOptions configures observability (level, ring size).
+	ObsOptions = obs.Options
+	// ObsLevel selects how much a run records.
+	ObsLevel = obs.Level
+)
+
+// Observability levels, re-exported.
+const (
+	// ObsOff records nothing (the default; zero overhead).
+	ObsOff = obs.Off
+	// ObsMetrics maintains the metrics registry only.
+	ObsMetrics = obs.Metrics
+	// ObsTrace additionally records per-CPU event rings.
+	ObsTrace = obs.Trace
 )
 
 // Synchronization constructors, re-exported.
@@ -122,6 +140,10 @@ type Config struct {
 	FairnessLimit uint64
 	// Seed fixes all randomness; equal seeds give bit-identical runs.
 	Seed uint64
+	// Observability attaches event tracing and metrics to the run
+	// (default off, which costs nothing). With ObsTrace, export the
+	// run via Observer() and the internal/obs exporters.
+	Observability ObsOptions
 }
 
 // System is a simulated machine plus thread runtime, ready to run a
@@ -146,6 +168,10 @@ func New(cfg Config) (*System, error) {
 		policy = FCFS
 	}
 	m := machine.New(mcfg)
+	var observer *obs.Observer
+	if cfg.Observability.Level != obs.Off {
+		observer = obs.New(mcfg.CPUs, cfg.Observability)
+	}
 	e, err := rt.New(sim.New(m), rt.Options{
 		Policy:             string(policy),
 		ThresholdLines:     cfg.ThresholdLines,
@@ -153,6 +179,7 @@ func New(cfg Config) (*System, error) {
 		InferSharing:       cfg.InferSharing,
 		FairnessLimit:      cfg.FairnessLimit,
 		Seed:               cfg.Seed,
+		Obs:                observer,
 	})
 	if err != nil {
 		return nil, err
@@ -181,6 +208,10 @@ func (s *System) Engine() *rt.Engine { return s.eng }
 // Machine exposes the underlying simulated hardware.
 func (s *System) Machine() *machine.Machine { return s.mach }
 
+// Observer returns the run's observability state, or nil when
+// Config.Observability was off.
+func (s *System) Observer() *Observer { return s.eng.Observer() }
+
 // Stats summarizes a finished run.
 type Stats struct {
 	Policy     string
@@ -196,19 +227,16 @@ type Stats struct {
 // Stats returns the run's counters.
 func (s *System) Stats() Stats {
 	refs, _, misses := s.mach.Totals()
-	var disp uint64
-	for _, d := range s.eng.Dispatches() {
-		disp += d
-	}
+	snap := s.eng.Snapshot()
 	return Stats{
-		Policy:     s.eng.Scheduler().PolicyName(),
+		Policy:     snap.Policy,
 		CPUs:       s.mach.NCPU(),
 		ERefs:      refs,
 		EMisses:    misses,
 		Cycles:     s.mach.MaxCycles(),
 		Instrs:     s.mach.TotalInstrs(),
-		Dispatches: disp,
-		Steals:     s.eng.Scheduler().Ops().Steals,
+		Dispatches: snap.TotalDispatches(),
+		Steals:     snap.SchedOps.Steals,
 	}
 }
 
@@ -224,7 +252,7 @@ type CPUStats struct {
 
 // PerCPU returns per-processor counters, index = processor number.
 func (s *System) PerCPU() []CPUStats {
-	disp := s.eng.Dispatches()
+	disp := s.eng.Snapshot().Dispatches
 	out := make([]CPUStats, s.mach.NCPU())
 	for i := range out {
 		cpu := s.mach.CPU(i)
