@@ -12,6 +12,7 @@ package threadlocality
 
 import (
 	"io"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/experiments"
@@ -216,6 +217,30 @@ func BenchmarkAppPhotoFCFS(b *testing.B) { benchApp(b, "photo", "FCFS", 8) }
 func BenchmarkAppPhotoLFF(b *testing.B)  { benchApp(b, "photo", "LFF", 8) }
 func BenchmarkAppTSPFCFS(b *testing.B)   { benchApp(b, "tsp", "FCFS", 8) }
 func BenchmarkAppTSPLFF(b *testing.B)    { benchApp(b, "tsp", "LFF", 8) }
+
+// --- Checkpoint overhead ----------------------------------------------
+
+// benchCheckpoint measures one tasks/LFF cell with and without
+// crash-safe checkpointing; the Off/On pair feeds the 2% overhead gate
+// in benchdiff.sh (capture is read-only, so the cost is encoding plus
+// the atomic write).
+func benchCheckpoint(b *testing.B, every uint64) {
+	b.Helper()
+	cfg := benchSched
+	cfg.CPUs = 4
+	if every > 0 {
+		cfg.CheckpointEvery = every
+		cfg.CheckpointPath = filepath.Join(b.TempDir(), "bench.snap")
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSched("tasks", "LFF", cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckpointOff(b *testing.B) { benchCheckpoint(b, 0) }
+func BenchmarkCheckpointOn(b *testing.B)  { benchCheckpoint(b, 200000) }
 
 // --- Substrate microbenchmarks ----------------------------------------
 

@@ -10,17 +10,24 @@
 //	atsim -replay run.json
 //	atsim -app tasks -cpus 4 -faults all -health
 //	atsim -app tasks -cpus 4 -trace-out trace.json -metrics-out metrics.prom
+//	atsim -app tasks -cpus 4 -checkpoint-every 500000 -checkpoint run.snap
+//	atsim -app tasks -cpus 4 -checkpoint-every 500000 -checkpoint run.snap -resume
 //	atsim -list
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fsatomic"
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/model"
@@ -29,6 +36,7 @@ import (
 	"repro/internal/platform/replay"
 	"repro/internal/platform/sim"
 	"repro/internal/rt"
+	"repro/internal/snapshot"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -46,6 +54,10 @@ func main() {
 	replayFile := flag.String("replay", "", "replay a recorded trace through the scheduler instead of simulating")
 	faults := flag.String("faults", "", "inject counter faults: wrap=BITS,stuck=LEN@EVERY,drop=LEN@EVERY,spike=DELTA@EVERY,skew=CYCLES,seed=N, or 'all'")
 	health := flag.Bool("health", false, "print per-CPU counter health after the run")
+	ckptEvery := flag.Uint64("checkpoint-every", 0, "write a crash-safe snapshot every N virtual cycles (requires -checkpoint)")
+	ckptPath := flag.String("checkpoint", "", "snapshot file for -checkpoint-every / -resume")
+	resume := flag.Bool("resume", false, "resume from the -checkpoint snapshot if it exists (verified bit-exact)")
+	stallTimeout := flag.Duration("stall-timeout", 0, "abort with a diagnostic dump if no dispatch happens for this much wall time (e.g. 30s; 0 disables)")
 	obsLevel := flag.String("obs", "off", "observability level: off, metrics or trace")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace of the run to this file (implies -obs trace)")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus metrics of the run to this file (implies -obs metrics)")
@@ -96,6 +108,16 @@ func main() {
 	if *metricsOut != "" && level < obs.Metrics {
 		level = obs.Metrics
 	}
+	if *ckptEvery > 0 && *ckptPath == "" {
+		usageError(fmt.Errorf("-checkpoint-every %d needs -checkpoint FILE", *ckptEvery))
+	}
+	if *resume && *ckptPath == "" {
+		usageError(fmt.Errorf("-resume needs -checkpoint FILE"))
+	}
+	if (*ckptPath != "" || *stallTimeout != 0) && (*record != "" || *timeline > 0 || *verbose) {
+		usageError(fmt.Errorf("-checkpoint/-stall-timeout only apply to the default and -faults run modes"))
+	}
+	crash := crashConfig{every: *ckptEvery, path: *ckptPath, resume: *resume, stallTimeout: *stallTimeout}
 	session := obs.NewSession(level, 0)
 	if *debugAddr != "" {
 		bound, err := session.StartDebugServer(*debugAddr)
@@ -108,7 +130,7 @@ func main() {
 
 	switch {
 	case faultCfg.Enabled() || *health:
-		err = runFaults(*app, *policy, *cpus, *scale, *seed, *noAnnot, faultCfg, session)
+		err = runFaults(*app, *policy, *cpus, *scale, *seed, *noAnnot, faultCfg, session, crash)
 	case *record != "":
 		err = runRecord(*record, *app, *policy, *cpus, *scale, *seed, *noAnnot, session)
 	case *timeline > 0:
@@ -116,7 +138,7 @@ func main() {
 	case *verbose:
 		err = runVerbose(*app, *policy, *cpus, *scale, *seed, *noAnnot, session)
 	default:
-		err = runDefault(*app, *policy, *cpus, *scale, *seed, *noAnnot, session)
+		err = runDefault(*app, *policy, *cpus, *scale, *seed, *noAnnot, session, crash)
 	}
 	if err == nil {
 		err = exportObs(session, *traceOut, *metricsOut)
@@ -156,15 +178,57 @@ func exportObs(session *obs.Session, traceOut, metricsOut string) error {
 	return nil
 }
 
+// crashConfig bundles the crash-safety flags shared by the run modes
+// that support them.
+type crashConfig struct {
+	every        uint64
+	path         string
+	resume       bool
+	stallTimeout time.Duration
+}
+
+// checkpoint builds the engine-level checkpoint configuration for the
+// direct-engine modes: the config record mirrors the experiment
+// driver's (app, scale, ablations) plus the fault spec, so a faulted
+// snapshot can never resume a clean run or vice versa.
+func (c crashConfig) checkpoint(appName string, scale float64, noAnnot bool, faultCfg faulty.Config) (rt.CheckpointConfig, error) {
+	cfg := rt.CheckpointConfig{
+		Every: c.every,
+		Path:  c.path,
+		Config: []snapshot.KV{
+			{K: "app", V: appName},
+			{K: "scale", V: strconv.FormatFloat(scale, 'g', -1, 64)},
+			{K: "noannot", V: strconv.FormatBool(noAnnot)},
+			{K: "faults", V: faultCfg.String()},
+		},
+	}
+	if c.resume {
+		st, err := snapshot.LoadFile(c.path)
+		switch {
+		case err == nil:
+			cfg.Resume = st
+		case errors.Is(err, os.ErrNotExist):
+			// No snapshot yet: start fresh, as a restarted soak loop does.
+		default:
+			return rt.CheckpointConfig{}, err
+		}
+	}
+	return cfg, nil
+}
+
 // runDefault is the plain counters-only run behind the flagless
 // invocation.
-func runDefault(appName, policy string, cpus int, scale float64, seed uint64, noAnnot bool, session *obs.Session) error {
+func runDefault(appName, policy string, cpus int, scale float64, seed uint64, noAnnot bool, session *obs.Session, crash crashConfig) error {
 	run, err := experiments.RunSched(appName, policy, experiments.SchedConfig{
 		CPUs:               cpus,
 		Scale:              scale,
 		Seed:               seed,
 		DisableAnnotations: noAnnot,
 		Obs:                session,
+		CheckpointEvery:    crash.every,
+		CheckpointPath:     crash.path,
+		Resume:             crash.resume,
+		StallTimeout:       crash.stallTimeout,
 	})
 	if err != nil {
 		return err
@@ -257,8 +321,12 @@ func runVerbose(appName, policy string, cpus int, scale float64, seed uint64, no
 // around the simulator and reports the per-CPU counter-health
 // accounting — the runtime's sanitizer and quarantine machinery at
 // work against lying instrumentation.
-func runFaults(appName, policy string, cpus int, scale float64, seed uint64, noAnnot bool, cfg faulty.Config, session *obs.Session) error {
+func runFaults(appName, policy string, cpus int, scale float64, seed uint64, noAnnot bool, cfg faulty.Config, session *obs.Session, crash crashConfig) error {
 	app, err := workloads.SchedAppByName(appName)
+	if err != nil {
+		return err
+	}
+	ckpt, err := crash.checkpoint(appName, scale, noAnnot, cfg)
 	if err != nil {
 		return err
 	}
@@ -268,7 +336,8 @@ func runFaults(appName, policy string, cpus int, scale float64, seed uint64, noA
 		return err
 	}
 	e, err := rt.New(plat, rt.Options{Policy: policy, Seed: seed, DisableAnnotations: noAnnot,
-		Obs: session.Observer(cellKey(appName, policy, cpus, cfg.Enabled()), cpus)})
+		Obs:        session.Observer(cellKey(appName, policy, cpus, cfg.Enabled()), cpus),
+		Checkpoint: ckpt, StallTimeout: crash.stallTimeout})
 	if err != nil {
 		return err
 	}
@@ -331,12 +400,10 @@ func runRecord(path, appName, policy string, cpus int, scale float64, seed uint6
 	if err := e.Run(context.Background()); err != nil {
 		return err
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := rec.Recording().Save(f); err != nil {
+	// Atomic write: a kill mid-save leaves no torn recording behind.
+	if err := fsatomic.WriteFile(path, func(w io.Writer) error {
+		return rec.Recording().Save(w)
+	}); err != nil {
 		return err
 	}
 	refs, _, misses := m.Totals()

@@ -22,6 +22,11 @@
 //	-trace-out f    write a Chrome trace of the scheduling runs (Perfetto)
 //	-metrics-out f  write Prometheus metrics of the scheduling runs
 //	-debug-addr a   serve pprof/expvar/metrics debug endpoints
+//	-checkpoint-every n  write per-cell crash-safe snapshots every n
+//	                     virtual cycles (with -checkpoint-dir)
+//	-checkpoint-dir d    snapshot directory (one file per cell)
+//	-resume              resume each cell from its snapshot if present
+//	-stall-timeout d     abort stalled runs with a diagnostic dump
 //
 // Traces and metrics are byte-identical for any -j value: observer
 // cells are keyed by run configuration and exported in sorted order.
@@ -48,6 +53,10 @@ func main() {
 	cpus := flag.Int("cpus", 8, "SMP size for fig9/ablation")
 	quick := flag.Bool("quick", false, "fast reduced-size runs")
 	jobs := flag.Int("j", 1, "worker threads for independent experiment cells (0 = all processors)")
+	ckptEvery := flag.Uint64("checkpoint-every", 0, "write per-cell crash-safe snapshots every N virtual cycles (requires -checkpoint-dir)")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for per-cell snapshots")
+	resume := flag.Bool("resume", false, "resume each cell from its snapshot in -checkpoint-dir if present (verified bit-exact)")
+	stallTimeout := flag.Duration("stall-timeout", 0, "abort a run with a diagnostic dump if it makes no dispatch for this much wall time (0 disables)")
 	obsLevel := flag.String("obs", "off", "observability level: off, metrics or trace")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace of the scheduling runs to this file (implies -obs trace)")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus metrics of the scheduling runs to this file (implies -obs metrics)")
@@ -82,7 +91,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "repro: debug endpoints on http://%s/debug/pprof (metrics at /metrics)\n", bound)
 	}
 
-	sched := experiments.SchedConfig{Scale: *scale, Seed: *seed, CPUs: *cpus, Jobs: *jobs, Obs: session}
+	if (*ckptEvery > 0 || *resume) && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "repro: -checkpoint-every/-resume need -checkpoint-dir")
+		os.Exit(2)
+	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+	}
+	sched := experiments.SchedConfig{Scale: *scale, Seed: *seed, CPUs: *cpus, Jobs: *jobs, Obs: session,
+		CheckpointEvery: *ckptEvery, CheckpointDir: *ckptDir, Resume: *resume, StallTimeout: *stallTimeout}
 	study := experiments.StudyConfig{Seed: *seed, Jobs: *jobs}
 	if *quick {
 		if *scale == 1.0 {

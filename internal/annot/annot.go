@@ -13,9 +13,35 @@ package annot
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"repro/internal/mem"
 )
+
+// CheckAnnotation validates an at_share(from, to, q) call at the API
+// boundary, before the hint reaches the graph. A NaN, infinite or
+// negative coefficient is a programming error in the annotating
+// program — the paper's hints are fractions of shared state — as is a
+// self-edge (a thread trivially shares all state with itself; the
+// model's case 1 already covers it, so an explicit self-annotation
+// indicates a thread-ID mix-up at the call site). q above 1 remains a
+// clamp, not an error: over-estimating sharing is a legitimately lazy
+// hint. The graph's own Share keeps its silent-clamping behaviour for
+// internal callers (inference synthesizes edges from noisy evidence);
+// the runtime applies this check only to explicit user annotations.
+func CheckAnnotation(from, to mem.ThreadID, q float64) error {
+	if math.IsNaN(q) || math.IsInf(q, 0) {
+		return fmt.Errorf("annot: at_share(%v, %v) with non-finite coefficient %v", from, to, q)
+	}
+	if q < 0 {
+		return fmt.Errorf("annot: at_share(%v, %v) with negative coefficient %v", from, to, q)
+	}
+	if from == to {
+		return fmt.Errorf("annot: at_share self-edge on thread %v (a thread shares all state with itself; annotate the other thread's ID)", from)
+	}
+	return nil
+}
 
 // Edge is one outgoing dependency: a fraction Q of the source thread's
 // state is shared with thread To.
@@ -152,6 +178,32 @@ func (g *Graph) RemoveThread(tid mem.ThreadID) {
 		}
 	}
 	delete(g.in, tid)
+}
+
+// FlatEdge is one (from, to, q) triple of the Export listing.
+type FlatEdge struct {
+	From, To mem.ThreadID
+	Q        float64
+}
+
+// Export returns every edge sorted by (From, To) — a canonical listing
+// for checkpoints. Note the sort deliberately ignores insertion order;
+// two identical runs insert edges in the same order, so comparing
+// sorted listings of their graphs is exact.
+func (g *Graph) Export() []FlatEdge {
+	out := make([]FlatEdge, 0, g.edges)
+	for from, edges := range g.out {
+		for _, e := range edges {
+			out = append(out, FlatEdge{From: from, To: e.To, Q: e.Q})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
 }
 
 // Check verifies internal consistency (forward and reverse indices

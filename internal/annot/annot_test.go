@@ -1,6 +1,8 @@
 package annot
 
 import (
+	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -156,5 +158,49 @@ func TestMergesortAnnotationExample(t *testing.T) {
 	// The parent prefetches nothing for the children: no reverse edges.
 	if g.OutDegree(parent) != 0 {
 		t.Error("parent should have no out-edges in the example")
+	}
+}
+
+func TestCheckAnnotation(t *testing.T) {
+	cases := []struct {
+		from, to mem.ThreadID
+		q        float64
+		wantErr  string // substring, "" = valid
+	}{
+		{1, 2, 0.5, ""},
+		{1, 2, 0, ""},
+		{1, 2, 1.5, ""}, // over-estimate: clamped later, not an error
+		{1, 2, math.NaN(), "non-finite"},
+		{1, 2, math.Inf(1), "non-finite"},
+		{1, 2, math.Inf(-1), "non-finite"},
+		{1, 2, -0.25, "negative"},
+		{3, 3, 0.5, "self-edge"},
+	}
+	for _, c := range cases {
+		err := CheckAnnotation(c.from, c.to, c.q)
+		switch {
+		case c.wantErr == "" && err != nil:
+			t.Errorf("CheckAnnotation(%v, %v, %v) = %v, want nil", c.from, c.to, c.q, err)
+		case c.wantErr != "" && (err == nil || !strings.Contains(err.Error(), c.wantErr)):
+			t.Errorf("CheckAnnotation(%v, %v, %v) = %v, want error containing %q", c.from, c.to, c.q, err, c.wantErr)
+		}
+	}
+}
+
+func TestExportSortedAndComplete(t *testing.T) {
+	g := New()
+	g.Share(5, 1, 0.5)
+	g.Share(2, 9, 0.25)
+	g.Share(2, 3, 0.125)
+	g.Share(5, 0, 1)
+	flat := g.Export()
+	want := []FlatEdge{{2, 3, 0.125}, {2, 9, 0.25}, {5, 0, 1}, {5, 1, 0.5}}
+	if len(flat) != len(want) {
+		t.Fatalf("Export = %v, want %v", flat, want)
+	}
+	for i := range want {
+		if flat[i] != want[i] {
+			t.Fatalf("Export[%d] = %v, want %v", i, flat[i], want[i])
+		}
 	}
 }

@@ -9,12 +9,19 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/platform/sim"
 	"repro/internal/rt"
+	"repro/internal/snapshot"
 	"repro/internal/workloads"
 )
 
@@ -90,6 +97,28 @@ type SchedConfig struct {
 	// cell's configuration, so session exports are byte-identical for
 	// any Jobs value.
 	Obs *obs.Session
+	// CheckpointEvery enables crash-safe checkpointing: every run
+	// writes a verified-resumable snapshot each time its virtual clock
+	// crosses a boundary (0 disables). Requires CheckpointPath or
+	// CheckpointDir. Checkpoint capture is read-only, so results are
+	// bit-identical with and without it.
+	CheckpointEvery uint64
+	// CheckpointPath is the snapshot file of a single run. For
+	// multi-cell experiments use CheckpointDir instead: each cell's
+	// file is derived from its cell key, so results stay independent
+	// of Jobs.
+	CheckpointPath string
+	// CheckpointDir places each cell's snapshot at
+	// <dir>/<sanitized cell key>.snap.
+	CheckpointDir string
+	// Resume loads each run's snapshot file (from CheckpointPath or
+	// CheckpointDir) if one exists, re-executes deterministically to
+	// its cursor, verifies bit-exact agreement and continues; runs
+	// whose file does not exist start fresh, so an interrupted
+	// multi-cell sweep resumes exactly where each cell left off.
+	Resume bool
+	// StallTimeout arms the engine's stall watchdog (see rt.Options).
+	StallTimeout time.Duration
 }
 
 // cellKey names one run's observer cell. It must be a pure function of
@@ -106,6 +135,49 @@ func (c SchedConfig) cellKey(app, policy string) string {
 		key += "/spawnstacks"
 	}
 	return key
+}
+
+// configKV renders the run parameters the engine cannot verify itself
+// (it checks policy, CPU count and seed natively) as the snapshot's
+// config record, so a checkpoint can never be resumed under a
+// different application or scale.
+func (c SchedConfig) configKV(app string) []snapshot.KV {
+	return []snapshot.KV{
+		{K: "app", V: app},
+		{K: "scale", V: strconv.FormatFloat(c.Scale, 'g', -1, 64)},
+		{K: "noannot", V: strconv.FormatBool(c.DisableAnnotations)},
+		{K: "infer", V: strconv.FormatBool(c.InferSharing)},
+		{K: "threshold", V: strconv.FormatFloat(c.Threshold, 'g', -1, 64)},
+		{K: "spawnstacks", V: strconv.FormatBool(c.SpawnStacks)},
+	}
+}
+
+// checkpointConfig resolves the run's snapshot path and, when resuming,
+// loads the stored snapshot. A Resume with no snapshot file present
+// starts fresh — that is what lets a killed multi-cell sweep restart
+// with every cell picking up from its own last boundary.
+func (c SchedConfig) checkpointConfig(app, policy string) (rt.CheckpointConfig, error) {
+	cfg := rt.CheckpointConfig{Every: c.CheckpointEvery, Path: c.CheckpointPath}
+	if cfg.Path == "" && c.CheckpointDir != "" {
+		cfg.Path = filepath.Join(c.CheckpointDir,
+			strings.NewReplacer("/", "_", " ", "_").Replace(c.cellKey(app, policy))+".snap")
+	}
+	if cfg.Every == 0 && cfg.Path == "" && !c.Resume {
+		return rt.CheckpointConfig{}, nil
+	}
+	cfg.Config = c.configKV(app)
+	if c.Resume && cfg.Path != "" {
+		st, err := snapshot.LoadFile(cfg.Path)
+		switch {
+		case err == nil:
+			cfg.Resume = st
+		case errors.Is(err, os.ErrNotExist):
+			// fresh start
+		default:
+			return rt.CheckpointConfig{}, err
+		}
+	}
+	return cfg, nil
 }
 
 func (c SchedConfig) withDefaults() SchedConfig {
@@ -138,6 +210,10 @@ func RunSched(appName, policy string, cfg SchedConfig) (PolicyRun, error) {
 	if err != nil {
 		return PolicyRun{}, err
 	}
+	ckpt, err := cfg.checkpointConfig(appName, policy)
+	if err != nil {
+		return PolicyRun{}, fmt.Errorf("experiments: %s/%s/%dcpu: %w", appName, policy, cfg.CPUs, err)
+	}
 	m := machine.New(platform(cfg.CPUs))
 	e, err := rt.New(sim.New(m), rt.Options{
 		Policy:             policy,
@@ -147,6 +223,8 @@ func RunSched(appName, policy string, cfg SchedConfig) (PolicyRun, error) {
 		ThresholdLines:     cfg.Threshold,
 		SpawnStacks:        cfg.SpawnStacks,
 		Obs:                cfg.Obs.Observer(cfg.cellKey(appName, policy), cfg.CPUs),
+		Checkpoint:         ckpt,
+		StallTimeout:       cfg.StallTimeout,
 	})
 	if err != nil {
 		return PolicyRun{}, fmt.Errorf("experiments: %s/%s/%dcpu: %w", appName, policy, cfg.CPUs, err)

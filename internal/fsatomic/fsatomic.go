@@ -1,0 +1,65 @@
+// Package fsatomic writes files atomically: content goes to a
+// temporary file in the destination directory, is fsynced, and is
+// renamed over the target only when complete. A reader (or a process
+// resuming after a crash) therefore sees either the previous complete
+// file or the new complete file — never a torn prefix. Every on-disk
+// artifact a run may need to survive a kill — snapshots, trace
+// exports, metrics exports — goes through this package.
+package fsatomic
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with whatever write produces. The
+// temporary file lives in path's directory (rename must not cross
+// filesystems) and is removed on any failure. The data is fsynced
+// before the rename so a crash immediately after WriteFile returns
+// cannot lose it; the directory is fsynced afterwards (best effort —
+// some filesystems refuse directory syncs) so the rename itself is
+// durable too.
+func WriteFile(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("fsatomic: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("fsatomic: %s: %w", path, err)
+	}
+	if err := write(tmp); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("fsatomic: %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("fsatomic: %s: %w", path, err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+// Failures are ignored: not every filesystem supports it, and the
+// rename's atomicity (the property the exporters rely on) holds
+// regardless.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

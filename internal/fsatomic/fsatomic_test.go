@@ -1,0 +1,72 @@
+package fsatomic
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "first")
+		return err
+	}); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "first" {
+		t.Fatalf("content = %q", b)
+	}
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "second")
+		return err
+	}); err != nil {
+		t.Fatalf("WriteFile overwrite: %v", err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "second" {
+		t.Fatalf("content after overwrite = %q", b)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("temp files left behind: %v", ents)
+	}
+}
+
+func TestWriteFileFailureLeavesOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "intact")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "torn prefix that must never land")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "intact" {
+		t.Fatalf("failed write clobbered the file: %q", b)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("temp files left behind after failure: %v", ents)
+	}
+}
+
+func TestWriteFileBadDirectory(t *testing.T) {
+	err := WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), func(io.Writer) error { return nil })
+	if err == nil {
+		t.Fatal("expected error for missing directory")
+	}
+}

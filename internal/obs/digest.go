@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// StateDigest folds the observer's complete recorded state — level,
+// every metric's name and shard values, every ring's events — into one
+// 64-bit FNV-1a digest. A checkpoint stores it instead of the full
+// telemetry (rings alone can hold megabytes), and resume verification
+// compares digests: equal digests mean the resumed run recorded the
+// same telemetry the original run had at the boundary, so the eventual
+// exports are byte-identical too. Deterministic by construction: the
+// registry snapshot is name-sorted, ring events are ordered by the
+// virtual clock, and nothing here reads wall time. Nil-safe (a nil or
+// Off observer digests to 0).
+func (o *Observer) StateDigest() uint64 {
+	if o == nil || o.level == Off {
+		return 0
+	}
+	h := fnv.New64a()
+	var w digestWriter
+	w.h = h
+	w.u64(uint64(o.level))
+
+	snap := o.reg.Snapshot()
+	for _, c := range snap.Counters {
+		w.str(c.Name)
+		for _, v := range c.PerCPU {
+			w.u64(v)
+		}
+	}
+	for _, g := range snap.Gauges {
+		w.str(g.Name)
+		w.f64(g.Value)
+	}
+	for _, hs := range snap.Histograms {
+		w.str(hs.Name)
+		for _, b := range hs.Bounds {
+			w.f64(b)
+		}
+		for _, b := range hs.Buckets {
+			w.u64(b)
+		}
+		w.u64(uint64(hs.Summary.N))
+		w.f64(hs.Summary.Mean)
+		w.f64(hs.Summary.Var)
+		w.f64(hs.Summary.Min)
+		w.f64(hs.Summary.Max)
+	}
+	for cpu, r := range o.rings {
+		w.u64(uint64(cpu))
+		w.u64(r.Total())
+		for _, ev := range r.Events() {
+			w.u64(ev.Time)
+			w.u64(ev.A)
+			w.u64(ev.B)
+			w.f64(ev.X)
+			w.f64(ev.Y)
+			w.u64(uint64(uint32(ev.Thread)))
+			w.u64(uint64(uint16(ev.CPU)))
+			w.u64(uint64(ev.Kind))
+			w.u64(uint64(ev.Arg))
+		}
+	}
+	return h.Sum64()
+}
+
+// digestWriter feeds fixed-width values into a hash without per-call
+// allocation.
+type digestWriter struct {
+	h   interface{ Write([]byte) (int, error) }
+	buf [8]byte
+}
+
+func (w *digestWriter) u64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:], v)
+	w.h.Write(w.buf[:])
+}
+
+func (w *digestWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+
+func (w *digestWriter) str(s string) {
+	w.u64(uint64(len(s)))
+	w.h.Write([]byte(s))
+}

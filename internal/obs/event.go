@@ -45,6 +45,11 @@ const (
 	// KRecover: a quarantined counter passed the clean-streak
 	// hysteresis and the CPU resumed locality scheduling.
 	KRecover
+	// KStall: the stall watchdog fired — no dispatch progress within
+	// the configured wall-clock deadline. A = total dispatches at the
+	// moment the watchdog gave up, B = engine steps. Emitted on CPU 0
+	// alongside the diagnostic error Engine.Run returns.
+	KStall
 )
 
 func (k Kind) String() string {
@@ -69,6 +74,8 @@ func (k Kind) String() string {
 		return "quarantine"
 	case KRecover:
 		return "recover"
+	case KStall:
+		return "stall"
 	default:
 		return "unknown"
 	}

@@ -2,42 +2,44 @@ package obs
 
 import (
 	"fmt"
-	"os"
+	"io"
+
+	"repro/internal/fsatomic"
 )
 
 // WriteTraceFile exports every cell of the session as one Chrome
 // trace-event file at path (load it at ui.perfetto.dev or
-// chrome://tracing). It is a no-op returning nil when the session never
-// recorded events (level below Trace).
+// chrome://tracing). The file is written atomically (temp file + fsync
+// + rename), so a process killed mid-export leaves either the previous
+// complete file or the new one — never a torn JSON prefix. It is a
+// no-op returning nil when the session never recorded events (level
+// below Trace).
 func (s *Session) WriteTraceFile(path string) error {
 	if s.Level() < Trace {
 		return nil
 	}
-	f, err := os.Create(path)
+	err := fsatomic.WriteFile(path, func(w io.Writer) error {
+		return WriteChromeTrace(w, s.Cells())
+	})
 	if err != nil {
-		return err
-	}
-	if err := WriteChromeTrace(f, s.Cells()); err != nil {
-		f.Close()
 		return fmt.Errorf("obs: trace %s: %w", path, err)
 	}
-	return f.Close()
+	return nil
 }
 
 // WriteMetricsFile exports the session's merged metrics in Prometheus
-// text exposition format at path. It is a no-op returning nil when the
-// session kept no metrics (level Off).
+// text exposition format at path, atomically (see WriteTraceFile). It
+// is a no-op returning nil when the session kept no metrics (level
+// Off).
 func (s *Session) WriteMetricsFile(path string) error {
 	if s.Level() < Metrics {
 		return nil
 	}
-	f, err := os.Create(path)
+	err := fsatomic.WriteFile(path, func(w io.Writer) error {
+		return WritePrometheus(w, s.MergedSnapshot())
+	})
 	if err != nil {
-		return err
-	}
-	if err := WritePrometheus(f, s.MergedSnapshot()); err != nil {
-		f.Close()
 		return fmt.Errorf("obs: metrics %s: %w", path, err)
 	}
-	return f.Close()
+	return nil
 }

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/annot"
 	"repro/internal/inference"
@@ -94,6 +95,15 @@ type Options struct {
 	// MaxSteps aborts runs that exceed this many engine steps (safety
 	// valve for buggy workloads; 0 means 4e9).
 	MaxSteps uint64
+	// Checkpoint enables crash-safe checkpoint/resume (see
+	// CheckpointConfig and checkpoint.go). The zero value disables it.
+	Checkpoint CheckpointConfig
+	// StallTimeout arms the stall watchdog: a run making no dispatch
+	// progress for this much wall time aborts with a diagnostic state
+	// dump instead of spinning forever (see watchdog.go). Zero
+	// disables it. Wall time never feeds the simulation, so goldens
+	// are unaffected.
+	StallTimeout time.Duration
 }
 
 // Engine runs threads on a platform backend.
@@ -135,6 +145,10 @@ type Engine struct {
 	// health sanitizes every interval's counter reading and tracks
 	// per-CPU quarantine state (see health.go).
 	health *healthTracker
+	// ckpt is the checkpoint cursor (see checkpoint.go); wd is the
+	// stall watchdog, created per Run when StallTimeout is set.
+	ckpt ckptState
+	wd   *watchdog
 
 	defaultCode mem.Range
 	steps       uint64
@@ -230,6 +244,12 @@ func New(p platform.Platform, opts Options) (*Engine, error) {
 	e.obs = opts.Obs
 	e.om.init(e.obs)
 	e.sched.SetObserver(e.obs, func(cpu int) uint64 { return e.cpus[cpu].Cycles() })
+	if opts.StallTimeout < 0 {
+		return nil, fmt.Errorf("rt: negative stall timeout %v", opts.StallTimeout)
+	}
+	if err := e.initCheckpoint(opts.Checkpoint); err != nil {
+		return nil, err
+	}
 	e.overhead.init(p, opts.Overhead)
 	e.defaultCode = p.Alloc(opts.DefaultCodeBytes, 64)
 	if opts.InferSharing {
@@ -348,13 +368,38 @@ func (e *Engine) newThread(body func(*T), opts SpawnOpts) *T {
 // Run drives the simulation until every thread has exited. It returns
 // ErrDeadlock if blocked threads remain with nothing to wake them, the
 // recovered error if a thread body panicked, or the context's error if
-// ctx is cancelled mid-run (checked every few thousand steps so the
-// hot loop stays branch-cheap).
+// ctx is cancelled mid-run (checked at every dispatch and every few
+// thousand steps, so cancellation is observed within one scheduling
+// interval while the hot loop stays branch-cheap). With checkpointing
+// configured it writes a snapshot whenever the virtual clock crosses a
+// boundary, and with a resume snapshot it first fast-forwards to the
+// snapshot's step cursor and verifies bit-exact agreement (see
+// checkpoint.go). With a stall watchdog armed it aborts with a
+// diagnostic state dump when no dispatch happens for StallTimeout of
+// wall time.
 func (e *Engine) Run(ctx context.Context) error {
 	defer e.killRemaining()
+	if e.opts.StallTimeout > 0 {
+		e.wd = newWatchdog(e.opts.StallTimeout)
+		e.wd.start()
+		defer e.wd.stop()
+	}
 	for e.live > 0 {
 		if e.failure != nil {
 			return e.failure
+		}
+		if e.wd.tripped() {
+			return e.stallError()
+		}
+		if e.ckpt.resume != nil && e.steps == e.ckpt.resume.Steps {
+			if err := e.verifyResume(); err != nil {
+				return err
+			}
+		}
+		if e.ckpt.every > 0 && e.ckpt.resume == nil && e.now >= e.ckpt.next {
+			if err := e.writeCheckpoint(); err != nil {
+				return err
+			}
 		}
 		e.steps++
 		if e.steps > e.opts.MaxSteps {
@@ -381,6 +426,9 @@ func (e *Engine) Run(ctx context.Context) error {
 			continue
 		}
 		if tid, ok := e.sched.PickNext(p); ok {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("rt: run cancelled after %d steps: %w", e.steps, err)
+			}
 			e.dispatch(p, tid)
 			continue
 		}
@@ -388,6 +436,10 @@ func (e *Engine) Run(ctx context.Context) error {
 			debugPark(p, e.sched.SpawnLen(0))
 		}
 		e.parked[p] = true
+	}
+	if e.ckpt.resume != nil {
+		return fmt.Errorf("rt: run completed after %d steps without reaching the resume snapshot's step cursor %d — the snapshot is not from this workload and configuration",
+			e.steps, e.ckpt.resume.Steps)
 	}
 	return e.failure
 }
@@ -474,6 +526,9 @@ func (e *Engine) dispatch(p int, tid mem.ThreadID) {
 		panic(fmt.Sprintf("rt: dispatch of thread %v in status %v", tid, t.status))
 	}
 	e.sched.NoteDispatch(tid, p)
+	if e.wd != nil {
+		e.wd.noteProgress()
+	}
 	// The 64-bit miss count the scheduler's decay reference just read;
 	// the interval record replays must carry the same value.
 	t.dispatchMisses = e.cpus[p].Misses()
@@ -691,6 +746,10 @@ func (e *Engine) handle(p int, t *T, req *request) {
 		e.plat.Advance(p, req.n)
 
 	case reqShare:
+		if err := annot.CheckAnnotation(req.from, req.to, req.q); err != nil {
+			e.fail(p, t, err.Error())
+			return
+		}
 		if !e.opts.DisableAnnotations {
 			e.noteShare(req.from, req.to, req.q)
 		}

@@ -1,0 +1,71 @@
+package rt
+
+// Annotation-boundary validation: a malformed at_share reaching the
+// engine fails the run with a descriptive error naming the offender,
+// instead of feeding NaN/Inf into the footprint model or silently
+// dropping the hint.
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBadShareFailsRun(t *testing.T) {
+	cases := []struct {
+		name string
+		q    float64
+		self bool
+		want string
+	}{
+		{"nan", math.NaN(), false, "non-finite"},
+		{"inf", math.Inf(1), false, "non-finite"},
+		{"negative", -0.5, false, "negative"},
+		{"self", 0.5, true, "self-edge"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			e := newEngine(t, 1, "LFF")
+			e.Spawn(func(th *T) {
+				other := th.Create("other", func(o *T) { o.Compute(10) })
+				if c.self {
+					th.Share(other, other, c.q)
+				} else {
+					th.ShareWith(other, c.q)
+				}
+				th.Join(other)
+			}, SpawnOpts{Name: "main"})
+			err := e.Run(context.Background())
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want error containing %q", err, c.want)
+			}
+			if !strings.Contains(err.Error(), "main") {
+				t.Errorf("error %q does not name the annotating thread", err)
+			}
+		})
+	}
+}
+
+// TestValidShareStillWorks guards against the validator rejecting the
+// paper's legitimate patterns: q of 0 (remove), q above 1 (lazy
+// over-estimate, clamped), and annotations with DisableAnnotations on
+// (validated, then ignored).
+func TestValidShareStillWorks(t *testing.T) {
+	for _, disable := range []bool{false, true} {
+		e := newEngine(t, 1, "LFF")
+		e.opts.DisableAnnotations = disable
+		e.Spawn(func(th *T) {
+			a := th.Create("a", func(o *T) { o.Compute(10) })
+			b := th.Create("b", func(o *T) { o.Compute(10) })
+			th.ShareWith(a, 2.0) // clamped, not an error
+			th.Share(a, b, 0.5)
+			th.Share(a, b, 0) // removes the edge
+			th.Join(a)
+			th.Join(b)
+		}, SpawnOpts{Name: "main"})
+		if err := e.Run(context.Background()); err != nil {
+			t.Fatalf("disable=%v: %v", disable, err)
+		}
+	}
+}

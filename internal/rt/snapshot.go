@@ -82,6 +82,7 @@ type obsHandles struct {
 	intervalsRejected *obs.Counter
 	quarantines       *obs.Counter
 	recoveries        *obs.Counter
+	stalls            *obs.Counter
 	waitCycles        *obs.Histogram
 	runCycles         *obs.Histogram
 	runMisses         *obs.Histogram
@@ -103,6 +104,7 @@ func (h *obsHandles) init(o *obs.Observer) {
 	h.intervalsRejected = r.Counter("rt_intervals_rejected_total")
 	h.quarantines = r.Counter("rt_quarantines_total")
 	h.recoveries = r.Counter("rt_recoveries_total")
+	h.stalls = r.Counter("rt_stalls_total")
 	h.waitCycles = r.Histogram("rt_dispatch_wait_cycles",
 		[]float64{64, 256, 1024, 4096, 16384, 65536, 262144})
 	h.runCycles = r.Histogram("rt_interval_cycles",

@@ -16,12 +16,14 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/annot"
 	"repro/internal/mem"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/platform"
+	"repro/internal/snapshot"
 )
 
 // Entry is the footprint record of one (thread, processor) pair: the
@@ -740,6 +742,68 @@ func (s *Scheduler) GlobalLen() int {
 		}
 	}
 	return n
+}
+
+// ExportState captures the scheduler's complete state for a
+// checkpoint: every thread's flags and footprint entries (sorted by
+// thread ID — identical runs build identical states, so the canonical
+// order is comparable bit-for-bit), the per-CPU heaps in array order,
+// the raw global FIFO from its head cursor (stale lazily-deleted
+// entries included: they are deterministic state too), the spawn
+// stacks, the quarantine flags, and the work counters. Read-only: an
+// export never perturbs the run.
+func (s *Scheduler) ExportState() snapshot.SchedState {
+	st := snapshot.SchedState{
+		DispatchCount: s.dispatchCount,
+		Escapes:       s.escapes,
+		Ops: [8]uint64{
+			s.ops.HeapPushes, s.ops.HeapPops, s.ops.HeapFixes, s.ops.HeapRemoves,
+			s.ops.QueueOps, s.ops.Steals, s.ops.PrioUpdates, s.ops.Demotions,
+		},
+		Quarantine: append([]bool(nil), s.quarantine...),
+	}
+	for i := s.ghead; i < len(s.global); i++ {
+		st.Global = append(st.Global, snapshot.GlobalEntry{
+			Thread: int64(s.global[i].tid), Stamp: s.global[i].stamp,
+		})
+	}
+	for _, stack := range s.spawn {
+		var ids []int64
+		for _, tid := range stack {
+			ids = append(ids, int64(tid))
+		}
+		st.Spawn = append(st.Spawn, ids)
+	}
+	for _, h := range s.heaps {
+		var ids []int64
+		for _, e := range h {
+			ids = append(ids, int64(e.Thread))
+		}
+		st.Heaps = append(st.Heaps, ids)
+	}
+	tids := make([]int, 0, len(s.threads))
+	for tid := range s.threads {
+		tids = append(tids, int(tid))
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		ts := s.threads[mem.ThreadID(tid)]
+		t := snapshot.SchedThread{
+			ID: int64(tid), Runnable: ts.runnable, Running: ts.running,
+			InGlobal: ts.inGlobal, InSpawn: ts.inSpawn,
+		}
+		for cpu, e := range ts.entries {
+			if e == nil {
+				continue
+			}
+			t.Entries = append(t.Entries, snapshot.SchedEntry{
+				CPU: int32(cpu), S: e.S, SLast: e.SLast, M0: e.M0, Prio: e.Prio,
+				DispatchS: e.dispatchS, DispatchM: e.dispatchM, HeapIdx: int32(e.heapIdx),
+			})
+		}
+		st.Threads = append(st.Threads, t)
+	}
+	return st
 }
 
 // Check verifies structural invariants (heap indices consistent, no

@@ -21,6 +21,11 @@ type Source struct {
 // equal streams.
 func New(seed uint64) *Source { return &Source{state: seed} }
 
+// State returns the generator's current internal state. Two Sources
+// with equal states produce equal future streams; checkpointing
+// captures it so a resumed run can verify its RNG position bit-exactly.
+func (s *Source) State() uint64 { return s.state }
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (s *Source) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15

@@ -14,7 +14,7 @@ out="BENCH_$(date +%F).json"
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'BenchmarkTable|BenchmarkFig|BenchmarkAblation|BenchmarkObs' \
+go test -run '^$' -bench 'BenchmarkTable|BenchmarkFig|BenchmarkAblation|BenchmarkObs|BenchmarkCheckpoint' \
 	-count=3 "$@" . | tee "$raw"
 
 awk '

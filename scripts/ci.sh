@@ -22,6 +22,7 @@ go test -race -short -timeout 30m ./...
 go test -fuzz FuzzLoadRecording -fuzztime 10s -run '^$' ./internal/trace
 go test -fuzz FuzzSanitizeStream -fuzztime 10s -run '^$' ./internal/rt
 go test -fuzz FuzzChromeTrace -fuzztime 10s -run '^$' ./internal/obs
+go test -fuzz FuzzLoadSnapshot -fuzztime 10s -run '^$' ./internal/snapshot
 
 # Telemetry gates: exported traces must be byte-identical regardless of
 # worker count, and full tracing must not move a single golden counter.
@@ -29,6 +30,26 @@ go test -fuzz FuzzChromeTrace -fuzztime 10s -run '^$' ./internal/obs
 # gate explicit and keeps it alive if the suites above are trimmed.
 go test -run 'TestExportsDeterministicAcrossWorkers' ./internal/experiments
 go test -run 'TestGoldenUnchangedByObservation' .
+
+# Crash-safety gates. First the in-process differential (resume from
+# any checkpoint reproduces the uninterrupted run bit for bit, with
+# telemetry and under counter faults), then a real kill-resume pass:
+# a checkpointing atsim run, a fresh -resume of its snapshot, and the
+# two stdouts must match byte for byte.
+go test -run 'TestKillResume|TestCheckpointCaptureIsPure' ./internal/rt
+ckptdir=$(mktemp -d)
+trap 'rm -rf "$ckptdir"' EXIT
+go build -o "$ckptdir/atsim" ./cmd/atsim
+"$ckptdir/atsim" -app tasks -cpus 2 -scale 0.2 -checkpoint-every 10000 \
+    -checkpoint "$ckptdir/run.snap" > "$ckptdir/straight.txt"
+"$ckptdir/atsim" -app tasks -cpus 2 -scale 0.2 -checkpoint-every 10000 \
+    -checkpoint "$ckptdir/run.snap" -resume > "$ckptdir/resumed.txt"
+cmp "$ckptdir/straight.txt" "$ckptdir/resumed.txt" || {
+    echo "kill-resume differential: resumed run output diverged" >&2; exit 1; }
+
+# Chaos soak smoke: one subprocess SIGKILL/resume cycle converging to
+# the straight-run fingerprint (scripts/soak.sh runs the full matrix).
+scripts/soak.sh -app tasks -policy LFF -cpus 2 -scale 0.2 -kills 2 -every 10000
 
 # Overhead gate (opt-in: BENCH_GATE=1): re-run the benchmark sweep and
 # hard-fail if anything — most importantly BenchmarkObsOff, the

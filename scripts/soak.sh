@@ -1,0 +1,29 @@
+#!/bin/sh
+# Chaos soak: SIGKILL a checkpointing simulation at random moments,
+# resume it from its last snapshot, and assert the survivor's final
+# state fingerprint is bit-identical to an uninterrupted run's — the
+# end-to-end proof that crash recovery loses nothing.
+#
+# Usage: scripts/soak.sh [soak flags...]
+#
+# With no flags, runs a default matrix: a clean multi-CPU run and a
+# fault-injected one, a handful of kills each. Any flags are passed
+# through to one cmd/soak invocation instead (see cmd/soak -h).
+set -e
+cd "$(dirname "$0")/.."
+
+bin=$(mktemp)
+trap 'rm -f "$bin"' EXIT
+go build -o "$bin" ./cmd/soak
+
+if [ $# -gt 0 ]; then
+    exec "$bin" "$@"
+fi
+
+echo "== soak: tasks/LFF, 4 CPUs, clean counters =="
+"$bin" -app tasks -policy LFF -cpus 4 -scale 0.3 -kills 5 -every 10000
+
+echo "== soak: merge/LFF, 4 CPUs, all counter faults =="
+"$bin" -app merge -policy LFF -cpus 4 -scale 0.2 -faults all -kills 3 -every 8000
+
+echo "soak: all differentials byte-identical"
