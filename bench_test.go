@@ -11,8 +11,12 @@ package threadlocality
 // full-scale numbers.
 
 import (
+	"fmt"
 	"io"
+	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/experiments"
@@ -178,6 +182,47 @@ func BenchmarkFig9EightCPU(b *testing.B) {
 		if _, err := experiments.Fig9(benchSched); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkFig9_64CPU runs the Figure 9 grid at 64 simulated CPUs —
+// the contention-free-hot-paths scaling check. The interesting number
+// is the per-CPU cost relative to BenchmarkFig9EightCPU: the directory,
+// the scheduler arena and the engine's clock heap must keep the
+// per-simulated-CPU overhead sub-linear as the machine grows.
+func BenchmarkFig9_64CPU(b *testing.B) {
+	cfg := benchSched
+	cfg.CPUs = 64
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9CPUSweep runs the Figure 9 grid at each CPU count in
+// the space-separated BENCH_NCPU environment variable (for example
+// BENCH_NCPU="8 64 256"); it skips when the variable is unset.
+// scripts/bench.sh -ncpu drives it.
+func BenchmarkFig9CPUSweep(b *testing.B) {
+	env := os.Getenv("BENCH_NCPU")
+	if env == "" {
+		b.Skip(`BENCH_NCPU not set; use scripts/bench.sh -ncpu "8 64"`)
+	}
+	for _, f := range strings.Fields(env) {
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			b.Fatalf("bad BENCH_NCPU entry %q", f)
+		}
+		cfg := benchSched
+		cfg.CPUs = n
+		b.Run(fmt.Sprintf("%dcpu", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig9(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

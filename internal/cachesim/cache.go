@@ -553,11 +553,41 @@ func (c *Cache) Invalidate(a mem.Addr) (present, dirty bool) {
 // outer cache with a larger line evicts. It returns the number of lines
 // invalidated.
 func (c *Cache) InvalidateSpan(base mem.Addr, n uint64) int {
+	if c.direct && !c.forceGeneric {
+		return c.invalidateSpanDM(base, n)
+	}
 	count := 0
 	for line := c.LineOf(base); line < base+mem.Addr(n); line += mem.Addr(c.cfg.LineSize) {
 		if present, _ := c.Invalidate(line); present {
 			count++
 		}
+	}
+	return count
+}
+
+// invalidateSpanDM is InvalidateSpan for the direct-mapped organisation:
+// each line of the span indexes its slot directly, with no per-line
+// dispatch through Invalidate/find (inclusion invalidations run once per
+// outer-cache eviction, so this sits on the miss path).
+func (c *Cache) invalidateSpanDM(base mem.Addr, n uint64) int {
+	count := 0
+	for line := base >> c.lineShift << c.lineShift; line < base+mem.Addr(n); line += mem.Addr(c.cfg.LineSize) {
+		s := &c.slots[uint64(line>>c.lineShift)&c.setMask]
+		if s.flags&flagValid == 0 || s.tag != line {
+			continue
+		}
+		dirty := s.flags&flagDirty != 0
+		s.flags = 0
+		s.owner = mem.NilThread
+		c.valid--
+		c.stats.Invalidations++
+		if dirty {
+			c.stats.Writebacks++
+		}
+		if c.listener != nil {
+			c.listener.Evicted(line, dirty)
+		}
+		count++
 	}
 	return count
 }

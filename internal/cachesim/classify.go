@@ -1,7 +1,7 @@
 package cachesim
 
 import (
-	"container/list"
+	"math/bits"
 
 	"repro/internal/mem"
 )
@@ -16,7 +16,7 @@ import (
 // scheduling policy can remove (Section 5).
 //
 // Classification is optional (EnableClassification) because the
-// fully-associative shadow costs a map operation per reference.
+// fully-associative shadow costs an index operation per reference.
 
 // MissKind labels a classified miss.
 type MissKind int
@@ -51,49 +51,195 @@ type ClassifyStats struct {
 // Total returns the classified miss count.
 func (c ClassifyStats) Total() uint64 { return c.Compulsory + c.Capacity + c.Conflict }
 
+// cnode is one shadow-resident line: an arena slot threaded onto both
+// the intrusive LRU list and its hash bucket's chain.
+type cnode struct {
+	line  mem.Addr
+	prev  int32 // towards MRU; -1 at head
+	next  int32 // towards LRU; -1 at tail
+	hnext int32 // next node in the same hash bucket; -1 at chain end
+}
+
 // classifier is the optional fully-associative LRU shadow plus the
-// ever-seen set.
+// ever-seen set. Both structures are arena-backed: the shadow is a
+// fixed node arena (at most capacity lines are ever resident) with an
+// intrusive doubly-linked LRU order and a chained hash index over
+// bucket heads, and the seen set is an insert-only open-addressed
+// table. Neither allocates per reference, and eviction recycles the
+// arena slot in place — no container/list, no map churn.
 type classifier struct {
 	capacity int
-	seen     map[mem.Addr]struct{}
-	order    *list.List // front = most recent; values are line addresses
-	index    map[mem.Addr]*list.Element
 	stats    ClassifyStats
+
+	// Shadow LRU.
+	nodes      []cnode
+	head, tail int32   // MRU / LRU arena indices, -1 when empty
+	table      []int32 // hash bucket heads (arena indices), -1 empty
+	shift      uint    // multiplicative-hash shift for table's size
+
+	// Ever-seen set: open addressing, line+1 stored so the zero value
+	// marks an empty slot; insert-only, grown at 3/4 load.
+	seen  []uint64
+	seenN int
 }
 
 func newClassifier(capacity int) *classifier {
-	return &classifier{
-		capacity: capacity,
-		seen:     make(map[mem.Addr]struct{}),
-		order:    list.New(),
-		index:    make(map[mem.Addr]*list.Element),
+	c := &classifier{capacity: capacity, head: -1, tail: -1}
+	size := 16
+	for size < 2*capacity {
+		size *= 2
+	}
+	c.table = make([]int32, size)
+	for i := range c.table {
+		c.table[i] = -1
+	}
+	c.shift = uint(64 - bits.TrailingZeros(uint(size)))
+	c.nodes = make([]cnode, 0, capacity)
+	c.seen = make([]uint64, 1024)
+	return c
+}
+
+// hashLine spreads line-aligned addresses over [0, len(table)).
+func (c *classifier) hashLine(line mem.Addr) int {
+	return int((uint64(line) * 0x9E3779B97F4A7C15) >> c.shift)
+}
+
+// lookup returns the arena index of line's shadow node, or -1.
+func (c *classifier) lookup(line mem.Addr) int32 {
+	for i := c.table[c.hashLine(line)]; i >= 0; i = c.nodes[i].hnext {
+		if c.nodes[i].line == line {
+			return i
+		}
+	}
+	return -1
+}
+
+// unhash removes node i from its hash bucket's chain.
+func (c *classifier) unhash(i int32) {
+	b := c.hashLine(c.nodes[i].line)
+	if c.table[b] == i {
+		c.table[b] = c.nodes[i].hnext
+		return
+	}
+	for p := c.table[b]; p >= 0; p = c.nodes[p].hnext {
+		if c.nodes[p].hnext == i {
+			c.nodes[p].hnext = c.nodes[i].hnext
+			return
+		}
+	}
+}
+
+// moveToFront makes node i the MRU end of the LRU list.
+func (c *classifier) moveToFront(i int32) {
+	if c.head == i {
+		return
+	}
+	n := &c.nodes[i]
+	if n.prev >= 0 {
+		c.nodes[n.prev].next = n.next
+	}
+	if n.next >= 0 {
+		c.nodes[n.next].prev = n.prev
+	}
+	if c.tail == i {
+		c.tail = n.prev
+	}
+	n.prev, n.next = -1, c.head
+	if c.head >= 0 {
+		c.nodes[c.head].prev = i
+	}
+	c.head = i
+	if c.tail < 0 {
+		c.tail = i
 	}
 }
 
 // touch records a reference to line in the shadow (hit-or-fill), with
 // LRU eviction at capacity.
 func (c *classifier) touch(line mem.Addr) {
-	if el, ok := c.index[line]; ok {
-		c.order.MoveToFront(el)
+	if c.capacity == 0 {
 		return
 	}
-	c.index[line] = c.order.PushFront(line)
-	if c.order.Len() > c.capacity {
-		back := c.order.Back()
-		c.order.Remove(back)
-		delete(c.index, back.Value.(mem.Addr))
+	if i := c.lookup(line); i >= 0 {
+		c.moveToFront(i)
+		return
+	}
+	var i int32
+	if len(c.nodes) < c.capacity {
+		c.nodes = append(c.nodes, cnode{})
+		i = int32(len(c.nodes) - 1)
+	} else {
+		// Recycle the LRU node in place.
+		i = c.tail
+		c.unhash(i)
+		c.tail = c.nodes[i].prev
+		if c.tail >= 0 {
+			c.nodes[c.tail].next = -1
+		} else {
+			c.head = -1
+		}
+	}
+	n := &c.nodes[i]
+	n.line = line
+	n.prev, n.next = -1, c.head
+	if c.head >= 0 {
+		c.nodes[c.head].prev = i
+	}
+	c.head = i
+	if c.tail < 0 {
+		c.tail = i
+	}
+	b := c.hashLine(line)
+	n.hnext = c.table[b]
+	c.table[b] = i
+}
+
+// seenHas reports whether line was ever inserted, inserting it if not
+// (one probe sequence serves both).
+func (c *classifier) seenInsert(line mem.Addr) (added bool) {
+	key := uint64(line) + 1
+	mask := uint64(len(c.seen) - 1)
+	h := (uint64(line) * 0x9E3779B97F4A7C15) & mask
+	for {
+		switch c.seen[h] {
+		case key:
+			return false
+		case 0:
+			c.seen[h] = key
+			c.seenN++
+			if 4*c.seenN >= 3*len(c.seen) {
+				c.growSeen()
+			}
+			return true
+		}
+		h = (h + 1) & mask
+	}
+}
+
+func (c *classifier) growSeen() {
+	old := c.seen
+	c.seen = make([]uint64, 2*len(old))
+	mask := uint64(len(c.seen) - 1)
+	for _, key := range old {
+		if key == 0 {
+			continue
+		}
+		h := ((key - 1) * 0x9E3779B97F4A7C15) & mask
+		for c.seen[h] != 0 {
+			h = (h + 1) & mask
+		}
+		c.seen[h] = key
 	}
 }
 
 // classify labels a miss on line, updates the stats, and marks the line
 // seen. Call before touch.
 func (c *classifier) classify(line mem.Addr) MissKind {
-	if _, ok := c.seen[line]; !ok {
-		c.seen[line] = struct{}{}
+	if c.seenInsert(line) {
 		c.stats.Compulsory++
 		return MissCompulsory
 	}
-	if _, resident := c.index[line]; resident {
+	if c.lookup(line) >= 0 {
 		// The fully-associative shadow still holds it: only the set
 		// mapping evicted it.
 		c.stats.Conflict++

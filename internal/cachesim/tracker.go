@@ -1,7 +1,7 @@
 package cachesim
 
 import (
-	"sort"
+	"fmt"
 
 	"repro/internal/mem"
 )
@@ -17,6 +17,11 @@ import (
 // tracker listens to fill/evict events from the cache it is attached to
 // and maintains a resident-line count per registered thread.
 //
+// Both indexes are flat arenas rather than maps: physical pages are
+// allocated densely from address zero and thread IDs are small
+// sequential integers, so the per-event owners() walk is two bounds
+// checks and a slice scan — no hashing on the fill/evict path.
+//
 // Tracker implements Listener; attach it with Cache.SetListener. It is
 // intended for the model-evaluation experiments, where a handful of
 // threads are registered; the scheduling experiments run with no
@@ -24,8 +29,9 @@ import (
 type Tracker struct {
 	lineSize  uint64
 	pageShift uint
-	pages     map[uint64][]span // physical page -> registered spans
-	counts    map[mem.ThreadID]int64
+	pages     [][]span       // indexed by physical page -> registered spans
+	counts    []int64        // indexed by thread ID
+	reg       []bool         // indexed by thread ID: tid is registered
 	scratch   []mem.ThreadID // reused per event to dedupe tids
 }
 
@@ -47,8 +53,6 @@ func NewTracker(lineSize, pageSize uint64) *Tracker {
 	return &Tracker{
 		lineSize:  lineSize,
 		pageShift: mem.Log2(pageSize),
-		pages:     make(map[uint64][]span),
-		counts:    make(map[mem.ThreadID]int64),
 	}
 }
 
@@ -59,9 +63,16 @@ func NewTracker(lineSize, pageSize uint64) *Tracker {
 // threads may freely register overlapping ranges — that is precisely how
 // shared state is expressed.
 func (t *Tracker) Register(tid mem.ThreadID, ranges ...mem.Range) {
-	if _, ok := t.counts[tid]; !ok {
-		t.counts[tid] = 0
+	if tid < 0 {
+		// Invariant: negative IDs are runtime sentinels, never state
+		// owners.
+		panic(fmt.Sprintf("cachesim: Tracker.Register(%v): sentinel thread ID", tid))
 	}
+	if n := int(tid) + 1; n > len(t.counts) {
+		t.counts = append(t.counts, make([]int64, n-len(t.counts))...)
+		t.reg = append(t.reg, make([]bool, n-len(t.reg))...)
+	}
+	t.reg[tid] = true
 	pageSize := uint64(1) << t.pageShift
 	for _, r := range ranges {
 		for base := r.Base; base < r.End(); {
@@ -71,6 +82,9 @@ func (t *Tracker) Register(tid mem.ThreadID, ranges ...mem.Range) {
 				hi = pageEnd
 			}
 			page := uint64(base) >> t.pageShift
+			if n := int(page) + 1; n > len(t.pages) {
+				t.pages = append(t.pages, make([][]span, n-len(t.pages))...)
+			}
 			t.pages[page] = append(t.pages[page], span{lo: base, hi: hi, tid: tid})
 			base = hi
 		}
@@ -79,39 +93,47 @@ func (t *Tracker) Register(tid mem.ThreadID, ranges ...mem.Range) {
 
 // Unregister removes every span belonging to tid and forgets its count.
 func (t *Tracker) Unregister(tid mem.ThreadID) {
-	delete(t.counts, tid)
+	if tid < 0 || int(tid) >= len(t.reg) {
+		return
+	}
+	t.reg[tid] = false
+	t.counts[tid] = 0
 	for page, spans := range t.pages {
+		if len(spans) == 0 {
+			continue
+		}
 		keep := spans[:0]
 		for _, s := range spans {
 			if s.tid != tid {
 				keep = append(keep, s)
 			}
 		}
-		if len(keep) == 0 {
-			delete(t.pages, page)
-		} else {
-			t.pages[page] = keep
-		}
+		t.pages[page] = keep
 	}
 }
 
 // Tracked reports whether tid has been registered.
 func (t *Tracker) Tracked(tid mem.ThreadID) bool {
-	_, ok := t.counts[tid]
-	return ok
+	return tid >= 0 && int(tid) < len(t.reg) && t.reg[tid]
 }
 
 // Footprint returns the number of resident lines holding state of tid,
 // in lines of the tracked cache.
-func (t *Tracker) Footprint(tid mem.ThreadID) int64 { return t.counts[tid] }
+func (t *Tracker) Footprint(tid mem.ThreadID) int64 {
+	if !t.Tracked(tid) {
+		return 0
+	}
+	return t.counts[tid]
+}
 
 // Threads returns the registered thread IDs in ascending order.
 func (t *Tracker) Threads() []mem.ThreadID {
-	ids := make([]mem.ThreadID, 0, len(t.counts))
-	for tid := range t.counts {
-		ids = append(ids, tid)
+	var ids []mem.ThreadID
+	for tid, on := range t.reg {
+		if on {
+			ids = append(ids, mem.ThreadID(tid))
+		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
@@ -124,6 +146,9 @@ func (t *Tracker) owners(line mem.Addr) []mem.ThreadID {
 	// equals the page size; with pageSize >= lineSize it touches the
 	// page of its first byte and possibly the next.
 	for page := uint64(line) >> t.pageShift; page <= uint64(lineEnd-1)>>t.pageShift; page++ {
+		if page >= uint64(len(t.pages)) {
+			break
+		}
 		for _, s := range t.pages[page] {
 			if s.lo < lineEnd && line < s.hi && !containsTid(t.scratch, s.tid) {
 				t.scratch = append(t.scratch, s.tid)
@@ -160,8 +185,8 @@ func (t *Tracker) Evicted(line mem.Addr, _ bool) {
 // Call it after registering spans for state that may already be
 // resident.
 func (t *Tracker) Rebuild(c *Cache) {
-	for tid := range t.counts {
-		t.counts[tid] = 0
+	for i := range t.counts {
+		t.counts[i] = 0
 	}
 	c.ForEachValidLine(func(line mem.Addr, _ mem.ThreadID) {
 		t.Filled(line, mem.NilThread)

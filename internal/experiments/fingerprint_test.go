@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+)
+
+// Pinned fingerprints of the quick-scale Figure 9 grid at 8 and 64
+// simulated CPUs. These exist to catch silent behavioural drift from
+// hot-path rewrites (the flat scheduler arena, the dense sweep lane and
+// its hit-streak, the runtime-sized coherence directory, the CPU clock
+// heap): any of those may change *performance* freely, but the rendered
+// experiment output must stay byte-identical. If a change is *meant* to
+// alter results, update the constants with the values from the failure
+// message and say why in the commit.
+var fig9Fingerprints = map[int]string{
+	8:  "5a59b150b5310562a79fb995fa0c8c8186c6dba7a5807285cc7bcfc2059a777f",
+	64: "ad09f7f733c6b787a23269b54865c11362ff9a2da2680f3969747897c70183b9",
+}
+
+// TestFig9FingerprintsAcrossJobs pins the quick Fig9 output at 8 and
+// 64 CPUs and verifies the parallel cell driver is invisible: the same
+// grid computed with -j1 and -j8 must hash to the same pinned value.
+func TestFig9FingerprintsAcrossJobs(t *testing.T) {
+	for _, ncpu := range []int{8, 64} {
+		for _, jobs := range []int{1, 8} {
+			cfg := quickSched
+			cfg.CPUs = ncpu
+			cfg.Jobs = jobs
+			r, err := Fig9(cfg)
+			if err != nil {
+				t.Fatalf("Fig9 ncpu=%d jobs=%d: %v", ncpu, jobs, err)
+			}
+			got := fmt.Sprintf("%x", sha256.Sum256([]byte(r.Render())))
+			if want := fig9Fingerprints[ncpu]; got != want {
+				t.Errorf("Fig9 ncpu=%d jobs=%d fingerprint = %s, want %s",
+					ncpu, jobs, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// benchApply measures the raw Apply throughput of a sequential
+// read+write sweep over a working set of wsBytes, with and without the
+// fused run path. Small sets exercise the hit paths, sets beyond the
+// E-cache the miss/fill paths.
+func benchApply(b *testing.B, slow bool, wsBytes uint64) {
+	m := New(Enterprise5000(2))
+	m.noFastApply = slow
+	r := m.Alloc(wsBytes, 0)
+	n := int32(wsBytes / 8)
+	batch := mem.Batch{
+		{Base: r.Base, Count: n, Stride: 8, Size: 8, Write: false},
+		{Base: r.Base, Count: n, Stride: 8, Size: 8, Write: true},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Apply(0, 1, batch)
+	}
+	b.SetBytes(int64(2 * wsBytes))
+}
+
+func BenchmarkApplySweepL1Fused(b *testing.B)  { benchApply(b, false, 8<<10) }
+func BenchmarkApplySweepL1Slow(b *testing.B)   { benchApply(b, true, 8<<10) }
+func BenchmarkApplySweepL2Fused(b *testing.B)  { benchApply(b, false, 256<<10) }
+func BenchmarkApplySweepL2Slow(b *testing.B)   { benchApply(b, true, 256<<10) }
+func BenchmarkApplySweepMemFused(b *testing.B) { benchApply(b, false, 1<<20) }
+func BenchmarkApplySweepMemSlow(b *testing.B)  { benchApply(b, true, 1<<20) }

@@ -1,0 +1,137 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// The fused sweep path (cachesim.SweepDM via applySweep) must be
+// event-for-event identical to the per-reference dataRef loop: same
+// miss counts, same PIC values, same cycle charges, same cache line
+// states and owners. These differentials drive the same access stream
+// through a fused machine and a noFastApply machine and compare the
+// full counter fingerprints. They are the safety net for every fast
+// path layered into the sweep: the dense lane (contiguous power-of-two
+// sweeps), the load hit-streak inside it, the L1/L2 carry memos, and
+// the group straddle shapes.
+
+// applyBoth issues batch on both machines and fails if the returned
+// miss counts differ.
+func applyBoth(t *testing.T, fast, slow *Machine, cpu int, tid mem.ThreadID, batch mem.Batch) {
+	t.Helper()
+	fm := fast.Apply(cpu, tid, batch)
+	sm := slow.Apply(cpu, tid, batch)
+	if fm != sm {
+		t.Fatalf("Apply(cpu=%d, %+v): fused %d misses, per-ref %d", cpu, batch, fm, sm)
+	}
+}
+
+func comparePair(t *testing.T, fast, slow *Machine, cpus int, when string) {
+	t.Helper()
+	got, want := cpuFingerprint(fast, cpus), cpuFingerprint(slow, cpus)
+	if got != want {
+		t.Fatalf("%s: counters diverged:\nfused:\n%s\nper-ref:\n%s", when, got, want)
+	}
+}
+
+func newPair(t *testing.T, cfg Config, ws uint64) (fast, slow *Machine, span mem.Range) {
+	t.Helper()
+	fast, slow = New(cfg), New(cfg)
+	slow.noFastApply = true
+	span = fast.Alloc(ws, 0)
+	if s2 := slow.Alloc(ws, 0); s2 != span {
+		t.Fatal("allocators diverged")
+	}
+	return fast, slow, span
+}
+
+// TestFastApplyHitStreak pins the dense-lane load hit-streak: a
+// contiguous 8-byte sweep is issued twice, so the first pass exercises
+// the miss/fill lane and the second pass is all L1D hits — exactly the
+// shape the streak loop collapses into counter arithmetic.
+func TestFastApplyHitStreak(t *testing.T) {
+	for _, ws := range []uint64{4 << 10, 64 << 10} { // fits L1 / spills to L2
+		fast, slow, span := newPair(t, Enterprise5000(2), ws)
+		sweep := mem.Batch{{Base: span.Base, Count: int32(ws / 8), Stride: 8, Size: 8}}
+		for pass := 0; pass < 3; pass++ {
+			applyBoth(t, fast, slow, 0, 1, sweep)
+		}
+		// A store run from the second CPU breaks ownership mid-buffer,
+		// then a reload must stop the streak at the invalidated lines.
+		store := mem.Batch{{Base: span.Base + mem.Addr(ws/4), Count: 64, Stride: 8, Size: 8, Write: true}}
+		applyBoth(t, fast, slow, 1, 2, store)
+		applyBoth(t, fast, slow, 0, 1, sweep)
+		comparePair(t, fast, slow, 2, "hit-streak")
+	}
+}
+
+// TestFastApplyMatchesPerReference fuzzes the fused sweep against the
+// per-reference loop with a deterministic stream of mixed shapes:
+// dense power-of-two sweeps (size==stride), sub-line strides, straddle
+// groups (stride not a multiple of the reference size), large strides,
+// loads and stores, from several CPUs and threads so coherence events
+// (shared fills, invalidations, dirty writebacks) land inside sweeps.
+func TestFastApplyMatchesPerReference(t *testing.T) {
+	for _, cpus := range []int{1, 4} {
+		cfg := smallConfig(cpus)
+		cfg.TLBEntries = 8
+		fast, slow, span := newPair(t, cfg, 64<<10)
+
+		rng := refLCG(987654321)
+		for step := 0; step < 6000; step++ {
+			cpu := int(rng.next()) % cpus
+			tid := mem.ThreadID(rng.next() % 6)
+			var a mem.Access
+			switch rng.next() % 4 {
+			case 0:
+				// Dense lane shape: contiguous power-of-two sweep.
+				size := uint64(1) << (rng.next()%4 + 1) // 2..16
+				a = mem.Access{
+					Base:   span.Base + mem.Addr((rng.next()%span.Len)&^(size-1)),
+					Count:  int32(rng.next()%512) + 1,
+					Stride: int32(size),
+					Size:   uint16(size),
+					Write:  rng.next()%4 == 0,
+				}
+			case 1:
+				// Straddle-heavy: stride misaligned with size.
+				a = mem.Access{
+					Base:   span.Base + mem.Addr(rng.next()%span.Len),
+					Count:  int32(rng.next()%64) + 1,
+					Stride: int32(rng.next()%48) + 1,
+					Size:   uint16(1 << (rng.next() % 4)),
+					Write:  rng.next()%3 == 0,
+				}
+			case 2:
+				// Large stride: one probe per reference, page crossings.
+				a = mem.Access{
+					Base:   span.Base + mem.Addr(rng.next()%span.Len),
+					Count:  int32(rng.next()%24) + 1,
+					Stride: int32(rng.next()%2048) + 32,
+					Size:   8,
+					Write:  rng.next()%3 == 0,
+				}
+			default:
+				// Revisit the start of the buffer so later dense sweeps
+				// hit resident lines (streak shape) or invalidated ones.
+				a = mem.Access{
+					Base:   span.Base + mem.Addr((rng.next()%4096)&^7),
+					Count:  int32(rng.next()%256) + 1,
+					Stride: 8,
+					Size:   8,
+					Write:  rng.next()%2 == 0,
+				}
+			}
+			end := uint64(a.Base) + uint64(a.Count)*uint64(a.Stride) + uint64(a.Size)
+			if end >= uint64(span.Base)+span.Len {
+				continue
+			}
+			applyBoth(t, fast, slow, cpu, tid, mem.Batch{a})
+		}
+		comparePair(t, fast, slow, cpus, "fuzz")
+		if err := fast.CheckCoherence(); err != nil {
+			t.Fatalf("fused machine incoherent after fuzz: %v", err)
+		}
+	}
+}

@@ -27,7 +27,7 @@ import (
 type Config struct {
 	// Name labels the platform in reports ("Ultra-1", "E5000").
 	Name string
-	// CPUs is the processor count (1..64).
+	// CPUs is the processor count (1..256).
 	CPUs int
 	// L1I, L1D, L2 are the per-CPU cache geometries.
 	L1I, L1D, L2 cachesim.Config
@@ -103,8 +103,8 @@ func Enterprise5000(cpus int) Config {
 // machine. User-facing layers (the public Config, cmd/atsim) call this
 // before New so a bad geometry surfaces as an error, not a panic.
 func (c Config) Validate() error {
-	if c.CPUs < 1 || c.CPUs > 64 {
-		return fmt.Errorf("machine: %d CPUs outside [1,64] (directory uses a 64-bit sharer mask)", c.CPUs)
+	if c.CPUs < 1 || c.CPUs > maxCPUs {
+		return fmt.Errorf("machine: %d CPUs outside [1,%d] (directory sharer mask is %d bits wide)", c.CPUs, maxCPUs, maxCPUs)
 	}
 	if c.MissCycles <= 0 || c.MissCyclesRemote <= 0 {
 		return fmt.Errorf("machine: miss penalties must be positive")
@@ -154,12 +154,61 @@ type CPU struct {
 	tlb []uint64
 }
 
-// dirEntry is the coherence directory state of one L2-line-sized block:
-// which CPUs cache it and which, if any, holds it dirty. An entry with
+// maxCPUs is the largest processor count the coherence directory can
+// track: a cpuMask holds one bit per CPU.
+const maxCPUs = 256
+
+// cpuMask is a set of CPU IDs, sized for the directory's 256-CPU cap.
+// The zero value is the empty set.
+type cpuMask [4]uint64
+
+func (m *cpuMask) set(i int)      { m[uint(i)>>6] |= 1 << (uint(i) & 63) }
+func (m *cpuMask) clear(i int)    { m[uint(i)>>6] &^= 1 << (uint(i) & 63) }
+func (m *cpuMask) has(i int) bool { return m[uint(i)>>6]&(1<<(uint(i)&63)) != 0 }
+func (m *cpuMask) empty() bool    { return m[0]|m[1]|m[2]|m[3] == 0 }
+
+// count returns the number of members.
+func (m *cpuMask) count() int {
+	return bits.OnesCount64(m[0]) + bits.OnesCount64(m[1]) +
+		bits.OnesCount64(m[2]) + bits.OnesCount64(m[3])
+}
+
+// covers reports whether every member of o is also in m.
+func (m *cpuMask) covers(o *cpuMask) bool {
+	return o[0]&^m[0] == 0 && o[1]&^m[1] == 0 && o[2]&^m[2] == 0 && o[3]&^m[3] == 0
+}
+
+// minus returns m with o's members removed.
+func (m cpuMask) minus(o *cpuMask) cpuMask {
+	return cpuMask{m[0] &^ o[0], m[1] &^ o[1], m[2] &^ o[2], m[3] &^ o[3]}
+}
+
+// forEach calls fn for every member in ascending order.
+func (m *cpuMask) forEach(fn func(i int)) {
+	for w, word := range m {
+		for word != 0 {
+			fn(w<<6 + bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+}
+
+// String renders the set as a hex mask (the historic single-word
+// diagnostic format, extended with word separators past 64 CPUs).
+func (m cpuMask) String() string {
+	if m[1]|m[2]|m[3] == 0 {
+		return fmt.Sprintf("%#x", m[0])
+	}
+	return fmt.Sprintf("%#x:%#x:%#x:%#x", m[3], m[2], m[1], m[0])
+}
+
+// dirEntry is a materialized view of one line's coherence directory
+// state — which CPUs cache it and which, if any, holds it dirty — used
+// by the cold inspection paths (forEach, CheckCoherence). An entry with
 // no sharers is equivalent to an absent one and keeps dirtyOwner = -1.
 type dirEntry struct {
-	sharers    uint64
-	dirtyOwner int8 // -1 when clean everywhere
+	sharers    cpuMask
+	dirtyOwner int16 // -1 when clean everywhere
 }
 
 // directory is the coherence directory: a two-level table indexed by
@@ -168,69 +217,125 @@ type dirEntry struct {
 // stays compact while replacing the former hash map — directory lookups
 // sit on the store hot path (setDirty per write hit), where two indexed
 // loads beat hashing by a wide margin.
+//
+// Storage is sized to the machine, not the 256-CPU cap: each line's
+// sharer set is nw = ceil(CPUs/64) words, so an 8-CPU machine pays one
+// word per line. Dirty owners are stored as cpuID+1 (0 = none), which
+// makes a freshly allocated page valid all-zero — no initialization
+// pass over new pages.
 type directory struct {
 	pageShift uint
 	pageMask  uint64
 	lineShift uint
-	pages     [][]dirEntry
+	nw        int        // sharer-mask words per entry
+	words     [][]uint64 // per page: entries × nw sharer words
+	owners    [][]int16  // per page: entries × (dirty owner + 1)
 }
 
-func newDirectory(pageShift uint, pageMask uint64, l2LineSize uint64) *directory {
+func newDirectory(pageShift uint, pageMask uint64, l2LineSize uint64, ncpu int) *directory {
 	return &directory{
 		pageShift: pageShift,
 		pageMask:  pageMask,
 		lineShift: mem.Log2(l2LineSize),
+		nw:        (ncpu + 63) / 64,
 	}
 }
 
-// entry returns the line's entry, allocating its page on demand. The
-// pointer stays valid until the next entry() call (peek never moves
-// storage).
-func (d *directory) entry(line mem.Addr) *dirEntry {
+// entry returns the line's sharer words and dirty-owner slot,
+// allocating the page on demand. The slices stay valid until the next
+// entry() call (peek never moves storage).
+func (d *directory) entry(line mem.Addr) ([]uint64, *int16) {
 	p := uint64(line) >> d.pageShift
-	if p >= uint64(len(d.pages)) {
-		grown := make([][]dirEntry, p+1+p/2)
-		copy(grown, d.pages)
-		d.pages = grown
+	if p >= uint64(len(d.words)) {
+		grownW := make([][]uint64, p+1+p/2)
+		copy(grownW, d.words)
+		d.words = grownW
+		grownO := make([][]int16, p+1+p/2)
+		copy(grownO, d.owners)
+		d.owners = grownO
 	}
-	pg := d.pages[p]
-	if pg == nil {
-		pg = make([]dirEntry, (d.pageMask+1)>>d.lineShift)
-		for i := range pg {
-			pg[i].dirtyOwner = -1
+	w := d.words[p]
+	if w == nil {
+		n := int((d.pageMask + 1) >> d.lineShift)
+		w = make([]uint64, n*d.nw)
+		d.words[p] = w
+		d.owners[p] = make([]int16, n)
+	}
+	i := int((uint64(line) & d.pageMask) >> d.lineShift)
+	return w[i*d.nw : (i+1)*d.nw : (i+1)*d.nw], &d.owners[p][i]
+}
+
+// peek returns the line's sharer words and owner slot without
+// allocating, or (nil, nil) when the page has never held directory
+// state.
+func (d *directory) peek(line mem.Addr) ([]uint64, *int16) {
+	p := uint64(line) >> d.pageShift
+	if p >= uint64(len(d.words)) || d.words[p] == nil {
+		return nil, nil
+	}
+	i := int((uint64(line) & d.pageMask) >> d.lineShift)
+	return d.words[p][i*d.nw : (i+1)*d.nw : (i+1)*d.nw], &d.owners[p][i]
+}
+
+// maskEmpty reports whether no sharer bit is set.
+func maskEmpty(w []uint64) bool {
+	for _, x := range w {
+		if x != 0 {
+			return false
 		}
-		d.pages[p] = pg
 	}
-	return &pg[(uint64(line)&d.pageMask)>>d.lineShift]
+	return true
 }
 
-// peek returns the line's entry without allocating, or nil when the
-// page has never held directory state.
-func (d *directory) peek(line mem.Addr) *dirEntry {
-	p := uint64(line) >> d.pageShift
-	if p >= uint64(len(d.pages)) || d.pages[p] == nil {
-		return nil
+// lookup materializes the line's entry for the cold inspection paths,
+// reporting false when the line has no directory state.
+func (d *directory) lookup(line mem.Addr) (dirEntry, bool) {
+	w, o := d.peek(line)
+	if w == nil {
+		return dirEntry{dirtyOwner: -1}, false
 	}
-	return &d.pages[p][(uint64(line)&d.pageMask)>>d.lineShift]
+	var e dirEntry
+	copy(e.sharers[:], w)
+	e.dirtyOwner = *o - 1
+	return e, true
 }
 
 // forEach visits every entry with a non-empty sharer set.
 func (d *directory) forEach(fn func(line mem.Addr, e dirEntry)) {
-	for p, pg := range d.pages {
-		for i, e := range pg {
-			if e.sharers != 0 {
-				line := mem.Addr(uint64(p)<<d.pageShift | uint64(i)<<d.lineShift)
-				fn(line, e)
+	epp := int((d.pageMask + 1) >> d.lineShift)
+	for p, w := range d.words {
+		if w == nil {
+			continue
+		}
+		for i := 0; i < epp; i++ {
+			var e dirEntry
+			empty := true
+			for k := 0; k < d.nw; k++ {
+				e.sharers[k] = w[i*d.nw+k]
+				if e.sharers[k] != 0 {
+					empty = false
+				}
 			}
+			if empty {
+				continue
+			}
+			e.dirtyOwner = d.owners[p][i] - 1
+			line := mem.Addr(uint64(p)<<d.pageShift | uint64(i)<<d.lineShift)
+			fn(line, e)
 		}
 	}
 }
 
 // reset drops every entry but keeps the allocated pages for reuse.
 func (d *directory) reset() {
-	for _, pg := range d.pages {
-		for i := range pg {
-			pg[i] = dirEntry{dirtyOwner: -1}
+	for _, w := range d.words {
+		for i := range w {
+			w[i] = 0
+		}
+	}
+	for _, o := range d.owners {
+		for i := range o {
+			o[i] = 0
 		}
 	}
 }
@@ -254,6 +359,17 @@ type Machine struct {
 
 	// Bump allocator for the simulated virtual address space.
 	allocNext mem.Addr
+
+	// env is the reusable machine-to-cachesim adapter for the fused
+	// sweep path (see sweepEnv); kept on the Machine so taking its
+	// address never allocates.
+	env sweepEnv
+
+	// noFastApply disables the fused run path so the differential
+	// tests can drive the per-reference reference implementation on
+	// the same geometry and compare. Test-only; never set outside
+	// this package's tests.
+	noFastApply bool
 
 	l2LineSize  uint64
 	l1dLineSize uint64
@@ -289,8 +405,9 @@ func New(cfg Config) *Machine {
 		pageShift:   mem.Log2(cfg.PageSize),
 		pageMask:    cfg.PageSize - 1,
 	}
+	m.env.m = m
 	if cfg.CPUs > 1 {
-		m.dir = newDirectory(m.pageShift, m.pageMask, m.l2LineSize)
+		m.dir = newDirectory(m.pageShift, m.pageMask, m.l2LineSize, cfg.CPUs)
 	}
 	for i := 0; i < cfg.CPUs; i++ {
 		cpu := &CPU{
@@ -395,9 +512,18 @@ func (m *Machine) translateMiss(v mem.Addr) mem.Addr {
 func (m *Machine) Apply(cpuID int, tid mem.ThreadID, batch mem.Batch) uint64 {
 	cpu := m.cpus[cpuID]
 	startMisses := cpu.EMisses
+	fast := !m.noFastApply && cpu.Hier.FastData()
 	for _, a := range batch {
 		base := a.Base
-		if a.Count > 1 && a.Stride > 0 && uint64(a.Stride) < m.l1dLineSize {
+		if fast && a.Stride > 0 && a.Count > 0 {
+			// On the direct-mapped geometry any forward-strided access
+			// folds into one fused hierarchy sweep (see applySweep):
+			// small strides batch into same-line runs, strides at or
+			// beyond the L1D line degenerate to one probe per
+			// reference, and straddles probe their two endpoint lines
+			// — all event-for-event identical to the loops below.
+			m.applySweep(cpu, tid, a)
+		} else if a.Count > 1 && a.Stride > 0 && uint64(a.Stride) < m.l1dLineSize {
 			// Small-stride accesses revisit the same L1D line several
 			// times in a row; batch each same-line run into one probe
 			// plus replayed hits (see applyRuns).
@@ -490,6 +616,81 @@ func (m *Machine) applyRuns(cpu *CPU, tid mem.ThreadID, a mem.Access) {
 			m.repeatRefs(cpu, tid, pa, a.Write, k-1)
 		}
 		i += k
+	}
+}
+
+// sweepEnv adapts the Machine to cachesim.SweepEnv for the fused
+// sweep path: translation, coherence and miss hooks called back from
+// inside the cachesim loop. One value lives on the Machine and is
+// re-pointed per Apply call, so taking the interface never allocates.
+type sweepEnv struct {
+	m   *Machine
+	cpu *CPU
+	tid mem.ThreadID
+}
+
+// TranslatePage charges the modelled per-CPU TLB once for va's page
+// (the charge is idempotent for the page's later references, so one
+// probe is event-identical to the per-reference path's) and returns
+// the translation.
+func (s *sweepEnv) TranslatePage(va mem.Addr) mem.Addr {
+	m := s.m
+	m.tlbProbe(s.cpu, va)
+	pa, ok := m.tlbLookup(va)
+	if !ok {
+		pa = m.translateMiss(va)
+	}
+	return pa
+}
+
+// LineMiss runs the directory side of an L2 miss — fill, victim
+// drop — and the miss hook, reporting the remote-dirty penalty class.
+func (s *sweepEnv) LineMiss(va, line mem.Addr, write bool, victim cachesim.Victim) bool {
+	m := s.m
+	remote := false
+	if m.dir != nil {
+		remote = m.fill(line, s.cpu, write)
+		if victim.Valid {
+			m.dropSharer(victim.Line, s.cpu.ID)
+		}
+	}
+	if m.MissHook != nil {
+		m.MissHook(s.tid, va)
+	}
+	return remote
+}
+
+// SharedStore invalidates the other copies of a line the local CPU
+// just stored to (the sweep already cleared the local shared mark).
+func (s *sweepEnv) SharedStore(line mem.Addr) { s.m.invalidateOthers(line, s.cpu.ID) }
+
+// DirtyStore records the local CPU as the line's dirty owner.
+func (s *sweepEnv) DirtyStore(line mem.Addr) { s.m.setDirty(line, s.cpu.ID) }
+
+// applySweep is applyRuns for the direct-mapped geometry: the whole
+// access runs as one fused cachesim sweep (see cachesim.SweepDM), and
+// the aggregate outcome converts to cycles, shadow counters and PIC
+// events in one batch — every charge is additive, so the batch total
+// is event-for-event identical to the per-reference loop, which the
+// differential tests in fastapply_test.go pin.
+func (m *Machine) applySweep(cpu *CPU, tid mem.ThreadID, a mem.Access) {
+	m.env.cpu = cpu
+	m.env.tid = tid
+	out := cpu.Hier.SweepDM(&m.env, tid, a, m.pageShift, m.dir != nil)
+	misses := out.CleanMisses + out.RemoteMisses
+	eRefs := out.L2HitRefs + misses
+	cpu.Cycles += out.L1Refs*uint64(m.cfg.L1D.HitCycles) +
+		out.L2HitRefs*uint64(m.cfg.L2.HitCycles) +
+		out.CleanMisses*uint64(m.cfg.MissCycles) +
+		out.RemoteMisses*uint64(m.cfg.MissCyclesRemote)
+	cpu.ERefs += eRefs
+	cpu.EHits += out.L2HitRefs
+	cpu.EMisses += misses
+	if eRefs > 0 {
+		cpu.PMU.Record(perfctr.EventECacheRefs, eRefs)
+	}
+	if out.L2HitRefs > 0 {
+		cpu.PMU.Record(perfctr.EventECacheHits, out.L2HitRefs)
 	}
 }
 
@@ -655,33 +856,54 @@ func (m *Machine) AdvanceCycles(cpuID int, cycles uint64) {
 // reports whether the line was dirty in some other CPU's cache (the
 // remote-dirty penalty case).
 func (m *Machine) fill(line mem.Addr, cpu *CPU, write bool) (remoteDirty bool) {
-	e := m.dir.entry(line)
-	remoteDirty = e.dirtyOwner >= 0 && int(e.dirtyOwner) != cpu.ID
+	w, o := m.dir.entry(line)
+	owner := int(*o) - 1
+	remoteDirty = owner >= 0 && owner != cpu.ID
+	selfWord, selfBit := uint(cpu.ID)>>6, uint64(1)<<(uint(cpu.ID)&63)
 	if write {
 		// Write miss: invalidate every other copy, own it dirty.
 		m.invalidateOthers(line, cpu.ID)
-		*e = dirEntry{sharers: 1 << cpu.ID, dirtyOwner: int8(cpu.ID)}
+		for i := range w {
+			w[i] = 0
+		}
+		w[selfWord] = selfBit
+		*o = int16(cpu.ID + 1)
 		return remoteDirty
 	}
 	// Read miss: join the sharers; a remote dirty copy is downgraded to
 	// clean (the intervention writes the data back to memory on the
 	// owner's behalf).
 	if remoteDirty {
-		m.cpus[e.dirtyOwner].Hier.L2.ClearDirty(line)
-		e.dirtyOwner = -1
-	}
-	e.sharers |= 1 << cpu.ID
-	if e.dirtyOwner == int8(cpu.ID) {
+		m.cpus[owner].Hier.L2.ClearDirty(line)
+		*o = 0
+	} else if owner == cpu.ID {
 		// Refetching a line we own dirty cannot happen (it would be a
 		// hit); defensive clear.
-		e.dirtyOwner = -1
+		*o = 0
 	}
-	if e.sharers&^(1<<cpu.ID) != 0 {
-		// Mark every copy shared, including ours (the hierarchy fill
-		// already inserted; set the flag now).
+	w[selfWord] |= selfBit
+	// Any copy besides ours? Then every copy is shared, including ours
+	// (the hierarchy fill already inserted; set the flag now), visiting
+	// the other sharers in ascending CPU order.
+	hasOthers := false
+	for wi, word := range w {
+		if uint(wi) == selfWord {
+			word &^= selfBit
+		}
+		if word != 0 {
+			hasOthers = true
+			break
+		}
+	}
+	if hasOthers {
 		cpu.Hier.L2.SetShared(line, true)
-		for i := 0; i < m.cfg.CPUs; i++ {
-			if i != cpu.ID && e.sharers&(1<<i) != 0 {
+		for wi, word := range w {
+			if uint(wi) == selfWord {
+				word &^= selfBit
+			}
+			for word != 0 {
+				i := wi<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
 				m.cpus[i].Hier.L2.SetShared(line, true)
 			}
 		}
@@ -691,44 +913,51 @@ func (m *Machine) fill(line mem.Addr, cpu *CPU, write bool) (remoteDirty bool) {
 
 // setDirty records that cpu now holds line dirty (write hit).
 func (m *Machine) setDirty(line mem.Addr, cpuID int) {
-	e := m.dir.entry(line)
-	e.dirtyOwner = int8(cpuID)
-	e.sharers |= 1 << cpuID
+	w, o := m.dir.entry(line)
+	*o = int16(cpuID + 1)
+	w[uint(cpuID)>>6] |= 1 << (uint(cpuID) & 63)
 }
 
 // invalidateOthers removes every copy of line except cpuID's.
 func (m *Machine) invalidateOthers(line mem.Addr, cpuID int) {
-	e := m.dir.peek(line)
-	if e == nil || e.sharers == 0 {
+	w, o := m.dir.peek(line)
+	if w == nil || maskEmpty(w) {
 		return
 	}
-	for i := 0; i < m.cfg.CPUs; i++ {
-		if i == cpuID || e.sharers&(1<<i) == 0 {
-			continue
+	selfWord, selfBit := uint(cpuID)>>6, uint64(1)<<(uint(cpuID)&63)
+	for wi, word := range w {
+		if uint(wi) == selfWord {
+			word &^= selfBit
+			w[wi] &= selfBit
+		} else {
+			w[wi] = 0
 		}
-		m.cpus[i].Hier.InvalidateLine(line)
+		for word != 0 {
+			i := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			m.cpus[i].Hier.InvalidateLine(line)
+		}
 	}
-	e.sharers &= 1 << cpuID
-	if e.dirtyOwner >= 0 && int(e.dirtyOwner) != cpuID {
-		e.dirtyOwner = -1
+	if owner := int(*o) - 1; owner >= 0 && owner != cpuID {
+		*o = 0
 	}
-	if e.sharers == 0 {
-		e.dirtyOwner = -1
+	if w[selfWord]&selfBit == 0 {
+		*o = 0
 	}
 }
 
 // dropSharer records that cpuID no longer caches line (local eviction).
 func (m *Machine) dropSharer(line mem.Addr, cpuID int) {
-	e := m.dir.peek(line)
-	if e == nil || e.sharers == 0 {
+	w, o := m.dir.peek(line)
+	if w == nil || maskEmpty(w) {
 		return
 	}
-	e.sharers &^= 1 << cpuID
-	if e.dirtyOwner == int8(cpuID) {
-		e.dirtyOwner = -1
+	w[uint(cpuID)>>6] &^= 1 << (uint(cpuID) & 63)
+	if int(*o)-1 == cpuID {
+		*o = 0
 	}
-	if e.sharers == 0 {
-		e.dirtyOwner = -1
+	if maskEmpty(w) {
+		*o = 0
 	}
 }
 
@@ -853,7 +1082,7 @@ func (m *Machine) CheckCoherence() error {
 	}
 	// Residency per line from the caches themselves.
 	type residency struct {
-		sharers uint64
+		sharers cpuMask
 		dirty   []int
 	}
 	lines := make(map[mem.Addr]*residency)
@@ -865,7 +1094,7 @@ func (m *Machine) CheckCoherence() error {
 				r = &residency{}
 				lines[line] = r
 			}
-			r.sharers |= 1 << id
+			r.sharers.set(id)
 			if cpu.Hier.L2.IsDirty(line) {
 				r.dirty = append(r.dirty, id)
 			}
@@ -875,24 +1104,28 @@ func (m *Machine) CheckCoherence() error {
 		if len(r.dirty) > 1 {
 			return fmt.Errorf("machine: line %#x dirty in caches %v", uint64(line), r.dirty)
 		}
-		if len(r.dirty) == 1 && r.sharers != 1<<r.dirty[0] {
-			return fmt.Errorf("machine: line %#x dirty in cache %d but cached by mask %#x",
+		if len(r.dirty) == 1 && !(r.sharers.count() == 1 && r.sharers.has(r.dirty[0])) {
+			return fmt.Errorf("machine: line %#x dirty in cache %d but cached by mask %v",
 				uint64(line), r.dirty[0], r.sharers)
 		}
-		e := m.dir.peek(line)
-		if e == nil || e.sharers == 0 {
-			return fmt.Errorf("machine: line %#x resident (mask %#x) but absent from directory", uint64(line), r.sharers)
+		e, ok := m.dir.lookup(line)
+		if !ok || e.sharers.empty() {
+			return fmt.Errorf("machine: line %#x resident (mask %v) but absent from directory", uint64(line), r.sharers)
 		}
-		if e.sharers&r.sharers != r.sharers {
-			return fmt.Errorf("machine: line %#x resident mask %#x not covered by directory mask %#x",
+		if !e.sharers.covers(&r.sharers) {
+			return fmt.Errorf("machine: line %#x resident mask %v not covered by directory mask %v",
 				uint64(line), r.sharers, e.sharers)
 		}
-		if popcount(r.sharers) > 1 {
-			for i := 0; i < m.cfg.CPUs; i++ {
-				if r.sharers&(1<<i) != 0 && !m.cpus[i].Hier.L2.IsShared(line) {
-					return fmt.Errorf("machine: line %#x cached by mask %#x but unmarked shared on cpu %d",
+		if r.sharers.count() > 1 {
+			var shareErr error
+			r.sharers.forEach(func(i int) {
+				if shareErr == nil && !m.cpus[i].Hier.L2.IsShared(line) {
+					shareErr = fmt.Errorf("machine: line %#x cached by mask %v but unmarked shared on cpu %d",
 						uint64(line), r.sharers, i)
 				}
+			})
+			if shareErr != nil {
+				return shareErr
 			}
 		}
 	}
@@ -902,24 +1135,14 @@ func (m *Machine) CheckCoherence() error {
 		if claimErr != nil {
 			return
 		}
-		r := lines[line]
-		var actual uint64
-		if r != nil {
+		var actual cpuMask
+		if r := lines[line]; r != nil {
 			actual = r.sharers
 		}
-		if e.sharers&^actual != 0 {
-			claimErr = fmt.Errorf("machine: directory claims mask %#x for line %#x, resident mask %#x",
+		if !actual.covers(&e.sharers) {
+			claimErr = fmt.Errorf("machine: directory claims mask %v for line %#x, resident mask %v",
 				e.sharers, uint64(line), actual)
 		}
 	})
 	return claimErr
-}
-
-func popcount(v uint64) int {
-	n := 0
-	for v != 0 {
-		v &= v - 1
-		n++
-	}
-	return n
 }

@@ -292,7 +292,7 @@ func TestDeterminism(t *testing.T) {
 func TestConfigValidation(t *testing.T) {
 	for _, breakIt := range []func(*Config){
 		func(c *Config) { c.CPUs = 0 },
-		func(c *Config) { c.CPUs = 65 },
+		func(c *Config) { c.CPUs = 257 },
 		func(c *Config) { c.MissCycles = 0 },
 		func(c *Config) { c.PageSize = 1000 },
 		func(c *Config) { c.PageSize = 16 }, // smaller than L2 line

@@ -26,6 +26,7 @@ package model
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // powTableSize bounds the pre-computed kⁿ table. Scheduling intervals
@@ -51,25 +52,53 @@ func New(n int) *Model {
 		// building a model.
 		panic(fmt.Sprintf("model: cache of %d lines", n))
 	}
-	m := &Model{
+	t := tablesFor(n)
+	return &Model{
 		n:    n,
 		k:    float64(n-1) / float64(n),
+		logK: math.Log(float64(n-1) / float64(n)),
+		powK: t.powK,
+		logF: t.logF,
+	}
+}
+
+// modelTables are the immutable lookup tables for one cache geometry.
+// Building them costs ~80K math calls, and every cell of a sweep
+// builds a model for the same geometry, so they are cached process-wide
+// and shared: the tables are pure functions of n and never written
+// after construction (the Model keeps its mutable FLOP counter
+// per-instance, so sharing is race-free across parallel cells).
+type modelTables struct {
+	powK []float64
+	logF []float64
+}
+
+var tableCache sync.Map // int (n) -> *modelTables
+
+func tablesFor(n int) *modelTables {
+	if t, ok := tableCache.Load(n); ok {
+		return t.(*modelTables)
+	}
+	t := &modelTables{
 		powK: make([]float64, powTableSize),
 		logF: make([]float64, n+1),
 	}
-	m.logK = math.Log(m.k)
+	k := float64(n-1) / float64(n)
 	p := 1.0
-	for i := range m.powK {
-		m.powK[i] = p
-		p *= m.k
+	for i := range t.powK {
+		t.powK[i] = p
+		p *= k
 	}
 	// log(0) is demanded when a thread has no state; treat a footprint
 	// below one line as one line so priorities stay finite and ordered.
-	m.logF[0] = 0
+	t.logF[0] = 0
 	for i := 1; i <= n; i++ {
-		m.logF[i] = math.Log(float64(i))
+		t.logF[i] = math.Log(float64(i))
 	}
-	return m
+	// A racing builder may store first; keep whichever won so every
+	// caller shares one copy (the values are identical either way).
+	actual, _ := tableCache.LoadOrStore(n, t)
+	return actual.(*modelTables)
 }
 
 // N returns the cache size in lines.

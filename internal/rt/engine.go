@@ -124,6 +124,14 @@ type Engine struct {
 
 	running []*T
 	parked  []bool
+	// clockHeap orders unparked CPUs by (clock, ID) so nextCPU is
+	// O(log n) instead of a linear scan — the scan is invisible at 8
+	// CPUs but dominates the pick at 256. Entries re-key lazily: the
+	// stepped CPU's entry goes stale when its clock advances and is
+	// sifted back into place on the next pick. inClockHeap caps the
+	// heap at one entry per CPU across park/unpark cycles.
+	clockHeap   []cpuClockEnt
+	inClockHeap []bool
 	// idleCycles accumulates, per CPU, clock advanced while parked —
 	// the utilization accounting behind Stats.
 	idleCycles []uint64
@@ -447,18 +455,99 @@ func (e *Engine) Run(ctx context.Context) error {
 // nextCPU returns the unparked CPU with the smallest clock (lowest ID on
 // ties), or -1 when all are parked.
 func (e *Engine) nextCPU() int {
-	best := -1
-	var bestClock uint64
-	for p := 0; p < len(e.running); p++ {
-		if e.parked[p] {
-			continue
-		}
-		c := e.cpus[p].Cycles()
-		if best < 0 || c < bestClock {
-			best, bestClock = p, c
+	if e.clockHeap == nil {
+		e.clockHeap = make([]cpuClockEnt, 0, len(e.cpus))
+		e.inClockHeap = make([]bool, len(e.cpus))
+		for p := range e.cpus {
+			if !e.parked[p] {
+				e.pushCPUClock(e.cpus[p].Cycles(), int32(p))
+			}
 		}
 	}
-	return best
+	for len(e.clockHeap) > 0 {
+		top := e.clockHeap[0]
+		p := int(top.cpu)
+		if e.parked[p] {
+			e.popCPUClock()
+			continue
+		}
+		if c := e.cpus[p].Cycles(); c != top.clock {
+			// Stale key (the CPU ran, or idled forward): re-key in
+			// place and restore heap order. Clocks only move forward,
+			// so a stored key is always a lower bound and the heap
+			// minimum is exact once its top is fresh.
+			e.clockHeap[0].clock = c
+			e.siftDownCPUClock(0)
+			continue
+		}
+		// Fresh minimum; the entry stays and re-keys lazily after this
+		// CPU's clock advances.
+		return p
+	}
+	return -1
+}
+
+// cpuClockEnt is one clock-heap entry; ordering is (clock, CPU ID) so
+// equal clocks resolve to the lowest ID, matching the old linear scan.
+type cpuClockEnt struct {
+	clock uint64
+	cpu   int32
+}
+
+func (e *Engine) cpuClockLess(a, b cpuClockEnt) bool {
+	return a.clock < b.clock || (a.clock == b.clock && a.cpu < b.cpu)
+}
+
+// pushCPUClock inserts cpu with the given clock key unless it already
+// has a live entry (which is then a valid lower bound: clocks are
+// monotonic, so the stale entry re-keys correctly when popped).
+func (e *Engine) pushCPUClock(clock uint64, cpu int32) {
+	if e.inClockHeap == nil || e.inClockHeap[cpu] {
+		return
+	}
+	e.inClockHeap[cpu] = true
+	e.clockHeap = append(e.clockHeap, cpuClockEnt{clock: clock, cpu: cpu})
+	i := len(e.clockHeap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.cpuClockLess(e.clockHeap[i], e.clockHeap[parent]) {
+			break
+		}
+		e.clockHeap[i], e.clockHeap[parent] = e.clockHeap[parent], e.clockHeap[i]
+		i = parent
+	}
+}
+
+// popCPUClock removes the heap top.
+func (e *Engine) popCPUClock() {
+	h := e.clockHeap
+	e.inClockHeap[h[0].cpu] = false
+	last := len(h) - 1
+	h[0] = h[last]
+	e.clockHeap = h[:last]
+	if last > 0 {
+		e.siftDownCPUClock(0)
+	}
+}
+
+func (e *Engine) siftDownCPUClock(i int) {
+	h := e.clockHeap
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		min := left
+		if right := left + 1; right < n && e.cpuClockLess(h[right], h[left]) {
+			min = right
+		}
+		if !e.cpuClockLess(h[min], h[i]) {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
 }
 
 // unparkAll wakes idle CPUs because new work appeared; their clocks jump
@@ -477,6 +566,7 @@ func (e *Engine) unparkAll(now uint64) {
 			}
 			e.cpus[p].SetCycles(now)
 		}
+		e.pushCPUClock(e.cpus[p].Cycles(), int32(p))
 	}
 }
 

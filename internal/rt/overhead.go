@@ -96,6 +96,7 @@ type overheadState struct {
 	heapRegion []mem.Range // per CPU
 	table      mem.Range   // shared thread table / global queue
 	rot        []uint64    // per-CPU rotation through the heap region
+	batch      mem.Batch   // scratch, reused across charges (25 cap max)
 }
 
 func (s *overheadState) init(p platformAPI, cfg OverheadConfig) {
@@ -154,7 +155,7 @@ func (s *overheadState) charge(e *Engine, p int) {
 	}
 	region := s.heapRegion[p]
 	regionLines := region.Len / 64
-	var batch mem.Batch
+	batch := s.batch[:0]
 	for i := uint64(0); i < lines; i++ {
 		off := (s.rot[p] + i) % regionLines
 		batch = append(batch, mem.Access{Base: region.Base + mem.Addr(off*64), Count: 1, Size: 8, Write: i%3 == 0})
@@ -163,5 +164,6 @@ func (s *overheadState) charge(e *Engine, p int) {
 	if d.QueueOps > 0 {
 		batch = append(batch, mem.Access{Base: s.table.Base, Count: 1, Size: 8, Write: true})
 	}
+	s.batch = batch
 	e.plat.Apply(p, mem.SchedThread, batch)
 }

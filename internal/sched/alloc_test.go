@@ -1,0 +1,48 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/model"
+)
+
+// The dispatch path — PickNext, NoteDispatch, OnBlock, MakeRunnable —
+// runs once per scheduling interval on every simulated CPU, so it must
+// not allocate in steady state. Per-thread state lives in the dense
+// tstate arena, per-(thread, CPU) entries are created once and reused,
+// and the priority heaps recycle their backing arrays; after warm-up a
+// full scheduling round should cost zero allocations.
+func TestDispatchPathAllocFree(t *testing.T) {
+	const ncpu, nthreads = 4, 8
+	f := newFixture(model.LFF{}, ncpu, 16)
+	for tid := mem.ThreadID(1); tid <= nthreads; tid++ {
+		f.s.Register(tid)
+		f.s.MakeRunnable(tid)
+	}
+
+	round := func() {
+		for cpu := 0; cpu < ncpu; cpu++ {
+			tid, ok := f.s.PickNext(cpu)
+			if !ok {
+				panic("dispatch round found no runnable thread")
+			}
+			f.s.NoteDispatch(tid, cpu)
+			f.misses[cpu] += 64
+			f.s.OnBlock(tid, cpu, 64)
+			f.s.MakeRunnable(tid)
+		}
+	}
+	// Warm up until every thread has an Entry on every CPU it can reach
+	// and the heaps and queues have grown to their steady footprint.
+	for i := 0; i < 8*nthreads; i++ {
+		round()
+	}
+
+	if allocs := testing.AllocsPerRun(200, round); allocs > 0 {
+		t.Errorf("dispatch round allocates %.1f objects, want 0", allocs)
+	}
+	if err := f.s.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

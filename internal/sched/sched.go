@@ -16,7 +16,6 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/annot"
 	"repro/internal/mem"
@@ -49,6 +48,7 @@ type Entry struct {
 
 // tstate is the scheduler's view of one thread.
 type tstate struct {
+	reg      bool     // slot is a registered thread
 	entries  []*Entry // indexed by CPU, nil when no footprint recorded
 	runnable bool
 	running  bool
@@ -91,10 +91,18 @@ type Scheduler struct {
 	// global queue.
 	threshold float64
 
-	heaps   []prioHeap
-	global  []globalEntry // FIFO with lazy deletion via inGlobal
-	ghead   int
-	threads map[mem.ThreadID]*tstate
+	heaps  []prioHeap
+	global []globalEntry // FIFO with lazy deletion via inGlobal
+	ghead  int
+
+	// threads is a dense arena indexed by thread ID: the runtime hands
+	// out small sequential IDs, so a slice replaces the old map on the
+	// dispatch and blocking hot paths (no hashing, no pointer chase).
+	// The reg flag marks live slots; freed slots are reused on
+	// re-registration of the same ID. runnableN counts runnable
+	// threads incrementally so RunnableCount is O(1).
+	threads   []tstate
+	runnableN int
 
 	// spawn holds per-CPU stacks of freshly created threads, in the
 	// work-first discipline of Blumofe-Leiserson work stealing (the
@@ -176,7 +184,6 @@ func New(mdl *model.Model, scheme model.Scheme, graph *annot.Graph, ncpu int, th
 		threshold:  threshold,
 		heaps:      make([]prioHeap, ncpu),
 		spawn:      make([][]mem.ThreadID, ncpu),
-		threads:    make(map[mem.ThreadID]*tstate),
 		quarantine: make([]bool, ncpu),
 		lastDep:    make([]uint64, ncpu),
 	}
@@ -225,7 +232,7 @@ func (s *Scheduler) SetQuarantine(cpu int, on bool) {
 		e := heap.Pop(h).(*Entry)
 		s.ops.HeapPops++
 		s.ops.Demotions++
-		ts := s.threads[e.Thread]
+		ts := s.ts(e.Thread)
 		if ts != nil && ts.runnable && !s.hasHeapEntry(ts) && !ts.inGlobal {
 			s.enqueueGlobal(ts, e.Thread)
 		}
@@ -263,20 +270,49 @@ func (s *Scheduler) Ops() Ops { return s.ops }
 // ResetOps zeroes the operation counters.
 func (s *Scheduler) ResetOps() { s.ops = Ops{} }
 
+// ts returns tid's state, or nil when tid is not registered. The
+// pointer is into the thread arena: valid until the next Register
+// (which may grow the backing array).
+func (s *Scheduler) ts(tid mem.ThreadID) *tstate {
+	if tid < 0 || int(tid) >= len(s.threads) {
+		return nil
+	}
+	t := &s.threads[tid]
+	if !t.reg {
+		return nil
+	}
+	return t
+}
+
 // Register adds a thread to the scheduler in the not-runnable state.
 func (s *Scheduler) Register(tid mem.ThreadID) {
-	if _, dup := s.threads[tid]; dup {
+	if tid < 0 {
+		// Invariant: negative IDs are runtime sentinels (nil, sched),
+		// never schedulable threads.
+		panic(fmt.Sprintf("sched: Register(%v): sentinel thread ID", tid))
+	}
+	if n := int(tid) + 1; n > len(s.threads) {
+		if n <= cap(s.threads) {
+			s.threads = s.threads[:n]
+		} else {
+			grown := make([]tstate, n, 2*n)
+			copy(grown, s.threads)
+			s.threads = grown
+		}
+	}
+	t := &s.threads[tid]
+	if t.reg {
 		// Invariant: the runtime assigns fresh IDs; a duplicate means
 		// engine corruption, not a user mistake.
 		panic(fmt.Sprintf("sched: duplicate thread %v", tid))
 	}
-	s.threads[tid] = &tstate{entries: make([]*Entry, s.ncpu)}
+	*t = tstate{reg: true, entries: make([]*Entry, s.ncpu)}
 }
 
 // Unregister removes an exited thread and all its entries.
 func (s *Scheduler) Unregister(tid mem.ThreadID) {
-	ts, ok := s.threads[tid]
-	if !ok {
+	ts := s.ts(tid)
+	if ts == nil {
 		return
 	}
 	for cpu, e := range ts.entries {
@@ -285,21 +321,23 @@ func (s *Scheduler) Unregister(tid mem.ThreadID) {
 			s.ops.HeapRemoves++
 		}
 	}
-	delete(s.threads, tid)
+	if ts.runnable {
+		s.runnableN--
+	}
+	*ts = tstate{}
 }
 
 // Registered reports whether tid is known to the scheduler.
 func (s *Scheduler) Registered(tid mem.ThreadID) bool {
-	_, ok := s.threads[tid]
-	return ok
+	return s.ts(tid) != nil
 }
 
 // EntryOf returns the footprint entry of (tid, cpu), or nil. The
 // returned pointer is live scheduler state; callers outside tests must
 // not mutate it.
 func (s *Scheduler) EntryOf(tid mem.ThreadID, cpu int) *Entry {
-	ts, ok := s.threads[tid]
-	if !ok {
+	ts := s.ts(tid)
+	if ts == nil {
 		return nil
 	}
 	return ts.entries[cpu]
@@ -319,7 +357,7 @@ func (s *Scheduler) CurrentFootprint(tid mem.ThreadID, cpu int) float64 {
 // (at or above threshold) enter their CPUs' heaps; a thread with no hot
 // entry joins the global queue. Idempotent for already-runnable threads.
 func (s *Scheduler) MakeRunnable(tid mem.ThreadID) {
-	ts := s.threads[tid]
+	ts := s.ts(tid)
 	if ts == nil {
 		// Invariant: callers register threads before scheduling them.
 		panic(fmt.Sprintf("sched: MakeRunnable(%v): unknown thread", tid))
@@ -328,6 +366,7 @@ func (s *Scheduler) MakeRunnable(tid mem.ThreadID) {
 		return
 	}
 	ts.runnable = true
+	s.runnableN++
 	hot := false
 	if s.scheme != nil {
 		for cpu, e := range ts.entries {
@@ -349,7 +388,7 @@ func (s *Scheduler) MakeRunnable(tid mem.ThreadID) {
 // policy it goes on the creating processor's spawn stack; under FCFS
 // (or when the creator is unknown, cpu < 0) it joins the global queue.
 func (s *Scheduler) NoteSpawn(tid mem.ThreadID, cpu int) {
-	ts := s.threads[tid]
+	ts := s.ts(tid)
 	if ts == nil {
 		// Invariant: callers register threads before scheduling them.
 		panic(fmt.Sprintf("sched: NoteSpawn(%v): unknown thread", tid))
@@ -358,6 +397,7 @@ func (s *Scheduler) NoteSpawn(tid mem.ThreadID, cpu int) {
 		return
 	}
 	ts.runnable = true
+	s.runnableN++
 	if s.scheme == nil || cpu < 0 || !s.spawnStacks {
 		s.enqueueGlobal(ts, tid)
 		return
@@ -371,12 +411,13 @@ func (s *Scheduler) NoteSpawn(tid mem.ThreadID, cpu int) {
 // run queue and its footprint at dispatch is captured for the eventual
 // blocking update.
 func (s *Scheduler) NoteDispatch(tid mem.ThreadID, cpu int) {
-	ts := s.threads[tid]
+	ts := s.ts(tid)
 	if ts == nil || !ts.runnable {
 		// Invariant: the engine dispatches only threads PickNext returned.
 		panic(fmt.Sprintf("sched: NoteDispatch(%v) of non-runnable thread", tid))
 	}
 	ts.runnable = false
+	s.runnableN--
 	ts.running = true
 	ts.inGlobal = false
 	ts.inSpawn = false
@@ -403,7 +444,7 @@ func (s *Scheduler) NoteDispatch(tid mem.ThreadID, cpu int) {
 // tid itself, case 3 for each of its out-neighbours in the dependency
 // graph. Threads independent of tid are untouched — the O(d) guarantee.
 func (s *Scheduler) OnBlock(tid mem.ThreadID, cpu int, n uint64) {
-	ts := s.threads[tid]
+	ts := s.ts(tid)
 	if ts == nil || !ts.running {
 		// Invariant: blocks are reported only for the installed thread.
 		panic(fmt.Sprintf("sched: OnBlock(%v) of non-running thread", tid))
@@ -446,8 +487,8 @@ func (s *Scheduler) OnBlock(tid mem.ThreadID, cpu int, n uint64) {
 	}
 	var deps uint64
 	for _, edge := range s.graph.OutEdges(tid) {
-		dts, ok := s.threads[edge.To]
-		if !ok {
+		dts := s.ts(edge.To)
+		if dts == nil {
 			continue // annotation names an exited or foreign thread: ignore
 		}
 		de := s.entry(dts, edge.To, cpu, mt-n)
@@ -535,7 +576,7 @@ func (s *Scheduler) pickNext(cpu int) (mem.ThreadID, bool) {
 			heap.Pop(h)
 			s.ops.HeapPops++
 			s.ops.Demotions++
-			ts := s.threads[e.Thread]
+			ts := s.ts(e.Thread)
 			if !s.hasHeapEntry(ts) && !ts.inGlobal {
 				s.enqueueGlobal(ts, e.Thread)
 			}
@@ -559,7 +600,7 @@ func (s *Scheduler) popSpawn(cpu int) (mem.ThreadID, bool) {
 		tid := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		s.ops.QueueOps++
-		if ts := s.threads[tid]; ts != nil && ts.inSpawn && ts.runnable {
+		if ts := s.ts(tid); ts != nil && ts.inSpawn && ts.runnable {
 			s.spawn[cpu] = stack
 			return tid, true
 		}
@@ -576,7 +617,7 @@ func (s *Scheduler) stealSpawn(cpu int) (mem.ThreadID, bool) {
 		stack := s.spawn[victim]
 		for i := 0; i < len(stack); i++ {
 			tid := stack[i]
-			if ts := s.threads[tid]; ts != nil && ts.inSpawn && ts.runnable {
+			if ts := s.ts(tid); ts != nil && ts.inSpawn && ts.runnable {
 				s.ops.Steals++
 				return tid, true
 			}
@@ -591,12 +632,12 @@ func (s *Scheduler) HasLocalWork(cpu int) bool {
 		return true
 	}
 	for _, tid := range s.spawn[cpu] {
-		if ts := s.threads[tid]; ts != nil && ts.inSpawn && ts.runnable {
+		if ts := s.ts(tid); ts != nil && ts.inSpawn && ts.runnable {
 			return true
 		}
 	}
 	for i := s.ghead; i < len(s.global); i++ {
-		if ts := s.threads[s.global[i].tid]; ts != nil && ts.inGlobal && ts.runnable {
+		if ts := s.ts(s.global[i].tid); ts != nil && ts.inGlobal && ts.runnable {
 			return true
 		}
 	}
@@ -604,15 +645,7 @@ func (s *Scheduler) HasLocalWork(cpu int) bool {
 }
 
 // RunnableCount returns the number of runnable (dispatchable) threads.
-func (s *Scheduler) RunnableCount() int {
-	n := 0
-	for _, ts := range s.threads {
-		if ts.runnable {
-			n++
-		}
-	}
-	return n
-}
+func (s *Scheduler) RunnableCount() int { return s.runnableN }
 
 // steal scans the other CPUs in ring order and takes the *lowest*
 // priority thread it can find — the thread with the least cache state
@@ -689,7 +722,7 @@ func (s *Scheduler) enqueueGlobal(ts *tstate, tid mem.ThreadID) {
 func (s *Scheduler) peekAgedGlobal() (mem.ThreadID, bool) {
 	for i := s.ghead; i < len(s.global); i++ {
 		e := s.global[i]
-		ts := s.threads[e.tid]
+		ts := s.ts(e.tid)
 		if ts == nil || !ts.inGlobal || !ts.runnable {
 			continue
 		}
@@ -707,7 +740,7 @@ func (s *Scheduler) popGlobal() (mem.ThreadID, bool) {
 		tid := s.global[s.ghead].tid
 		s.ghead++
 		s.ops.QueueOps++
-		ts := s.threads[tid]
+		ts := s.ts(tid)
 		if ts != nil && ts.inGlobal && ts.runnable {
 			return tid, true
 		}
@@ -723,7 +756,7 @@ func (s *Scheduler) popGlobal() (mem.ThreadID, bool) {
 func (s *Scheduler) SpawnLen(cpu int) int {
 	n := 0
 	for _, tid := range s.spawn[cpu] {
-		if ts := s.threads[tid]; ts != nil && ts.inSpawn && ts.runnable {
+		if ts := s.ts(tid); ts != nil && ts.inSpawn && ts.runnable {
 			n++
 		}
 	}
@@ -737,7 +770,7 @@ func (s *Scheduler) HeapLen(cpu int) int { return s.heaps[cpu].Len() }
 func (s *Scheduler) GlobalLen() int {
 	n := 0
 	for i := s.ghead; i < len(s.global); i++ {
-		if ts := s.threads[s.global[i].tid]; ts != nil && ts.inGlobal {
+		if ts := s.ts(s.global[i].tid); ts != nil && ts.inGlobal {
 			n++
 		}
 	}
@@ -781,13 +814,13 @@ func (s *Scheduler) ExportState() snapshot.SchedState {
 		}
 		st.Heaps = append(st.Heaps, ids)
 	}
-	tids := make([]int, 0, len(s.threads))
+	// The arena is indexed by thread ID, so ascending iteration yields
+	// the canonical sorted order directly.
 	for tid := range s.threads {
-		tids = append(tids, int(tid))
-	}
-	sort.Ints(tids)
-	for _, tid := range tids {
-		ts := s.threads[mem.ThreadID(tid)]
+		ts := &s.threads[tid]
+		if !ts.reg {
+			continue
+		}
 		t := snapshot.SchedThread{
 			ID: int64(tid), Runnable: ts.runnable, Running: ts.running,
 			InGlobal: ts.inGlobal, InSpawn: ts.inSpawn,
@@ -815,19 +848,23 @@ func (s *Scheduler) ExportState() snapshot.SchedState {
 func (s *Scheduler) Check() error {
 	if s.mdl != nil {
 		n := float64(s.mdl.N())
-		for tid, ts := range s.threads {
+		for tid := range s.threads {
+			ts := &s.threads[tid]
+			if !ts.reg {
+				continue
+			}
 			for cpu, e := range ts.entries {
 				if e == nil {
 					continue
 				}
 				if math.IsNaN(e.S) || e.S < 0 || e.S > n {
-					return fmt.Errorf("sched: %v on cpu %d has footprint %v outside [0, %v]", tid, cpu, e.S, n)
+					return fmt.Errorf("sched: %v on cpu %d has footprint %v outside [0, %v]", mem.ThreadID(tid), cpu, e.S, n)
 				}
 				if math.IsNaN(e.SLast) || math.IsInf(e.SLast, 0) {
-					return fmt.Errorf("sched: %v on cpu %d has non-finite SLast %v", tid, cpu, e.SLast)
+					return fmt.Errorf("sched: %v on cpu %d has non-finite SLast %v", mem.ThreadID(tid), cpu, e.SLast)
 				}
 				if math.IsNaN(e.Prio) || math.IsInf(e.Prio, 0) {
-					return fmt.Errorf("sched: %v on cpu %d has non-finite priority %v", tid, cpu, e.Prio)
+					return fmt.Errorf("sched: %v on cpu %d has non-finite priority %v", mem.ThreadID(tid), cpu, e.Prio)
 				}
 			}
 		}
@@ -844,7 +881,7 @@ func (s *Scheduler) Check() error {
 			if e.CPU != cpu {
 				return fmt.Errorf("sched: cpu %d heap holds entry for cpu %d", cpu, e.CPU)
 			}
-			ts := s.threads[e.Thread]
+			ts := s.ts(e.Thread)
 			if ts == nil {
 				return fmt.Errorf("sched: heap entry for unregistered %v", e.Thread)
 			}

@@ -1,20 +1,49 @@
 #!/bin/sh
 # Run the table/figure benchmarks and record ns/op as JSON.
 #
-# Usage: scripts/bench.sh [extra go-test args...]
+# Usage: scripts/bench.sh [-cpuprofile FILE] [-memprofile FILE]
+#                         [-ncpu "8 64 ..."] [extra go-test args...]
 #
 # Writes BENCH_<yyyy-mm-dd>.json at the repo root: a flat object mapping
 # benchmark name (trailing -N GOMAXPROCS suffix stripped) to ns/op. Runs
 # each benchmark -count=3 and keeps the median so a single noisy run on
 # a shared host cannot skew the committed numbers.
+#
+# -cpuprofile/-memprofile pass straight through to go test; inspect the
+# result with
+#
+#	go tool pprof -top FILE            # hot functions
+#	go tool pprof -list SweepDM FILE   # line-level cost of one function
+#
+# (docs/PERFORMANCE.md walks through the full profiling workflow.)
+#
+# -ncpu runs the Figure 9 grid once per listed CPU count via
+# BenchmarkFig9CPUSweep, recording BenchmarkFig9CPUSweep/<n>cpu entries
+# in the JSON — the scaling curve behind docs/PERFORMANCE.md.
 set -e
 cd "$(dirname "$0")/.."
+
+cpuprofile=
+memprofile=
+ncpu=
+while [ $# -gt 0 ]; do
+	case $1 in
+	-cpuprofile) cpuprofile=$2; shift 2 ;;
+	-memprofile) memprofile=$2; shift 2 ;;
+	-ncpu) ncpu=$2; shift 2 ;;
+	*) break ;;
+	esac
+done
+
+[ -n "$memprofile" ] && set -- -memprofile "$memprofile" "$@"
+[ -n "$cpuprofile" ] && set -- -cpuprofile "$cpuprofile" "$@"
 
 out="BENCH_$(date +%F).json"
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'BenchmarkTable|BenchmarkFig|BenchmarkAblation|BenchmarkObs|BenchmarkCheckpoint' \
+BENCH_NCPU="$ncpu" go test -run '^$' \
+	-bench 'BenchmarkTable|BenchmarkFig|BenchmarkAblation|BenchmarkObs|BenchmarkCheckpoint' \
 	-count=3 "$@" . | tee "$raw"
 
 awk '

@@ -54,9 +54,13 @@ scripts/soak.sh -app tasks -policy LFF -cpus 2 -scale 0.2 -kills 2 -every 10000
 # Overhead gate (opt-in: BENCH_GATE=1): re-run the benchmark sweep and
 # hard-fail if anything — most importantly BenchmarkObsOff, the
 # telemetry disabled path — regressed more than 2% against the newest
-# committed baseline. Opt-in because the sweep takes minutes and the
-# committed numbers are host-specific; run it on the baseline host
-# before cutting a release.
+# committed baseline. The sweep includes the scaling probe
+# BenchmarkFig9_64CPU, so hot-path regressions that only show at high
+# CPU counts fail the gate too; benchdiff never fails on benchmarks
+# present in only one file, so adding probes does not break old
+# baselines. Opt-in because the sweep takes minutes and the committed
+# numbers are host-specific; run it on the baseline host before
+# cutting a release.
 if [ "${BENCH_GATE:-}" = 1 ]; then
     baseline=$(git ls-files 'BENCH_*.json' | sort | tail -1)
     [ -n "$baseline" ] || { echo "BENCH_GATE=1 but no committed BENCH_*.json" >&2; exit 1; }

@@ -173,7 +173,7 @@ func TestNewRejectsBadInputs(t *testing.T) {
 		want string
 	}{
 		{"unknown policy", Config{Policy: "NOSUCH"}, "unknown policy"},
-		{"too many cpus", Config{Machine: Enterprise5000(200)}, "cpu"},
+		{"too many cpus", Config{Machine: Enterprise5000(257)}, "cpu"},
 	}
 	for _, c := range cases {
 		sys, err := New(c.cfg)
