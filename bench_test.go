@@ -200,6 +200,20 @@ func BenchmarkFig9_64CPU(b *testing.B) {
 	}
 }
 
+// BenchmarkFig9SharedLLC runs the five-policy matrix (FCFS, LFF, CRT
+// and the shared-aware variants) on the shared-LLC topology at reduced
+// scale — the generic shared lookup path plus the machine-wide miss
+// clock, against BenchmarkFig9EightCPU's private fast lanes.
+func BenchmarkFig9SharedLLC(b *testing.B) {
+	cfg := benchSched
+	cfg.Topology = "shared-llc"
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SharedLLCSched(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFig9CPUSweep runs the Figure 9 grid at each CPU count in
 // the space-separated BENCH_NCPU environment variable (for example
 // BENCH_NCPU="8 64 256"); it skips when the variable is unset.

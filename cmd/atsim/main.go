@@ -6,6 +6,7 @@
 // Usage:
 //
 //	atsim -app tasks -policy LFF -cpus 8 -scale 0.5
+//	atsim -app tasks -policy LFF-SH -cpus 8 -topology shared-llc
 //	atsim -app tasks -policy LFF -cpus 4 -record run.json
 //	atsim -replay run.json
 //	atsim -app tasks -cpus 4 -faults all -health
@@ -26,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cachesim"
 	"repro/internal/experiments"
 	"repro/internal/fsatomic"
 	"repro/internal/machine"
@@ -45,6 +47,7 @@ func main() {
 	app := flag.String("app", "tasks", "application: tasks, merge, photo or tsp")
 	policy := flag.String("policy", "LFF", "scheduling policy: "+strings.Join(model.Schemes(), ", "))
 	cpus := flag.Int("cpus", 1, "processor count (1 = Ultra-1, >1 = E5000)")
+	topology := flag.String("topology", "", "cache topology: private-dm, shared-llc, shared-assoc:W or shared-fa (default private-dm)")
 	scale := flag.Float64("scale", 1.0, "workload scale (1.0 = the paper's Table 4 parameters)")
 	seed := flag.Uint64("seed", 11, "random seed")
 	noAnnot := flag.Bool("no-annotations", false, "ignore at_share annotations (ablation)")
@@ -88,7 +91,11 @@ func main() {
 	if _, err := model.SchemeFor(*policy); err != nil {
 		usageError(err)
 	}
-	if err := machineConfig(*cpus).Validate(); err != nil {
+	topo, err := cachesim.ParseTopology(*topology)
+	if err != nil {
+		usageError(err)
+	}
+	if err := machineConfig(*cpus, topo).Validate(); err != nil {
 		usageError(err)
 	}
 	if *scale <= 0 {
@@ -117,7 +124,7 @@ func main() {
 	if (*ckptPath != "" || *stallTimeout != 0) && (*record != "" || *timeline > 0 || *verbose) {
 		usageError(fmt.Errorf("-checkpoint/-stall-timeout only apply to the default and -faults run modes"))
 	}
-	crash := crashConfig{every: *ckptEvery, path: *ckptPath, resume: *resume, stallTimeout: *stallTimeout}
+	crash := crashConfig{every: *ckptEvery, path: *ckptPath, resume: *resume, stallTimeout: *stallTimeout, topology: topo}
 	session := obs.NewSession(level, 0)
 	if *debugAddr != "" {
 		bound, err := session.StartDebugServer(*debugAddr)
@@ -130,15 +137,15 @@ func main() {
 
 	switch {
 	case faultCfg.Enabled() || *health:
-		err = runFaults(*app, *policy, *cpus, *scale, *seed, *noAnnot, faultCfg, session, crash)
+		err = runFaults(*app, *policy, *cpus, topo, *scale, *seed, *noAnnot, faultCfg, session, crash)
 	case *record != "":
-		err = runRecord(*record, *app, *policy, *cpus, *scale, *seed, *noAnnot, session)
+		err = runRecord(*record, *app, *policy, *cpus, topo, *scale, *seed, *noAnnot, session)
 	case *timeline > 0:
-		err = runTimeline(*app, *policy, *cpus, *scale, *seed, *timeline, session)
+		err = runTimeline(*app, *policy, *cpus, topo, *scale, *seed, *timeline, session)
 	case *verbose:
-		err = runVerbose(*app, *policy, *cpus, *scale, *seed, *noAnnot, session)
+		err = runVerbose(*app, *policy, *cpus, topo, *scale, *seed, *noAnnot, session)
 	default:
-		err = runDefault(*app, *policy, *cpus, *scale, *seed, *noAnnot, session, crash)
+		err = runDefault(*app, *policy, *cpus, topo, *scale, *seed, *noAnnot, session, crash)
 	}
 	if err == nil {
 		err = exportObs(session, *traceOut, *metricsOut)
@@ -185,6 +192,7 @@ type crashConfig struct {
 	path         string
 	resume       bool
 	stallTimeout time.Duration
+	topology     cachesim.Topology
 }
 
 // checkpoint builds the engine-level checkpoint configuration for the
@@ -200,6 +208,7 @@ func (c crashConfig) checkpoint(appName string, scale float64, noAnnot bool, fau
 			{K: "scale", V: strconv.FormatFloat(scale, 'g', -1, 64)},
 			{K: "noannot", V: strconv.FormatBool(noAnnot)},
 			{K: "faults", V: faultCfg.String()},
+			{K: "topology", V: c.topology.String()},
 		},
 	}
 	if c.resume {
@@ -218,9 +227,10 @@ func (c crashConfig) checkpoint(appName string, scale float64, noAnnot bool, fau
 
 // runDefault is the plain counters-only run behind the flagless
 // invocation.
-func runDefault(appName, policy string, cpus int, scale float64, seed uint64, noAnnot bool, session *obs.Session, crash crashConfig) error {
+func runDefault(appName, policy string, cpus int, topo cachesim.Topology, scale float64, seed uint64, noAnnot bool, session *obs.Session, crash crashConfig) error {
 	run, err := experiments.RunSched(appName, policy, experiments.SchedConfig{
 		CPUs:               cpus,
+		Topology:           topo.String(),
 		Scale:              scale,
 		Seed:               seed,
 		DisableAnnotations: noAnnot,
@@ -252,18 +262,21 @@ func usageError(err error) {
 	os.Exit(2)
 }
 
-// machineConfig maps the -cpus flag to the paper's platforms.
-func machineConfig(cpus int) machine.Config {
-	if cpus == 1 {
-		return machine.UltraSPARC1()
+// machineConfig maps the -cpus and -topology flags to the paper's
+// platforms.
+func machineConfig(cpus int, topo cachesim.Topology) machine.Config {
+	cfg := machine.UltraSPARC1()
+	if cpus != 1 {
+		cfg = machine.Enterprise5000(cpus)
 	}
-	return machine.Enterprise5000(cpus)
+	cfg.Topology = topo
+	return cfg
 }
 
 // buildEngine constructs the machine + engine pair for the direct-run
 // modes (verbose, timeline, record), attaching the run's observer.
-func buildEngine(policy string, cpus int, seed uint64, noAnnot bool, o *obs.Observer) (*machine.Machine, *rt.Engine, error) {
-	m := machine.New(machineConfig(cpus))
+func buildEngine(policy string, cpus int, topo cachesim.Topology, seed uint64, noAnnot bool, o *obs.Observer) (*machine.Machine, *rt.Engine, error) {
+	m := machine.New(machineConfig(cpus, topo))
 	e, err := rt.New(sim.New(m), rt.Options{Policy: policy, Seed: seed, DisableAnnotations: noAnnot, Obs: o})
 	if err != nil {
 		return nil, nil, err
@@ -297,12 +310,12 @@ func printMachineDetail(m *machine.Machine, e *rt.Engine) {
 
 // runVerbose runs the app once with direct machine access and prints
 // the detailed breakdown.
-func runVerbose(appName, policy string, cpus int, scale float64, seed uint64, noAnnot bool, session *obs.Session) error {
+func runVerbose(appName, policy string, cpus int, topo cachesim.Topology, scale float64, seed uint64, noAnnot bool, session *obs.Session) error {
 	app, err := workloads.SchedAppByName(appName)
 	if err != nil {
 		return err
 	}
-	m, e, err := buildEngine(policy, cpus, seed, noAnnot, session.Observer(cellKey(appName, policy, cpus, false), cpus))
+	m, e, err := buildEngine(policy, cpus, topo, seed, noAnnot, session.Observer(cellKey(appName, policy, cpus, false), cpus))
 	if err != nil {
 		return err
 	}
@@ -321,7 +334,7 @@ func runVerbose(appName, policy string, cpus int, scale float64, seed uint64, no
 // around the simulator and reports the per-CPU counter-health
 // accounting — the runtime's sanitizer and quarantine machinery at
 // work against lying instrumentation.
-func runFaults(appName, policy string, cpus int, scale float64, seed uint64, noAnnot bool, cfg faulty.Config, session *obs.Session, crash crashConfig) error {
+func runFaults(appName, policy string, cpus int, topo cachesim.Topology, scale float64, seed uint64, noAnnot bool, cfg faulty.Config, session *obs.Session, crash crashConfig) error {
 	app, err := workloads.SchedAppByName(appName)
 	if err != nil {
 		return err
@@ -330,7 +343,7 @@ func runFaults(appName, policy string, cpus int, scale float64, seed uint64, noA
 	if err != nil {
 		return err
 	}
-	m := machine.New(machineConfig(cpus))
+	m := machine.New(machineConfig(cpus, topo))
 	plat, err := faulty.New(sim.New(m), cfg)
 	if err != nil {
 		return err
@@ -357,12 +370,12 @@ func runFaults(appName, policy string, cpus int, scale float64, seed uint64, noA
 
 // runTimeline executes the app printing the first n dispatches — a
 // quick view of what the policy actually does with the threads.
-func runTimeline(appName, policy string, cpus int, scale float64, seed uint64, n int, session *obs.Session) error {
+func runTimeline(appName, policy string, cpus int, topo cachesim.Topology, scale float64, seed uint64, n int, session *obs.Session) error {
 	app, err := workloads.SchedAppByName(appName)
 	if err != nil {
 		return err
 	}
-	m, e, err := buildEngine(policy, cpus, seed, false, session.Observer(cellKey(appName, policy, cpus, false), cpus))
+	m, e, err := buildEngine(policy, cpus, topo, seed, false, session.Observer(cellKey(appName, policy, cpus, false), cpus))
 	if err != nil {
 		return err
 	}
@@ -383,18 +396,24 @@ func runTimeline(appName, policy string, cpus int, scale float64, seed uint64, n
 
 // runRecord executes the app on the simulator while capturing the
 // scheduling trace, then saves the recording for later -replay.
-func runRecord(path, appName, policy string, cpus int, scale float64, seed uint64, noAnnot bool, session *obs.Session) error {
+func runRecord(path, appName, policy string, cpus int, topo cachesim.Topology, scale float64, seed uint64, noAnnot bool, session *obs.Session) error {
 	app, err := workloads.SchedAppByName(appName)
 	if err != nil {
 		return err
 	}
-	m, e, err := buildEngine(policy, cpus, seed, noAnnot, session.Observer(cellKey(appName, policy, cpus, false), cpus))
+	m, e, err := buildEngine(policy, cpus, topo, seed, noAnnot, session.Observer(cellKey(appName, policy, cpus, false), cpus))
 	if err != nil {
 		return err
 	}
 	plat := e.Platform()
 	rec := trace.NewRecorder(policy, plat.NCPU(), plat.CacheLines(),
 		plat.LineBytes(), plat.PageBytes(), 16)
+	if topo.Shared() {
+		// Stamp shared-topology provenance; the zero value stays absent
+		// so pre-existing recordings of the private hierarchy are
+		// byte-identical.
+		rec.SetTopology(topo.String())
+	}
 	e.OnEvent = rec.Observe
 	app.Spawn(e, scale)
 	if err := e.Run(context.Background()); err != nil {

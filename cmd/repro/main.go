@@ -7,13 +7,15 @@
 //	repro [flags] <experiment>...
 //
 // Experiments: table1 table2 table3 table4 table5 fig4 fig5 fig6 fig7
-// fig8 fig9 ablation all
+// fig8 fig9 ablation sharedllc all
 //
 // Flags:
 //
 //	-scale f    workload scale for the scheduling experiments (default 1.0)
 //	-seed n     random seed (default 11)
 //	-cpus n     SMP size for fig9/ablation (default 8)
+//	-topology t cache topology for the scheduling experiments:
+//	            private-dm (default), shared-llc, shared-assoc:W, shared-fa
 //	-quick      shorthand for -scale 0.1 and shorter footprint studies
 //	-j n        worker threads for independent experiment cells
 //	            (default 1; 0 = all processors; results are identical
@@ -39,6 +41,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/cachesim"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/report"
@@ -51,6 +54,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale for scheduling experiments")
 	seed := flag.Uint64("seed", 11, "random seed")
 	cpus := flag.Int("cpus", 8, "SMP size for fig9/ablation")
+	topology := flag.String("topology", "", "cache topology for scheduling experiments: private-dm, shared-llc, shared-assoc:W or shared-fa (default private-dm)")
 	quick := flag.Bool("quick", false, "fast reduced-size runs")
 	jobs := flag.Int("j", 1, "worker threads for independent experiment cells (0 = all processors)")
 	ckptEvery := flag.Uint64("checkpoint-every", 0, "write per-cell crash-safe snapshots every N virtual cycles (requires -checkpoint-dir)")
@@ -68,6 +72,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(2)
 	}
+	if _, err := cachesim.ParseTopology(*topology); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(2)
+	}
 	if *traceOut != "" && level < obs.Trace {
 		level = obs.Trace
 	}
@@ -77,7 +85,7 @@ func main() {
 	session := obs.NewSession(level, 0)
 
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: repro [flags] table1|table2|table3|table4|table5|fig4|fig5|fig6|fig7|fig8|fig9|ablation|inference|mapping|breakdown|assoc|scaling|threshold|spawnstacks|sources|coarse|tlb|compare|validate|all")
+		fmt.Fprintln(os.Stderr, "usage: repro [flags] table1|table2|table3|table4|table5|fig4|fig5|fig6|fig7|fig8|fig9|ablation|inference|mapping|breakdown|assoc|scaling|threshold|spawnstacks|sources|coarse|tlb|compare|validate|sharedllc|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -102,7 +110,8 @@ func main() {
 		}
 	}
 	sched := experiments.SchedConfig{Scale: *scale, Seed: *seed, CPUs: *cpus, Jobs: *jobs, Obs: session,
-		CheckpointEvery: *ckptEvery, CheckpointDir: *ckptDir, Resume: *resume, StallTimeout: *stallTimeout}
+		CheckpointEvery: *ckptEvery, CheckpointDir: *ckptDir, Resume: *resume, StallTimeout: *stallTimeout,
+		Topology: *topology}
 	study := experiments.StudyConfig{Seed: *seed, Jobs: *jobs}
 	if *quick {
 		if *scale == 1.0 {
@@ -115,7 +124,8 @@ func main() {
 	if len(args) == 1 && args[0] == "all" {
 		args = []string{"table1", "table2", "table3", "table4", "fig4",
 			"fig5", "fig6", "fig7", "fig8", "fig9", "table5", "ablation",
-			"inference", "mapping", "breakdown", "assoc", "threshold", "spawnstacks", "sources"}
+			"inference", "mapping", "breakdown", "assoc", "threshold", "spawnstacks", "sources",
+			"sharedllc"}
 	}
 
 	for _, name := range args {
@@ -212,6 +222,23 @@ func writeCSV(dir, name string, study experiments.StudyConfig) error {
 			&stats.Series{Label: "observed", X: res.Misses, Y: res.Observed},
 			&stats.Series{Label: "assoc model", X: res.Misses, Y: res.AssocPred},
 			&stats.Series{Label: "direct-mapped model", X: res.Misses, Y: res.DMPred})
+	case "sharedllc":
+		res := experiments.SharedLLC(study)
+		for label, set := range map[string][]*experiments.Curve{
+			"a": res.A, "b": res.B, "c": res.C,
+		} {
+			for _, c := range set {
+				pair := []*stats.Series{
+					{Label: "observed", X: c.Misses, Y: c.Observed},
+					{Label: "predicted", X: c.Misses, Y: c.Predicted},
+				}
+				fname := "sharedllc" + label + "_" + strings.ReplaceAll(strings.ReplaceAll(c.Label, "=", ""), " ", "_")
+				if err := dumpCSV(dir, fname, pair); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
 	default:
 		return nil // tabular experiments have no series
 	}
@@ -268,6 +295,24 @@ func writeSVG(dir, name string, study experiments.StudyConfig) error {
 			plot.Series = append(plot.Series, &mpi)
 		}
 		plots["fig6"] = plot
+	case "sharedllc":
+		res := experiments.SharedLLC(study)
+		for label, set := range map[string][]*experiments.Curve{
+			"a": res.A, "b": res.B, "c": res.C,
+		} {
+			plot := &report.SVGPlot{
+				Title:  "Shared LLC " + label + " — co-runner-aware model",
+				XLabel: "total E-cache misses", YLabel: "footprint (lines)",
+				Dashed: map[int]bool{},
+			}
+			for _, c := range set {
+				plot.Dashed[len(plot.Series)+1] = true
+				plot.Series = append(plot.Series,
+					&stats.Series{Label: c.Label + " observed", X: c.Misses, Y: c.Observed},
+					&stats.Series{Label: c.Label + " predicted", X: c.Misses, Y: c.Predicted})
+			}
+			plots["sharedllc"+label] = plot
+		}
 	case "assoc":
 		res := experiments.AssocStudy(2, study)
 		plots["assoc"] = &report.SVGPlot{
@@ -322,7 +367,7 @@ func run(name string, sched experiments.SchedConfig, study experiments.StudyConf
 	case "list":
 		return "experiments: table1 table2 table3 table4 table5 fig4 fig5 fig6 fig7 fig8 fig9\n" +
 			"extensions:  ablation inference mapping breakdown assoc scaling threshold\n" +
-			"             spawnstacks sources coarse tlb compare validate\n" +
+			"             spawnstacks sources coarse tlb compare validate sharedllc\n" +
 			"meta:        all list", nil
 	case "table1":
 		return experiments.Table1(), nil
@@ -420,6 +465,13 @@ func run(name string, sched experiments.SchedConfig, study experiments.StudyConf
 			return "", err
 		}
 		return res.Render(), nil
+	case "sharedllc":
+		acc := experiments.SharedLLC(study)
+		matrix, err := experiments.SharedLLCSched(sched)
+		if err != nil {
+			return "", err
+		}
+		return acc.Render() + "\n" + matrix.Render(), nil
 	default:
 		return "", fmt.Errorf("unknown experiment %q", name)
 	}

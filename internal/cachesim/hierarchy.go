@@ -49,6 +49,12 @@ type Hierarchy struct {
 	// Data can call the one-way probes directly without the per-cache
 	// dispatch branch.
 	dmData bool
+	// shared, when non-nil, marks a shared-topology hierarchy: L2 is the
+	// one cache shared by every CPU and the data/inst paths route fills
+	// and sharer maintenance through it. Config-selected at construction;
+	// nil on the private topologies, whose paths are untouched.
+	shared *SharedL2
+	cpu    int // this hierarchy's CPU index within shared; 0 otherwise
 }
 
 // NewHierarchy builds a hierarchy from the three cache configurations.
@@ -64,6 +70,22 @@ func NewHierarchy(l1i, l1d, l2 Config) *Hierarchy {
 	return h
 }
 
+// NewHierarchyShared builds cpu's view of a shared-L2 topology: private
+// split L1s in front of the one shared cache. The direct-mapped data
+// fast lanes stay disabled (dmData false) — cross-CPU sharer
+// maintenance needs the generic path — so FastData reports false and
+// the machine layer falls back to per-reference application.
+func NewHierarchyShared(l1i, l1d Config, sh *SharedL2, cpu int) *Hierarchy {
+	h := &Hierarchy{L1I: New(l1i), L1D: New(l1d), L2: sh.cache, shared: sh, cpu: cpu}
+	l2 := sh.cache.Config()
+	if l2.LineSize < l1i.LineSize || l2.LineSize < l1d.LineSize {
+		// Invariant: geometry comes from machine.Config presets/Validate.
+		panic("cachesim: L2 line must not be smaller than L1 lines")
+	}
+	sh.attach(cpu, h.L1I, h.L1D)
+	return h
+}
+
 // Data performs one data reference by thread tid at physical address a.
 //
 // Loads allocate in L1D; stores are write-through and non-allocating in
@@ -74,6 +96,9 @@ func NewHierarchy(l1i, l1d, l2 Config) *Hierarchy {
 func (h *Hierarchy) Data(tid mem.ThreadID, a mem.Addr, write, shared bool) Result {
 	if h.dmData && !h.L1D.forceGeneric && !h.L2.forceGeneric {
 		return h.dataDM(tid, a, write, shared)
+	}
+	if h.shared != nil {
+		return h.dataShared(tid, a, write)
 	}
 	// The write-through L1D never holds dirty data, so even a store
 	// hit leaves the L1D line clean (the dirty bit lives in the L2).
@@ -114,9 +139,40 @@ func (h *Hierarchy) dataDM(tid mem.ThreadID, a mem.Addr, write, shared bool) Res
 	return Result{Level: LevelMemory, Victim: victim}
 }
 
+// dataShared is Data for the shared-L2 topologies: the same decision
+// tree, with sharer-set maintenance folded into the L2 outcomes. A read
+// hit joins the sharer set (marking the line shared when other CPUs
+// hold it); a write hit invalidates the other sharers' L1 copies and
+// leaves the writer exclusive; a fill routes through SharedL2.fill so
+// inclusion invalidation reaches every sharer's L1s. The machine's
+// coherence fill hint is irrelevant here — sharing state lives in the
+// one cache.
+func (h *Hierarchy) dataShared(tid mem.ThreadID, a mem.Addr, write bool) Result {
+	if h.L1D.Lookup(tid, a, false) && !write {
+		return Result{Level: LevelL1}
+	}
+	if h.L2.Lookup(tid, a, write) {
+		if write {
+			h.shared.storeBy(h.cpu, a)
+		} else {
+			h.shared.readBy(h.cpu, a)
+			h.fillL1(h.L1D, tid, a)
+		}
+		return Result{Level: LevelL2}
+	}
+	victim := h.shared.fill(h.cpu, tid, a, write)
+	if !write {
+		h.fillL1(h.L1D, tid, a)
+	}
+	return Result{Level: LevelMemory, Victim: victim}
+}
+
 // Inst performs one instruction fetch by thread tid at physical address
 // a. Instruction fetches allocate in both L1I and the unified L2.
 func (h *Hierarchy) Inst(tid mem.ThreadID, a mem.Addr, shared bool) Result {
+	if h.shared != nil {
+		return h.instShared(tid, a)
+	}
 	if h.L1I.Lookup(tid, a, false) {
 		return Result{Level: LevelL1}
 	}
@@ -125,6 +181,22 @@ func (h *Hierarchy) Inst(tid mem.ThreadID, a mem.Addr, shared bool) Result {
 		return Result{Level: LevelL2}
 	}
 	victim := h.fillL2(tid, a, false, shared)
+	h.fillL1(h.L1I, tid, a)
+	return Result{Level: LevelMemory, Victim: victim}
+}
+
+// instShared is Inst for the shared-L2 topologies; fetches are reads,
+// so hits join the sharer set and fills route through the shared cache.
+func (h *Hierarchy) instShared(tid mem.ThreadID, a mem.Addr) Result {
+	if h.L1I.Lookup(tid, a, false) {
+		return Result{Level: LevelL1}
+	}
+	if h.L2.Lookup(tid, a, false) {
+		h.shared.readBy(h.cpu, a)
+		h.fillL1(h.L1I, tid, a)
+		return Result{Level: LevelL2}
+	}
+	victim := h.shared.fill(h.cpu, tid, a, false)
 	h.fillL1(h.L1I, tid, a)
 	return Result{Level: LevelMemory, Victim: victim}
 }
@@ -152,6 +224,11 @@ func (h *Hierarchy) fillL1(l1 *Cache, tid mem.ThreadID, a mem.Addr) {
 // from both L1s, returning whether the L2 copy was present and dirty.
 // The machine uses it to implement write-invalidate coherence.
 func (h *Hierarchy) InvalidateLine(a mem.Addr) (present, dirty bool) {
+	if h.shared != nil {
+		// The shared backend owns the sharer set, so the invalidation
+		// reaches every CPU's L1s, not just this hierarchy's.
+		return h.shared.InvalidateLine(a)
+	}
 	line := h.L2.LineOf(a)
 	present, dirty = h.L2.Invalidate(line)
 	if present {
@@ -162,10 +239,16 @@ func (h *Hierarchy) InvalidateLine(a mem.Addr) (present, dirty bool) {
 	return present, dirty
 }
 
-// Flush empties all three caches.
+// Flush empties all three caches. On a shared topology the L2 flush
+// goes through the shared backend (clearing sharer sets); it is
+// idempotent, so the machine may flush every CPU's hierarchy in turn.
 func (h *Hierarchy) Flush() {
 	h.L1I.Flush()
 	h.L1D.Flush()
+	if h.shared != nil {
+		h.shared.Flush()
+		return
+	}
 	h.L2.Flush()
 }
 

@@ -1,0 +1,279 @@
+package cachesim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestParseTopology(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Topology
+		ok   bool
+	}{
+		{"", Topology{}, true},
+		{"private-dm", Topology{}, true},
+		{" Private-DM ", Topology{}, true},
+		{"shared-llc", Topology{Kind: TopoSharedLLC}, true},
+		{"SHARED-LLC", Topology{Kind: TopoSharedLLC}, true},
+		{"shared-fa", Topology{Kind: TopoSharedFA}, true},
+		{"shared-assoc:4", Topology{Kind: TopoSharedAssoc, Ways: 4}, true},
+		{"shared-assoc:1", Topology{Kind: TopoSharedAssoc, Ways: 1}, true},
+		{"bogus", Topology{}, false},
+		{"shared-assoc:0", Topology{}, false},
+		{"shared-assoc:-2", Topology{}, false},
+		{"shared-assoc:x", Topology{}, false},
+		{"shared", Topology{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseTopology(c.spec)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseTopology(%q): err = %v, want ok=%v", c.spec, err, c.ok)
+			continue
+		}
+		if err != nil {
+			if !strings.Contains(err.Error(), "topology") {
+				t.Errorf("ParseTopology(%q): undescriptive error %v", c.spec, err)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseTopology(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+		// The canonical spelling must round-trip.
+		back, err := ParseTopology(got.String())
+		if err != nil || back != got {
+			t.Errorf("round trip %q -> %q -> %+v, %v", c.spec, got.String(), back, err)
+		}
+	}
+}
+
+func TestTopologyValidateAndL2Config(t *testing.T) {
+	l2 := Config{Name: "E", Size: 1024, LineSize: 32, Assoc: 1} // 32 lines
+	for _, topo := range []Topology{
+		{},
+		{Kind: TopoSharedLLC},
+		{Kind: TopoSharedFA},
+		{Kind: TopoSharedAssoc, Ways: 4},
+	} {
+		if err := topo.Validate(l2); err != nil {
+			t.Errorf("%s: unexpected Validate error %v", topo, err)
+		}
+	}
+	for _, ways := range []int{0, 5, 33} { // 5 does not divide 32, 33 > lines
+		topo := Topology{Kind: TopoSharedAssoc, Ways: ways}
+		if err := topo.Validate(l2); err == nil {
+			t.Errorf("shared-assoc:%d on a 32-line cache: want error", ways)
+		}
+	}
+	if got := (Topology{Kind: TopoSharedAssoc, Ways: 4}).L2Config(l2).Assoc; got != 4 {
+		t.Errorf("shared-assoc:4 effective Assoc = %d", got)
+	}
+	if got := (Topology{Kind: TopoSharedFA}).L2Config(l2).Assoc; got != 32 {
+		t.Errorf("shared-fa effective Assoc = %d, want 32", got)
+	}
+	if got := (Topology{Kind: TopoSharedLLC}).L2Config(l2).Assoc; got != 1 {
+		t.Errorf("shared-llc effective Assoc = %d, want 1", got)
+	}
+}
+
+// testSharedSetup builds an ncpu shared-L2 topology with small caches:
+// 16-line 32B-line shared L2, 16B-line 256B L1s.
+func testSharedSetup(ncpu int) (*SharedL2, []*Hierarchy) {
+	l1 := Config{Name: "L1", Size: 256, LineSize: 16, Assoc: 1}
+	l2 := Config{Name: "E", Size: 512, LineSize: 32, Assoc: 1} // 16 lines
+	sh := NewSharedL2(l2, ncpu)
+	hiers := make([]*Hierarchy, ncpu)
+	for i := range hiers {
+		hiers[i] = NewHierarchyShared(l1, l1, sh, i)
+	}
+	return sh, hiers
+}
+
+func TestSharedL2SharerTracking(t *testing.T) {
+	sh, h := testSharedSetup(2)
+	const a = mem.Addr(0x1000)
+
+	h[0].Data(1, a, false, false)
+	if mask, ok := sh.Sharers(a); !ok || mask[0] != 1 {
+		t.Fatalf("after cpu0 load: sharers %v present=%v, want {0}", mask, ok)
+	}
+	if sh.Cache().IsShared(a) {
+		t.Fatal("single-sharer line marked shared")
+	}
+
+	h[1].Data(2, a, false, false)
+	if mask, _ := sh.Sharers(a); mask[0] != 0b11 {
+		t.Fatalf("after cpu1 load: sharers %v, want {0,1}", mask)
+	}
+	if !sh.Cache().IsShared(a) {
+		t.Fatal("two-sharer line not marked shared")
+	}
+	if !h[1].L1D.Contains(a) {
+		t.Fatal("cpu1 load did not fill its L1D")
+	}
+
+	// A store from cpu0 invalidates cpu1's L1 copy and leaves cpu0 the
+	// sole sharer with the shared mark cleared.
+	h[0].Data(1, a, true, false)
+	if mask, _ := sh.Sharers(a); mask[0] != 1 {
+		t.Fatalf("after cpu0 store: sharers %v, want {0}", mask)
+	}
+	if sh.Cache().IsShared(a) {
+		t.Fatal("exclusive line still marked shared after store")
+	}
+	if h[1].L1D.Contains(a) {
+		t.Fatal("cpu1 L1D copy survived cpu0's store")
+	}
+	if !sh.Cache().IsDirty(a) {
+		t.Fatal("stored line not dirty in the shared cache")
+	}
+}
+
+func TestSharedL2InvalidateLine(t *testing.T) {
+	sh, h := testSharedSetup(2)
+	const a = mem.Addr(0x2000)
+
+	h[0].Data(1, a, true, false) // miss, fill dirty
+	h[1].Data(2, a, false, false)
+	h[1].Inst(2, a, false)
+	if !h[1].L1D.Contains(a) || !h[1].L1I.Contains(a) {
+		t.Fatal("setup: cpu1 L1s should hold the line")
+	}
+
+	present, dirty := h[0].InvalidateLine(a)
+	if !present || !dirty {
+		t.Fatalf("InvalidateLine = (%v, %v), want present dirty", present, dirty)
+	}
+	if sh.Cache().Contains(a) {
+		t.Fatal("line still resident in the shared cache")
+	}
+	for i, hh := range h {
+		if hh.L1D.Contains(a) || hh.L1I.Contains(a) {
+			t.Fatalf("cpu%d L1 copy survived InvalidateLine", i)
+		}
+	}
+	if _, ok := sh.Sharers(a); ok {
+		t.Fatal("sharer set survived InvalidateLine")
+	}
+	// Invalidating an absent line is a clean no-op.
+	if present, dirty := h[1].InvalidateLine(a); present || dirty {
+		t.Fatalf("second InvalidateLine = (%v, %v), want absent", present, dirty)
+	}
+}
+
+func TestSharedL2FlushIdempotent(t *testing.T) {
+	sh, h := testSharedSetup(2)
+	for i := 0; i < 8; i++ {
+		h[i%2].Data(1, mem.Addr(0x1000+i*32), i%3 == 0, false)
+	}
+	if sh.Cache().ValidLines() == 0 {
+		t.Fatal("setup: no resident lines")
+	}
+	h[0].Flush()
+	if n := sh.Cache().ValidLines(); n != 0 {
+		t.Fatalf("%d lines survived the flush", n)
+	}
+	for _, w := range sh.sharers {
+		if w != 0 {
+			t.Fatal("sharer bits survived the flush")
+		}
+	}
+	// The machine flushes every CPU's hierarchy in turn; the second
+	// flush must be a no-op, and refills must start from clean masks.
+	h[1].Flush()
+	h[1].Data(2, 0x1000, false, false)
+	if mask, ok := sh.Sharers(0x1000); !ok || mask[0] != 0b10 {
+		t.Fatalf("post-flush refill sharers %v present=%v, want {1}", mask, ok)
+	}
+}
+
+func TestSharedL2VictimInvalidatesAllSharers(t *testing.T) {
+	sh, h := testSharedSetup(2)
+	l2 := sh.Cache().Config()
+	a := mem.Addr(0x4000)
+	b := a + mem.Addr(l2.Size) // same set, different tag
+
+	h[0].Data(1, a, true, false)  // dirty fill by cpu0 (L1D non-allocating on stores)
+	h[0].Data(1, a, false, false) // load hit fills cpu0's L1D
+	h[1].Data(2, a, false, false)
+	if !h[0].L1D.Contains(a) || !h[1].L1D.Contains(a) {
+		t.Fatal("setup: both L1Ds should hold the line")
+	}
+
+	// cpu0's conflicting fill displaces the shared dirty line; the
+	// write-back is reported and every sharer's L1 copy is dropped.
+	res := h[0].Data(1, b, false, false)
+	if res.Level != LevelMemory || !res.Victim.Valid || !res.Victim.Dirty {
+		t.Fatalf("conflicting fill: %+v, want a dirty memory-level victim", res)
+	}
+	if res.Victim.Line != sh.Cache().LineOf(a) {
+		t.Fatalf("victim line %#x, want %#x", res.Victim.Line, sh.Cache().LineOf(a))
+	}
+	for i, hh := range h {
+		if hh.L1D.Contains(a) {
+			t.Fatalf("cpu%d L1D copy of the victim survived the eviction", i)
+		}
+	}
+	if mask, ok := sh.Sharers(b); !ok || mask[0] != 1 {
+		t.Fatalf("filler's sharer set %v present=%v, want {0}", mask, ok)
+	}
+}
+
+func TestSharedCheckInclusion(t *testing.T) {
+	_, h := testSharedSetup(2)
+	for i := 0; i < 64; i++ {
+		h[i%2].Data(mem.ThreadID(1+i%3), mem.Addr(0x1000+i*16), i%5 == 0, false)
+	}
+	for i, hh := range h {
+		if v, ok := hh.CheckInclusion(); !ok {
+			t.Fatalf("cpu%d inclusion violated at %#x after normal traffic", i, v)
+		}
+	}
+	// Force a violation: an L1 line with no covering L2 line.
+	h[1].L1D.Insert(9, 0x9990, false, false)
+	if _, ok := h[1].CheckInclusion(); ok {
+		t.Fatal("CheckInclusion missed a planted L1-only line")
+	}
+}
+
+func TestSharedAssocGeometry(t *testing.T) {
+	l1 := Config{Name: "L1", Size: 256, LineSize: 16, Assoc: 1}
+	l2 := Config{Name: "E", Size: 512, LineSize: 32, Assoc: 1} // 16 lines
+	// Fully associative: 16 distinct conflicting-by-index lines all fit.
+	fa := NewSharedL2(Topology{Kind: TopoSharedFA}.L2Config(l2), 1)
+	NewHierarchyShared(l1, l1, fa, 0)
+	for i := 0; i < 16; i++ {
+		fa.fill(0, 1, mem.Addr(i*int(l2.Size)), false)
+	}
+	for i := 0; i < 16; i++ {
+		if !fa.Cache().Contains(mem.Addr(i * int(l2.Size))) {
+			t.Fatalf("fa: line %d evicted before capacity", i)
+		}
+	}
+	// One more evicts exactly the least recently used line (the first).
+	fa.fill(0, 1, mem.Addr(16*int(l2.Size)), false)
+	if fa.Cache().Contains(0) {
+		t.Fatal("fa: LRU line survived over-capacity fill")
+	}
+	if fa.Cache().ValidLines() != 16 {
+		t.Fatalf("fa: %d valid lines, want 16", fa.Cache().ValidLines())
+	}
+
+	// 2-way: two conflicting lines coexist where direct-mapped would
+	// thrash; the third evicts the older.
+	w2 := NewSharedL2(Topology{Kind: TopoSharedAssoc, Ways: 2}.L2Config(l2), 1)
+	NewHierarchyShared(l1, l1, w2, 0)
+	a, b, c := mem.Addr(0), mem.Addr(l2.Size), mem.Addr(2*l2.Size)
+	w2.fill(0, 1, a, false)
+	w2.fill(0, 1, b, false)
+	if !w2.Cache().Contains(a) || !w2.Cache().Contains(b) {
+		t.Fatal("2-way: conflicting pair did not coexist")
+	}
+	w2.fill(0, 1, c, false)
+	if w2.Cache().Contains(a) || !w2.Cache().Contains(b) || !w2.Cache().Contains(c) {
+		t.Fatal("2-way: LRU eviction order wrong")
+	}
+}

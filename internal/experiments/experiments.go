@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cachesim"
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/platform/sim"
@@ -119,6 +120,10 @@ type SchedConfig struct {
 	Resume bool
 	// StallTimeout arms the engine's stall watchdog (see rt.Options).
 	StallTimeout time.Duration
+	// Topology selects the cache organisation ("" or "private-dm" for
+	// the paper's private hierarchy; "shared-llc", "shared-assoc:W",
+	// "shared-fa" for the shared variants — see cachesim.ParseTopology).
+	Topology string
 }
 
 // cellKey names one run's observer cell. It must be a pure function of
@@ -133,6 +138,9 @@ func (c SchedConfig) cellKey(app, policy string) string {
 	}
 	if c.SpawnStacks {
 		key += "/spawnstacks"
+	}
+	if topo, err := cachesim.ParseTopology(c.Topology); err == nil && topo.Shared() {
+		key += "/" + topo.String()
 	}
 	return key
 }
@@ -149,7 +157,16 @@ func (c SchedConfig) configKV(app string) []snapshot.KV {
 		{K: "infer", V: strconv.FormatBool(c.InferSharing)},
 		{K: "threshold", V: strconv.FormatFloat(c.Threshold, 'g', -1, 64)},
 		{K: "spawnstacks", V: strconv.FormatBool(c.SpawnStacks)},
+		{K: "topology", V: c.topology().String()},
 	}
+}
+
+// topology parses the configured spec, falling back to the private
+// default on garbage — RunSched rejects the garbage before any
+// snapshot is written, so the fallback is never persisted.
+func (c SchedConfig) topology() cachesim.Topology {
+	topo, _ := cachesim.ParseTopology(c.Topology)
+	return topo
 }
 
 // checkpointConfig resolves the run's snapshot path and, when resuming,
@@ -193,12 +210,14 @@ func (c SchedConfig) withDefaults() SchedConfig {
 	return c
 }
 
-// platform builds the machine for a CPU count.
-func platform(cpus int) machine.Config {
-	if cpus == 1 {
-		return machine.UltraSPARC1()
+// platform builds the machine for a CPU count and topology.
+func platform(cpus int, topo cachesim.Topology) machine.Config {
+	cfg := machine.UltraSPARC1()
+	if cpus != 1 {
+		cfg = machine.Enterprise5000(cpus)
 	}
-	return machine.Enterprise5000(cpus)
+	cfg.Topology = topo
+	return cfg
 }
 
 // RunSched executes one application under one policy and returns its
@@ -210,11 +229,15 @@ func RunSched(appName, policy string, cfg SchedConfig) (PolicyRun, error) {
 	if err != nil {
 		return PolicyRun{}, err
 	}
+	topo, err := cachesim.ParseTopology(cfg.Topology)
+	if err != nil {
+		return PolicyRun{}, fmt.Errorf("experiments: %s/%s/%dcpu: %w", appName, policy, cfg.CPUs, err)
+	}
 	ckpt, err := cfg.checkpointConfig(appName, policy)
 	if err != nil {
 		return PolicyRun{}, fmt.Errorf("experiments: %s/%s/%dcpu: %w", appName, policy, cfg.CPUs, err)
 	}
-	m := machine.New(platform(cfg.CPUs))
+	m := machine.New(platform(cfg.CPUs, topo))
 	e, err := rt.New(sim.New(m), rt.Options{
 		Policy:             policy,
 		Seed:               cfg.Seed,

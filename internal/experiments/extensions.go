@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/cachesim"
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/model"
@@ -414,7 +415,7 @@ func CoarseStudy(cfg SchedConfig) (*CoarseResult, error) {
 		var misses [2]uint64
 		var cycles [2]uint64
 		for j, policy := range []string{"FCFS", "LFF"} {
-			m := machine.New(platform(cfg.CPUs))
+			m := machine.New(platform(cfg.CPUs, cachesim.Topology{}))
 			e, err := rt.New(sim.New(m), rt.Options{Policy: policy, Seed: cfg.Seed})
 			if err != nil {
 				return CoarseRow{}, err

@@ -19,6 +19,20 @@ var fig9Fingerprints = map[int]string{
 	64: "ad09f7f733c6b787a23269b54865c11362ff9a2da2680f3969747897c70183b9",
 }
 
+// Pinned fingerprints of the shared-LLC report: the co-runner accuracy
+// study and the policy matrix on both topologies. The private-dm column
+// doubles as a degeneracy golden — it must keep hashing the same as the
+// shared-aware policies keep degrading to their bases there. Same update
+// rule as fig9Fingerprints: intentional result changes re-pin with an
+// explanation in the commit.
+var (
+	sharedAccuracyFingerprint = "eaae2b65691cb74e6c9fa88b03d61afd28508924171fdc5fc672a80b2ba2e057"
+	sharedMatrixFingerprints  = map[string]string{
+		"shared-llc": "2f510928d0ac45e43322cdfe4c018cf75aec77274083c5ac00df8cf5e40859d5",
+		"private-dm": "6cc88a2286066f566a11287fae73a9330e8fca96b309a9f3c572e77c2ef5812c",
+	}
+)
+
 // TestFig9FingerprintsAcrossJobs pins the quick Fig9 output at 8 and
 // 64 CPUs and verifies the parallel cell driver is invisible: the same
 // grid computed with -j1 and -j8 must hash to the same pinned value.
@@ -36,6 +50,30 @@ func TestFig9FingerprintsAcrossJobs(t *testing.T) {
 			if want := fig9Fingerprints[ncpu]; got != want {
 				t.Errorf("Fig9 ncpu=%d jobs=%d fingerprint = %s, want %s",
 					ncpu, jobs, got, want)
+			}
+		}
+	}
+}
+
+// TestSharedLLCFingerprints pins the shared-LLC accuracy study and the
+// topology policy matrix (both topologies, serial and parallel cell
+// drivers) byte-for-byte.
+func TestSharedLLCFingerprints(t *testing.T) {
+	acc := SharedLLC(StudyConfig{})
+	if got := fmt.Sprintf("%x", sha256.Sum256([]byte(acc.Render()))); got != sharedAccuracyFingerprint {
+		t.Errorf("accuracy study fingerprint = %s, want %s", got, sharedAccuracyFingerprint)
+	}
+	for topo, want := range sharedMatrixFingerprints {
+		for _, jobs := range []int{1, 8} {
+			cfg := sharedQuick
+			cfg.Jobs = jobs
+			cfg.Topology = topo
+			r, err := SharedLLCSched(cfg)
+			if err != nil {
+				t.Fatalf("SharedLLCSched %s jobs=%d: %v", topo, jobs, err)
+			}
+			if got := fmt.Sprintf("%x", sha256.Sum256([]byte(r.Render()))); got != want {
+				t.Errorf("matrix %s jobs=%d fingerprint = %s, want %s", topo, jobs, got, want)
 			}
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/cachesim"
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/platform/sim"
@@ -128,7 +129,7 @@ func ProfiledStudy(appName string, cfg SchedConfig) (*ProfiledResult, error) {
 		return nil, err
 	}
 	// Trial run: profile with the monitor, keeping history.
-	profMach := machine.New(platform(cfg.CPUs))
+	profMach := machine.New(platform(cfg.CPUs, cachesim.Topology{}))
 	prof, err := rt.New(sim.New(profMach), rt.Options{
 		Policy: "LFF", Seed: cfg.Seed,
 		DisableAnnotations: true, InferSharing: true, KeepInferenceHistory: true,
@@ -143,7 +144,7 @@ func ProfiledStudy(appName string, cfg SchedConfig) (*ProfiledResult, error) {
 
 	// Production run: the harvested edges become static annotations
 	// (thread IDs are stable across runs by determinism).
-	runMach := machine.New(platform(cfg.CPUs))
+	runMach := machine.New(platform(cfg.CPUs, cachesim.Topology{}))
 	run, err := rt.New(sim.New(runMach), rt.Options{
 		Policy: "LFF", Seed: cfg.Seed, DisableAnnotations: true,
 	})

@@ -1,0 +1,377 @@
+package experiments
+
+// The shared-LLC study: the model-vs-simulator accuracy experiment for
+// the co-runner-aware closed forms (mirroring the Figure 4–7
+// methodology on a shared last-level cache), and the policy matrix
+// comparing the shared-aware LFF/CRT variants against the paper's
+// policies and FCFS under the same topology.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cachesim"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/model"
+	"repro/internal/parallel"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+	"repro/internal/xrand"
+)
+
+// SharedPolicies are the policies the shared-LLC matrix compares:
+// the paper's three plus the shared-cache-aware variants.
+var SharedPolicies = []string{"FCFS", "LFF", "CRT", "LFF-SH", "CRT-SH"}
+
+// SharedLLCResult holds the shared-LLC accuracy panels: two random
+// walkers co-running on a 2-CPU shared-llc E5000, with the model's
+// shared-cache forms predicting observed footprints in the one cache.
+type SharedLLCResult struct {
+	N int // shared-cache size in lines
+	// A: the executing walker under co-runner eviction pressure, one
+	// curve per pressure ratio / initial footprint:
+	// E = pN − (pN−S)k^M, p = own/total.
+	A []*Curve
+	// B: a sleeping independent thread decaying under the *total* miss
+	// clock (both walkers pressing): E = S·k^M.
+	B []*Curve
+	// C: a sleeping thread sharing q=0.5 of the co-runner's region,
+	// with the diluted coefficient: E = q·(own₁/M)·N·(1−k^M) + S·k^M.
+	C []*Curve
+}
+
+// sharedRig is the apparatus: a 2-CPU shared-llc machine with one
+// random walker per CPU over disjoint regions, each much larger than
+// the cache so misses distribute uniformly over the sets.
+type sharedRig struct {
+	cfg          StudyConfig
+	mach         *machine.Machine
+	mdl          *model.Model
+	rng          *xrand.Source
+	walk0, walk1 mem.Range
+}
+
+const (
+	sharedWalker0TID mem.ThreadID = 0
+	sharedWalker1TID mem.ThreadID = 1
+	sharedFirstTID   mem.ThreadID = 2
+)
+
+func newSharedRig(cfg StudyConfig) *sharedRig {
+	mcfg := machine.Enterprise5000(2)
+	mcfg.Topology = cachesim.Topology{Kind: cachesim.TopoSharedLLC}
+	mcfg.TrackFootprints = true
+	m := machine.New(mcfg)
+	r := &sharedRig{
+		cfg:  cfg,
+		mach: m,
+		mdl:  model.New(mcfg.L2.Lines()),
+		rng:  xrand.New(cfg.Seed),
+		// Disjoint walk regions, each 64x the cache, for the same
+		// reason as the Figure 4 rig: misses must sample the sets
+		// uniformly for the closed forms' independence assumption.
+		walk0: m.AllocPages(uint64(64 * mcfg.L2.Size)),
+		walk1: m.AllocPages(uint64(64 * mcfg.L2.Size)),
+	}
+	m.RegisterState(sharedWalker0TID, r.walk0)
+	m.RegisterState(sharedWalker1TID, r.walk1)
+	return r
+}
+
+func (r *sharedRig) lineSize() uint64 { return uint64(r.mach.Config().L2.LineSize) }
+
+// preload touches lines distinct random lines of region on behalf of
+// tid (on CPU 0; the cache is shared, so the filling CPU is
+// immaterial to residency).
+func (r *sharedRig) preload(tid mem.ThreadID, region mem.Range, lines int) {
+	total := int(region.Lines(r.lineSize()))
+	if lines > total {
+		lines = total
+	}
+	perm := r.rng.Perm(total)
+	batch := make(mem.Batch, 0, lines)
+	for _, li := range perm[:lines] {
+		batch = append(batch, mem.Access{
+			Base: region.Base + mem.Addr(uint64(li)*r.lineSize()), Count: 1, Size: 8,
+		})
+	}
+	r.mach.Apply(0, tid, batch)
+}
+
+// run co-runs the walkers — walker 0 on CPU 0, walker 1 on CPU 1,
+// coRatio batches of walker 1 per batch of walker 0 (0 = walker 0
+// alone) — sampling the observed footprint of watch every checkpoint
+// of the *total* miss clock until MaxMisses. predict supplies the
+// model value from the actual per-walker and total miss counts at the
+// sample instant.
+func (r *sharedRig) run(watch mem.ThreadID, coRatio int, predict func(own0, own1, total uint64) float64) *Curve {
+	gen0 := trace.NewGen(trace.Uniform(r.walk0), r.rng.Uint64())
+	gen1 := trace.NewGen(trace.Uniform(r.walk1), r.rng.Uint64())
+	cpu0, cpu1 := r.mach.CPU(0), r.mach.CPU(1)
+	m0, m1 := cpu0.EMisses, cpu1.EMisses
+	next := r.cfg.Checkpoint
+	curve := &Curve{}
+	record := func(own0, own1, total uint64) {
+		curve.Misses = append(curve.Misses, float64(total))
+		curve.Observed = append(curve.Observed, float64(r.mach.Footprint(0, watch)))
+		curve.Predicted = append(curve.Predicted, predict(own0, own1, total))
+	}
+	record(0, 0, 0)
+	var batch mem.Batch
+	emit := func(gen *trace.Gen, cpu int, tid mem.ThreadID) {
+		batch = batch[:0]
+		batch, _ = gen.Emit(batch, 128)
+		r.mach.Apply(cpu, tid, batch)
+	}
+	for {
+		emit(gen0, 0, sharedWalker0TID)
+		for i := 0; i < coRatio; i++ {
+			emit(gen1, 1, sharedWalker1TID)
+		}
+		own0, own1 := cpu0.EMisses-m0, cpu1.EMisses-m1
+		total := own0 + own1
+		if total >= next {
+			// Sample at the actual totals, not the checkpoint label
+			// (see the Figure 4 rig).
+			record(own0, own1, total)
+			for next <= total {
+				next += r.cfg.Checkpoint
+			}
+		}
+		if total >= r.cfg.MaxMisses {
+			return curve
+		}
+	}
+}
+
+// SharedLLC runs the shared-cache accuracy panels.
+func SharedLLC(cfg StudyConfig) *SharedLLCResult {
+	cfg = cfg.withDefaults(20000)
+	r := newSharedRig(cfg)
+	N := r.mdl.N()
+	res := &SharedLLCResult{N: N}
+
+	// Panel a: the executing walker under 0, 1 and 3 co-runner batches
+	// per own batch, plus one fully preloaded case. The fixed point is
+	// pN with p the walker's actual share of the miss stream; ratio 0
+	// degenerates to the private case 1 (own == total).
+	type aCase struct {
+		ratio int
+		s0    int
+	}
+	for _, c := range []aCase{{0, 0}, {1, 0}, {3, 0}, {1, N}} {
+		r.mach.FlushCaches()
+		r.preload(sharedWalker0TID, r.walk0, c.s0)
+		s0obs := float64(r.mach.Footprint(0, sharedWalker0TID))
+		curve := r.run(sharedWalker0TID, c.ratio, func(own0, _, total uint64) float64 {
+			return r.mdl.ExpectSharedSelf(s0obs, own0, total)
+		})
+		curve.Label = fmt.Sprintf("co=%d S0=%d", c.ratio, c.s0)
+		res.A = append(res.A, curve)
+	}
+
+	// Panel b: a sleeping thread with state disjoint from both walkers
+	// decays under the total clock: every miss in the machine is
+	// eviction pressure, E = S·k^M.
+	indepRegion := r.mach.AllocPages(uint64(r.mach.Config().L2.Size))
+	r.mach.RegisterState(sharedFirstTID, indepRegion)
+	for _, s0 := range []int{N / 2, N} {
+		r.mach.FlushCaches()
+		r.preload(sharedFirstTID, indepRegion, s0)
+		s0obs := float64(r.mach.Footprint(0, sharedFirstTID))
+		curve := r.run(sharedFirstTID, 1, func(_, _, total uint64) float64 {
+			return r.mdl.ExpectIndep(s0obs, total)
+		})
+		curve.Label = fmt.Sprintf("S0=%d", s0)
+		res.B = append(res.B, curve)
+	}
+
+	// Panel c: a sleeping thread whose region is the first half of the
+	// co-runner's walk (q = 0.5): only the co-runner's own misses can
+	// install its lines, so the effective coefficient dilutes by the
+	// co-runner's share of the miss stream.
+	const qc = 0.5
+	depTID := sharedFirstTID + 1
+	half := mem.Range{Base: r.walk1.Base, Len: uint64(float64(r.walk1.Len) * qc)}
+	r.mach.RegisterState(depTID, half)
+	for _, s0 := range []int{0, N / 2} {
+		r.mach.FlushCaches()
+		r.preload(depTID, half, s0)
+		s0obs := float64(r.mach.Footprint(0, depTID))
+		curve := r.run(depTID, 1, func(_, own1, total uint64) float64 {
+			return r.mdl.ExpectSharedDep(s0obs, qc, own1, total)
+		})
+		curve.Label = fmt.Sprintf("S0=%d", s0)
+		res.C = append(res.C, curve)
+	}
+	return res
+}
+
+// MaxRelError returns the worst mean relative error across the panels
+// (same floor as the Figure 4 study: N/50 lines).
+func (r *SharedLLCResult) MaxRelError() float64 {
+	worst := 0.0
+	for _, set := range [][]*Curve{r.A, r.B, r.C} {
+		for _, c := range set {
+			if e := stats.MeanRelError(c.Predicted, c.Observed, float64(r.N)/50); e > worst {
+				worst = e
+			}
+		}
+	}
+	return worst
+}
+
+// Render produces the three panels as plots plus an accuracy table.
+func (r *SharedLLCResult) Render() string {
+	var b strings.Builder
+	panels := []struct {
+		name   string
+		curves []*Curve
+	}{
+		{"a) Executing walker under co-runner pressure", r.A},
+		{"b) Sleeping independent thread (total-clock decay)", r.B},
+		{"c) Sleeping dependent thread (q=0.5, diluted)", r.C},
+	}
+	acc := report.NewTable("Shared LLC — co-runner-aware model accuracy (2-CPU shared-llc E5000)",
+		"panel", "curve", "final observed", "final predicted", "RMSE", "bias")
+	for _, panel := range panels {
+		plot := &report.Plot{
+			Title:  "Shared LLC " + panel.name + " (footprint in lines vs total E-cache misses)",
+			XLabel: "total E-cache misses",
+			YLabel: "lines",
+		}
+		for _, c := range panel.curves {
+			obs, pred := c.series()
+			plot.Series = append(plot.Series, obs, pred)
+			acc.AddRow(panel.name[:2], c.Label,
+				fmt.Sprintf("%.0f", c.Observed[len(c.Observed)-1]),
+				fmt.Sprintf("%.0f", c.Predicted[len(c.Predicted)-1]),
+				fmt.Sprintf("%.1f", c.RMSE()),
+				fmt.Sprintf("%+.1f", c.Bias()))
+		}
+		plot.WriteTo(&b)
+		b.WriteString("\n")
+	}
+	acc.WriteTo(&b)
+	return b.String()
+}
+
+// SharedSchedResult holds the shared-topology policy matrix: every
+// Section 5 application under FCFS, the paper's policies and the
+// shared-aware variants, all on one cache topology.
+type SharedSchedResult struct {
+	Topology string
+	CPUs     int
+	// Runs[app][policy]
+	Runs map[string]map[string]PolicyRun
+	Apps []string
+}
+
+// SharedLLCSched runs the policy matrix. cfg.Topology defaults to
+// shared-llc; pass "private-dm" to measure the same matrix on the
+// paper's topology (the shared-aware variants then degrade to their
+// base policies' clocks but keep the registry dispatch path).
+func SharedLLCSched(cfg SchedConfig) (*SharedSchedResult, error) {
+	if cfg.CPUs <= 1 {
+		cfg.CPUs = 8
+	}
+	if cfg.Topology == "" {
+		cfg.Topology = "shared-llc"
+	}
+	cfg = cfg.withDefaults()
+	topo, err := cachesim.ParseTopology(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	res := &SharedSchedResult{
+		Topology: topo.String(),
+		CPUs:     cfg.CPUs,
+		Runs:     make(map[string]map[string]PolicyRun),
+	}
+	type cell struct{ app, policy string }
+	var cells []cell
+	for _, app := range workloads.SchedApps() {
+		res.Apps = append(res.Apps, app.Name)
+		for _, policy := range SharedPolicies {
+			cells = append(cells, cell{app.Name, policy})
+		}
+	}
+	runs, err := parallel.Map(cfg.Jobs, len(cells), func(i int) (PolicyRun, error) {
+		return RunSched(cells[i].app, cells[i].policy, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		if res.Runs[c.app] == nil {
+			res.Runs[c.app] = make(map[string]PolicyRun)
+		}
+		res.Runs[c.app][c.policy] = runs[i]
+	}
+	return res, nil
+}
+
+// Eliminated returns the percentage of FCFS E-misses the policy
+// eliminated for app.
+func (r *SharedSchedResult) Eliminated(app, policy string) float64 {
+	base := r.Runs[app]["FCFS"]
+	run := r.Runs[app][policy]
+	return stats.PercentEliminated(float64(base.EMisses), float64(run.EMisses))
+}
+
+// Speedup returns relative performance vs FCFS for app.
+func (r *SharedSchedResult) Speedup(app, policy string) float64 {
+	base := r.Runs[app]["FCFS"]
+	run := r.Runs[app][policy]
+	return stats.Ratio(float64(base.Cycles), float64(run.Cycles))
+}
+
+// TotalMisses sums a policy's E-misses over every application.
+func (r *SharedSchedResult) TotalMisses(policy string) uint64 {
+	var n uint64
+	for _, app := range r.Apps {
+		n += r.Runs[app][policy].EMisses
+	}
+	return n
+}
+
+// Render produces the two matrix panels: total E-cache misses
+// (normalized to FCFS) and relative performance.
+func (r *SharedSchedResult) Render() string {
+	var b strings.Builder
+	platform := fmt.Sprintf("%d-CPU E5000, %s", r.CPUs, r.Topology)
+
+	misses := report.NewTable(
+		fmt.Sprintf("Shared LLC — Total E-cache misses, %s (normalized to FCFS; absolute in parentheses)", platform),
+		"app", "FCFS", "LFF", "CRT", "LFF-SH", "CRT-SH")
+	for _, app := range r.Apps {
+		base := r.Runs[app]["FCFS"]
+		norm := func(p string) string {
+			run := r.Runs[app][p]
+			return fmt.Sprintf("%.3f (%d)", stats.Ratio(float64(run.EMisses), float64(base.EMisses)), run.EMisses)
+		}
+		misses.AddRow(app, norm("FCFS"), norm("LFF"), norm("CRT"), norm("LFF-SH"), norm("CRT-SH"))
+	}
+	misses.Note("aggregate misses: FCFS %d, LFF %d, CRT %d, LFF-SH %d, CRT-SH %d",
+		r.TotalMisses("FCFS"), r.TotalMisses("LFF"), r.TotalMisses("CRT"),
+		r.TotalMisses("LFF-SH"), r.TotalMisses("CRT-SH"))
+	misses.WriteTo(&b)
+	b.WriteString("\n")
+
+	perf := report.NewTable(
+		fmt.Sprintf("Shared LLC — Performance relative to FCFS, %s (higher is better)", platform),
+		"app", "LFF", "CRT", "LFF-SH", "CRT-SH", "FCFS cycles")
+	for _, app := range r.Apps {
+		perf.AddRow(app,
+			fmt.Sprintf("%.2f", r.Speedup(app, "LFF")),
+			fmt.Sprintf("%.2f", r.Speedup(app, "CRT")),
+			fmt.Sprintf("%.2f", r.Speedup(app, "LFF-SH")),
+			fmt.Sprintf("%.2f", r.Speedup(app, "CRT-SH")),
+			fmt.Sprintf("%d", r.Runs[app]["FCFS"].Cycles))
+	}
+	perf.WriteTo(&b)
+	return b.String()
+}

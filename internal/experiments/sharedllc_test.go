@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// sharedQuick is the shared-LLC matrix scale used by tests, goldens and
+// the CI smoke. 0.15 is the smallest scale at which tsp's schedule is
+// long enough for the policy differences to dominate startup effects.
+var sharedQuick = SchedConfig{Scale: 0.15, Seed: 11, Jobs: 8}
+
+// TestSharedLLCAccuracy mirrors the Figure 4 acceptance bar on the
+// shared cache: the co-runner-aware closed forms must track the
+// simulator within a few percent of cache capacity on every panel.
+func TestSharedLLCAccuracy(t *testing.T) {
+	res := SharedLLC(StudyConfig{})
+	if got := res.MaxRelError(); got > 0.06 {
+		t.Errorf("worst panel mean relative error %.3f, want <= 0.06", got)
+	}
+	for _, set := range [][]*Curve{res.A, res.B, res.C} {
+		for _, c := range set {
+			if len(c.Misses) < 10 {
+				t.Errorf("curve %q has only %d samples", c.Label, len(c.Misses))
+			}
+		}
+	}
+	// Panel a's co=0 curve is the degenerate private case and must be
+	// essentially exact (it is the Figure 4a experiment on the shared
+	// rig).
+	if rmse := res.A[0].RMSE(); rmse > float64(res.N)/100 {
+		t.Errorf("degenerate co=0 curve RMSE %.1f, want < N/100", rmse)
+	}
+}
+
+// TestSharedPoliciesBeatFCFS is the paper's Section 5 claim carried to
+// the shared LLC: the shared-aware locality policies eliminate misses
+// relative to FCFS on the aggregate workload.
+func TestSharedPoliciesBeatFCFS(t *testing.T) {
+	res, err := SharedLLCSched(sharedQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfs := res.TotalMisses("FCFS")
+	for _, policy := range []string{"LFF-SH", "CRT-SH"} {
+		if got := res.TotalMisses(policy); got >= fcfs {
+			t.Errorf("%s total E-misses %d did not beat FCFS %d", policy, got, fcfs)
+		}
+	}
+	// The shared-aware variants must not lose to their base policies in
+	// aggregate either — the machine-wide clock and co-runner forms are
+	// the point of the exercise.
+	if lffsh, crt := res.TotalMisses("LFF-SH"), res.TotalMisses("CRT"); lffsh >= crt {
+		t.Errorf("LFF-SH total %d did not beat CRT %d", lffsh, crt)
+	}
+	if res.Topology != "shared-llc" {
+		t.Errorf("default topology %q, want shared-llc", res.Topology)
+	}
+	out := res.Render()
+	for _, want := range []string{"LFF-SH", "CRT-SH", "shared-llc", "aggregate misses"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+// TestSharedAwareDegradesOnPrivate pins the no-op guarantee of the
+// scheduler's topology gate: a shared-aware policy on the paper's
+// private hierarchy must produce counter-for-counter the run of its
+// base policy (the embedded scheme, private clocks).
+func TestSharedAwareDegradesOnPrivate(t *testing.T) {
+	cfg := quickSched
+	cfg.CPUs = 8
+	for _, pair := range [][2]string{{"LFF-SH", "LFF"}, {"CRT-SH", "CRT"}} {
+		shared, err := RunSched("tasks", pair[0], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := RunSched("tasks", pair[1], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared.Policy = base.Policy
+		if shared != base {
+			t.Errorf("%s on private-dm diverged from %s:\n%+v\n%+v",
+				pair[0], pair[1], shared, base)
+		}
+	}
+}
+
+// TestSharedTopologyMatrixOnPrivate runs the matrix driver on the
+// private topology — the cross-check column for the shared-LLC report.
+func TestSharedTopologyMatrixOnPrivate(t *testing.T) {
+	cfg := sharedQuick
+	cfg.Scale = 0.08
+	cfg.Topology = "private-dm"
+	res, err := SharedLLCSched(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Topology != "private-dm" {
+		t.Fatalf("topology %q", res.Topology)
+	}
+	for _, app := range res.Apps {
+		if res.Runs[app]["LFF-SH"].EMisses != res.Runs[app]["LFF"].EMisses {
+			t.Errorf("%s: LFF-SH misses %d != LFF %d on private-dm",
+				app, res.Runs[app]["LFF-SH"].EMisses, res.Runs[app]["LFF"].EMisses)
+		}
+	}
+}
+
+// TestRunSchedRejectsBadTopology pins the fail-fast contract.
+func TestRunSchedRejectsBadTopology(t *testing.T) {
+	cfg := quickSched
+	cfg.Topology = "shared-assoc:nope"
+	if _, err := RunSched("tasks", "LFF", cfg); err == nil || !strings.Contains(err.Error(), "topology") {
+		t.Fatalf("err = %v, want a descriptive topology error", err)
+	}
+}

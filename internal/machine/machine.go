@@ -29,8 +29,17 @@ type Config struct {
 	Name string
 	// CPUs is the processor count (1..256).
 	CPUs int
-	// L1I, L1D, L2 are the per-CPU cache geometries.
+	// L1I, L1D, L2 are the cache geometries. L1s are always per-CPU;
+	// the L2 is per-CPU on the private topology and one machine-wide
+	// cache on the shared topologies (whose associativity Topology may
+	// rewrite — see cachesim.Topology.L2Config).
 	L1I, L1D, L2 cachesim.Config
+	// Topology selects the cache organisation. The zero value is the
+	// paper's private per-CPU direct-mapped hierarchy with a
+	// write-invalidate directory; the shared variants give every CPU
+	// one L2 and resolve coherence in-cache (see internal/cachesim's
+	// topology layer).
+	Topology cachesim.Topology
 	// MissCycles is the memory latency of an E-cache miss whose line is
 	// not dirty in another processor's cache.
 	MissCycles int
@@ -114,6 +123,9 @@ func (c Config) Validate() error {
 	}
 	if c.TLBEntries != 0 && !mem.IsPow2(uint64(c.TLBEntries)) {
 		return fmt.Errorf("machine: TLB entries must be a power of two")
+	}
+	if err := c.Topology.Validate(c.L2); err != nil {
+		return err
 	}
 	return nil
 }
@@ -346,6 +358,11 @@ type Machine struct {
 	cpus   []*CPU
 	mapper *vm.Mapper
 	dir    *directory
+	// shared is the machine-wide L2 on the shared topologies; nil on
+	// the private default. Exactly one of dir (private, CPUs > 1) and
+	// shared is non-nil on a multiprocessor — the shared cache resolves
+	// coherence in-cache, so it needs no directory.
+	shared *cachesim.SharedL2
 
 	// Tiny software structure memoizing recent translations so that
 	// the per-reference fast path avoids the page-table map.
@@ -406,21 +423,38 @@ func New(cfg Config) *Machine {
 		pageMask:    cfg.PageSize - 1,
 	}
 	m.env.m = m
-	if cfg.CPUs > 1 {
+	if cfg.Topology.Shared() {
+		m.shared = cachesim.NewSharedL2(cfg.Topology.L2Config(cfg.L2), cfg.CPUs)
+		if cfg.ClassifyMisses {
+			m.shared.Cache().EnableClassification()
+		}
+	} else if cfg.CPUs > 1 {
 		m.dir = newDirectory(m.pageShift, m.pageMask, m.l2LineSize, cfg.CPUs)
+	}
+	// One tracker observes the one shared cache; every CPU aliases it so
+	// Footprint works regardless of the CPU asked.
+	var sharedTracker *cachesim.Tracker
+	if m.shared != nil && cfg.TrackFootprints {
+		sharedTracker = cachesim.NewTracker(m.l2LineSize, cfg.PageSize)
+		m.shared.Cache().SetListener(sharedTracker)
 	}
 	for i := 0; i < cfg.CPUs; i++ {
 		cpu := &CPU{
-			ID:   i,
-			Hier: cachesim.NewHierarchy(cfg.L1I, cfg.L1D, cfg.L2),
-			PMU:  perfctr.NewUnit(perfctr.DefaultPCR()),
+			ID:  i,
+			PMU: perfctr.NewUnit(perfctr.DefaultPCR()),
 		}
-		if cfg.TrackFootprints {
-			cpu.Tracker = cachesim.NewTracker(m.l2LineSize, cfg.PageSize)
-			cpu.Hier.L2.SetListener(cpu.Tracker)
-		}
-		if cfg.ClassifyMisses {
-			cpu.Hier.L2.EnableClassification()
+		if m.shared != nil {
+			cpu.Hier = cachesim.NewHierarchyShared(cfg.L1I, cfg.L1D, m.shared, i)
+			cpu.Tracker = sharedTracker
+		} else {
+			cpu.Hier = cachesim.NewHierarchy(cfg.L1I, cfg.L1D, cfg.L2)
+			if cfg.TrackFootprints {
+				cpu.Tracker = cachesim.NewTracker(m.l2LineSize, cfg.PageSize)
+				cpu.Hier.L2.SetListener(cpu.Tracker)
+			}
+			if cfg.ClassifyMisses {
+				cpu.Hier.L2.EnableClassification()
+			}
 		}
 		if cfg.TLBEntries > 0 {
 			cpu.tlb = make([]uint64, cfg.TLBEntries)
@@ -982,6 +1016,14 @@ func (m *Machine) RegisterState(tid mem.ThreadID, ranges ...mem.Range) {
 			base = hi
 		}
 	}
+	if m.shared != nil {
+		// Every CPU aliases the one shared-cache tracker; register and
+		// rebuild once.
+		tr := m.cpus[0].Tracker
+		tr.Register(tid, phys...)
+		tr.Rebuild(m.shared.Cache())
+		return
+	}
 	for _, cpu := range m.cpus {
 		cpu.Tracker.Register(tid, phys...)
 		cpu.Tracker.Rebuild(cpu.Hier.L2)
@@ -1040,6 +1082,14 @@ func (t Traffic) Total() uint64 { return t.FillBytes + t.WritebackBytes }
 func (m *Machine) MemoryTraffic() Traffic {
 	line := uint64(m.cfg.L2.LineSize)
 	var t Traffic
+	if m.shared != nil {
+		// One machine-wide cache: read its stats once, not per CPU
+		// (every hierarchy's L2 field aliases it).
+		st := m.shared.Cache().Stats()
+		t.FillBytes = st.Misses * line
+		t.WritebackBytes = st.Writebacks * line
+		return t
+	}
 	for _, cpu := range m.cpus {
 		st := cpu.Hier.L2.Stats()
 		t.FillBytes += st.Misses * line
@@ -1076,7 +1126,14 @@ func (m *Machine) TotalInstrs() uint64 {
 //   - a line resident in two or more caches is marked shared in each.
 //
 // It returns a descriptive error for the first violation found.
+//
+// On a shared topology the directory does not exist; the corresponding
+// invariants live in the shared cache and its sharer sets, checked by
+// checkSharedCoherence.
 func (m *Machine) CheckCoherence() error {
+	if m.shared != nil {
+		return m.checkSharedCoherence()
+	}
 	if m.dir == nil {
 		return nil // uniprocessor: nothing to check
 	}
@@ -1145,4 +1202,71 @@ func (m *Machine) CheckCoherence() error {
 		}
 	})
 	return claimErr
+}
+
+// checkSharedCoherence verifies the shared-topology invariants:
+//
+//   - every resident shared-L2 line records at least one sharer, all of
+//     them real CPUs;
+//   - a line is marked shared exactly when its sharer set has two or
+//     more members;
+//   - every valid L1 line is covered by a resident shared-L2 line
+//     (inclusion) whose sharer set includes the holding CPU — the
+//     sharer sets are conservative supersets of L1 residency, so
+//     coverage must never be violated in this direction.
+func (m *Machine) checkSharedCoherence() error {
+	sc := m.shared.Cache()
+	var err error
+	sc.ForEachValidLine(func(line mem.Addr, _ mem.ThreadID) {
+		if err != nil {
+			return
+		}
+		mask, _ := m.shared.Sharers(line)
+		cm := cpuMask(mask)
+		n := cm.count()
+		if n == 0 {
+			err = fmt.Errorf("machine: shared line %#x resident with an empty sharer set", uint64(line))
+			return
+		}
+		bad := -1
+		cm.forEach(func(i int) {
+			if i >= m.cfg.CPUs {
+				bad = i
+			}
+		})
+		if bad >= 0 {
+			err = fmt.Errorf("machine: shared line %#x records sharer %d beyond the %d-CPU machine",
+				uint64(line), bad, m.cfg.CPUs)
+			return
+		}
+		if sc.IsShared(line) != (n > 1) {
+			err = fmt.Errorf("machine: shared line %#x has %d sharers but shared mark %v",
+				uint64(line), n, sc.IsShared(line))
+		}
+	})
+	if err != nil {
+		return err
+	}
+	for _, cpu := range m.cpus {
+		for _, l1 := range []*cachesim.Cache{cpu.Hier.L1I, cpu.Hier.L1D} {
+			id, name := cpu.ID, l1.Config().Name
+			l1.ForEachValidLine(func(l1line mem.Addr, _ mem.ThreadID) {
+				if err != nil {
+					return
+				}
+				if !sc.Contains(l1line) {
+					err = fmt.Errorf("machine: cpu %d holds %#x in %s without a shared-L2 copy (inclusion)",
+						id, uint64(l1line), name)
+					return
+				}
+				mask, _ := m.shared.Sharers(l1line)
+				cm := cpuMask(mask)
+				if !cm.has(id) {
+					err = fmt.Errorf("machine: cpu %d holds %#x in %s but is absent from sharer set %v",
+						id, uint64(l1line), name, cm)
+				}
+			})
+		}
+	}
+	return err
 }

@@ -1,0 +1,153 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/cachesim"
+	"repro/internal/mem"
+)
+
+// The shared topologies must be proven no-ops in their degenerate
+// configurations: a shared LLC filled by a single CPU, and a 1-way
+// "set-associative" shared cache, are both exactly the paper's private
+// direct-mapped hierarchy. These differentials drive fuzzed access
+// streams through a shared-topology machine and a private one and
+// demand identical counters after every Apply — the same safety net
+// fastapply_test.go gives the fused sweep, aimed at the topology seam.
+
+// topoPair builds a shared-topology machine and its private reference
+// with identical allocations.
+func topoPair(t *testing.T, cfg Config, topo cachesim.Topology, ws uint64) (shared, private *Machine, span mem.Range) {
+	t.Helper()
+	scfg := cfg
+	scfg.Topology = topo
+	shared, private = New(scfg), New(cfg)
+	span = shared.Alloc(ws, 0)
+	if s2 := private.Alloc(ws, 0); s2 != span {
+		t.Fatal("allocators diverged")
+	}
+	return shared, private, span
+}
+
+// fuzzStream issues steps fuzzed accesses on both machines, comparing
+// miss counts per Apply and full counter fingerprints at the end.
+func fuzzStream(t *testing.T, a, b *Machine, span mem.Range, seed uint64, steps int) {
+	t.Helper()
+	rng := refLCG(seed)
+	for step := 0; step < steps; step++ {
+		tid := mem.ThreadID(rng.next()%4 + 1)
+		acc := mem.Access{
+			Base:   span.Base + mem.Addr(rng.next()%span.Len),
+			Count:  int32(rng.next()%96) + 1,
+			Stride: int32(rng.next() % 40),
+			Size:   uint16(1 << (rng.next() % 4)),
+			Write:  rng.next()%3 == 0,
+		}
+		if uint64(acc.Base)+uint64(acc.Count)*uint64(acc.Stride)+uint64(acc.Size) >= uint64(span.Base)+span.Len {
+			continue
+		}
+		am := a.Apply(0, tid, mem.Batch{acc})
+		bm := b.Apply(0, tid, mem.Batch{acc})
+		if am != bm {
+			t.Fatalf("step %d: Apply(%+v): %d misses vs %d", step, acc, am, bm)
+		}
+		if rng.next()%64 == 0 {
+			code := mem.Range{Base: span.Base + mem.Addr((rng.next()%4096)&^7), Len: 512}
+			a.TouchCode(0, tid, code)
+			b.TouchCode(0, tid, code)
+		}
+	}
+	if got, want := cpuFingerprint(a, 1), cpuFingerprint(b, 1); got != want {
+		t.Fatalf("counters diverged:\nshared:\n%s\nprivate:\n%s", got, want)
+	}
+}
+
+func TestSharedDegeneratesToPrivate(t *testing.T) {
+	topos := []cachesim.Topology{
+		{Kind: cachesim.TopoSharedLLC},
+		{Kind: cachesim.TopoSharedAssoc, Ways: 1},
+	}
+	for _, topo := range topos {
+		t.Run(topo.String(), func(t *testing.T) {
+			cfg := smallConfig(1)
+			cfg.TLBEntries = 8
+			shared, private, span := topoPair(t, cfg, topo, 32<<10)
+			fuzzStream(t, shared, private, span, 314159, 4000)
+			if err := shared.CheckCoherence(); err != nil {
+				t.Fatalf("shared machine incoherent: %v", err)
+			}
+			if err := private.CheckCoherence(); err != nil {
+				t.Fatalf("private machine incoherent: %v", err)
+			}
+		})
+	}
+}
+
+// TestSharedDegenerateFootprints extends the equivalence to the
+// tracker: registered-state footprints must agree between the shared
+// cache's single tracker and the private per-CPU one.
+func TestSharedDegenerateFootprints(t *testing.T) {
+	cfg := smallConfig(1)
+	cfg.TrackFootprints = true
+	shared, private, span := topoPair(t, cfg, cachesim.Topology{Kind: cachesim.TopoSharedLLC}, 16<<10)
+	reg := mem.Range{Base: span.Base, Len: span.Len / 2}
+	shared.RegisterState(1, reg)
+	private.RegisterState(1, reg)
+	fuzzStream(t, shared, private, span, 271828, 2000)
+	if got, want := shared.Footprint(0, 1), private.Footprint(0, 1); got != want {
+		t.Fatalf("footprint diverged: shared %d, private %d", got, want)
+	}
+}
+
+// TestSharedMultiCPUCoherence fuzzes multi-CPU traffic over every
+// shared topology and checks the machine's coherence invariants
+// (inclusion, sharer supersets, shared-mark consistency) along the way.
+func TestSharedMultiCPUCoherence(t *testing.T) {
+	topos := []cachesim.Topology{
+		{Kind: cachesim.TopoSharedLLC},
+		{Kind: cachesim.TopoSharedAssoc, Ways: 4},
+		{Kind: cachesim.TopoSharedFA},
+	}
+	for _, topo := range topos {
+		t.Run(topo.String(), func(t *testing.T) {
+			cfg := smallConfig(4)
+			cfg.Topology = topo
+			cfg.TrackFootprints = true
+			m := New(cfg)
+			span := m.Alloc(32<<10, 0)
+			m.RegisterState(1, mem.Range{Base: span.Base, Len: 8 << 10})
+			rng := refLCG(161803)
+			for step := 0; step < 3000; step++ {
+				cpu := int(rng.next() % 4)
+				tid := mem.ThreadID(rng.next()%4 + 1)
+				acc := mem.Access{
+					Base:   span.Base + mem.Addr(rng.next()%span.Len),
+					Count:  int32(rng.next()%64) + 1,
+					Stride: int32(rng.next() % 48),
+					Size:   uint16(1 << (rng.next() % 4)),
+					Write:  rng.next()%3 == 0,
+				}
+				if uint64(acc.Base)+uint64(acc.Count)*uint64(acc.Stride)+uint64(acc.Size) >= uint64(span.Base)+span.Len {
+					continue
+				}
+				m.Apply(cpu, tid, mem.Batch{acc})
+				if step%500 == 499 {
+					if err := m.CheckCoherence(); err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+				}
+			}
+			if err := m.CheckCoherence(); err != nil {
+				t.Fatalf("final: %v", err)
+			}
+			// A flush must clear every residency structure coherently.
+			m.FlushCaches()
+			if err := m.CheckCoherence(); err != nil {
+				t.Fatalf("after flush: %v", err)
+			}
+			if got := m.Footprint(0, 1); got != 0 {
+				t.Fatalf("footprint %d after flush, want 0", got)
+			}
+		})
+	}
+}

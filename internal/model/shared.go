@@ -1,0 +1,175 @@
+package model
+
+// Shared-cache generalization of the Section 2.4 closed forms, and the
+// shared-LLC-aware policy variants built on it.
+//
+// Under a shared last-level cache, the miss counter a sleeping or
+// blocking thread decays against is the *total* machine miss count: a
+// co-runner's miss evicts one of the thread's N-line-cache lines with
+// probability F/N exactly as the thread's own misses do on a private
+// cache, so the universal decay law E(t) = S·k^(m(t)−m0) carries over
+// unchanged with m taken machine-wide.
+//
+// The blocking form changes. On a private cache every one of the
+// blocker's own n misses *adds* a line to its footprint; on a shared
+// cache only the fraction p = own/total of the interval's misses do,
+// and the remaining (1−p) — the co-runners' misses — apply pure
+// eviction pressure. Per miss, E' = E + p − E/N, whose M-step solution
+// is
+//
+//	E = pN − (pN − S)·k^M,  p = own/total, M = total misses
+//
+// (Ling et al., arXiv:2007.11195 derive the same fixed point pN for
+// proportional insertion pressure on a shared cache.) With own = total
+// this is exactly the private case 1; with own = 0 it is pure decay —
+// the form interpolates between the paper's cases 1 and 2.
+//
+// The dependent form applies the same dilution to the sharing
+// coefficient: only the co-runner's own misses can install lines the
+// dependent thread reuses, so the effective coefficient on an annotated
+// edge is q·own/total and E = q_eff·N·(1 − k^M) + S·k^M.
+//
+// All inputs are clamped at the API boundary like the private forms:
+// s to [0, N], q to [0, 1], own to [0, total].
+
+// ExpectSharedSelf returns the expected footprint of a thread that just
+// blocked on a shared cache, where own is the thread's own miss count
+// over its interval and total the machine-wide miss count over the same
+// interval (own ≤ total; total includes own):
+//
+//	E = pN − (pN − s)·k^total,  p = own/total.
+//
+// With own == total it reduces to ExpectSelf, with own == 0 to pure
+// decay. s is clamped to [0, N] and own to [0, total]; a zero-miss
+// interval returns s unchanged. The result is always in [0, N].
+func (m *Model) ExpectSharedSelf(s float64, own, total uint64) float64 {
+	s = m.clampS(s)
+	if total == 0 {
+		return s
+	}
+	if own > total {
+		own = total
+	}
+	pn := float64(own) / float64(total) * float64(m.n)
+	return pn - (pn-s)*m.PowK(total)
+}
+
+// ExpectSharedDep returns the expected footprint of a thread that
+// shares state (coefficient q) with a co-runner on a shared cache: own
+// is the co-runner's miss count over the interval, total the
+// machine-wide miss count (own ≤ total), and the effective coefficient
+// is diluted to q·own/total because only the co-runner's own misses
+// install shared lines:
+//
+//	E = q_eff·N − (q_eff·N − s)·k^total,  q_eff = q·own/total.
+//
+// s is clamped to [0, N], q to [0, 1] and own to [0, total]; a
+// zero-miss interval returns s unchanged. The result is always in
+// [0, N].
+func (m *Model) ExpectSharedDep(s, q float64, own, total uint64) float64 {
+	s = m.clampS(s)
+	if total == 0 {
+		return s
+	}
+	if own > total {
+		own = total
+	}
+	qn := ClampSharing(q) * (float64(own) / float64(total)) * float64(m.n)
+	return qn - (qn-s)*m.PowK(total)
+}
+
+// SharedScheme extends Scheme with the shared-cache update forms. The
+// scheduler type-asserts its scheme once at construction: a scheme
+// implementing SharedScheme switches the scheduler onto the machine-
+// wide miss clock and these forms; plain Schemes keep the private
+// per-CPU clock and the paper's forms. The embedded Scheme methods
+// remain coherent (they are the own == total degenerate case), so a
+// shared-aware policy run on a private topology behaves like its base
+// policy.
+type SharedScheme interface {
+	Scheme
+
+	// BlockingShared computes the new expected footprint and priority
+	// of the thread that just blocked: s is its footprint at dispatch,
+	// own its interval miss count, total the machine-wide interval miss
+	// count and mt the machine-wide cumulative miss clock.
+	BlockingShared(m *Model, s float64, own, total, mt uint64) (newS, prio float64)
+
+	// DependentShared computes the new expected footprint and priority
+	// of a thread annotated as sharing (coefficient q) with the
+	// blocker; own/total are the blocker's and machine-wide interval
+	// miss counts, mt the machine-wide cumulative clock, slast the
+	// dependent's footprint when it last executed (CRT only).
+	DependentShared(m *Model, s, slast, q float64, own, total, mt uint64) (newS, prio float64)
+}
+
+// LFFShared is Largest Footprint First for a shared last-level cache:
+// the same inflated priority p = log E − m(t)·log k, but E from the
+// co-runner-aware forms and m(t) the machine-wide miss clock (under
+// which the inflation is time-invariant for every sleeping thread,
+// since co-runner pressure is exactly the universal decay). Run on a
+// private topology it degrades to plain LFF.
+type LFFShared struct{ LFF }
+
+// Name implements Scheme.
+func (LFFShared) Name() string { return "LFF-SH" }
+
+// BlockingShared implements SharedScheme: E = pN − (pN−s)·k^total,
+// p = log E − mt·log k. Seven floating-point operations (the division
+// and multiply for pN, two subs and a mul for E, a mul and a sub for
+// p); the log and k^total come from tables.
+func (LFFShared) BlockingShared(m *Model, s float64, own, total, mt uint64) (newS, prio float64) {
+	newS = m.ExpectSharedSelf(s, own, total)
+	prio = m.Log(newS) - float64(mt)*m.logK
+	m.flops += 7
+	return newS, prio
+}
+
+// DependentShared implements SharedScheme: E with the diluted
+// coefficient q·own/total, p = log E − mt·log k. Eight floating-point
+// operations.
+func (LFFShared) DependentShared(m *Model, s, _, q float64, own, total, mt uint64) (newS, prio float64) {
+	newS = m.ExpectSharedDep(s, q, own, total)
+	prio = m.Log(newS) - float64(mt)*m.logK
+	m.flops += 8
+	return newS, prio
+}
+
+// CRTShared is smallest Cache-Reload raTio for a shared last-level
+// cache: the blocking thread's reload ratio is still zero (its expected
+// state is whatever survived co-runner pressure, and all of it is in
+// the cache), so p = −mt·log k on the machine-wide clock; dependent
+// updates use the diluted sharing coefficient. Run on a private
+// topology it degrades to plain CRT.
+type CRTShared struct{ CRT }
+
+// Name implements Scheme.
+func (CRTShared) Name() string { return "CRT-SH" }
+
+// BlockingShared implements SharedScheme: E = pN − (pN−s)·k^total for
+// the bookkeeping, p = −mt·log k. Six floating-point operations.
+func (CRTShared) BlockingShared(m *Model, s float64, own, total, mt uint64) (newS, prio float64) {
+	newS = m.ExpectSharedSelf(s, own, total)
+	prio = -(float64(mt) * m.logK)
+	m.flops += 6
+	return newS, prio
+}
+
+// DependentShared implements SharedScheme:
+// p = log E − log E_last − mt·log k with the diluted coefficient; a
+// thread that never executed here (slast <= 0) takes R = 0 by using E
+// as E_last. Nine floating-point operations.
+func (CRTShared) DependentShared(m *Model, s, slast, q float64, own, total, mt uint64) (newS, prio float64) {
+	newS = m.ExpectSharedDep(s, q, own, total)
+	if slast <= 0 {
+		slast = newS
+	}
+	prio = m.Log(newS) - m.Log(slast) - float64(mt)*m.logK
+	m.flops += 9
+	return newS, prio
+}
+
+func init() {
+	RegisterScheme(LFFShared{})
+	RegisterScheme(CRTShared{})
+}

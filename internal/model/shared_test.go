@@ -1,0 +1,136 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpectSharedSelfDegenerates(t *testing.T) {
+	m := New(8192)
+	// own == total is exactly the private case 1.
+	for _, s := range []float64{0, 100, 4096, 8192} {
+		for _, n := range []uint64{1, 100, 5000} {
+			if got, want := m.ExpectSharedSelf(s, n, n), m.ExpectSelf(s, n); math.Abs(got-want) > 1e-9 {
+				t.Errorf("ExpectSharedSelf(%v, %d, %d) = %v, want private %v", s, n, n, got, want)
+			}
+		}
+	}
+	// own == 0 is pure decay (private case 2).
+	if got, want := m.ExpectSharedSelf(4096, 0, 3000), m.ExpectIndep(4096, 3000); math.Abs(got-want) > 1e-9 {
+		t.Errorf("pure-decay ExpectSharedSelf = %v, want %v", got, want)
+	}
+	// A zero-miss interval leaves the footprint unchanged.
+	if got := m.ExpectSharedSelf(123, 0, 0); got != 123 {
+		t.Errorf("zero-interval = %v, want 123", got)
+	}
+}
+
+func TestExpectSharedSelfBoundsAndMonotonicity(t *testing.T) {
+	m := New(8192)
+	// Clamps: s out of range, own > total.
+	if got := m.ExpectSharedSelf(-5, 10, 100); got < 0 {
+		t.Errorf("negative footprint %v", got)
+	}
+	if got := m.ExpectSharedSelf(1e9, 10, 100); got > 8192 {
+		t.Errorf("footprint %v exceeds N", got)
+	}
+	if got, want := m.ExpectSharedSelf(100, 500, 100), m.ExpectSelf(100, 100); math.Abs(got-want) > 1e-9 {
+		t.Errorf("own > total not clamped: %v vs %v", got, want)
+	}
+	// More co-runner pressure (smaller own at fixed total) means a
+	// smaller expected footprint; results stay in [0, N].
+	prev := math.Inf(1)
+	for own := uint64(4000); ; own -= 1000 {
+		e := m.ExpectSharedSelf(1000, own, 4000)
+		if e < 0 || e > 8192 {
+			t.Fatalf("E out of range: %v", e)
+		}
+		if e > prev {
+			t.Fatalf("E not monotonic in own: %v after %v", e, prev)
+		}
+		prev = e
+		if own == 0 {
+			break
+		}
+	}
+}
+
+func TestExpectSharedDep(t *testing.T) {
+	m := New(8192)
+	// own == total reduces to the private dependent form.
+	for _, q := range []float64{0, 0.25, 1} {
+		got := m.ExpectSharedDep(500, q, 2000, 2000)
+		want := m.ExpectDep(500, q, 2000)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("ExpectSharedDep(q=%v, own=total) = %v, want private %v", q, got, want)
+		}
+	}
+	// own == 0 is pure decay regardless of q.
+	if got, want := m.ExpectSharedDep(500, 0.8, 0, 2000), m.ExpectIndep(500, 2000); math.Abs(got-want) > 1e-9 {
+		t.Errorf("own=0 dep = %v, want decay %v", got, want)
+	}
+	// q is clamped like the private form.
+	if got, want := m.ExpectSharedDep(500, 7, 1000, 2000), m.ExpectSharedDep(500, 1, 1000, 2000); got != want {
+		t.Errorf("q clamp: %v vs %v", got, want)
+	}
+	if got := m.ExpectSharedDep(500, math.NaN(), 1000, 2000); math.IsNaN(got) {
+		t.Error("NaN q leaked through")
+	}
+}
+
+func TestSharedSchemesRegistered(t *testing.T) {
+	for _, name := range []string{"LFF-SH", "CRT-SH"} {
+		sc, err := SchemeFor(name)
+		if err != nil {
+			t.Fatalf("SchemeFor(%s): %v", name, err)
+		}
+		if _, ok := sc.(SharedScheme); !ok {
+			t.Fatalf("%s does not implement SharedScheme", name)
+		}
+	}
+	// The paper's schemes must NOT be shared-aware: the scheduler keys
+	// its clock switch off this assertion.
+	for _, name := range []string{"FCFS", "LFF", "CRT"} {
+		sc, err := SchemeFor(name)
+		if err != nil {
+			t.Fatalf("SchemeFor(%s): %v", name, err)
+		}
+		if _, ok := sc.(SharedScheme); ok {
+			t.Fatalf("%s unexpectedly implements SharedScheme", name)
+		}
+	}
+}
+
+func TestSharedSchemesDegenerateToBase(t *testing.T) {
+	m := New(8192)
+	var lff LFFShared
+	var crt CRTShared
+	// own == total must reproduce the base schemes' updates exactly
+	// (same footprint; the priority differs only through the identical
+	// forms), so a shared-aware policy on a private topology behaves
+	// like its base policy.
+	s, slast, q := 700.0, 300.0, 0.5
+	n, mt := uint64(1200), uint64(50_000)
+
+	bs, bp := lff.LFF.Blocking(m, s, n, mt)
+	ss, sp := lff.BlockingShared(m, s, n, n, mt)
+	if math.Abs(bs-ss) > 1e-9 || math.Abs(bp-sp) > 1e-9 {
+		t.Errorf("LFF-SH blocking degenerate: (%v,%v) vs LFF (%v,%v)", ss, sp, bs, bp)
+	}
+	bs, bp = lff.LFF.Dependent(m, s, slast, q, n, mt)
+	ss, sp = lff.DependentShared(m, s, slast, q, n, n, mt)
+	if math.Abs(bs-ss) > 1e-9 || math.Abs(bp-sp) > 1e-9 {
+		t.Errorf("LFF-SH dependent degenerate: (%v,%v) vs LFF (%v,%v)", ss, sp, bs, bp)
+	}
+
+	bs, bp = crt.CRT.Blocking(m, s, n, mt)
+	ss, sp = crt.BlockingShared(m, s, n, n, mt)
+	if math.Abs(bs-ss) > 1e-9 || math.Abs(bp-sp) > 1e-9 {
+		t.Errorf("CRT-SH blocking degenerate: (%v,%v) vs CRT (%v,%v)", ss, sp, bs, bp)
+	}
+	bs, bp = crt.CRT.Dependent(m, s, slast, q, n, mt)
+	ss, sp = crt.DependentShared(m, s, slast, q, n, n, mt)
+	if math.Abs(bs-ss) > 1e-9 || math.Abs(bp-sp) > 1e-9 {
+		t.Errorf("CRT-SH dependent degenerate: (%v,%v) vs CRT (%v,%v)", ss, sp, bs, bp)
+	}
+}

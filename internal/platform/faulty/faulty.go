@@ -145,6 +145,9 @@ func (p *Platform) LineBytes() uint64 { return p.inner.LineBytes() }
 // PageBytes implements platform.Platform.
 func (p *Platform) PageBytes() uint64 { return p.inner.PageBytes() }
 
+// SharedLLC implements platform.Platform (pass-through).
+func (p *Platform) SharedLLC() bool { return p.inner.SharedLLC() }
+
 // Alloc implements platform.Alloc (pass-through: the memory system is
 // healthy, only the instrumentation lies).
 func (p *Platform) Alloc(size, align uint64) mem.Range { return p.inner.Alloc(size, align) }

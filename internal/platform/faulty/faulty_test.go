@@ -36,6 +36,7 @@ func (f *fakePlatform) CPU(i int) platform.CPU { return f.cpus[i] }
 func (f *fakePlatform) CacheLines() int        { return 1024 }
 func (f *fakePlatform) LineBytes() uint64      { return 64 }
 func (f *fakePlatform) PageBytes() uint64      { return 8192 }
+func (f *fakePlatform) SharedLLC() bool        { return false }
 func (f *fakePlatform) Alloc(size, align uint64) mem.Range {
 	return mem.Range{Base: 0, Len: size}
 }

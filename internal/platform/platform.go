@@ -114,6 +114,13 @@ type Platform interface {
 	// PageBytes is the virtual-memory page size (the granularity of the
 	// sharing-inference monitor).
 	PageBytes() uint64
+	// SharedLLC reports whether the CPUs share one last-level cache
+	// (cachesim.Topology.Shared). The runtime engages the scheduler's
+	// machine-wide miss clock and the shared-cache footprint forms only
+	// when both the platform shares its LLC and the policy implements
+	// model.SharedScheme; on a private hierarchy a shared-aware policy
+	// degrades to its embedded base scheme.
+	SharedLLC() bool
 
 	// Apply performs a batch of data references by thread tid on the
 	// given CPU and returns the number of E-cache misses it took.

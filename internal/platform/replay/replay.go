@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/annot"
+	"repro/internal/cachesim"
 	"repro/internal/mem"
 	"repro/internal/model"
 	"repro/internal/platform"
@@ -66,6 +67,13 @@ func (p *Platform) LineBytes() uint64 { return p.rec.LineBytes }
 
 // PageBytes implements platform.Platform.
 func (p *Platform) PageBytes() uint64 { return p.rec.PageBytes }
+
+// SharedLLC implements platform.Platform from the recording's topology
+// provenance (validated at load; absent means private-dm).
+func (p *Platform) SharedLLC() bool {
+	topo, _ := cachesim.ParseTopology(p.rec.Topology)
+	return topo.Shared()
+}
 
 // Alloc implements platform.Alloc with a bump allocator: replayed runs
 // have no memory system, but callers still get distinct ranges.
@@ -167,6 +175,7 @@ func Evaluate(rec *trace.Recording) (*Result, error) {
 	}
 	graph := annot.New()
 	s := sched.New(mdl, scheme, graph, rec.NCPU, rec.ThresholdLines, platform.MissCounterOf(p))
+	s.SetSharedClock(p.SharedLLC())
 
 	res := &Result{Policy: rec.Policy}
 	for i, ev := range rec.Events {

@@ -53,6 +53,9 @@ func (p *Platform) LineBytes() uint64 { return uint64(p.m.Config().L2.LineSize) 
 // PageBytes implements platform.Platform.
 func (p *Platform) PageBytes() uint64 { return p.m.Config().PageSize }
 
+// SharedLLC implements platform.Platform from the machine's topology.
+func (p *Platform) SharedLLC() bool { return p.m.Config().Topology.Shared() }
+
 // Alloc implements platform.Alloc.
 func (p *Platform) Alloc(size, align uint64) mem.Range { return p.m.Alloc(size, align) }
 

@@ -247,6 +247,7 @@ func New(p platform.Platform, opts Options) (*Engine, error) {
 	}
 	e.sched = sched.New(e.mdl, scheme, e.graph, ncpu, opts.ThresholdLines,
 		platform.MissCounterOf(p))
+	e.sched.SetSharedClock(p.SharedLLC())
 	e.sched.SetFairnessLimit(opts.FairnessLimit)
 	e.sched.SetSpawnStacks(opts.SpawnStacks)
 	e.obs = opts.Obs

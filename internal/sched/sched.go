@@ -79,6 +79,14 @@ func (o Ops) Total() uint64 {
 type Scheduler struct {
 	mdl    *model.Model
 	scheme model.Scheme // nil = FCFS
+	// shared is non-nil when scheme implements model.SharedScheme (the
+	// shared-LLC-aware policies) AND the platform shares its LLC: model
+	// updates then run on the machine-wide miss clock and the
+	// co-runner-aware closed forms. Engaged once by SetSharedClock — no
+	// per-update type assertion. Nil (the default) keeps every private
+	// path, so a shared-aware policy on a private hierarchy behaves as
+	// its embedded base scheme.
+	shared model.SharedScheme
 	graph  *annot.Graph
 	ncpu   int
 
@@ -189,6 +197,21 @@ func New(mdl *model.Model, scheme model.Scheme, graph *annot.Graph, ncpu int, th
 	}
 }
 
+// SetSharedClock engages (or disengages) the shared-LLC update
+// discipline: when the platform shares its last-level cache and the
+// scheme is shared-aware, footprint updates switch to the machine-wide
+// miss clock and the co-runner-aware closed forms. Call before the
+// first dispatch; with sharedLLC false (or a scheme that is not a
+// model.SharedScheme) the scheduler keeps the paper's private per-CPU
+// discipline unchanged.
+func (s *Scheduler) SetSharedClock(sharedLLC bool) {
+	if !sharedLLC {
+		s.shared = nil
+		return
+	}
+	s.shared, _ = s.scheme.(model.SharedScheme)
+}
+
 // SetObserver attaches the observability layer: model updates and
 // scheduling decisions are mirrored onto o's trace, and the
 // scheduler's queue/footprint metrics register on its registry. clock
@@ -270,6 +293,23 @@ func (s *Scheduler) Ops() Ops { return s.ops }
 // ResetOps zeroes the operation counters.
 func (s *Scheduler) ResetOps() { s.ops = Ops{} }
 
+// clock returns the miss clock model updates run on: the processor's
+// own cumulative miss count for the paper's private-cache schemes, or
+// the machine-wide total for a SharedScheme — on a shared cache a
+// co-runner's miss evicts a sleeping thread's lines exactly as a local
+// miss does on a private cache, so the universal decay law (and the
+// time-invariance of the inflated priorities) holds on the total clock.
+func (s *Scheduler) clock(cpu int) uint64 {
+	if s.shared == nil {
+		return s.missCount(cpu)
+	}
+	var total uint64
+	for c := 0; c < s.ncpu; c++ {
+		total += s.missCount(c)
+	}
+	return total
+}
+
 // ts returns tid's state, or nil when tid is not registered. The
 // pointer is into the thread arena: valid until the next Register
 // (which may grow the backing array).
@@ -350,7 +390,7 @@ func (s *Scheduler) CurrentFootprint(tid mem.ThreadID, cpu int) float64 {
 	if e == nil || s.mdl == nil {
 		return 0
 	}
-	return s.mdl.Decay(e.S, e.M0, s.missCount(cpu))
+	return s.mdl.Decay(e.S, e.M0, s.clock(cpu))
 }
 
 // MakeRunnable marks tid ready for dispatch: its hot footprint entries
@@ -373,7 +413,7 @@ func (s *Scheduler) MakeRunnable(tid mem.ThreadID) {
 			if e == nil || s.quarantine[cpu] {
 				continue
 			}
-			if s.mdl.Decay(e.S, e.M0, s.missCount(cpu)) >= s.threshold {
+			if s.mdl.Decay(e.S, e.M0, s.clock(cpu)) >= s.threshold {
 				s.pushHeap(cpu, e)
 				hot = true
 			}
@@ -433,7 +473,7 @@ func (s *Scheduler) NoteDispatch(tid mem.ThreadID, cpu int) {
 		// bookkeeping (the counters feeding it are untrusted).
 		return
 	}
-	mt := s.missCount(cpu)
+	mt := s.clock(cpu)
 	e := s.entry(ts, tid, cpu, mt)
 	e.dispatchS = s.mdl.Decay(e.S, e.M0, mt)
 	e.dispatchM = mt
@@ -456,7 +496,7 @@ func (s *Scheduler) OnBlock(tid mem.ThreadID, cpu int, n uint64) {
 		// skip the model update entirely (annotation-free baseline).
 		return
 	}
-	mt := s.missCount(cpu)
+	mt := s.clock(cpu)
 	if n > mt {
 		// A counter fault can report more interval misses than the
 		// processor's cumulative count; clamp so the dependent
@@ -470,7 +510,25 @@ func (s *Scheduler) OnBlock(tid mem.ThreadID, cpu int, n uint64) {
 		// so this interval contributes nothing to the model.
 		return
 	}
-	newS, prio := s.scheme.Blocking(s.mdl, e.dispatchS, n, mt)
+	// On a shared scheme the interval window is the machine-wide miss
+	// count since dispatch; the thread's own n misses are a fraction of
+	// it. Both clamps guard against faulty counters: the window cannot
+	// run backwards, and own misses cannot exceed the window.
+	total := n
+	if s.shared != nil {
+		if mt > e.dispatchM {
+			total = mt - e.dispatchM
+		}
+		if total < n {
+			total = n
+		}
+	}
+	var newS, prio float64
+	if s.shared != nil {
+		newS, prio = s.shared.BlockingShared(s.mdl, e.dispatchS, n, total, mt)
+	} else {
+		newS, prio = s.scheme.Blocking(s.mdl, e.dispatchS, n, mt)
+	}
 	if s.obs.Tracing() {
 		s.obs.Emit(obs.Event{Time: s.obsClock(cpu), Kind: obs.KModelUpdate, CPU: int16(cpu),
 			Thread: tid, Arg: uint8(model.CaseBlocking),
@@ -486,14 +544,26 @@ func (s *Scheduler) OnBlock(tid mem.ThreadID, cpu int, n uint64) {
 		return
 	}
 	var deps uint64
+	// Dependents are rolled forward from the blocker's dispatch instant:
+	// mt-n on the private clock, mt-total on the shared one (total >= n
+	// and mt >= total, so the reference never underflows).
+	ref := mt - n
+	if s.shared != nil {
+		ref = mt - total
+	}
 	for _, edge := range s.graph.OutEdges(tid) {
 		dts := s.ts(edge.To)
 		if dts == nil {
 			continue // annotation names an exited or foreign thread: ignore
 		}
-		de := s.entry(dts, edge.To, cpu, mt-n)
-		sStart := s.mdl.Decay(de.S, de.M0, mt-n)
-		newS, prio := s.scheme.Dependent(s.mdl, sStart, de.SLast, edge.Q, n, mt)
+		de := s.entry(dts, edge.To, cpu, ref)
+		sStart := s.mdl.Decay(de.S, de.M0, ref)
+		var newS, prio float64
+		if s.shared != nil {
+			newS, prio = s.shared.DependentShared(s.mdl, sStart, de.SLast, edge.Q, n, total, mt)
+		} else {
+			newS, prio = s.scheme.Dependent(s.mdl, sStart, de.SLast, edge.Q, n, mt)
+		}
 		if s.obs.Tracing() {
 			s.obs.Emit(obs.Event{Time: s.obsClock(cpu), Kind: obs.KModelUpdate, CPU: int16(cpu),
 				Thread: edge.To, Arg: uint8(model.CaseDependent),
@@ -562,7 +632,7 @@ func (s *Scheduler) pickNext(cpu int) (mem.ThreadID, bool) {
 	h := &s.heaps[cpu]
 	for h.Len() > 0 {
 		e := (*h)[0]
-		decayed := s.mdl.Decay(e.S, e.M0, s.missCount(cpu))
+		decayed := s.mdl.Decay(e.S, e.M0, s.clock(cpu))
 		if decayed < s.threshold {
 			if s.obs.Tracing() {
 				// Case 2 (independent decay) materializes lazily: the

@@ -18,6 +18,7 @@ import (
 	"io"
 	"math"
 
+	"repro/internal/cachesim"
 	"repro/internal/mem"
 	"repro/internal/model"
 )
@@ -145,6 +146,11 @@ type Recording struct {
 	// ThresholdLines is the heap demotion threshold of the recorded
 	// run.
 	ThresholdLines float64 `json:"thresholdLines"`
+	// Topology is the canonical cache-topology spec of the recorded
+	// run ("private-dm", "shared-llc", ...; see cachesim.ParseTopology).
+	// Empty means private-dm: recordings predate shared topologies and
+	// the zero value is the paper's hierarchy.
+	Topology string `json:"topology,omitempty"`
 	// Events is the stream, in emission order.
 	Events []Event `json:"events"`
 }
@@ -176,6 +182,9 @@ func (r *Recording) Validate() error {
 	}
 	if math.IsNaN(r.ThresholdLines) || r.ThresholdLines < 0 || r.ThresholdLines > float64(maxCacheLines) {
 		return fmt.Errorf("trace: demotion threshold %v out of range", r.ThresholdLines)
+	}
+	if _, err := cachesim.ParseTopology(r.Topology); err != nil {
+		return fmt.Errorf("trace: recording topology: %w", err)
 	}
 	lastMiss := make([]uint64, r.NCPU)
 	lastCycle := make([]uint64, r.NCPU)
@@ -295,6 +304,10 @@ func NewRecorder(policy string, ncpu, cacheLines int, lineBytes, pageBytes uint6
 		ThresholdLines: threshold,
 	}}
 }
+
+// SetTopology stamps the recording with the run's canonical cache
+// topology (header provenance; empty means private-dm).
+func (r *Recorder) SetTopology(spec string) { r.rec.Topology = spec }
 
 // Observe appends one event. It is the OnEvent hook target.
 func (r *Recorder) Observe(ev Event) { r.rec.Events = append(r.rec.Events, ev) }

@@ -31,6 +31,15 @@ go test -fuzz FuzzLoadSnapshot -fuzztime 10s -run '^$' ./internal/snapshot
 go test -run 'TestExportsDeterministicAcrossWorkers' ./internal/experiments
 go test -run 'TestGoldenUnchangedByObservation' .
 
+# Cache-topology gates. The degenerate-equivalence differential (a
+# shared hierarchy at one CPU must match the private direct-mapped
+# machine access for access) and the shared-LLC report smoke: the
+# co-runner-aware model tracking the simulator and the shared-aware
+# policies beating FCFS under the shared cache. All ran under -race
+# above; kept explicit for the same reason as the telemetry gates.
+go test -run 'TestSharedDegenerates' ./internal/machine
+go test -run 'TestSharedLLCAccuracy|TestSharedPoliciesBeatFCFS' ./internal/experiments
+
 # Crash-safety gates. First the in-process differential (resume from
 # any checkpoint reproduces the uninterrupted run bit for bit, with
 # telemetry and under counter faults), then a real kill-resume pass:
