@@ -1,0 +1,79 @@
+// Command atsimd serves simulation sessions over HTTP: create a
+// session, step it quantum by quantum, stream its events, fetch its
+// result. The server survives session panics (crash isolation), sheds
+// load with 429 + Retry-After (admission control), evicts cold
+// sessions to disk snapshots and resumes them transparently, and
+// drains on SIGTERM — checkpointing every live session so a restart
+// over the same data directory continues all of them bit-exactly.
+//
+//	atsimd -addr 127.0.0.1:8080 -data ./atsimd-data
+//
+// See docs/SERVICE.md for the API and operational semantics.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port; the bound address is announced on stdout)")
+		dataDir      = flag.String("data", "atsimd-data", "data directory for session manifests and snapshots")
+		maxSessions  = flag.Int("max-sessions", 16384, "max resident sessions (any state)")
+		maxLive      = flag.Int("max-live", 64, "max sessions with a resident engine")
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "max sessions executing simulation concurrently")
+		tenantQuota  = flag.Int("tenant-quota", 0, "max resident sessions per tenant (0 = unlimited)")
+		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "per-request deadline")
+		stallTimeout = flag.Duration("stall-timeout", 30*time.Second, "per-session engine stall watchdog")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget before engines are aborted")
+		chaos        = flag.Bool("chaos", false, "admit sessions with panic_at_boundary fault injection")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "atsimd: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	s, err := server.New(server.Config{
+		DataDir:        *dataDir,
+		MaxSessions:    *maxSessions,
+		MaxLive:        *maxLive,
+		Workers:        *workers,
+		TenantQuota:    *tenantQuota,
+		RequestTimeout: *reqTimeout,
+		StallTimeout:   *stallTimeout,
+		DrainTimeout:   *drainTimeout,
+		EnableChaos:    *chaos,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "atsimd: %v\n", err)
+		os.Exit(1)
+	}
+	restored := len(s.List())
+	if restored > 0 {
+		fmt.Printf("atsimd: restored %d sessions from %s\n", restored, *dataDir)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	err = s.ListenAndServe(ctx, *addr, func(bound string) {
+		// The announce line is a stable scripting interface (soak.sh
+		// parses it to find an ephemeral port); keep its shape.
+		fmt.Printf("atsimd: listening on %s\n", bound)
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "atsimd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("atsimd: drained cleanly")
+}

@@ -1,0 +1,508 @@
+// Command atsimload drives an atsimd server for load testing and for
+// the crash-safety gates in scripts/soak.sh and scripts/ci.sh. One
+// invocation runs one mode:
+//
+//	create   admit -n sessions and save their ids+configs to -state
+//	step     advance every session in -state by -quanta boundaries
+//	finish   run every session in -state to completion; write
+//	         "index fingerprint" lines to -out; any lost or failed
+//	         session fails the run
+//	control  create fresh twins of the -state sessions (same config,
+//	         same seed), run them to completion uninterrupted, write
+//	         the same "index fingerprint" format to -out
+//	chaos    verify crash isolation: a panic_at_boundary session must
+//	         fail alone while the server stays healthy and a clean
+//	         session completes
+//	load     create and complete -n sessions as fast as -c workers
+//	         allow; report throughput and latency percentiles and
+//	         enforce -slo-p99 / -slo-rate
+//	wait     poll /readyz until the server answers (startup scripting)
+//
+// finish vs control is the service-level determinism gate: a session
+// that was stepped, evicted, SIGKILLed and resumed must fingerprint
+// identically to an uninterrupted twin.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/fsatomic"
+	"repro/internal/parallel"
+	"repro/internal/retry"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		serverURL  = flag.String("server", "http://127.0.0.1:8080", "atsimd base URL")
+		n          = flag.Int("n", 100, "session count (create, load)")
+		conc       = flag.Int("c", 16, "client concurrency")
+		statePath  = flag.String("state", "atsimload-state.json", "session state file (written by create, read by step/finish/control)")
+		outPath    = flag.String("out", "", "fingerprint output file (finish, control)")
+		quanta     = flag.Uint64("quanta", 1, "boundaries per step (step mode)")
+		app        = flag.String("app", "tasks", "workload application")
+		policy     = flag.String("policy", "LFF", "scheduling policy")
+		cpus       = flag.Int("cpus", 2, "simulated CPUs")
+		scale      = flag.Float64("scale", 0.05, "workload scale")
+		quantum    = flag.Uint64("quantum", 100000, "session quantum in cycles")
+		seedBase   = flag.Uint64("seed-base", 1000, "session i uses seed seed-base+i")
+		tenant     = flag.String("tenant", "", "X-Tenant header value")
+		bestEffort = flag.Bool("best-effort", false, "step mode: ignore per-session errors (background traffic during kills)")
+		timeout    = flag.Duration("timeout", 2*time.Minute, "per-operation budget including retries")
+		sloP99     = flag.Duration("slo-p99", 0, "load mode: fail if p99 session latency exceeds this (0 = don't enforce)")
+		sloRate    = flag.Float64("slo-rate", 1.0, "load mode: fail if the success fraction drops below this")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "atsimload: exactly one mode required: create | step | finish | control | chaos | load")
+		os.Exit(2)
+	}
+	cl := &client{base: *serverURL, hc: &http.Client{}, tenant: *tenant, opTimeout: *timeout}
+	cfg := server.SessionConfig{
+		App: *app, Policy: *policy, CPUs: *cpus, Scale: *scale, Quantum: *quantum,
+	}
+	var err error
+	switch mode := flag.Arg(0); mode {
+	case "create":
+		err = runCreate(cl, *n, *conc, cfg, *seedBase, *statePath)
+	case "step":
+		err = runStep(cl, *statePath, *conc, *quanta, *bestEffort)
+	case "finish":
+		err = runFinish(cl, *statePath, *conc, *outPath)
+	case "control":
+		err = runControl(cl, *statePath, *conc, *outPath)
+	case "chaos":
+		err = runChaos(cl)
+	case "wait":
+		err = runWait(cl)
+	case "load":
+		err = runLoad(cl, *n, *conc, cfg, *seedBase, *sloP99, *sloRate)
+	default:
+		fmt.Fprintf(os.Stderr, "atsimload: unknown mode %q\n", mode)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "atsimload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// client is a thin atsimd client that honors the server's backpressure
+// protocol: 429/503 responses are retried after their Retry-After,
+// transport errors with the deterministic backoff of internal/retry,
+// all within one bounded per-operation budget.
+type client struct {
+	base      string
+	hc        *http.Client
+	tenant    string
+	opTimeout time.Duration
+}
+
+// httpError is a non-2xx response.
+type httpError struct {
+	status     int
+	body       string
+	retryAfter time.Duration
+}
+
+func (e *httpError) Error() string { return fmt.Sprintf("HTTP %d: %s", e.status, e.body) }
+
+func (c *client) do(method, path string, in, out any) error {
+	ctx, cancel := context.WithTimeout(context.Background(), c.opTimeout)
+	defer cancel()
+	var reqBody []byte
+	if in != nil {
+		var err error
+		if reqBody, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	pol := retry.Policy{Attempts: 8, Base: 50 * time.Millisecond, Cap: 2 * time.Second}
+	delays := pol.Schedule()
+	attempt := 0
+	for {
+		err := c.once(ctx, method, path, reqBody, out)
+		if err == nil {
+			return nil
+		}
+		var he *httpError
+		retryAfter := time.Duration(-1)
+		if ok := asHTTPError(err, &he); ok {
+			if he.status != http.StatusTooManyRequests && he.status != http.StatusServiceUnavailable {
+				return err // terminal: 4xx/5xx that backoff won't fix
+			}
+			retryAfter = he.retryAfter
+		}
+		if attempt >= len(delays) {
+			return fmt.Errorf("%s %s: retries exhausted: %w", method, path, err)
+		}
+		d := delays[attempt]
+		if retryAfter > 0 {
+			d = retryAfter
+		}
+		attempt++
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("%s %s: %w (last error: %v)", method, path, ctx.Err(), err)
+		case <-t.C:
+		}
+	}
+}
+
+func asHTTPError(err error, out **httpError) bool {
+	he, ok := err.(*httpError)
+	if ok {
+		*out = he
+	}
+	return ok
+}
+
+func (c *client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.tenant != "" {
+		req.Header.Set("X-Tenant", c.tenant)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		he := &httpError{status: resp.StatusCode, body: firstLine(string(data))}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil {
+				he.retryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return he
+	}
+	if out != nil && len(data) > 0 {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// stateFile records the sessions a create run admitted, so later modes
+// (and twin controls) can find them.
+type stateFile struct {
+	Server   string         `json:"server"`
+	Sessions []sessionEntry `json:"sessions"`
+}
+
+type sessionEntry struct {
+	ID     string               `json:"id"`
+	Config server.SessionConfig `json:"config"`
+}
+
+func loadState(path string) (*stateFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var st stateFile
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &st, nil
+}
+
+func saveState(path string, st *stateFile) error {
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	return fsatomic.WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+func runCreate(cl *client, n, conc int, cfg server.SessionConfig, seedBase uint64, statePath string) error {
+	entries, err := parallel.Map(conc, n, func(i int) (sessionEntry, error) {
+		c := cfg
+		c.Seed = seedBase + uint64(i)
+		var info server.Info
+		if err := cl.do("POST", "/v1/sessions", c, &info); err != nil {
+			return sessionEntry{}, fmt.Errorf("creating session %d: %w", i, err)
+		}
+		return sessionEntry{ID: info.ID, Config: info.Config}, nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := saveState(statePath, &stateFile{Server: cl.base, Sessions: entries}); err != nil {
+		return err
+	}
+	fmt.Printf("atsimload: created %d sessions -> %s\n", n, statePath)
+	return nil
+}
+
+type stepReq struct {
+	Quanta uint64 `json:"quanta"`
+}
+
+func runStep(cl *client, statePath string, conc int, quanta uint64, bestEffort bool) error {
+	st, err := loadState(statePath)
+	if err != nil {
+		return err
+	}
+	var okCount, failCount atomicCounter
+	err = parallel.ForEach(conc, len(st.Sessions), func(i int) error {
+		var res server.StepResult
+		err := cl.do("POST", "/v1/sessions/"+st.Sessions[i].ID+"/step", stepReq{Quanta: quanta}, &res)
+		if err != nil {
+			failCount.inc()
+			if bestEffort {
+				return nil
+			}
+			return fmt.Errorf("stepping %s: %w", st.Sessions[i].ID, err)
+		}
+		okCount.inc()
+		return nil
+	})
+	fmt.Printf("atsimload: stepped %d sessions (%d errors)\n", okCount.get(), failCount.get())
+	return err
+}
+
+func runFinish(cl *client, statePath string, conc int, outPath string) error {
+	st, err := loadState(statePath)
+	if err != nil {
+		return err
+	}
+	fps, err := completeAll(cl, conc, len(st.Sessions), func(i int) (string, error) {
+		return finishSession(cl, st.Sessions[i].ID)
+	})
+	if err != nil {
+		return err
+	}
+	return writeFingerprints(outPath, fps)
+}
+
+func runControl(cl *client, statePath string, conc int, outPath string) error {
+	st, err := loadState(statePath)
+	if err != nil {
+		return err
+	}
+	fps, err := completeAll(cl, conc, len(st.Sessions), func(i int) (string, error) {
+		var info server.Info
+		if err := cl.do("POST", "/v1/sessions", st.Sessions[i].Config, &info); err != nil {
+			return "", fmt.Errorf("creating control twin %d: %w", i, err)
+		}
+		fp, err := finishSession(cl, info.ID)
+		if err != nil {
+			return "", err
+		}
+		// Delete the twin so control runs don't accumulate sessions.
+		cl.do("DELETE", "/v1/sessions/"+info.ID, nil, nil)
+		return fp, nil
+	})
+	if err != nil {
+		return err
+	}
+	return writeFingerprints(outPath, fps)
+}
+
+// finishSession runs one session to completion and returns its
+// fingerprint.
+func finishSession(cl *client, id string) (string, error) {
+	var res server.StepResult
+	if err := cl.do("POST", "/v1/sessions/"+id+"/step", stepReq{Quanta: 0}, &res); err != nil {
+		return "", fmt.Errorf("finishing %s: %w", id, err)
+	}
+	if res.State != server.StateDone || res.Result == nil {
+		return "", fmt.Errorf("session %s finished in state %q (failure: %s)", id, res.State, res.Failure)
+	}
+	return res.Result.Fingerprint, nil
+}
+
+func completeAll(cl *client, conc, n int, one func(i int) (string, error)) ([]string, error) {
+	return parallel.Map(conc, n, func(i int) (string, error) { return one(i) })
+}
+
+// writeFingerprints emits "index fingerprint" lines; two such files
+// from finish and control compare with cmp(1).
+func writeFingerprints(path string, fps []string) error {
+	var buf bytes.Buffer
+	for i, fp := range fps {
+		fmt.Fprintf(&buf, "%d %s\n", i, fp)
+	}
+	if path == "" || path == "-" {
+		_, err := os.Stdout.Write(buf.Bytes())
+		return err
+	}
+	if err := fsatomic.WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(buf.Bytes())
+		return err
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("atsimload: wrote %d fingerprints -> %s\n", len(fps), path)
+	return nil
+}
+
+// runWait polls the server's readiness endpoint until it answers 200
+// or the -timeout budget runs out — the scripting primitive for
+// "server is up" without a curl dependency.
+func runWait(cl *client) error {
+	deadline := time.Now().Add(cl.opTimeout)
+	for {
+		// One quick un-retried probe per tick; the loop is the retry.
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		err := cl.once(ctx, "GET", "/readyz", nil, nil)
+		cancel()
+		if err == nil {
+			fmt.Println("atsimload: server ready")
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server not ready after %v: %w", cl.opTimeout, err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// runChaos is the crash-isolation gate: one poisoned session must fail
+// alone — the server stays ready and a clean session still completes.
+func runChaos(cl *client) error {
+	poison := server.SessionConfig{App: "tasks", Policy: "LFF", CPUs: 2, Scale: 0.05,
+		Seed: 7, Quantum: 100000, PanicAtBoundary: 1}
+	var info server.Info
+	if err := cl.do("POST", "/v1/sessions", poison, &info); err != nil {
+		return fmt.Errorf("creating poisoned session: %w", err)
+	}
+	var res server.StepResult
+	err := cl.do("POST", "/v1/sessions/"+info.ID+"/step", stepReq{Quanta: 0}, &res)
+	var he *httpError
+	switch {
+	case err == nil && res.State == server.StateFailed:
+		// 2xx bodies never carry failed state (the server maps it to
+		// 409), but accept either shape.
+	case asHTTPError(err, &he) && he.status == http.StatusConflict:
+	default:
+		return fmt.Errorf("poisoned session: want failed state or HTTP 409, got res=%+v err=%v", res, err)
+	}
+	var got server.Info
+	if err := cl.do("GET", "/v1/sessions/"+info.ID, nil, &got); err != nil {
+		return fmt.Errorf("inspecting poisoned session: %w", err)
+	}
+	if got.State != server.StateFailed || got.Failure == "" {
+		return fmt.Errorf("poisoned session state %q, want failed with a diagnostic", got.State)
+	}
+	if err := cl.do("GET", "/readyz", nil, nil); err != nil {
+		return fmt.Errorf("server not ready after session panic: %w", err)
+	}
+	clean := poison
+	clean.PanicAtBoundary = 0
+	if err := cl.do("POST", "/v1/sessions", clean, &info); err != nil {
+		return fmt.Errorf("creating clean session after panic: %w", err)
+	}
+	if _, err := finishSession(cl, info.ID); err != nil {
+		return fmt.Errorf("clean session after panic: %w", err)
+	}
+	fmt.Println("atsimload: chaos gate passed: panic isolated, server healthy")
+	return nil
+}
+
+func runLoad(cl *client, n, conc int, cfg server.SessionConfig, seedBase uint64, sloP99 time.Duration, sloRate float64) error {
+	latencies := make([]time.Duration, n)
+	var failures atomicCounter
+	start := time.Now()
+	parallel.ForEach(conc, n, func(i int) error {
+		t0 := time.Now()
+		c := cfg
+		c.Seed = seedBase + uint64(i)
+		var info server.Info
+		if err := cl.do("POST", "/v1/sessions", c, &info); err != nil {
+			failures.inc()
+			return nil
+		}
+		if _, err := finishSession(cl, info.ID); err != nil {
+			failures.inc()
+			return nil
+		}
+		cl.do("DELETE", "/v1/sessions/"+info.ID, nil, nil)
+		latencies[i] = time.Since(t0)
+		return nil
+	})
+	elapsed := time.Since(start)
+	ok := 0
+	var okLat []time.Duration
+	for _, d := range latencies {
+		if d > 0 {
+			ok++
+			okLat = append(okLat, d)
+		}
+	}
+	sort.Slice(okLat, func(i, j int) bool { return okLat[i] < okLat[j] })
+	pct := func(p float64) time.Duration {
+		if len(okLat) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(okLat)-1))
+		return okLat[i]
+	}
+	rate := float64(ok) / float64(n)
+	fmt.Printf("atsimload: load: %d/%d sessions ok in %v (%.1f/s), latency p50=%v p95=%v p99=%v\n",
+		ok, n, elapsed.Round(time.Millisecond), float64(ok)/elapsed.Seconds(),
+		pct(0.50).Round(time.Millisecond), pct(0.95).Round(time.Millisecond), pct(0.99).Round(time.Millisecond))
+	if rate < sloRate {
+		return fmt.Errorf("SLO violation: success rate %.3f < %.3f", rate, sloRate)
+	}
+	if sloP99 > 0 && pct(0.99) > sloP99 {
+		return fmt.Errorf("SLO violation: p99 %v > %v", pct(0.99), sloP99)
+	}
+	return nil
+}
+
+type atomicCounter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *atomicCounter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *atomicCounter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}

@@ -14,10 +14,43 @@
 package parallel
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a panic recovered from a cell function, converted to an
+// error so one poisoned cell fails its run instead of crashing the
+// whole process (a server hosting thousands of unrelated sessions must
+// survive any single one). It carries the cell index, the panic value,
+// and the stack captured at the panic site.
+type PanicError struct {
+	// Index is the cell whose fn panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack at recovery, trimmed by nothing —
+	// the raw debug.Stack bytes.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: cell %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// call runs fn(i), converting a panic into a *PanicError. Recovery
+// happens on the calling goroutine — the worker that owns the cell —
+// so the pool and every other cell keep running.
+func call(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
 
 // DefaultJobs returns the worker count used when a caller passes
 // workers <= 0: the process's GOMAXPROCS, i.e. "use the machine".
@@ -33,6 +66,11 @@ func DefaultJobs() int { return runtime.GOMAXPROCS(0) }
 // fn must be safe to call concurrently for distinct indices. The
 // deterministic-collection contract is the caller's side: write results
 // only to index i's own slot.
+//
+// A panicking fn never crashes the process: the panic is recovered on
+// its worker goroutine and reported as a *PanicError carrying the cell
+// index and stack, ranked against other failures by index like any
+// other error.
 func ForEach(workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -45,7 +83,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := call(i, fn); err != nil {
 				return err
 			}
 		}
@@ -75,7 +113,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := call(i, fn); err != nil {
 					record(i, err)
 				}
 			}

@@ -3,6 +3,7 @@ package parallel
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -96,5 +97,68 @@ func TestMapCollectsIndexAddressed(t *testing.T) {
 func TestDefaultJobsPositive(t *testing.T) {
 	if DefaultJobs() < 1 {
 		t.Fatalf("DefaultJobs() = %d", DefaultJobs())
+	}
+}
+
+// TestForEachRecoversPanic pins the crash-isolation contract: a
+// panicking cell surfaces as a *PanicError carrying its index and
+// stack — at every worker count, including the sequential path — and
+// the process survives.
+func TestForEachRecoversPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 8, func(i int) error {
+			if i == 5 {
+				panic("cell exploded")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: ForEach = %v, want *PanicError", workers, err)
+		}
+		if pe.Index != 5 {
+			t.Errorf("workers=%d: panic index = %d, want 5", workers, pe.Index)
+		}
+		if pe.Value != "cell exploded" {
+			t.Errorf("workers=%d: panic value = %v", workers, pe.Value)
+		}
+		if !strings.Contains(string(pe.Stack), "parallel") {
+			t.Errorf("workers=%d: stack missing frames:\n%s", workers, pe.Stack)
+		}
+		if !strings.Contains(err.Error(), "cell 5 panicked") {
+			t.Errorf("workers=%d: error text %q lacks index", workers, err)
+		}
+	}
+}
+
+// TestForEachPanicLowestIndexWins pins that panics rank against plain
+// errors by index, preserving the sequential-equivalence contract.
+func TestForEachPanicLowestIndexWins(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEach(4, 8, func(i int) error {
+		switch i {
+		case 2:
+			return boom
+		case 6:
+			panic("later panic")
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("ForEach = %v, want the index-2 error to win over the index-6 panic", err)
+	}
+}
+
+// TestMapRecoversPanic pins the same isolation through Map.
+func TestMapRecoversPanic(t *testing.T) {
+	_, err := Map(4, 4, func(i int) (int, error) {
+		if i == 1 {
+			panic(fmt.Sprintf("cell %d poisoned", i))
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 1 {
+		t.Fatalf("Map = %v, want *PanicError at index 1", err)
 	}
 }

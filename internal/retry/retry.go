@@ -1,0 +1,171 @@
+// Package retry is the repository's IO retry helper: capped
+// exponential backoff with deterministic, seedable jitter. The session
+// server wraps every snapshot evict/resume and manifest write in it so
+// a transiently failing disk (NFS hiccup, ENOSPC race with a cleaner,
+// antivirus lock on the temp file) degrades to a short stall instead of
+// a lost session.
+//
+// The delay schedule is a pure function of (Policy, attempt): nothing
+// in the decision path reads wall time or global randomness, so tests
+// can assert the exact schedule a seed produces, and two processes
+// started with different seeds decorrelate their retry storms. Wall
+// time enters only at the waiting step, which is also where context
+// cancellation is honored.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// Policy shapes a retry schedule. The zero value selects the documented
+// defaults; all fields are optional.
+type Policy struct {
+	// Attempts is the maximum number of tries, including the first
+	// (default 4; values < 1 mean the default).
+	Attempts int
+	// Base is the delay before the second attempt (default 5ms).
+	Base time.Duration
+	// Cap bounds every delay (default 500ms).
+	Cap time.Duration
+	// Factor multiplies the delay between attempts (default 2; values
+	// < 1 mean the default).
+	Factor float64
+	// Jitter is the randomized fraction of each delay in [0, 1]: a
+	// delay d becomes d·(1−Jitter) + d·Jitter·u with u ∈ [0, 1) drawn
+	// from the seeded stream. 0 disables jitter; default 0.5. Set the
+	// sign-only sentinel NoJitter for an exact exponential schedule.
+	Jitter float64
+	// Seed seeds the jitter stream. The schedule is a pure function of
+	// (Policy, attempt), so equal seeds reproduce equal schedules.
+	Seed uint64
+}
+
+// NoJitter is a Jitter sentinel selecting the exact exponential
+// schedule (Jitter 0 means "default", so an explicit off needs a
+// marker).
+const NoJitter = -1.0
+
+func (p Policy) withDefaults() Policy {
+	if p.Attempts < 1 {
+		p.Attempts = 4
+	}
+	if p.Base <= 0 {
+		p.Base = 5 * time.Millisecond
+	}
+	if p.Cap <= 0 {
+		p.Cap = 500 * time.Millisecond
+	}
+	if p.Factor < 1 {
+		p.Factor = 2
+	}
+	switch {
+	case p.Jitter == NoJitter || p.Jitter < 0:
+		p.Jitter = 0
+	case p.Jitter == 0:
+		p.Jitter = 0.5
+	case p.Jitter > 1:
+		p.Jitter = 1
+	}
+	return p
+}
+
+// Schedule returns the complete delay schedule the policy produces:
+// element i is the wait before attempt i+2 (the first attempt waits
+// nothing), so the slice has Attempts−1 elements. Deterministic: equal
+// policies (including Seed) return equal schedules.
+func (p Policy) Schedule() []time.Duration {
+	p = p.withDefaults()
+	rng := xrand.New(p.Seed)
+	out := make([]time.Duration, 0, p.Attempts-1)
+	d := float64(p.Base)
+	for i := 1; i < p.Attempts; i++ {
+		raw := d
+		if raw > float64(p.Cap) {
+			raw = float64(p.Cap)
+		}
+		// Jitter draws exactly one variate per delay so the stream
+		// position — and therefore the schedule — depends only on the
+		// attempt index.
+		u := rng.Float64()
+		jittered := raw*(1-p.Jitter) + raw*p.Jitter*u
+		out = append(out, time.Duration(jittered))
+		d *= p.Factor
+	}
+	return out
+}
+
+// PermanentError marks an error as not retryable; Do stops immediately
+// and returns the wrapped error.
+type PermanentError struct{ Err error }
+
+func (e *PermanentError) Error() string { return e.Err.Error() }
+func (e *PermanentError) Unwrap() error { return e.Err }
+
+// Permanent wraps err so Do gives up without further attempts. A nil
+// err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &PermanentError{Err: err}
+}
+
+// Do runs op until it succeeds, permanently fails, exhausts the
+// policy's attempts, or ctx is cancelled (including mid-wait). The
+// returned error is the last op error, wrapped with the attempt count;
+// a cancellation mid-wait returns ctx's error wrapped around the last
+// op error so both causes stay visible.
+func Do(ctx context.Context, p Policy, op func() error) error {
+	return do(ctx, p, op, sleep)
+}
+
+// do is Do with the waiting step injectable for tests.
+func do(ctx context.Context, p Policy, op func() error, wait func(context.Context, time.Duration) error) error {
+	p = p.withDefaults()
+	delays := p.Schedule()
+	var last error
+	for attempt := 0; attempt < p.Attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if last != nil {
+				return fmt.Errorf("retry: cancelled after %d attempts: %w (last error: %v)", attempt, err, last)
+			}
+			return fmt.Errorf("retry: %w", err)
+		}
+		err := op()
+		if err == nil {
+			return nil
+		}
+		var perm *PermanentError
+		if errors.As(err, &perm) {
+			return perm.Err
+		}
+		last = err
+		if attempt == p.Attempts-1 {
+			break
+		}
+		if err := wait(ctx, delays[attempt]); err != nil {
+			return fmt.Errorf("retry: cancelled during backoff after %d attempts: %w (last error: %v)", attempt+1, err, last)
+		}
+	}
+	return fmt.Errorf("retry: %d attempts failed: %w", p.Attempts, last)
+}
+
+// sleep waits d or until ctx is done, whichever comes first.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

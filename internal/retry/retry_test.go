@@ -1,0 +1,150 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestScheduleShape pins the structural properties of the backoff
+// schedule: length, exponential growth toward the cap under no jitter,
+// and the jitter window around each raw delay.
+func TestScheduleShape(t *testing.T) {
+	p := Policy{Attempts: 6, Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond,
+		Factor: 2, Jitter: NoJitter}
+	got := p.Schedule()
+	want := []time.Duration{10, 20, 40, 80, 80} // ms: capped at 80
+	if len(got) != len(want) {
+		t.Fatalf("schedule has %d delays, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i]*time.Millisecond {
+			t.Errorf("delay[%d] = %v, want %v", i, got[i], want[i]*time.Millisecond)
+		}
+	}
+
+	// With jitter j, each delay must land in [raw·(1−j), raw).
+	j := 0.5
+	pj := Policy{Attempts: 6, Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond,
+		Factor: 2, Jitter: j, Seed: 7}
+	for i, d := range pj.Schedule() {
+		raw := want[i] * time.Millisecond
+		lo := time.Duration(float64(raw) * (1 - j))
+		if d < lo || d > raw {
+			t.Errorf("jittered delay[%d] = %v outside [%v, %v]", i, d, lo, raw)
+		}
+	}
+}
+
+// TestScheduleDeterministic pins that the schedule is a pure function
+// of the policy: same seed same bytes, different seed different bytes.
+func TestScheduleDeterministic(t *testing.T) {
+	p := Policy{Attempts: 8, Seed: 42}
+	a, b := p.Schedule(), p.Schedule()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same policy produced different schedules: %v vs %v", a, b)
+		}
+	}
+	p2 := p
+	p2.Seed = 43
+	c := p2.Schedule()
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("seeds 42 and 43 produced identical schedules %v", a)
+	}
+}
+
+// TestDoRetriesThenSucceeds pins the basic loop: transient failures are
+// retried, success stops the loop, and the op sees every attempt.
+func TestDoRetriesThenSucceeds(t *testing.T) {
+	calls := 0
+	err := do(context.Background(), Policy{Attempts: 5}, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	}, func(context.Context, time.Duration) error { return nil })
+	if err != nil {
+		t.Fatalf("Do = %v, want nil", err)
+	}
+	if calls != 3 {
+		t.Fatalf("op called %d times, want 3", calls)
+	}
+}
+
+// TestDoExhausted pins the terminal error: all attempts spent, the last
+// op error wrapped and unwrappable.
+func TestDoExhausted(t *testing.T) {
+	sentinel := errors.New("disk on fire")
+	calls := 0
+	err := do(context.Background(), Policy{Attempts: 3}, func() error {
+		calls++
+		return sentinel
+	}, func(context.Context, time.Duration) error { return nil })
+	if calls != 3 {
+		t.Fatalf("op called %d times, want 3", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Do = %v, want wrapped %v", err, sentinel)
+	}
+}
+
+// TestDoPermanent pins that a Permanent error stops the loop at once
+// and unwraps to the original.
+func TestDoPermanent(t *testing.T) {
+	sentinel := errors.New("no such session")
+	calls := 0
+	err := do(context.Background(), Policy{Attempts: 5}, func() error {
+		calls++
+		return Permanent(sentinel)
+	}, func(context.Context, time.Duration) error { return nil })
+	if calls != 1 {
+		t.Fatalf("op called %d times, want 1", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Do = %v, want %v", err, sentinel)
+	}
+}
+
+// TestDoContextCancelledMidWait pins cancellation during the backoff
+// wait: Do returns promptly with the context's error and the last op
+// error still visible.
+func TestDoContextCancelledMidWait(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := Do(ctx, Policy{Attempts: 4, Base: 10 * time.Second, Cap: 10 * time.Second},
+		func() error { return errors.New("transient") })
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Do blocked %v after cancellation", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+}
+
+// TestDoContextAlreadyCancelled pins that a dead context never runs the
+// op at all.
+func TestDoContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Do(ctx, Policy{}, func() error { calls++; return nil })
+	if calls != 0 {
+		t.Fatalf("op called %d times on a cancelled context, want 0", calls)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+}

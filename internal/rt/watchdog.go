@@ -82,6 +82,21 @@ func (w *watchdog) noteProgress() { w.progress.Add(1) }
 // off.
 func (w *watchdog) tripped() bool { return w != nil && w.stalled.Load() }
 
+// Heartbeat feeds the stall watchdog one unit of forward progress
+// without dispatching anything. It exists for host callbacks — a
+// session server's checkpoint gate — that intentionally park the
+// engine inside OnCheckpoint for longer than the stall timeout: an
+// idle gated session is waiting, not stalled, and must not trip the
+// watchdog. Call it from the blocked callback at a period shorter
+// than StallTimeout. Safe (and a no-op) when no watchdog is armed;
+// wall time never feeds the simulation, so heartbeats cannot perturb
+// a run.
+func (e *Engine) Heartbeat() {
+	if e.wd != nil {
+		e.wd.noteProgress()
+	}
+}
+
 // stallError emits the stall diagnostics on the observer and builds
 // the descriptive error Run returns: a dump of exactly the state
 // needed to see WHY nothing dispatches.

@@ -1,0 +1,61 @@
+package server
+
+import "sync"
+
+// eventLogCap bounds each session's event ring. Old events fall off
+// the front; Seq numbers stay monotonic so a consumer can detect the
+// gap.
+const eventLogCap = 256
+
+// Event is one observable session transition, streamed as NDJSON from
+// the events endpoint.
+type Event struct {
+	Seq        uint64 `json:"seq"`
+	Kind       string `json:"kind"` // created, live, boundary, evicted, resumed, done, failed, deleted
+	Boundaries uint64 `json:"boundaries,omitempty"`
+	Cycle      uint64 `json:"cycle,omitempty"`
+	Detail     string `json:"detail,omitempty"`
+}
+
+// eventLog is a bounded ring of events plus a broadcast channel that
+// followers wait on: append closes the current channel and installs a
+// fresh one, so any number of followers wake without the log tracking
+// them individually.
+type eventLog struct {
+	mu     sync.Mutex
+	cap    int
+	seq    uint64
+	buf    []Event
+	notify chan struct{}
+}
+
+func newEventLog(capacity int) *eventLog {
+	return &eventLog{cap: capacity, notify: make(chan struct{})}
+}
+
+func (l *eventLog) append(ev Event) {
+	l.mu.Lock()
+	l.seq++
+	ev.Seq = l.seq
+	l.buf = append(l.buf, ev)
+	if len(l.buf) > l.cap {
+		l.buf = l.buf[len(l.buf)-l.cap:]
+	}
+	close(l.notify)
+	l.notify = make(chan struct{})
+	l.mu.Unlock()
+}
+
+// since returns the buffered events with Seq > after, plus the channel
+// that will be closed at the next append.
+func (l *eventLog) since(after uint64) ([]Event, <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Event
+	for _, ev := range l.buf {
+		if ev.Seq > after {
+			out = append(out, ev)
+		}
+	}
+	return out, l.notify
+}

@@ -1,0 +1,271 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// The HTTP surface. All bodies are JSON; errors come back as
+// {"error": "..."} with a meaningful status:
+//
+//	POST   /v1/sessions               create (X-Tenant header names the tenant)
+//	GET    /v1/sessions               list
+//	GET    /v1/sessions/{id}          inspect
+//	POST   /v1/sessions/{id}/step     advance {"quanta": n}; omitted = 1, 0 = to completion
+//	POST   /v1/sessions/{id}/evict    checkpoint to disk, free the live slot
+//	DELETE /v1/sessions/{id}          remove session and its files
+//	GET    /v1/sessions/{id}/events   NDJSON event log; ?follow=1 streams
+//	GET    /healthz                   process liveness (always 200 while serving)
+//	GET    /readyz                    503 once draining
+//	GET    /metrics                   Prometheus text format
+//
+// Overload returns 429 with Retry-After; draining returns 503 with
+// Retry-After; an expired request deadline returns 504 while the
+// server-side work continues.
+
+// maxBodyBytes bounds any request body.
+const maxBodyBytes = 1 << 20
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.withDeadline(s.handleCreate))
+	mux.HandleFunc("GET /v1/sessions", s.withDeadline(s.handleList))
+	mux.HandleFunc("GET /v1/sessions/{id}", s.withDeadline(s.handleGet))
+	mux.HandleFunc("POST /v1/sessions/{id}/step", s.withDeadline(s.handleStep))
+	mux.HandleFunc("POST /v1/sessions/{id}/evict", s.withDeadline(s.handleEvict))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.withDeadline(s.handleDelete))
+	mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleEvents) // own deadline handling (follow)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			w.Header().Set("Retry-After", "5")
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ready\n")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.WriteMetrics(w)
+	})
+	return mux
+}
+
+// withDeadline applies the server's per-request deadline.
+func (s *Server) withDeadline(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// writeError maps the server's typed errors onto statuses.
+func writeError(w http.ResponseWriter, err error) {
+	var (
+		over *OverloadError
+		dead *DeadlineError
+		val  *ValidationError
+	)
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+	case errors.As(err, &over):
+		secs := int(over.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+	case errors.As(err, &dead):
+		writeJSON(w, http.StatusGatewayTimeout, apiError{Error: err.Error()})
+	case errors.As(err, &val):
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+	}
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "reading body: " + err.Error()})
+		return false
+	}
+	if len(body) == 0 {
+		return true // empty body = all defaults
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "decoding body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var cfg SessionConfig
+	if !decodeBody(w, r, &cfg) {
+		return
+	}
+	info, err := s.CreateSession(r.Context(), r.Header.Get("X-Tenant"), cfg)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.List())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	info, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+type stepRequest struct {
+	// Quanta is a pointer so "absent" (default 1) and the explicit 0
+	// ("run to completion") stay distinguishable.
+	Quanta *uint64 `json:"quanta"`
+}
+
+func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
+	var req stepRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	quanta := uint64(1)
+	if req.Quanta != nil {
+		quanta = *req.Quanta
+	}
+	res, err := s.Step(r.Context(), r.PathValue("id"), quanta)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if res.State == StateFailed {
+		// The session is poisoned; the body carries the diagnosis.
+		writeJSON(w, http.StatusConflict, res)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
+	info, err := s.Evict(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.Delete(r.Context(), r.PathValue("id")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleEvents streams the session's event log as NDJSON. Without
+// ?follow it returns the buffered tail and closes; with ?follow=1 it
+// keeps streaming new events until the client goes away or the server
+// drains.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	follow := r.URL.Query().Get("follow") != ""
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	var after uint64
+	for {
+		evs, notify, err := s.Events(id, after)
+		if err != nil {
+			if after == 0 {
+				writeError(w, err)
+			}
+			return
+		}
+		for _, ev := range evs {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			after = ev.Seq
+		}
+		if !follow {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		case <-s.baseCtx.Done():
+			return
+		}
+	}
+}
+
+// ListenAndServe is a convenience for cmd/atsimd: serve the API on
+// addr until ctx is cancelled, then drain within the configured
+// DrainTimeout. announce (optional) receives the bound address before
+// serving — with ":0" the actual port.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, announce func(string)) error {
+	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	if announce != nil {
+		announce(ln.Addr().String())
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("server: %w", err)
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	shutdownErr := s.Shutdown(drainCtx)
+	httpCtx, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel2()
+	srv.Shutdown(httpCtx)
+	return shutdownErr
+}

@@ -1,0 +1,866 @@
+// Package server is atsimd's core: a crash-tolerant multi-session
+// simulation service. Each session hosts one deterministic engine run
+// (internal/rt) stepped quantum by quantum; the server shards live
+// sessions across a bounded compute pool, admits work against session
+// and tenant limits, evicts cold sessions to disk snapshots under
+// memory pressure, resumes them transparently (and verifies the resume
+// bit-for-bit — the engine's deterministic fast-forward), isolates
+// per-session panics, and survives SIGKILL: on restart every admitted
+// session is restored from its manifest and continues to the same
+// fingerprint an uninterrupted run would have produced.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/retry"
+	"repro/internal/snapshot"
+)
+
+// Config tunes one Server. The zero value of any field selects its
+// documented default.
+type Config struct {
+	// DataDir holds manifests and snapshots (required).
+	DataDir string
+	// MaxSessions bounds resident sessions, any state (default 16384).
+	MaxSessions int
+	// MaxLive bounds sessions with a resident engine — executing or
+	// parked at a boundary gate (default 64). Above it, steps evict the
+	// least-recently-touched parked session or get 429.
+	MaxLive int
+	// Workers bounds sessions executing simulation concurrently — the
+	// compute token pool (default GOMAXPROCS).
+	Workers int
+	// TenantQuota bounds resident sessions per tenant; 0 = unlimited.
+	TenantQuota int
+	// RequestTimeout is the HTTP layer's per-request deadline (default
+	// 30s). A step that outlives it keeps executing server-side; only
+	// the response is abandoned.
+	RequestTimeout time.Duration
+	// StallTimeout arms each engine's stall watchdog (default 30s; the
+	// boundary gate heartbeats it while a session is parked).
+	StallTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown before engines are
+	// hard-aborted (default 10s); used by callers of Shutdown.
+	DrainTimeout time.Duration
+	// MaxScale bounds admitted workload scale (default 1.0).
+	MaxScale float64
+	// MinQuantum/MaxQuantum bound session quanta in cycles (defaults
+	// 1000 and 100M); DefaultQuantum fills an omitted quantum (100k).
+	MinQuantum, MaxQuantum, DefaultQuantum uint64
+	// EnableChaos admits sessions with panic_at_boundary set.
+	EnableChaos bool
+	// Retry shapes all store IO retries (zero value = package
+	// defaults: 4 attempts, 5ms base, 500ms cap).
+	Retry retry.Policy
+	// HeartbeatEvery paces watchdog heartbeats from parked engines
+	// (default 1s; must stay below StallTimeout).
+	HeartbeatEvery time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 16384
+	}
+	if c.MaxLive <= 0 {
+		c.MaxLive = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.StallTimeout <= 0 {
+		c.StallTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.MaxScale <= 0 {
+		c.MaxScale = 1.0
+	}
+	if c.MinQuantum == 0 {
+		c.MinQuantum = 1000
+	}
+	if c.MaxQuantum == 0 {
+		c.MaxQuantum = 100_000_000
+	}
+	if c.DefaultQuantum == 0 {
+		c.DefaultQuantum = 100_000
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = time.Second
+	}
+	if hb := c.StallTimeout / 4; c.HeartbeatEvery > hb && hb > 0 {
+		c.HeartbeatEvery = hb
+	}
+	return c
+}
+
+// Typed errors the API layer maps to status codes.
+
+// ErrNotFound: no such session.
+var ErrNotFound = errors.New("server: session not found")
+
+// ErrDraining: the server is shutting down and admits no new work.
+var ErrDraining = errors.New("server: draining, not accepting new work")
+
+// OverloadError is backpressure: the caller should retry after
+// RetryAfter (429 + Retry-After over HTTP).
+type OverloadError struct {
+	Reason     string
+	RetryAfter time.Duration
+	// Quota marks a per-tenant rejection (retrying won't help until
+	// that tenant deletes sessions).
+	Quota bool
+}
+
+func (e *OverloadError) Error() string { return "server: overloaded: " + e.Reason }
+
+// DeadlineError: the request's context expired while the server was
+// still working; server-side progress continues.
+type DeadlineError struct {
+	Op  string
+	Err error
+}
+
+func (e *DeadlineError) Error() string { return "server: deadline: " + e.Op + ": " + e.Err.Error() }
+func (e *DeadlineError) Unwrap() error { return e.Err }
+
+// ValidationError: the session config was rejected at admission.
+type ValidationError struct{ Err error }
+
+func (e *ValidationError) Error() string { return "server: invalid session config: " + e.Err.Error() }
+func (e *ValidationError) Unwrap() error { return e.Err }
+
+// errRecheck is internal: the session changed state underfoot; the
+// step loop re-reads it.
+var errRecheck = errors.New("server: session state changed, recheck")
+
+type metrics struct {
+	sessionsCreated *obs.Counter
+	sessionsDone    *obs.Counter
+	sessionsFailed  *obs.Counter
+	sessionsEvicted *obs.Counter
+	sessionsResumed *obs.Counter
+	sessionsDeleted *obs.Counter
+	steps           *obs.Counter
+	boundaries      *obs.Counter
+	rejectedOver    *obs.Counter
+	rejectedQuota   *obs.Counter
+	panicsRecovered *obs.Counter
+	ioFailures      *obs.Counter
+	liveGauge       *obs.Gauge
+	residentGauge   *obs.Gauge
+	stepSeconds     *obs.Histogram
+}
+
+// Server hosts sessions. Lock order: Server.mu before Session.mu.
+type Server struct {
+	cfg     Config
+	store   *store
+	reg     *obs.Registry
+	nshards int
+	met     metrics
+
+	// baseCtx parents every engine run; cancel is the hard abort of
+	// last resort during shutdown.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	// tokens is the compute pool: an engine holds a token while
+	// executing simulation and releases it while parked at the gate.
+	tokens chan struct{}
+
+	// tick is the logical clock behind LRU eviction.
+	tick atomic.Uint64
+
+	mu        sync.Mutex
+	draining  bool
+	sessions  map[string]*Session
+	tenants   map[string]int
+	liveCount int
+	seq       uint64
+}
+
+// New builds a server over DataDir, restoring every session a previous
+// process left there.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.DataDir == "" {
+		return nil, errors.New("server: Config.DataDir is required")
+	}
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	baseCtx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		store:    &store{dir: cfg.DataDir, pol: cfg.Retry},
+		baseCtx:  baseCtx,
+		cancel:   cancel,
+		tokens:   make(chan struct{}, cfg.Workers),
+		sessions: make(map[string]*Session),
+		tenants:  make(map[string]int),
+	}
+	s.initMetrics()
+	if err := s.restore(); err != nil {
+		cancel()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Server) initMetrics() {
+	s.nshards = runtime.GOMAXPROCS(0)
+	if s.nshards < 1 {
+		s.nshards = 1
+	}
+	s.reg = obs.NewRegistry(s.nshards)
+	s.met = metrics{
+		sessionsCreated: s.reg.Counter("atsimd_sessions_created_total"),
+		sessionsDone:    s.reg.Counter("atsimd_sessions_done_total"),
+		sessionsFailed:  s.reg.Counter("atsimd_sessions_failed_total"),
+		sessionsEvicted: s.reg.Counter("atsimd_sessions_evicted_total"),
+		sessionsResumed: s.reg.Counter("atsimd_sessions_resumed_total"),
+		sessionsDeleted: s.reg.Counter("atsimd_sessions_deleted_total"),
+		steps:           s.reg.Counter("atsimd_steps_total"),
+		boundaries:      s.reg.Counter("atsimd_boundaries_total"),
+		rejectedOver:    s.reg.Counter("atsimd_rejected_overload_total"),
+		rejectedQuota:   s.reg.Counter("atsimd_rejected_quota_total"),
+		panicsRecovered: s.reg.Counter("atsimd_panics_recovered_total"),
+		ioFailures:      s.reg.Counter("atsimd_io_failures_total"),
+		liveGauge:       s.reg.Gauge("atsimd_sessions_live"),
+		residentGauge:   s.reg.Gauge("atsimd_sessions_resident"),
+		stepSeconds: s.reg.Histogram("atsimd_step_seconds",
+			[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30}),
+	}
+}
+
+// shard maps a session ID onto a metrics shard so hot counters stay
+// spread across cache lines.
+func (s *Server) shard(id string) int {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32() % uint32(s.nshards))
+}
+
+// restore rebuilds the session table from the data directory.
+func (s *Server) restore() error {
+	recs, err := s.store.scan(s.cfg.Workers)
+	if err != nil {
+		return err
+	}
+	for _, r := range recs {
+		m := r.man
+		sess := newSession(m.ID, m.Tenant, m.Config)
+		sess.state = m.State
+		if sess.state == StateLive || sess.state == "" {
+			sess.state = StateIdle
+		}
+		sess.boundaries = m.Boundaries
+		sess.cycle = m.Cycle
+		sess.evictions = m.Evictions
+		sess.resumes = m.Resumes
+		sess.result = m.Result
+		sess.failure = m.Failure
+		sess.onDisk = r.hasSnap
+		sess.cleanGen = sess.gen // just loaded: disk is current
+		sess.lastTouch = s.tick.Add(1)
+		s.sessions[m.ID] = sess
+		s.tenants[m.Tenant]++
+		if n, ok := parseID(m.ID); ok && n > s.seq {
+			s.seq = n
+		}
+	}
+	s.updateGaugesLocked()
+	return nil
+}
+
+func parseID(id string) (uint64, bool) {
+	if !strings.HasPrefix(id, "s-") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(id[2:], 10, 64)
+	return n, err == nil
+}
+
+func (s *Server) updateGaugesLocked() {
+	s.met.liveGauge.Set(float64(s.liveCount))
+	s.met.residentGauge.Set(float64(len(s.sessions)))
+}
+
+// CreateSession validates and admits a new session; the returned Info
+// is durable — its manifest reached disk before this returns.
+func (s *Server) CreateSession(ctx context.Context, tenant string, cfg SessionConfig) (Info, error) {
+	if tenant == "" {
+		tenant = "default"
+	}
+	cfg = cfg.withDefaults(s.cfg)
+	if err := cfg.validate(s.cfg); err != nil {
+		return Info{}, &ValidationError{Err: err}
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return Info{}, ErrDraining
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		s.met.rejectedOver.Inc(s.shard(tenant))
+		return Info{}, &OverloadError{
+			Reason:     fmt.Sprintf("server at capacity (%d resident sessions)", s.cfg.MaxSessions),
+			RetryAfter: 5 * time.Second,
+		}
+	}
+	if q := s.cfg.TenantQuota; q > 0 && s.tenants[tenant] >= q {
+		s.mu.Unlock()
+		s.met.rejectedQuota.Inc(s.shard(tenant))
+		return Info{}, &OverloadError{
+			Reason:     fmt.Sprintf("tenant %q at quota (%d resident sessions)", tenant, q),
+			RetryAfter: 5 * time.Second,
+			Quota:      true,
+		}
+	}
+	s.seq++
+	id := fmt.Sprintf("s-%06d", s.seq)
+	sess := newSession(id, tenant, cfg)
+	sess.lastTouch = s.tick.Add(1)
+	s.sessions[id] = sess
+	s.tenants[tenant]++
+	s.updateGaugesLocked()
+	s.mu.Unlock()
+
+	// Durable admission: acknowledge only after the manifest is on
+	// disk, so a kill -9 at any instant loses at most sessions the
+	// client never heard about.
+	if err := s.persistManifest(sess); err != nil {
+		s.dropSession(sess, true)
+		return Info{}, fmt.Errorf("server: persisting new session: %w", err)
+	}
+	s.met.sessionsCreated.Inc(s.shard(id))
+	sess.events.append(Event{Kind: "created"})
+	return sess.info(), nil
+}
+
+func (s *Server) lookup(id string) (*Session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return sess, nil
+}
+
+// Get returns one session's summary.
+func (s *Server) Get(id string) (Info, error) {
+	sess, err := s.lookup(id)
+	if err != nil {
+		return Info{}, err
+	}
+	return sess.info(), nil
+}
+
+// List returns every resident session, sorted by ID.
+func (s *Server) List() []Info {
+	s.mu.Lock()
+	all := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		all = append(all, sess)
+	}
+	s.mu.Unlock()
+	out := make([]Info, 0, len(all))
+	for _, sess := range all {
+		out = append(out, sess.info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Events returns the session's buffered events after seq, plus a
+// channel closed at the next append (for followers).
+func (s *Server) Events(id string, after uint64) ([]Event, <-chan struct{}, error) {
+	sess, err := s.lookup(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	evs, notify := sess.events.since(after)
+	return evs, notify, nil
+}
+
+// StepResult is one step call's outcome.
+type StepResult struct {
+	ID         string  `json:"id"`
+	State      State   `json:"state"`
+	Boundaries uint64  `json:"boundaries"`
+	Cycle      uint64  `json:"cycle"`
+	Evictions  uint64  `json:"evictions"`
+	Result     *Result `json:"result,omitempty"`
+	Failure    string  `json:"failure,omitempty"`
+}
+
+// Step advances a session by quanta checkpoint boundaries (0 = run to
+// completion). Steps on one session serialize; the engine is created,
+// resumed from its snapshot, or reused at its gate as needed, and an
+// eviction racing the step is absorbed by resuming and finishing the
+// remaining budget. A ctx deadline abandons only the response — the
+// granted work keeps executing and lands in the session.
+func (s *Server) Step(ctx context.Context, id string, quanta uint64) (StepResult, error) {
+	sess, err := s.lookup(id)
+	if err != nil {
+		return StepResult{}, err
+	}
+	if err := sess.lockStep(ctx); err != nil {
+		return StepResult{}, err
+	}
+	defer sess.unlockStep()
+	s.met.steps.Inc(s.shard(id))
+	start := time.Now()
+	defer func() {
+		s.met.stepSeconds.Observe(s.shard(id), time.Since(start).Seconds())
+	}()
+	for {
+		sess.mu.Lock()
+		if sess.deleted {
+			sess.mu.Unlock()
+			return StepResult{}, ErrNotFound
+		}
+		if sess.state == StateDone || sess.state == StateFailed {
+			out := sess.outcomeLocked()
+			sess.mu.Unlock()
+			return stepResultOf(id, out), nil
+		}
+		sess.mu.Unlock()
+
+		le, err := s.ensureLive(ctx, sess)
+		if err != nil {
+			if errors.Is(err, errRecheck) {
+				continue
+			}
+			return StepResult{}, err
+		}
+		g := &grant{quanta: quanta, outcome: make(chan stepOutcome, 1)}
+		select {
+		case le.grants <- g:
+		case <-le.done:
+			continue
+		case <-ctx.Done():
+			return StepResult{}, &DeadlineError{Op: "queueing step for session " + id, Err: ctx.Err()}
+		}
+		var out stepOutcome
+		select {
+		case out = <-g.outcome:
+		case <-le.done:
+			select {
+			case out = <-g.outcome:
+			default:
+				continue
+			}
+		case <-ctx.Done():
+			return StepResult{}, &DeadlineError{Op: "executing step for session " + id, Err: ctx.Err()}
+		}
+		if out.evicted && out.state == StateIdle {
+			// The engine unwound (pressure eviction or explicit evict)
+			// with this grant partly served; resume and finish the
+			// remaining budget transparently.
+			quanta = out.remaining
+			continue
+		}
+		return stepResultOf(id, out), nil
+	}
+}
+
+func stepResultOf(id string, out stepOutcome) StepResult {
+	return StepResult{
+		ID: id, State: out.state, Boundaries: out.boundaries, Cycle: out.cycle,
+		Evictions: out.evictions, Result: out.result, Failure: out.failure,
+	}
+}
+
+// ensureLive returns the session's resident engine, creating one (and
+// evicting a cold victim if every live slot is taken). It returns
+// OverloadError when all live sessions are busy executing — the
+// backpressure signal — and errRecheck when the session reached a
+// terminal state underfoot.
+func (s *Server) ensureLive(ctx context.Context, sess *Session) (*liveEngine, error) {
+	for {
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			return nil, ErrDraining
+		}
+		sess.mu.Lock()
+		if sess.deleted || sess.state == StateDone || sess.state == StateFailed {
+			sess.mu.Unlock()
+			s.mu.Unlock()
+			return nil, errRecheck
+		}
+		sess.lastTouch = s.tick.Add(1)
+		if le := sess.live; le != nil {
+			sess.mu.Unlock()
+			s.mu.Unlock()
+			return le, nil
+		}
+		if s.liveCount < s.cfg.MaxLive {
+			le := newLiveEngine(s, sess)
+			sess.live = le
+			sess.state = StateLive
+			sess.mu.Unlock()
+			s.liveCount++
+			s.updateGaugesLocked()
+			s.mu.Unlock()
+			sess.events.append(Event{Kind: "live"})
+			go le.loop()
+			return le, nil
+		}
+		sess.mu.Unlock()
+		victim := s.pickVictimLocked(sess)
+		s.mu.Unlock()
+		if victim == nil {
+			s.met.rejectedOver.Inc(s.shard(sess.ID))
+			return nil, &OverloadError{
+				Reason:     fmt.Sprintf("all %d live-session slots are executing steps", s.cfg.MaxLive),
+				RetryAfter: time.Second,
+			}
+		}
+		if err := s.evictWait(ctx, victim); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// pickVictimLocked (s.mu held) chooses the least-recently-touched live
+// session that is parked at its gate — never one mid-step.
+func (s *Server) pickVictimLocked(exclude *Session) *Session {
+	var victim *Session
+	var oldest uint64
+	for _, cand := range s.sessions {
+		if cand == exclude {
+			continue
+		}
+		cand.mu.Lock()
+		ok := cand.live != nil && !cand.live.busy.Load()
+		touch := cand.lastTouch
+		cand.mu.Unlock()
+		if ok && (victim == nil || touch < oldest) {
+			victim, oldest = cand, touch
+		}
+	}
+	return victim
+}
+
+// evictWait asks a session's engine to unwind at its gate and waits
+// for the slot to free. No-op when the session is not live.
+func (s *Server) evictWait(ctx context.Context, sess *Session) error {
+	sess.mu.Lock()
+	le := sess.live
+	sess.mu.Unlock()
+	if le == nil {
+		return nil
+	}
+	le.requestStop()
+	select {
+	case <-le.done:
+		return nil
+	case <-ctx.Done():
+		return &DeadlineError{Op: "evicting session " + sess.ID, Err: ctx.Err()}
+	}
+}
+
+// Evict explicitly parks a session to disk, freeing its live slot.
+func (s *Server) Evict(ctx context.Context, id string) (Info, error) {
+	sess, err := s.lookup(id)
+	if err != nil {
+		return Info{}, err
+	}
+	if err := s.evictWait(ctx, sess); err != nil {
+		return Info{}, err
+	}
+	return sess.info(), nil
+}
+
+// Delete removes a session and its files. A live engine is stopped
+// first; the tombstone flag keeps a racing persist from resurrecting
+// the files.
+func (s *Server) Delete(ctx context.Context, id string) error {
+	sess, err := s.lookup(id)
+	if err != nil {
+		return err
+	}
+	sess.mu.Lock()
+	if sess.deleted {
+		sess.mu.Unlock()
+		return ErrNotFound
+	}
+	sess.deleted = true
+	le := sess.live
+	sess.mu.Unlock()
+	if le != nil {
+		le.requestStop()
+		select {
+		case <-le.done:
+		case <-ctx.Done():
+			// Deletion is already marked; the engine will find the
+			// tombstone when it unwinds. Fall through and remove now.
+		}
+	}
+	s.dropSession(sess, true)
+	s.met.sessionsDeleted.Inc(s.shard(id))
+	sess.events.append(Event{Kind: "deleted"})
+	return nil
+}
+
+// dropSession removes a session from the tables (and optionally its
+// files). Idempotent.
+func (s *Server) dropSession(sess *Session, removeFiles bool) {
+	s.mu.Lock()
+	if _, ok := s.sessions[sess.ID]; ok {
+		delete(s.sessions, sess.ID)
+		if s.tenants[sess.Tenant]--; s.tenants[sess.Tenant] <= 0 {
+			delete(s.tenants, sess.Tenant)
+		}
+		s.updateGaugesLocked()
+	}
+	s.mu.Unlock()
+	if removeFiles {
+		s.store.removeSession(sess.ID)
+	}
+}
+
+// loadResume fetches the session's resume state: the in-memory
+// snapshot if the engine that produced it just unwound, else the disk
+// snapshot, else nil (fresh run from cycle zero).
+func (s *Server) loadResume(sess *Session) (*snapshot.State, error) {
+	sess.mu.Lock()
+	st := sess.snap
+	onDisk := sess.onDisk
+	sess.mu.Unlock()
+	if st != nil {
+		return st, nil
+	}
+	if !onDisk {
+		return nil, nil
+	}
+	return s.store.loadSnapshot(sess.ID)
+}
+
+// persistManifest writes the session's manifest, with generation
+// bookkeeping so a concurrent mutation is never marked clean.
+func (s *Server) persistManifest(sess *Session) error {
+	sess.mu.Lock()
+	if sess.deleted {
+		sess.mu.Unlock()
+		return nil
+	}
+	man := sess.manifestLocked()
+	g := sess.gen
+	sess.mu.Unlock()
+	if err := s.store.writeManifest(man); err != nil {
+		s.met.ioFailures.Inc(s.shard(sess.ID))
+		return err
+	}
+	sess.mu.Lock()
+	if sess.cleanGen < g {
+		sess.cleanGen = g
+	}
+	sess.mu.Unlock()
+	return nil
+}
+
+// persistSession makes the session durable: boundary snapshot to disk
+// (for idle sessions holding one in memory), snapshot cleanup for done
+// sessions, manifest when dirty. Failures are counted and logged via
+// metrics but not fatal — the state stays in memory and the next
+// persist retries.
+func (s *Server) persistSession(sess *Session) {
+	sess.mu.Lock()
+	if sess.deleted {
+		sess.mu.Unlock()
+		return
+	}
+	st := sess.snap
+	needSnap := st != nil && !sess.onDisk && sess.state == StateIdle
+	dirty := sess.gen != sess.cleanGen
+	done := sess.state == StateDone
+	sess.mu.Unlock()
+	if !dirty && !needSnap {
+		return
+	}
+	if needSnap {
+		if err := s.store.writeSnapshot(sess.ID, st); err != nil {
+			s.met.ioFailures.Inc(s.shard(sess.ID))
+		} else {
+			sess.mu.Lock()
+			if sess.snap == st {
+				sess.onDisk = true
+				sess.snap = nil
+			}
+			sess.mu.Unlock()
+		}
+	}
+	if done {
+		s.store.removeSnapshot(sess.ID)
+	}
+	_ = s.persistManifest(sess)
+}
+
+// engineExited is the tail of every engine goroutine: classify the
+// exit, persist, free the live slot, answer whoever is waiting.
+func (s *Server) engineExited(le *liveEngine, res *Result, completed bool, runErr error) {
+	sess := le.sess
+	shard := s.shard(sess.ID)
+
+	sess.mu.Lock()
+	switch {
+	case completed:
+		sess.state = StateDone
+		sess.result = res
+		sess.snap = nil
+		sess.onDisk = false
+	case runErr == nil || errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded):
+		// Evicted at a boundary — or hard-aborted during shutdown —
+		// with the newest snapshot already delivered: resumable.
+		sess.state = StateIdle
+		if runErr == nil {
+			sess.evictions++
+		}
+	default:
+		sess.state = StateFailed
+		sess.failure = runErr.Error()
+	}
+	sess.gen++
+	out := sess.outcomeLocked()
+	out.evicted = sess.state == StateIdle
+	if le.current != nil && !le.unlimited {
+		out.remaining = le.credit
+	}
+	cycle := sess.cycle
+	bnds := sess.boundaries
+	failure := sess.failure
+	sess.mu.Unlock()
+
+	switch out.state {
+	case StateDone:
+		s.met.sessionsDone.Inc(shard)
+		sess.events.append(Event{Kind: "done", Cycle: cycle, Boundaries: bnds})
+	case StateIdle:
+		s.met.sessionsEvicted.Inc(shard)
+		sess.events.append(Event{Kind: "evicted", Cycle: cycle, Boundaries: bnds})
+	default:
+		s.met.sessionsFailed.Inc(shard)
+		sess.events.append(Event{Kind: "failed", Detail: firstLine(failure)})
+	}
+
+	s.persistSession(sess)
+
+	s.mu.Lock()
+	sess.mu.Lock()
+	sess.live = nil
+	sess.mu.Unlock()
+	s.liveCount--
+	s.updateGaugesLocked()
+	s.mu.Unlock()
+
+	le.answerCurrent(out)
+	for {
+		select {
+		case g := <-le.grants:
+			g.outcome <- out
+		default:
+			close(le.done)
+			return
+		}
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// Draining reports whether Shutdown has begun (readiness probes).
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// WriteMetrics renders the server's metrics in Prometheus text format.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	return obs.WritePrometheus(w, s.reg.Snapshot())
+}
+
+// Shutdown drains the server: stop admitting work, unwind every live
+// engine at its next boundary (checkpointing it), persist everything,
+// and only then return. If ctx expires first, engines are hard-aborted
+// via the base context; sessions still persist whatever boundary they
+// last delivered. Restarting a server over the same DataDir resumes
+// every session exactly where it checkpointed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	var lives []*liveEngine
+	all := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		all = append(all, sess)
+		sess.mu.Lock()
+		if sess.live != nil {
+			lives = append(lives, sess.live)
+		}
+		sess.mu.Unlock()
+	}
+	s.mu.Unlock()
+	if already {
+		return errors.New("server: already shut down")
+	}
+	for _, le := range lives {
+		le.requestStop()
+	}
+	var stragglers int
+	for _, le := range lives {
+		select {
+		case <-le.done:
+		case <-ctx.Done():
+			// Grace expired: abort the engines mid-quantum. They unwind
+			// at the next context check with their last boundary intact.
+			s.cancel()
+			select {
+			case <-le.done:
+			case <-time.After(2 * time.Second):
+				stragglers++
+			}
+		}
+	}
+	// Final durability sweep. Engine exits already persisted their
+	// sessions; this catches io failures left dirty, never-stepped
+	// sessions, and anything mutated since.
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	_ = parallel.ForEach(s.cfg.Workers, len(all), func(i int) error {
+		s.persistSession(all[i])
+		return nil
+	})
+	s.cancel()
+	if stragglers > 0 {
+		return fmt.Errorf("server: %d engines did not unwind before the drain deadline", stragglers)
+	}
+	return nil
+}

@@ -1,0 +1,548 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cachesim"
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/platform/sim"
+	"repro/internal/rt"
+	"repro/internal/snapshot"
+	"repro/internal/workloads"
+)
+
+// State is a session's lifecycle state. The machine is
+//
+//	idle ──step──▶ live ──completes──▶ done
+//	 ▲               │ ╲
+//	 └──── evict ────┘  ╲─ panic/stall ──▶ failed
+//
+// where "idle" covers both a fresh session (no progress yet) and an
+// evicted one (progress checkpointed to disk). done and failed are
+// terminal; a deleted session simply ceases to exist.
+type State string
+
+const (
+	// StateIdle: no engine resident. The session's progress, if any,
+	// lives in its last boundary snapshot (in memory or on disk) and is
+	// transparently resumed on the next step.
+	StateIdle State = "idle"
+	// StateLive: an engine is resident — executing a granted step or
+	// parked at a quantum boundary waiting for the next one.
+	StateLive State = "live"
+	// StateDone: the workload ran to completion; Result is final.
+	StateDone State = "done"
+	// StateFailed: the session's engine panicked, stalled, or hit an
+	// unrecoverable error. Only this session is affected; Failure
+	// carries the diagnostic (including the stack for panics).
+	StateFailed State = "failed"
+)
+
+// SessionConfig is the client-supplied simulation configuration of one
+// session — the same knobs as one atsim run, plus the quantum that
+// paces stepping.
+type SessionConfig struct {
+	// App names the workload (tasks, merge, photo, tsp).
+	App string `json:"app"`
+	// Policy is the scheduling policy (FCFS, LFF, CRT, ...).
+	Policy string `json:"policy"`
+	// CPUs selects the platform (1 = Ultra-1, >1 = E5000).
+	CPUs int `json:"cpus"`
+	// Scale shrinks the workload; bounded by the server's MaxScale.
+	Scale float64 `json:"scale"`
+	// Seed fixes all simulation randomness; equal configs with equal
+	// seeds produce bit-identical runs, which is what the service's
+	// crash-recovery guarantees rest on.
+	Seed uint64 `json:"seed"`
+	// Quantum is the step granularity in virtual cycles: each step
+	// advances the simulation to the next multiple(s) of Quantum, and
+	// each boundary is a valid eviction/checkpoint point. Fixed for the
+	// session's lifetime.
+	Quantum uint64 `json:"quantum"`
+	// Topology optionally selects the cache organisation (see
+	// cachesim.ParseTopology); empty means private-dm.
+	Topology string `json:"topology,omitempty"`
+	// DisableAnnotations runs the annotation ablation.
+	DisableAnnotations bool `json:"no_annotations,omitempty"`
+	// PanicAtBoundary injects a panic on the engine goroutine when the
+	// session crosses its Nth quantum boundary — the chaos probe behind
+	// the crash-isolation gate. Admitted only when the server runs with
+	// chaos enabled.
+	PanicAtBoundary uint64 `json:"panic_at_boundary,omitempty"`
+}
+
+func (c SessionConfig) withDefaults(srv Config) SessionConfig {
+	if c.App == "" {
+		c.App = "tasks"
+	}
+	if c.Policy == "" {
+		c.Policy = "LFF"
+	}
+	if c.CPUs == 0 {
+		c.CPUs = 2
+	}
+	if c.Scale == 0 {
+		c.Scale = 0.05
+	}
+	if c.Seed == 0 {
+		c.Seed = 11
+	}
+	if c.Quantum == 0 {
+		c.Quantum = srv.DefaultQuantum
+	}
+	return c
+}
+
+// validate rejects a config at admission time, so nothing bad reaches
+// an engine (or a snapshot) later.
+func (c SessionConfig) validate(srv Config) error {
+	if _, err := workloads.SchedAppByName(c.App); err != nil {
+		return err
+	}
+	if _, err := model.SchemeFor(c.Policy); err != nil {
+		return err
+	}
+	topo, err := cachesim.ParseTopology(c.Topology)
+	if err != nil {
+		return err
+	}
+	if err := c.machineConfig(topo).Validate(); err != nil {
+		return err
+	}
+	if c.Scale <= 0 || c.Scale > srv.MaxScale {
+		return fmt.Errorf("scale %v outside (0, %v]", c.Scale, srv.MaxScale)
+	}
+	if c.Quantum < srv.MinQuantum || c.Quantum > srv.MaxQuantum {
+		return fmt.Errorf("quantum %d outside [%d, %d] cycles", c.Quantum, srv.MinQuantum, srv.MaxQuantum)
+	}
+	if c.PanicAtBoundary > 0 && !srv.EnableChaos {
+		return fmt.Errorf("panic_at_boundary requires a server started with chaos injection enabled")
+	}
+	return nil
+}
+
+// machineConfig maps the session's platform knobs to the paper's
+// machines, exactly as atsim's flags do.
+func (c SessionConfig) machineConfig(topo cachesim.Topology) machine.Config {
+	cfg := machine.UltraSPARC1()
+	if c.CPUs != 1 {
+		cfg = machine.Enterprise5000(c.CPUs)
+	}
+	cfg.Topology = topo
+	return cfg
+}
+
+// kv renders the config fields the engine cannot verify natively
+// (policy, seed, CPU count, cache geometry and quantum are checked by
+// rt itself) into the snapshot's config record, so a session snapshot
+// can never resume a differently-configured session.
+func (c SessionConfig) kv() []snapshot.KV {
+	return []snapshot.KV{
+		{K: "app", V: c.App},
+		{K: "scale", V: fmt.Sprintf("%g", c.Scale)},
+		{K: "noannot", V: fmt.Sprintf("%t", c.DisableAnnotations)},
+		{K: "topology", V: c.Topology},
+		{K: "panicat", V: fmt.Sprintf("%d", c.PanicAtBoundary)},
+	}
+}
+
+// Result is a completed session's outcome. Fingerprint is the CRC64 of
+// the engine's complete final state — the equality the chaos gates
+// compare: a session stepped, evicted, resumed and crash-recovered any
+// number of times finishes with the same fingerprint as an
+// uninterrupted run of the same config.
+type Result struct {
+	Fingerprint string `json:"fingerprint"`
+	ERefs       uint64 `json:"e_refs"`
+	EMisses     uint64 `json:"e_misses"`
+	Cycles      uint64 `json:"cycles"`
+	Instrs      uint64 `json:"instrs"`
+	Dispatches  uint64 `json:"dispatches"`
+}
+
+// Session is one hosted simulation. Fields below mu are guarded by it;
+// stepMu serializes step execution (a cap-1 semaphore so waiting
+// honors contexts).
+type Session struct {
+	ID     string
+	Tenant string
+	Cfg    SessionConfig
+
+	stepMu chan struct{}
+
+	mu      sync.Mutex
+	deleted bool
+	state   State
+	// snap is the latest boundary capture when it lives in memory;
+	// onDisk reports that the snapshot file is current. Both false/nil
+	// means no progress yet (a step starts from cycle 0).
+	snap   *snapshot.State
+	onDisk bool
+	// gen counts manifest-relevant mutations; cleanGen is gen as of the
+	// last successful manifest write, so gen != cleanGen means "dirty"
+	// and a persist that raced a mutation never marks it clean.
+	gen        uint64
+	cleanGen   uint64
+	boundaries uint64
+	cycle      uint64
+	evictions  uint64
+	resumes    uint64
+	result     *Result
+	failure    string
+	lastTouch  uint64
+	live       *liveEngine
+	events     *eventLog
+}
+
+func newSession(id, tenant string, cfg SessionConfig) *Session {
+	return &Session{
+		ID: id, Tenant: tenant, Cfg: cfg,
+		stepMu: make(chan struct{}, 1),
+		state:  StateIdle,
+		gen:    1,
+		events: newEventLog(eventLogCap),
+	}
+}
+
+// lockStep acquires the session's step slot, honoring ctx.
+func (sess *Session) lockStep(ctx context.Context) error {
+	select {
+	case sess.stepMu <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return &DeadlineError{Op: "waiting for an in-flight step of session " + sess.ID, Err: ctx.Err()}
+	}
+}
+
+func (sess *Session) unlockStep() { <-sess.stepMu }
+
+// noteBoundary records one crossed quantum boundary; called from the
+// engine goroutine.
+func (sess *Session) noteBoundary(st *snapshot.State) uint64 {
+	sess.mu.Lock()
+	sess.snap = st
+	sess.onDisk = false
+	sess.gen++
+	sess.boundaries++
+	sess.cycle = st.Now
+	n := sess.boundaries
+	sess.mu.Unlock()
+	sess.events.append(Event{Kind: "boundary", Boundaries: n, Cycle: st.Now})
+	return n
+}
+
+// outcomeLocked composes the step-visible view of the session. Callers
+// hold sess.mu.
+func (sess *Session) outcomeLocked() stepOutcome {
+	return stepOutcome{
+		state:      sess.state,
+		boundaries: sess.boundaries,
+		cycle:      sess.cycle,
+		evictions:  sess.evictions,
+		result:     sess.result,
+		failure:    sess.failure,
+	}
+}
+
+// Info is the API-visible session summary.
+type Info struct {
+	ID         string        `json:"id"`
+	Tenant     string        `json:"tenant"`
+	State      State         `json:"state"`
+	Config     SessionConfig `json:"config"`
+	Boundaries uint64        `json:"boundaries"`
+	Cycle      uint64        `json:"cycle"`
+	Evictions  uint64        `json:"evictions"`
+	Resumes    uint64        `json:"resumes"`
+	Result     *Result       `json:"result,omitempty"`
+	Failure    string        `json:"failure,omitempty"`
+}
+
+func (sess *Session) info() Info {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return Info{
+		ID: sess.ID, Tenant: sess.Tenant, State: sess.state, Config: sess.Cfg,
+		Boundaries: sess.boundaries, Cycle: sess.cycle,
+		Evictions: sess.evictions, Resumes: sess.resumes,
+		Result: sess.result, Failure: sess.failure,
+	}
+}
+
+// errEvictRequested aborts a run at a quantum boundary: the engine is
+// being evicted (or the server is draining), not failing. It travels
+// through rt.Engine.Run wrapped, hence errors.Is below.
+var errEvictRequested = errors.New("server: evict requested at boundary")
+
+// grant hands one step's budget to the engine goroutine. quanta == 0
+// means run to completion. outcome is buffered so the engine never
+// blocks answering a handler that already gave up.
+type grant struct {
+	quanta  uint64
+	outcome chan stepOutcome
+}
+
+type stepOutcome struct {
+	state      State
+	boundaries uint64
+	cycle      uint64
+	evictions  uint64
+	result     *Result
+	failure    string
+	// evicted marks an outcome delivered because the engine unwound
+	// (eviction/drain) before the grant was satisfied; remaining is the
+	// unexecuted part of the grant's budget, so the caller can resume
+	// the step transparently (0 after an unlimited grant — retrying 0
+	// again means "to completion", which is what was asked).
+	evicted   bool
+	remaining uint64
+}
+
+// liveEngine is a resident engine: one goroutine running (or parked
+// inside) rt.Engine.Run, controlled through the checkpoint-boundary
+// gate. All fields below the channels belong to the engine goroutine.
+type liveEngine struct {
+	srv  *Server
+	sess *Session
+
+	grants   chan *grant
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+	// busy is true while the engine holds unconsumed step credit —
+	// i.e. is executing, not parked at the gate. Only parked engines
+	// are eviction candidates, so pressure eviction never aborts an
+	// active step.
+	busy atomic.Bool
+
+	eng          *rt.Engine
+	current      *grant
+	credit       uint64
+	unlimited    bool
+	holdingToken bool
+}
+
+func newLiveEngine(s *Server, sess *Session) *liveEngine {
+	return &liveEngine{
+		srv: s, sess: sess,
+		grants: make(chan *grant, 4),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// requestStop asks the engine to unwind at its next gate visit
+// (immediately if parked). Idempotent.
+func (le *liveEngine) requestStop() { le.stopOnce.Do(func() { close(le.stop) }) }
+
+// loop is the engine goroutine. Any panic — an injected chaos panic, a
+// workload bug, an engine invariant violation — is recovered HERE, so
+// it fails exactly this session while the server and every other
+// session keep running.
+func (le *liveEngine) loop() {
+	var (
+		runErr    error
+		res       *Result
+		completed bool
+	)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				le.srv.met.panicsRecovered.Add(le.srv.shard(le.sess.ID), 1)
+				runErr = fmt.Errorf("session panicked: %v\n\n%s", r, debug.Stack())
+				completed = false
+			}
+		}()
+		res, completed, runErr = le.run()
+	}()
+	le.srv.engineExited(le, res, completed, runErr)
+}
+
+// run executes the session until completion, eviction, failure, or
+// hard cancellation. It parks before doing ANY work: ensuring a
+// session live costs nothing until a step grants it credit.
+func (le *liveEngine) run() (res *Result, completed bool, err error) {
+	if !le.waitGrant(nil) {
+		return nil, false, nil
+	}
+	defer le.releaseToken()
+	sess, cfg := le.sess, le.sess.Cfg
+
+	app, err := workloads.SchedAppByName(cfg.App)
+	if err != nil {
+		return nil, false, err // unreachable: validated at admission
+	}
+	topo, err := cachesim.ParseTopology(cfg.Topology)
+	if err != nil {
+		return nil, false, err
+	}
+	st, err := le.srv.loadResume(sess)
+	if err != nil {
+		return nil, false, err
+	}
+	m := machine.New(cfg.machineConfig(topo))
+	e, err := rt.New(sim.New(m), rt.Options{
+		Policy:             cfg.Policy,
+		Seed:               cfg.Seed,
+		DisableAnnotations: cfg.DisableAnnotations,
+		StallTimeout:       le.srv.cfg.StallTimeout,
+		Checkpoint: rt.CheckpointConfig{
+			Every:        cfg.Quantum,
+			Config:       cfg.kv(),
+			Resume:       st,
+			OnCheckpoint: le.onBoundary,
+		},
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	le.eng = e
+	if st != nil {
+		sess.noteResumed(st)
+		le.srv.met.sessionsResumed.Add(le.srv.shard(sess.ID), 1)
+	}
+	app.Spawn(e, cfg.Scale)
+	err = e.Run(le.srv.baseCtx)
+	switch {
+	case err == nil:
+		refs, _, misses := m.Totals()
+		return &Result{
+			Fingerprint: fmt.Sprintf("%016x", e.CaptureState().Fingerprint()),
+			ERefs:       refs,
+			EMisses:     misses,
+			Cycles:      m.MaxCycles(),
+			Instrs:      m.TotalInstrs(),
+			Dispatches:  e.Snapshot().TotalDispatches(),
+		}, true, nil
+	case errors.Is(err, errEvictRequested):
+		return nil, false, nil
+	default:
+		return nil, false, err
+	}
+}
+
+// onBoundary is the checkpoint-boundary gate, called by the engine at
+// every Quantum multiple: deliver the fresh capture, pay one credit,
+// and when the grant is spent park until the next one (or unwind on
+// eviction). Returning errEvictRequested aborts Run with the session's
+// newest boundary state already delivered — eviction loses nothing.
+func (le *liveEngine) onBoundary(st *snapshot.State) error {
+	n := le.sess.noteBoundary(st)
+	le.srv.met.boundaries.Add(le.srv.shard(le.sess.ID), 1)
+	if pa := le.sess.Cfg.PanicAtBoundary; pa > 0 && n >= pa {
+		panic(fmt.Sprintf("chaos: injected panic at boundary %d of session %s", n, le.sess.ID))
+	}
+	if !le.unlimited {
+		// The boundary just delivered is paid for BEFORE the stop check,
+		// so an eviction's reported remaining budget is exact and a
+		// resumed step never re-runs a quantum it already received.
+		le.credit--
+		if le.credit == 0 {
+			le.answerCurrent(le.sess.snapshotOutcome())
+			if !le.waitGrant(le.eng) {
+				return errEvictRequested
+			}
+			return nil
+		}
+	}
+	select {
+	case <-le.stop:
+		return errEvictRequested
+	default:
+	}
+	return nil
+}
+
+// waitGrant parks the engine goroutine until the next grant arrives,
+// acquiring a compute token before returning true; false means
+// eviction/shutdown was requested. While parked (and while queued for
+// a token) it heartbeats the engine's stall watchdog: a gated session
+// is idle, not stalled.
+func (le *liveEngine) waitGrant(e *rt.Engine) bool {
+	le.busy.Store(false)
+	le.releaseToken()
+	tick := time.NewTicker(le.srv.cfg.HeartbeatEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-le.stop:
+			return false
+		case g := <-le.grants:
+			le.busy.Store(true)
+			le.current = g
+			le.credit = g.quanta
+			le.unlimited = g.quanta == 0
+			for {
+				select {
+				case <-le.stop:
+					return false
+				case le.srv.tokens <- struct{}{}:
+					le.holdingToken = true
+					return true
+				case <-tick.C:
+					if e != nil {
+						e.Heartbeat()
+					}
+				}
+			}
+		case <-tick.C:
+			if e != nil {
+				e.Heartbeat()
+			}
+		}
+	}
+}
+
+func (le *liveEngine) releaseToken() {
+	if le.holdingToken {
+		<-le.srv.tokens
+		le.holdingToken = false
+	}
+}
+
+// answerCurrent delivers out to the in-flight grant, if any.
+func (le *liveEngine) answerCurrent(out stepOutcome) {
+	if le.current != nil {
+		le.current.outcome <- out
+		le.current = nil
+	}
+}
+
+// snapshotOutcome is outcomeLocked behind the lock.
+func (sess *Session) snapshotOutcome() stepOutcome {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.outcomeLocked()
+}
+
+func (sess *Session) noteResumed(st *snapshot.State) {
+	sess.mu.Lock()
+	sess.resumes++
+	sess.gen++
+	n := sess.boundaries
+	sess.mu.Unlock()
+	sess.events.append(Event{Kind: "resumed", Cycle: st.Now, Boundaries: n})
+}
+
+// manifestLocked renders the session's durable record. Callers hold
+// sess.mu. A manifest never claims "live": an engine does not survive
+// the process, so on disk a live session is an idle one.
+func (sess *Session) manifestLocked() manifest {
+	st := sess.state
+	if st == StateLive {
+		st = StateIdle
+	}
+	return manifest{
+		ID: sess.ID, Tenant: sess.Tenant, Config: sess.Cfg, State: st,
+		Boundaries: sess.boundaries, Cycle: sess.cycle,
+		Evictions: sess.evictions, Resumes: sess.resumes,
+		Result: sess.result, Failure: sess.failure,
+	}
+}

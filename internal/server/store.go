@@ -1,0 +1,197 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/fsatomic"
+	"repro/internal/parallel"
+	"repro/internal/retry"
+	"repro/internal/snapshot"
+)
+
+// The store is the server's durability layer. Each session owns two
+// files in the data directory:
+//
+//	<id>.json  — the manifest: identity, config, lifecycle state,
+//	             progress counters, and the final result or failure.
+//	<id>.snap  — the latest boundary snapshot (internal/snapshot
+//	             format), present only while the session has resumable
+//	             progress.
+//
+// Both are written atomically (internal/fsatomic; snapshot.WriteFile
+// already is), and every operation runs under internal/retry so a
+// transiently failing disk costs a short stall, not a lost session.
+// The manifest is written before a create is acknowledged, so a
+// SIGKILL at any instant loses at most unacknowledged sessions; any
+// in-memory progress lost with the process is recomputed
+// deterministically on the next step.
+
+// manifest is the on-disk session record.
+type manifest struct {
+	ID         string        `json:"id"`
+	Tenant     string        `json:"tenant"`
+	Config     SessionConfig `json:"config"`
+	State      State         `json:"state"`
+	Boundaries uint64        `json:"boundaries"`
+	Cycle      uint64        `json:"cycle"`
+	Evictions  uint64        `json:"evictions"`
+	Resumes    uint64        `json:"resumes"`
+	Result     *Result       `json:"result,omitempty"`
+	Failure    string        `json:"failure,omitempty"`
+}
+
+// store performs all session IO.
+type store struct {
+	dir string
+	pol retry.Policy
+}
+
+// ioTimeout bounds one retried operation end to end; store IO never
+// uses a request context (persistence must succeed even while the
+// server is shutting down).
+const ioTimeout = 15 * time.Second
+
+func (st *store) manifestPath(id string) string { return filepath.Join(st.dir, id+".json") }
+func (st *store) snapPath(id string) string     { return filepath.Join(st.dir, id+".snap") }
+
+// policyFor decorrelates retry jitter across paths (and from other
+// processes on the same disk) by folding the path into the seed.
+func (st *store) policyFor(path string) retry.Policy {
+	h := fnv.New64a()
+	h.Write([]byte(path))
+	p := st.pol
+	p.Seed ^= h.Sum64()
+	return p
+}
+
+func (st *store) ioCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), ioTimeout)
+}
+
+func (st *store) writeManifest(m manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("server: encoding manifest %s: %w", m.ID, err)
+	}
+	path := st.manifestPath(m.ID)
+	ctx, cancel := st.ioCtx()
+	defer cancel()
+	return retry.Do(ctx, st.policyFor(path), func() error {
+		return fsatomic.WriteFile(path, func(w io.Writer) error {
+			_, err := w.Write(data)
+			return err
+		})
+	})
+}
+
+func (st *store) loadManifest(path string) (manifest, error) {
+	var m manifest
+	ctx, cancel := st.ioCtx()
+	defer cancel()
+	err := retry.Do(ctx, st.policyFor(path), func() error {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &m); err != nil {
+			// A corrupt manifest will not improve with retrying.
+			return retry.Permanent(err)
+		}
+		return nil
+	})
+	if err != nil {
+		return manifest{}, fmt.Errorf("server: loading manifest %s: %w", path, err)
+	}
+	return m, nil
+}
+
+func (st *store) writeSnapshot(id string, s *snapshot.State) error {
+	path := st.snapPath(id)
+	ctx, cancel := st.ioCtx()
+	defer cancel()
+	return retry.Do(ctx, st.policyFor(path), func() error {
+		return s.WriteFile(path)
+	})
+}
+
+// loadSnapshot returns the session's snapshot, or (nil, nil) when none
+// exists — a session whose snapshot vanished restarts from cycle zero,
+// which is deterministic, just slower.
+func (st *store) loadSnapshot(id string) (*snapshot.State, error) {
+	path := st.snapPath(id)
+	var out *snapshot.State
+	ctx, cancel := st.ioCtx()
+	defer cancel()
+	err := retry.Do(ctx, st.policyFor(path), func() error {
+		s, err := snapshot.LoadFile(path)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				return retry.Permanent(err)
+			}
+			return err
+		}
+		out = s
+		return nil
+	})
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("server: loading snapshot for %s: %w", id, err)
+	}
+	return out, nil
+}
+
+// removeSnapshot is best-effort cleanup (done sessions do not need
+// their snapshots); a leftover file is harmless.
+func (st *store) removeSnapshot(id string) {
+	os.Remove(st.snapPath(id))
+}
+
+// removeSession removes both files; used by delete.
+func (st *store) removeSession(id string) {
+	os.Remove(st.snapPath(id))
+	os.Remove(st.manifestPath(id))
+}
+
+// restored is one recovered session record.
+type restored struct {
+	man     manifest
+	hasSnap bool
+}
+
+// scan loads every manifest in the data directory, in parallel, and
+// reports whether each session also has a snapshot on disk. Manifests
+// are returned sorted by ID for deterministic restore order.
+func (st *store) scan(workers int) ([]restored, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, fmt.Errorf("server: scanning %s: %w", st.dir, err)
+	}
+	var paths []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		paths = append(paths, filepath.Join(st.dir, e.Name()))
+	}
+	sort.Strings(paths)
+	return parallel.Map(workers, len(paths), func(i int) (restored, error) {
+		m, err := st.loadManifest(paths[i])
+		if err != nil {
+			return restored{}, err
+		}
+		_, statErr := os.Stat(st.snapPath(m.ID))
+		return restored{man: m, hasSnap: statErr == nil}, nil
+	})
+}

@@ -60,6 +60,14 @@ cmp "$ckptdir/straight.txt" "$ckptdir/resumed.txt" || {
 # the straight-run fingerprint (scripts/soak.sh runs the full matrix).
 scripts/soak.sh -app tasks -policy LFF -cpus 2 -scale 0.2 -kills 2 -every 10000
 
+# Service crash-safety gate: atsimd hosting 500 sessions, SIGKILLed
+# under live step traffic, restarted over the same data directory; a
+# chaos session must fail in isolation, every admitted session must
+# resume and fingerprint byte-identically to an uninterrupted control
+# twin, and a load smoke must meet its SLO before a clean SIGTERM
+# drain. See docs/SERVICE.md.
+scripts/soak.sh server 500
+
 # Overhead gate (opt-in: BENCH_GATE=1): re-run the benchmark sweep and
 # hard-fail if anything — most importantly BenchmarkObsOff, the
 # telemetry disabled path — regressed more than 2% against the newest

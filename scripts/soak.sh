@@ -5,12 +5,94 @@
 # end-to-end proof that crash recovery loses nothing.
 #
 # Usage: scripts/soak.sh [soak flags...]
+#        scripts/soak.sh server [N]
 #
 # With no flags, runs a default matrix: a clean multi-CPU run and a
 # fault-injected one, a handful of kills each. Any flags are passed
 # through to one cmd/soak invocation instead (see cmd/soak -h).
+#
+# "server" runs the SERVICE-level chaos gate instead: start atsimd,
+# admit N sessions (default 200), SIGKILL the server under live step
+# traffic, restart it over the same data directory, verify a panic
+# session fails in isolation, run every surviving session to
+# completion, and require the fingerprints to match uninterrupted
+# control twins byte for byte — then a load-mode SLO smoke and a clean
+# SIGTERM drain.
 set -e
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = server ]; then
+    shift
+    n=${1:-200}
+    server_pid=""
+    work=$(mktemp -d)
+    trap 'kill -9 "$server_pid" 2>/dev/null; rm -rf "$work"' EXIT
+    go build -o "$work/atsimd" ./cmd/atsimd
+    go build -o "$work/atsimload" ./cmd/atsimload
+    data="$work/data"
+
+    start_server() {
+        "$work/atsimd" -addr 127.0.0.1:0 -data "$data" -chaos \
+            -max-live 32 -drain-timeout 30s > "$work/server.log" 2>&1 &
+        server_pid=$!
+        addr=""
+        i=0
+        while [ $i -lt 100 ]; do
+            addr=$(sed -n 's/^atsimd: listening on //p' "$work/server.log" | head -1)
+            [ -n "$addr" ] && break
+            kill -0 "$server_pid" 2>/dev/null || {
+                echo "soak server: atsimd died on startup:" >&2
+                cat "$work/server.log" >&2; exit 1; }
+            i=$((i+1)); sleep 0.1
+        done
+        [ -n "$addr" ] || { echo "soak server: no listen line" >&2; exit 1; }
+        url="http://$addr"
+        "$work/atsimload" -server "$url" -timeout 30s wait
+    }
+
+    echo "== soak server: admit $n sessions =="
+    start_server
+    "$work/atsimload" -server "$url" -n "$n" -c 32 -state "$work/state.json" create
+
+    echo "== soak server: SIGKILL under live step traffic =="
+    "$work/atsimload" -server "$url" -c 32 -quanta 2 -timeout 5s \
+        -state "$work/state.json" -best-effort step || true &
+    traffic_pid=$!
+    sleep 1
+    kill -9 "$server_pid"
+    wait "$server_pid" 2>/dev/null || true
+    wait "$traffic_pid" 2>/dev/null || true
+
+    echo "== soak server: restart over the same data dir =="
+    start_server
+    restored=$(sed -n 's/^atsimd: restored \([0-9]*\) sessions.*/\1/p' "$work/server.log")
+    [ "${restored:-0}" -ge "$n" ] || {
+        echo "soak server: restored ${restored:-0} sessions, want >= $n" >&2; exit 1; }
+
+    echo "== soak server: panic isolation probe =="
+    "$work/atsimload" -server "$url" chaos
+
+    echo "== soak server: finish survivors vs uninterrupted controls =="
+    "$work/atsimload" -server "$url" -c 32 -state "$work/state.json" \
+        -out "$work/finish.txt" finish
+    "$work/atsimload" -server "$url" -c 32 -state "$work/state.json" \
+        -out "$work/control.txt" control
+    cmp "$work/finish.txt" "$work/control.txt" || {
+        echo "soak server: fingerprints diverged after SIGKILL/restart" >&2; exit 1; }
+
+    echo "== soak server: load SLO smoke =="
+    "$work/atsimload" -server "$url" -n 100 -c 32 -seed-base 50000 \
+        -slo-rate 1.0 -slo-p99 30s load
+
+    echo "== soak server: SIGTERM drains cleanly =="
+    kill -TERM "$server_pid"
+    wait "$server_pid" || { echo "soak server: drain exited nonzero" >&2; exit 1; }
+    grep -q 'drained cleanly' "$work/server.log" || {
+        echo "soak server: no clean-drain line" >&2; exit 1; }
+
+    echo "soak server: all gates passed ($n sessions survived SIGKILL byte-identically)"
+    exit 0
+fi
 
 bin=$(mktemp)
 trap 'rm -f "$bin"' EXIT
