@@ -165,6 +165,7 @@ type metrics struct {
 	rejectedQuota   *obs.Counter
 	panicsRecovered *obs.Counter
 	ioFailures      *obs.Counter
+	quarantined     *obs.Counter
 	liveGauge       *obs.Gauge
 	residentGauge   *obs.Gauge
 	stepSeconds     *obs.Histogram
@@ -245,6 +246,7 @@ func (s *Server) initMetrics() {
 		rejectedQuota:   s.reg.Counter("atsimd_rejected_quota_total"),
 		panicsRecovered: s.reg.Counter("atsimd_panics_recovered_total"),
 		ioFailures:      s.reg.Counter("atsimd_io_failures_total"),
+		quarantined:     s.reg.Counter("atsimd_manifests_quarantined_total"),
 		liveGauge:       s.reg.Gauge("atsimd_sessions_live"),
 		residentGauge:   s.reg.Gauge("atsimd_sessions_resident"),
 		stepSeconds: s.reg.Histogram("atsimd_step_seconds",
@@ -267,6 +269,11 @@ func (s *Server) restore() error {
 		return err
 	}
 	for _, r := range recs {
+		if r.quarantined {
+			s.met.quarantined.Inc(0)
+			fmt.Fprintf(os.Stderr, "atsimd: quarantined unreadable manifest %s: %v\n", r.path, r.err)
+			continue
+		}
 		m := r.man
 		sess := newSession(m.ID, m.Tenant, m.Config)
 		sess.state = m.State
@@ -530,7 +537,7 @@ func (s *Server) ensureLive(ctx context.Context, sess *Session) (*liveEngine, er
 			return le, nil
 		}
 		sess.mu.Unlock()
-		victim := s.pickVictimLocked(sess)
+		victim := s.claimVictimLocked(sess)
 		s.mu.Unlock()
 		if victim == nil {
 			s.met.rejectedOver.Inc(s.shard(sess.ID))
@@ -545,24 +552,38 @@ func (s *Server) ensureLive(ctx context.Context, sess *Session) (*liveEngine, er
 	}
 }
 
-// pickVictimLocked (s.mu held) chooses the least-recently-touched live
-// session that is parked at its gate — never one mid-step.
-func (s *Server) pickVictimLocked(exclude *Session) *Session {
-	var victim *Session
-	var oldest uint64
-	for _, cand := range s.sessions {
-		if cand == exclude {
+// claimVictimLocked (s.mu held) reserves the least-recently-touched
+// live session that is parked at its gate — never one mid-step. The
+// reservation is a parked→evicting CAS on the engine, so a candidate
+// that accepts a grant concurrently loses the race atomically and is
+// skipped; a claimed engine can no longer start executing. nil means
+// every live engine is (or just became) busy.
+func (s *Server) claimVictimLocked(exclude *Session) *Session {
+	type cand struct {
+		sess  *Session
+		le    *liveEngine
+		touch uint64
+	}
+	var cands []cand
+	for _, c := range s.sessions {
+		if c == exclude {
 			continue
 		}
-		cand.mu.Lock()
-		ok := cand.live != nil && !cand.live.busy.Load()
-		touch := cand.lastTouch
-		cand.mu.Unlock()
-		if ok && (victim == nil || touch < oldest) {
-			victim, oldest = cand, touch
+		c.mu.Lock()
+		le := c.live
+		touch := c.lastTouch
+		c.mu.Unlock()
+		if le != nil {
+			cands = append(cands, cand{c, le, touch})
 		}
 	}
-	return victim
+	sort.Slice(cands, func(i, j int) bool { return cands[i].touch < cands[j].touch })
+	for _, c := range cands {
+		if c.le.phase.CompareAndSwap(engineParked, engineEvicting) {
+			return c.sess
+		}
+	}
+	return nil
 }
 
 // evictWait asks a session's engine to unwind at its gate and waits
@@ -661,7 +682,11 @@ func (s *Server) loadResume(sess *Session) (*snapshot.State, error) {
 }
 
 // persistManifest writes the session's manifest, with generation
-// bookkeeping so a concurrent mutation is never marked clean.
+// bookkeeping so a concurrent mutation is never marked clean. The
+// delete tombstone is re-checked AFTER the (retried, potentially slow)
+// write: if Delete removed the files mid-write, the write resurrected
+// the manifest, so remove it again — either order of the final
+// remove-vs-write leaves the files gone.
 func (s *Server) persistManifest(sess *Session) error {
 	sess.mu.Lock()
 	if sess.deleted {
@@ -676,10 +701,14 @@ func (s *Server) persistManifest(sess *Session) error {
 		return err
 	}
 	sess.mu.Lock()
-	if sess.cleanGen < g {
+	deleted := sess.deleted
+	if !deleted && sess.cleanGen < g {
 		sess.cleanGen = g
 	}
 	sess.mu.Unlock()
+	if deleted {
+		s.store.removeSession(sess.ID)
+	}
 	return nil
 }
 
@@ -707,11 +736,18 @@ func (s *Server) persistSession(sess *Session) {
 			s.met.ioFailures.Inc(s.shard(sess.ID))
 		} else {
 			sess.mu.Lock()
-			if sess.snap == st {
+			deleted := sess.deleted
+			if !deleted && sess.snap == st {
 				sess.onDisk = true
 				sess.snap = nil
 			}
 			sess.mu.Unlock()
+			if deleted {
+				// Delete raced the write; scrub the just-recreated
+				// snapshot (same tombstone protocol as persistManifest).
+				s.store.removeSession(sess.ID)
+				return
+			}
 		}
 	}
 	if done {
@@ -781,7 +817,13 @@ func (s *Server) engineExited(le *liveEngine, res *Result, completed bool, runEr
 	for {
 		select {
 		case g := <-le.grants:
-			g.outcome <- out
+			// This grant was queued but never accepted: its full budget
+			// is intact. Answering with the in-flight grant's residue
+			// (often 0 = "to completion") would make Step retry a
+			// bounded request as an unbounded one.
+			qo := out
+			qo.remaining = g.quanta
+			g.outcome <- qo
 		default:
 			close(le.done)
 			return

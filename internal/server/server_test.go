@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -270,7 +272,7 @@ func TestAdmission(t *testing.T) {
 		if leA == nil {
 			t.Fatal("session a has no resident engine after a step")
 		}
-		leA.busy.Store(true)
+		leA.phase.Store(engineBusy)
 		_, err := s.Step(ctx, b.ID, 1)
 		var over *OverloadError
 		if !errors.As(err, &over) {
@@ -278,7 +280,7 @@ func TestAdmission(t *testing.T) {
 		}
 		// Parked again, a is fair game: b's step evicts it (LRU) and
 		// proceeds.
-		leA.busy.Store(false)
+		leA.phase.Store(engineParked)
 		if _, err := s.Step(ctx, b.ID, 1); err != nil {
 			t.Fatalf("step b after unbusy: %v", err)
 		}
@@ -288,6 +290,138 @@ func TestAdmission(t *testing.T) {
 		// And the evicted session still finishes correctly.
 		mustFinish(t, s, a.ID)
 	})
+}
+
+// TestEvictedGrantsKeepBudget pins the eviction/grant race: when an
+// engine unwinds with grants still queued (or accepted but never
+// started), each one must be answered with ITS OWN unexecuted budget.
+// Regression: the drain loop used to answer queued grants with the
+// in-flight grant's residue — 0 — which Step then retried as "run to
+// completion", silently unbounding a 1-quantum request.
+func TestEvictedGrantsKeepBudget(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.Workers = 1 })
+	ctx := context.Background()
+	info := mustCreate(t, s, "", testSessionConfig(42))
+	if _, err := s.Step(ctx, info.ID, 1); err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	sess, _ := s.lookup(info.ID)
+	sess.mu.Lock()
+	le := sess.live
+	sess.mu.Unlock()
+	if le == nil {
+		t.Fatal("no resident engine after a step")
+	}
+	// Occupy the only compute token so an accepted grant blocks before
+	// executing, then queue two grants: the first becomes current, the
+	// second sits untouched in the channel.
+	s.tokens <- struct{}{}
+	g1 := &grant{quanta: 2, outcome: make(chan stepOutcome, 1)}
+	g2 := &grant{quanta: 3, outcome: make(chan stepOutcome, 1)}
+	le.grants <- g1
+	le.grants <- g2
+	deadline := time.Now().Add(10 * time.Second)
+	for le.phase.Load() != engineBusy {
+		if time.Now().After(deadline) {
+			t.Fatal("engine never accepted the first grant")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	le.requestStop()
+	<-le.done
+	<-s.tokens
+	for i, want := range map[*grant]uint64{g1: 2, g2: 3} {
+		out := <-i.outcome
+		if !out.evicted || out.state != StateIdle {
+			t.Fatalf("grant outcome = %+v, want evicted idle", out)
+		}
+		if out.remaining != want {
+			t.Errorf("grant with budget %d answered with remaining %d; retrying that loses the bound", want, out.remaining)
+		}
+	}
+	// The session is intact and still finishes.
+	mustFinish(t, s, info.ID)
+}
+
+// TestDeletePersistRace pins the delete tombstone against concurrent
+// persists: no interleaving of Delete with a slow manifest/snapshot
+// write may leave the session's files on disk (they would resurrect as
+// a resident session on restart). Run under -race.
+func TestDeletePersistRace(t *testing.T) {
+	s := newTestServer(t, nil)
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		info := mustCreate(t, s, "", testSessionConfig(1000+uint64(i)))
+		sess, err := s.lookup(info.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for j := 0; j < 5; j++ {
+				sess.mu.Lock()
+				sess.gen++ // keep the manifest dirty so every persist writes
+				sess.mu.Unlock()
+				_ = s.persistManifest(sess)
+			}
+		}()
+		if err := s.Delete(ctx, info.ID); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+		<-done
+		if _, err := os.Stat(s.store.manifestPath(info.ID)); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("iteration %d: manifest resurrected after delete (stat err %v)", i, err)
+		}
+		if _, err := os.Stat(s.store.snapPath(info.ID)); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("iteration %d: snapshot resurrected after delete (stat err %v)", i, err)
+		}
+	}
+}
+
+// TestCorruptManifestQuarantined pins boot resilience: one unparseable
+// manifest in the data directory must not fail New — it is renamed to
+// .corrupt and every other session restores normally.
+func TestCorruptManifestQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := New(testConfig(dir))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	good := mustCreate(t, s1, "", testSessionConfig(77))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	bad := filepath.Join(dir, "s-999999.json")
+	if err := os.WriteFile(bad, []byte("{this is not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(testConfig(dir))
+	if err != nil {
+		t.Fatalf("New with corrupt manifest in dir: %v", err)
+	}
+	t.Cleanup(func() {
+		c, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		s2.Shutdown(c)
+	})
+	if got := len(s2.List()); got != 1 {
+		t.Errorf("restored %d sessions, want 1 (the healthy one)", got)
+	}
+	if _, err := s2.Get(good.ID); err != nil {
+		t.Errorf("healthy session lost: %v", err)
+	}
+	if _, err := os.Stat(bad); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("corrupt manifest still in scan namespace (stat err %v)", err)
+	}
+	if _, err := os.Stat(bad + ".corrupt"); err != nil {
+		t.Errorf("quarantined copy missing: %v", err)
+	}
+	if s2.met.quarantined.Value() != 1 {
+		t.Errorf("manifests_quarantined_total = %v, want 1", s2.met.quarantined.Value())
+	}
 }
 
 // TestStepDeadline pins deadline behavior: a step that cannot get

@@ -316,11 +316,14 @@ type liveEngine struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 	done     chan struct{}
-	// busy is true while the engine holds unconsumed step credit —
-	// i.e. is executing, not parked at the gate. Only parked engines
-	// are eviction candidates, so pressure eviction never aborts an
-	// active step.
-	busy atomic.Bool
+	// phase is the engine's claim state. Transitions are CAS-only in
+	// the directions that race: the engine goroutine takes
+	// parked→busy when it accepts a grant, and an evictor takes
+	// parked→evicting to reserve a victim. Exactly one wins, so a
+	// pressure eviction can never land on an engine that has started
+	// executing a step — an accepted-but-claimed grant is handed back
+	// untouched instead (full budget, retried by Step).
+	phase atomic.Int32
 
 	eng          *rt.Engine
 	current      *grant
@@ -328,6 +331,19 @@ type liveEngine struct {
 	unlimited    bool
 	holdingToken bool
 }
+
+// liveEngine.phase values.
+const (
+	// engineParked: at the gate, no unconsumed step credit; the only
+	// state an evictor may claim.
+	engineParked int32 = iota
+	// engineBusy: holding step credit — queued for a token or
+	// executing simulation.
+	engineBusy
+	// engineEvicting: reserved by an evictor; the engine unwinds
+	// instead of accepting work.
+	engineEvicting
+)
 
 func newLiveEngine(s *Server, sess *Session) *liveEngine {
 	return &liveEngine{
@@ -466,7 +482,10 @@ func (le *liveEngine) onBoundary(st *snapshot.State) error {
 // a token) it heartbeats the engine's stall watchdog: a gated session
 // is idle, not stalled.
 func (le *liveEngine) waitGrant(e *rt.Engine) bool {
-	le.busy.Store(false)
+	// Re-park with a CAS so an evictor's claim is never overwritten;
+	// on the first call the engine is already parked and this is a
+	// no-op either way.
+	le.phase.CompareAndSwap(engineBusy, engineParked)
 	le.releaseToken()
 	tick := time.NewTicker(le.srv.cfg.HeartbeatEvery)
 	defer tick.Stop()
@@ -475,10 +494,16 @@ func (le *liveEngine) waitGrant(e *rt.Engine) bool {
 		case <-le.stop:
 			return false
 		case g := <-le.grants:
-			le.busy.Store(true)
 			le.current = g
 			le.credit = g.quanta
 			le.unlimited = g.quanta == 0
+			if !le.phase.CompareAndSwap(engineParked, engineBusy) {
+				// An evictor claimed this engine while it was parked.
+				// Unwind without executing; the exit path answers the
+				// grant with its budget intact so Step retries it
+				// against a resumed engine.
+				return false
+			}
 			for {
 				select {
 				case <-le.stop:

@@ -164,15 +164,38 @@ func (st *store) removeSession(id string) {
 	os.Remove(st.manifestPath(id))
 }
 
-// restored is one recovered session record.
+// restored is one recovered session record — or, when quarantined is
+// set, a manifest that could not be loaded and was moved aside.
 type restored struct {
 	man     manifest
 	hasSnap bool
+	// quarantined: loading the manifest failed (unreadable or corrupt)
+	// and the file was renamed out of scan's view; path is where it
+	// ended up and err is the load failure. The session is not
+	// restored, but the rest of the directory still is.
+	quarantined bool
+	path        string
+	err         error
+}
+
+// quarantine moves a manifest that failed to load out of the scan
+// namespace (".json" → ".json.corrupt") so one bad file cannot keep
+// the server from booting, while preserving the bytes for forensics.
+// Returns the file's final path (unchanged if the rename also failed).
+func (st *store) quarantine(path string) string {
+	q := path + ".corrupt"
+	if err := os.Rename(path, q); err != nil {
+		return path
+	}
+	return q
 }
 
 // scan loads every manifest in the data directory, in parallel, and
 // reports whether each session also has a snapshot on disk. Manifests
-// are returned sorted by ID for deterministic restore order.
+// are returned sorted by ID for deterministic restore order. A
+// manifest that fails to load is quarantined and reported as such, not
+// fatal: crash tolerance must not hinge on every file in the data
+// directory being pristine.
 func (st *store) scan(workers int) ([]restored, error) {
 	entries, err := os.ReadDir(st.dir)
 	if err != nil {
@@ -189,7 +212,7 @@ func (st *store) scan(workers int) ([]restored, error) {
 	return parallel.Map(workers, len(paths), func(i int) (restored, error) {
 		m, err := st.loadManifest(paths[i])
 		if err != nil {
-			return restored{}, err
+			return restored{quarantined: true, path: st.quarantine(paths[i]), err: err}, nil
 		}
 		_, statErr := os.Stat(st.snapPath(m.ID))
 		return restored{man: m, hasSnap: statErr == nil}, nil
