@@ -11,8 +11,11 @@ package threadlocality
 // full-scale numbers.
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -25,6 +28,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/server"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -404,6 +408,63 @@ func BenchmarkObsExport(b *testing.B) {
 		}
 	}
 }
+
+// benchObsServer runs one traced session to completion on an in-process
+// atsimd server per iteration, optionally with a live /obs?follow=1
+// consumer attached over real HTTP. The ObsServe/ObsFollow pair is the
+// live-streaming overhead record: the delta is what a continuously
+// draining follower costs the engine, and the committed baseline keeps
+// both within the overhead budget run over run.
+func benchObsServer(b *testing.B, follow bool) {
+	b.Helper()
+	srv, err := server.New(server.Config{
+		DataDir: b.TempDir(), Workers: 2, DefaultQuantum: 50_000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cfg := server.SessionConfig{
+		App: "tasks", Policy: "LFF", CPUs: 2, Scale: 0.05,
+		Quantum: 50_000, Obs: "trace",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(1000 + i)
+		info, err := srv.CreateSession(context.Background(), "", cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		drained := make(chan error, 1)
+		if follow {
+			resp, err := http.Get(ts.URL + "/v1/sessions/" + info.ID + "/obs?follow=1")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go func() {
+				_, err := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				drained <- err
+			}()
+		}
+		if _, err := srv.Step(context.Background(), info.ID, 0); err != nil {
+			b.Fatal(err)
+		}
+		if follow {
+			if err := <-drained; err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := srv.Delete(context.Background(), info.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObsServe(b *testing.B)  { benchObsServer(b, false) }
+func BenchmarkObsFollow(b *testing.B) { benchObsServer(b, true) }
 
 // --- Extension benchmarks ----------------------------------------------
 

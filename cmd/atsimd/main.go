@@ -21,6 +21,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fsatomic"
 	"repro/internal/server"
 )
 
@@ -36,6 +37,10 @@ func main() {
 		stallTimeout = flag.Duration("stall-timeout", 30*time.Second, "per-session engine stall watchdog")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget before engines are aborted")
 		chaos        = flag.Bool("chaos", false, "admit sessions with panic_at_boundary fault injection")
+		sessionObs   = flag.String("session-obs", "trace", "default engine observability level for sessions that do not pick one (off, metrics, trace)")
+		obsRing      = flag.Int("obs-ring", 4096, "default per-session engine event-ring capacity (events)")
+		accessLog    = flag.Bool("access-log", true, "write one structured JSON line per request to stderr")
+		serverTrace  = flag.String("server-trace", "", "write the wall-clock request trace (Chrome format) to this path on drain")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -43,7 +48,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	s, err := server.New(server.Config{
+	cfg := server.Config{
 		DataDir:        *dataDir,
 		MaxSessions:    *maxSessions,
 		MaxLive:        *maxLive,
@@ -53,7 +58,13 @@ func main() {
 		StallTimeout:   *stallTimeout,
 		DrainTimeout:   *drainTimeout,
 		EnableChaos:    *chaos,
-	})
+		SessionObs:     *sessionObs,
+		ObsRingSize:    *obsRing,
+	}
+	if *accessLog {
+		cfg.AccessLog = os.Stderr
+	}
+	s, err := server.New(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "atsimd: %v\n", err)
 		os.Exit(1)
@@ -71,6 +82,14 @@ func main() {
 		// parses it to find an ephemeral port); keep its shape.
 		fmt.Printf("atsimd: listening on %s\n", bound)
 	})
+	if *serverTrace != "" {
+		// Post-drain: the span ring now holds the run's final spans.
+		if werr := fsatomic.WriteFile(*serverTrace, s.WriteServerTrace); werr != nil {
+			fmt.Fprintf(os.Stderr, "atsimd: writing server trace: %v\n", werr)
+		} else {
+			fmt.Printf("atsimd: server trace written to %s\n", *serverTrace)
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "atsimd: %v\n", err)
 		os.Exit(1)

@@ -14,9 +14,14 @@
 //	         fail alone while the server stays healthy and a clean
 //	         session completes
 //	load     create and complete -n sessions as fast as -c workers
-//	         allow; report throughput and latency percentiles and
-//	         enforce -slo-p99 / -slo-rate
+//	         allow; report throughput and latency percentiles (per
+//	         session, and per step when -quanta > 0 paces the
+//	         completion in bounded steps) and enforce -slo-p99 /
+//	         -slo-rate; -summary-json writes the machine-readable
+//	         result
 //	wait     poll /readyz until the server answers (startup scripting)
+//	metrics  fetch /metrics and assert every -expect substring appears
+//	         (scrape gate for soak.sh, no curl/grep dependency)
 //
 // finish vs control is the service-level determinism gate: a session
 // that was stepped, evicted, SIGKILLed and resumed must fingerprint
@@ -34,6 +39,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -50,7 +56,7 @@ func main() {
 		conc       = flag.Int("c", 16, "client concurrency")
 		statePath  = flag.String("state", "atsimload-state.json", "session state file (written by create, read by step/finish/control)")
 		outPath    = flag.String("out", "", "fingerprint output file (finish, control)")
-		quanta     = flag.Uint64("quanta", 1, "boundaries per step (step mode)")
+		quanta     = flag.Uint64("quanta", 1, "boundaries per step (step mode; when set explicitly, load mode paces each session in -quanta chunks and reports per-step latency)")
 		app        = flag.String("app", "tasks", "workload application")
 		policy     = flag.String("policy", "LFF", "scheduling policy")
 		cpus       = flag.Int("cpus", 2, "simulated CPUs")
@@ -62,10 +68,12 @@ func main() {
 		timeout    = flag.Duration("timeout", 2*time.Minute, "per-operation budget including retries")
 		sloP99     = flag.Duration("slo-p99", 0, "load mode: fail if p99 session latency exceeds this (0 = don't enforce)")
 		sloRate    = flag.Float64("slo-rate", 1.0, "load mode: fail if the success fraction drops below this")
+		summary    = flag.String("summary-json", "", "load mode: write the machine-readable run summary to this path")
+		expect     = flag.String("expect", "", "metrics mode: comma-separated substrings that must appear in /metrics")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "atsimload: exactly one mode required: create | step | finish | control | chaos | load")
+		fmt.Fprintln(os.Stderr, "atsimload: exactly one mode required: create | step | finish | control | chaos | load | wait | metrics")
 		os.Exit(2)
 	}
 	cl := &client{base: *serverURL, hc: &http.Client{}, tenant: *tenant, opTimeout: *timeout}
@@ -86,8 +94,18 @@ func main() {
 		err = runChaos(cl)
 	case "wait":
 		err = runWait(cl)
+	case "metrics":
+		err = runMetrics(cl, *expect)
 	case "load":
-		err = runLoad(cl, *n, *conc, cfg, *seedBase, *sloP99, *sloRate)
+		// Chunked stepping is opt-in: only an explicit -quanta paces the
+		// load sessions (the flag's default 1 belongs to step mode).
+		loadQuanta := uint64(0)
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "quanta" {
+				loadQuanta = *quanta
+			}
+		})
+		err = runLoad(cl, *n, *conc, cfg, *seedBase, loadQuanta, *sloP99, *sloRate, *summary)
 	default:
 		fmt.Fprintf(os.Stderr, "atsimload: unknown mode %q\n", mode)
 		os.Exit(2)
@@ -101,12 +119,17 @@ func main() {
 // client is a thin atsimd client that honors the server's backpressure
 // protocol: 429/503 responses are retried after their Retry-After,
 // transport errors with the deterministic backoff of internal/retry,
-// all within one bounded per-operation budget.
+// all within one bounded per-operation budget. Every retry is counted
+// by cause, so load summaries report how much backpressure the run hit.
 type client struct {
 	base      string
 	hc        *http.Client
 	tenant    string
 	opTimeout time.Duration
+
+	retries429   atomicCounter
+	retries503   atomicCounter
+	retriesOther atomicCounter
 }
 
 // httpError is a non-2xx response.
@@ -146,6 +169,14 @@ func (c *client) do(method, path string, in, out any) error {
 		}
 		if attempt >= len(delays) {
 			return fmt.Errorf("%s %s: retries exhausted: %w", method, path, err)
+		}
+		switch {
+		case he != nil && he.status == http.StatusTooManyRequests:
+			c.retries429.inc()
+		case he != nil && he.status == http.StatusServiceUnavailable:
+			c.retries503.inc()
+		default:
+			c.retriesOther.inc()
 		}
 		d := delays[attempt]
 		if retryAfter > 0 {
@@ -207,6 +238,30 @@ func (c *client) once(ctx context.Context, method, path string, body []byte, out
 		return json.Unmarshal(data, out)
 	}
 	return nil
+}
+
+// raw fetches a path's body verbatim (for text endpoints like
+// /metrics and JSON served whole like /flight).
+func (c *client) raw(path string) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.opTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &httpError{status: resp.StatusCode, body: firstLine(string(data))}
+	}
+	return data, nil
 }
 
 func firstLine(s string) string {
@@ -400,8 +455,10 @@ func runWait(cl *client) error {
 // runChaos is the crash-isolation gate: one poisoned session must fail
 // alone — the server stays ready and a clean session still completes.
 func runChaos(cl *client) error {
+	// Obs is pinned to trace so the flight-record check below holds even
+	// against a server whose -session-obs default is lowered.
 	poison := server.SessionConfig{App: "tasks", Policy: "LFF", CPUs: 2, Scale: 0.05,
-		Seed: 7, Quantum: 100000, PanicAtBoundary: 1}
+		Seed: 7, Quantum: 100000, PanicAtBoundary: 1, Obs: "trace"}
 	var info server.Info
 	if err := cl.do("POST", "/v1/sessions", poison, &info); err != nil {
 		return fmt.Errorf("creating poisoned session: %w", err)
@@ -424,6 +481,25 @@ func runChaos(cl *client) error {
 	if got.State != server.StateFailed || got.Failure == "" {
 		return fmt.Errorf("poisoned session state %q, want failed with a diagnostic", got.State)
 	}
+	// The panic must have left a flight record: valid JSON, classified
+	// as a panic, holding the engine's final pre-panic events.
+	flight, err := cl.raw("/v1/sessions/" + info.ID + "/flight")
+	if err != nil {
+		return fmt.Errorf("fetching flight record of poisoned session: %w", err)
+	}
+	var fd struct {
+		Reason       string            `json:"reason"`
+		EngineEvents []json.RawMessage `json:"engine_events"`
+	}
+	if err := json.Unmarshal(flight, &fd); err != nil {
+		return fmt.Errorf("flight record does not parse: %w", err)
+	}
+	if fd.Reason != "panic" {
+		return fmt.Errorf("flight record reason %q, want panic", fd.Reason)
+	}
+	if len(fd.EngineEvents) == 0 {
+		return fmt.Errorf("flight record carries no engine events")
+	}
 	if err := cl.do("GET", "/readyz", nil, nil); err != nil {
 		return fmt.Errorf("server not ready after session panic: %w", err)
 	}
@@ -435,13 +511,81 @@ func runChaos(cl *client) error {
 	if _, err := finishSession(cl, info.ID); err != nil {
 		return fmt.Errorf("clean session after panic: %w", err)
 	}
-	fmt.Println("atsimload: chaos gate passed: panic isolated, server healthy")
+	fmt.Println("atsimload: chaos gate passed: panic isolated, flight recorded, server healthy")
 	return nil
 }
 
-func runLoad(cl *client, n, conc int, cfg server.SessionConfig, seedBase uint64, sloP99 time.Duration, sloRate float64) error {
+// percentiles summarizes a latency population (sorted in place).
+type percentiles struct {
+	Count int     `json:"count"`
+	P50ms float64 `json:"p50_ms"`
+	P95ms float64 `json:"p95_ms"`
+	P99ms float64 `json:"p99_ms"`
+}
+
+func summarize(lat []time.Duration) percentiles {
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) time.Duration {
+		if len(lat) == 0 {
+			return 0
+		}
+		return lat[int(p*float64(len(lat)-1))]
+	}
+	return percentiles{
+		Count: len(lat),
+		P50ms: float64(pct(0.50)) / float64(time.Millisecond),
+		P95ms: float64(pct(0.95)) / float64(time.Millisecond),
+		P99ms: float64(pct(0.99)) / float64(time.Millisecond),
+	}
+}
+
+// loadSummary is the -summary-json format: everything the human line
+// prints, machine-readable, plus the client's retry accounting.
+type loadSummary struct {
+	Sessions       int         `json:"sessions"`
+	OK             int         `json:"ok"`
+	Failed         int         `json:"failed"`
+	ElapsedSeconds float64     `json:"elapsed_seconds"`
+	PerSecond      float64     `json:"throughput_per_sec"`
+	StepQuanta     uint64      `json:"step_quanta,omitempty"`
+	SessionLatency percentiles `json:"session_latency"`
+	StepLatency    percentiles `json:"step_latency"`
+	Retries429     int         `json:"retries_429"`
+	Retries503     int         `json:"retries_503"`
+	RetriesOther   int         `json:"retries_other"`
+}
+
+func runLoad(cl *client, n, conc int, cfg server.SessionConfig, seedBase, stepQuanta uint64, sloP99 time.Duration, sloRate float64, summaryPath string) error {
 	latencies := make([]time.Duration, n)
-	var failures atomicCounter
+	var (
+		stepMu   sync.Mutex
+		stepLat  []time.Duration
+		failures atomicCounter
+	)
+	// completeOne runs one session to done: a single unlimited step, or
+	// -quanta-sized steps with each request's latency recorded.
+	completeOne := func(id string) error {
+		if stepQuanta == 0 {
+			_, err := finishSession(cl, id)
+			return err
+		}
+		for {
+			var res server.StepResult
+			t0 := time.Now()
+			if err := cl.do("POST", "/v1/sessions/"+id+"/step", stepReq{Quanta: stepQuanta}, &res); err != nil {
+				return fmt.Errorf("stepping %s: %w", id, err)
+			}
+			stepMu.Lock()
+			stepLat = append(stepLat, time.Since(t0))
+			stepMu.Unlock()
+			switch res.State {
+			case server.StateDone:
+				return nil
+			case server.StateFailed:
+				return fmt.Errorf("session %s failed: %s", id, res.Failure)
+			}
+		}
+	}
 	start := time.Now()
 	parallel.ForEach(conc, n, func(i int) error {
 		t0 := time.Now()
@@ -452,7 +596,7 @@ func runLoad(cl *client, n, conc int, cfg server.SessionConfig, seedBase uint64,
 			failures.inc()
 			return nil
 		}
-		if _, err := finishSession(cl, info.ID); err != nil {
+		if err := completeOne(info.ID); err != nil {
 			failures.inc()
 			return nil
 		}
@@ -461,32 +605,85 @@ func runLoad(cl *client, n, conc int, cfg server.SessionConfig, seedBase uint64,
 		return nil
 	})
 	elapsed := time.Since(start)
-	ok := 0
 	var okLat []time.Duration
 	for _, d := range latencies {
 		if d > 0 {
-			ok++
 			okLat = append(okLat, d)
 		}
 	}
-	sort.Slice(okLat, func(i, j int) bool { return okLat[i] < okLat[j] })
-	pct := func(p float64) time.Duration {
-		if len(okLat) == 0 {
-			return 0
-		}
-		i := int(p * float64(len(okLat)-1))
-		return okLat[i]
+	sum := loadSummary{
+		Sessions:       n,
+		OK:             len(okLat),
+		Failed:         n - len(okLat),
+		ElapsedSeconds: elapsed.Seconds(),
+		PerSecond:      float64(len(okLat)) / elapsed.Seconds(),
+		StepQuanta:     stepQuanta,
+		SessionLatency: summarize(okLat),
+		StepLatency:    summarize(stepLat),
+		Retries429:     cl.retries429.get(),
+		Retries503:     cl.retries503.get(),
+		RetriesOther:   cl.retriesOther.get(),
 	}
-	rate := float64(ok) / float64(n)
-	fmt.Printf("atsimload: load: %d/%d sessions ok in %v (%.1f/s), latency p50=%v p95=%v p99=%v\n",
-		ok, n, elapsed.Round(time.Millisecond), float64(ok)/elapsed.Seconds(),
-		pct(0.50).Round(time.Millisecond), pct(0.95).Round(time.Millisecond), pct(0.99).Round(time.Millisecond))
+	fmt.Printf("atsimload: load: %d/%d sessions ok in %v (%.1f/s), session latency p50=%.0fms p95=%.0fms p99=%.0fms\n",
+		sum.OK, n, elapsed.Round(time.Millisecond), sum.PerSecond,
+		sum.SessionLatency.P50ms, sum.SessionLatency.P95ms, sum.SessionLatency.P99ms)
+	if stepQuanta > 0 {
+		fmt.Printf("atsimload: load: %d steps of %d quanta, step latency p50=%.0fms p95=%.0fms p99=%.0fms\n",
+			sum.StepLatency.Count, stepQuanta,
+			sum.StepLatency.P50ms, sum.StepLatency.P95ms, sum.StepLatency.P99ms)
+	}
+	if r := sum.Retries429 + sum.Retries503 + sum.RetriesOther; r > 0 {
+		fmt.Printf("atsimload: load: %d retries (429: %d, 503: %d, other: %d)\n",
+			r, sum.Retries429, sum.Retries503, sum.RetriesOther)
+	}
+	if summaryPath != "" {
+		data, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := fsatomic.WriteFile(summaryPath, func(w io.Writer) error {
+			_, err := w.Write(append(data, '\n'))
+			return err
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("atsimload: load summary -> %s\n", summaryPath)
+	}
+	rate := float64(sum.OK) / float64(n)
 	if rate < sloRate {
 		return fmt.Errorf("SLO violation: success rate %.3f < %.3f", rate, sloRate)
 	}
-	if sloP99 > 0 && pct(0.99) > sloP99 {
-		return fmt.Errorf("SLO violation: p99 %v > %v", pct(0.99), sloP99)
+	if sloP99 > 0 && sum.SessionLatency.P99ms > float64(sloP99)/float64(time.Millisecond) {
+		return fmt.Errorf("SLO violation: p99 %.0fms > %v", sum.SessionLatency.P99ms, sloP99)
 	}
+	return nil
+}
+
+// runMetrics is the scrape gate: fetch /metrics and require every
+// -expect substring, so scripts can assert instrumentation without a
+// curl|grep dependency.
+func runMetrics(cl *client, expect string) error {
+	body, err := cl.raw("/metrics")
+	if err != nil {
+		return fmt.Errorf("fetching /metrics: %w", err)
+	}
+	var missing []string
+	var wanted int
+	for _, want := range strings.Split(expect, ",") {
+		want = strings.TrimSpace(want)
+		if want == "" {
+			continue
+		}
+		wanted++
+		if !bytes.Contains(body, []byte(want)) {
+			missing = append(missing, want)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("/metrics lacks %d of %d expected series: %s",
+			len(missing), wanted, strings.Join(missing, ", "))
+	}
+	fmt.Printf("atsimload: metrics: all %d expected series present\n", wanted)
 	return nil
 }
 

@@ -1,0 +1,148 @@
+package obs
+
+// NDJSON event-stream exporter. One line per recorded event, rendered
+// from the observer's global emission-order stream ring (Options.
+// StreamSize). This is the wire format of atsimd's live /obs endpoint
+// AND of the post-hoc export of the same run — the two are byte-equal
+// by construction, because both render the same canonical sequence
+// with the same code:
+//
+//	{"seq":12,"t":400210,"kind":"dispatch","cpu":1,"thread":3,"wait":90}
+//	{"kind":"gap","dropped":128}
+//
+// Every event line carries a 1-based "seq" — the event's position in
+// the run's emission order, stable across evictions, resumes and
+// process restarts (deterministic re-execution re-emits the same
+// sequence). Consumers resume with the last seq they saw; a "gap" line
+// is the explicit record that the events between the consumer's cursor
+// and the next line's seq were lost to a bounded buffer — loss is
+// always accounted, never silent. Gap lines carry no seq of their own:
+// cursors only advance on real events.
+//
+// All values are rendered with the same deterministic primitives as
+// the Chrome exporter (integers via strconv, floats shortest-round-
+// trip, NaN/Inf degraded to 0), and the kind/reason/verdict/case
+// strings are fixed identifiers needing no JSON escaping — the bytes
+// are a pure function of the recorded events.
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+)
+
+// AppendEventNDJSON renders one stream event (with its 1-based
+// sequence number) as a single newline-terminated NDJSON line appended
+// to dst.
+func AppendEventNDJSON(dst []byte, seq uint64, ev Event) []byte {
+	dst = append(dst, `{"seq":`...)
+	dst = strconv.AppendUint(dst, seq, 10)
+	dst = append(dst, `,"t":`...)
+	dst = strconv.AppendUint(dst, ev.Time, 10)
+	dst = append(dst, `,"kind":"`...)
+	dst = append(dst, ev.Kind.String()...)
+	dst = append(dst, `","cpu":`...)
+	dst = strconv.AppendInt(dst, int64(ev.CPU), 10)
+	dst = append(dst, `,"thread":`...)
+	dst = strconv.AppendInt(dst, int64(int32(ev.Thread)), 10)
+	switch ev.Kind {
+	case KDispatch:
+		dst = appendUintField(dst, "wait", ev.A)
+	case KBlock:
+		dst = appendNameField(dst, "reason", BlockReason(ev.Arg).String())
+		dst = appendUintField(dst, "interval", ev.A)
+	case KWake, KExit, KQuarantine, KRecover:
+		// Common fields only.
+	case KSpawn:
+		dst = appendUintField(dst, "ws", ev.A)
+	case KInterval:
+		dst = appendUintField(dst, "raw", ev.A)
+		dst = appendUintField(dst, "sanitized", ev.B)
+		dst = appendNameField(dst, "verdict", VerdictString(ev.Arg))
+	case KModelUpdate:
+		dst = appendNameField(dst, "case", updateCaseName(ev.Arg))
+		dst = appendFloatField(dst, "prior", ev.X)
+		dst = appendFloatField(dst, "ef", ev.Y)
+		dst = appendFloatField(dst, "prio", math.Float64frombits(ev.B))
+	case KSchedDecision:
+		dst = appendUintField(dst, "dependents", ev.A)
+		dst = appendUintField(dst, "heap", ev.B)
+	default:
+		// KStall and any future kinds: raw payloads, so nothing
+		// recorded is silently dropped.
+		dst = appendUintField(dst, "a", ev.A)
+		dst = appendUintField(dst, "b", ev.B)
+	}
+	return append(dst, "}\n"...)
+}
+
+// AppendGapNDJSON renders the explicit record of dropped events as one
+// newline-terminated NDJSON line appended to dst.
+func AppendGapNDJSON(dst []byte, dropped uint64) []byte {
+	dst = append(dst, `{"kind":"gap","dropped":`...)
+	dst = strconv.AppendUint(dst, dropped, 10)
+	return append(dst, "}\n"...)
+}
+
+// appendNameField appends ,"key":"val" for a fixed identifier value
+// (kind, reason, verdict and case names contain no characters needing
+// JSON escaping).
+func appendNameField(dst []byte, key, val string) []byte {
+	dst = append(dst, ',', '"')
+	dst = append(dst, key...)
+	dst = append(dst, `":"`...)
+	dst = append(dst, val...)
+	return append(dst, '"')
+}
+
+func appendUintField(dst []byte, key string, v uint64) []byte {
+	dst = append(dst, ',', '"')
+	dst = append(dst, key...)
+	dst = append(dst, '"', ':')
+	return strconv.AppendUint(dst, v, 10)
+}
+
+func appendFloatField(dst []byte, key string, v float64) []byte {
+	dst = append(dst, ',', '"')
+	dst = append(dst, key...)
+	dst = append(dst, '"', ':')
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return append(dst, '0')
+	}
+	return strconv.AppendFloat(dst, v, 'g', -1, 64)
+}
+
+// WriteStreamNDJSON writes the observer's full retained stream as
+// NDJSON: a leading gap line when the stream ring overflowed, then
+// every retained event with its global sequence number. This is the
+// post-hoc form of the live stream — for the same run (and no more
+// loss on one side than the other) the bytes are identical to what a
+// follower of the live endpoint accumulated.
+func WriteStreamNDJSON(w io.Writer, o *Observer) error {
+	r := o.Stream()
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	evs, dropped := r.Since(0)
+	var buf []byte
+	if dropped > 0 {
+		buf = AppendGapNDJSON(buf, dropped)
+	}
+	seq := dropped
+	for _, ev := range evs {
+		seq++
+		buf = AppendEventNDJSON(buf, seq, ev)
+		if len(buf) >= 32<<10 {
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

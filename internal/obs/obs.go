@@ -85,6 +85,14 @@ type Options struct {
 	// RingSize is the per-CPU event-ring capacity, rounded up to a
 	// power of two; 0 means DefaultRingSize. Ignored below Trace.
 	RingSize int
+	// StreamSize, when > 0 at Trace level, additionally tees every
+	// emitted event into one global ring in emission order — the
+	// canonical sequence behind the NDJSON stream exporters. The engine
+	// is a sequential simulation, so emission order is deterministic
+	// (a pure function of config and seed), which is what lets a live
+	// consumer draining the stream incrementally see byte-identical
+	// output to a post-hoc export of the same run.
+	StreamSize int
 }
 
 // Observer is one engine's observability state: per-CPU event rings, a
@@ -94,6 +102,12 @@ type Observer struct {
 	level Level
 	rings []*Ring
 	reg   *Registry
+	// stream is the optional global emission-order ring (Options.
+	// StreamSize). It is a derived tee of the per-CPU rings — the same
+	// events in the order Emit saw them — and is deliberately excluded
+	// from StateDigest: resume verification already pins the per-CPU
+	// rings, and the stream's consumers track their own cursors.
+	stream *Ring
 
 	// names maps thread IDs to their spawn names. Written by the engine
 	// goroutine; read by exporters after the run.
@@ -120,6 +134,9 @@ func New(ncpu int, opts Options) *Observer {
 		o.rings = make([]*Ring, ncpu)
 		for i := range o.rings {
 			o.rings[i] = NewRing(size)
+		}
+		if opts.StreamSize > 0 {
+			o.stream = NewRing(opts.StreamSize)
 		}
 	}
 	return o
@@ -152,9 +169,25 @@ func (o *Observer) Registry() *Registry {
 // NCPU returns the processor count the observer was built for.
 func (o *Observer) NCPU() int { return o.reg.ncpu }
 
-// Emit appends one event to its CPU's ring. Callers must guard with
-// Tracing(); the event's CPU must be in range.
-func (o *Observer) Emit(ev Event) { o.rings[ev.CPU].Append(ev) }
+// Emit appends one event to its CPU's ring (and to the global stream
+// ring when configured). Callers must guard with Tracing(); the
+// event's CPU must be in range.
+func (o *Observer) Emit(ev Event) {
+	o.rings[ev.CPU].Append(ev)
+	if o.stream != nil {
+		o.stream.Append(ev)
+	}
+}
+
+// Stream returns the global emission-order ring, or nil when the
+// observer was built without one (StreamSize 0, level below Trace, or
+// o nil).
+func (o *Observer) Stream() *Ring {
+	if o == nil {
+		return nil
+	}
+	return o.stream
+}
 
 // Ring returns cpu's event ring (nil below Trace level).
 func (o *Observer) Ring(cpu int) *Ring {

@@ -57,3 +57,30 @@ func (r *Ring) Events() []Event {
 	}
 	return out
 }
+
+// Since returns the retained events whose global append index (0-based:
+// the i-th event ever appended has index i) is >= cursor, oldest-first,
+// plus how many events in [cursor, Total()) were already overwritten.
+// Since(0) is Events() plus Dropped(): the full retained tail with
+// exact loss accounting. It is the incremental-drain primitive behind
+// the live event stream — a consumer that remembers the last index it
+// saw gets exactly the new events, and an explicit count (never a
+// guess) of any it lost to overwrite. Reader rules are the ring's own:
+// call only from the writer goroutine or after the writer stops.
+func (r *Ring) Since(cursor uint64) ([]Event, uint64) {
+	if cursor > r.head {
+		cursor = r.head
+	}
+	start := r.head - uint64(r.Len())
+	var dropped uint64
+	if cursor < start {
+		dropped = start - cursor
+		cursor = start
+	}
+	n := int(r.head - cursor)
+	out := make([]Event, n)
+	for i := 0; i < n; i++ {
+		out[i] = r.buf[(cursor+uint64(i))&r.mask]
+	}
+	return out, dropped
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRingSinceWraparound(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Append(Event{Time: uint64(i), Kind: KDispatch})
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped())
+	}
+	evs := r.Events()
+	for i, ev := range evs {
+		if want := uint64(6 + i); ev.Time != want {
+			t.Fatalf("Events()[%d].Time = %d, want %d", i, ev.Time, want)
+		}
+	}
+
+	// Cursor before the retained window: everything retained comes
+	// back, plus the exact count of what was lost.
+	got, dropped := r.Since(2)
+	if dropped != 4 {
+		t.Fatalf("Since(2) dropped = %d, want 4", dropped)
+	}
+	if len(got) != 4 || got[0].Time != 6 {
+		t.Fatalf("Since(2) = %d events starting at t=%d, want 4 starting at 6", len(got), got[0].Time)
+	}
+
+	// Cursor inside the window: an exact incremental drain, no loss.
+	got, dropped = r.Since(8)
+	if dropped != 0 || len(got) != 2 || got[0].Time != 8 || got[1].Time != 9 {
+		t.Fatalf("Since(8) = %v events (dropped %d), want t=8,9 with 0 dropped", len(got), dropped)
+	}
+
+	// Cursor at and past the head: nothing new, nothing dropped.
+	if got, dropped = r.Since(10); len(got) != 0 || dropped != 0 {
+		t.Fatalf("Since(head) = %d events, %d dropped; want 0, 0", len(got), dropped)
+	}
+	if got, dropped = r.Since(99); len(got) != 0 || dropped != 0 {
+		t.Fatalf("Since(past head) = %d events, %d dropped; want 0, 0", len(got), dropped)
+	}
+}
+
+func TestStreamTee(t *testing.T) {
+	o := New(2, Options{Level: Trace, RingSize: 8, StreamSize: 8})
+	events := []Event{
+		{Time: 1, CPU: 0, Kind: KDispatch, Thread: 1},
+		{Time: 2, CPU: 1, Kind: KDispatch, Thread: 2},
+		{Time: 3, CPU: 0, Kind: KBlock, Thread: 1, Arg: uint8(ReasonYield)},
+	}
+	for _, ev := range events {
+		o.Emit(ev)
+	}
+	if o.Ring(0).Total() != 2 || o.Ring(1).Total() != 1 {
+		t.Fatalf("per-CPU totals = %d,%d, want 2,1", o.Ring(0).Total(), o.Ring(1).Total())
+	}
+	got := o.Stream().Events()
+	if len(got) != 3 {
+		t.Fatalf("stream holds %d events, want 3", len(got))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("stream[%d] = %+v, want %+v (emission order)", i, got[i], events[i])
+		}
+	}
+
+	// The stream is a derived tee: it must not perturb the resume
+	// digest, which pins the per-CPU rings.
+	plain := New(2, Options{Level: Trace, RingSize: 8})
+	for _, ev := range events {
+		plain.Emit(ev)
+	}
+	if a, b := o.StateDigest(), plain.StateDigest(); a != b {
+		t.Fatalf("StateDigest differs with stream ring attached: %x vs %x", a, b)
+	}
+
+	if plain.Stream() != nil {
+		t.Fatal("Stream() != nil without StreamSize")
+	}
+	var nilObs *Observer
+	if nilObs.Stream() != nil {
+		t.Fatal("nil observer Stream() != nil")
+	}
+}
+
+// streamEvents builds a representative mix of every event kind.
+func streamEvents() []Event {
+	return []Event{
+		{Time: 10, CPU: 0, Kind: KSpawn, Thread: 1, A: 3},
+		{Time: 11, CPU: 0, Kind: KWake, Thread: 1},
+		{Time: 12, CPU: 0, Kind: KDispatch, Thread: 1, A: 2},
+		{Time: 40, CPU: 0, Kind: KInterval, Thread: 1, A: 7, B: 7, Arg: VerdictOK},
+		{Time: 40, CPU: 0, Kind: KModelUpdate, Thread: 1, Arg: 1, X: 1.5, Y: 2.25, B: 4608308318706860032},
+		{Time: 40, CPU: 0, Kind: KBlock, Thread: 1, A: 28, Arg: uint8(ReasonYield)},
+		{Time: 41, CPU: 0, Kind: KSchedDecision, Thread: InvalidThread, A: 4, B: 2},
+		{Time: 50, CPU: 1, Kind: KQuarantine, Thread: InvalidThread},
+		{Time: 60, CPU: 1, Kind: KRecover, Thread: InvalidThread},
+		{Time: 70, CPU: 0, Kind: KExit, Thread: 1},
+		{Time: 80, CPU: 0, Kind: KStall, Thread: InvalidThread, A: 12, B: 99},
+	}
+}
+
+func TestStreamNDJSONSchema(t *testing.T) {
+	var buf []byte
+	for i, ev := range streamEvents() {
+		buf = AppendEventNDJSON(buf, uint64(i+1), ev)
+	}
+	buf = AppendGapNDJSON(buf, 5)
+	lines := strings.Split(strings.TrimSuffix(string(buf), "\n"), "\n")
+	if len(lines) != len(streamEvents())+1 {
+		t.Fatalf("%d lines, want %d", len(lines), len(streamEvents())+1)
+	}
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		if i < len(streamEvents()) {
+			if m["seq"] != float64(i+1) {
+				t.Fatalf("line %d seq = %v, want %d", i, m["seq"], i+1)
+			}
+			if _, ok := m["kind"].(string); !ok {
+				t.Fatalf("line %d has no kind: %s", i, line)
+			}
+		} else {
+			if m["kind"] != "gap" || m["dropped"] != float64(5) {
+				t.Fatalf("gap line = %s", line)
+			}
+			if _, ok := m["seq"]; ok {
+				t.Fatalf("gap line carries a seq: %s", line)
+			}
+		}
+	}
+	// Spot-check one payload rendering end to end.
+	var mu struct {
+		Kind  string  `json:"kind"`
+		Case  string  `json:"case"`
+		Prior float64 `json:"prior"`
+		EF    float64 `json:"ef"`
+		Prio  float64 `json:"prio"`
+	}
+	if err := json.Unmarshal([]byte(lines[4]), &mu); err != nil {
+		t.Fatal(err)
+	}
+	if mu.Kind != "model_update" || mu.Case != "blocking" || mu.Prior != 1.5 || mu.EF != 2.25 || mu.Prio != 1.25 {
+		t.Fatalf("model_update rendering: %+v from %s", mu, lines[4])
+	}
+}
+
+// TestStreamFollowEqualsBatch is the library-level form of the live
+// determinism property: a consumer draining the stream ring
+// incrementally (arbitrary chop points, cursor-based) accumulates
+// byte-identical NDJSON to the one-shot post-hoc export.
+func TestStreamFollowEqualsBatch(t *testing.T) {
+	for _, overflow := range []bool{false, true} {
+		size := 64
+		if overflow {
+			size = 4
+		}
+		o := New(2, Options{Level: Trace, RingSize: 64, StreamSize: size})
+		var followed []byte
+		var cursor uint64
+		drain := func() {
+			evs, dropped := o.Stream().Since(cursor)
+			if dropped > 0 {
+				followed = AppendGapNDJSON(followed, dropped)
+				cursor += dropped
+			}
+			for _, ev := range evs {
+				cursor++
+				followed = AppendEventNDJSON(followed, cursor, ev)
+			}
+		}
+		for i, ev := range streamEvents() {
+			o.Emit(ev)
+			if i%3 == 0 && !overflow {
+				drain() // irregular chop points
+			}
+		}
+		drain()
+
+		var batch bytes.Buffer
+		if err := WriteStreamNDJSON(&batch, o); err != nil {
+			t.Fatal(err)
+		}
+		if overflow {
+			// The batch export lost the overwritten prefix; the
+			// incremental consumer in this variant drained only at the
+			// end, so both saw the same loss.
+			if !strings.HasPrefix(batch.String(), `{"kind":"gap","dropped":7}`) {
+				t.Fatalf("overflow batch export does not lead with the gap record:\n%s", batch.String())
+			}
+		}
+		if !bytes.Equal(followed, batch.Bytes()) {
+			t.Fatalf("incremental drain != batch export (overflow=%v):\n--- follow ---\n%s--- batch ---\n%s",
+				overflow, followed, batch.Bytes())
+		}
+	}
+}

@@ -8,13 +8,19 @@ import "sync"
 const eventLogCap = 256
 
 // Event is one observable session transition, streamed as NDJSON from
-// the events endpoint.
+// the events endpoint. A "gap" event is synthesized (not stored) when
+// a reader's cursor falls behind the ring: Dropped counts the events
+// lost between the cursor and the oldest retained event, and Seq is
+// the last lost sequence number so followers advance past the hole —
+// overflow is always reported, never silent (mirroring the engine
+// stream's gap records).
 type Event struct {
 	Seq        uint64 `json:"seq"`
-	Kind       string `json:"kind"` // created, live, boundary, evicted, resumed, done, failed, deleted
+	Kind       string `json:"kind"` // created, live, boundary, evicted, resumed, done, failed, flight_dumped, deleted, gap
 	Boundaries uint64 `json:"boundaries,omitempty"`
 	Cycle      uint64 `json:"cycle,omitempty"`
 	Detail     string `json:"detail,omitempty"`
+	Dropped    uint64 `json:"dropped,omitempty"`
 }
 
 // eventLog is a bounded ring of events plus a broadcast channel that
@@ -47,7 +53,9 @@ func (l *eventLog) append(ev Event) {
 }
 
 // since returns the buffered events with Seq > after, plus the channel
-// that will be closed at the next append.
+// that will be closed at the next append. When events between after
+// and the oldest retained one already fell off the ring, the slice
+// leads with a synthetic gap event accounting for them.
 func (l *eventLog) since(after uint64) ([]Event, <-chan struct{}) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -56,6 +64,10 @@ func (l *eventLog) since(after uint64) ([]Event, <-chan struct{}) {
 		if ev.Seq > after {
 			out = append(out, ev)
 		}
+	}
+	if len(out) > 0 && out[0].Seq > after+1 {
+		gap := Event{Seq: out[0].Seq - 1, Kind: "gap", Dropped: out[0].Seq - 1 - after}
+		out = append([]Event{gap}, out...)
 	}
 	return out, l.notify
 }

@@ -1,0 +1,55 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestEventLogGap pins overflow accounting on the lifecycle ring: a
+// reader whose cursor fell behind gets a leading synthetic gap event
+// whose Dropped count plus retained events covers the full sequence,
+// and whose Seq advances follower cursors past the hole.
+func TestEventLogGap(t *testing.T) {
+	l := newEventLog(4)
+	for i := 0; i < 10; i++ {
+		l.append(Event{Kind: "boundary", Detail: fmt.Sprintf("n%d", i)})
+	}
+
+	// Fresh reader: events 1..6 fell off, 7..10 retained.
+	evs, _ := l.since(0)
+	if len(evs) != 5 {
+		t.Fatalf("since(0) = %d events, want gap + 4", len(evs))
+	}
+	if g := evs[0]; g.Kind != "gap" || g.Dropped != 6 || g.Seq != 6 {
+		t.Fatalf("gap = %+v, want kind=gap dropped=6 seq=6", g)
+	}
+	if evs[1].Seq != 7 || evs[4].Seq != 10 {
+		t.Fatalf("retained seqs %d..%d, want 7..10", evs[1].Seq, evs[4].Seq)
+	}
+
+	// Cursor inside the retained window: no gap.
+	evs, _ = l.since(8)
+	if len(evs) != 2 || evs[0].Kind == "gap" {
+		t.Fatalf("since(8) = %+v, want 2 events and no gap", evs)
+	}
+
+	// Cursor just before the window boundary: contiguous, no gap.
+	evs, _ = l.since(6)
+	if len(evs) != 4 || evs[0].Kind == "gap" {
+		t.Fatalf("since(6) = %d events (first %q), want 4 with no gap", len(evs), evs[0].Kind)
+	}
+
+	// Caught up: nothing.
+	if evs, _ = l.since(10); len(evs) != 0 {
+		t.Fatalf("since(10) = %+v, want none", evs)
+	}
+
+	// A follower that resumes with the gap's Seq sees only real events
+	// afterward — the synthetic Seq is a valid cursor.
+	evs, _ = l.since(6)
+	for _, ev := range evs {
+		if ev.Kind == "gap" {
+			t.Fatalf("cursor at gap seq still yields a gap: %+v", evs)
+		}
+	}
+}

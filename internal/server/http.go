@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // The HTTP surface. All bodies are JSON; errors come back as
@@ -21,14 +23,22 @@ import (
 //	POST   /v1/sessions/{id}/step     advance {"quanta": n}; omitted = 1, 0 = to completion
 //	POST   /v1/sessions/{id}/evict    checkpoint to disk, free the live slot
 //	DELETE /v1/sessions/{id}          remove session and its files
-//	GET    /v1/sessions/{id}/events   NDJSON event log; ?follow=1 streams
+//	GET    /v1/sessions/{id}/events   NDJSON lifecycle log; ?follow=1 streams
+//	GET    /v1/sessions/{id}/obs      NDJSON engine-event stream; ?follow=1&after=N
+//	GET    /v1/sessions/{id}/flight   the session's flight record, if dumped
 //	GET    /healthz                   process liveness (always 200 while serving)
 //	GET    /readyz                    503 once draining
 //	GET    /metrics                   Prometheus text format
+//	GET    /debug/server-trace        wall-clock request spans, Chrome trace format
 //
 // Overload returns 429 with Retry-After; draining returns 503 with
 // Retry-After; an expired request deadline returns 504 while the
 // server-side work continues.
+//
+// Every request gets an X-Request-ID: the caller's if present, a
+// generated one otherwise. The ID is echoed on the response, attached
+// to the request's context (joining the spans in /debug/server-trace),
+// and logged in the access log.
 
 // maxBodyBytes bounds any request body.
 const maxBodyBytes = 1 << 20
@@ -43,6 +53,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/evict", s.withDeadline(s.handleEvict))
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.withDeadline(s.handleDelete))
 	mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleEvents) // own deadline handling (follow)
+	mux.HandleFunc("GET /v1/sessions/{id}/obs", s.handleObs)       // own deadline handling (follow)
+	mux.HandleFunc("GET /v1/sessions/{id}/flight", s.withDeadline(s.handleFlight))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n")
@@ -60,7 +72,78 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		s.WriteMetrics(w)
 	})
-	return mux
+	mux.HandleFunc("GET /debug/server-trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s.WriteServerTrace(w)
+	})
+	return s.withRequestID(mux)
+}
+
+// statusWriter observes the response status (and byte count) for the
+// access log while passing Flush through for the streaming endpoints.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += n
+	return n, err
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withRequestID is the outermost middleware: adopt or generate the
+// request ID, echo it, attach it to the context, and (when configured)
+// write one structured access-log line per request.
+func (s *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		req := r.Header.Get("X-Request-ID")
+		if req == "" {
+			req = s.nextRequestID()
+		}
+		w.Header().Set("X-Request-ID", req)
+		r = r.WithContext(WithRequestID(r.Context(), req))
+		if s.cfg.AccessLog == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		line, _ := json.Marshal(struct {
+			Time   string `json:"time"`
+			Req    string `json:"req"`
+			Method string `json:"method"`
+			Path   string `json:"path"`
+			Status int    `json:"status"`
+			Bytes  int    `json:"bytes"`
+			MS     int64  `json:"duration_ms"`
+		}{
+			Time: start.UTC().Format(time.RFC3339Nano), Req: req,
+			Method: r.Method, Path: r.URL.Path,
+			Status: sw.status, Bytes: sw.bytes, MS: time.Since(start).Milliseconds(),
+		})
+		s.logMu.Lock()
+		s.cfg.AccessLog.Write(append(line, '\n'))
+		s.logMu.Unlock()
+	})
 }
 
 // withDeadline applies the server's per-request deadline.
@@ -239,6 +322,81 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleObs streams the session's published engine events as NDJSON —
+// the live form of the engine's obs stream, one event per line with
+// its global sequence number (see internal/obs NDJSON docs). ?after=N
+// resumes past sequence N; ?follow=1 keeps streaming until the session
+// reaches a terminal state, the client goes away, or the server
+// drains. Events the bounded log shed before the reader saw them
+// surface as an explicit {"kind":"gap","dropped":N} line.
+func (s *Server) handleObs(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	follow := r.URL.Query().Get("follow") != ""
+	var after uint64
+	if v := r.URL.Query().Get("after"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "bad after cursor: " + err.Error()})
+			return
+		}
+		after = n
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	wrote := false
+	var buf []byte
+	for {
+		entries, notify, closed, err := s.ObsEvents(id, after)
+		if err != nil {
+			if !wrote {
+				writeError(w, err)
+			}
+			return
+		}
+		buf = buf[:0]
+		for _, e := range entries {
+			if e.seq > after+1 {
+				// The log shed events between the reader's cursor and its
+				// oldest retained entry; the discontinuity is reported,
+				// never skipped silently.
+				buf = obs.AppendGapNDJSON(buf, e.seq-after-1)
+			}
+			buf = obs.AppendEventNDJSON(buf, e.seq, e.ev)
+			after = e.seq
+		}
+		if len(buf) > 0 {
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+			wrote = true
+		}
+		if !follow || closed {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		case <-s.baseCtx.Done():
+			return
+		}
+	}
+}
+
+// handleFlight serves the session's flight record verbatim.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	data, err := s.Flight(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
 }
 
 // ListenAndServe is a convenience for cmd/atsimd: serve the API on

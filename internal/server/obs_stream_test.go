@@ -1,0 +1,513 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/cachesim"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/platform/sim"
+	"repro/internal/rt"
+	"repro/internal/snapshot"
+	"repro/internal/workloads"
+)
+
+// obsSessionConfig is testSessionConfig with tracing on and buffers
+// big enough that nothing falls off — the lossless configuration the
+// byte-identity comparisons need.
+func obsSessionConfig(seed uint64) SessionConfig {
+	cfg := testSessionConfig(seed)
+	cfg.Obs = "trace"
+	cfg.ObsRing = 1 << 17
+	return cfg
+}
+
+// fetchObs GETs the session's /obs endpoint and returns the raw body.
+func fetchObs(t *testing.T, base, id, query string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/sessions/" + id + "/obs" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /obs%s = %d: %s", query, resp.StatusCode, body)
+	}
+	return body
+}
+
+// TestObsStreamMatchesEngineExport is the tentpole determinism gate:
+// the server's engine-event stream for a completed session is
+// byte-identical to the post-hoc export of a standalone run of the
+// same configuration, and independent of the server's worker count.
+func TestObsStreamMatchesEngineExport(t *testing.T) {
+	cfg := obsSessionConfig(301)
+
+	// Reference: the same engine run outside the server.
+	app, err := workloads.SchedAppByName(cfg.App)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := cachesim.ParseTopology(cfg.Topology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := cfg.machineConfig(topo)
+	obsv := obs.New(mcfg.CPUs, obs.Options{
+		Level: obs.Trace, RingSize: cfg.ObsRing, StreamSize: cfg.ObsRing,
+	})
+	e, err := rt.New(sim.New(machine.New(mcfg)), rt.Options{
+		Policy: cfg.Policy,
+		Seed:   cfg.Seed,
+		Obs:    obsv,
+		Checkpoint: rt.CheckpointConfig{
+			Every:        cfg.Quantum,
+			Config:       cfg.kv(),
+			OnCheckpoint: func(*snapshot.State) error { return nil },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Spawn(e, cfg.Scale)
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := obs.WriteStreamNDJSON(&want, obsv); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 8} {
+		_, ts := newTestAPI(t, func(c *Config) {
+			c.Workers = workers
+			c.ObsLogCap = 1 << 17
+		})
+		var info Info
+		doJSON(t, "POST", ts.URL+"/v1/sessions", cfg, &info)
+		doJSON(t, "POST", ts.URL+"/v1/sessions/"+info.ID+"/step", map[string]uint64{"quanta": 0}, nil)
+		got := fetchObs(t, ts.URL, info.ID, "")
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Fatalf("workers=%d: /obs differs from standalone export (%d vs %d bytes)",
+				workers, len(got), want.Len())
+		}
+	}
+}
+
+// TestObsFollowEqualsBatch: a follower attached while the session is
+// still being stepped accumulates exactly the bytes a post-completion
+// batch read returns, and terminates on its own when the session
+// finishes.
+func TestObsFollowEqualsBatch(t *testing.T) {
+	_, ts := newTestAPI(t, func(c *Config) { c.ObsLogCap = 1 << 17 })
+	cfg := obsSessionConfig(302)
+	var info Info
+	doJSON(t, "POST", ts.URL+"/v1/sessions", cfg, &info)
+
+	// One boundary first, so the follower starts mid-run with history
+	// already published.
+	doJSON(t, "POST", ts.URL+"/v1/sessions/"+info.ID+"/step", map[string]uint64{"quanta": 1}, nil)
+
+	type followResult struct {
+		body []byte
+		err  error
+	}
+	followed := make(chan followResult, 1)
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + info.ID + "/obs?follow=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		followed <- followResult{body, err}
+	}()
+
+	doJSON(t, "POST", ts.URL+"/v1/sessions/"+info.ID+"/step", map[string]uint64{"quanta": 0}, nil)
+
+	fr := <-followed
+	if fr.err != nil {
+		t.Fatalf("follow read: %v", fr.err)
+	}
+	batch := fetchObs(t, ts.URL, info.ID, "")
+	if !bytes.Equal(fr.body, batch) {
+		t.Fatalf("follow stream != batch read (%d vs %d bytes)", len(fr.body), len(batch))
+	}
+	if len(batch) == 0 {
+		t.Fatal("no engine events streamed at all")
+	}
+
+	// Cursor resume: re-reading from the last seq yields nothing new.
+	var lastSeq uint64
+	sc := bufio.NewScanner(bytes.NewReader(batch))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var line struct {
+			Seq uint64 `json:"seq"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line: %v", err)
+		}
+		if line.Seq > 0 {
+			lastSeq = line.Seq
+		}
+	}
+	if rest := fetchObs(t, ts.URL, info.ID, "?after="+strconv.FormatUint(lastSeq, 10)); len(rest) != 0 {
+		t.Fatalf("after=%d returned %d bytes, want none", lastSeq, len(rest))
+	}
+}
+
+// TestObsStreamGapAccounting: with a tiny published-log cap the stream
+// must lead with an explicit gap whose count plus retained events
+// equals the run's total emission — nothing silently lost.
+func TestObsStreamGapAccounting(t *testing.T) {
+	_, ts := newTestAPI(t, func(c *Config) { c.ObsLogCap = 64 })
+	cfg := obsSessionConfig(303)
+	var info Info
+	doJSON(t, "POST", ts.URL+"/v1/sessions", cfg, &info)
+	doJSON(t, "POST", ts.URL+"/v1/sessions/"+info.ID+"/step", map[string]uint64{"quanta": 0}, nil)
+
+	body := fetchObs(t, ts.URL, info.ID, "")
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var (
+		lines   int
+		dropped uint64
+		first   struct {
+			Seq     uint64 `json:"seq"`
+			Kind    string `json:"kind"`
+			Dropped uint64 `json:"dropped"`
+		}
+		lastSeq uint64
+	)
+	for sc.Scan() {
+		lines++
+		var line struct {
+			Seq     uint64 `json:"seq"`
+			Kind    string `json:"kind"`
+			Dropped uint64 `json:"dropped"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		if lines == 1 {
+			first = line
+		}
+		if line.Kind == "gap" {
+			dropped += line.Dropped
+			if line.Seq != 0 {
+				t.Fatalf("gap record carries seq %d", line.Seq)
+			}
+		} else {
+			lastSeq = line.Seq
+		}
+	}
+	if first.Kind != "gap" || first.Dropped == 0 {
+		t.Fatalf("first line = %+v, want a leading gap (cap 64 must overflow)", first)
+	}
+	events := uint64(lines - 1) // all remaining lines are real events
+	if dropped+events != lastSeq {
+		t.Fatalf("accounting broken: %d dropped + %d retained != last seq %d", dropped, events, lastSeq)
+	}
+	if events != 64 {
+		t.Fatalf("retained %d events, want exactly the log cap 64", events)
+	}
+}
+
+// TestObsOffSession: an untraced session exposes an empty stream that
+// terminates (rather than hangs) once the session is done.
+func TestObsOffSession(t *testing.T) {
+	_, ts := newTestAPI(t, nil)
+	cfg := testSessionConfig(304)
+	cfg.Obs = "off"
+	var info Info
+	doJSON(t, "POST", ts.URL+"/v1/sessions", cfg, &info)
+	doJSON(t, "POST", ts.URL+"/v1/sessions/"+info.ID+"/step", map[string]uint64{"quanta": 0}, nil)
+	if body := fetchObs(t, ts.URL, info.ID, "?follow=1"); len(body) != 0 {
+		t.Fatalf("obs-off session streamed %d bytes", len(body))
+	}
+	// And the obs level stayed out of the session's snapshot config:
+	// the config record must look exactly like a pre-observability one.
+	for _, kv := range cfg.kv() {
+		if kv.K == "obs" || kv.K == "obsring" {
+			t.Fatalf("obs-off config leaked %q into the snapshot config record", kv.K)
+		}
+	}
+}
+
+// counterTotal sums a sharded counter across its per-cpu series in the
+// Prometheus rendering.
+func counterTotal(t *testing.T, s *Server, name string) uint64 {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, name) || strings.HasPrefix(line, "# ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		total += v
+	}
+	return total
+}
+
+// TestFlightRecorderOnPanic drives the chaos probe and checks the full
+// flight path: the dump exists on disk, parses, classifies the failure
+// as a panic, and carries the engine's final pre-panic events; it
+// survives a server restart (scan must not quarantine it) and is gone
+// after delete.
+func TestFlightRecorderOnPanic(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestAPI(t, func(c *Config) { c.DataDir = dir })
+	cfg := obsSessionConfig(305)
+	cfg.PanicAtBoundary = 2
+	var info Info
+	doJSON(t, "POST", ts.URL+"/v1/sessions", cfg, &info)
+	var res StepResult
+	resp := doJSON(t, "POST", ts.URL+"/v1/sessions/"+info.ID+"/step", map[string]uint64{"quanta": 0}, &res)
+	if resp.StatusCode != http.StatusConflict || res.State != StateFailed {
+		t.Fatalf("chaos step = %d %+v, want 409 failed", resp.StatusCode, res)
+	}
+
+	if _, err := os.Stat(s.store.flightPath(info.ID)); err != nil {
+		t.Fatalf("flight file missing after panic: %v", err)
+	}
+
+	var fd flightDump
+	fresp, err := http.Get(ts.URL + "/v1/sessions/" + info.ID + "/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresp.Body.Close()
+	if fresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /flight = %d", fresp.StatusCode)
+	}
+	if err := json.NewDecoder(fresp.Body).Decode(&fd); err != nil {
+		t.Fatalf("flight record does not parse: %v", err)
+	}
+	if fd.Reason != "panic" || fd.ID != info.ID || fd.State != StateFailed {
+		t.Fatalf("flight record = reason %q id %q state %q", fd.Reason, fd.ID, fd.State)
+	}
+	if !strings.Contains(fd.Detail, "chaos: injected panic") {
+		t.Fatalf("flight detail lost the panic diagnostic: %q", firstLine(fd.Detail))
+	}
+	if len(fd.EngineEvents) == 0 {
+		t.Fatal("flight record has no engine events — the pre-panic publish is broken")
+	}
+	for i, raw := range fd.EngineEvents {
+		var ev map[string]any
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			t.Fatalf("engine_events[%d] is not valid JSON: %v", i, err)
+		}
+	}
+	var kinds []string
+	for _, ev := range fd.Lifecycle {
+		kinds = append(kinds, ev.Kind)
+	}
+	if !strings.Contains(strings.Join(kinds, ","), "failed") {
+		t.Fatalf("flight lifecycle %v lacks the failed event", kinds)
+	}
+
+	// Metrics counted the dump.
+	if got := counterTotal(t, s, "atsimd_flight_dumps_total"); got != 1 {
+		t.Fatalf("atsimd_flight_dumps_total = %d, want 1", got)
+	}
+
+	// Restart over the same directory: the flight file must not be
+	// scanned as a manifest, the session must restore as failed, and
+	// the record must still be served.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	s2 := newTestServer(t, func(c *Config) { c.DataDir = dir })
+	got, err := s2.Get(info.ID)
+	if err != nil || got.State != StateFailed {
+		t.Fatalf("restored session = %+v, %v; want failed", got, err)
+	}
+	if _, err := s2.Flight(info.ID); err != nil {
+		t.Fatalf("flight record lost across restart: %v", err)
+	}
+	var qbuf bytes.Buffer
+	s2.WriteMetrics(&qbuf)
+	if strings.Contains(qbuf.String(), "atsimd_manifests_quarantined_total 1") {
+		t.Fatal("restart quarantined the flight file as a corrupt manifest")
+	}
+
+	// Delete removes the flight file with the session.
+	if err := s2.Delete(context.Background(), info.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(s2.store.flightPath(info.ID)); !os.IsNotExist(err) {
+		t.Fatalf("flight file survived delete: %v", err)
+	}
+}
+
+// TestRequestTracing pins X-Request-ID propagation, the access log,
+// the RED histograms and the server trace export.
+func TestRequestTracing(t *testing.T) {
+	var access bytes.Buffer
+	s, ts := newTestAPI(t, func(c *Config) { c.AccessLog = &access })
+
+	var info Info
+	doJSON(t, "POST", ts.URL+"/v1/sessions", obsSessionConfig(306), &info)
+
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/sessions/"+info.ID+"/step",
+		strings.NewReader(`{"quanta": 0}`))
+	req.Header.Set("X-Request-ID", "req-abc-123")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "req-abc-123" {
+		t.Fatalf("supplied request id echoed as %q", got)
+	}
+
+	// A request without an ID gets a generated one.
+	resp2, err := http.Get(ts.URL + "/v1/sessions/" + info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.Header.Get("X-Request-ID") == "" {
+		t.Fatal("no generated X-Request-ID on the response")
+	}
+
+	// The access log carries structured lines joined by request id.
+	var sawStep bool
+	sc := bufio.NewScanner(bytes.NewReader(access.Bytes()))
+	for sc.Scan() {
+		var line struct {
+			Req    string `json:"req"`
+			Method string `json:"method"`
+			Path   string `json:"path"`
+			Status int    `json:"status"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("access log line is not JSON: %q", sc.Text())
+		}
+		if line.Req == "req-abc-123" && line.Method == "POST" && line.Status == http.StatusOK {
+			sawStep = true
+		}
+	}
+	if !sawStep {
+		t.Fatalf("access log never recorded the step request:\n%s", access.String())
+	}
+
+	// The server trace is valid Chrome JSON whose spans join the
+	// request id and carry engine-side virtual-time anchors.
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Args struct {
+				Req        string `json:"req"`
+				Cycle      uint64 `json:"cycle"`
+				Boundaries uint64 `json:"boundaries"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	tresp, err := http.Get(ts.URL + "/debug/server-trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	if err := json.NewDecoder(tresp.Body).Decode(&trace); err != nil {
+		t.Fatalf("server trace is not valid JSON: %v", err)
+	}
+	spans := map[string]bool{}
+	var joined, anchored bool
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		spans[ev.Name] = true
+		if ev.Args.Req == "req-abc-123" {
+			joined = true
+		}
+		if ev.Name == "engine.run" && ev.Args.Cycle > 0 && ev.Args.Boundaries > 0 {
+			anchored = true
+		}
+	}
+	for _, want := range []string{"admission.wait", "grant.wait", "engine.run"} {
+		if !spans[want] {
+			t.Errorf("server trace lacks %s spans (have %v)", want, spans)
+		}
+	}
+	if !joined {
+		t.Error("no span joined the caller's X-Request-ID")
+	}
+	if !anchored {
+		t.Error("no engine.run span carries a virtual-time anchor (cycle/boundaries)")
+	}
+
+	// The RED histograms register on /metrics.
+	var mbuf bytes.Buffer
+	if err := s.WriteMetrics(&mbuf); err != nil {
+		t.Fatal(err)
+	}
+	for _, metric := range []string{
+		"atsimd_admission_wait_seconds", "atsimd_eviction_seconds",
+		"atsimd_snapshot_write_seconds", "atsimd_flight_dumps_total",
+	} {
+		if !strings.Contains(mbuf.String(), metric) {
+			t.Errorf("/metrics lacks %s", metric)
+		}
+	}
+}
+
+// TestObsStreamSurvivesEviction: evicting and resuming a session must
+// not disturb the stream's sequence numbering — the deterministic
+// re-execution republishes exactly where the cursor left off, so a
+// follower sees no discontinuity and the final stream equals the
+// uninterrupted twin's.
+func TestObsStreamSurvivesEviction(t *testing.T) {
+	_, ts := newTestAPI(t, func(c *Config) { c.ObsLogCap = 1 << 17 })
+	cfg := obsSessionConfig(307)
+
+	var control Info
+	doJSON(t, "POST", ts.URL+"/v1/sessions", cfg, &control)
+	doJSON(t, "POST", ts.URL+"/v1/sessions/"+control.ID+"/step", map[string]uint64{"quanta": 0}, nil)
+	want := fetchObs(t, ts.URL, control.ID, "")
+
+	var chopped Info
+	doJSON(t, "POST", ts.URL+"/v1/sessions", cfg, &chopped)
+	for i := 0; ; i++ {
+		if i > 100 {
+			t.Fatal("session did not complete in 100 single-boundary steps")
+		}
+		var res StepResult
+		doJSON(t, "POST", ts.URL+"/v1/sessions/"+chopped.ID+"/step", map[string]uint64{"quanta": 1}, &res)
+		if res.State == StateDone {
+			break
+		}
+		doJSON(t, "POST", ts.URL+"/v1/sessions/"+chopped.ID+"/evict", nil, nil)
+	}
+	got := fetchObs(t, ts.URL, chopped.ID, "")
+	if !bytes.Equal(got, want) {
+		t.Fatalf("evict/resume perturbed the stream (%d vs %d bytes)", len(got), len(want))
+	}
+}

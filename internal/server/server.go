@@ -70,6 +70,25 @@ type Config struct {
 	// HeartbeatEvery paces watchdog heartbeats from parked engines
 	// (default 1s; must stay below StallTimeout).
 	HeartbeatEvery time.Duration
+	// SessionObs is the engine observability level for sessions that
+	// do not pick one: "off", "metrics" or "trace" (default "trace" —
+	// the paper's premise is that always-on telemetry is cheap enough
+	// to leave on).
+	SessionObs string
+	// ObsRingSize is the default per-session engine event-ring (and
+	// stream-ring) capacity in events (default 4096, ~256KB/CPU at 64B
+	// per event; MaxLive bounds how many sessions hold rings at once).
+	ObsRingSize int
+	// ObsLogCap bounds each session's published engine-event log — the
+	// tail the /obs endpoint and flight recorder can see (default
+	// 8192). Older events fall off as an explicit gap record.
+	ObsLogCap int
+	// TraceSpanCap bounds the server's wall-clock span ring behind
+	// /debug/server-trace (default 16384).
+	TraceSpanCap int
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// HTTP request (request id, method, path, status, duration).
+	AccessLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -108,6 +127,18 @@ func (c Config) withDefaults() Config {
 	}
 	if hb := c.StallTimeout / 4; c.HeartbeatEvery > hb && hb > 0 {
 		c.HeartbeatEvery = hb
+	}
+	if c.SessionObs == "" {
+		c.SessionObs = "trace"
+	}
+	if c.ObsRingSize <= 0 {
+		c.ObsRingSize = 4096
+	}
+	if c.ObsLogCap <= 0 {
+		c.ObsLogCap = 8192
+	}
+	if c.TraceSpanCap <= 0 {
+		c.TraceSpanCap = 16384
 	}
 	return c
 }
@@ -169,6 +200,10 @@ type metrics struct {
 	liveGauge       *obs.Gauge
 	residentGauge   *obs.Gauge
 	stepSeconds     *obs.Histogram
+	flightDumps     *obs.Counter
+	admissionWait   *obs.Histogram
+	evictionSecs    *obs.Histogram
+	snapWriteSecs   *obs.Histogram
 }
 
 // Server hosts sessions. Lock order: Server.mu before Session.mu.
@@ -191,6 +226,15 @@ type Server struct {
 	// tick is the logical clock behind LRU eviction.
 	tick atomic.Uint64
 
+	// spans is the bounded wall-clock span recorder behind
+	// /debug/server-trace; reqSeq numbers generated request IDs and
+	// bootNanos makes them unique across restarts. logMu serializes
+	// access-log writes.
+	spans     *spanLog
+	reqSeq    atomic.Uint64
+	bootNanos int64
+	logMu     sync.Mutex
+
 	mu        sync.Mutex
 	draining  bool
 	sessions  map[string]*Session
@@ -206,18 +250,23 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DataDir == "" {
 		return nil, errors.New("server: Config.DataDir is required")
 	}
+	if _, err := obs.ParseLevel(cfg.SessionObs); err != nil {
+		return nil, fmt.Errorf("server: SessionObs: %w", err)
+	}
 	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
 	baseCtx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:      cfg,
-		store:    &store{dir: cfg.DataDir, pol: cfg.Retry},
-		baseCtx:  baseCtx,
-		cancel:   cancel,
-		tokens:   make(chan struct{}, cfg.Workers),
-		sessions: make(map[string]*Session),
-		tenants:  make(map[string]int),
+		cfg:       cfg,
+		store:     &store{dir: cfg.DataDir, pol: cfg.Retry},
+		baseCtx:   baseCtx,
+		cancel:    cancel,
+		tokens:    make(chan struct{}, cfg.Workers),
+		sessions:  make(map[string]*Session),
+		tenants:   make(map[string]int),
+		spans:     newSpanLog(cfg.TraceSpanCap),
+		bootNanos: time.Now().UnixNano(),
 	}
 	s.initMetrics()
 	if err := s.restore(); err != nil {
@@ -251,6 +300,16 @@ func (s *Server) initMetrics() {
 		residentGauge:   s.reg.Gauge("atsimd_sessions_resident"),
 		stepSeconds: s.reg.Histogram("atsimd_step_seconds",
 			[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30}),
+		flightDumps: s.reg.Counter("atsimd_flight_dumps_total"),
+		// The RED latency histograms: where a step's wall time goes
+		// before (admission), around (eviction) and after (snapshot
+		// write) the simulation itself.
+		admissionWait: s.reg.Histogram("atsimd_admission_wait_seconds",
+			[]float64{0.0001, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}),
+		evictionSecs: s.reg.Histogram("atsimd_eviction_seconds",
+			[]float64{0.0001, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}),
+		snapWriteSecs: s.reg.Histogram("atsimd_snapshot_write_seconds",
+			[]float64{0.0001, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}),
 	}
 }
 
@@ -275,10 +334,17 @@ func (s *Server) restore() error {
 			continue
 		}
 		m := r.man
-		sess := newSession(m.ID, m.Tenant, m.Config)
+		sess := newSession(m.ID, m.Tenant, m.Config, s.cfg.ObsLogCap)
 		sess.state = m.State
 		if sess.state == StateLive || sess.state == "" {
 			sess.state = StateIdle
+		}
+		if sess.state == StateDone || sess.state == StateFailed {
+			// Terminal sessions will never publish again; engine events
+			// died with the previous process (a failed session's tail
+			// lives on in its flight file). Close so /obs followers
+			// terminate instead of waiting forever.
+			sess.obsLog.close()
 		}
 		sess.boundaries = m.Boundaries
 		sess.cycle = m.Cycle
@@ -346,7 +412,7 @@ func (s *Server) CreateSession(ctx context.Context, tenant string, cfg SessionCo
 	}
 	s.seq++
 	id := fmt.Sprintf("s-%06d", s.seq)
-	sess := newSession(id, tenant, cfg)
+	sess := newSession(id, tenant, cfg, s.cfg.ObsLogCap)
 	sess.lastTouch = s.tick.Add(1)
 	s.sessions[id] = sess
 	s.tenants[tenant]++
@@ -411,6 +477,19 @@ func (s *Server) Events(id string, after uint64) ([]Event, <-chan struct{}, erro
 	return evs, notify, nil
 }
 
+// ObsEvents returns the session's published engine events with
+// sequence numbers > after, the channel closed at the next publish,
+// and whether the stream is complete (terminal session). The live /obs
+// endpoint is a loop over this.
+func (s *Server) ObsEvents(id string, after uint64) ([]obsEntry, <-chan struct{}, bool, error) {
+	sess, err := s.lookup(id)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	entries, notify, closed := sess.obsLog.since(after)
+	return entries, notify, closed, nil
+}
+
 // StepResult is one step call's outcome.
 type StepResult struct {
 	ID         string  `json:"id"`
@@ -433,12 +512,16 @@ func (s *Server) Step(ctx context.Context, id string, quanta uint64) (StepResult
 	if err != nil {
 		return StepResult{}, err
 	}
+	req := RequestID(ctx)
+	admit := time.Now()
 	if err := sess.lockStep(ctx); err != nil {
 		return StepResult{}, err
 	}
 	defer sess.unlockStep()
-	s.met.steps.Inc(s.shard(id))
 	start := time.Now()
+	s.met.admissionWait.Observe(s.shard(id), start.Sub(admit).Seconds())
+	s.spans.add(span{name: "admission.wait", sess: id, req: req, start: admit, dur: start.Sub(admit)})
+	s.met.steps.Inc(s.shard(id))
 	defer func() {
 		s.met.stepSeconds.Observe(s.shard(id), time.Since(start).Seconds())
 	}()
@@ -462,7 +545,8 @@ func (s *Server) Step(ctx context.Context, id string, quanta uint64) (StepResult
 			}
 			return StepResult{}, err
 		}
-		g := &grant{quanta: quanta, outcome: make(chan stepOutcome, 1)}
+		g := &grant{quanta: quanta, outcome: make(chan stepOutcome, 1), req: req}
+		granted := time.Now()
 		select {
 		case le.grants <- g:
 		case <-le.done:
@@ -482,6 +566,8 @@ func (s *Server) Step(ctx context.Context, id string, quanta uint64) (StepResult
 		case <-ctx.Done():
 			return StepResult{}, &DeadlineError{Op: "executing step for session " + id, Err: ctx.Err()}
 		}
+		s.spans.add(span{name: "grant.wait", sess: id, req: req,
+			start: granted, dur: time.Since(granted), quanta: quanta, cycle: out.cycle, boundaries: out.boundaries})
 		if out.evicted && out.state == StateIdle {
 			// The engine unwound (pressure eviction or explicit evict)
 			// with this grant partly served; resume and finish the
@@ -595,9 +681,13 @@ func (s *Server) evictWait(ctx context.Context, sess *Session) error {
 	if le == nil {
 		return nil
 	}
+	start := time.Now()
 	le.requestStop()
 	select {
 	case <-le.done:
+		d := time.Since(start)
+		s.met.evictionSecs.Observe(s.shard(sess.ID), d.Seconds())
+		s.spans.add(span{name: "evict", sess: sess.ID, req: RequestID(ctx), start: start, dur: d})
 		return nil
 	case <-ctx.Done():
 		return &DeadlineError{Op: "evicting session " + sess.ID, Err: ctx.Err()}
@@ -644,6 +734,7 @@ func (s *Server) Delete(ctx context.Context, id string) error {
 	s.dropSession(sess, true)
 	s.met.sessionsDeleted.Inc(s.shard(id))
 	sess.events.append(Event{Kind: "deleted"})
+	sess.obsLog.close()
 	return nil
 }
 
@@ -732,8 +823,19 @@ func (s *Server) persistSession(sess *Session) {
 		return
 	}
 	if needSnap {
-		if err := s.store.writeSnapshot(sess.ID, st); err != nil {
+		t0 := time.Now()
+		err := s.store.writeSnapshot(sess.ID, st)
+		d := time.Since(t0)
+		s.met.snapWriteSecs.Observe(s.shard(sess.ID), d.Seconds())
+		s.spans.add(span{name: "snapshot.write", sess: sess.ID, start: t0, dur: d})
+		if err != nil {
 			s.met.ioFailures.Inc(s.shard(sess.ID))
+			// An eviction that cannot persist its snapshot is the
+			// third flight-recorder trigger: the session survives in
+			// memory, but if the process dies before a later persist
+			// succeeds, the flight file is the forensic record of what
+			// the engine was doing.
+			s.dumpFlight(sess, "eviction_failure", err.Error())
 		} else {
 			sess.mu.Lock()
 			deleted := sess.deleted
@@ -795,12 +897,18 @@ func (s *Server) engineExited(le *liveEngine, res *Result, completed bool, runEr
 	case StateDone:
 		s.met.sessionsDone.Inc(shard)
 		sess.events.append(Event{Kind: "done", Cycle: cycle, Boundaries: bnds})
+		sess.obsLog.close()
 	case StateIdle:
 		s.met.sessionsEvicted.Inc(shard)
 		sess.events.append(Event{Kind: "evicted", Cycle: cycle, Boundaries: bnds})
 	default:
 		s.met.sessionsFailed.Inc(shard)
 		sess.events.append(Event{Kind: "failed", Detail: firstLine(failure)})
+		// Panic, stall-watchdog trip or engine error: dump the flight
+		// record — the published engine-event tail plus the lifecycle
+		// log — before closing the stream.
+		s.dumpFlight(sess, failureReason(failure), failure)
+		sess.obsLog.close()
 	}
 
 	s.persistSession(sess)

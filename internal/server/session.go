@@ -12,6 +12,7 @@ import (
 	"repro/internal/cachesim"
 	"repro/internal/machine"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/platform/sim"
 	"repro/internal/rt"
 	"repro/internal/snapshot"
@@ -76,6 +77,18 @@ type SessionConfig struct {
 	// the crash-isolation gate. Admitted only when the server runs with
 	// chaos enabled.
 	PanicAtBoundary uint64 `json:"panic_at_boundary,omitempty"`
+	// Obs selects the engine observability level: "off", "metrics" or
+	// "trace" (empty = the server's -session-obs default). Trace-level
+	// sessions publish engine events to the live /obs stream and the
+	// flight recorder. Fixed at admission: the level feeds the
+	// checkpoint config and the state fingerprint, so changing it
+	// mid-life would break resume verification.
+	Obs string `json:"obs,omitempty"`
+	// ObsRing is the capacity of the engine's event rings (0 = the
+	// server's -obs-ring default, applied at admission for traced
+	// sessions). Pinned per session because the retained-event set is
+	// part of the obs digest a resume must reproduce.
+	ObsRing int `json:"obs_ring,omitempty"`
 }
 
 func (c SessionConfig) withDefaults(srv Config) SessionConfig {
@@ -97,7 +110,24 @@ func (c SessionConfig) withDefaults(srv Config) SessionConfig {
 	if c.Quantum == 0 {
 		c.Quantum = srv.DefaultQuantum
 	}
+	if c.Obs == "" {
+		c.Obs = srv.SessionObs
+	}
+	if c.ObsRing == 0 && c.obsLevel() >= obs.Trace {
+		c.ObsRing = srv.ObsRingSize
+	}
 	return c
+}
+
+// obsLevel parses the session's observability level; an unset or
+// unparsable value reads as Off (validate rejects bad values at
+// admission, so restored sessions can only hold levels that parse).
+func (c SessionConfig) obsLevel() obs.Level {
+	lvl, err := obs.ParseLevel(c.Obs)
+	if err != nil {
+		return obs.Off
+	}
+	return lvl
 }
 
 // validate rejects a config at admission time, so nothing bad reaches
@@ -125,6 +155,12 @@ func (c SessionConfig) validate(srv Config) error {
 	if c.PanicAtBoundary > 0 && !srv.EnableChaos {
 		return fmt.Errorf("panic_at_boundary requires a server started with chaos injection enabled")
 	}
+	if _, err := obs.ParseLevel(c.Obs); err != nil {
+		return err
+	}
+	if c.ObsRing < 0 {
+		return fmt.Errorf("obs_ring %d is negative", c.ObsRing)
+	}
 	return nil
 }
 
@@ -144,13 +180,23 @@ func (c SessionConfig) machineConfig(topo cachesim.Topology) machine.Config {
 // rt itself) into the snapshot's config record, so a session snapshot
 // can never resume a differently-configured session.
 func (c SessionConfig) kv() []snapshot.KV {
-	return []snapshot.KV{
+	out := []snapshot.KV{
 		{K: "app", V: c.App},
 		{K: "scale", V: fmt.Sprintf("%g", c.Scale)},
 		{K: "noannot", V: fmt.Sprintf("%t", c.DisableAnnotations)},
 		{K: "topology", V: c.Topology},
 		{K: "panicat", V: fmt.Sprintf("%d", c.PanicAtBoundary)},
 	}
+	// Present only for observed sessions, so snapshots of obs-off
+	// sessions keep the exact config record (and fingerprint) they had
+	// before observability existed — old snapshots stay resumable.
+	if lvl := c.obsLevel(); lvl != obs.Off {
+		out = append(out,
+			snapshot.KV{K: "obs", V: lvl.String()},
+			snapshot.KV{K: "obsring", V: fmt.Sprintf("%d", c.ObsRing)},
+		)
+	}
+	return out
 }
 
 // Result is a completed session's outcome. Fingerprint is the CRC64 of
@@ -199,15 +245,21 @@ type Session struct {
 	lastTouch  uint64
 	live       *liveEngine
 	events     *eventLog
+	// obsLog is the published engine-event stream: drained from the
+	// engine's obs stream ring at quantum boundaries, consumed by the
+	// /obs endpoint and the flight recorder. Always non-nil; empty and
+	// closed for unobserved or restored-terminal sessions.
+	obsLog *obsLog
 }
 
-func newSession(id, tenant string, cfg SessionConfig) *Session {
+func newSession(id, tenant string, cfg SessionConfig, obsLogCap int) *Session {
 	return &Session{
 		ID: id, Tenant: tenant, Cfg: cfg,
 		stepMu: make(chan struct{}, 1),
 		state:  StateIdle,
 		gen:    1,
 		events: newEventLog(eventLogCap),
+		obsLog: newObsLog(obsLogCap),
 	}
 }
 
@@ -287,6 +339,9 @@ var errEvictRequested = errors.New("server: evict requested at boundary")
 type grant struct {
 	quanta  uint64
 	outcome chan stepOutcome
+	// req is the X-Request-ID of the step that issued the grant, so
+	// the engine-side trace spans join the request's server spans.
+	req string
 }
 
 type stepOutcome struct {
@@ -330,6 +385,14 @@ type liveEngine struct {
 	credit       uint64
 	unlimited    bool
 	holdingToken bool
+	// obsv is the session's engine observer (nil when the session's
+	// obs level is off). Its rings are single-writer state of this
+	// goroutine; the rest of the server only sees events after
+	// publishObs copies them into the session's obsLog.
+	obsv *obs.Observer
+	// runStart is the wall clock at compute-token acquisition for the
+	// current grant; zero while parked. Feeds the engine.run spans.
+	runStart time.Time
 }
 
 // liveEngine.phase values.
@@ -378,7 +441,43 @@ func (le *liveEngine) loop() {
 		}()
 		res, completed, runErr = le.run()
 	}()
+	// Final drain: events past the last boundary (the completion tail,
+	// or whatever a panic/stall/abort left in the ring) reach the
+	// obsLog before the exit is classified — the flight recorder sees
+	// the engine's last recorded moments.
+	le.publishObs()
+	le.endRunSpan()
 	le.srv.engineExited(le, res, completed, runErr)
+}
+
+// publishObs drains the observer's stream ring into the session's
+// obsLog. Must run on the engine goroutine (the ring is single-writer,
+// and draining between emissions is only safe from the writer's side).
+func (le *liveEngine) publishObs() {
+	if le.obsv.Tracing() {
+		le.sess.obsLog.publishFrom(le.obsv.Stream())
+	}
+}
+
+// endRunSpan closes the current engine.run span, if one is open.
+func (le *liveEngine) endRunSpan() {
+	if le.runStart.IsZero() {
+		return
+	}
+	var req string
+	if le.current != nil {
+		req = le.current.req
+	}
+	sess := le.sess
+	sess.mu.Lock()
+	cycle, bnds := sess.cycle, sess.boundaries
+	sess.mu.Unlock()
+	le.srv.spans.add(span{
+		name: "engine.run", sess: sess.ID, req: req,
+		start: le.runStart, dur: time.Since(le.runStart),
+		cycle: cycle, boundaries: bnds,
+	})
+	le.runStart = time.Time{}
 }
 
 // run executes the session until completion, eviction, failure, or
@@ -403,12 +502,25 @@ func (le *liveEngine) run() (res *Result, completed bool, err error) {
 	if err != nil {
 		return nil, false, err
 	}
-	m := machine.New(cfg.machineConfig(topo))
+	mcfg := cfg.machineConfig(topo)
+	if lvl := cfg.obsLevel(); lvl != obs.Off {
+		// The stream ring shares the event rings' capacity: it holds
+		// the emission-order tail the live /obs endpoint drains at each
+		// boundary. Sized per session (cfg.ObsRing) because the event
+		// rings feed the resume-verified obs digest.
+		le.obsv = obs.New(mcfg.CPUs, obs.Options{
+			Level:      lvl,
+			RingSize:   cfg.ObsRing,
+			StreamSize: cfg.ObsRing,
+		})
+	}
+	m := machine.New(mcfg)
 	e, err := rt.New(sim.New(m), rt.Options{
 		Policy:             cfg.Policy,
 		Seed:               cfg.Seed,
 		DisableAnnotations: cfg.DisableAnnotations,
 		StallTimeout:       le.srv.cfg.StallTimeout,
+		Obs:                le.obsv,
 		Checkpoint: rt.CheckpointConfig{
 			Every:        cfg.Quantum,
 			Config:       cfg.kv(),
@@ -452,6 +564,10 @@ func (le *liveEngine) run() (res *Result, completed bool, err error) {
 func (le *liveEngine) onBoundary(st *snapshot.State) error {
 	n := le.sess.noteBoundary(st)
 	le.srv.met.boundaries.Add(le.srv.shard(le.sess.ID), 1)
+	// Publish BEFORE the chaos panic check: events up to this boundary
+	// are visible to followers and the flight recorder even when the
+	// very next instruction kills the engine.
+	le.publishObs()
 	if pa := le.sess.Cfg.PanicAtBoundary; pa > 0 && n >= pa {
 		panic(fmt.Sprintf("chaos: injected panic at boundary %d of session %s", n, le.sess.ID))
 	}
@@ -461,6 +577,7 @@ func (le *liveEngine) onBoundary(st *snapshot.State) error {
 		// resumed step never re-runs a quantum it already received.
 		le.credit--
 		if le.credit == 0 {
+			le.endRunSpan()
 			le.answerCurrent(le.sess.snapshotOutcome())
 			if !le.waitGrant(le.eng) {
 				return errEvictRequested
@@ -510,6 +627,7 @@ func (le *liveEngine) waitGrant(e *rt.Engine) bool {
 					return false
 				case le.srv.tokens <- struct{}{}:
 					le.holdingToken = true
+					le.runStart = time.Now()
 					return true
 				case <-tick.C:
 					if e != nil {

@@ -63,6 +63,7 @@ const ioTimeout = 15 * time.Second
 
 func (st *store) manifestPath(id string) string { return filepath.Join(st.dir, id+".json") }
 func (st *store) snapPath(id string) string     { return filepath.Join(st.dir, id+".snap") }
+func (st *store) flightPath(id string) string   { return filepath.Join(st.dir, id+".flight.json") }
 
 // policyFor decorrelates retry jitter across paths (and from other
 // processes on the same disk) by folding the path into the seed.
@@ -158,10 +159,42 @@ func (st *store) removeSnapshot(id string) {
 	os.Remove(st.snapPath(id))
 }
 
-// removeSession removes both files; used by delete.
+// removeSession removes the session's files; used by delete.
 func (st *store) removeSession(id string) {
 	os.Remove(st.snapPath(id))
 	os.Remove(st.manifestPath(id))
+	os.Remove(st.flightPath(id))
+}
+
+// writeFlight persists a flight record (see flight.go). Same atomic
+// write-and-retry discipline as the manifest.
+func (st *store) writeFlight(id string, d flightDump) error {
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return fmt.Errorf("server: encoding flight record %s: %w", id, err)
+	}
+	path := st.flightPath(id)
+	ctx, cancel := st.ioCtx()
+	defer cancel()
+	return retry.Do(ctx, st.policyFor(path), func() error {
+		return fsatomic.WriteFile(path, func(w io.Writer) error {
+			_, err := w.Write(data)
+			return err
+		})
+	})
+}
+
+// loadFlight returns the raw flight record, or ErrNotFound when the
+// session never dumped one.
+func (st *store) loadFlight(id string) (json.RawMessage, error) {
+	data, err := os.ReadFile(st.flightPath(id))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: loading flight record for %s: %w", id, err)
+	}
+	return data, nil
 }
 
 // restored is one recovered session record — or, when quarantined is
@@ -204,6 +237,11 @@ func (st *store) scan(workers int) ([]restored, error) {
 	var paths []string
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		// Flight records also end in .json but are forensic output, not
+		// manifests — scanning them would quarantine them as corrupt.
+		if strings.HasSuffix(e.Name(), ".flight.json") {
 			continue
 		}
 		paths = append(paths, filepath.Join(st.dir, e.Name()))

@@ -31,6 +31,13 @@ go test -fuzz FuzzLoadSnapshot -fuzztime 10s -run '^$' ./internal/snapshot
 go test -run 'TestExportsDeterministicAcrossWorkers' ./internal/experiments
 go test -run 'TestGoldenUnchangedByObservation' .
 
+# Live-stream determinism gates: the server's /obs stream must be
+# byte-identical to the standalone engine's post-hoc export at any
+# worker count, a follower must accumulate exactly the batch bytes,
+# and evict/resume cycles must not perturb the sequence.
+go test -run 'TestObsStreamMatchesEngineExport|TestObsFollowEqualsBatch|TestObsStreamSurvivesEviction' ./internal/server
+go test -run 'TestStreamFollowEqualsBatch' ./internal/obs
+
 # Cache-topology gates. The degenerate-equivalence differential (a
 # shared hierarchy at one CPU must match the private direct-mapped
 # machine access for access) and the shared-LLC report smoke: the

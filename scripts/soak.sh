@@ -82,7 +82,15 @@ if [ "${1:-}" = server ]; then
 
     echo "== soak server: load SLO smoke =="
     "$work/atsimload" -server "$url" -n 100 -c 32 -seed-base 50000 \
-        -slo-rate 1.0 -slo-p99 30s load
+        -slo-rate 1.0 -slo-p99 30s -quanta 3 \
+        -summary-json "$work/load-summary.json" load
+    grep -q '"step_latency"' "$work/load-summary.json" || {
+        echo "soak server: load summary lacks step latency" >&2; exit 1; }
+
+    echo "== soak server: metrics scrape =="
+    "$work/atsimload" -server "$url" -expect \
+        "atsimd_admission_wait_seconds,atsimd_eviction_seconds,atsimd_snapshot_write_seconds,atsimd_flight_dumps_total" \
+        metrics
 
     echo "== soak server: SIGTERM drains cleanly =="
     kill -TERM "$server_pid"
