@@ -18,6 +18,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -41,6 +42,11 @@ func main() {
 		obsRing      = flag.Int("obs-ring", 4096, "default per-session engine event-ring capacity (events)")
 		accessLog    = flag.Bool("access-log", true, "write one structured JSON line per request to stderr")
 		serverTrace  = flag.String("server-trace", "", "write the wall-clock request trace (Chrome format) to this path on drain")
+		peerAllow    = flag.String("peer-allow", "", "comma-separated URL prefixes allowed as migration peers (\"*\" = any; empty disables migration)")
+		maxMig       = flag.Int("max-migrations", 4, "max concurrent migrations per direction")
+		migTimeout   = flag.Duration("migrate-timeout", 20*time.Second, "per-phase migration deadline (also the per-attempt transfer bound)")
+		advertise    = flag.String("advertise", "", "this instance's own base URL, recorded as migrated_from provenance on sessions it hands off")
+		chaosMigKill = flag.String("chaos-migrate-kill", "", "chaos gate: SIGKILL this process when migration reaches the named phase point (e.g. source.intent, target.snapshot)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -60,9 +66,33 @@ func main() {
 		EnableChaos:    *chaos,
 		SessionObs:     *sessionObs,
 		ObsRingSize:    *obsRing,
+		MaxMigrations:  *maxMig,
+		MigrateTimeout: *migTimeout,
+		AdvertiseURL:   *advertise,
+	}
+	if *peerAllow != "" {
+		for _, p := range strings.Split(*peerAllow, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.PeerAllow = append(cfg.PeerAllow, p)
+			}
+		}
 	}
 	if *accessLog {
 		cfg.AccessLog = os.Stderr
+	}
+	if point := *chaosMigKill; point != "" {
+		cfg.CrashPoint = func(p string) error {
+			if p != point {
+				return nil
+			}
+			// Simulate a machine death at exactly this protocol point:
+			// SIGKILL gives the process no chance to clean up, which is
+			// the whole point of the chaos gate.
+			fmt.Fprintf(os.Stderr, "atsimd: chaos: SIGKILL at migration point %s\n", p)
+			syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			// SIGKILL delivery is asynchronous; block so no cleanup runs.
+			select {}
+		}
 	}
 	s, err := server.New(cfg)
 	if err != nil {

@@ -22,6 +22,15 @@
 //	wait     poll /readyz until the server answers (startup scripting)
 //	metrics  fetch /metrics and assert every -expect substring appears
 //	         (scrape gate for soak.sh, no curl/grep dependency)
+//	migrate  hand every session in -state off to the -target instance,
+//	         then assert the handoff contract: the source answers 410
+//	         Gone with a Location, a redirected step succeeds on the
+//	         target, and the target's /obs stream continues gap-free
+//	         from the source's cursor
+//
+// On a 410 Gone with a Location header (a session migrated away) the
+// client re-issues the request once at the new home — exactly once, so
+// a redirect loop cannot form.
 //
 // finish vs control is the service-level determinism gate: a session
 // that was stepped, evicted, SIGKILLed and resumed must fingerprint
@@ -70,10 +79,11 @@ func main() {
 		sloRate    = flag.Float64("slo-rate", 1.0, "load mode: fail if the success fraction drops below this")
 		summary    = flag.String("summary-json", "", "load mode: write the machine-readable run summary to this path")
 		expect     = flag.String("expect", "", "metrics mode: comma-separated substrings that must appear in /metrics")
+		target     = flag.String("target", "", "migrate mode: destination atsimd base URL")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "atsimload: exactly one mode required: create | step | finish | control | chaos | load | wait | metrics")
+		fmt.Fprintln(os.Stderr, "atsimload: exactly one mode required: create | step | finish | control | chaos | load | wait | metrics | migrate")
 		os.Exit(2)
 	}
 	cl := &client{base: *serverURL, hc: &http.Client{}, tenant: *tenant, opTimeout: *timeout}
@@ -96,6 +106,8 @@ func main() {
 		err = runWait(cl)
 	case "metrics":
 		err = runMetrics(cl, *expect)
+	case "migrate":
+		err = runMigrate(cl, *statePath, *conc, *target)
 	case "load":
 		// Chunked stepping is opt-in: only an explicit -quanta paces the
 		// load sessions (the flag's default 1 belongs to step mode).
@@ -137,11 +149,16 @@ type httpError struct {
 	status     int
 	body       string
 	retryAfter time.Duration
+	location   string // 410 Gone: the session's new home
 }
 
 func (e *httpError) Error() string { return fmt.Sprintf("HTTP %d: %s", e.status, e.body) }
 
 func (c *client) do(method, path string, in, out any) error {
+	return c.doURL(method, c.base+path, in, out, true)
+}
+
+func (c *client) doURL(method, url string, in, out any, follow bool) error {
 	ctx, cancel := context.WithTimeout(context.Background(), c.opTimeout)
 	defer cancel()
 	var reqBody []byte
@@ -155,20 +172,27 @@ func (c *client) do(method, path string, in, out any) error {
 	delays := pol.Schedule()
 	attempt := 0
 	for {
-		err := c.once(ctx, method, path, reqBody, out)
+		err := c.once(ctx, method, url, reqBody, out)
 		if err == nil {
 			return nil
 		}
 		var he *httpError
 		retryAfter := time.Duration(-1)
 		if ok := asHTTPError(err, &he); ok {
+			if follow && he.status == http.StatusGone && he.location != "" {
+				// The session migrated away; chase it to its new home —
+				// once, so two stale servers can't bounce us forever.
+				url = he.location
+				follow = false
+				continue
+			}
 			if he.status != http.StatusTooManyRequests && he.status != http.StatusServiceUnavailable {
 				return err // terminal: 4xx/5xx that backoff won't fix
 			}
 			retryAfter = he.retryAfter
 		}
 		if attempt >= len(delays) {
-			return fmt.Errorf("%s %s: retries exhausted: %w", method, path, err)
+			return fmt.Errorf("%s %s: retries exhausted: %w", method, url, err)
 		}
 		switch {
 		case he != nil && he.status == http.StatusTooManyRequests:
@@ -187,7 +211,7 @@ func (c *client) do(method, path string, in, out any) error {
 		select {
 		case <-ctx.Done():
 			t.Stop()
-			return fmt.Errorf("%s %s: %w (last error: %v)", method, path, ctx.Err(), err)
+			return fmt.Errorf("%s %s: %w (last error: %v)", method, url, ctx.Err(), err)
 		case <-t.C:
 		}
 	}
@@ -201,12 +225,12 @@ func asHTTPError(err error, out **httpError) bool {
 	return ok
 }
 
-func (c *client) once(ctx context.Context, method, path string, body []byte, out any) error {
+func (c *client) once(ctx context.Context, method, url string, body []byte, out any) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
 	if err != nil {
 		return err
 	}
@@ -232,6 +256,7 @@ func (c *client) once(ctx context.Context, method, path string, body []byte, out
 				he.retryAfter = time.Duration(secs) * time.Second
 			}
 		}
+		he.location = resp.Header.Get("Location")
 		return he
 	}
 	if out != nil && len(data) > 0 {
@@ -439,7 +464,7 @@ func runWait(cl *client) error {
 	for {
 		// One quick un-retried probe per tick; the loop is the retry.
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-		err := cl.once(ctx, "GET", "/readyz", nil, nil)
+		err := cl.once(ctx, "GET", cl.base+"/readyz", nil, nil)
 		cancel()
 		if err == nil {
 			fmt.Println("atsimload: server ready")
@@ -684,6 +709,133 @@ func runMetrics(cl *client, expect string) error {
 			len(missing), wanted, strings.Join(missing, ", "))
 	}
 	fmt.Printf("atsimload: metrics: all %d expected series present\n", wanted)
+	return nil
+}
+
+// runMigrate hands every -state session off to -target and asserts the
+// full handoff contract per session:
+//
+//  1. the migrate call succeeds (410 Gone counts as "an earlier attempt
+//     already committed", which the chaos soak legitimately produces);
+//  2. the source answers a direct step with 410 Gone plus a Location;
+//  3. a step issued at the source succeeds after following that
+//     redirect once (exercising the client's follow-once path);
+//  4. the target's /obs stream resumes at the source's cursor with no
+//     gap line — migration must not lose or duplicate engine events.
+func runMigrate(cl *client, statePath string, conc int, target string) error {
+	if target == "" {
+		return fmt.Errorf("migrate mode needs -target")
+	}
+	target = strings.TrimRight(target, "/")
+	st, err := loadState(statePath)
+	if err != nil {
+		return err
+	}
+	tcl := &client{base: target, hc: cl.hc, tenant: cl.tenant, opTimeout: cl.opTimeout}
+	var moved atomicCounter
+	err = parallel.ForEach(conc, len(st.Sessions), func(i int) error {
+		id := st.Sessions[i].ID
+		cursor, err := obsCursor(cl, id)
+		if err != nil {
+			return fmt.Errorf("reading obs cursor of %s: %w", id, err)
+		}
+		var res server.MigrateResult
+		err = cl.doURL("POST", cl.base+"/v1/sessions/"+id+"/migrate",
+			map[string]string{"target": target}, &res, false)
+		var he *httpError
+		if asHTTPError(err, &he) && he.status == http.StatusGone {
+			err = nil // already on the target; the contract below still holds
+		}
+		if err != nil {
+			return fmt.Errorf("migrating %s: %w", id, err)
+		}
+		// 2: the source must fence the session.
+		ctx, cancel := context.WithTimeout(context.Background(), cl.opTimeout)
+		ferr := cl.once(ctx, "POST", cl.base+"/v1/sessions/"+id+"/step", []byte(`{"quanta":1}`), nil)
+		cancel()
+		if !asHTTPError(ferr, &he) || he.status != http.StatusGone || he.location == "" {
+			return fmt.Errorf("source did not fence migrated session %s with 410+Location: %v", id, ferr)
+		}
+		// 3: the same request through the redirect-following client.
+		var sres server.StepResult
+		if err := cl.do("POST", "/v1/sessions/"+id+"/step", stepReq{Quanta: 1}, &sres); err != nil {
+			return fmt.Errorf("redirected step of %s: %w", id, err)
+		}
+		// 4: engine events continue seamlessly on the target.
+		if err := checkObsContinuity(tcl, id, cursor); err != nil {
+			return err
+		}
+		moved.inc()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("atsimload: migrated %d sessions -> %s (fence, redirect and obs continuity verified)\n", moved.get(), target)
+	return nil
+}
+
+// obsLine is the slice of an /obs NDJSON line the migrate checks need.
+type obsLine struct {
+	Seq  uint64 `json:"seq"`
+	Kind string `json:"kind"`
+}
+
+func parseObsLines(data []byte) ([]obsLine, error) {
+	var out []obsLine
+	for _, raw := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(raw)) == 0 {
+			continue
+		}
+		var l obsLine
+		if err := json.Unmarshal(raw, &l); err != nil {
+			return nil, fmt.Errorf("bad /obs line %q: %w", raw, err)
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}
+
+// obsCursor returns the newest published engine-event sequence number,
+// 0 when nothing has been published yet.
+func obsCursor(cl *client, id string) (uint64, error) {
+	data, err := cl.raw("/v1/sessions/" + id + "/obs")
+	if err != nil {
+		return 0, err
+	}
+	lines, err := parseObsLines(data)
+	if err != nil {
+		return 0, err
+	}
+	var cursor uint64
+	for _, l := range lines {
+		if l.Seq > cursor {
+			cursor = l.Seq
+		}
+	}
+	return cursor, nil
+}
+
+// checkObsContinuity asserts that the target's /obs stream picks up
+// exactly past the cursor: the first line is seq cursor+1 and no gap
+// records appear.
+func checkObsContinuity(tcl *client, id string, cursor uint64) error {
+	data, err := tcl.raw(fmt.Sprintf("/v1/sessions/%s/obs?after=%d", id, cursor))
+	if err != nil {
+		return fmt.Errorf("reading target obs of %s: %w", id, err)
+	}
+	lines, err := parseObsLines(data)
+	if err != nil {
+		return err
+	}
+	for _, l := range lines {
+		if l.Kind == "gap" {
+			return fmt.Errorf("session %s: target /obs reports a gap after migration (cursor %d)", id, cursor)
+		}
+	}
+	if len(lines) > 0 && lines[0].Seq != cursor+1 {
+		return fmt.Errorf("session %s: target /obs resumes at seq %d, want %d", id, lines[0].Seq, cursor+1)
+	}
 	return nil
 }
 

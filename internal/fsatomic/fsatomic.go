@@ -14,6 +14,16 @@ import (
 	"path/filepath"
 )
 
+// Fault-injection seams. Production code never reassigns these; the
+// fault tests swap them to simulate ENOSPC, short writes, a failing
+// fsync, and a failing rename at each step of the protocol, and assert
+// the destination is never torn or missing its old content.
+var (
+	createTemp = os.CreateTemp
+	syncFile   = (*os.File).Sync
+	renameFile = os.Rename
+)
+
 // WriteFile atomically replaces path with whatever write produces. The
 // temporary file lives in path's directory (rename must not cross
 // filesystems) and is removed on any failure. The data is fsynced
@@ -23,7 +33,7 @@ import (
 // durable too.
 func WriteFile(path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	tmp, err := createTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("fsatomic: %w", err)
 	}
@@ -36,14 +46,14 @@ func WriteFile(path string, write func(io.Writer) error) error {
 	if err := write(tmp); err != nil {
 		return fail(err)
 	}
-	if err := tmp.Sync(); err != nil {
+	if err := syncFile(tmp); err != nil {
 		return fail(err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("fsatomic: %s: %w", path, err)
 	}
-	if err := os.Rename(tmpName, path); err != nil {
+	if err := renameFile(tmpName, path); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("fsatomic: %s: %w", path, err)
 	}

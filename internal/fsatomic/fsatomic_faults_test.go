@@ -1,0 +1,234 @@
+package fsatomic
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/retry"
+)
+
+// swapHooks installs fault hooks for one test and restores the real
+// implementations afterwards. The fault tests run sequentially (no
+// t.Parallel) because the seams are package globals.
+func swapHooks(t *testing.T, create func(string, string) (*os.File, error),
+	sync func(*os.File) error, rename func(string, string) error) {
+	t.Helper()
+	prevCreate, prevSync, prevRename := createTemp, syncFile, renameFile
+	if create != nil {
+		createTemp = create
+	}
+	if sync != nil {
+		syncFile = sync
+	}
+	if rename != nil {
+		renameFile = rename
+	}
+	t.Cleanup(func() {
+		createTemp, syncFile, renameFile = prevCreate, prevSync, prevRename
+	})
+}
+
+// checkIntact asserts the core atomicity property after a failed
+// WriteFile: the destination either holds exactly its previous content
+// or (if it never existed) is still absent — never a torn or empty
+// intermediate — and no temp litter is left behind.
+func checkIntact(t *testing.T, path, wantOld string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	switch {
+	case wantOld == "" && err == nil:
+		t.Fatalf("destination %s exists after failed write to a fresh path: %q", path, data)
+	case wantOld == "" && !errors.Is(err, os.ErrNotExist):
+		t.Fatalf("reading %s: %v", path, err)
+	case wantOld != "" && err != nil:
+		t.Fatalf("destination %s lost its old content after failed write: %v", path, err)
+	case wantOld != "" && string(data) != wantOld:
+		t.Fatalf("destination %s torn after failed write: got %q, want %q", path, data, wantOld)
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatalf("listing %s: %v", filepath.Dir(path), err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s left behind after failed write", e.Name())
+		}
+	}
+}
+
+// faultCases enumerates one injected failure per protocol step. Each
+// returns the hooks (nil = real implementation) and the payload writer.
+var faultCases = []struct {
+	name   string
+	create func(string, string) (*os.File, error)
+	sync   func(*os.File) error
+	rename func(string, string) error
+	write  func(io.Writer) error
+}{
+	{
+		name:   "create ENOSPC",
+		create: func(string, string) (*os.File, error) { return nil, syscall.ENOSPC },
+		write:  func(w io.Writer) error { _, err := io.WriteString(w, "new"); return err },
+	},
+	{
+		name: "write ENOSPC after partial payload",
+		write: func(w io.Writer) error {
+			// A short write: half the payload lands in the temp file,
+			// then the disk fills.
+			if _, err := io.WriteString(w, "ne"); err != nil {
+				return err
+			}
+			return syscall.ENOSPC
+		},
+	},
+	{
+		name:  "fsync failure",
+		sync:  func(*os.File) error { return syscall.EIO },
+		write: func(w io.Writer) error { _, err := io.WriteString(w, "new"); return err },
+	},
+	{
+		name:   "rename failure",
+		rename: func(string, string) error { return syscall.EXDEV },
+		write:  func(w io.Writer) error { _, err := io.WriteString(w, "new"); return err },
+	},
+}
+
+// TestWriteFileFaultsPreserveOldContent injects a failure at every step
+// of the write protocol against a destination that already has content
+// and asserts the old bytes survive untouched.
+func TestWriteFileFaultsPreserveOldContent(t *testing.T) {
+	for _, tc := range faultCases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "intent.json")
+			if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			swapHooks(t, tc.create, tc.sync, tc.rename)
+			if err := WriteFile(path, tc.write); err == nil {
+				t.Fatalf("WriteFile succeeded with %s injected", tc.name)
+			}
+			checkIntact(t, path, "old")
+		})
+	}
+}
+
+// TestWriteFileFaultsLeaveFreshPathAbsent is the same matrix against a
+// path that does not exist yet: a failed write must not create it.
+func TestWriteFileFaultsLeaveFreshPathAbsent(t *testing.T) {
+	for _, tc := range faultCases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "intent.json")
+			swapHooks(t, tc.create, tc.sync, tc.rename)
+			if err := WriteFile(path, tc.write); err == nil {
+				t.Fatalf("WriteFile succeeded with %s injected", tc.name)
+			}
+			checkIntact(t, path, "")
+		})
+	}
+}
+
+// TestWriteFileTransientFaultThenRetrySucceeds pins the composition the
+// migration intent record leans on: fsatomic.WriteFile under retry.Do
+// rides out transient faults, and once a write finally lands the
+// destination holds exactly the new content.
+func TestWriteFileTransientFaultThenRetrySucceeds(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "intent.json")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fails := 2
+	swapHooks(t, nil, func(f *os.File) error {
+		if fails > 0 {
+			fails--
+			return syscall.EIO
+		}
+		return f.Sync()
+	}, nil)
+	pol := retry.Policy{Attempts: 5, Base: time.Millisecond, Cap: time.Millisecond, Jitter: retry.NoJitter}
+	err := retry.Do(context.Background(), pol, func() error {
+		return WriteFile(path, func(w io.Writer) error {
+			_, err := io.WriteString(w, "new")
+			return err
+		})
+	})
+	if err != nil {
+		t.Fatalf("retried WriteFile = %v, want nil", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "new" {
+		t.Fatalf("destination = %q, %v; want \"new\"", data, err)
+	}
+}
+
+// TestWriteFileManyInjectedFailuresNeverTear hammers the same
+// destination with a deterministic mix of every fault and occasional
+// successes, checking after every call that the destination only ever
+// holds a complete generation's content.
+func TestWriteFileManyInjectedFailuresNeverTear(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.bin")
+	step := 0
+	swapHooks(t,
+		func(d, pat string) (*os.File, error) {
+			if step%5 == 3 {
+				return nil, syscall.ENOSPC
+			}
+			return os.CreateTemp(d, pat)
+		},
+		func(f *os.File) error {
+			if step%7 == 2 {
+				return syscall.EIO
+			}
+			return f.Sync()
+		},
+		func(o, n string) error {
+			if step%3 == 1 {
+				return syscall.EXDEV
+			}
+			return os.Rename(o, n)
+		})
+	last := "" // last successfully committed content
+	for step = 0; step < 60; step++ {
+		content := fmt.Sprintf("generation-%04d", step)
+		werr := WriteFile(path, func(w io.Writer) error {
+			if step%11 == 5 { // payload-side short write
+				if _, err := io.WriteString(w, content[:4]); err != nil {
+					return err
+				}
+				return syscall.ENOSPC
+			}
+			_, err := io.WriteString(w, content)
+			return err
+		})
+		if werr == nil {
+			last = content
+		}
+		data, rerr := os.ReadFile(path)
+		if last == "" {
+			if rerr == nil {
+				t.Fatalf("step %d: destination exists before any successful write: %q", step, data)
+			}
+			continue
+		}
+		if rerr != nil {
+			t.Fatalf("step %d: destination missing after successful write: %v", step, rerr)
+		}
+		if string(data) != last {
+			t.Fatalf("step %d: destination = %q, want last committed %q (write err: %v)", step, data, last, werr)
+		}
+	}
+	if last == "" {
+		t.Fatal("no write ever succeeded; fault mix too dense")
+	}
+}

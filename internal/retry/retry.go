@@ -43,6 +43,12 @@ type Policy struct {
 	// Seed seeds the jitter stream. The schedule is a pure function of
 	// (Policy, attempt), so equal seeds reproduce equal schedules.
 	Seed uint64
+	// AttemptTimeout bounds each individual attempt: DoWithAttempt
+	// derives a per-attempt context from the caller's, cancelled after
+	// this duration. A hung attempt (stalled transfer, wedged fsync)
+	// then fails on its own and the next attempt starts fresh, without
+	// cancelling the whole operation. 0 disables the bound.
+	AttemptTimeout time.Duration
 }
 
 // NoJitter is a Jitter sentinel selecting the exact exponential
@@ -121,11 +127,21 @@ func Permanent(err error) error {
 // a cancellation mid-wait returns ctx's error wrapped around the last
 // op error so both causes stay visible.
 func Do(ctx context.Context, p Policy, op func() error) error {
+	return do(ctx, p, func(context.Context, int) error { return op() }, sleep)
+}
+
+// DoWithAttempt is Do for operations that want to know which attempt
+// they are (1-based, for logging or labeling) and to honor a
+// per-attempt deadline: op receives a context derived from ctx and
+// bounded by Policy.AttemptTimeout (when set). An attempt that outlives
+// its bound is cancelled individually; the schedule then proceeds to
+// the next attempt as for any other failure.
+func (p Policy) DoWithAttempt(ctx context.Context, op func(ctx context.Context, attempt int) error) error {
 	return do(ctx, p, op, sleep)
 }
 
-// do is Do with the waiting step injectable for tests.
-func do(ctx context.Context, p Policy, op func() error, wait func(context.Context, time.Duration) error) error {
+// do is DoWithAttempt with the waiting step injectable for tests.
+func do(ctx context.Context, p Policy, op func(context.Context, int) error, wait func(context.Context, time.Duration) error) error {
 	p = p.withDefaults()
 	delays := p.Schedule()
 	var last error
@@ -136,7 +152,7 @@ func do(ctx context.Context, p Policy, op func() error, wait func(context.Contex
 			}
 			return fmt.Errorf("retry: %w", err)
 		}
-		err := op()
+		err := runAttempt(ctx, p.AttemptTimeout, attempt+1, op)
 		if err == nil {
 			return nil
 		}
@@ -153,6 +169,16 @@ func do(ctx context.Context, p Policy, op func() error, wait func(context.Contex
 		}
 	}
 	return fmt.Errorf("retry: %d attempts failed: %w", p.Attempts, last)
+}
+
+// runAttempt invokes one attempt under its per-attempt bound.
+func runAttempt(ctx context.Context, timeout time.Duration, attempt int, op func(context.Context, int) error) error {
+	if timeout <= 0 {
+		return op(ctx, attempt)
+	}
+	actx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	return op(actx, attempt)
 }
 
 // sleep waits d or until ctx is done, whichever comes first.

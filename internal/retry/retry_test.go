@@ -65,7 +65,7 @@ func TestScheduleDeterministic(t *testing.T) {
 // retried, success stops the loop, and the op sees every attempt.
 func TestDoRetriesThenSucceeds(t *testing.T) {
 	calls := 0
-	err := do(context.Background(), Policy{Attempts: 5}, func() error {
+	err := do(context.Background(), Policy{Attempts: 5}, func(context.Context, int) error {
 		calls++
 		if calls < 3 {
 			return errors.New("transient")
@@ -85,7 +85,7 @@ func TestDoRetriesThenSucceeds(t *testing.T) {
 func TestDoExhausted(t *testing.T) {
 	sentinel := errors.New("disk on fire")
 	calls := 0
-	err := do(context.Background(), Policy{Attempts: 3}, func() error {
+	err := do(context.Background(), Policy{Attempts: 3}, func(context.Context, int) error {
 		calls++
 		return sentinel
 	}, func(context.Context, time.Duration) error { return nil })
@@ -102,7 +102,7 @@ func TestDoExhausted(t *testing.T) {
 func TestDoPermanent(t *testing.T) {
 	sentinel := errors.New("no such session")
 	calls := 0
-	err := do(context.Background(), Policy{Attempts: 5}, func() error {
+	err := do(context.Background(), Policy{Attempts: 5}, func(context.Context, int) error {
 		calls++
 		return Permanent(sentinel)
 	}, func(context.Context, time.Duration) error { return nil })
@@ -131,6 +131,80 @@ func TestDoContextCancelledMidWait(t *testing.T) {
 	}
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+}
+
+// TestDoWithAttemptNumbering pins the 1-based attempt index: the op
+// sees 1, 2, 3, ... in order, one per try.
+func TestDoWithAttemptNumbering(t *testing.T) {
+	var seen []int
+	err := do(context.Background(), Policy{Attempts: 4}, func(_ context.Context, attempt int) error {
+		seen = append(seen, attempt)
+		if attempt < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	}, func(context.Context, time.Duration) error { return nil })
+	if err != nil {
+		t.Fatalf("DoWithAttempt = %v, want nil", err)
+	}
+	want := []int{1, 2, 3}
+	if len(seen) != len(want) {
+		t.Fatalf("attempts seen = %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("attempts seen = %v, want %v", seen, want)
+		}
+	}
+}
+
+// TestDoWithAttemptTimeout pins the per-attempt bound: a hung attempt
+// is cancelled on its own and the next attempt starts with a fresh,
+// live context — the overall operation still succeeds.
+func TestDoWithAttemptTimeout(t *testing.T) {
+	p := Policy{Attempts: 3, Base: time.Millisecond, Cap: time.Millisecond,
+		Jitter: NoJitter, AttemptTimeout: 20 * time.Millisecond}
+	calls := 0
+	err := p.DoWithAttempt(context.Background(), func(ctx context.Context, attempt int) error {
+		calls++
+		if attempt == 1 {
+			// Simulate a hung transfer: block until the per-attempt
+			// context expires.
+			<-ctx.Done()
+			return ctx.Err()
+		}
+		if err := ctx.Err(); err != nil {
+			return Permanent(errors.New("fresh attempt saw a dead context"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("DoWithAttempt = %v, want nil", err)
+	}
+	if calls != 2 {
+		t.Fatalf("op called %d times, want 2", calls)
+	}
+}
+
+// TestDoWithAttemptTimeoutRespectsParent pins that the per-attempt
+// context still inherits the caller's cancellation.
+func TestDoWithAttemptTimeoutRespectsParent(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{Attempts: 5, Base: time.Millisecond, Cap: time.Millisecond,
+		Jitter: NoJitter, AttemptTimeout: 10 * time.Second}
+	calls := 0
+	err := p.DoWithAttempt(ctx, func(actx context.Context, attempt int) error {
+		calls++
+		cancel()
+		<-actx.Done() // parent cancellation must propagate promptly
+		return actx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("DoWithAttempt = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("op called %d times after parent cancel, want 1", calls)
 	}
 }
 

@@ -26,6 +26,9 @@ import (
 //	GET    /v1/sessions/{id}/events   NDJSON lifecycle log; ?follow=1 streams
 //	GET    /v1/sessions/{id}/obs      NDJSON engine-event stream; ?follow=1&after=N
 //	GET    /v1/sessions/{id}/flight   the session's flight record, if dumped
+//	POST   /v1/sessions/{id}/migrate  hand the session off {"target": url}; see docs/SERVICE.md
+//	POST   /v1/migrations/in          peer-to-peer: accept a transfer envelope
+//	GET    /v1/migrations/in/{id}     peer-to-peer: recovery status query (?epoch=N; fences on "no")
 //	GET    /healthz                   process liveness (always 200 while serving)
 //	GET    /readyz                    503 once draining
 //	GET    /metrics                   Prometheus text format
@@ -33,7 +36,10 @@ import (
 //
 // Overload returns 429 with Retry-After; draining returns 503 with
 // Retry-After; an expired request deadline returns 504 while the
-// server-side work continues.
+// server-side work continues. A session migrated away answers mutating
+// requests with 410 Gone plus a Location header pointing at the same
+// path on its new home; a session mid-handoff answers 409 with
+// Retry-After; a stale-epoch transfer is fenced with 409.
 //
 // Every request gets an X-Request-ID: the caller's if present, a
 // generated one otherwise. The ID is echoed on the response, attached
@@ -42,6 +48,10 @@ import (
 
 // maxBodyBytes bounds any request body.
 const maxBodyBytes = 1 << 20
+
+// maxMigrationBytes bounds an inbound migration envelope, whose
+// snapshot payload dwarfs every other request body.
+const maxMigrationBytes = 64 << 20
 
 // Handler returns the server's HTTP API.
 func (s *Server) Handler() http.Handler {
@@ -55,6 +65,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleEvents) // own deadline handling (follow)
 	mux.HandleFunc("GET /v1/sessions/{id}/obs", s.handleObs)       // own deadline handling (follow)
 	mux.HandleFunc("GET /v1/sessions/{id}/flight", s.withDeadline(s.handleFlight))
+	mux.HandleFunc("POST /v1/sessions/{id}/migrate", s.handleMigrate) // own, longer deadline
+	mux.HandleFunc("POST /v1/migrations/in", s.handleMigrationIn)     // own, longer deadline
+	mux.HandleFunc("GET /v1/migrations/in/{id}", s.withDeadline(s.handleMigrationStatus))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n")
@@ -167,16 +180,35 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
-// writeError maps the server's typed errors onto statuses.
-func writeError(w http.ResponseWriter, err error) {
+// writeError maps the server's typed errors onto statuses. The request
+// is consulted only for migration redirects: a MigratedError turns
+// into 410 Gone with a Location header rebuilding the same path on the
+// session's new home, so a client can re-issue the request verbatim.
+func writeError(w http.ResponseWriter, r *http.Request, err error) {
 	var (
 		over *OverloadError
 		dead *DeadlineError
 		val  *ValidationError
+		gone *MigratedError
+		mig  *MigratingError
+		fen  *FencedError
+		conf *ConflictError
 	)
 	switch {
 	case errors.Is(err, ErrNotFound):
 		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+	case errors.As(err, &gone):
+		if gone.Location != "" && r != nil {
+			w.Header().Set("Location", gone.Location+r.URL.Path)
+		}
+		writeJSON(w, http.StatusGone, apiError{Error: err.Error()})
+	case errors.As(err, &mig):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
+	case errors.As(err, &fen):
+		writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
+	case errors.As(err, &conf):
+		writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
 	case errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", "5")
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
@@ -219,7 +251,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	info, err := s.CreateSession(r.Context(), r.Header.Get("X-Tenant"), cfg)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, info)
@@ -232,7 +264,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	info, err := s.Get(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -255,7 +287,7 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.Step(r.Context(), r.PathValue("id"), quanta)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	if res.State == StateFailed {
@@ -269,7 +301,7 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
 	info, err := s.Evict(r.Context(), r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -277,7 +309,7 @@ func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if err := s.Delete(r.Context(), r.PathValue("id")); err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -298,7 +330,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		evs, notify, err := s.Events(id, after)
 		if err != nil {
 			if after == 0 {
-				writeError(w, err)
+				writeError(w, r, err)
 			}
 			return
 		}
@@ -351,7 +383,7 @@ func (s *Server) handleObs(w http.ResponseWriter, r *http.Request) {
 		entries, notify, closed, err := s.ObsEvents(id, after)
 		if err != nil {
 			if !wrote {
-				writeError(w, err)
+				writeError(w, r, err)
 			}
 			return
 		}
@@ -392,11 +424,72 @@ func (s *Server) handleObs(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
 	data, err := s.Flight(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(data)
+}
+
+type migrateRequest struct {
+	Target string `json:"target"`
+}
+
+// handleMigrate runs the outbound handoff. The deadline is the regular
+// request timeout plus the per-phase migration bound — a transfer
+// legitimately outlives a step request.
+func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout+3*s.cfg.MigrateTimeout)
+	defer cancel()
+	var req migrateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	res, err := s.Migrate(ctx, r.PathValue("id"), req.Target)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	w.Header().Set("Location", res.Location)
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleMigrationIn accepts a peer's transfer envelope.
+func (s *Server) handleMigrationIn(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout+3*s.cfg.MigrateTimeout)
+	defer cancel()
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxMigrationBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "reading envelope: " + err.Error()})
+		return
+	}
+	var env migrationEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "decoding envelope: " + err.Error()})
+		return
+	}
+	ack, err := s.acceptMigration(ctx, &env)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ack)
+}
+
+// handleMigrationStatus answers the peer recovery question; see
+// migrationStatus for why this GET is deliberately not read-only.
+func (s *Server) handleMigrationStatus(w http.ResponseWriter, r *http.Request) {
+	epoch, err := strconv.ParseUint(r.URL.Query().Get("epoch"), 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad epoch: " + err.Error()})
+		return
+	}
+	reply, err := s.migrationStatus(r.PathValue("id"), epoch)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reply)
 }
 
 // ListenAndServe is a convenience for cmd/atsimd: serve the API on

@@ -88,6 +88,30 @@ func (l *obsLog) since(after uint64) ([]obsEntry, <-chan struct{}, bool) {
 	return out, l.notify, l.closed
 }
 
+// export returns the published cursor and a copy of the retained tail,
+// for shipping in a migration envelope.
+func (l *obsLog) export() (uint64, []obsEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	tail := make([]obsEntry, len(l.buf))
+	copy(tail, l.buf)
+	return l.published, tail
+}
+
+// preload seeds a fresh log with a migrated-in cursor and tail. The
+// resumed engine will re-emit the deterministic sequence from zero;
+// publishFrom's cursor then skips the already-published prefix, so
+// followers of /obs continue gap-free across the handoff.
+func (l *obsLog) preload(published uint64, entries []obsEntry) {
+	l.mu.Lock()
+	l.published = published
+	l.buf = append(l.buf[:0], entries...)
+	if len(l.buf) > l.cap {
+		l.buf = append(l.buf[:0], l.buf[len(l.buf)-l.cap:]...)
+	}
+	l.mu.Unlock()
+}
+
 // close marks the stream complete (session done, failed or deleted)
 // and wakes every follower so it can drain and finish.
 func (l *obsLog) close() {

@@ -89,6 +89,29 @@ type Config struct {
 	// AccessLog, when non-nil, receives one structured JSON line per
 	// HTTP request (request id, method, path, status, duration).
 	AccessLog io.Writer
+	// PeerAllow lists URL prefixes acceptable as migration peers (e.g.
+	// "http://10.0.0.0:" or a full base URL). Empty disables migration
+	// entirely: both the outbound endpoint and inbound transfers are
+	// refused. "*" allows any http(s) peer.
+	PeerAllow []string
+	// MaxMigrations bounds concurrent migrations per direction
+	// (default 4); excess requests get 429.
+	MaxMigrations int
+	// MigrateTimeout bounds each migration phase: parking the engine,
+	// one transfer attempt (the per-attempt retry bound), and one
+	// recovery query (default 20s).
+	MigrateTimeout time.Duration
+	// AdvertiseURL is this instance's own base URL as peers should
+	// record it; purely provenance (migrated_from) when set.
+	AdvertiseURL string
+	// CrashPoint, when non-nil, is called at each named migration phase
+	// boundary (source.prepared, source.intent, source.push,
+	// source.acked, source.committed, target.received, target.snapshot,
+	// target.manifest). A non-nil return simulates the process dying at
+	// that instant: the migration code abandons all cleanup and
+	// propagates the error, exactly as a SIGKILL would leave things.
+	// cmd/atsimd wires -chaos-migrate-kill to a real SIGKILL here.
+	CrashPoint func(point string) error
 }
 
 func (c Config) withDefaults() Config {
@@ -140,6 +163,12 @@ func (c Config) withDefaults() Config {
 	if c.TraceSpanCap <= 0 {
 		c.TraceSpanCap = 16384
 	}
+	if c.MaxMigrations <= 0 {
+		c.MaxMigrations = 4
+	}
+	if c.MigrateTimeout <= 0 {
+		c.MigrateTimeout = 20 * time.Second
+	}
 	return c
 }
 
@@ -179,6 +208,48 @@ type ValidationError struct{ Err error }
 func (e *ValidationError) Error() string { return "server: invalid session config: " + e.Err.Error() }
 func (e *ValidationError) Unwrap() error { return e.Err }
 
+// MigratedError: the session committed to another instance. Location
+// is its new base URL; over HTTP this is 410 Gone plus a Location
+// header rewritten for the request's path, which atsimload follows
+// exactly once.
+type MigratedError struct {
+	ID       string
+	Location string
+}
+
+func (e *MigratedError) Error() string {
+	return "server: session " + e.ID + " migrated to " + e.Location
+}
+
+// MigratingError: a handoff (or its crash recovery) is in flight; the
+// session accepts no writes until it resolves. 409 + Retry-After over
+// HTTP.
+type MigratingError struct{ ID string }
+
+func (e *MigratingError) Error() string {
+	return "server: session " + e.ID + " has a migration in flight; retry shortly"
+}
+
+// FencedError: a migration transfer carried a stale fencing epoch — a
+// newer attempt (or a recovery decision) superseded it. 409 over HTTP;
+// the source aborts rather than retrying.
+type FencedError struct {
+	ID     string
+	Epoch  uint64 // the stale epoch presented
+	Fenced uint64 // the epoch-or-higher the target holds or has fenced
+}
+
+func (e *FencedError) Error() string {
+	return fmt.Sprintf("server: migration of %s fenced: epoch %d is not newer than %d", e.ID, e.Epoch, e.Fenced)
+}
+
+// ConflictError: the operation is valid in general but not in the
+// session's current state (e.g. migrating a terminal session). 409.
+type ConflictError struct{ Err error }
+
+func (e *ConflictError) Error() string { return "server: conflict: " + e.Err.Error() }
+func (e *ConflictError) Unwrap() error { return e.Err }
+
 // errRecheck is internal: the session changed state underfoot; the
 // step loop re-reads it.
 var errRecheck = errors.New("server: session state changed, recheck")
@@ -204,6 +275,12 @@ type metrics struct {
 	admissionWait   *obs.Histogram
 	evictionSecs    *obs.Histogram
 	snapWriteSecs   *obs.Histogram
+	migStarted      *obs.Counter
+	migCommitted    *obs.Counter
+	migAborted      *obs.Counter
+	migFenced       *obs.Counter
+	migIn           *obs.Counter
+	migSeconds      *obs.Histogram
 }
 
 // Server hosts sessions. Lock order: Server.mu before Session.mu.
@@ -234,6 +311,17 @@ type Server struct {
 	reqSeq    atomic.Uint64
 	bootNanos int64
 	logMu     sync.Mutex
+
+	// Migration plumbing: the peer HTTP client, per-direction
+	// concurrency slots, a per-session-ID lock serializing inbound
+	// commits against recovery-status queries, and the in-memory fence
+	// table those queries write (see migrate.go for the protocol).
+	peer      *peerClient
+	migOut    chan struct{}
+	migIn     chan struct{}
+	migLocks  *idLocks
+	fenceMu   sync.Mutex
+	migFences map[string]uint64
 
 	mu        sync.Mutex
 	draining  bool
@@ -267,6 +355,11 @@ func New(cfg Config) (*Server, error) {
 		tenants:   make(map[string]int),
 		spans:     newSpanLog(cfg.TraceSpanCap),
 		bootNanos: time.Now().UnixNano(),
+		peer:      newPeerClient(cfg),
+		migOut:    make(chan struct{}, cfg.MaxMigrations),
+		migIn:     make(chan struct{}, cfg.MaxMigrations),
+		migLocks:  newIDLocks(),
+		migFences: make(map[string]uint64),
 	}
 	s.initMetrics()
 	if err := s.restore(); err != nil {
@@ -310,6 +403,17 @@ func (s *Server) initMetrics() {
 			[]float64{0.0001, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}),
 		snapWriteSecs: s.reg.Histogram("atsimd_snapshot_write_seconds",
 			[]float64{0.0001, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}),
+		// Migration lifecycle: started counts attempts on the source,
+		// committed/aborted their outcomes there, fenced counts stale
+		// epochs refused (either side), and in counts transfers this
+		// instance accepted as a target.
+		migStarted:   s.reg.Counter("atsimd_migrations_started_total"),
+		migCommitted: s.reg.Counter("atsimd_migrations_committed_total"),
+		migAborted:   s.reg.Counter("atsimd_migrations_aborted_total"),
+		migFenced:    s.reg.Counter("atsimd_migrations_fenced_total"),
+		migIn:        s.reg.Counter("atsimd_migrations_in_total"),
+		migSeconds: s.reg.Histogram("atsimd_migration_seconds",
+			[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30}),
 	}
 }
 
@@ -336,10 +440,10 @@ func (s *Server) restore() error {
 		m := r.man
 		sess := newSession(m.ID, m.Tenant, m.Config, s.cfg.ObsLogCap)
 		sess.state = m.State
-		if sess.state == StateLive || sess.state == "" {
+		if sess.state == StateLive || sess.state == StateMigrating || sess.state == "" {
 			sess.state = StateIdle
 		}
-		if sess.state == StateDone || sess.state == StateFailed {
+		if sess.state == StateDone || sess.state == StateFailed || sess.state == StateMigrated {
 			// Terminal sessions will never publish again; engine events
 			// died with the previous process (a failed session's tail
 			// lives on in its flight file). Close so /obs followers
@@ -352,6 +456,9 @@ func (s *Server) restore() error {
 		sess.resumes = m.Resumes
 		sess.result = m.Result
 		sess.failure = m.Failure
+		sess.epoch = m.Epoch
+		sess.migratedTo = m.MigratedTo
+		sess.migratedFrom = m.MigratedFrom
 		sess.onDisk = r.hasSnap
 		sess.cleanGen = sess.gen // just loaded: disk is current
 		sess.lastTouch = s.tick.Add(1)
@@ -362,6 +469,7 @@ func (s *Server) restore() error {
 		}
 	}
 	s.updateGaugesLocked()
+	s.recoverIntents()
 	return nil
 }
 
@@ -536,6 +644,10 @@ func (s *Server) Step(ctx context.Context, id string, quanta uint64) (StepResult
 			sess.mu.Unlock()
 			return stepResultOf(id, out), nil
 		}
+		if err := sess.migrationGateLocked(); err != nil {
+			sess.mu.Unlock()
+			return StepResult{}, err
+		}
 		sess.mu.Unlock()
 
 		le, err := s.ensureLive(ctx, sess)
@@ -599,7 +711,8 @@ func (s *Server) ensureLive(ctx context.Context, sess *Session) (*liveEngine, er
 			return nil, ErrDraining
 		}
 		sess.mu.Lock()
-		if sess.deleted || sess.state == StateDone || sess.state == StateFailed {
+		if sess.deleted || sess.state == StateDone || sess.state == StateFailed ||
+			sess.state == StateMigrated || sess.state == StateMigrating {
 			sess.mu.Unlock()
 			s.mu.Unlock()
 			return nil, errRecheck
@@ -699,6 +812,12 @@ func (s *Server) Evict(ctx context.Context, id string) (Info, error) {
 	sess, err := s.lookup(id)
 	if err != nil {
 		return Info{}, err
+	}
+	sess.mu.Lock()
+	gateErr := sess.migrationGateLocked()
+	sess.mu.Unlock()
+	if gateErr != nil {
+		return Info{}, gateErr
 	}
 	if err := s.evictWait(ctx, sess); err != nil {
 		return Info{}, err

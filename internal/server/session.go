@@ -44,6 +44,16 @@ const (
 	// unrecoverable error. Only this session is affected; Failure
 	// carries the diagnostic (including the stack for panics).
 	StateFailed State = "failed"
+	// StateMigrating: a cross-instance handoff is in flight (or was
+	// interrupted by a crash and is being resolved against the target).
+	// Steps are refused with 409 until the migration commits or the
+	// session is reclaimed; on disk this state renders as idle — the
+	// durable marker for an in-flight handoff is the intent record.
+	StateMigrating State = "migrating"
+	// StateMigrated: the session committed to another instance. The
+	// local record is a tombstone answering further requests with 410
+	// and the new location; delete it to reclaim the directory entry.
+	StateMigrated State = "migrated"
 )
 
 // SessionConfig is the client-supplied simulation configuration of one
@@ -244,7 +254,19 @@ type Session struct {
 	failure    string
 	lastTouch  uint64
 	live       *liveEngine
-	events     *eventLog
+	// epoch is the session's fencing epoch: bumped once per migration
+	// attempt, recorded in the intent before the transfer and in both
+	// manifests after. The target refuses any envelope at or below an
+	// epoch it has already seen or fenced, which is what makes crash
+	// recovery exactly-once (re-push or reclaim, never both).
+	epoch uint64
+	// migratedTo is the committed target's base URL once state is
+	// StateMigrated — the Location a 410 response carries.
+	migratedTo string
+	// migratedFrom records provenance: the source instance (when it
+	// announced one) this session last migrated in from.
+	migratedFrom string
+	events       *eventLog
 	// obsLog is the published engine-event stream: drained from the
 	// engine's obs stream ring at quantum boundaries, consumed by the
 	// /obs endpoint and the flight recorder. Always non-nil; empty and
@@ -290,6 +312,19 @@ func (sess *Session) noteBoundary(st *snapshot.State) uint64 {
 	return n
 }
 
+// migrationGateLocked refuses writes against sessions that committed
+// to another instance (410 + location) or whose handoff is still in
+// flight (409). Callers hold sess.mu.
+func (sess *Session) migrationGateLocked() error {
+	switch sess.state {
+	case StateMigrated:
+		return &MigratedError{ID: sess.ID, Location: sess.migratedTo}
+	case StateMigrating:
+		return &MigratingError{ID: sess.ID}
+	}
+	return nil
+}
+
 // outcomeLocked composes the step-visible view of the session. Callers
 // hold sess.mu.
 func (sess *Session) outcomeLocked() stepOutcome {
@@ -305,16 +340,19 @@ func (sess *Session) outcomeLocked() stepOutcome {
 
 // Info is the API-visible session summary.
 type Info struct {
-	ID         string        `json:"id"`
-	Tenant     string        `json:"tenant"`
-	State      State         `json:"state"`
-	Config     SessionConfig `json:"config"`
-	Boundaries uint64        `json:"boundaries"`
-	Cycle      uint64        `json:"cycle"`
-	Evictions  uint64        `json:"evictions"`
-	Resumes    uint64        `json:"resumes"`
-	Result     *Result       `json:"result,omitempty"`
-	Failure    string        `json:"failure,omitempty"`
+	ID           string        `json:"id"`
+	Tenant       string        `json:"tenant"`
+	State        State         `json:"state"`
+	Config       SessionConfig `json:"config"`
+	Boundaries   uint64        `json:"boundaries"`
+	Cycle        uint64        `json:"cycle"`
+	Evictions    uint64        `json:"evictions"`
+	Resumes      uint64        `json:"resumes"`
+	Result       *Result       `json:"result,omitempty"`
+	Failure      string        `json:"failure,omitempty"`
+	Epoch        uint64        `json:"epoch,omitempty"`
+	MigratedTo   string        `json:"migrated_to,omitempty"`
+	MigratedFrom string        `json:"migrated_from,omitempty"`
 }
 
 func (sess *Session) info() Info {
@@ -325,6 +363,7 @@ func (sess *Session) info() Info {
 		Boundaries: sess.boundaries, Cycle: sess.cycle,
 		Evictions: sess.evictions, Resumes: sess.resumes,
 		Result: sess.result, Failure: sess.failure,
+		Epoch: sess.epoch, MigratedTo: sess.migratedTo, MigratedFrom: sess.migratedFrom,
 	}
 }
 
@@ -676,10 +715,13 @@ func (sess *Session) noteResumed(st *snapshot.State) {
 
 // manifestLocked renders the session's durable record. Callers hold
 // sess.mu. A manifest never claims "live": an engine does not survive
-// the process, so on disk a live session is an idle one.
+// the process, so on disk a live session is an idle one. "migrating"
+// likewise renders as idle — the intent record, not the manifest, is
+// the durable marker of an in-flight handoff, so a crash mid-migration
+// restores an idle session plus an intent to resolve.
 func (sess *Session) manifestLocked() manifest {
 	st := sess.state
-	if st == StateLive {
+	if st == StateLive || st == StateMigrating {
 		st = StateIdle
 	}
 	return manifest{
@@ -687,5 +729,6 @@ func (sess *Session) manifestLocked() manifest {
 		Boundaries: sess.boundaries, Cycle: sess.cycle,
 		Evictions: sess.evictions, Resumes: sess.resumes,
 		Result: sess.result, Failure: sess.failure,
+		Epoch: sess.epoch, MigratedTo: sess.migratedTo, MigratedFrom: sess.migratedFrom,
 	}
 }

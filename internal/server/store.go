@@ -36,18 +36,39 @@ import (
 // in-memory progress lost with the process is recomputed
 // deterministically on the next step.
 
-// manifest is the on-disk session record.
+// manifest is the on-disk session record. Epoch and the migration
+// provenance fields travel with the session when it moves between
+// instances: Epoch is the fencing epoch of the last migration attempt
+// that touched it, MigratedTo marks a tombstone left behind by a
+// committed outbound migration, and MigratedFrom records the announced
+// source of an inbound one.
 type manifest struct {
-	ID         string        `json:"id"`
-	Tenant     string        `json:"tenant"`
-	Config     SessionConfig `json:"config"`
-	State      State         `json:"state"`
-	Boundaries uint64        `json:"boundaries"`
-	Cycle      uint64        `json:"cycle"`
-	Evictions  uint64        `json:"evictions"`
-	Resumes    uint64        `json:"resumes"`
-	Result     *Result       `json:"result,omitempty"`
-	Failure    string        `json:"failure,omitempty"`
+	ID           string        `json:"id"`
+	Tenant       string        `json:"tenant"`
+	Config       SessionConfig `json:"config"`
+	State        State         `json:"state"`
+	Boundaries   uint64        `json:"boundaries"`
+	Cycle        uint64        `json:"cycle"`
+	Evictions    uint64        `json:"evictions"`
+	Resumes      uint64        `json:"resumes"`
+	Result       *Result       `json:"result,omitempty"`
+	Failure      string        `json:"failure,omitempty"`
+	Epoch        uint64        `json:"epoch,omitempty"`
+	MigratedTo   string        `json:"migrated_to,omitempty"`
+	MigratedFrom string        `json:"migrated_from,omitempty"`
+}
+
+// migrationIntent is the durable record of an in-flight outbound
+// migration, written (atomically, before any byte reaches the peer)
+// so a crash at ANY later instant leaves enough on disk to resolve the
+// handoff in exactly one direction: boot recovery asks the recorded
+// target whether epoch committed there — yes → tombstone locally,
+// no → fence the epoch at the target and reclaim locally.
+type migrationIntent struct {
+	ID      string `json:"id"`
+	Target  string `json:"target"`
+	Epoch   uint64 `json:"epoch"`
+	Created string `json:"created,omitempty"`
 }
 
 // store performs all session IO.
@@ -64,6 +85,7 @@ const ioTimeout = 15 * time.Second
 func (st *store) manifestPath(id string) string { return filepath.Join(st.dir, id+".json") }
 func (st *store) snapPath(id string) string     { return filepath.Join(st.dir, id+".snap") }
 func (st *store) flightPath(id string) string   { return filepath.Join(st.dir, id+".flight.json") }
+func (st *store) intentPath(id string) string   { return filepath.Join(st.dir, id+".intent.json") }
 
 // policyFor decorrelates retry jitter across paths (and from other
 // processes on the same disk) by folding the path into the seed.
@@ -153,6 +175,51 @@ func (st *store) loadSnapshot(id string) (*snapshot.State, error) {
 	return out, nil
 }
 
+// readSnapshotRaw returns the session's snapshot file bytes verbatim —
+// the migration wire format IS the on-disk container (magic, version,
+// CRC64 and all), so a transfer ships the already-durable bytes without
+// re-encoding. (nil, nil) when the session has no snapshot (no progress
+// yet: the target starts it from cycle zero).
+func (st *store) readSnapshotRaw(id string) ([]byte, error) {
+	path := st.snapPath(id)
+	var out []byte
+	ctx, cancel := st.ioCtx()
+	defer cancel()
+	err := retry.Do(ctx, st.policyFor(path), func() error {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				return retry.Permanent(err)
+			}
+			return err
+		}
+		out = data
+		return nil
+	})
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("server: reading snapshot for %s: %w", id, err)
+	}
+	return out, nil
+}
+
+// writeSnapshotRaw persists received snapshot bytes verbatim (the
+// inbound half of the wire-format reuse). The caller has already
+// verified the container's CRC.
+func (st *store) writeSnapshotRaw(id string, data []byte) error {
+	path := st.snapPath(id)
+	ctx, cancel := st.ioCtx()
+	defer cancel()
+	return retry.Do(ctx, st.policyFor(path), func() error {
+		return fsatomic.WriteFile(path, func(w io.Writer) error {
+			_, err := w.Write(data)
+			return err
+		})
+	})
+}
+
 // removeSnapshot is best-effort cleanup (done sessions do not need
 // their snapshots); a leftover file is harmless.
 func (st *store) removeSnapshot(id string) {
@@ -164,6 +231,63 @@ func (st *store) removeSession(id string) {
 	os.Remove(st.snapPath(id))
 	os.Remove(st.manifestPath(id))
 	os.Remove(st.flightPath(id))
+	os.Remove(st.intentPath(id))
+}
+
+// writeIntent durably records an outbound migration before the first
+// byte leaves the process. Everything the crash-recovery path needs —
+// target and fencing epoch — is in this one atomically-replaced file.
+func (st *store) writeIntent(in migrationIntent) error {
+	data, err := json.MarshalIndent(in, "", "  ")
+	if err != nil {
+		return fmt.Errorf("server: encoding migration intent %s: %w", in.ID, err)
+	}
+	path := st.intentPath(in.ID)
+	ctx, cancel := st.ioCtx()
+	defer cancel()
+	return retry.Do(ctx, st.policyFor(path), func() error {
+		return fsatomic.WriteFile(path, func(w io.Writer) error {
+			_, err := w.Write(data)
+			return err
+		})
+	})
+}
+
+// removeIntent clears a resolved intent. Best-effort: a leftover file
+// only costs one extra resolution round on the next boot.
+func (st *store) removeIntent(id string) {
+	os.Remove(st.intentPath(id))
+}
+
+// scanIntents loads every migration intent in the data directory. A
+// corrupt intent is quarantined like a corrupt manifest — the session
+// itself still restores, but the operator must reconcile by hand (see
+// the stuck-intent runbook in docs/SERVICE.md) because without the
+// target and epoch the handoff cannot be auto-resolved safely.
+func (st *store) scanIntents() (intents []migrationIntent, quarantined []string, err error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: scanning %s: %w", st.dir, err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".intent.json") {
+			continue
+		}
+		path := filepath.Join(st.dir, e.Name())
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			quarantined = append(quarantined, st.quarantine(path))
+			continue
+		}
+		var in migrationIntent
+		if jerr := json.Unmarshal(data, &in); jerr != nil || in.ID == "" || in.Target == "" || in.Epoch == 0 {
+			quarantined = append(quarantined, st.quarantine(path))
+			continue
+		}
+		intents = append(intents, in)
+	}
+	sort.Slice(intents, func(i, j int) bool { return intents[i].ID < intents[j].ID })
+	return intents, quarantined, nil
 }
 
 // writeFlight persists a flight record (see flight.go). Same atomic
@@ -239,9 +363,10 @@ func (st *store) scan(workers int) ([]restored, error) {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
 			continue
 		}
-		// Flight records also end in .json but are forensic output, not
-		// manifests — scanning them would quarantine them as corrupt.
-		if strings.HasSuffix(e.Name(), ".flight.json") {
+		// Flight records and migration intents also end in .json but are
+		// not manifests — scanning them here would quarantine them as
+		// corrupt. Intents get their own scan (scanIntents).
+		if strings.HasSuffix(e.Name(), ".flight.json") || strings.HasSuffix(e.Name(), ".intent.json") {
 			continue
 		}
 		paths = append(paths, filepath.Join(st.dir, e.Name()))

@@ -75,6 +75,14 @@ scripts/soak.sh -app tasks -policy LFF -cpus 2 -scale 0.2 -kills 2 -every 10000
 # drain. See docs/SERVICE.md.
 scripts/soak.sh server 500
 
+# Migration chaos gate: two atsimd instances, a SIGKILL of source or
+# target at every handoff phase boundary plus random mid-transfer
+# kills, then a bulk migration under live step traffic. Every session
+# must finish exactly once, byte-identical to its control twin, with
+# 410+Location fencing and a gap-free /obs stream across the handoff.
+# See the Migration section of docs/SERVICE.md.
+scripts/soak.sh migrate 30
+
 # Overhead gate (opt-in: BENCH_GATE=1): re-run the benchmark sweep and
 # hard-fail if anything — most importantly BenchmarkObsOff, the
 # telemetry disabled path — regressed more than 2% against the newest
